@@ -1,0 +1,106 @@
+//===- BenchCommon.h - Shared benchmark-harness helpers ---------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the figure-regeneration binaries: the paper's
+/// reference series (digitized approximately from Figs. 7-10 and the
+/// Section IV text) and table printing. Every bench prints paper-reported
+/// values next to our measured ones so the reproduction is auditable; see
+/// EXPERIMENTS.md for the comparison discussion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_BENCH_BENCHCOMMON_H
+#define TANGRAM_BENCH_BENCHCOMMON_H
+
+#include "tangram/FigureHarness.h"
+
+#include <cstdio>
+
+namespace tangram::bench {
+
+/// Paper-reported speedups over CUB, digitized (approximately) from one
+/// figure. Twelve entries matching FigureHarness::getPaperSizes().
+struct PaperSeries {
+  const char *ArchName;
+  double Tangram[12];
+  double Kokkos[12];
+  double OpenMP[12];
+  /// Winning version labels per size regime, from Sections IV-C2..4.
+  const char *Winners[12];
+};
+
+inline const PaperSeries &getPaperKepler() {
+  static const PaperSeries S = {
+      "Kepler K40c",
+      {2.0, 3.0, 3.5, 5.0, 5.5, 5.5, 5.0, 4.5, 2.0, 0.9, 0.75, 0.72},
+      {0.40, 0.45, 0.50, 0.55, 0.60, 0.70, 0.80, 0.90, 1.2, 2.2, 2.5, 2.5},
+      {4.0, 4.2, 4.3, 4.5, 4.3, 4.0, 2.5, 1.2, 0.5, 0.25, 0.22, 0.20},
+      {"p", "p", "p", "m", "m", "m", "m", "m", "m", "b/e", "b/e", "b/e"}};
+  return S;
+}
+
+inline const PaperSeries &getPaperMaxwell() {
+  static const PaperSeries S = {
+      "Maxwell GTX980",
+      {2.5, 3.0, 3.5, 4.5, 5.0, 5.5, 5.0, 4.6, 2.5, 1.1, 0.95, 0.93},
+      {0.40, 0.45, 0.50, 0.55, 0.60, 0.70, 0.80, 0.95, 1.3, 2.3, 2.6, 2.7},
+      {4.0, 4.1, 4.2, 4.4, 4.2, 3.8, 2.4, 1.1, 0.5, 0.30, 0.27, 0.26},
+      {"n", "n", "n", "n", "n", "n", "p", "p", "p", "a/c/k", "a/c/k",
+       "a/c/k"}};
+  return S;
+}
+
+inline const PaperSeries &getPaperPascal() {
+  static const PaperSeries S = {
+      "Pascal P100",
+      {1.6, 2.0, 3.0, 8.5, 8.5, 8.5, 6.0, 4.0, 1.5, 0.85, 0.78, 0.73},
+      {0.50, 0.50, 0.55, 0.60, 0.70, 0.80, 0.85, 0.90, 1.0, 1.3, 1.8, 2.2},
+      {1.6, 1.9, 2.8, 4.8, 4.8, 4.5, 3.0, 1.3, 0.4, 0.12, 0.08, 0.07},
+      {"n", "n", "n", "n/p", "n/p", "n/p", "p", "p", "p", "e", "e", "e"}};
+  return S;
+}
+
+inline const PaperSeries &getPaperSeriesFor(const sim::ArchDesc &Arch) {
+  switch (Arch.Gen) {
+  case sim::ArchGeneration::Kepler:
+    return getPaperKepler();
+  case sim::ArchGeneration::Maxwell:
+    return getPaperMaxwell();
+  case sim::ArchGeneration::Pascal:
+    return getPaperPascal();
+  }
+  return getPaperKepler();
+}
+
+/// Prints one architecture's detailed figure table (Figs. 8-10 layout):
+/// measured speedups over the CUB baseline next to the paper's values.
+inline void printDetailTable(const sim::ArchDesc &Arch,
+                             const std::vector<FigureRow> &Rows) {
+  const PaperSeries &Paper = getPaperSeriesFor(Arch);
+  std::printf("%-11s %-5s %-7s | %-8s %-8s | %-8s %-8s | %-8s %-8s\n", "N",
+              "best", "paper", "tangram", "(paper)", "kokkos", "(paper)",
+              "openmp", "(paper)");
+  std::printf("%.*s\n", 86,
+              "-------------------------------------------------------------"
+              "---------------------------------");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const FigureRow &R = Rows[I];
+    std::printf(
+        "%-11zu (%s)%*s %-7s | %8.2f %8.2f | %8.2f %8.2f | %8.2f %8.2f\n",
+        R.N, R.BestLabel.c_str(),
+        static_cast<int>(3 - R.BestLabel.size()), "", Paper.Winners[I],
+        R.tangramSpeedup(), Paper.Tangram[I], R.kokkosSpeedup(),
+        Paper.Kokkos[I], R.ompSpeedup(), Paper.OpenMP[I]);
+  }
+  std::printf("\nspeedups are over the CUB baseline on the same "
+              "architecture (higher is better);\n(paper) columns are "
+              "approximate digitizations of the published figure.\n");
+}
+
+} // namespace tangram::bench
+
+#endif // TANGRAM_BENCH_BENCHCOMMON_H

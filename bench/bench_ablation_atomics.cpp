@@ -1,0 +1,111 @@
+//===- bench_ablation_atomics.cpp - Shared-atomic ablation --------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation behind Sections II-A2 and IV-C: the cost of atomic
+// instructions on shared memory under increasing contention on the three
+// microarchitectural implementations (Kepler's software lock loop,
+// Maxwell's native unit, Pascal's native scoped unit), plus the effect on
+// the variant ranking: why version (n) — every thread updates one shared
+// accumulator — is a winner on Maxwell/Pascal but never on Kepler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Bytecode.h"
+#include "tangram/Tangram.h"
+
+#include <cstdio>
+
+using namespace tangram;
+using namespace tangram::ir;
+using namespace tangram::sim;
+
+namespace {
+
+/// Builds a kernel where each warp's active lanes hit `Spread` distinct
+/// shared addresses (Spread=32 -> conflict-free; Spread=1 -> fully
+/// contended), repeated `Reps` times.
+CompiledKernel buildContentionKernel(Module &M, unsigned Spread,
+                                     unsigned Reps) {
+  Kernel *K = M.addKernel("atomic_contention");
+  Param *Out = K->addPointerParam("out", ScalarType::I32);
+  SharedArray *Slots = K->addSharedArray("slots", ScalarType::I32,
+                                         M.constI(32));
+  Expr *Tid = M.special(SpecialReg::ThreadIdxX);
+  Expr *Addr = M.binary(BinOp::Rem, Tid, M.constU(Spread), ScalarType::U32);
+
+  Local *R = K->addLocal("r", ScalarType::I32);
+  std::vector<Stmt *> Body = {
+      M.create<AtomicSharedStmt>(ReduceOp::Add, Slots, Addr, M.constI(1))};
+  K->getBody().push_back(M.create<ForStmt>(
+      R, M.constI(0), M.cmp(BinOp::LT, M.ref(R), M.constI((int)Reps)),
+      M.arith(BinOp::Add, M.ref(R), M.constI(1)), std::move(Body)));
+  K->getBody().push_back(M.create<BarrierStmt>());
+  std::vector<Stmt *> Then = {M.create<StoreGlobalStmt>(
+      Out, M.constI(0), M.create<LoadSharedExpr>(Slots, M.constI(0)))};
+  K->getBody().push_back(M.create<IfStmt>(
+      M.cmp(BinOp::EQ, Tid, M.constU(0)), std::move(Then),
+      std::vector<Stmt *>{}));
+  return compileKernel(*K);
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: shared-memory atomic contention across "
+              "architectures ===\n\n");
+  std::printf("warp cycles per atomic instruction (256 threads, 64 "
+              "updates each):\n\n");
+  std::printf("%-22s %12s %12s %12s %12s\n", "architecture", "spread=32",
+              "spread=8", "spread=2", "spread=1");
+
+  unsigned Count = 0;
+  const ArchDesc *Archs = getAllArchs(Count);
+  for (unsigned A = 0; A != Count; ++A) {
+    std::printf("%-22s", Archs[A].Name.c_str());
+    for (unsigned Spread : {32u, 8u, 2u, 1u}) {
+      Module M;
+      CompiledKernel CK = buildContentionKernel(M, Spread, 64);
+      Device Dev;
+      BufferId Out = Dev.alloc(ScalarType::I32, 1);
+      SimtMachine Machine(Dev, Archs[A]);
+      LaunchResult R =
+          Machine.launch(CK, {1, 256, 0}, {ArgValue::buffer(Out)});
+      double CyclesPerAtomic =
+          R.Stats.WarpCycles / (8.0 * 64.0); // 8 warps x 64 reps.
+      std::printf(" %12.1f", CyclesPerAtomic);
+    }
+    std::printf("   (%s)\n",
+                Archs[A].hasNativeSharedAtomics() ? "native unit"
+                                                  : "software lock loop");
+  }
+
+  std::printf("\n=== Effect on the variant ranking: (n) vs (p) at 16K "
+              "elements ===\n\n");
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  if (!TR) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  const synth::SearchSpace &Space = TR->getSearchSpace();
+  std::printf("%-22s %14s %14s %10s\n", "architecture", "(n) us", "(p) us",
+              "winner");
+  for (unsigned A = 0; A != Count; ++A) {
+    synth::VariantDescriptor N = *findByFigure6Label(Space, "n");
+    synth::VariantDescriptor P = *findByFigure6Label(Space, "p");
+    N = TR->tune(N, Archs[A], 16384);
+    P = TR->tune(P, Archs[A], 16384);
+    double TN = TR->timeVariant(N, Archs[A], 16384);
+    double TP = TR->timeVariant(P, Archs[A], 16384);
+    std::printf("%-22s %14.2f %14.2f %10s\n", Archs[A].Name.c_str(),
+                TN * 1e6, TP * 1e6, TN < TP ? "(n)" : "(p)");
+  }
+  std::printf("\npaper: Kepler's lock-loop contention cost makes all-"
+              "threads shared atomics ((n))\nuncompetitive there, while "
+              "Maxwell/Pascal's native units make (n) a winner\n"
+              "(Sections IV-C2..4).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+//===- bench_compile_time.cpp - Compiler micro-benchmarks ---------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark micro set over the compiler itself: lexing, parsing,
+// semantic analysis, the Fig. 5 transform pipeline, variant synthesis,
+// bytecode compilation, and CUDA emission. Useful for tracking compile-
+// time regressions; the paper's tuning loop synthesizes hundreds of
+// variants, so synthesis throughput matters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CudaEmitter.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "tangram/Tangram.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tangram;
+
+namespace {
+
+const std::string &canonicalSource() {
+  static const std::string Src = synth::getReductionSource();
+  return Src;
+}
+
+void BM_Lexer(benchmark::State &State) {
+  SourceManager SM("bench.tgr", canonicalSource());
+  for (auto _ : State) {
+    DiagnosticEngine Diags(SM);
+    lang::Lexer Lex(SM, Diags);
+    benchmark::DoNotOptimize(Lex.lexAll());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          canonicalSource().size());
+}
+BENCHMARK(BM_Lexer);
+
+void BM_Parser(benchmark::State &State) {
+  SourceManager SM("bench.tgr", canonicalSource());
+  for (auto _ : State) {
+    DiagnosticEngine Diags(SM);
+    lang::ASTContext Ctx;
+    lang::Parser P(SM, Ctx, Diags);
+    benchmark::DoNotOptimize(P.parseTranslationUnit());
+  }
+}
+BENCHMARK(BM_Parser);
+
+void BM_Sema(benchmark::State &State) {
+  SourceManager SM("bench.tgr", canonicalSource());
+  for (auto _ : State) {
+    DiagnosticEngine Diags(SM);
+    lang::ASTContext Ctx;
+    lang::Parser P(SM, Ctx, Diags);
+    lang::TranslationUnit TU = P.parseTranslationUnit();
+    sema::Sema S(Ctx, Diags);
+    benchmark::DoNotOptimize(S.analyze(TU));
+  }
+}
+BENCHMARK(BM_Sema);
+
+void BM_TransformPipeline(benchmark::State &State) {
+  SourceManager SM("bench.tgr", canonicalSource());
+  DiagnosticEngine Diags(SM);
+  lang::ASTContext Ctx;
+  lang::Parser P(SM, Ctx, Diags);
+  lang::TranslationUnit TU = P.parseTranslationUnit();
+  sema::Sema S(Ctx, Diags);
+  S.analyze(TU);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(transforms::runTransformPipeline(TU));
+}
+BENCHMARK(BM_TransformPipeline);
+
+void BM_SynthesizeVariant(benchmark::State &State) {
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  const synth::VariantDescriptor V =
+      *synth::findByFigure6Label(TR->getSearchSpace(), "p");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(TR->synthesize(V, Error));
+}
+BENCHMARK(BM_SynthesizeVariant);
+
+void BM_SynthesizeAllPruned(benchmark::State &State) {
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  for (auto _ : State)
+    for (const synth::VariantDescriptor &V : TR->getSearchSpace().Pruned)
+      benchmark::DoNotOptimize(TR->synthesize(V, Error));
+}
+BENCHMARK(BM_SynthesizeAllPruned);
+
+void BM_EmitCuda(benchmark::State &State) {
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  const synth::VariantDescriptor V =
+      *synth::findByFigure6Label(TR->getSearchSpace(), "p");
+  auto S = TR->synthesize(V, Error);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(codegen::emitCuda(*S->K));
+}
+BENCHMARK(BM_EmitCuda);
+
+void BM_SimulateReduction64K(benchmark::State &State) {
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  const synth::VariantDescriptor V =
+      *synth::findByFigure6Label(TR->getSearchSpace(), "p");
+  auto S = TR->synthesize(V, Error);
+  sim::Device Dev;
+  sim::BufferId In = Dev.alloc(ir::ScalarType::F32, 65536);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(runReduction(
+        *S, sim::getPascalP100(), Dev, In, 65536, sim::ExecMode::Sampled));
+  }
+}
+BENCHMARK(BM_SimulateReduction64K);
+
+} // namespace
+
+BENCHMARK_MAIN();

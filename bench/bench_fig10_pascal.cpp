@@ -1,0 +1,34 @@
+//===- bench_fig10_pascal.cpp - Fig. 10 reproduction -----------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 10: detailed per-size comparison of Tangram-synthesized code
+// against CUB, Kokkos, and OpenMP on the Pascal GPU, annotated with the
+// winning code version at every size (Fig. 6 labels).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace tangram;
+using namespace tangram::bench;
+
+int main() {
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  if (!TR) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  const sim::ArchDesc &Arch = sim::getPascalP100();
+  std::printf("=== Fig. 10: Tangram vs CUB / Kokkos / OpenMP on %s ===\n\n",
+              Arch.Name.c_str());
+  FigureHarness Harness(*TR);
+  std::vector<FigureRow> Rows = Harness.measureAll(Arch);
+  printDetailTable(Arch, Rows);
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench_fig7_best_speedup.cpp - Fig. 7 reproduction ---------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 7: speedup of the best-performing Tangram-synthesized version over
+// the hand-written CUB baseline on all three GPU generations, with the
+// OpenMP CPU version for reference. Also reports the paper's headline
+// aggregate ("up to 7.8x, 2x on average").
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace tangram;
+using namespace tangram::bench;
+
+int main() {
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  if (!TR) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  FigureHarness Harness(*TR);
+
+  std::printf("=== Fig. 7: best Tangram version vs CUB across "
+              "architectures ===\n\n");
+
+  unsigned Count = 0;
+  const sim::ArchDesc *Archs = sim::getAllArchs(Count);
+  std::vector<std::vector<FigureRow>> AllRows(Count);
+  for (unsigned A = 0; A != Count; ++A)
+    AllRows[A] = Harness.measureAll(Archs[A]);
+
+  const auto &Sizes = FigureHarness::getPaperSizes();
+  std::printf("%-11s", "N");
+  for (unsigned A = 0; A != Count; ++A)
+    std::printf(" | %-9.9s  (paper)", Archs[A].Name.c_str());
+  std::printf(" | %-7s (paper)\n", "OpenMP");
+  for (size_t I = 0; I != Sizes.size(); ++I) {
+    std::printf("%-11zu", Sizes[I]);
+    for (unsigned A = 0; A != Count; ++A)
+      std::printf(" |   %6.2f   %6.2f", AllRows[A][I].tangramSpeedup(),
+                  getPaperSeriesFor(Archs[A]).Tangram[I]);
+    // OpenMP series on the Pascal baseline, as in the paper's Fig. 7.
+    std::printf(" |  %6.2f  %6.2f\n", AllRows[2][I].ompSpeedup(),
+                getPaperPascal().OpenMP[I]);
+  }
+
+  // Headline aggregate over every architecture and size.
+  double MaxSpeedup = 0, Product = 1;
+  unsigned Samples = 0;
+  for (unsigned A = 0; A != Count; ++A)
+    for (const FigureRow &R : AllRows[A]) {
+      MaxSpeedup = std::max(MaxSpeedup, R.tangramSpeedup());
+      Product *= R.tangramSpeedup();
+      ++Samples;
+    }
+  double GeoMean = std::pow(Product, 1.0 / Samples);
+  std::printf("\nheadline: up to %.1fx, %.1fx geometric mean over CUB "
+              "(paper: up to 7.8x, 2x on average)\n",
+              MaxSpeedup, GeoMean);
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- autotune_reduction.cpp - The paper's tuning workflow ------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the Section IV-C tuning step: for a chosen architecture and
+// problem size, sweep the tunable parameters (block dimension, thread
+// coarsening) of every pruned code version, report the per-version optima,
+// and crown the overall winner — the data point a Fig. 8-10 curve is made
+// of.
+//
+// Usage: autotune_reduction [kepler|maxwell|pascal] [N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "tangram/Tangram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+using namespace tangram;
+using namespace tangram::synth;
+
+int main(int Argc, char **Argv) {
+  const sim::ArchDesc *Arch = &sim::getMaxwellGTX980();
+  if (Argc > 1) {
+    if (!std::strcmp(Argv[1], "kepler"))
+      Arch = &sim::getKeplerK40c();
+    else if (!std::strcmp(Argv[1], "pascal"))
+      Arch = &sim::getPascalP100();
+  }
+  size_t N = Argc > 2 ? std::strtoull(Argv[2], nullptr, 10) : (1 << 20);
+
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  if (!TR) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+
+  std::printf("tuning %zu-element float sum reduction on %s\n\n", N,
+              Arch->Name.c_str());
+  std::printf("%-5s %-20s %7s %8s %12s\n", "label", "version", "block",
+              "coarsen", "modeled us");
+
+  struct Entry {
+    VariantDescriptor Desc;
+    double Seconds;
+  };
+  std::vector<Entry> Results;
+  for (const VariantDescriptor &V : TR->getSearchSpace().Pruned) {
+    VariantDescriptor Tuned = TR->tune(V, *Arch, N);
+    Results.push_back({Tuned, TR->timeVariant(Tuned, *Arch, N)});
+  }
+  std::sort(Results.begin(), Results.end(),
+            [](const Entry &A, const Entry &B) {
+              return A.Seconds < B.Seconds;
+            });
+  for (const Entry &E : Results) {
+    std::string L = E.Desc.getFigure6Label();
+    std::printf("%-5s %-20s %7u %8u %12.2f\n",
+                L.empty() ? "" : ("(" + L + ")").c_str(),
+                E.Desc.getName().c_str(), E.Desc.BlockSize,
+                E.Desc.BlockDistributes ? E.Desc.Coarsen : 1,
+                E.Seconds * 1e6);
+  }
+  std::printf("\nwinner: %s%s at %.2f us\n",
+              Results.front().Desc.getName().c_str(),
+              Results.front().Desc.getFigure6Label().empty()
+                  ? ""
+                  : (" (" + Results.front().Desc.getFigure6Label() + ")")
+                        .c_str(),
+              Results.front().Seconds * 1e6);
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- codegen_explorer.cpp - Inspect synthesized CUDA ----------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Explorer for the code-variant space: pass a Fig. 6 label (a..p) or a
+// structural variant name to print the Tangram codelets involved, the
+// discovered transform metadata (Sections III-A/B/C), and the generated
+// CUDA. With no arguments, prints the catalog.
+//
+// Usage:  codegen_explorer [label|name]
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTPrinter.h"
+#include "tangram/Tangram.h"
+#include "transforms/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace tangram;
+using namespace tangram::synth;
+
+int main(int Argc, char **Argv) {
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  if (!TR) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  const SearchSpace &Space = TR->getSearchSpace();
+
+  if (Argc < 2) {
+    std::printf("usage: codegen_explorer <fig6-label|variant-name>\n\n");
+    std::printf("available versions (pruned set):\n");
+    for (const VariantDescriptor &V : Space.Pruned) {
+      std::string L = V.getFigure6Label();
+      std::printf("  %-4s %-20s %s\n",
+                  L.empty() ? "" : ("(" + L + ")").c_str(),
+                  V.getName().c_str(),
+                  getVariantCategoryName(V.getCategory()));
+    }
+    return 0;
+  }
+
+  const VariantDescriptor *Found = findByFigure6Label(Space, Argv[1]);
+  if (!Found) {
+    for (const VariantDescriptor &V : Space.Pruned)
+      if (V.getName() == Argv[1])
+        Found = &V;
+  }
+  if (!Found) {
+    std::fprintf(stderr, "unknown version '%s'\n", Argv[1]);
+    return 1;
+  }
+
+  std::printf("=== version %s%s — %s ===\n\n", Found->getName().c_str(),
+              Found->getFigure6Label().empty()
+                  ? ""
+                  : (" (" + Found->getFigure6Label() + ")").c_str(),
+              getVariantCategoryName(Found->getCategory()));
+
+  // Show the transform-pass findings for the cooperative codelet in play.
+  const char *Tag = nullptr;
+  switch (Found->Coop) {
+  case CoopKind::Tree:
+  case CoopKind::TreeShuffle:
+    Tag = tags::CoopTree;
+    break;
+  case CoopKind::SharedV1:
+    Tag = tags::SharedV1;
+    break;
+  case CoopKind::SharedV2:
+  case CoopKind::SharedV2Shuffle:
+    Tag = tags::SharedV2;
+    break;
+  case CoopKind::SerialThread0:
+    break;
+  }
+  if (Tag) {
+    lang::CodeletDecl *C = TR->getUnit().findByTag(Tag);
+    std::printf("--- source codelet (__tag(%s)) ---\n%s\n", Tag,
+                lang::printCodelet(C).c_str());
+    auto Infos = transforms::runTransformPipeline(TR->getUnit());
+    const auto &Info = Infos.at(C);
+    std::printf("--- pass findings ---\n");
+    std::printf("shared-atomic writes: %zu\n", Info.SharedAtomics.Writes.size());
+    for (const auto &S : Info.Shuffles)
+      std::printf("shuffle opportunity: loop over '%s', accumulator '%s', "
+                  "%s, array %s\n",
+                  S.Array->getName().c_str(),
+                  S.Accumulator->getName().c_str(),
+                  S.Direction == ir::ShuffleMode::Down ? "shfl_down"
+                                                       : "shfl_up",
+                  S.ElideArray ? "elided" : "kept");
+    std::printf("\n");
+  }
+
+  std::printf("--- generated CUDA ---\n%s\n",
+              TR->emitCudaFor(*Found, Error).c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- portability_report.cpp - The performance-portability story ------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's thesis in one table: the same high-level codelets, compiled
+// once, yield *different* winning code versions on each GPU generation,
+// tracking the evolution of atomic and shuffle hardware — no source
+// changes required. Prints the per-architecture winner across size
+// regimes, with the microarchitectural reason.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tangram/Tangram.h"
+
+#include <cstdio>
+
+using namespace tangram;
+
+int main() {
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  if (!TR) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+
+  const size_t Regimes[3] = {1024, 262144, 67108864};
+  const char *RegimeNames[3] = {"small (1K)", "medium (256K)",
+                                "large (64M)"};
+
+  std::printf("one spectrum, three architectures: the winning synthesized "
+              "version per regime\n\n");
+  std::printf("%-22s %-22s %-22s %-22s\n", "architecture",
+              RegimeNames[0], RegimeNames[1], RegimeNames[2]);
+
+  unsigned Count = 0;
+  const sim::ArchDesc *Archs = sim::getAllArchs(Count);
+  for (unsigned A = 0; A != Count; ++A) {
+    std::printf("%-22s", Archs[A].Name.c_str());
+    for (size_t R = 0; R != 3; ++R) {
+      TangramReduction::BestResult Best = TR->findBest(Archs[A], Regimes[R]);
+      std::string Cell = Best.Desc.getName();
+      if (!Best.Fig6Label.empty())
+        Cell = "(" + Best.Fig6Label + ") " + Cell;
+      std::printf(" %-21s", Cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nwhy the winners differ (Section II-A):\n");
+  for (unsigned A = 0; A != Count; ++A) {
+    const sim::ArchDesc &Arch = Archs[A];
+    const char *AtomicStory =
+        Arch.SharedAtomics == sim::SharedAtomicImpl::SoftwareLock
+            ? "shared atomics via software lock loop -> avoided under "
+              "contention"
+            : Arch.SharedAtomics == sim::SharedAtomicImpl::Native
+                  ? "native shared-memory atomic unit -> all-thread "
+                    "accumulators win"
+                  : "native shared atomics + block scope -> cheapest "
+                    "atomic combines";
+    std::printf("  %-16s %s\n", Arch.Name.c_str(), AtomicStory);
+  }
+  return 0;
+}

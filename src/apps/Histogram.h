@@ -1,0 +1,87 @@
+//===- Histogram.h - Histogram on the reduction substrate -------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Histogram — the paper's first motivating consumer of atomic
+/// instructions ([12], [13]; Sections I and III-B: "Atomic instructions
+/// on shared memory also allow developers to implement algorithms that
+/// require atomic updates on shared arrays (e.g., Histogram)").
+///
+/// Two strategies, mirroring the literature the paper cites:
+///  - GlobalAtomics: every thread atomically increments the global bin —
+///    one L2 atomic per element, heavy same-address pressure for skewed
+///    inputs;
+///  - SharedPrivatized: each block keeps a private copy of the bins in
+///    shared memory, updates it with shared-memory atomics, and merges it
+///    into the global bins once per block — the scheme whose cost on each
+///    GPU generation [13] models and Section II-A2 recounts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_APPS_HISTOGRAM_H
+#define TANGRAM_APPS_HISTOGRAM_H
+
+#include "gpusim/PerfModel.h"
+#include "gpusim/SimtMachine.h"
+#include "ir/Bytecode.h"
+#include "ir/KernelIR.h"
+
+#include <memory>
+#include <vector>
+
+namespace tangram::apps {
+
+enum class HistogramStrategy : unsigned char {
+  GlobalAtomics,
+  SharedPrivatized,
+};
+
+const char *getHistogramStrategyName(HistogramStrategy S);
+
+/// Result of one histogram run.
+struct HistogramResult {
+  bool Ok = false;
+  std::string Error;
+  std::vector<long long> Bins;
+  double Seconds = 0;
+  sim::LaunchResult Launch;
+};
+
+/// Builds and runs histogram kernels over 32-bit integer keys in
+/// [0, NumBins).
+class Histogram {
+public:
+  /// \p NumBins must fit in shared memory for the privatized strategy
+  /// (checked at run time).
+  Histogram(unsigned NumBins, HistogramStrategy Strategy,
+            unsigned BlockSize = 256, unsigned Coarsen = 16);
+
+  unsigned getNumBins() const { return NumBins; }
+  HistogramStrategy getStrategy() const { return Strategy; }
+  const ir::Kernel &getKernel() const { return *K; }
+
+  /// Bins the N keys of \p In (device buffer of I32 in [0, NumBins)).
+  HistogramResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
+                      sim::BufferId In, size_t N,
+                      sim::ExecMode Mode = sim::ExecMode::Functional) const;
+
+private:
+  unsigned NumBins;
+  HistogramStrategy Strategy;
+  unsigned BlockSize;
+  unsigned Coarsen;
+  std::unique_ptr<ir::Module> M;
+  const ir::Kernel *K = nullptr;
+  ir::CompiledKernel Compiled;
+};
+
+/// Host reference for tests.
+std::vector<long long> referenceHistogram(const std::vector<int> &Keys,
+                                          unsigned NumBins);
+
+} // namespace tangram::apps
+
+#endif // TANGRAM_APPS_HISTOGRAM_H

@@ -1,0 +1,83 @@
+//===- Scan.h - Prefix sum on the reduction substrate -----------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inclusive prefix sum (Scan [14]) — the paper's second motivating
+/// consumer of the reduction building block. The implementation uses the
+/// Kogge-Stone scheme the paper names in Section III-C, in two flavors:
+///
+///  - SharedKoggeStone: the classic shared-memory ladder;
+///  - ShuffleKoggeStone: the same ladder over registers with
+///    `__shfl_up` (ShuffleMode::Up) inside each warp, warp totals
+///    combined through a small shared array — the rewrite the Fig. 4
+///    pass targets, applied to scan.
+///
+/// Device-wide scans run in three phases: per-block scan + block sums,
+/// a recursive scan of the block sums, and a uniform add of the scanned
+/// sums.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_APPS_SCAN_H
+#define TANGRAM_APPS_SCAN_H
+
+#include "gpusim/PerfModel.h"
+#include "gpusim/SimtMachine.h"
+#include "ir/Bytecode.h"
+#include "ir/KernelIR.h"
+
+#include <memory>
+#include <vector>
+
+namespace tangram::apps {
+
+enum class ScanStrategy : unsigned char {
+  SharedKoggeStone,
+  ShuffleKoggeStone,
+};
+
+const char *getScanStrategyName(ScanStrategy S);
+
+struct ScanResult {
+  bool Ok = false;
+  std::string Error;
+  double Seconds = 0;
+  unsigned KernelLaunches = 0;
+};
+
+/// Builds and runs inclusive-scan kernels over 32-bit integers.
+class Scan {
+public:
+  explicit Scan(ScanStrategy Strategy, unsigned BlockSize = 256);
+
+  ScanStrategy getStrategy() const { return Strategy; }
+  const ir::Kernel &getScanKernel() const { return *ScanK; }
+
+  /// Scans \p In (N I32 elements) into \p Out (N elements), inclusive.
+  ScanResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
+                 sim::BufferId In, sim::BufferId Out, size_t N,
+                 sim::ExecMode Mode = sim::ExecMode::Functional) const;
+
+private:
+  ScanResult runLevel(sim::Device &Dev, const sim::ArchDesc &Arch,
+                      sim::BufferId In, sim::BufferId Out, size_t N,
+                      sim::ExecMode Mode, unsigned Depth) const;
+
+  ScanStrategy Strategy;
+  unsigned BlockSize;
+  std::unique_ptr<ir::Module> M;
+  const ir::Kernel *ScanK = nullptr;   ///< Per-block scan + block sums.
+  const ir::Kernel *AddK = nullptr;    ///< Uniform add of scanned sums.
+  ir::CompiledKernel ScanCompiled;
+  ir::CompiledKernel AddCompiled;
+};
+
+/// Host reference for tests.
+std::vector<long long> referenceInclusiveScan(const std::vector<int> &In);
+
+} // namespace tangram::apps
+
+#endif // TANGRAM_APPS_SCAN_H

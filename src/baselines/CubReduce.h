@@ -1,0 +1,64 @@
+//===- CubReduce.h - CUB 1.8.0-style hand-written reduction -----*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A faithful model of CUB's DeviceReduce::Sum as deployed in the paper's
+/// comparison: a two-pass, deterministic reduction with aggressive
+/// bandwidth tuning —
+///
+///  - pass 1: even-share tiles, 128-bit vectorized loads (float4), warp
+///    shuffle trees, per-block partial written to a workspace;
+///  - pass 2: one block reduces the partials;
+///  - host: the CUB API requires querying and allocating temporary device
+///    storage per call, which dominates small and medium sizes (the
+///    behaviour behind Fig. 7's small-array region).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_BASELINES_CUBREDUCE_H
+#define TANGRAM_BASELINES_CUBREDUCE_H
+
+#include "baselines/Framework.h"
+#include "ir/Bytecode.h"
+#include "ir/KernelIR.h"
+
+#include <memory>
+
+namespace tangram::baselines {
+
+class CubReduce : public ReductionFramework {
+public:
+  CubReduce();
+  ~CubReduce() override;
+
+  std::string getName() const override { return "CUB"; }
+
+  FrameworkResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
+                      sim::BufferId In, size_t N,
+                      sim::ExecMode Mode) override;
+
+  /// Host-side per-call overhead (temp-storage query + cudaMalloc/free),
+  /// microseconds. Dominates small sizes; amortized away at large sizes,
+  /// where measured DeviceReduce deployments reuse the temp allocation.
+  /// Exposed for the ablation benches.
+  static double getHostOverheadUs(const sim::ArchDesc &Arch, size_t N);
+
+  /// The pass-1 tile: threads per block and elements each thread loads.
+  static constexpr unsigned BlockSize = 256;
+  static constexpr unsigned VecWidth = 4;
+  static constexpr unsigned VecsPerThread = 4; ///< 16 elements per thread.
+
+private:
+  std::unique_ptr<ir::Module> M;
+  const ir::Kernel *Partial = nullptr;
+  const ir::Kernel *Final = nullptr;
+  ir::CompiledKernel PartialCompiled;
+  ir::CompiledKernel FinalCompiled;
+};
+
+} // namespace tangram::baselines
+
+#endif // TANGRAM_BASELINES_CUBREDUCE_H

@@ -1,0 +1,53 @@
+//===- Framework.h - Comparison framework interface -------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common interface for the paper's comparison points (Section IV-A):
+/// NVIDIA CUB 1.8.0, the Kokkos GPU backend, and OpenMP 4.0 on the host
+/// CPU. GPU baselines are hand-written kernel-IR programs executed on the
+/// same simulator as the Tangram-synthesized code; the CPU baseline runs
+/// functionally on real threads with timing from the POWER8 host model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_BASELINES_FRAMEWORK_H
+#define TANGRAM_BASELINES_FRAMEWORK_H
+
+#include "gpusim/Arch.h"
+#include "gpusim/Device.h"
+#include "gpusim/SimtMachine.h"
+
+#include <string>
+#include <vector>
+
+namespace tangram::baselines {
+
+/// Result of one framework reduction run.
+struct FrameworkResult {
+  bool Ok = false;
+  std::string Error;
+  double Value = 0;   ///< Reduction result (functional modes).
+  double Seconds = 0; ///< Modeled end-to-end time.
+};
+
+/// A reduction implementation under comparison.
+class ReductionFramework {
+public:
+  virtual ~ReductionFramework();
+
+  virtual std::string getName() const = 0;
+
+  /// Reduces the N-element buffer \p In on \p Dev. GPU frameworks honor
+  /// \p Mode for sampled large-size pricing; the CPU baseline reads the
+  /// buffer back in functional mode.
+  virtual FrameworkResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
+                              sim::BufferId In, size_t N,
+                              sim::ExecMode Mode) = 0;
+};
+
+} // namespace tangram::baselines
+
+#endif // TANGRAM_BASELINES_FRAMEWORK_H

@@ -1,0 +1,55 @@
+//===- KokkosReduce.h - Kokkos-style performance-portable reduce -*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model of Kokkos' `parallel_reduce` on the CUDA backend as the paper
+/// profiled it (Section IV-C2): multiple GPU kernels, with the
+/// time-dominant kernel *compute-bound* rather than memory-bound because
+/// memory accesses are staged through sister kernels. We reproduce that
+/// structure: an init kernel, a staged main reduction whose memory stream
+/// is priced at the architecture's staged-load efficiency, and a final
+/// combine — plus the dispatch/fence overhead of the Kokkos runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_BASELINES_KOKKOSREDUCE_H
+#define TANGRAM_BASELINES_KOKKOSREDUCE_H
+
+#include "baselines/Framework.h"
+#include "ir/Bytecode.h"
+#include "ir/KernelIR.h"
+
+#include <memory>
+
+namespace tangram::baselines {
+
+class KokkosReduce : public ReductionFramework {
+public:
+  KokkosReduce();
+  ~KokkosReduce() override;
+
+  std::string getName() const override { return "Kokkos"; }
+
+  FrameworkResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
+                      sim::BufferId In, size_t N,
+                      sim::ExecMode Mode) override;
+
+  /// Runtime dispatch + fence overhead per parallel_reduce, microseconds.
+  static double getDispatchOverheadUs(const sim::ArchDesc &Arch);
+
+  static constexpr unsigned BlockSize = 256;
+
+private:
+  std::unique_ptr<ir::Module> M;
+  const ir::Kernel *Main = nullptr;
+  const ir::Kernel *Final = nullptr;
+  ir::CompiledKernel MainCompiled;
+  ir::CompiledKernel FinalCompiled;
+};
+
+} // namespace tangram::baselines
+
+#endif // TANGRAM_BASELINES_KOKKOSREDUCE_H

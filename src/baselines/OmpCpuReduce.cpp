@@ -1,0 +1,61 @@
+//===- OmpCpuReduce.cpp - OpenMP-style CPU reduction ------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/OmpCpuReduce.h"
+
+#include <numeric>
+#include <thread>
+
+using namespace tangram;
+using namespace tangram::baselines;
+
+double Power8Model::seconds(size_t N) const {
+  double Bytes = static_cast<double>(N) * 4.0;
+  return ForkJoinUs * 1e-6 + Bytes / (EffectiveBandwidthGBs * 1e9);
+}
+
+OmpCpuReduce::OmpCpuReduce(unsigned NumWorkers) : NumWorkers(NumWorkers) {}
+
+double OmpCpuReduce::parallelReduce(const std::vector<float> &Data,
+                                    unsigned NumWorkers) {
+  // The shape an `omp parallel for reduction(+:sum)` lowers to: static
+  // chunking, per-thread partials, join-time combine.
+  if (Data.size() < 4096 || NumWorkers <= 1)
+    return std::accumulate(Data.begin(), Data.end(), 0.0);
+
+  std::vector<double> Partials(NumWorkers, 0.0);
+  std::vector<std::thread> Workers;
+  size_t Chunk = (Data.size() + NumWorkers - 1) / NumWorkers;
+  for (unsigned W = 0; W != NumWorkers; ++W) {
+    Workers.emplace_back([&, W] {
+      size_t Begin = W * Chunk;
+      size_t End = std::min(Data.size(), Begin + Chunk);
+      double Sum = 0;
+      for (size_t I = Begin; I < End; ++I)
+        Sum += Data[I];
+      Partials[W] = Sum;
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+  return std::accumulate(Partials.begin(), Partials.end(), 0.0);
+}
+
+FrameworkResult OmpCpuReduce::run(sim::Device &Dev, const sim::ArchDesc &,
+                                  sim::BufferId In, size_t N,
+                                  sim::ExecMode Mode) {
+  FrameworkResult Result;
+  // In sampled (pricing-only) mode skip the real work for huge inputs.
+  if (Mode == sim::ExecMode::Functional) {
+    std::vector<float> Host(N);
+    for (size_t I = 0; I != N; ++I)
+      Host[I] = static_cast<float>(Dev.readFloat(In, I));
+    Result.Value = parallelReduce(Host, NumWorkers);
+  }
+  Result.Seconds = Model.seconds(N);
+  Result.Ok = true;
+  return Result;
+}

@@ -1,0 +1,65 @@
+//===- OmpCpuReduce.h - OpenMP-style CPU reduction --------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's CPU comparison point: an OpenMP 4.0 `reduce` pragma on an
+/// IBM Minsky system (two dual-socket 8-core 3.5 GHz POWER8+ CPUs). The
+/// reduction itself runs for real on std::thread workers (fork/join with
+/// per-thread partials — exactly what an OpenMP reduction clause compiles
+/// to); the reported time comes from the POWER8 host model so the figures
+/// are machine-independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_BASELINES_OMPCPUREDUCE_H
+#define TANGRAM_BASELINES_OMPCPUREDUCE_H
+
+#include "baselines/Framework.h"
+
+namespace tangram::baselines {
+
+/// Timing model of the paper's POWER8 host.
+struct Power8Model {
+  unsigned Cores = 16;
+  double ClockGHz = 3.5;
+  /// Parallel-region fork/join plus reduction-combine overhead (paid on
+  /// every `omp parallel`, even for tiny inputs).
+  double ForkJoinUs = 50.0;
+  /// Effective aggregate reduction bandwidth (memory-bound streaming,
+  /// NUMA-interleaved).
+  double EffectiveBandwidthGBs = 20.0;
+
+  /// Modeled seconds to reduce \p N 32-bit elements.
+  double seconds(size_t N) const;
+};
+
+class OmpCpuReduce : public ReductionFramework {
+public:
+  explicit OmpCpuReduce(unsigned NumWorkers = 4);
+
+  std::string getName() const override { return "OpenMP"; }
+
+  /// `Seconds` comes from the POWER8 model; in functional mode `Value`
+  /// comes from a real threaded reduction over the buffer contents.
+  FrameworkResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
+                      sim::BufferId In, size_t N,
+                      sim::ExecMode Mode) override;
+
+  /// The functional parallel reduction (public: used directly by tests
+  /// and examples).
+  static double parallelReduce(const std::vector<float> &Data,
+                               unsigned NumWorkers);
+
+  const Power8Model &getModel() const { return Model; }
+
+private:
+  Power8Model Model;
+  unsigned NumWorkers;
+};
+
+} // namespace tangram::baselines
+
+#endif // TANGRAM_BASELINES_OMPCPUREDUCE_H

@@ -1,0 +1,478 @@
+//===- CudaEmitter.cpp - CUDA C source emission -----------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CudaEmitter.h"
+
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+using namespace tangram;
+using namespace tangram::codegen;
+using namespace tangram::ir;
+
+namespace {
+
+const char *binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Rem:
+    return "%";
+  case BinOp::LT:
+    return "<";
+  case BinOp::GT:
+    return ">";
+  case BinOp::LE:
+    return "<=";
+  case BinOp::GE:
+    return ">=";
+  case BinOp::EQ:
+    return "==";
+  case BinOp::NE:
+    return "!=";
+  case BinOp::LAnd:
+    return "&&";
+  case BinOp::LOr:
+    return "||";
+  case BinOp::Min:
+  case BinOp::Max:
+    tgr_unreachable("min/max print as calls");
+  }
+  tgr_unreachable("unknown binary op");
+}
+
+class Emitter {
+public:
+  Emitter(const Kernel &K, const CudaEmitOptions &Options)
+      : K(K), Options(Options) {}
+
+  /// Single-slot shared accumulators print in the paper's scalar form
+  /// (`__shared__ int partial;`, Listing 3 line 5).
+  static bool isScalarShared(const SharedArray *A) {
+    if (A->IsDynamic || !A->Extent)
+      return false;
+    const auto *C = dyn_cast<IntConstExpr>(A->Extent);
+    return C && C->getValue() == 1;
+  }
+
+  std::string run() {
+    emitSignature();
+    OS << " {\n";
+    Depth = 1;
+    emitSharedDecls();
+    for (const Stmt *S : K.getBody())
+      emitStmt(S);
+    OS << "}\n";
+    if (Options.EmitHostWrapper)
+      emitHostWrapper();
+    return OS.str();
+  }
+
+private:
+  void indent() {
+    for (unsigned I = 0; I != Depth; ++I)
+      OS << "  ";
+  }
+
+  void emitSignature() {
+    OS << "__global__\nvoid " << K.getName() << "(";
+    bool First = true;
+    for (const auto &P : K.getParams()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << getScalarTypeName(P->Elem) << (P->IsPointer ? " *" : " ")
+         << P->Name;
+    }
+    OS << ")";
+  }
+
+  /// True when an extent expression is launch-dependent (references
+  /// blockDim/gridDim), requiring the `extern __shared__` form the paper's
+  /// Listing 3 uses for dynamically-sized arrays.
+  static bool isLaunchDependent(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::Special: {
+      SpecialReg R = cast<SpecialExpr>(E)->getReg();
+      return R == SpecialReg::BlockDimX || R == SpecialReg::GridDimX;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryOpExpr>(E);
+      return isLaunchDependent(B->getLHS()) || isLaunchDependent(B->getRHS());
+    }
+    case Expr::Kind::Unary:
+      return isLaunchDependent(cast<UnaryOpExpr>(E)->getSub());
+    default:
+      return false;
+    }
+  }
+
+  void emitSharedDecls() {
+    for (const auto &A : K.getSharedArrays()) {
+      indent();
+      bool Dynamic = A->IsDynamic || (A->Extent && isLaunchDependent(A->Extent));
+      if (Dynamic) {
+        OS << "extern __shared__ " << getScalarTypeName(A->Elem) << " "
+           << A->Name << "[];\n";
+        continue;
+      }
+      OS << "__shared__ " << getScalarTypeName(A->Elem) << " " << A->Name;
+      if (A->Extent && !isScalarShared(A.get())) {
+        OS << "[";
+        emitExpr(A->Extent);
+        OS << "]";
+      }
+      OS << ";\n";
+    }
+  }
+
+  void emitExpr(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntConst: {
+      const auto *I = cast<IntConstExpr>(E);
+      OS << I->getValue();
+      if (I->getType() == ScalarType::U32 && I->getValue() >= 0)
+        OS << "u";
+      return;
+    }
+    case Expr::Kind::FloatConst: {
+      std::string Text = strformat("%g", cast<FloatConstExpr>(E)->getValue());
+      if (Text.find('.') == std::string::npos &&
+          Text.find('e') == std::string::npos)
+        Text += ".0";
+      OS << Text << "f";
+      return;
+    }
+    case Expr::Kind::LocalRef:
+      OS << cast<LocalRefExpr>(E)->getLocal()->Name;
+      return;
+    case Expr::Kind::ParamRef:
+      OS << cast<ParamRefExpr>(E)->getParam()->Name;
+      return;
+    case Expr::Kind::Special:
+      switch (cast<SpecialExpr>(E)->getReg()) {
+      case SpecialReg::ThreadIdxX:
+        OS << "threadIdx.x";
+        return;
+      case SpecialReg::BlockIdxX:
+        OS << "blockIdx.x";
+        return;
+      case SpecialReg::BlockDimX:
+        OS << "blockDim.x";
+        return;
+      case SpecialReg::GridDimX:
+        OS << "gridDim.x";
+        return;
+      case SpecialReg::WarpSize:
+        OS << "warpSize";
+        return;
+      }
+      return;
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryOpExpr>(E);
+      if (B->getOp() == BinOp::Min || B->getOp() == BinOp::Max) {
+        OS << (B->getOp() == BinOp::Min ? "min(" : "max(");
+        emitExpr(B->getLHS());
+        OS << ", ";
+        emitExpr(B->getRHS());
+        OS << ")";
+        return;
+      }
+      OS << "(";
+      emitExpr(B->getLHS());
+      OS << " " << binOpSpelling(B->getOp()) << " ";
+      emitExpr(B->getRHS());
+      OS << ")";
+      return;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryOpExpr>(E);
+      OS << (U->getOp() == UnOp::Neg ? "-" : "!");
+      OS << "(";
+      emitExpr(U->getSub());
+      OS << ")";
+      return;
+    }
+    case Expr::Kind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      OS << "(";
+      emitExpr(S->getCond());
+      OS << " ? ";
+      emitExpr(S->getTrueVal());
+      OS << " : ";
+      emitExpr(S->getFalseVal());
+      OS << ")";
+      return;
+    }
+    case Expr::Kind::LoadGlobal: {
+      const auto *L = cast<LoadGlobalExpr>(E);
+      if (L->getVectorWidth() > 1) {
+        // Vectorized loads print as the helper the bandwidth-tuned
+        // baselines use.
+        OS << "load_vec" << L->getVectorWidth() << "(" << L->getParam()->Name
+           << ", ";
+        emitExpr(L->getIndex());
+        OS << ")";
+        return;
+      }
+      OS << L->getParam()->Name << "[";
+      emitExpr(L->getIndex());
+      OS << "]";
+      return;
+    }
+    case Expr::Kind::LoadShared: {
+      const auto *L = cast<LoadSharedExpr>(E);
+      OS << L->getArray()->Name;
+      if (!isScalarShared(L->getArray())) {
+        OS << "[";
+        emitExpr(L->getIndex());
+        OS << "]";
+      }
+      return;
+    }
+    case Expr::Kind::Shuffle: {
+      const auto *S = cast<ShuffleExpr>(E);
+      const char *Name = nullptr;
+      switch (S->getMode()) {
+      case ShuffleMode::Down:
+        Name = Options.SyncShuffles ? "__shfl_down_sync" : "__shfl_down";
+        break;
+      case ShuffleMode::Up:
+        Name = Options.SyncShuffles ? "__shfl_up_sync" : "__shfl_up";
+        break;
+      case ShuffleMode::Xor:
+        Name = Options.SyncShuffles ? "__shfl_xor_sync" : "__shfl_xor";
+        break;
+      case ShuffleMode::Idx:
+        Name = Options.SyncShuffles ? "__shfl_sync" : "__shfl";
+        break;
+      }
+      OS << Name << "(";
+      if (Options.SyncShuffles)
+        OS << "0xffffffff, ";
+      emitExpr(S->getValue());
+      OS << ", ";
+      emitExpr(S->getOffset());
+      OS << ", " << S->getWidth() << ")";
+      return;
+    }
+    case Expr::Kind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      OS << "(" << getScalarTypeName(C->getType()) << ")(";
+      emitExpr(C->getSub());
+      OS << ")";
+      return;
+    }
+    }
+    tgr_unreachable("unknown expression kind");
+  }
+
+  void emitAtomicCall(ReduceOp Op, AtomicScope Scope, const std::string &Dest,
+                      const Expr *Value) {
+    OS << "atomic" << getReduceOpName(Op);
+    if (Scope == AtomicScope::Block)
+      OS << "_block";
+    else if (Scope == AtomicScope::System)
+      OS << "_system";
+    OS << "(&" << Dest << ", ";
+    emitExpr(Value);
+    OS << ");\n";
+  }
+
+  std::string indexedName(const std::string &Base, const Expr *Index) {
+    std::ostringstream Saved;
+    Saved.swap(OS);
+    emitExpr(Index);
+    std::string IndexText = OS.str();
+    Saved.swap(OS);
+    return Base + "[" + IndexText + "]";
+  }
+
+  void emitStmt(const Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::DeclLocal: {
+      const auto *D = cast<DeclLocalStmt>(S);
+      indent();
+      OS << getScalarTypeName(D->getLocal()->Ty) << " "
+         << D->getLocal()->Name;
+      if (D->getInit()) {
+        OS << " = ";
+        emitExpr(D->getInit());
+      }
+      OS << ";\n";
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      indent();
+      OS << A->getLocal()->Name << " = ";
+      emitExpr(A->getValue());
+      OS << ";\n";
+      return;
+    }
+    case Stmt::Kind::StoreGlobal: {
+      const auto *St = cast<StoreGlobalStmt>(S);
+      indent();
+      OS << St->getParam()->Name << "[";
+      emitExpr(St->getIndex());
+      OS << "] = ";
+      emitExpr(St->getValue());
+      OS << ";\n";
+      return;
+    }
+    case Stmt::Kind::StoreShared: {
+      const auto *St = cast<StoreSharedStmt>(S);
+      indent();
+      OS << St->getArray()->Name;
+      if (!isScalarShared(St->getArray())) {
+        OS << "[";
+        emitExpr(St->getIndex());
+        OS << "]";
+      }
+      OS << " = ";
+      emitExpr(St->getValue());
+      OS << ";\n";
+      return;
+    }
+    case Stmt::Kind::AtomicGlobal: {
+      const auto *A = cast<AtomicGlobalStmt>(S);
+      indent();
+      emitAtomicCall(A->getOp(), A->getScope(),
+                     indexedName(A->getParam()->Name, A->getIndex()),
+                     A->getValue());
+      return;
+    }
+    case Stmt::Kind::AtomicShared: {
+      const auto *A = cast<AtomicSharedStmt>(S);
+      indent();
+      emitAtomicCall(A->getOp(), AtomicScope::Device,
+                     isScalarShared(A->getArray())
+                         ? A->getArray()->Name
+                         : indexedName(A->getArray()->Name, A->getIndex()),
+                     A->getValue());
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      indent();
+      OS << "if (";
+      emitExpr(I->getCond());
+      OS << ") {\n";
+      ++Depth;
+      for (const Stmt *Child : I->getThen())
+        emitStmt(Child);
+      --Depth;
+      if (!I->getElse().empty()) {
+        indent();
+        OS << "} else {\n";
+        ++Depth;
+        for (const Stmt *Child : I->getElse())
+          emitStmt(Child);
+        --Depth;
+      }
+      indent();
+      OS << "}\n";
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      indent();
+      OS << "for (" << getScalarTypeName(F->getIndVar()->Ty) << " "
+         << F->getIndVar()->Name << " = ";
+      emitExpr(F->getInit());
+      OS << "; ";
+      emitExpr(F->getCond());
+      OS << "; " << F->getIndVar()->Name << " = ";
+      emitExpr(F->getStep());
+      OS << ") {\n";
+      ++Depth;
+      for (const Stmt *Child : F->getBody())
+        emitStmt(Child);
+      --Depth;
+      indent();
+      OS << "}\n";
+      return;
+    }
+    case Stmt::Kind::Barrier:
+      indent();
+      OS << "__syncthreads();\n";
+      return;
+    }
+    tgr_unreachable("unknown statement kind");
+  }
+
+  void emitHostWrapper() {
+    // The Reduce_Grid shape of Listings 1/2: allocate the accumulator,
+    // launch, return.
+    const auto &Params = K.getParams();
+    OS << "\n";
+    OS << getScalarTypeName(Params[0]->Elem) << " " << K.getName()
+       << "_host(";
+    bool First = true;
+    for (const auto &P : Params) {
+      if (P->Index == 0)
+        continue; // The Return accumulator is allocated here.
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << getScalarTypeName(P->Elem) << (P->IsPointer ? " *" : " ")
+         << P->Name;
+    }
+    OS << ") {\n";
+    OS << "  " << getScalarTypeName(Params[0]->Elem) << " *"
+       << Params[0]->Name << ";\n";
+    OS << "  cudaMalloc(&" << Params[0]->Name << ", sizeof("
+       << getScalarTypeName(Params[0]->Elem) << "));\n";
+    OS << "  cudaMemset(" << Params[0]->Name << ", 0, sizeof("
+       << getScalarTypeName(Params[0]->Elem) << "));\n";
+    OS << "  " << K.getName() << "<<<" << Options.GridExpr << ", "
+       << Options.BlockExpr << ", " << Options.BlockExpr << " * sizeof("
+       << getScalarTypeName(Params[0]->Elem) << ")>>>(";
+    First = true;
+    for (const auto &P : Params) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << P->Name;
+    }
+    OS << ");\n";
+    OS << "  " << getScalarTypeName(Params[0]->Elem)
+       << " result;\n  cudaMemcpy(&result, " << Params[0]->Name
+       << ", sizeof(result), cudaMemcpyDeviceToHost);\n";
+    OS << "  return result;\n}\n";
+  }
+
+  const Kernel &K;
+  const CudaEmitOptions &Options;
+  std::ostringstream OS;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+std::string tangram::codegen::emitCuda(const Kernel &K,
+                                       const CudaEmitOptions &Options) {
+  return Emitter(K, Options).run();
+}
+
+std::string tangram::codegen::emitCuda(const Module &M,
+                                       const CudaEmitOptions &Options) {
+  std::string Out;
+  for (const auto &K : M.getKernels()) {
+    if (!Out.empty())
+      Out += "\n";
+    Out += emitCuda(*K, Options);
+  }
+  return Out;
+}

@@ -1,0 +1,118 @@
+//===- Arch.h - GPU architecture descriptors --------------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microarchitecture descriptors for the three GPU generations the paper
+/// evaluates (Section IV-A): Kepler K40c, Maxwell GTX980, Pascal P100.
+/// The fields capture exactly the mechanisms the paper attributes the
+/// per-architecture performance differences to:
+///
+///  - shared-memory atomic implementation: Kepler's software
+///    lock/update/unlock loop vs. Maxwell's native unit vs. Pascal's native
+///    unit with scoped atomics (Section II-A2);
+///  - warp shuffle support (Kepler onward, Section II-A1);
+///  - L2-buffered global atomics;
+///  - memory system parameters that reward vectorized loads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_GPUSIM_ARCH_H
+#define TANGRAM_GPUSIM_ARCH_H
+
+#include <string>
+
+namespace tangram::sim {
+
+enum class ArchGeneration : unsigned char { Kepler, Maxwell, Pascal };
+
+/// How the hardware implements atomic instructions on shared memory.
+enum class SharedAtomicImpl : unsigned char {
+  SoftwareLock, ///< Kepler: lock-update-unlock loop; expensive under
+                ///< contention and branch-divergence heavy.
+  Native,       ///< Maxwell: dedicated shared-memory atomic unit.
+  NativeScoped, ///< Pascal: native unit plus block/device/system scopes.
+};
+
+/// One GPU model. All per-operation costs are in SM cycles for a full warp
+/// executing the instruction once (throughput view).
+struct ArchDesc {
+  std::string Name;
+  ArchGeneration Gen = ArchGeneration::Kepler;
+
+  // Chip geometry.
+  unsigned NumSMs = 0;
+  double ClockGHz = 1.0;
+  unsigned WarpSize = 32;
+  unsigned WarpSchedulersPerSM = 4;
+  unsigned MaxThreadsPerSM = 2048;
+  unsigned MaxBlocksPerSM = 16;
+  unsigned MaxThreadsPerBlock = 1024;
+  unsigned SharedMemPerSMBytes = 48 * 1024;
+  unsigned SharedMemPerBlockBytes = 48 * 1024;
+  unsigned RegistersPerSM = 65536;
+
+  // Memory system.
+  double DramBandwidthGBs = 200.0;
+  /// Fraction of peak DRAM bandwidth achieved by 32-bit per-thread loads.
+  double ScalarLoadEfficiency = 0.70;
+  /// Fraction achieved by 128-bit vectorized loads (CUB's large-N path).
+  double VectorLoadEfficiency = 0.95;
+  /// Fraction achieved by the staged, compute-bound scheme the paper's
+  /// profiling attributes to Kokkos at very large N.
+  double StagedLoadEfficiency = 1.0;
+
+  // Instruction costs (cycles per warp-instruction).
+  double AluCost = 1.0;
+  double SharedLdStCost = 4.0;
+  double GlobalLdStCost = 8.0;
+  double ShuffleCost = 2.0;
+  double BarrierCost = 8.0;
+
+  // Atomic instructions (Section II-A2).
+  SharedAtomicImpl SharedAtomics = SharedAtomicImpl::SoftwareLock;
+  /// Uncontended shared atomic, per warp-instruction.
+  double SharedAtomicBaseCost = 6.0;
+  /// Extra cycles per additional lane contending for the same shared
+  /// address (serialization). Dominant on Kepler's lock loop.
+  double SharedAtomicConflictCost = 4.0;
+  /// Extra divergence penalty per contended shared atomic on the software
+  /// lock implementation (the lock loop branches; Section IV-C2).
+  double SharedAtomicLockDivergence = 0.0;
+  /// Uncontended global (L2) atomic, per warp-instruction.
+  double GlobalAtomicBaseCost = 12.0;
+  /// Extra cycles per additional lane contending for the same global
+  /// address within a warp.
+  double GlobalAtomicConflictCost = 8.0;
+  /// Device-wide serialization: minimum nanoseconds between atomic updates
+  /// of the *same* global address from different warps (L2 unit occupancy).
+  double GlobalAtomicSameAddrNs = 3.0;
+  /// Discount factor for block-scoped atomics (Pascal only; 1.0 = none).
+  double BlockScopeAtomicFactor = 1.0;
+
+  // Host-visible overheads.
+  double KernelLaunchOverheadUs = 5.0;
+
+  bool hasNativeSharedAtomics() const {
+    return SharedAtomics != SharedAtomicImpl::SoftwareLock;
+  }
+  bool hasScopedAtomics() const {
+    return SharedAtomics == SharedAtomicImpl::NativeScoped;
+  }
+};
+
+/// NVIDIA Tesla K40c (Kepler GK110B).
+const ArchDesc &getKeplerK40c();
+/// NVIDIA GeForce GTX 980 (Maxwell GM204).
+const ArchDesc &getMaxwellGTX980();
+/// NVIDIA Tesla P100 (Pascal GP100).
+const ArchDesc &getPascalP100();
+
+/// All three evaluation architectures in paper order.
+const ArchDesc *getAllArchs(unsigned &Count);
+
+} // namespace tangram::sim
+
+#endif // TANGRAM_GPUSIM_ARCH_H

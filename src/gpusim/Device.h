@@ -1,0 +1,159 @@
+//===- Device.h - Simulated device memory -----------------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global-memory buffers of the simulated GPU. Cells are stored untyped
+/// (integer and floating views); the element type recorded at allocation
+/// selects the view, mirroring how kernels interpret raw device pointers.
+///
+/// Buffers come in two flavors:
+///  - dense: backed by host memory (the default);
+///  - virtual: read-only pattern-generated contents for the paper's
+///    multi-hundred-million-element benchmark sizes, where materializing
+///    the array would need gigabytes. Virtual buffers have an analytic
+///    reduction so benchmark results remain checkable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_GPUSIM_DEVICE_H
+#define TANGRAM_GPUSIM_DEVICE_H
+
+#include "ir/KernelIR.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace tangram::sim {
+
+/// One 32-bit device memory cell / register value. The integer field holds
+/// I32/U32 data (stored widened to 64 bits, wrapped on operation); the
+/// floating field holds F32 data.
+struct Cell {
+  long long I = 0;
+  double F = 0.0;
+};
+
+using BufferId = unsigned;
+
+/// Pattern for virtual buffers: value(i) = Base + Scale * (i % Modulus).
+struct VirtualPattern {
+  double Base = 0.0;
+  double Scale = 1.0;
+  uint64_t Modulus = 97;
+
+  Cell at(uint64_t I) const {
+    Cell C;
+    double V = Base + Scale * static_cast<double>(I % Modulus);
+    C.F = static_cast<float>(V);
+    C.I = static_cast<long long>(V);
+    return C;
+  }
+
+  /// Analytic float32 sum of the first \p N values (reference for the
+  /// benchmark harness; exact in double for the patterns used).
+  double sumFirst(uint64_t N) const {
+    uint64_t Full = N / Modulus, Rem = N % Modulus;
+    double ModSum = static_cast<double>(Modulus - 1) * Modulus / 2.0;
+    double RemSum = static_cast<double>(Rem - 1) * Rem / 2.0;
+    return Base * static_cast<double>(N) +
+           Scale * (static_cast<double>(Full) * ModSum + RemSum);
+  }
+};
+
+/// A device-resident linear buffer (dense or virtual).
+class Buffer {
+public:
+  Buffer(ir::ScalarType Elem, size_t Count)
+      : Elem(Elem), Count(Count), Cells(Count) {}
+  Buffer(ir::ScalarType Elem, size_t Count, const VirtualPattern &Pattern)
+      : Elem(Elem), Count(Count), Virtual(true), Pattern(Pattern) {}
+
+  ir::ScalarType getElemType() const { return Elem; }
+  size_t size() const { return Count; }
+  bool isVirtual() const { return Virtual; }
+
+  Cell read(size_t I) const {
+    assert(I < Count && "device buffer read out of bounds");
+    return Virtual ? Pattern.at(I) : Cells[I];
+  }
+
+  /// Writable cell access; virtual buffers are read-only (the SIMT
+  /// machine reports writes to them as launch errors).
+  Cell *writable(size_t I) {
+    assert(I < Count && "device buffer write out of bounds");
+    return Virtual ? nullptr : &Cells[I];
+  }
+
+  const VirtualPattern &getPattern() const { return Pattern; }
+
+private:
+  ir::ScalarType Elem;
+  size_t Count;
+  bool Virtual = false;
+  VirtualPattern Pattern;
+  std::vector<Cell> Cells;
+};
+
+/// Owns all buffers of one simulated device.
+class Device {
+public:
+  BufferId alloc(ir::ScalarType Elem, size_t Count) {
+    Buffers.emplace_back(Elem, Count);
+    return static_cast<BufferId>(Buffers.size() - 1);
+  }
+
+  /// Allocates a read-only pattern-generated buffer (no host memory).
+  BufferId allocVirtual(ir::ScalarType Elem, size_t Count,
+                        const VirtualPattern &Pattern) {
+    Buffers.emplace_back(Elem, Count, Pattern);
+    return static_cast<BufferId>(Buffers.size() - 1);
+  }
+
+  Buffer &get(BufferId Id) {
+    assert(Id < Buffers.size() && "invalid buffer id");
+    return Buffers[Id];
+  }
+  const Buffer &get(BufferId Id) const {
+    assert(Id < Buffers.size() && "invalid buffer id");
+    return Buffers[Id];
+  }
+
+  /// Uploads 32-bit floats.
+  void writeFloats(BufferId Id, const std::vector<float> &Data) {
+    Buffer &B = get(Id);
+    assert(Data.size() <= B.size() && "upload larger than buffer");
+    for (size_t I = 0; I != Data.size(); ++I)
+      if (Cell *C = B.writable(I))
+        C->F = Data[I];
+  }
+
+  /// Uploads 32-bit integers.
+  void writeInts(BufferId Id, const std::vector<int> &Data) {
+    Buffer &B = get(Id);
+    assert(Data.size() <= B.size() && "upload larger than buffer");
+    for (size_t I = 0; I != Data.size(); ++I)
+      if (Cell *C = B.writable(I))
+        C->I = Data[I];
+  }
+
+  double readFloat(BufferId Id, size_t Index) const {
+    return get(Id).read(Index).F;
+  }
+  long long readInt(BufferId Id, size_t Index) const {
+    return get(Id).read(Index).I;
+  }
+
+  /// Releases every buffer (between benchmark iterations).
+  void reset() { Buffers.clear(); }
+
+private:
+  std::vector<Buffer> Buffers;
+};
+
+} // namespace tangram::sim
+
+#endif // TANGRAM_GPUSIM_DEVICE_H

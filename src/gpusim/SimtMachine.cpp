@@ -1,0 +1,886 @@
+//===- SimtMachine.cpp - SIMT bytecode execution engine --------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/SimtMachine.h"
+
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+using namespace tangram;
+using namespace tangram::ir;
+using namespace tangram::sim;
+
+void ExecStats::scale(double Factor) {
+  WarpCycles *= Factor;
+  auto S = [Factor](uint64_t &V) {
+    V = static_cast<uint64_t>(static_cast<double>(V) * Factor + 0.5);
+  };
+  S(LaneInstructions);
+  S(WarpInstructions);
+  S(GlobalLoadBytesScalar);
+  S(GlobalLoadBytesVector);
+  S(GlobalStoreBytes);
+  S(GlobalTransactions);
+  S(UncoalescedExtraBytes);
+  S(SharedAtomicOps);
+  S(SharedAtomicConflicts);
+  S(GlobalAtomicOps);
+  S(GlobalAtomicHotOps);
+  S(Barriers);
+  S(DivergentBranches);
+  S(SharedBytes);
+}
+
+void ExecStats::accumulate(const ExecStats &Other) {
+  WarpCycles += Other.WarpCycles;
+  LaneInstructions += Other.LaneInstructions;
+  WarpInstructions += Other.WarpInstructions;
+  GlobalLoadBytesScalar += Other.GlobalLoadBytesScalar;
+  GlobalLoadBytesVector += Other.GlobalLoadBytesVector;
+  GlobalStoreBytes += Other.GlobalStoreBytes;
+  GlobalTransactions += Other.GlobalTransactions;
+  UncoalescedExtraBytes += Other.UncoalescedExtraBytes;
+  SharedAtomicOps += Other.SharedAtomicOps;
+  SharedAtomicConflicts += Other.SharedAtomicConflicts;
+  GlobalAtomicOps += Other.GlobalAtomicOps;
+  GlobalAtomicHotOps += Other.GlobalAtomicHotOps;
+  Barriers += Other.Barriers;
+  DivergentBranches += Other.DivergentBranches;
+  SharedBytes += Other.SharedBytes;
+}
+
+long long tangram::sim::evalUniformExpr(const Expr *E,
+                                        const CompiledKernel &Kernel,
+                                        const std::vector<ArgValue> &Args,
+                                        const LaunchConfig &Config) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntConst:
+    return cast<IntConstExpr>(E)->getValue();
+  case Expr::Kind::ParamRef: {
+    const Param *P = cast<ParamRefExpr>(E)->getParam();
+    return Args.at(P->Index).Scalar.I;
+  }
+  case Expr::Kind::Special:
+    switch (cast<SpecialExpr>(E)->getReg()) {
+    case SpecialReg::BlockDimX:
+      return Config.BlockDim;
+    case SpecialReg::GridDimX:
+      return Config.GridDim;
+    case SpecialReg::WarpSize:
+      return 32;
+    default:
+      tgr_unreachable("thread-dependent special in uniform expression");
+    }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryOpExpr>(E);
+    long long L = evalUniformExpr(B->getLHS(), Kernel, Args, Config);
+    long long R = evalUniformExpr(B->getRHS(), Kernel, Args, Config);
+    switch (B->getOp()) {
+    case BinOp::Add:
+      return L + R;
+    case BinOp::Sub:
+      return L - R;
+    case BinOp::Mul:
+      return L * R;
+    case BinOp::Div:
+      return R ? L / R : 0;
+    case BinOp::Rem:
+      return R ? L % R : 0;
+    case BinOp::Min:
+      return std::min(L, R);
+    case BinOp::Max:
+      return std::max(L, R);
+    default:
+      tgr_unreachable("unsupported operator in uniform expression");
+    }
+  }
+  default:
+    tgr_unreachable("unsupported node in uniform expression");
+  }
+}
+
+namespace {
+
+constexpr unsigned WarpLanes = 32;
+
+long long wrapInt(ScalarType Ty, long long V) {
+  if (Ty == ScalarType::U32)
+    return static_cast<long long>(static_cast<uint32_t>(V));
+  return static_cast<long long>(static_cast<int32_t>(V));
+}
+
+struct Frame {
+  uint32_t Saved = 0;
+  uint32_t Else = 0;
+};
+
+struct Warp {
+  uint32_t PC = 0;
+  uint32_t Active = 0;
+  unsigned TidBase = 0; ///< threadIdx.x of lane 0.
+  std::vector<Frame> Stack;
+  std::vector<Cell> Regs; ///< Register-major: Regs[reg * 32 + lane].
+  bool Done = false;
+  bool AtBarrier = false;
+};
+
+/// Executes one block.
+class BlockExecutor {
+public:
+  BlockExecutor(Device &Dev, const ArchDesc &Arch,
+                const CompiledKernel &Kernel, const LaunchConfig &Config,
+                const std::vector<ArgValue> &Args, unsigned BlockIdx,
+                ExecStats &Stats, std::vector<std::string> &Errors)
+      : Dev(Dev), Arch(Arch), Kernel(Kernel), Config(Config), Args(Args),
+        BlockIdx(BlockIdx), Stats(Stats), Errors(Errors) {}
+
+  void run() {
+    initShared();
+    initWarps();
+    // Run all runnable warps to the next barrier (or exit); then release
+    // the barrier and repeat. Barriers are block-uniform (verified IR), so
+    // every runnable warp reaches the same barrier in each pass.
+    while (true) {
+      bool AnyRunnable = false;
+      for (Warp &W : Warps) {
+        if (W.Done || W.AtBarrier)
+          continue;
+        AnyRunnable = true;
+        resume(W);
+      }
+      if (!AnyRunnable) {
+        bool AnyWaiting = false;
+        for (Warp &W : Warps)
+          if (!W.Done && W.AtBarrier) {
+            W.AtBarrier = false;
+            AnyWaiting = true;
+          }
+        if (!AnyWaiting)
+          return; // All warps exited.
+      }
+    }
+  }
+
+private:
+  void error(const std::string &Msg) {
+    if (Errors.size() < 8)
+      Errors.push_back("kernel '" + Kernel.Name + "' block " +
+                       strformat("%u", BlockIdx) + ": " + Msg);
+  }
+
+  void initShared() {
+    SharedMem.resize(Kernel.SharedArrays.size());
+    for (size_t I = 0; I != Kernel.SharedArrays.size(); ++I) {
+      const SharedArray *A = Kernel.SharedArrays[I];
+      size_t Extent;
+      if (A->IsDynamic)
+        Extent = Config.DynSharedElems;
+      else if (A->Extent)
+        Extent = static_cast<size_t>(
+            std::max<long long>(0, evalUniformExpr(A->Extent, Kernel, Args,
+                                                   Config)));
+      else
+        Extent = 1;
+      SharedMem[I].assign(Extent, Cell());
+      Stats.SharedBytes += Extent * 4;
+    }
+  }
+
+  void initWarps() {
+    unsigned NumWarps = (Config.BlockDim + WarpLanes - 1) / WarpLanes;
+    Warps.resize(NumWarps);
+    for (unsigned W = 0; W != NumWarps; ++W) {
+      Warp &Wp = Warps[W];
+      Wp.TidBase = W * WarpLanes;
+      unsigned Remaining = Config.BlockDim - Wp.TidBase;
+      Wp.Active = Remaining >= WarpLanes
+                      ? 0xffffffffu
+                      : ((1u << Remaining) - 1u);
+      Wp.Regs.assign(static_cast<size_t>(Kernel.NumRegisters) * WarpLanes,
+                     Cell());
+      // Bind scalar parameters.
+      for (const auto &[P, Reg] : Kernel.ScalarParamRegs) {
+        const ArgValue &V = Args.at(P->Index);
+        for (unsigned L = 0; L != WarpLanes; ++L)
+          Wp.Regs[static_cast<size_t>(Reg) * WarpLanes + L] = V.Scalar;
+      }
+    }
+  }
+
+  Cell &reg(Warp &W, uint16_t R, unsigned Lane) {
+    return W.Regs[static_cast<size_t>(R) * WarpLanes + Lane];
+  }
+
+  Buffer *bufferOf(uint16_t ParamIndex) {
+    const ArgValue &V = Args.at(ParamIndex);
+    if (!V.IsBuffer) {
+      error("pointer parameter bound to a scalar argument");
+      return nullptr;
+    }
+    return &Dev.get(V.Id);
+  }
+
+  /// Writes an integer result, mirroring into the float view (guards
+  /// against int constants flowing into float arithmetic).
+  static void setI(Cell &C, long long V) {
+    C.I = V;
+    C.F = static_cast<double>(V);
+  }
+  static void setF(Cell &C, double V) {
+    // Round to float32 so accumulation error matches 32-bit GPU math.
+    float F32 = static_cast<float>(V);
+    C.F = F32;
+    C.I = static_cast<long long>(F32);
+  }
+
+  void aluOp(Warp &W, const Instr &In) {
+    bool IsFloat = In.Ty == ScalarType::F32;
+    for (unsigned L = 0; L != WarpLanes; ++L) {
+      if (!(W.Active >> L & 1u))
+        continue;
+      Cell &D = reg(W, In.Dst, L);
+      const Cell &A = reg(W, In.Src1, L);
+      const Cell &B = reg(W, In.Src2, L);
+      if (IsFloat) {
+        double R = 0;
+        switch (In.Op) {
+        case Opcode::Add:
+          R = A.F + B.F;
+          break;
+        case Opcode::Sub:
+          R = A.F - B.F;
+          break;
+        case Opcode::Mul:
+          R = A.F * B.F;
+          break;
+        case Opcode::Div:
+          if (B.F == 0) {
+            error("floating division by zero");
+            R = 0;
+          } else
+            R = A.F / B.F;
+          break;
+        case Opcode::Min:
+          R = std::min(A.F, B.F);
+          break;
+        case Opcode::Max:
+          R = std::max(A.F, B.F);
+          break;
+        case Opcode::SetLT:
+          setI(D, A.F < B.F);
+          continue;
+        case Opcode::SetGT:
+          setI(D, A.F > B.F);
+          continue;
+        case Opcode::SetLE:
+          setI(D, A.F <= B.F);
+          continue;
+        case Opcode::SetGE:
+          setI(D, A.F >= B.F);
+          continue;
+        case Opcode::SetEQ:
+          setI(D, A.F == B.F);
+          continue;
+        case Opcode::SetNE:
+          setI(D, A.F != B.F);
+          continue;
+        case Opcode::LAnd:
+          setI(D, (A.F != 0) && (B.F != 0));
+          continue;
+        case Opcode::LOr:
+          setI(D, (A.F != 0) || (B.F != 0));
+          continue;
+        default:
+          tgr_unreachable("bad float ALU op");
+        }
+        setF(D, R);
+      } else {
+        long long R = 0;
+        switch (In.Op) {
+        case Opcode::Add:
+          R = A.I + B.I;
+          break;
+        case Opcode::Sub:
+          R = A.I - B.I;
+          break;
+        case Opcode::Mul:
+          R = A.I * B.I;
+          break;
+        case Opcode::Div:
+          if (B.I == 0) {
+            error("integer division by zero");
+            R = 0;
+          } else
+            R = A.I / B.I;
+          break;
+        case Opcode::Rem:
+          if (B.I == 0) {
+            error("integer remainder by zero");
+            R = 0;
+          } else
+            R = A.I % B.I;
+          break;
+        case Opcode::Min:
+          R = std::min(A.I, B.I);
+          break;
+        case Opcode::Max:
+          R = std::max(A.I, B.I);
+          break;
+        case Opcode::SetLT:
+          R = A.I < B.I;
+          break;
+        case Opcode::SetGT:
+          R = A.I > B.I;
+          break;
+        case Opcode::SetLE:
+          R = A.I <= B.I;
+          break;
+        case Opcode::SetGE:
+          R = A.I >= B.I;
+          break;
+        case Opcode::SetEQ:
+          R = A.I == B.I;
+          break;
+        case Opcode::SetNE:
+          R = A.I != B.I;
+          break;
+        case Opcode::LAnd:
+          R = (A.I != 0) && (B.I != 0);
+          break;
+        case Opcode::LOr:
+          R = (A.I != 0) || (B.I != 0);
+          break;
+        default:
+          tgr_unreachable("bad integer ALU op");
+        }
+        setI(D, wrapInt(In.Ty, R));
+      }
+    }
+  }
+
+  static unsigned popcount(uint32_t M) { return __builtin_popcount(M); }
+
+  void chargeWarpInstr(double Cycles, uint32_t Mask) {
+    Stats.WarpCycles += Cycles;
+    Stats.WarpInstructions += 1;
+    Stats.LaneInstructions += popcount(Mask);
+  }
+
+  /// Applies a reduce op to a memory cell.
+  static void atomicApply(ReduceOp Op, ScalarType Ty, Cell &Target,
+                          const Cell &V) {
+    if (Ty == ScalarType::F32)
+      setF(Target, applyReduceOp<double>(Op, Target.F, V.F));
+    else
+      setI(Target, wrapInt(Ty, applyReduceOp<long long>(Op, Target.I, V.I)));
+  }
+
+  /// Runs \p W until it hits a barrier or exits.
+  void resume(Warp &W) {
+    const std::vector<Instr> &Code = Kernel.Code;
+    while (true) {
+      const Instr &In = Code[W.PC];
+      switch (In.Op) {
+      case Opcode::MovImmI:
+        for (unsigned L = 0; L != WarpLanes; ++L)
+          if (W.Active >> L & 1u)
+            setI(reg(W, In.Dst, L), In.ImmI);
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      case Opcode::MovImmF:
+        for (unsigned L = 0; L != WarpLanes; ++L)
+          if (W.Active >> L & 1u)
+            setF(reg(W, In.Dst, L), In.ImmF);
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      case Opcode::Mov:
+        for (unsigned L = 0; L != WarpLanes; ++L)
+          if (W.Active >> L & 1u)
+            reg(W, In.Dst, L) = reg(W, In.Src1, L);
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      case Opcode::Cast: {
+        auto From = static_cast<ScalarType>(In.Aux);
+        for (unsigned L = 0; L != WarpLanes; ++L) {
+          if (!(W.Active >> L & 1u))
+            continue;
+          Cell &D = reg(W, In.Dst, L);
+          const Cell &S = reg(W, In.Src1, L);
+          if (In.Ty == ScalarType::F32)
+            setF(D, From == ScalarType::F32 ? S.F
+                                            : static_cast<double>(S.I));
+          else
+            setI(D, wrapInt(In.Ty, From == ScalarType::F32
+                                       ? static_cast<long long>(S.F)
+                                       : S.I));
+        }
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Min:
+      case Opcode::Max:
+      case Opcode::SetLT:
+      case Opcode::SetGT:
+      case Opcode::SetLE:
+      case Opcode::SetGE:
+      case Opcode::SetEQ:
+      case Opcode::SetNE:
+      case Opcode::LAnd:
+      case Opcode::LOr:
+        aluOp(W, In);
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      case Opcode::Not:
+        for (unsigned L = 0; L != WarpLanes; ++L)
+          if (W.Active >> L & 1u) {
+            const Cell &S = reg(W, In.Src1, L);
+            setI(reg(W, In.Dst, L),
+                 In.Ty == ScalarType::F32 ? (S.F == 0) : (S.I == 0));
+          }
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      case Opcode::Neg:
+        for (unsigned L = 0; L != WarpLanes; ++L)
+          if (W.Active >> L & 1u) {
+            Cell &D = reg(W, In.Dst, L);
+            const Cell &S = reg(W, In.Src1, L);
+            if (In.Ty == ScalarType::F32)
+              setF(D, -S.F);
+            else
+              setI(D, wrapInt(In.Ty, -S.I));
+          }
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      case Opcode::ReadSpecial: {
+        auto R = static_cast<SpecialReg>(In.Aux);
+        for (unsigned L = 0; L != WarpLanes; ++L) {
+          if (!(W.Active >> L & 1u))
+            continue;
+          long long V = 0;
+          switch (R) {
+          case SpecialReg::ThreadIdxX:
+            V = W.TidBase + L;
+            break;
+          case SpecialReg::BlockIdxX:
+            V = BlockIdx;
+            break;
+          case SpecialReg::BlockDimX:
+            V = Config.BlockDim;
+            break;
+          case SpecialReg::GridDimX:
+            V = Config.GridDim;
+            break;
+          case SpecialReg::WarpSize:
+            V = WarpLanes;
+            break;
+          }
+          setI(reg(W, In.Dst, L), V);
+        }
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::LdGlobal: {
+        Buffer *B = bufferOf(In.MemId);
+        unsigned Width = std::max<unsigned>(1, In.Aux2);
+        uint64_t Segments = 0, PrevSeg = ~0ull;
+        bool First = true;
+        for (unsigned L = 0; L != WarpLanes; ++L) {
+          if (!(W.Active >> L & 1u))
+            continue;
+          long long Idx = reg(W, In.Src1, L).I;
+          Cell &D = reg(W, In.Dst, L);
+          if (!B) {
+            setI(D, 0);
+            continue;
+          }
+          long long Base = Idx * Width;
+          if (Base < 0 ||
+              static_cast<uint64_t>(Base + Width) > B->size()) {
+            error(strformat("global load out of bounds (index %lld)", Base));
+            setI(D, 0);
+          } else if (Width == 1) {
+            D = B->read(static_cast<size_t>(Base));
+          } else {
+            // Vectorized load: the IR defines it as yielding the sum of
+            // the W consecutive elements (see LoadGlobalExpr).
+            if (In.Ty == ScalarType::F32) {
+              double Sum = 0;
+              for (unsigned J = 0; J != Width; ++J)
+                Sum += B->read(static_cast<size_t>(Base + J)).F;
+              setF(D, Sum);
+            } else {
+              long long Sum = 0;
+              for (unsigned J = 0; J != Width; ++J)
+                Sum += B->read(static_cast<size_t>(Base + J)).I;
+              setI(D, wrapInt(In.Ty, Sum));
+            }
+          }
+          uint64_t Seg = static_cast<uint64_t>(Base) * 4 / 128;
+          if (First || Seg != PrevSeg)
+            ++Segments;
+          First = false;
+          PrevSeg = Seg;
+        }
+        unsigned Lanes = popcount(W.Active);
+        uint64_t Bytes = static_cast<uint64_t>(Lanes) * 4 * Width;
+        if (Width > 1)
+          Stats.GlobalLoadBytesVector += Bytes;
+        else
+          Stats.GlobalLoadBytesScalar += Bytes;
+        Stats.GlobalTransactions += Segments;
+        uint64_t TxBytes = Segments * 128;
+        if (TxBytes > Bytes)
+          Stats.UncoalescedExtraBytes += TxBytes - Bytes;
+        chargeWarpInstr(Arch.GlobalLdStCost +
+                            (Segments > 1 ? (Segments - 1) * 2.0 : 0.0),
+                        W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::StGlobal: {
+        Buffer *B = bufferOf(In.MemId);
+        uint64_t Segments = 0, PrevSeg = ~0ull;
+        bool First = true;
+        for (unsigned L = 0; L != WarpLanes; ++L) {
+          if (!(W.Active >> L & 1u))
+            continue;
+          long long Idx = reg(W, In.Src1, L).I;
+          if (!B)
+            continue;
+          if (Idx < 0 || static_cast<uint64_t>(Idx) >= B->size()) {
+            error(strformat("global store out of bounds (index %lld)", Idx));
+          } else if (Cell *C = B->writable(static_cast<size_t>(Idx))) {
+            *C = reg(W, In.Src2, L);
+          } else {
+            error("store to a read-only (virtual) buffer");
+          }
+          uint64_t Seg = static_cast<uint64_t>(Idx) * 4 / 128;
+          if (First || Seg != PrevSeg)
+            ++Segments;
+          First = false;
+          PrevSeg = Seg;
+        }
+        Stats.GlobalStoreBytes +=
+            static_cast<uint64_t>(popcount(W.Active)) * 4;
+        Stats.GlobalTransactions += Segments;
+        chargeWarpInstr(Arch.GlobalLdStCost, W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::LdShared: {
+        auto &Mem = SharedMem[In.MemId];
+        for (unsigned L = 0; L != WarpLanes; ++L) {
+          if (!(W.Active >> L & 1u))
+            continue;
+          long long Idx = reg(W, In.Src1, L).I;
+          Cell &D = reg(W, In.Dst, L);
+          if (Idx < 0 || static_cast<uint64_t>(Idx) >= Mem.size()) {
+            error(strformat("shared load out of bounds (index %lld)", Idx));
+            setI(D, 0);
+          } else {
+            D = Mem[static_cast<size_t>(Idx)];
+          }
+        }
+        chargeWarpInstr(Arch.SharedLdStCost, W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::StShared: {
+        auto &Mem = SharedMem[In.MemId];
+        for (unsigned L = 0; L != WarpLanes; ++L) {
+          if (!(W.Active >> L & 1u))
+            continue;
+          long long Idx = reg(W, In.Src1, L).I;
+          if (Idx < 0 || static_cast<uint64_t>(Idx) >= Mem.size())
+            error(strformat("shared store out of bounds (index %lld)", Idx));
+          else
+            Mem[static_cast<size_t>(Idx)] = reg(W, In.Src2, L);
+        }
+        chargeWarpInstr(Arch.SharedLdStCost, W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::AtomShared: {
+        auto &Mem = SharedMem[In.MemId];
+        auto Op = static_cast<ReduceOp>(In.Aux);
+        // Count the worst per-address multiplicity for the contention
+        // model, then apply updates in lane order.
+        std::unordered_map<long long, unsigned> Mult;
+        unsigned MaxMult = 0, Lanes = 0;
+        for (unsigned L = 0; L != WarpLanes; ++L) {
+          if (!(W.Active >> L & 1u))
+            continue;
+          ++Lanes;
+          long long Idx = reg(W, In.Src1, L).I;
+          MaxMult = std::max(MaxMult, ++Mult[Idx]);
+          if (Idx < 0 || static_cast<uint64_t>(Idx) >= Mem.size()) {
+            error(strformat("shared atomic out of bounds (index %lld)", Idx));
+            continue;
+          }
+          atomicApply(Op, In.Ty, Mem[static_cast<size_t>(Idx)],
+                      reg(W, In.Src2, L));
+        }
+        Stats.SharedAtomicOps += Lanes;
+        Stats.SharedAtomicConflicts += MaxMult > 0 ? MaxMult - 1 : 0;
+        double Cost = Arch.SharedAtomicBaseCost;
+        if (MaxMult > 1) {
+          Cost += (MaxMult - 1) * Arch.SharedAtomicConflictCost;
+          Cost += Arch.SharedAtomicLockDivergence;
+          if (Arch.SharedAtomics == SharedAtomicImpl::SoftwareLock)
+            Stats.DivergentBranches += 1; // The lock loop branches.
+        }
+        chargeWarpInstr(Cost, W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::AtomGlobal: {
+        Buffer *B = bufferOf(In.MemId);
+        auto Op = static_cast<ReduceOp>(In.Aux);
+        auto Scope = static_cast<AtomicScope>(In.Aux2);
+        std::unordered_map<long long, unsigned> Mult;
+        unsigned MaxMult = 0, Lanes = 0;
+        for (unsigned L = 0; L != WarpLanes; ++L) {
+          if (!(W.Active >> L & 1u))
+            continue;
+          ++Lanes;
+          long long Idx = reg(W, In.Src1, L).I;
+          MaxMult = std::max(MaxMult, ++Mult[Idx]);
+          if (!B)
+            continue;
+          if (Idx < 0 || static_cast<uint64_t>(Idx) >= B->size()) {
+            error(strformat("global atomic out of bounds (index %lld)", Idx));
+            continue;
+          }
+          if (Cell *C = B->writable(static_cast<size_t>(Idx)))
+            atomicApply(Op, In.Ty, *C, reg(W, In.Src2, L));
+          else
+            error("atomic on a read-only (virtual) buffer");
+          ++GlobalAtomicAddrOps[Idx];
+        }
+        Stats.GlobalAtomicOps += Lanes;
+        double Cost = Arch.GlobalAtomicBaseCost +
+                      (MaxMult > 1
+                           ? (MaxMult - 1) * Arch.GlobalAtomicConflictCost
+                           : 0.0);
+        if (Scope == AtomicScope::Block)
+          Cost *= Arch.BlockScopeAtomicFactor;
+        chargeWarpInstr(Cost, W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::Shfl: {
+        auto Mode = static_cast<ShuffleMode>(In.Aux);
+        unsigned Width = In.Aux2 ? In.Aux2 : WarpLanes;
+        Cell Snapshot[WarpLanes];
+        for (unsigned L = 0; L != WarpLanes; ++L)
+          Snapshot[L] = reg(W, In.Src1, L);
+        for (unsigned L = 0; L != WarpLanes; ++L) {
+          if (!(W.Active >> L & 1u))
+            continue;
+          long long Offset = reg(W, In.Src2, L).I;
+          unsigned SegBase = L / Width * Width;
+          long long Src = L;
+          switch (Mode) {
+          case ShuffleMode::Down:
+            Src = L + Offset;
+            break;
+          case ShuffleMode::Up:
+            Src = L - Offset;
+            break;
+          case ShuffleMode::Xor:
+            Src = static_cast<long long>(L ^ static_cast<unsigned>(Offset));
+            break;
+          case ShuffleMode::Idx:
+            Src = SegBase + Offset;
+            break;
+          }
+          // Out-of-segment sources return the lane's own value (CUDA
+          // semantics for shfl_down/up).
+          if (Src < SegBase || Src >= static_cast<long long>(SegBase + Width))
+            Src = L;
+          reg(W, In.Dst, L) = Snapshot[Src];
+        }
+        chargeWarpInstr(Arch.ShuffleCost, W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::Bar:
+        Stats.Barriers += 1;
+        chargeWarpInstr(Arch.BarrierCost, W.Active);
+        ++W.PC;
+        W.AtBarrier = true;
+        return;
+      case Opcode::PushIf: {
+        uint32_t ThenMask = 0;
+        for (unsigned L = 0; L != WarpLanes; ++L)
+          if ((W.Active >> L & 1u) && reg(W, In.Src1, L).I != 0)
+            ThenMask |= 1u << L;
+        uint32_t ElseMask = W.Active & ~ThenMask;
+        W.Stack.push_back({W.Active, ElseMask});
+        if (ThenMask && ElseMask)
+          Stats.DivergentBranches += 1;
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        if (ThenMask == 0) {
+          W.PC = In.Target; // Jump to the ElseIf.
+        } else {
+          W.Active = ThenMask;
+          ++W.PC;
+        }
+        break;
+      }
+      case Opcode::ElseIf: {
+        Frame &F = W.Stack.back();
+        W.Active = F.Else;
+        chargeWarpInstr(Arch.AluCost, W.Active ? W.Active : F.Saved);
+        if (W.Active == 0)
+          W.PC = In.Target; // Jump to the PopIf.
+        else
+          ++W.PC;
+        break;
+      }
+      case Opcode::PopIf: {
+        W.Active = W.Stack.back().Saved;
+        W.Stack.pop_back();
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::PushLoop:
+        W.Stack.push_back({W.Active, 0});
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      case Opcode::LoopTest: {
+        uint32_t Continue = 0;
+        for (unsigned L = 0; L != WarpLanes; ++L)
+          if ((W.Active >> L & 1u) && reg(W, In.Src1, L).I != 0)
+            Continue |= 1u << L;
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        if (Continue == 0) {
+          W.Active = W.Stack.back().Saved;
+          W.Stack.pop_back();
+          W.PC = In.Target;
+        } else {
+          if (Continue != W.Active)
+            Stats.DivergentBranches += 1;
+          W.Active = Continue;
+          ++W.PC;
+        }
+        break;
+      }
+      case Opcode::Jump:
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        W.PC = In.Target;
+        break;
+      case Opcode::Exit:
+        W.Done = true;
+        return;
+      }
+    }
+  }
+
+public:
+  /// Per-address global atomic op counts (for the hot-address stat).
+  std::unordered_map<long long, uint64_t> GlobalAtomicAddrOps;
+
+private:
+  Device &Dev;
+  const ArchDesc &Arch;
+  const CompiledKernel &Kernel;
+  const LaunchConfig &Config;
+  const std::vector<ArgValue> &Args;
+  unsigned BlockIdx;
+  ExecStats &Stats;
+  std::vector<std::string> &Errors;
+  std::vector<Warp> Warps;
+  std::vector<std::vector<Cell>> SharedMem;
+};
+
+} // namespace
+
+LaunchResult SimtMachine::launch(const CompiledKernel &Kernel,
+                                 const LaunchConfig &Config,
+                                 const std::vector<ArgValue> &Args,
+                                 ExecMode Mode) {
+  LaunchResult Result;
+  Result.GridDim = Config.GridDim;
+  Result.BlockDim = Config.BlockDim;
+
+  if (Config.GridDim == 0 || Config.BlockDim == 0) {
+    Result.Errors.push_back("empty launch configuration");
+    return Result;
+  }
+  if (Config.BlockDim > Arch.MaxThreadsPerBlock) {
+    Result.Errors.push_back(
+        strformat("block size %u exceeds the architecture limit %u",
+                  Config.BlockDim, Arch.MaxThreadsPerBlock));
+    return Result;
+  }
+  if (Args.size() != Kernel.Source->getParams().size()) {
+    Result.Errors.push_back("argument count does not match kernel params");
+    return Result;
+  }
+
+  // Select the blocks to simulate.
+  std::vector<unsigned> Blocks;
+  bool Sampled = Mode == ExecMode::Sampled && Config.GridDim > SampledBlocks;
+  if (!Sampled) {
+    Blocks.resize(Config.GridDim);
+    for (unsigned B = 0; B != Config.GridDim; ++B)
+      Blocks[B] = B;
+  } else {
+    // Homogeneous interior blocks plus the (possibly ragged) last block.
+    for (unsigned B = 0; B + 1 < SampledBlocks; ++B)
+      Blocks.push_back(B);
+    Blocks.push_back(Config.GridDim - 1);
+  }
+  Result.Sampled = Sampled;
+  Result.BlocksSimulated = static_cast<unsigned>(Blocks.size());
+
+  uint64_t HotOps = 0;
+  for (unsigned B : Blocks) {
+    ExecStats BlockStats;
+    BlockExecutor Exec(Dev, Arch, Kernel, Config, Args, B, BlockStats,
+                       Result.Errors);
+    Exec.run();
+    uint64_t BlockHot = 0;
+    for (const auto &[Addr, Ops] : Exec.GlobalAtomicAddrOps)
+      BlockHot = std::max(BlockHot, Ops);
+    HotOps += BlockHot;
+    if (Result.SharedBytesPerBlock == 0)
+      Result.SharedBytesPerBlock = BlockStats.SharedBytes;
+    Result.Stats.accumulate(BlockStats);
+  }
+  Result.Stats.GlobalAtomicHotOps = HotOps;
+  // SharedBytes accumulated per block; keep the per-block value in the
+  // aggregate too (scaled like everything else below).
+
+  if (Sampled) {
+    double Factor =
+        static_cast<double>(Config.GridDim) / Result.BlocksSimulated;
+    Result.Stats.scale(Factor);
+  }
+
+  Result.RegistersPerThread = Kernel.Source->getRegisterEstimate();
+  return Result;
+}

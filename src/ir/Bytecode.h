@@ -1,0 +1,120 @@
+//===- Bytecode.h - Flat SIMT bytecode for the simulator --------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat register-machine bytecode compiled from the structured kernel IR
+/// and executed by the SIMT simulator. Divergence is handled with an
+/// explicit per-warp mask stack: `PushIf`/`ElseIf`/`PopIf` bracket
+/// conditional regions and `PushLoop`/`LoopTest` implement loops with
+/// per-lane exit, mirroring the reconvergence-stack mechanism of real GPUs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_IR_BYTECODE_H
+#define TANGRAM_IR_BYTECODE_H
+
+#include "ir/KernelIR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tangram::ir {
+
+enum class Opcode : unsigned char {
+  // Data movement.
+  MovImmI, ///< Dst <- ImmI
+  MovImmF, ///< Dst <- ImmF
+  Mov,     ///< Dst <- Src1
+  Cast,    ///< Dst <- convert(Src1); Aux = source type
+
+  // Arithmetic / logic (operand type in Ty).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Min,
+  Max,
+  SetLT,
+  SetGT,
+  SetLE,
+  SetGE,
+  SetEQ,
+  SetNE,
+  LAnd,
+  LOr,
+  Not,
+  Neg,
+
+  // Specials: Dst <- special register (Aux = SpecialReg).
+  ReadSpecial,
+
+  // Memory. MemId selects the pointer param / shared array.
+  LdGlobal, ///< Dst <- param[Src1]; Aux2 = vector width (sum-reduced)
+  StGlobal, ///< param[Src1] <- Src2
+  LdShared, ///< Dst <- shared[Src1]
+  StShared, ///< shared[Src1] <- Src2
+  AtomGlobal, ///< atomic op (Aux=ReduceOp, Aux2=AtomicScope) param[Src1], Src2
+  AtomShared, ///< atomic op (Aux=ReduceOp) shared[Src1], Src2
+
+  // Warp-level primitives.
+  Shfl, ///< Dst <- shuffle(Src1, offset=Src2); Aux = mode; Aux2 = width
+  Bar,  ///< __syncthreads()
+
+  // Control (structured mask-stack form).
+  PushIf,   ///< Split the active mask on predicate Src1.
+  ElseIf,   ///< Switch to the else-mask of the top frame.
+  PopIf,    ///< Restore the mask saved by the matching PushIf.
+  PushLoop, ///< Push the loop frame (saves the active mask).
+  LoopTest, ///< active &= Src1; if empty: pop, jump Target.
+  Jump,     ///< Unconditional jump to Target (back-edge).
+  Exit,     ///< End of kernel.
+};
+
+const char *getOpcodeName(Opcode Op);
+
+/// One bytecode instruction. A fixed struct keeps the interpreter loop
+/// simple and cache-friendly.
+struct Instr {
+  Opcode Op = Opcode::Exit;
+  ScalarType Ty = ScalarType::I32;
+  uint16_t Dst = 0;
+  uint16_t Src1 = 0;
+  uint16_t Src2 = 0;
+  uint16_t MemId = 0;
+  uint32_t Target = 0;
+  unsigned char Aux = 0;
+  unsigned char Aux2 = 0;
+  long long ImmI = 0;
+  double ImmF = 0;
+};
+
+/// A compiled kernel: instructions plus the register/memory layout the
+/// simulator needs to instantiate a block.
+struct CompiledKernel {
+  std::string Name;
+  const Kernel *Source = nullptr;
+  std::vector<Instr> Code;
+  unsigned NumRegisters = 0;
+  /// Shared arrays of the kernel, indexed by SharedArray::Id. Extent
+  /// expressions must be launch-uniform; the launcher evaluates them.
+  std::vector<const SharedArray *> SharedArrays;
+  /// Register assigned to each scalar (by-value) parameter; the launcher
+  /// writes the bound value into this register for every thread.
+  std::vector<std::pair<const Param *, uint16_t>> ScalarParamRegs;
+
+  /// Renders a disassembly listing (tests and debugging).
+  std::string disassemble() const;
+};
+
+/// Compiles \p K to bytecode. The kernel must pass the verifier first;
+/// violations abort via assertions.
+CompiledKernel compileKernel(const Kernel &K);
+
+} // namespace tangram::ir
+
+#endif // TANGRAM_IR_BYTECODE_H

@@ -1,0 +1,515 @@
+//===- BytecodeCompiler.cpp - Lower structured IR to flat bytecode --------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Bytecode.h"
+
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace tangram;
+using namespace tangram::ir;
+
+const char *tangram::ir::getOpcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::MovImmI:
+    return "mov.imm.i";
+  case Opcode::MovImmF:
+    return "mov.imm.f";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Cast:
+    return "cvt";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::SetLT:
+    return "set.lt";
+  case Opcode::SetGT:
+    return "set.gt";
+  case Opcode::SetLE:
+    return "set.le";
+  case Opcode::SetGE:
+    return "set.ge";
+  case Opcode::SetEQ:
+    return "set.eq";
+  case Opcode::SetNE:
+    return "set.ne";
+  case Opcode::LAnd:
+    return "and.pred";
+  case Opcode::LOr:
+    return "or.pred";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::ReadSpecial:
+    return "mov.sreg";
+  case Opcode::LdGlobal:
+    return "ld.global";
+  case Opcode::StGlobal:
+    return "st.global";
+  case Opcode::LdShared:
+    return "ld.shared";
+  case Opcode::StShared:
+    return "st.shared";
+  case Opcode::AtomGlobal:
+    return "atom.global";
+  case Opcode::AtomShared:
+    return "atom.shared";
+  case Opcode::Shfl:
+    return "shfl";
+  case Opcode::Bar:
+    return "bar.sync";
+  case Opcode::PushIf:
+    return "push.if";
+  case Opcode::ElseIf:
+    return "else.if";
+  case Opcode::PopIf:
+    return "pop.if";
+  case Opcode::PushLoop:
+    return "push.loop";
+  case Opcode::LoopTest:
+    return "loop.test";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::Exit:
+    return "exit";
+  }
+  tgr_unreachable("unknown opcode");
+}
+
+std::string CompiledKernel::disassemble() const {
+  std::string Out = ".kernel " + Name + "  regs=" +
+                    strformat("%u", NumRegisters) + "\n";
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    const Instr &In = Code[I];
+    Out += strformat("%4zu: %-11s d=%u s1=%u s2=%u mem=%u tgt=%u", I,
+                     getOpcodeName(In.Op), In.Dst, In.Src1, In.Src2, In.MemId,
+                     In.Target);
+    if (In.Op == Opcode::MovImmI)
+      Out += strformat(" imm=%lld", In.ImmI);
+    if (In.Op == Opcode::MovImmF)
+      Out += strformat(" imm=%g", In.ImmF);
+    Out += "\n";
+  }
+  return Out;
+}
+
+namespace {
+
+/// Tree-walking lowering with a simple two-zone register allocator: locals
+/// get stable low registers; expression temporaries use a bump pointer that
+/// resets per statement.
+class Lowering {
+public:
+  explicit Lowering(const Kernel &K) : K(K) {
+    Result.Name = K.getName();
+    Result.Source = &K;
+    for (const auto &L : K.getLocals())
+      LocalReg[L.get()] = NextLocalReg++;
+    TempBase = NextLocalReg;
+    for (const auto &A : K.getSharedArrays())
+      Result.SharedArrays.push_back(A.get());
+  }
+
+  CompiledKernel run() {
+    for (const Stmt *S : K.getBody())
+      lowerStmt(S);
+    emit(Opcode::Exit);
+    Result.NumRegisters = MaxReg + 1;
+    return std::move(Result);
+  }
+
+private:
+  uint32_t pc() const { return static_cast<uint32_t>(Result.Code.size()); }
+
+  Instr &emit(Opcode Op) {
+    Result.Code.emplace_back();
+    Result.Code.back().Op = Op;
+    return Result.Code.back();
+  }
+
+  uint16_t allocTemp() {
+    uint16_t R = TempNext++;
+    if (R > MaxReg)
+      MaxReg = R;
+    return R;
+  }
+
+  void resetTemps() { TempNext = TempBase; }
+
+  uint16_t regOf(const Local *L) {
+    auto It = LocalReg.find(L);
+    assert(It != LocalReg.end() && "reference to a foreign local");
+    if (It->second > MaxReg)
+      MaxReg = It->second;
+    return It->second;
+  }
+
+  static Opcode binOpcode(BinOp Op) {
+    switch (Op) {
+    case BinOp::Add:
+      return Opcode::Add;
+    case BinOp::Sub:
+      return Opcode::Sub;
+    case BinOp::Mul:
+      return Opcode::Mul;
+    case BinOp::Div:
+      return Opcode::Div;
+    case BinOp::Rem:
+      return Opcode::Rem;
+    case BinOp::Min:
+      return Opcode::Min;
+    case BinOp::Max:
+      return Opcode::Max;
+    case BinOp::LT:
+      return Opcode::SetLT;
+    case BinOp::GT:
+      return Opcode::SetGT;
+    case BinOp::LE:
+      return Opcode::SetLE;
+    case BinOp::GE:
+      return Opcode::SetGE;
+    case BinOp::EQ:
+      return Opcode::SetEQ;
+    case BinOp::NE:
+      return Opcode::SetNE;
+    case BinOp::LAnd:
+      return Opcode::LAnd;
+    case BinOp::LOr:
+      return Opcode::LOr;
+    }
+    tgr_unreachable("unknown binary op");
+  }
+
+  /// Lowers \p E; returns the register holding the result.
+  uint16_t lowerExpr(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntConst: {
+      uint16_t R = allocTemp();
+      Instr &In = emit(Opcode::MovImmI);
+      In.Ty = E->getType();
+      In.Dst = R;
+      In.ImmI = cast<IntConstExpr>(E)->getValue();
+      return R;
+    }
+    case Expr::Kind::FloatConst: {
+      uint16_t R = allocTemp();
+      Instr &In = emit(Opcode::MovImmF);
+      In.Ty = ScalarType::F32;
+      In.Dst = R;
+      In.ImmF = cast<FloatConstExpr>(E)->getValue();
+      return R;
+    }
+    case Expr::Kind::LocalRef:
+      return regOf(cast<LocalRefExpr>(E)->getLocal());
+    case Expr::Kind::ParamRef: {
+      // Scalar params are preloaded into registers by the simulator; they
+      // are addressed as "param registers" above the local zone. To keep
+      // the machine simple we copy them in via ReadSpecial-like MovImm at
+      // launch; here we reserve a dedicated register per scalar param.
+      const Param *P = cast<ParamRefExpr>(E)->getParam();
+      assert(!P->IsPointer && "pointer params cannot be read as values");
+      return scalarParamReg(P);
+    }
+    case Expr::Kind::Special: {
+      uint16_t R = allocTemp();
+      Instr &In = emit(Opcode::ReadSpecial);
+      In.Ty = ScalarType::U32;
+      In.Dst = R;
+      In.Aux = static_cast<unsigned char>(cast<SpecialExpr>(E)->getReg());
+      return R;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryOpExpr>(E);
+      uint16_t L = lowerExpr(B->getLHS());
+      uint16_t R = lowerExpr(B->getRHS());
+      uint16_t D = allocTemp();
+      Instr &In = emit(binOpcode(B->getOp()));
+      // Comparisons operate on the operands' promoted type, not the
+      // (int) result type.
+      In.Ty = promoteTypes(B->getLHS()->getType(), B->getRHS()->getType());
+      In.Dst = D;
+      In.Src1 = L;
+      In.Src2 = R;
+      return D;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryOpExpr>(E);
+      uint16_t S = lowerExpr(U->getSub());
+      uint16_t D = allocTemp();
+      Instr &In =
+          emit(U->getOp() == UnOp::Neg ? Opcode::Neg : Opcode::Not);
+      In.Ty = U->getSub()->getType();
+      In.Dst = D;
+      In.Src1 = S;
+      return D;
+    }
+    case Expr::Kind::Select: {
+      // Each arm is evaluated under its own lane mask, like predicated
+      // execution on real hardware: a `cond ? in[i] : 0` guard must not
+      // issue the load for lanes whose condition is false.
+      const auto *S = cast<SelectExpr>(E);
+      uint16_t C = lowerExpr(S->getCond());
+      uint16_t D = allocTemp();
+      uint32_t PushIdx = pc();
+      emit(Opcode::PushIf).Src1 = C;
+      uint16_t T = lowerExpr(S->getTrueVal());
+      Instr &MovT = emit(Opcode::Mov);
+      MovT.Ty = E->getType();
+      MovT.Dst = D;
+      MovT.Src1 = T;
+      uint32_t ElseIdx = pc();
+      emit(Opcode::ElseIf);
+      uint16_t F = lowerExpr(S->getFalseVal());
+      Instr &MovF = emit(Opcode::Mov);
+      MovF.Ty = E->getType();
+      MovF.Dst = D;
+      MovF.Src1 = F;
+      Result.Code[PushIdx].Target = ElseIdx;
+      Result.Code[ElseIdx].Target = pc();
+      emit(Opcode::PopIf);
+      return D;
+    }
+    case Expr::Kind::LoadGlobal: {
+      const auto *L = cast<LoadGlobalExpr>(E);
+      uint16_t Idx = lowerExpr(L->getIndex());
+      uint16_t D = allocTemp();
+      Instr &In = emit(Opcode::LdGlobal);
+      In.Ty = E->getType();
+      In.Dst = D;
+      In.Src1 = Idx;
+      In.MemId = static_cast<uint16_t>(L->getParam()->Index);
+      In.Aux2 = static_cast<unsigned char>(L->getVectorWidth());
+      return D;
+    }
+    case Expr::Kind::LoadShared: {
+      const auto *L = cast<LoadSharedExpr>(E);
+      uint16_t Idx = lowerExpr(L->getIndex());
+      uint16_t D = allocTemp();
+      Instr &In = emit(Opcode::LdShared);
+      In.Ty = E->getType();
+      In.Dst = D;
+      In.Src1 = Idx;
+      In.MemId = static_cast<uint16_t>(L->getArray()->Id);
+      return D;
+    }
+    case Expr::Kind::Shuffle: {
+      const auto *S = cast<ShuffleExpr>(E);
+      uint16_t V = lowerExpr(S->getValue());
+      uint16_t Off = lowerExpr(S->getOffset());
+      uint16_t D = allocTemp();
+      Instr &In = emit(Opcode::Shfl);
+      In.Ty = E->getType();
+      In.Dst = D;
+      In.Src1 = V;
+      In.Src2 = Off;
+      In.Aux = static_cast<unsigned char>(S->getMode());
+      In.Aux2 = static_cast<unsigned char>(S->getWidth());
+      return D;
+    }
+    case Expr::Kind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      uint16_t S = lowerExpr(C->getSub());
+      uint16_t D = allocTemp();
+      Instr &In = emit(Opcode::Cast);
+      In.Ty = E->getType();
+      In.Dst = D;
+      In.Src1 = S;
+      In.Aux = static_cast<unsigned char>(C->getSub()->getType());
+      return D;
+    }
+    }
+    tgr_unreachable("unknown expression kind");
+  }
+
+  void lowerStmt(const Stmt *S) {
+    resetTemps();
+    switch (S->getKind()) {
+    case Stmt::Kind::DeclLocal: {
+      const auto *D = cast<DeclLocalStmt>(S);
+      if (!D->getInit())
+        return;
+      uint16_t V = lowerExpr(D->getInit());
+      Instr &In = emit(Opcode::Mov);
+      In.Ty = D->getLocal()->Ty;
+      In.Dst = regOf(D->getLocal());
+      In.Src1 = V;
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      uint16_t V = lowerExpr(A->getValue());
+      Instr &In = emit(Opcode::Mov);
+      In.Ty = A->getLocal()->Ty;
+      In.Dst = regOf(A->getLocal());
+      In.Src1 = V;
+      return;
+    }
+    case Stmt::Kind::StoreGlobal: {
+      const auto *St = cast<StoreGlobalStmt>(S);
+      uint16_t Idx = lowerExpr(St->getIndex());
+      uint16_t V = lowerExpr(St->getValue());
+      Instr &In = emit(Opcode::StGlobal);
+      In.Ty = St->getParam()->Elem;
+      In.Src1 = Idx;
+      In.Src2 = V;
+      In.MemId = static_cast<uint16_t>(St->getParam()->Index);
+      return;
+    }
+    case Stmt::Kind::StoreShared: {
+      const auto *St = cast<StoreSharedStmt>(S);
+      uint16_t Idx = lowerExpr(St->getIndex());
+      uint16_t V = lowerExpr(St->getValue());
+      Instr &In = emit(Opcode::StShared);
+      In.Ty = St->getArray()->Elem;
+      In.Src1 = Idx;
+      In.Src2 = V;
+      In.MemId = static_cast<uint16_t>(St->getArray()->Id);
+      return;
+    }
+    case Stmt::Kind::AtomicGlobal: {
+      const auto *A = cast<AtomicGlobalStmt>(S);
+      uint16_t Idx = lowerExpr(A->getIndex());
+      uint16_t V = lowerExpr(A->getValue());
+      Instr &In = emit(Opcode::AtomGlobal);
+      In.Ty = A->getParam()->Elem;
+      In.Src1 = Idx;
+      In.Src2 = V;
+      In.MemId = static_cast<uint16_t>(A->getParam()->Index);
+      In.Aux = static_cast<unsigned char>(A->getOp());
+      In.Aux2 = static_cast<unsigned char>(A->getScope());
+      return;
+    }
+    case Stmt::Kind::AtomicShared: {
+      const auto *A = cast<AtomicSharedStmt>(S);
+      uint16_t Idx = lowerExpr(A->getIndex());
+      uint16_t V = lowerExpr(A->getValue());
+      Instr &In = emit(Opcode::AtomShared);
+      In.Ty = A->getArray()->Elem;
+      In.Src1 = Idx;
+      In.Src2 = V;
+      In.MemId = static_cast<uint16_t>(A->getArray()->Id);
+      In.Aux = static_cast<unsigned char>(A->getOp());
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      uint16_t C = lowerExpr(I->getCond());
+      uint32_t PushIdx = pc();
+      emit(Opcode::PushIf).Src1 = C;
+      for (const Stmt *Child : I->getThen())
+        lowerStmt(Child);
+      resetTemps();
+      uint32_t ElseIdx = pc();
+      emit(Opcode::ElseIf);
+      for (const Stmt *Child : I->getElse())
+        lowerStmt(Child);
+      resetTemps();
+      // PushIf skips to the ElseIf when the then-mask is empty; ElseIf
+      // skips to the PopIf when the else-mask is empty.
+      Result.Code[PushIdx].Target = ElseIdx;
+      Result.Code[ElseIdx].Target = pc();
+      emit(Opcode::PopIf);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      uint16_t InitV = lowerExpr(F->getInit());
+      Instr &MovInit = emit(Opcode::Mov);
+      MovInit.Ty = F->getIndVar()->Ty;
+      MovInit.Dst = regOf(F->getIndVar());
+      MovInit.Src1 = InitV;
+      emit(Opcode::PushLoop);
+      uint32_t TestPC = pc();
+      resetTemps();
+      uint16_t C = lowerExpr(F->getCond());
+      Instr &Test = emit(Opcode::LoopTest);
+      Test.Src1 = C;
+      uint32_t TestIdx = pc() - 1;
+      for (const Stmt *Child : F->getBody())
+        lowerStmt(Child);
+      resetTemps();
+      uint16_t StepV = lowerExpr(F->getStep());
+      Instr &MovStep = emit(Opcode::Mov);
+      MovStep.Ty = F->getIndVar()->Ty;
+      MovStep.Dst = regOf(F->getIndVar());
+      MovStep.Src1 = StepV;
+      Instr &Back = emit(Opcode::Jump);
+      Back.Target = TestPC;
+      Result.Code[TestIdx].Target = pc(); // Exit lands after the back-edge.
+      return;
+    }
+    case Stmt::Kind::Barrier:
+      emit(Opcode::Bar);
+      return;
+    }
+    tgr_unreachable("unknown statement kind");
+  }
+
+  uint16_t scalarParamReg(const Param *P) {
+    auto It = ScalarParamReg.find(P);
+    if (It != ScalarParamReg.end())
+      return It->second;
+    // Scalar params occupy stable registers after all locals; the launcher
+    // initializes them (see SimtMachine::bindScalarParams).
+    tgr_unreachable("scalar param not pre-registered");
+  }
+
+public:
+  /// Pre-assigns registers for scalar params; must run before `run()`.
+  /// The simulator writes the bound values into these registers for every
+  /// thread before execution starts.
+  std::unordered_map<const Param *, uint16_t> assignScalarParamRegs() {
+    std::unordered_map<const Param *, uint16_t> Map;
+    for (const auto &P : K.getParams())
+      if (!P->IsPointer) {
+        Map[P.get()] = NextLocalReg;
+        ScalarParamReg[P.get()] = NextLocalReg;
+        ++NextLocalReg;
+      }
+    TempBase = NextLocalReg;
+    TempNext = TempBase;
+    if (NextLocalReg > 0 && NextLocalReg - 1 > MaxReg)
+      MaxReg = NextLocalReg - 1;
+    return Map;
+  }
+
+private:
+  const Kernel &K;
+  CompiledKernel Result;
+  std::unordered_map<const Local *, uint16_t> LocalReg;
+  std::unordered_map<const Param *, uint16_t> ScalarParamReg;
+  uint16_t NextLocalReg = 0;
+  uint16_t TempBase = 0;
+  uint16_t TempNext = 0;
+  uint16_t MaxReg = 0;
+};
+
+} // namespace
+
+CompiledKernel tangram::ir::compileKernel(const Kernel &K) {
+  Lowering L(K);
+  auto ParamRegs = L.assignScalarParamRegs();
+  CompiledKernel Compiled = L.run();
+  for (const auto &[P, Reg] : ParamRegs)
+    Compiled.ScalarParamRegs.emplace_back(P, Reg);
+  return Compiled;
+}

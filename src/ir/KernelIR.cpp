@@ -1,0 +1,100 @@
+//===- KernelIR.cpp - Structured GPU kernel IR -----------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/KernelIR.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace tangram;
+using namespace tangram::ir;
+
+const char *tangram::ir::getScalarTypeName(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::I32:
+    return "int";
+  case ScalarType::U32:
+    return "unsigned int";
+  case ScalarType::F32:
+    return "float";
+  }
+  tgr_unreachable("unknown scalar type");
+}
+
+bool tangram::ir::isIntegerType(ScalarType Ty) {
+  return Ty != ScalarType::F32;
+}
+
+ScalarType tangram::ir::promoteTypes(ScalarType A, ScalarType B) {
+  if (A == ScalarType::F32 || B == ScalarType::F32)
+    return ScalarType::F32;
+  if (A == ScalarType::U32 || B == ScalarType::U32)
+    return ScalarType::U32;
+  return ScalarType::I32;
+}
+
+Param *Kernel::addPointerParam(std::string Name, ScalarType Elem) {
+  auto P = std::make_unique<Param>();
+  P->Name = std::move(Name);
+  P->Elem = Elem;
+  P->IsPointer = true;
+  P->Index = static_cast<unsigned>(Params.size());
+  Params.push_back(std::move(P));
+  return Params.back().get();
+}
+
+Param *Kernel::addScalarParam(std::string Name, ScalarType Ty) {
+  auto P = std::make_unique<Param>();
+  P->Name = std::move(Name);
+  P->Elem = Ty;
+  P->IsPointer = false;
+  P->Index = static_cast<unsigned>(Params.size());
+  Params.push_back(std::move(P));
+  return Params.back().get();
+}
+
+SharedArray *Kernel::addSharedArray(std::string Name, ScalarType Elem,
+                                    Expr *Extent, bool IsDynamic) {
+  auto A = std::make_unique<SharedArray>();
+  A->Name = std::move(Name);
+  A->Elem = Elem;
+  A->Extent = Extent;
+  A->IsDynamic = IsDynamic;
+  A->Id = static_cast<unsigned>(SharedArrays.size());
+  SharedArrays.push_back(std::move(A));
+  return SharedArrays.back().get();
+}
+
+Local *Kernel::addLocal(std::string Name, ScalarType Ty) {
+  auto L = std::make_unique<Local>();
+  L->Name = std::move(Name);
+  L->Ty = Ty;
+  L->Id = static_cast<unsigned>(Locals.size());
+  Locals.push_back(std::move(L));
+  return Locals.back().get();
+}
+
+unsigned Kernel::getRegisterEstimate() const {
+  // A fixed base cost (address arithmetic, launch bookkeeping) plus one
+  // register per declared local. This feeds the occupancy model only, so
+  // precision beyond "more locals, more registers" is unnecessary.
+  return 12 + static_cast<unsigned>(Locals.size());
+}
+
+Kernel *Module::addKernel(std::string Name) {
+  Kernels.push_back(std::make_unique<Kernel>(std::move(Name)));
+  return Kernels.back().get();
+}
+
+Kernel *Module::getKernel(const std::string &Name) const {
+  for (const auto &K : Kernels)
+    if (K->getName() == Name)
+      return K.get();
+  return nullptr;
+}
+
+Expr *Module::arith(BinOp Op, Expr *L, Expr *R) {
+  return binary(Op, L, R, promoteTypes(L->getType(), R->getType()));
+}

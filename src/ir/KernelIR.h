@@ -1,0 +1,591 @@
+//===- KernelIR.h - Structured GPU kernel IR --------------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured mid-level IR for GPU kernels. The synthesizer lowers each
+/// Tangram code variant to this IR; the CUDA emitter prints it as CUDA C
+/// (Listings 1-4 of the paper) and the bytecode compiler flattens it for
+/// the SIMT simulator.
+///
+/// The IR is deliberately close to the CUDA subset the paper's generated
+/// code uses: scalar locals, global-pointer and scalar parameters, static
+/// and dynamic `__shared__` arrays, structured `if`/`for`, barriers, atomic
+/// instructions on global memory (device or block scope) and on shared
+/// memory, and warp shuffle instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_IR_KERNELIR_H
+#define TANGRAM_IR_KERNELIR_H
+
+#include "support/Casting.h"
+#include "support/ReduceOp.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tangram::ir {
+
+/// Element/value types in kernels. U32 arithmetic wraps; I32 is the default
+/// accumulator type; F32 matches the paper's 32-bit float workloads.
+enum class ScalarType : unsigned char { I32, U32, F32 };
+
+const char *getScalarTypeName(ScalarType Ty); ///< "int", "unsigned", "float"
+bool isIntegerType(ScalarType Ty);
+
+//===----------------------------------------------------------------------===//
+// Kernel-scope entities
+//===----------------------------------------------------------------------===//
+
+/// A kernel parameter: either a pointer into global memory (with element
+/// type) or a scalar passed by value.
+struct Param {
+  std::string Name;
+  ScalarType Elem = ScalarType::I32;
+  bool IsPointer = false;
+  unsigned Index = 0; ///< Position in the kernel signature.
+};
+
+class Expr;
+
+/// A `__shared__` array (or scalar, Extent==1 semantics). Dynamic arrays
+/// (`extern __shared__`) receive their extent at launch.
+struct SharedArray {
+  std::string Name;
+  ScalarType Elem = ScalarType::I32;
+  /// Static element count; ignored when IsDynamic.
+  Expr *Extent = nullptr;
+  bool IsDynamic = false;
+  unsigned Id = 0;
+};
+
+/// A per-thread local variable (virtual register at simulation time).
+struct Local {
+  std::string Name;
+  ScalarType Ty = ScalarType::I32;
+  unsigned Id = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Built-in per-thread special values.
+enum class SpecialReg : unsigned char {
+  ThreadIdxX, ///< threadIdx.x
+  BlockIdxX,  ///< blockIdx.x
+  BlockDimX,  ///< blockDim.x
+  GridDimX,   ///< gridDim.x
+  WarpSize,   ///< warpSize (32 on all modeled architectures)
+};
+
+enum class BinOp : unsigned char {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Min,
+  Max,
+  LT,
+  GT,
+  LE,
+  GE,
+  EQ,
+  NE,
+  LAnd,
+  LOr,
+};
+
+enum class UnOp : unsigned char { Neg, Not };
+
+/// Warp shuffle flavors (Section II-A1).
+enum class ShuffleMode : unsigned char { Down, Up, Xor, Idx };
+
+/// Base of kernel IR expressions. Every expression has a result type.
+class Expr {
+public:
+  enum class Kind : unsigned char {
+    IntConst,
+    FloatConst,
+    LocalRef,
+    ParamRef,
+    Special,
+    Binary,
+    Unary,
+    Select,
+    LoadGlobal,
+    LoadShared,
+    Shuffle,
+    Cast,
+  };
+
+  Kind getKind() const { return K; }
+  ScalarType getType() const { return Ty; }
+
+protected:
+  Expr(Kind K, ScalarType Ty) : K(K), Ty(Ty) {}
+  ~Expr() = default;
+
+private:
+  Kind K;
+  ScalarType Ty;
+};
+
+class IntConstExpr : public Expr {
+public:
+  IntConstExpr(long long Value, ScalarType Ty)
+      : Expr(Kind::IntConst, Ty), Value(Value) {}
+  long long getValue() const { return Value; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntConst; }
+
+private:
+  long long Value;
+};
+
+class FloatConstExpr : public Expr {
+public:
+  explicit FloatConstExpr(double Value)
+      : Expr(Kind::FloatConst, ScalarType::F32), Value(Value) {}
+  double getValue() const { return Value; }
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::FloatConst;
+  }
+
+private:
+  double Value;
+};
+
+class LocalRefExpr : public Expr {
+public:
+  explicit LocalRefExpr(const Local *Var)
+      : Expr(Kind::LocalRef, Var->Ty), Var(Var) {}
+  const Local *getLocal() const { return Var; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::LocalRef; }
+
+private:
+  const Local *Var;
+};
+
+/// Reference to a scalar (non-pointer) kernel parameter.
+class ParamRefExpr : public Expr {
+public:
+  explicit ParamRefExpr(const Param *P) : Expr(Kind::ParamRef, P->Elem), P(P) {}
+  const Param *getParam() const { return P; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::ParamRef; }
+
+private:
+  const Param *P;
+};
+
+class SpecialExpr : public Expr {
+public:
+  explicit SpecialExpr(SpecialReg Reg)
+      : Expr(Kind::Special, ScalarType::U32), Reg(Reg) {}
+  SpecialReg getReg() const { return Reg; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Special; }
+
+private:
+  SpecialReg Reg;
+};
+
+class BinaryOpExpr : public Expr {
+public:
+  BinaryOpExpr(BinOp Op, Expr *LHS, Expr *RHS, ScalarType Ty)
+      : Expr(Kind::Binary, Ty), Op(Op), LHS(LHS), RHS(RHS) {}
+  BinOp getOp() const { return Op; }
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+
+private:
+  BinOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+class UnaryOpExpr : public Expr {
+public:
+  UnaryOpExpr(UnOp Op, Expr *Sub, ScalarType Ty)
+      : Expr(Kind::Unary, Ty), Op(Op), Sub(Sub) {}
+  UnOp getOp() const { return Op; }
+  Expr *getSub() const { return Sub; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+
+private:
+  UnOp Op;
+  Expr *Sub;
+};
+
+/// `cond ? a : b` — per-lane select (no divergence).
+class SelectExpr : public Expr {
+public:
+  SelectExpr(Expr *Cond, Expr *TrueVal, Expr *FalseVal, ScalarType Ty)
+      : Expr(Kind::Select, Ty), Cond(Cond), TrueVal(TrueVal),
+        FalseVal(FalseVal) {}
+  Expr *getCond() const { return Cond; }
+  Expr *getTrueVal() const { return TrueVal; }
+  Expr *getFalseVal() const { return FalseVal; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Select; }
+
+private:
+  Expr *Cond;
+  Expr *TrueVal;
+  Expr *FalseVal;
+};
+
+/// Load from global memory: `param[index]`. \p VectorWidth models
+/// vectorized (float2/float4) loads used by bandwidth-tuned baselines; a
+/// width-W load reads W consecutive elements starting at index*W and this
+/// expression yields their sum-reduction (sufficient for reduction
+/// kernels and keeps the IR simple).
+class LoadGlobalExpr : public Expr {
+public:
+  LoadGlobalExpr(const Param *P, Expr *Index, unsigned VectorWidth = 1)
+      : Expr(Kind::LoadGlobal, P->Elem), P(P), Index(Index),
+        VectorWidth(VectorWidth) {}
+  const Param *getParam() const { return P; }
+  Expr *getIndex() const { return Index; }
+  unsigned getVectorWidth() const { return VectorWidth; }
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::LoadGlobal;
+  }
+
+private:
+  const Param *P;
+  Expr *Index;
+  unsigned VectorWidth;
+};
+
+class LoadSharedExpr : public Expr {
+public:
+  LoadSharedExpr(const SharedArray *Array, Expr *Index)
+      : Expr(Kind::LoadShared, Array->Elem), Array(Array), Index(Index) {}
+  const SharedArray *getArray() const { return Array; }
+  Expr *getIndex() const { return Index; }
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::LoadShared;
+  }
+
+private:
+  const SharedArray *Array;
+  Expr *Index;
+};
+
+/// Warp shuffle of \p Value by \p Offset within sub-warps of \p Width.
+class ShuffleExpr : public Expr {
+public:
+  ShuffleExpr(ShuffleMode Mode, Expr *Value, Expr *Offset, unsigned Width)
+      : Expr(Kind::Shuffle, Value->getType()), Mode(Mode), Value(Value),
+        Offset(Offset), Width(Width) {}
+  ShuffleMode getMode() const { return Mode; }
+  Expr *getValue() const { return Value; }
+  Expr *getOffset() const { return Offset; }
+  unsigned getWidth() const { return Width; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Shuffle; }
+
+private:
+  ShuffleMode Mode;
+  Expr *Value;
+  Expr *Offset;
+  unsigned Width;
+};
+
+class CastExpr : public Expr {
+public:
+  CastExpr(Expr *Sub, ScalarType Ty) : Expr(Kind::Cast, Ty), Sub(Sub) {}
+  Expr *getSub() const { return Sub; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Cast; }
+
+private:
+  Expr *Sub;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Atomic visibility scope (Pascal introduced block scope; Section II-A2).
+enum class AtomicScope : unsigned char { Device, Block, System };
+
+class Stmt {
+public:
+  enum class Kind : unsigned char {
+    DeclLocal,
+    Assign,
+    StoreGlobal,
+    StoreShared,
+    AtomicGlobal,
+    AtomicShared,
+    If,
+    For,
+    Barrier,
+  };
+
+  Kind getKind() const { return K; }
+
+protected:
+  explicit Stmt(Kind K) : K(K) {}
+  ~Stmt() = default;
+
+private:
+  Kind K;
+};
+
+/// `T name = init;` — declares (and defines) a local.
+class DeclLocalStmt : public Stmt {
+public:
+  DeclLocalStmt(const Local *Var, Expr *Init)
+      : Stmt(Kind::DeclLocal), Var(Var), Init(Init) {}
+  const Local *getLocal() const { return Var; }
+  Expr *getInit() const { return Init; }
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::DeclLocal;
+  }
+
+private:
+  const Local *Var;
+  Expr *Init;
+};
+
+/// `name = value;`
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(const Local *Var, Expr *Value)
+      : Stmt(Kind::Assign), Var(Var), Value(Value) {}
+  const Local *getLocal() const { return Var; }
+  Expr *getValue() const { return Value; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Assign; }
+
+private:
+  const Local *Var;
+  Expr *Value;
+};
+
+class StoreGlobalStmt : public Stmt {
+public:
+  StoreGlobalStmt(const Param *P, Expr *Index, Expr *Value)
+      : Stmt(Kind::StoreGlobal), P(P), Index(Index), Value(Value) {}
+  const Param *getParam() const { return P; }
+  Expr *getIndex() const { return Index; }
+  Expr *getValue() const { return Value; }
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::StoreGlobal;
+  }
+
+private:
+  const Param *P;
+  Expr *Index;
+  Expr *Value;
+};
+
+class StoreSharedStmt : public Stmt {
+public:
+  StoreSharedStmt(const SharedArray *Array, Expr *Index, Expr *Value)
+      : Stmt(Kind::StoreShared), Array(Array), Index(Index), Value(Value) {}
+  const SharedArray *getArray() const { return Array; }
+  Expr *getIndex() const { return Index; }
+  Expr *getValue() const { return Value; }
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::StoreShared;
+  }
+
+private:
+  const SharedArray *Array;
+  Expr *Index;
+  Expr *Value;
+};
+
+/// `atomicAdd[_block](&param[index], value);`
+class AtomicGlobalStmt : public Stmt {
+public:
+  AtomicGlobalStmt(ReduceOp Op, AtomicScope Scope, const Param *P, Expr *Index,
+                   Expr *Value)
+      : Stmt(Kind::AtomicGlobal), Op(Op), Scope(Scope), P(P), Index(Index),
+        Value(Value) {}
+  ReduceOp getOp() const { return Op; }
+  AtomicScope getScope() const { return Scope; }
+  const Param *getParam() const { return P; }
+  Expr *getIndex() const { return Index; }
+  Expr *getValue() const { return Value; }
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::AtomicGlobal;
+  }
+
+private:
+  ReduceOp Op;
+  AtomicScope Scope;
+  const Param *P;
+  Expr *Index;
+  Expr *Value;
+};
+
+/// `atomicAdd(&sharedArray[index], value);`
+class AtomicSharedStmt : public Stmt {
+public:
+  AtomicSharedStmt(ReduceOp Op, const SharedArray *Array, Expr *Index,
+                   Expr *Value)
+      : Stmt(Kind::AtomicShared), Op(Op), Array(Array), Index(Index),
+        Value(Value) {}
+  ReduceOp getOp() const { return Op; }
+  const SharedArray *getArray() const { return Array; }
+  Expr *getIndex() const { return Index; }
+  Expr *getValue() const { return Value; }
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::AtomicShared;
+  }
+
+private:
+  ReduceOp Op;
+  const SharedArray *Array;
+  Expr *Index;
+  Expr *Value;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(Expr *Cond, std::vector<Stmt *> Then, std::vector<Stmt *> Else)
+      : Stmt(Kind::If), Cond(Cond), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  Expr *getCond() const { return Cond; }
+  const std::vector<Stmt *> &getThen() const { return Then; }
+  const std::vector<Stmt *> &getElse() const { return Else; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+
+private:
+  Expr *Cond;
+  std::vector<Stmt *> Then;
+  std::vector<Stmt *> Else;
+};
+
+/// `for (T var = init; cond; var = step) body` — \p Cond is re-evaluated
+/// per lane per iteration; lanes whose condition fails leave the loop.
+class ForStmt : public Stmt {
+public:
+  ForStmt(const Local *IndVar, Expr *Init, Expr *Cond, Expr *Step,
+          std::vector<Stmt *> Body)
+      : Stmt(Kind::For), IndVar(IndVar), Init(Init), Cond(Cond), Step(Step),
+        Body(std::move(Body)) {}
+  const Local *getIndVar() const { return IndVar; }
+  Expr *getInit() const { return Init; }
+  Expr *getCond() const { return Cond; }
+  /// New value assigned to the induction variable each iteration.
+  Expr *getStep() const { return Step; }
+  const std::vector<Stmt *> &getBody() const { return Body; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::For; }
+
+private:
+  const Local *IndVar;
+  Expr *Init;
+  Expr *Cond;
+  Expr *Step;
+  std::vector<Stmt *> Body;
+};
+
+/// `__syncthreads();` — must execute block-uniformly.
+class BarrierStmt : public Stmt {
+public:
+  BarrierStmt() : Stmt(Kind::Barrier) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Barrier; }
+};
+
+//===----------------------------------------------------------------------===//
+// Kernel and module
+//===----------------------------------------------------------------------===//
+
+/// One `__global__` kernel.
+class Kernel {
+public:
+  explicit Kernel(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  Param *addPointerParam(std::string Name, ScalarType Elem);
+  Param *addScalarParam(std::string Name, ScalarType Ty);
+  SharedArray *addSharedArray(std::string Name, ScalarType Elem, Expr *Extent,
+                              bool IsDynamic = false);
+  Local *addLocal(std::string Name, ScalarType Ty);
+
+  const std::vector<std::unique_ptr<Param>> &getParams() const {
+    return Params;
+  }
+  const std::vector<std::unique_ptr<SharedArray>> &getSharedArrays() const {
+    return SharedArrays;
+  }
+  const std::vector<std::unique_ptr<Local>> &getLocals() const {
+    return Locals;
+  }
+
+  std::vector<Stmt *> &getBody() { return Body; }
+  const std::vector<Stmt *> &getBody() const { return Body; }
+
+  /// Estimated registers per thread (occupancy model input). Defaults to a
+  /// small fixed cost plus one per local.
+  unsigned getRegisterEstimate() const;
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Param>> Params;
+  std::vector<std::unique_ptr<SharedArray>> SharedArrays;
+  std::vector<std::unique_ptr<Local>> Locals;
+  std::vector<Stmt *> Body;
+};
+
+/// Owns kernels plus every Expr/Stmt node (arena).
+class Module {
+public:
+  Module() = default;
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  Kernel *addKernel(std::string Name);
+  const std::vector<std::unique_ptr<Kernel>> &getKernels() const {
+    return Kernels;
+  }
+  Kernel *getKernel(const std::string &Name) const;
+
+  template <typename NodeT, typename... ArgTs>
+  NodeT *create(ArgTs &&...Args) {
+    auto Owned = std::make_unique<NodeT>(std::forward<ArgTs>(Args)...);
+    NodeT *Raw = Owned.get();
+    Nodes.push_back(
+        std::unique_ptr<void, void (*)(void *)>(Owned.release(), [](void *P) {
+          delete static_cast<NodeT *>(P);
+        }));
+    return Raw;
+  }
+
+  // Convenience factories.
+  Expr *constI(long long V, ScalarType Ty = ScalarType::I32) {
+    return create<IntConstExpr>(V, Ty);
+  }
+  Expr *constU(long long V) { return constI(V, ScalarType::U32); }
+  Expr *constF(double V) { return create<FloatConstExpr>(V); }
+  Expr *ref(const Local *L) { return create<LocalRefExpr>(L); }
+  Expr *ref(const Param *P) { return create<ParamRefExpr>(P); }
+  Expr *special(SpecialReg R) { return create<SpecialExpr>(R); }
+  Expr *binary(BinOp Op, Expr *L, Expr *R, ScalarType Ty) {
+    return create<BinaryOpExpr>(Op, L, R, Ty);
+  }
+  /// Arithmetic with result type inferred by promotion.
+  Expr *arith(BinOp Op, Expr *L, Expr *R);
+  /// Comparison yielding I32.
+  Expr *cmp(BinOp Op, Expr *L, Expr *R) {
+    return binary(Op, L, R, ScalarType::I32);
+  }
+
+private:
+  std::vector<std::unique_ptr<Kernel>> Kernels;
+  std::vector<std::unique_ptr<void, void (*)(void *)>> Nodes;
+};
+
+/// Promotion rule shared with the verifier: F32 > U32 > I32.
+ScalarType promoteTypes(ScalarType A, ScalarType B);
+
+} // namespace tangram::ir
+
+#endif // TANGRAM_IR_KERNELIR_H

@@ -1,0 +1,369 @@
+//===- Transforms.cpp - Kernel IR optimization passes ----------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Transforms.h"
+
+#include "support/ReduceOp.h"
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+using namespace tangram;
+using namespace tangram::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Warp-aggregated atomics
+//===----------------------------------------------------------------------===//
+
+/// True when \p E is invariant across the lanes of a warp: constants,
+/// scalar params, block-level specials, and arithmetic over those. Lane-
+/// dependent inputs (threadIdx, loads, locals) disqualify.
+bool isLaneInvariant(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntConst:
+  case Expr::Kind::FloatConst:
+  case Expr::Kind::ParamRef:
+    return true;
+  case Expr::Kind::Special: {
+    SpecialReg R = cast<SpecialExpr>(E)->getReg();
+    return R != SpecialReg::ThreadIdxX;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryOpExpr>(E);
+    return isLaneInvariant(B->getLHS()) && isLaneInvariant(B->getRHS());
+  }
+  case Expr::Kind::Unary:
+    return isLaneInvariant(cast<UnaryOpExpr>(E)->getSub());
+  default:
+    return false;
+  }
+}
+
+/// Builds the warp-combine + lane-0-atomic replacement for one atomic
+/// statement updating a lane-invariant address with per-lane \p Value.
+std::vector<Stmt *> buildAggregation(Module &M, Kernel &K, ReduceOp Op,
+                                     ScalarType Elem, Expr *Value,
+                                     unsigned Ordinal,
+                                     const std::function<Stmt *(Expr *)>
+                                         &MakeAtomic) {
+  std::vector<Stmt *> Out;
+  Local *Agg = K.addLocal("agg" + std::to_string(Ordinal), Elem);
+  Out.push_back(M.create<DeclLocalStmt>(Agg, Value));
+
+  // for (o = 16; o > 0; o /= 2) agg = op(agg, shfl_down(agg, o));
+  Local *Off = K.addLocal("agg_off" + std::to_string(Ordinal),
+                          ScalarType::I32);
+  Expr *Shfl = M.create<ShuffleExpr>(ShuffleMode::Down, M.ref(Agg),
+                                     M.ref(Off), 32);
+  BinOp Combine = Op == ReduceOp::Max   ? BinOp::Max
+                  : Op == ReduceOp::Min ? BinOp::Min
+                                        : BinOp::Add;
+  std::vector<Stmt *> LoopBody = {M.create<AssignStmt>(
+      Agg, M.binary(Combine, M.ref(Agg), Shfl, Elem))};
+  Out.push_back(M.create<ForStmt>(
+      Off, M.constI(16), M.cmp(BinOp::GT, M.ref(Off), M.constI(0)),
+      M.arith(BinOp::Div, M.ref(Off), M.constI(2)), std::move(LoopBody)));
+
+  // if (threadIdx.x % warpSize == 0) atomic(op, addr, agg);
+  Expr *IsLane0 = M.cmp(
+      BinOp::EQ,
+      M.binary(BinOp::Rem, M.special(SpecialReg::ThreadIdxX),
+               M.special(SpecialReg::WarpSize), ScalarType::U32),
+      M.constU(0));
+  std::vector<Stmt *> Then = {MakeAtomic(M.ref(Agg))};
+  Out.push_back(M.create<IfStmt>(IsLane0, std::move(Then),
+                                 std::vector<Stmt *>{}));
+  return Out;
+}
+
+/// Walks a statement list, rewriting eligible atomics. \p Uniform tracks
+/// whether every lane of a warp is known to execute this region (required
+/// for the shuffle combine to see all 32 values).
+void aggregateInList(Module &M, Kernel &K, std::vector<Stmt *> &Body,
+                     bool Uniform, TransformStats &Stats) {
+  std::vector<Stmt *> NewBody;
+  for (Stmt *S : Body) {
+    switch (S->getKind()) {
+    case Stmt::Kind::AtomicShared: {
+      auto *A = cast<AtomicSharedStmt>(S);
+      // Sub accumulates additively on the device (see the synthesizer);
+      // aggregate it with Add like the runner does.
+      if (Uniform && isLaneInvariant(A->getIndex())) {
+        auto Repl = buildAggregation(
+            M, K, A->getOp(), A->getArray()->Elem, A->getValue(),
+            Stats.AtomicsAggregated, [&](Expr *Agg) -> Stmt * {
+              return M.create<AtomicSharedStmt>(A->getOp(), A->getArray(),
+                                                A->getIndex(), Agg);
+            });
+        NewBody.insert(NewBody.end(), Repl.begin(), Repl.end());
+        ++Stats.AtomicsAggregated;
+        continue;
+      }
+      break;
+    }
+    case Stmt::Kind::AtomicGlobal: {
+      auto *A = cast<AtomicGlobalStmt>(S);
+      if (Uniform && isLaneInvariant(A->getIndex())) {
+        auto Repl = buildAggregation(
+            M, K, A->getOp(), A->getParam()->Elem, A->getValue(),
+            Stats.AtomicsAggregated, [&](Expr *Agg) -> Stmt * {
+              return M.create<AtomicGlobalStmt>(A->getOp(), A->getScope(),
+                                                A->getParam(),
+                                                A->getIndex(), Agg);
+            });
+        NewBody.insert(NewBody.end(), Repl.begin(), Repl.end());
+        ++Stats.AtomicsAggregated;
+        continue;
+      }
+      break;
+    }
+    case Stmt::Kind::If: {
+      // Control flow below an if may be divergent; recurse with Uniform
+      // cleared (conservative — uniform-condition analysis lives in the
+      // verifier, but the aggregation must be *certain* all lanes run).
+      auto *I = cast<IfStmt>(S);
+      aggregateInList(M, K, const_cast<std::vector<Stmt *> &>(I->getThen()),
+                      /*Uniform=*/false, Stats);
+      aggregateInList(M, K, const_cast<std::vector<Stmt *> &>(I->getElse()),
+                      /*Uniform=*/false, Stats);
+      break;
+    }
+    case Stmt::Kind::For: {
+      auto *F = cast<ForStmt>(S);
+      aggregateInList(M, K, const_cast<std::vector<Stmt *> &>(F->getBody()),
+                      /*Uniform=*/false, Stats);
+      break;
+    }
+    default:
+      break;
+    }
+    NewBody.push_back(S);
+  }
+  Body = std::move(NewBody);
+}
+
+//===----------------------------------------------------------------------===//
+// Constant-trip loop unrolling
+//===----------------------------------------------------------------------===//
+
+/// Evaluates an integer expression over {induction var -> value};
+/// returns nullopt when the expression is not compile-time constant.
+std::optional<long long> evalConst(const Expr *E, const Local *IndVar,
+                                   long long IndValue) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntConst:
+    return cast<IntConstExpr>(E)->getValue();
+  case Expr::Kind::LocalRef:
+    if (cast<LocalRefExpr>(E)->getLocal() == IndVar)
+      return IndValue;
+    return std::nullopt;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryOpExpr>(E);
+    auto L = evalConst(B->getLHS(), IndVar, IndValue);
+    auto R = evalConst(B->getRHS(), IndVar, IndValue);
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->getOp()) {
+    case BinOp::Add:
+      return *L + *R;
+    case BinOp::Sub:
+      return *L - *R;
+    case BinOp::Mul:
+      return *L * *R;
+    case BinOp::Div:
+      return *R ? *L / *R : std::optional<long long>();
+    case BinOp::Rem:
+      return *R ? *L % *R : std::optional<long long>();
+    case BinOp::Min:
+      return std::min(*L, *R);
+    case BinOp::Max:
+      return std::max(*L, *R);
+    case BinOp::LT:
+      return *L < *R;
+    case BinOp::GT:
+      return *L > *R;
+    case BinOp::LE:
+      return *L <= *R;
+    case BinOp::GE:
+      return *L >= *R;
+    case BinOp::EQ:
+      return *L == *R;
+    case BinOp::NE:
+      return *L != *R;
+    case BinOp::LAnd:
+      return (*L != 0) && (*R != 0);
+    case BinOp::LOr:
+      return (*L != 0) || (*R != 0);
+    }
+    return std::nullopt;
+  }
+  case Expr::Kind::Unary: {
+    auto V = evalConst(cast<UnaryOpExpr>(E)->getSub(), IndVar, IndValue);
+    if (!V)
+      return std::nullopt;
+    return cast<UnaryOpExpr>(E)->getOp() == UnOp::Neg ? -*V : !*V;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+/// True when the statement subtree contains a local declaration (such a
+/// body cannot be replicated without redeclaring the local).
+bool bodyDeclaresLocals(const std::vector<Stmt *> &Body) {
+  for (const Stmt *S : Body) {
+    switch (S->getKind()) {
+    case Stmt::Kind::DeclLocal:
+      return true;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      if (bodyDeclaresLocals(I->getThen()) ||
+          bodyDeclaresLocals(I->getElse()))
+        return true;
+      break;
+    }
+    case Stmt::Kind::For:
+      if (bodyDeclaresLocals(cast<ForStmt>(S)->getBody()))
+        return true;
+      break;
+    default:
+      break;
+    }
+  }
+  return false;
+}
+
+/// True when the statement subtree assigns the induction variable.
+bool bodyWritesVar(const std::vector<Stmt *> &Body, const Local *Var) {
+  for (const Stmt *S : Body) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign:
+      if (cast<AssignStmt>(S)->getLocal() == Var)
+        return true;
+      break;
+    case Stmt::Kind::DeclLocal:
+      if (cast<DeclLocalStmt>(S)->getLocal() == Var)
+        return true;
+      break;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      if (bodyWritesVar(I->getThen(), Var) ||
+          bodyWritesVar(I->getElse(), Var))
+        return true;
+      break;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      if (F->getIndVar() == Var || bodyWritesVar(F->getBody(), Var))
+        return true;
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return false;
+}
+
+void unrollInList(Module &M, Kernel &K, std::vector<Stmt *> &Body,
+                  unsigned MaxTrips, TransformStats &Stats) {
+  std::vector<Stmt *> NewBody;
+  for (Stmt *S : Body) {
+    if (auto *I = dyn_cast<IfStmt>(S)) {
+      unrollInList(M, K, const_cast<std::vector<Stmt *> &>(I->getThen()),
+                   MaxTrips, Stats);
+      unrollInList(M, K, const_cast<std::vector<Stmt *> &>(I->getElse()),
+                   MaxTrips, Stats);
+      NewBody.push_back(S);
+      continue;
+    }
+    auto *F = dyn_cast<ForStmt>(S);
+    if (!F) {
+      NewBody.push_back(S);
+      continue;
+    }
+    // Unroll inner loops first.
+    unrollInList(M, K, const_cast<std::vector<Stmt *> &>(F->getBody()),
+                 MaxTrips, Stats);
+
+    const Local *IndVar = F->getIndVar();
+    std::optional<long long> Init = evalConst(F->getInit(), IndVar, 0);
+    bool CanUnroll = Init.has_value() &&
+                     !bodyWritesVar(F->getBody(), IndVar) &&
+                     !bodyDeclaresLocals(F->getBody());
+    std::vector<long long> Iterations;
+    if (CanUnroll) {
+      long long Value = *Init;
+      while (true) {
+        std::optional<long long> Cond =
+            evalConst(F->getCond(), IndVar, Value);
+        if (!Cond) {
+          CanUnroll = false;
+          break;
+        }
+        if (*Cond == 0)
+          break;
+        Iterations.push_back(Value);
+        if (Iterations.size() > MaxTrips) {
+          CanUnroll = false;
+          break;
+        }
+        std::optional<long long> Next =
+            evalConst(F->getStep(), IndVar, Value);
+        if (!Next) {
+          CanUnroll = false;
+          break;
+        }
+        Value = *Next;
+      }
+      if (CanUnroll) {
+        // The loop was the induction variable's declaration; the first
+        // expanded iteration re-declares it.
+        bool First = true;
+        for (long long IterValue : Iterations) {
+          Expr *C = M.create<IntConstExpr>(IterValue, IndVar->Ty);
+          if (First)
+            NewBody.push_back(M.create<DeclLocalStmt>(IndVar, C));
+          else
+            NewBody.push_back(M.create<AssignStmt>(IndVar, C));
+          First = false;
+          for (Stmt *Child : F->getBody())
+            NewBody.push_back(Child);
+        }
+        // Leave the induction variable with its post-loop value.
+        Expr *FinalC = M.create<IntConstExpr>(Value, IndVar->Ty);
+        if (First)
+          NewBody.push_back(M.create<DeclLocalStmt>(IndVar, FinalC));
+        else
+          NewBody.push_back(M.create<AssignStmt>(IndVar, FinalC));
+        ++Stats.LoopsUnrolled;
+        Stats.IterationsExpanded +=
+            static_cast<unsigned>(Iterations.size());
+        continue;
+      }
+    }
+    NewBody.push_back(S);
+  }
+  Body = std::move(NewBody);
+}
+
+} // namespace
+
+TransformStats tangram::ir::aggregateAtomics(Module &M, Kernel &K) {
+  TransformStats Stats;
+  aggregateInList(M, K, K.getBody(), /*Uniform=*/true, Stats);
+  return Stats;
+}
+
+TransformStats tangram::ir::unrollConstantLoops(Module &M, Kernel &K,
+                                                unsigned MaxTrips) {
+  TransformStats Stats;
+  unrollInList(M, K, K.getBody(), MaxTrips, Stats);
+  return Stats;
+}

@@ -1,0 +1,244 @@
+//===- Verifier.cpp - Structural checks on kernel IR ----------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/KernelIR.h"
+#include "support/StringUtils.h"
+
+#include <unordered_set>
+
+using namespace tangram;
+using namespace tangram::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const Kernel &K, std::vector<std::string> &Errors)
+      : K(K), Errors(Errors) {
+    for (const auto &L : K.getLocals())
+      KnownLocals.insert(L.get());
+    for (const auto &P : K.getParams())
+      KnownParams.insert(P.get());
+    for (const auto &A : K.getSharedArrays()) {
+      KnownShared.insert(A.get());
+      if (A->Extent)
+        checkExpr(A->Extent);
+    }
+  }
+
+  bool run() {
+    for (const Stmt *S : K.getBody())
+      checkStmt(S, /*InIf=*/false, /*InLoop=*/false);
+    return Errors.empty();
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Errors.push_back("kernel '" + K.getName() + "': " + Msg);
+  }
+
+  void checkLocalRef(const Local *L, bool RequireDeclared) {
+    if (!KnownLocals.count(L)) {
+      error("reference to a local of another kernel: " + L->Name);
+      return;
+    }
+    if (RequireDeclared && !Declared.count(L))
+      error("use of local '" + L->Name + "' before its declaration");
+  }
+
+  /// Returns true when \p E depends on threadIdx (used for the uniform-
+  /// barrier rule).
+  bool checkExpr(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntConst:
+    case Expr::Kind::FloatConst:
+      return false;
+    case Expr::Kind::LocalRef: {
+      const Local *L = cast<LocalRefExpr>(E)->getLocal();
+      checkLocalRef(L, /*RequireDeclared=*/true);
+      // Conservative: any local may hold thread-dependent data.
+      return ThreadDependentLocals.count(L) != 0;
+    }
+    case Expr::Kind::ParamRef: {
+      const Param *P = cast<ParamRefExpr>(E)->getParam();
+      if (!KnownParams.count(P))
+        error("reference to a param of another kernel: " + P->Name);
+      if (P->IsPointer)
+        error("pointer param '" + P->Name + "' used as a scalar value");
+      return false;
+    }
+    case Expr::Kind::Special:
+      return cast<SpecialExpr>(E)->getReg() == SpecialReg::ThreadIdxX;
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryOpExpr>(E);
+      bool TD = checkExpr(B->getLHS());
+      TD |= checkExpr(B->getRHS());
+      if (B->getOp() == BinOp::Rem &&
+          (B->getLHS()->getType() == ScalarType::F32 ||
+           B->getRHS()->getType() == ScalarType::F32))
+        error("'%' applied to floating-point operands");
+      return TD;
+    }
+    case Expr::Kind::Unary:
+      return checkExpr(cast<UnaryOpExpr>(E)->getSub());
+    case Expr::Kind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      bool TD = checkExpr(S->getCond());
+      TD |= checkExpr(S->getTrueVal());
+      TD |= checkExpr(S->getFalseVal());
+      return TD;
+    }
+    case Expr::Kind::LoadGlobal: {
+      const auto *L = cast<LoadGlobalExpr>(E);
+      if (!KnownParams.count(L->getParam()))
+        error("load through a param of another kernel");
+      else if (!L->getParam()->IsPointer)
+        error("global load through non-pointer param '" +
+              L->getParam()->Name + "'");
+      unsigned W = L->getVectorWidth();
+      if (W != 1 && W != 2 && W != 4)
+        error(strformat("unsupported vector load width %u", W));
+      checkExpr(L->getIndex());
+      return true; // Data from memory is thread-dependent.
+    }
+    case Expr::Kind::LoadShared: {
+      const auto *L = cast<LoadSharedExpr>(E);
+      if (!KnownShared.count(L->getArray()))
+        error("load from a shared array of another kernel");
+      checkExpr(L->getIndex());
+      return true;
+    }
+    case Expr::Kind::Shuffle: {
+      const auto *S = cast<ShuffleExpr>(E);
+      unsigned W = S->getWidth();
+      if (W == 0 || W > 32 || (W & (W - 1)) != 0)
+        error(strformat("shuffle width %u is not a power of two <= 32", W));
+      checkExpr(S->getValue());
+      checkExpr(S->getOffset());
+      return true;
+    }
+    case Expr::Kind::Cast:
+      return checkExpr(cast<CastExpr>(E)->getSub());
+    }
+    return false;
+  }
+
+  void markAssigned(const Local *L, bool ThreadDependent) {
+    if (ThreadDependent)
+      ThreadDependentLocals.insert(L);
+  }
+
+  void checkStmt(const Stmt *S, bool InIf, bool InLoop) {
+    switch (S->getKind()) {
+    case Stmt::Kind::DeclLocal: {
+      const auto *D = cast<DeclLocalStmt>(S);
+      checkLocalRef(D->getLocal(), /*RequireDeclared=*/false);
+      if (!Declared.insert(D->getLocal()).second)
+        error("local '" + D->getLocal()->Name + "' declared twice");
+      if (D->getInit())
+        markAssigned(D->getLocal(), checkExpr(D->getInit()));
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      checkLocalRef(A->getLocal(), /*RequireDeclared=*/true);
+      markAssigned(A->getLocal(), checkExpr(A->getValue()) || InIf);
+      return;
+    }
+    case Stmt::Kind::StoreGlobal: {
+      const auto *St = cast<StoreGlobalStmt>(S);
+      if (!KnownParams.count(St->getParam()) || !St->getParam()->IsPointer)
+        error("bad global store destination");
+      checkExpr(St->getIndex());
+      checkExpr(St->getValue());
+      return;
+    }
+    case Stmt::Kind::StoreShared: {
+      const auto *St = cast<StoreSharedStmt>(S);
+      if (!KnownShared.count(St->getArray()))
+        error("store to a shared array of another kernel");
+      checkExpr(St->getIndex());
+      checkExpr(St->getValue());
+      return;
+    }
+    case Stmt::Kind::AtomicGlobal: {
+      const auto *A = cast<AtomicGlobalStmt>(S);
+      if (!KnownParams.count(A->getParam()) || !A->getParam()->IsPointer)
+        error("bad global atomic destination");
+      checkExpr(A->getIndex());
+      checkExpr(A->getValue());
+      return;
+    }
+    case Stmt::Kind::AtomicShared: {
+      const auto *A = cast<AtomicSharedStmt>(S);
+      if (!KnownShared.count(A->getArray()))
+        error("atomic on a shared array of another kernel");
+      checkExpr(A->getIndex());
+      checkExpr(A->getValue());
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      // Barriers are legal under block-uniform conditions (the generated
+      // Listing 3 shape); only thread-dependent conditions make the region
+      // divergent.
+      bool CondTD = checkExpr(I->getCond());
+      for (const Stmt *Child : I->getThen())
+        checkStmt(Child, /*InIf=*/InIf || CondTD, InLoop);
+      for (const Stmt *Child : I->getElse())
+        checkStmt(Child, /*InIf=*/InIf || CondTD, InLoop);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      checkLocalRef(F->getIndVar(), /*RequireDeclared=*/false);
+      Declared.insert(F->getIndVar());
+      bool HeaderTD = checkExpr(F->getInit());
+      HeaderTD |= checkExpr(F->getCond());
+      HeaderTD |= checkExpr(F->getStep());
+      markAssigned(F->getIndVar(), HeaderTD);
+      bool ContainsBarrier = false;
+      for (const Stmt *Child : F->getBody()) {
+        if (Child->getKind() == Stmt::Kind::Barrier)
+          ContainsBarrier = true;
+        checkStmt(Child, InIf, /*InLoop=*/true);
+      }
+      if (ContainsBarrier && HeaderTD)
+        error("barrier inside a loop with thread-dependent trip count");
+      return;
+    }
+    case Stmt::Kind::Barrier:
+      if (InIf)
+        error("barrier inside divergent control flow");
+      return;
+    }
+  }
+
+  const Kernel &K;
+  std::vector<std::string> &Errors;
+  std::unordered_set<const Local *> KnownLocals;
+  std::unordered_set<const Param *> KnownParams;
+  std::unordered_set<const SharedArray *> KnownShared;
+  std::unordered_set<const Local *> Declared;
+  std::unordered_set<const Local *> ThreadDependentLocals;
+};
+
+} // namespace
+
+bool tangram::ir::verifyKernel(const Kernel &K,
+                               std::vector<std::string> &Errors) {
+  return VerifierImpl(K, Errors).run();
+}
+
+bool tangram::ir::verifyModule(const Module &M,
+                               std::vector<std::string> &Errors) {
+  bool Ok = true;
+  for (const auto &K : M.getKernels())
+    Ok &= verifyKernel(*K, Errors);
+  return Ok;
+}

@@ -1,0 +1,40 @@
+//===- Verifier.h - Structural checks on kernel IR -------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates kernel IR invariants before bytecode compilation:
+///   - every Local/Param/SharedArray referenced belongs to the kernel;
+///   - locals are declared (DeclLocalStmt) before use, loop induction
+///     variables counting as declared by their loop;
+///   - barriers appear only in block-uniform control flow: never inside an
+///     `if`, and inside a `for` only when the loop header is
+///     thread-invariant (no threadIdx dependence);
+///   - operand types are consistent (Rem on integers only, shuffle widths
+///     are powers of two no larger than the warp size).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_IR_VERIFIER_H
+#define TANGRAM_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace tangram::ir {
+
+class Kernel;
+class Module;
+
+/// Verifies \p K; appends human-readable problems to \p Errors. Returns
+/// true when the kernel is well-formed.
+bool verifyKernel(const Kernel &K, std::vector<std::string> &Errors);
+
+/// Verifies every kernel in \p M.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+} // namespace tangram::ir
+
+#endif // TANGRAM_IR_VERIFIER_H

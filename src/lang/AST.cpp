@@ -1,0 +1,143 @@
+//===- AST.cpp - Tangram codelet language AST -----------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AST.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace tangram;
+using namespace tangram::lang;
+
+std::string Type::getString() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Int:
+    return "int";
+  case Kind::Unsigned:
+    return "unsigned";
+  case Kind::Float:
+    return "float";
+  case Kind::Array: {
+    std::string S = Const ? "const Array<1," : "Array<1,";
+    S += Element->getString();
+    S += ">";
+    return S;
+  }
+  case Kind::Vector:
+    return "Vector";
+  case Kind::Sequence:
+    return "Sequence";
+  case Kind::Map:
+    return "Map";
+  }
+  tgr_unreachable("unknown type kind");
+}
+
+const Expr *Expr::ignoreParens() const {
+  const Expr *E = this;
+  while (const auto *PE = dyn_cast<ParenExpr>(E))
+    E = PE->getSubExpr();
+  return E;
+}
+
+bool tangram::lang::isAssignmentOp(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Assign:
+  case BinaryOpKind::AddAssign:
+  case BinaryOpKind::SubAssign:
+  case BinaryOpKind::MulAssign:
+  case BinaryOpKind::DivAssign:
+    return true;
+  default:
+    return false;
+  }
+}
+
+BinaryOpKind tangram::lang::getCompoundOpcode(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::AddAssign:
+    return BinaryOpKind::Add;
+  case BinaryOpKind::SubAssign:
+    return BinaryOpKind::Sub;
+  case BinaryOpKind::MulAssign:
+    return BinaryOpKind::Mul;
+  case BinaryOpKind::DivAssign:
+    return BinaryOpKind::Div;
+  default:
+    tgr_unreachable("not a compound assignment operator");
+  }
+}
+
+const char *tangram::lang::getBinaryOpSpelling(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Add:
+    return "+";
+  case BinaryOpKind::Sub:
+    return "-";
+  case BinaryOpKind::Mul:
+    return "*";
+  case BinaryOpKind::Div:
+    return "/";
+  case BinaryOpKind::Rem:
+    return "%";
+  case BinaryOpKind::LT:
+    return "<";
+  case BinaryOpKind::GT:
+    return ">";
+  case BinaryOpKind::LE:
+    return "<=";
+  case BinaryOpKind::GE:
+    return ">=";
+  case BinaryOpKind::EQ:
+    return "==";
+  case BinaryOpKind::NE:
+    return "!=";
+  case BinaryOpKind::LAnd:
+    return "&&";
+  case BinaryOpKind::LOr:
+    return "||";
+  case BinaryOpKind::Assign:
+    return "=";
+  case BinaryOpKind::AddAssign:
+    return "+=";
+  case BinaryOpKind::SubAssign:
+    return "-=";
+  case BinaryOpKind::MulAssign:
+    return "*=";
+  case BinaryOpKind::DivAssign:
+    return "/=";
+  }
+  tgr_unreachable("unknown binary operator");
+}
+
+const char *tangram::lang::getUnaryOpSpelling(UnaryOpKind Op) {
+  switch (Op) {
+  case UnaryOpKind::Neg:
+    return "-";
+  case UnaryOpKind::Not:
+    return "!";
+  case UnaryOpKind::PreInc:
+    return "++";
+  case UnaryOpKind::PreDec:
+    return "--";
+  }
+  tgr_unreachable("unknown unary operator");
+}
+
+const char *tangram::lang::getCodeletClassName(CodeletClass C) {
+  switch (C) {
+  case CodeletClass::Unknown:
+    return "unknown";
+  case CodeletClass::AtomicAutonomous:
+    return "atomic autonomous";
+  case CodeletClass::Compound:
+    return "compound";
+  case CodeletClass::Cooperative:
+    return "cooperative";
+  }
+  tgr_unreachable("unknown codelet class");
+}

@@ -1,0 +1,174 @@
+//===- ASTCloner.cpp - Deep copies of AST subtrees -------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTCloner.h"
+
+#include "lang/ASTContext.h"
+#include "support/ErrorHandling.h"
+
+using namespace tangram;
+using namespace tangram::lang;
+
+VarDecl *ASTCloner::clone(const VarDecl *Var) {
+  auto *New = Ctx.create<VarDecl>(Var->getName(), Var->getType(),
+                                  Var->getQualifiers(), Var->getLoc());
+  DeclMap[Var] = New;
+  if (Var->getArraySize())
+    New->setArraySize(clone(Var->getArraySize()));
+  if (Var->getInit())
+    New->setInit(clone(Var->getInit()));
+  if (Var->hasCtorForm()) {
+    New->setCtorForm(true);
+    std::vector<Expr *> Args;
+    for (const Expr *Arg : Var->getCtorArgs())
+      Args.push_back(clone(Arg));
+    New->setCtorArgs(std::move(Args));
+  }
+  return New;
+}
+
+Expr *ASTCloner::clone(const Expr *E) {
+  Expr *New = nullptr;
+  switch (E->getKind()) {
+  case Stmt::Kind::IntLiteral: {
+    const auto *I = cast<IntLiteralExpr>(E);
+    New = Ctx.create<IntLiteralExpr>(I->getValue(), I->getLoc());
+    break;
+  }
+  case Stmt::Kind::FloatLiteral: {
+    const auto *F = cast<FloatLiteralExpr>(E);
+    New = Ctx.create<FloatLiteralExpr>(F->getValue(), F->getLoc());
+    break;
+  }
+  case Stmt::Kind::DeclRef: {
+    const auto *R = cast<DeclRefExpr>(E);
+    auto *NewRef = Ctx.create<DeclRefExpr>(R->getName(), R->getLoc());
+    if (R->getDecl())
+      NewRef->setDecl(remap(R->getDecl()));
+    New = NewRef;
+    break;
+  }
+  case Stmt::Kind::Paren: {
+    const auto *P = cast<ParenExpr>(E);
+    New = Ctx.create<ParenExpr>(clone(P->getSubExpr()), P->getLoc());
+    break;
+  }
+  case Stmt::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    New = Ctx.create<UnaryExpr>(U->getOp(), clone(U->getSubExpr()),
+                                U->getLoc());
+    break;
+  }
+  case Stmt::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    New = Ctx.create<BinaryExpr>(B->getOp(), clone(B->getLHS()),
+                                 clone(B->getRHS()), B->getLoc());
+    break;
+  }
+  case Stmt::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    New = Ctx.create<ConditionalExpr>(clone(C->getCond()),
+                                      clone(C->getTrueExpr()),
+                                      clone(C->getFalseExpr()), C->getLoc());
+    break;
+  }
+  case Stmt::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<Expr *> Args;
+    for (const Expr *Arg : C->getArgs())
+      Args.push_back(clone(Arg));
+    auto *NewCall =
+        Ctx.create<CallExpr>(C->getCallee(), std::move(Args), C->getLoc());
+    NewCall->setCalleeKind(C->getCalleeKind());
+    NewCall->setDisabled(C->isDisabled());
+    New = NewCall;
+    break;
+  }
+  case Stmt::Kind::MemberCall: {
+    const auto *M = cast<MemberCallExpr>(E);
+    std::vector<Expr *> Args;
+    for (const Expr *Arg : M->getArgs())
+      Args.push_back(clone(Arg));
+    auto *NewCall = Ctx.create<MemberCallExpr>(
+        clone(M->getBase()), M->getMember(), std::move(Args), M->getLoc());
+    NewCall->setMemberKind(M->getMemberKind());
+    NewCall->setAtomicOp(M->getAtomicOp());
+    New = NewCall;
+    break;
+  }
+  case Stmt::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    New = Ctx.create<IndexExpr>(clone(I->getBase()), clone(I->getIndex()),
+                                I->getLoc());
+    break;
+  }
+  default:
+    tgr_unreachable("not an expression kind");
+  }
+  New->setType(E->getType());
+  return New;
+}
+
+Stmt *ASTCloner::clone(const Stmt *S) {
+  if (const auto *E = dyn_cast<Expr>(S))
+    return clone(E);
+  switch (S->getKind()) {
+  case Stmt::Kind::Compound: {
+    const auto *C = cast<CompoundStmt>(S);
+    std::vector<Stmt *> Body;
+    for (const Stmt *Child : C->getBody())
+      Body.push_back(clone(Child));
+    return Ctx.create<CompoundStmt>(std::move(Body), C->getLoc());
+  }
+  case Stmt::Kind::DeclStmt: {
+    const auto *D = cast<DeclStmt>(S);
+    return Ctx.create<DeclStmt>(clone(D->getVar()), D->getLoc());
+  }
+  case Stmt::Kind::For: {
+    // Clone in source order (explicitly sequenced: the init declares the
+    // induction variable the other operands reference, and C++ leaves
+    // function-argument evaluation order unspecified).
+    const auto *F = cast<ForStmt>(S);
+    Stmt *Init = F->getInit() ? clone(F->getInit()) : nullptr;
+    Expr *Cond = F->getCond() ? clone(F->getCond()) : nullptr;
+    Expr *Inc = F->getInc() ? clone(F->getInc()) : nullptr;
+    Stmt *Body = clone(F->getBody());
+    return Ctx.create<ForStmt>(Init, Cond, Inc, Body, F->getLoc());
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return Ctx.create<IfStmt>(clone(I->getCond()), clone(I->getThen()),
+                              I->getElse() ? clone(I->getElse()) : nullptr,
+                              I->getLoc());
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    return Ctx.create<ReturnStmt>(R->getValue() ? clone(R->getValue())
+                                                : nullptr,
+                                  R->getLoc());
+  }
+  default:
+    tgr_unreachable("unknown statement kind");
+  }
+}
+
+CodeletDecl *ASTCloner::clone(const CodeletDecl *C) {
+  std::vector<ParamDecl *> Params;
+  for (const ParamDecl *P : C->getParams()) {
+    auto *NewParam = Ctx.create<ParamDecl>(P->getName(), P->getType(),
+                                           P->getLoc());
+    DeclMap[P] = NewParam;
+    Params.push_back(NewParam);
+  }
+  auto *Body = cast<CompoundStmt>(clone(C->getBody()));
+  auto *New = Ctx.create<CodeletDecl>(C->getName(), C->getReturnType(),
+                                      std::move(Params), Body,
+                                      C->isCoopQualified(), C->getTag(),
+                                      C->getLoc());
+  New->setCodeletClass(C->getCodeletClass());
+  DeclMap[C] = New;
+  return New;
+}

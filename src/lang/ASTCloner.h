@@ -1,0 +1,56 @@
+//===- ASTCloner.h - Deep copies of AST subtrees ----------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-copies codelets so the synthesizer can apply destructive
+/// transformations per code variant (Fig. 5's variant loop) without
+/// disturbing the checked source AST. Cloning preserves resolved semantic
+/// information: expression types, member/callee kinds, and declaration
+/// references (remapped onto the cloned declarations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_LANG_ASTCLONER_H
+#define TANGRAM_LANG_ASTCLONER_H
+
+#include "lang/AST.h"
+
+#include <unordered_map>
+
+namespace tangram::lang {
+
+class ASTContext;
+
+/// Clones AST subtrees into \p Ctx, remapping declaration references.
+class ASTCloner {
+public:
+  explicit ASTCloner(ASTContext &Ctx) : Ctx(Ctx) {}
+
+  /// Deep-copies an entire codelet (params, body, resolved info).
+  CodeletDecl *clone(const CodeletDecl *C);
+
+  /// Deep-copies a statement subtree. References to declarations cloned
+  /// earlier through this cloner are remapped; others are kept as-is.
+  Stmt *clone(const Stmt *S);
+  Expr *clone(const Expr *E);
+  VarDecl *clone(const VarDecl *Var);
+
+  /// Pre-seeds a declaration mapping (e.g. params of a synthetic wrapper).
+  void mapDecl(const Decl *From, Decl *To) { DeclMap[From] = To; }
+
+private:
+  Decl *remap(Decl *D) const {
+    auto It = DeclMap.find(D);
+    return It != DeclMap.end() ? It->second : D;
+  }
+
+  ASTContext &Ctx;
+  std::unordered_map<const Decl *, Decl *> DeclMap;
+};
+
+} // namespace tangram::lang
+
+#endif // TANGRAM_LANG_ASTCLONER_H

@@ -1,0 +1,40 @@
+//===- ASTPrinter.h - Render an AST back to source text --------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders AST nodes back to (normalized) Tangram source text. Used by
+/// golden tests, the `codegen_explorer` example, and transform debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_LANG_ASTPRINTER_H
+#define TANGRAM_LANG_ASTPRINTER_H
+
+#include <string>
+
+namespace tangram::lang {
+
+class CodeletDecl;
+class Expr;
+class Stmt;
+class VarDecl;
+struct TranslationUnit;
+
+/// Renders \p E as one line of source text.
+std::string printExpr(const Expr *E);
+
+/// Renders \p S with \p Indent leading levels (two spaces per level).
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+/// Renders a full codelet definition.
+std::string printCodelet(const CodeletDecl *C);
+
+/// Renders every codelet in the unit separated by blank lines.
+std::string printTranslationUnit(const TranslationUnit &TU);
+
+} // namespace tangram::lang
+
+#endif // TANGRAM_LANG_ASTPRINTER_H

@@ -1,0 +1,182 @@
+//===- ASTVisitor.h - CRTP recursive AST traversal --------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small RecursiveASTVisitor in the Clang mold. Derive with CRTP and
+/// override any subset of the `visitXxx` hooks; `traverseStmt` walks the
+/// tree in preorder. A hook returning false prunes the subtree (children
+/// are not visited).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_LANG_ASTVISITOR_H
+#define TANGRAM_LANG_ASTVISITOR_H
+
+#include "lang/AST.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+namespace tangram::lang {
+
+template <typename Derived> class ASTVisitor {
+public:
+  Derived &derived() { return *static_cast<Derived *>(this); }
+
+  // Hooks; override in Derived. Return false to skip children.
+  bool visitCompoundStmt(CompoundStmt *) { return true; }
+  bool visitDeclStmt(DeclStmt *) { return true; }
+  bool visitForStmt(ForStmt *) { return true; }
+  bool visitIfStmt(IfStmt *) { return true; }
+  bool visitReturnStmt(ReturnStmt *) { return true; }
+  bool visitIntLiteralExpr(IntLiteralExpr *) { return true; }
+  bool visitFloatLiteralExpr(FloatLiteralExpr *) { return true; }
+  bool visitDeclRefExpr(DeclRefExpr *) { return true; }
+  bool visitParenExpr(ParenExpr *) { return true; }
+  bool visitUnaryExpr(UnaryExpr *) { return true; }
+  bool visitBinaryExpr(BinaryExpr *) { return true; }
+  bool visitConditionalExpr(ConditionalExpr *) { return true; }
+  bool visitCallExpr(CallExpr *) { return true; }
+  bool visitMemberCallExpr(MemberCallExpr *) { return true; }
+  bool visitIndexExpr(IndexExpr *) { return true; }
+  bool visitVarDecl(VarDecl *) { return true; }
+
+  /// Preorder traversal of \p S (null-safe).
+  void traverseStmt(Stmt *S) {
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound: {
+      auto *C = cast<CompoundStmt>(S);
+      if (!derived().visitCompoundStmt(C))
+        return;
+      for (Stmt *Child : C->getBody())
+        traverseStmt(Child);
+      return;
+    }
+    case Stmt::Kind::DeclStmt: {
+      auto *D = cast<DeclStmt>(S);
+      if (!derived().visitDeclStmt(D))
+        return;
+      traverseVarDecl(D->getVar());
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *F = cast<ForStmt>(S);
+      if (!derived().visitForStmt(F))
+        return;
+      traverseStmt(F->getInit());
+      traverseStmt(F->getCond());
+      traverseStmt(F->getInc());
+      traverseStmt(F->getBody());
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      if (!derived().visitIfStmt(I))
+        return;
+      traverseStmt(I->getCond());
+      traverseStmt(I->getThen());
+      traverseStmt(I->getElse());
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto *R = cast<ReturnStmt>(S);
+      if (!derived().visitReturnStmt(R))
+        return;
+      traverseStmt(R->getValue());
+      return;
+    }
+    case Stmt::Kind::IntLiteral:
+      derived().visitIntLiteralExpr(cast<IntLiteralExpr>(S));
+      return;
+    case Stmt::Kind::FloatLiteral:
+      derived().visitFloatLiteralExpr(cast<FloatLiteralExpr>(S));
+      return;
+    case Stmt::Kind::DeclRef:
+      derived().visitDeclRefExpr(cast<DeclRefExpr>(S));
+      return;
+    case Stmt::Kind::Paren: {
+      auto *P = cast<ParenExpr>(S);
+      if (!derived().visitParenExpr(P))
+        return;
+      traverseStmt(P->getSubExpr());
+      return;
+    }
+    case Stmt::Kind::Unary: {
+      auto *U = cast<UnaryExpr>(S);
+      if (!derived().visitUnaryExpr(U))
+        return;
+      traverseStmt(U->getSubExpr());
+      return;
+    }
+    case Stmt::Kind::Binary: {
+      auto *B = cast<BinaryExpr>(S);
+      if (!derived().visitBinaryExpr(B))
+        return;
+      traverseStmt(B->getLHS());
+      traverseStmt(B->getRHS());
+      return;
+    }
+    case Stmt::Kind::Conditional: {
+      auto *C = cast<ConditionalExpr>(S);
+      if (!derived().visitConditionalExpr(C))
+        return;
+      traverseStmt(C->getCond());
+      traverseStmt(C->getTrueExpr());
+      traverseStmt(C->getFalseExpr());
+      return;
+    }
+    case Stmt::Kind::Call: {
+      auto *C = cast<CallExpr>(S);
+      if (!derived().visitCallExpr(C))
+        return;
+      for (Expr *Arg : C->getArgs())
+        traverseStmt(Arg);
+      return;
+    }
+    case Stmt::Kind::MemberCall: {
+      auto *M = cast<MemberCallExpr>(S);
+      if (!derived().visitMemberCallExpr(M))
+        return;
+      traverseStmt(M->getBase());
+      for (Expr *Arg : M->getArgs())
+        traverseStmt(Arg);
+      return;
+    }
+    case Stmt::Kind::Index: {
+      auto *I = cast<IndexExpr>(S);
+      if (!derived().visitIndexExpr(I))
+        return;
+      traverseStmt(I->getBase());
+      traverseStmt(I->getIndex());
+      return;
+    }
+    }
+    tgr_unreachable("unknown statement kind");
+  }
+
+  /// Visits a VarDecl and its owned expressions.
+  void traverseVarDecl(VarDecl *Var) {
+    if (!Var)
+      return;
+    if (!derived().visitVarDecl(Var))
+      return;
+    traverseStmt(Var->getArraySize());
+    traverseStmt(Var->getInit());
+    for (Expr *Arg : Var->getCtorArgs())
+      traverseStmt(Arg);
+  }
+
+  /// Visits all statements of a codelet body.
+  void traverseCodelet(CodeletDecl *C) {
+    if (C)
+      traverseStmt(C->getBody());
+  }
+};
+
+} // namespace tangram::lang
+
+#endif // TANGRAM_LANG_ASTVISITOR_H

@@ -1,0 +1,219 @@
+//===- Lexer.cpp - Tangram language lexer ---------------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+
+using namespace tangram;
+using namespace tangram::lang;
+
+static const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+#define KEYWORD(Kind, Spelling) {Spelling, TokenKind::Kind},
+#include "lang/TokenKinds.def"
+  };
+  return Table;
+}
+
+Lexer::Lexer(const SourceManager &SM, DiagnosticEngine &Diags)
+    : SM(SM), Diags(Diags), Text(SM.getText()) {}
+
+char Lexer::peek(uint32_t LookAhead) const {
+  return Pos + LookAhead < Text.size() ? Text[Pos + LookAhead] : '\0';
+}
+
+Token Lexer::makeToken(TokenKind Kind, uint32_t Begin) {
+  return Token(Kind, Text.substr(Begin, Pos - Begin), SourceLoc(Begin));
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t Begin = Pos;
+      Pos += 2;
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        ++Pos;
+      if (atEnd()) {
+        Diags.error(SourceLoc(Begin), "unterminated block comment");
+        return;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  uint32_t Begin = Pos;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    ++Pos;
+  std::string_view Spelling = Text.substr(Begin, Pos - Begin);
+  auto It = keywordTable().find(Spelling);
+  return makeToken(It != keywordTable().end() ? It->second
+                                              : TokenKind::Identifier,
+                   Begin);
+}
+
+Token Lexer::lexNumber() {
+  uint32_t Begin = Pos;
+  bool SawDot = false;
+  while (!atEnd() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      (!SawDot && peek() == '.' &&
+                       std::isdigit(static_cast<unsigned char>(peek(1)))))) {
+    if (peek() == '.')
+      SawDot = true;
+    ++Pos;
+  }
+  // Float suffix.
+  if (SawDot && !atEnd() && (peek() == 'f' || peek() == 'F'))
+    ++Pos;
+  return makeToken(SawDot ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                   Begin);
+}
+
+Token Lexer::lex() {
+  while (true) {
+    skipWhitespaceAndComments();
+    if (atEnd())
+      return Token(TokenKind::Eof, Text.substr(Text.size(), 0),
+                   SourceLoc(static_cast<uint32_t>(Text.size())));
+
+    uint32_t Begin = Pos;
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdentifierOrKeyword();
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber();
+
+    auto twoChar = [&](char Second, TokenKind Two,
+                       TokenKind One) -> Token {
+      ++Pos;
+      if (peek() == Second) {
+        ++Pos;
+        return makeToken(Two, Begin);
+      }
+      return makeToken(One, Begin);
+    };
+
+    switch (C) {
+    case '(':
+      ++Pos;
+      return makeToken(TokenKind::LParen, Begin);
+    case ')':
+      ++Pos;
+      return makeToken(TokenKind::RParen, Begin);
+    case '{':
+      ++Pos;
+      return makeToken(TokenKind::LBrace, Begin);
+    case '}':
+      ++Pos;
+      return makeToken(TokenKind::RBrace, Begin);
+    case '[':
+      ++Pos;
+      return makeToken(TokenKind::LBracket, Begin);
+    case ']':
+      ++Pos;
+      return makeToken(TokenKind::RBracket, Begin);
+    case ',':
+      ++Pos;
+      return makeToken(TokenKind::Comma, Begin);
+    case ';':
+      ++Pos;
+      return makeToken(TokenKind::Semi, Begin);
+    case '.':
+      ++Pos;
+      return makeToken(TokenKind::Period, Begin);
+    case '?':
+      ++Pos;
+      return makeToken(TokenKind::Question, Begin);
+    case ':':
+      ++Pos;
+      return makeToken(TokenKind::Colon, Begin);
+    case '<':
+      return twoChar('=', TokenKind::LessEqual, TokenKind::Less);
+    case '>':
+      return twoChar('=', TokenKind::GreaterEqual, TokenKind::Greater);
+    case '=':
+      return twoChar('=', TokenKind::EqualEqual, TokenKind::Equal);
+    case '!':
+      return twoChar('=', TokenKind::ExclaimEqual, TokenKind::Exclaim);
+    case '&':
+      if (peek(1) == '&') {
+        Pos += 2;
+        return makeToken(TokenKind::AmpAmp, Begin);
+      }
+      break;
+    case '|':
+      if (peek(1) == '|') {
+        Pos += 2;
+        return makeToken(TokenKind::PipePipe, Begin);
+      }
+      break;
+    case '+':
+      ++Pos;
+      if (peek() == '=') {
+        ++Pos;
+        return makeToken(TokenKind::PlusEqual, Begin);
+      }
+      if (peek() == '+') {
+        ++Pos;
+        return makeToken(TokenKind::PlusPlus, Begin);
+      }
+      return makeToken(TokenKind::Plus, Begin);
+    case '-':
+      ++Pos;
+      if (peek() == '=') {
+        ++Pos;
+        return makeToken(TokenKind::MinusEqual, Begin);
+      }
+      if (peek() == '-') {
+        ++Pos;
+        return makeToken(TokenKind::MinusMinus, Begin);
+      }
+      return makeToken(TokenKind::Minus, Begin);
+    case '*':
+      return twoChar('=', TokenKind::StarEqual, TokenKind::Star);
+    case '/':
+      return twoChar('=', TokenKind::SlashEqual, TokenKind::Slash);
+    case '%':
+      ++Pos;
+      return makeToken(TokenKind::Percent, Begin);
+    default:
+      break;
+    }
+
+    Diags.error(SourceLoc(Begin),
+                std::string("unexpected character '") + C + "'");
+    ++Pos; // Recover by skipping the character.
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(lex());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

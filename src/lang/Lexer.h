@@ -1,0 +1,56 @@
+//===- Lexer.h - Tangram language lexer ------------------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Tangram codelet language. Understands C-style
+/// line and block comments, integer and floating literals, the punctuators
+/// and keywords in TokenKinds.def, and reports malformed input through the
+/// DiagnosticEngine (recovering by skipping the offending character).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_LANG_LEXER_H
+#define TANGRAM_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <vector>
+
+namespace tangram {
+class DiagnosticEngine;
+class SourceManager;
+} // namespace tangram
+
+namespace tangram::lang {
+
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token (Eof forever once exhausted).
+  Token lex();
+
+  /// Lexes the whole buffer; the returned vector ends with the Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  Token makeToken(TokenKind Kind, uint32_t Begin);
+  void skipWhitespaceAndComments();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+
+  char peek(uint32_t LookAhead = 0) const;
+  bool atEnd() const { return Pos >= Text.size(); }
+
+  const SourceManager &SM;
+  DiagnosticEngine &Diags;
+  std::string_view Text;
+  uint32_t Pos = 0;
+};
+
+} // namespace tangram::lang
+
+#endif // TANGRAM_LANG_LEXER_H

@@ -1,0 +1,740 @@
+//===- Parser.cpp - Tangram language recursive-descent parser -------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "support/Diagnostics.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdlib>
+#include <string>
+
+using namespace tangram;
+using namespace tangram::lang;
+
+Parser::Parser(const SourceManager &SM, ASTContext &Ctx,
+               DiagnosticEngine &Diags)
+    : Ctx(Ctx), Diags(Diags) {
+  Lexer Lex(SM, Diags);
+  Tokens = Lex.lexAll();
+}
+
+const Token &Parser::tok(unsigned LookAhead) const {
+  unsigned I = Index + LookAhead;
+  if (I >= Tokens.size())
+    I = static_cast<unsigned>(Tokens.size() - 1); // Eof token.
+  return Tokens[I];
+}
+
+Token Parser::consume() {
+  Token T = tok();
+  if (Index + 1 < Tokens.size())
+    ++Index;
+  return T;
+}
+
+bool Parser::consumeIf(TokenKind Kind) {
+  if (tok().isNot(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (consumeIf(Kind))
+    return true;
+  Diags.error(tok().getLoc(), std::string("expected ") +
+                                  getTokenKindName(Kind) + " " + Context +
+                                  ", found " +
+                                  getTokenKindName(tok().getKind()));
+  return false;
+}
+
+void Parser::skipUntil(TokenKind Kind, bool ConsumeIt) {
+  unsigned Depth = 0;
+  while (tok().isNot(TokenKind::Eof)) {
+    if (Depth == 0 && tok().is(Kind)) {
+      if (ConsumeIt)
+        consume();
+      return;
+    }
+    if (tok().is(TokenKind::LBrace))
+      ++Depth;
+    else if (tok().is(TokenKind::RBrace) && Depth > 0)
+      --Depth;
+    consume();
+  }
+}
+
+bool Parser::startsType(unsigned LookAhead) const {
+  switch (tok(LookAhead).getKind()) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwInt:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwFloat:
+  case TokenKind::KwConst:
+  case TokenKind::KwArray:
+  case TokenKind::KwVector:
+  case TokenKind::KwSequence:
+  case TokenKind::KwMap:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::startsDeclStmt() const {
+  switch (tok().getKind()) {
+  case TokenKind::KwShared:
+  case TokenKind::KwTunable:
+  case TokenKind::KwAtomicAddQual:
+  case TokenKind::KwAtomicSubQual:
+  case TokenKind::KwAtomicMaxQual:
+  case TokenKind::KwAtomicMinQual:
+    return true;
+  default:
+    return startsType();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+TranslationUnit Parser::parseTranslationUnit() {
+  TranslationUnit TU;
+  while (tok().isNot(TokenKind::Eof)) {
+    if (tok().isNot(TokenKind::KwCodelet)) {
+      Diags.error(tok().getLoc(), "expected '__codelet' at top level");
+      skipUntil(TokenKind::KwCodelet, /*ConsumeIt=*/false);
+      if (tok().is(TokenKind::Eof))
+        break;
+    }
+    if (CodeletDecl *C = parseCodelet())
+      TU.Codelets.push_back(C);
+  }
+  return TU;
+}
+
+CodeletDecl *Parser::parseCodelet() {
+  SourceLoc Loc = tok().getLoc();
+  if (!expect(TokenKind::KwCodelet, "to begin a codelet"))
+    return nullptr;
+
+  bool IsCoop = false;
+  std::string Tag;
+  while (true) {
+    if (consumeIf(TokenKind::KwCoop)) {
+      IsCoop = true;
+      continue;
+    }
+    if (consumeIf(TokenKind::KwTag)) {
+      if (!expect(TokenKind::LParen, "after '__tag'"))
+        return nullptr;
+      if (tok().is(TokenKind::Identifier))
+        Tag = std::string(consume().getText());
+      else
+        Diags.error(tok().getLoc(), "expected tag name in '__tag(...)'");
+      if (!expect(TokenKind::RParen, "to close '__tag(...)'"))
+        return nullptr;
+      continue;
+    }
+    break;
+  }
+
+  const Type *ReturnType = parseType();
+  if (!ReturnType)
+    return nullptr;
+  if (tok().isNot(TokenKind::Identifier)) {
+    Diags.error(tok().getLoc(), "expected codelet name");
+    return nullptr;
+  }
+  std::string Name(consume().getText());
+
+  if (!expect(TokenKind::LParen, "to begin the parameter list"))
+    return nullptr;
+  std::vector<ParamDecl *> Params;
+  if (tok().isNot(TokenKind::RParen)) {
+    do {
+      ParamDecl *P = parseParam();
+      if (!P)
+        return nullptr;
+      Params.push_back(P);
+    } while (consumeIf(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "to close the parameter list"))
+    return nullptr;
+
+  if (tok().isNot(TokenKind::LBrace)) {
+    Diags.error(tok().getLoc(), "expected codelet body");
+    return nullptr;
+  }
+  CompoundStmt *Body = parseCompound();
+  if (!Body)
+    return nullptr;
+  return Ctx.create<CodeletDecl>(std::move(Name), ReturnType,
+                                 std::move(Params), Body, IsCoop,
+                                 std::move(Tag), Loc);
+}
+
+const Type *Parser::parseType() {
+  bool Const = consumeIf(TokenKind::KwConst);
+  switch (tok().getKind()) {
+  case TokenKind::KwVoid:
+    consume();
+    return Ctx.getVoidType();
+  case TokenKind::KwInt:
+    consume();
+    return Ctx.getIntType();
+  case TokenKind::KwUnsigned:
+    consume();
+    // Accept `unsigned int` as a synonym.
+    consumeIf(TokenKind::KwInt);
+    return Ctx.getUnsignedType();
+  case TokenKind::KwFloat:
+    consume();
+    return Ctx.getFloatType();
+  case TokenKind::KwVector:
+    consume();
+    return Ctx.getVectorType();
+  case TokenKind::KwSequence:
+    consume();
+    return Ctx.getSequenceType();
+  case TokenKind::KwMap:
+    consume();
+    return Ctx.getMapType();
+  case TokenKind::KwArray: {
+    consume();
+    if (!expect(TokenKind::Less, "after 'Array'"))
+      return nullptr;
+    if (tok().is(TokenKind::IntLiteral)) {
+      Token Dim = consume();
+      if (Dim.getText() != "1")
+        Diags.error(Dim.getLoc(), "only one-dimensional arrays are supported");
+    } else {
+      Diags.error(tok().getLoc(), "expected array dimensionality");
+      return nullptr;
+    }
+    if (!expect(TokenKind::Comma, "in 'Array<1,T>'"))
+      return nullptr;
+    const Type *Element = parseType();
+    if (!Element)
+      return nullptr;
+    if (!expect(TokenKind::Greater, "to close 'Array<1,T>'"))
+      return nullptr;
+    return Ctx.getArrayType(Element, Const);
+  }
+  default:
+    Diags.error(tok().getLoc(), std::string("expected a type, found ") +
+                                    getTokenKindName(tok().getKind()));
+    return nullptr;
+  }
+}
+
+ParamDecl *Parser::parseParam() {
+  SourceLoc Loc = tok().getLoc();
+  const Type *Ty = parseType();
+  if (!Ty)
+    return nullptr;
+  if (tok().isNot(TokenKind::Identifier)) {
+    Diags.error(tok().getLoc(), "expected parameter name");
+    return nullptr;
+  }
+  std::string Name(consume().getText());
+  return Ctx.create<ParamDecl>(std::move(Name), Ty, Loc);
+}
+
+VarDecl *Parser::parseVarDecl(bool &Ok) {
+  Ok = false;
+  SourceLoc Loc = tok().getLoc();
+
+  VarQualifiers Quals;
+  while (true) {
+    switch (tok().getKind()) {
+    case TokenKind::KwShared:
+      Quals.Shared = true;
+      consume();
+      continue;
+    case TokenKind::KwTunable:
+      Quals.Tunable = true;
+      consume();
+      continue;
+    case TokenKind::KwAtomicAddQual:
+      Quals.HasAtomic = true;
+      Quals.Atomic = ReduceOp::Add;
+      consume();
+      continue;
+    case TokenKind::KwAtomicSubQual:
+      Quals.HasAtomic = true;
+      Quals.Atomic = ReduceOp::Sub;
+      consume();
+      continue;
+    case TokenKind::KwAtomicMaxQual:
+      Quals.HasAtomic = true;
+      Quals.Atomic = ReduceOp::Max;
+      consume();
+      continue;
+    case TokenKind::KwAtomicMinQual:
+      Quals.HasAtomic = true;
+      Quals.Atomic = ReduceOp::Min;
+      consume();
+      continue;
+    default:
+      break;
+    }
+    break;
+  }
+
+  const Type *Ty = parseType();
+  if (!Ty)
+    return nullptr;
+  if (tok().isNot(TokenKind::Identifier)) {
+    Diags.error(tok().getLoc(), "expected variable name");
+    return nullptr;
+  }
+  std::string Name(consume().getText());
+
+  auto *Var = Ctx.create<VarDecl>(std::move(Name), Ty, Quals, Loc);
+
+  if (consumeIf(TokenKind::LBracket)) {
+    Expr *Size = parseExpr();
+    if (!Size || !expect(TokenKind::RBracket, "to close the array size"))
+      return nullptr;
+    Var->setArraySize(Size);
+  }
+
+  if (consumeIf(TokenKind::Equal)) {
+    Expr *Init = parseExpr();
+    if (!Init)
+      return nullptr;
+    Var->setInit(Init);
+  } else if (consumeIf(TokenKind::LParen)) {
+    Var->setCtorForm(true);
+    std::vector<Expr *> Args;
+    if (tok().isNot(TokenKind::RParen)) {
+      do {
+        Expr *Arg = parseExpr();
+        if (!Arg)
+          return nullptr;
+        Args.push_back(Arg);
+      } while (consumeIf(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen, "to close the constructor arguments"))
+      return nullptr;
+    Var->setCtorArgs(std::move(Args));
+  }
+
+  Ok = true;
+  return Var;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Stmt *Parser::parseStmt() {
+  switch (tok().getKind()) {
+  case TokenKind::LBrace:
+    return parseCompound();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  default:
+    break;
+  }
+
+  if (startsDeclStmt()) {
+    SourceLoc Loc = tok().getLoc();
+    bool Ok = false;
+    VarDecl *Var = parseVarDecl(Ok);
+    if (!Ok) {
+      skipUntil(TokenKind::Semi, /*ConsumeIt=*/true);
+      return nullptr;
+    }
+    if (!expect(TokenKind::Semi, "after the declaration")) {
+      skipUntil(TokenKind::Semi, /*ConsumeIt=*/true);
+      return nullptr;
+    }
+    return Ctx.create<DeclStmt>(Var, Loc);
+  }
+
+  Expr *E = parseExpr();
+  if (!E) {
+    skipUntil(TokenKind::Semi, /*ConsumeIt=*/true);
+    return nullptr;
+  }
+  if (!expect(TokenKind::Semi, "after the expression")) {
+    skipUntil(TokenKind::Semi, /*ConsumeIt=*/true);
+    return nullptr;
+  }
+  return E;
+}
+
+CompoundStmt *Parser::parseCompound() {
+  SourceLoc Loc = tok().getLoc();
+  if (!expect(TokenKind::LBrace, "to begin a block"))
+    return nullptr;
+  std::vector<Stmt *> Body;
+  while (tok().isNot(TokenKind::RBrace) && tok().isNot(TokenKind::Eof)) {
+    if (Stmt *S = parseStmt())
+      Body.push_back(S);
+  }
+  expect(TokenKind::RBrace, "to close the block");
+  return Ctx.create<CompoundStmt>(std::move(Body), Loc);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLoc Loc = consume().getLoc(); // 'for'
+  if (!expect(TokenKind::LParen, "after 'for'"))
+    return nullptr;
+
+  Stmt *Init = nullptr;
+  if (tok().isNot(TokenKind::Semi)) {
+    if (startsDeclStmt()) {
+      bool Ok = false;
+      SourceLoc DeclLoc = tok().getLoc();
+      VarDecl *Var = parseVarDecl(Ok);
+      if (!Ok)
+        return nullptr;
+      Init = Ctx.create<DeclStmt>(Var, DeclLoc);
+    } else {
+      Init = parseExpr();
+      if (!Init)
+        return nullptr;
+    }
+  }
+  if (!expect(TokenKind::Semi, "after the for-init"))
+    return nullptr;
+
+  Expr *Cond = nullptr;
+  if (tok().isNot(TokenKind::Semi)) {
+    Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+  }
+  if (!expect(TokenKind::Semi, "after the for-condition"))
+    return nullptr;
+
+  Expr *Inc = nullptr;
+  if (tok().isNot(TokenKind::RParen)) {
+    Inc = parseExpr();
+    if (!Inc)
+      return nullptr;
+  }
+  if (!expect(TokenKind::RParen, "to close the for header"))
+    return nullptr;
+
+  Stmt *Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return Ctx.create<ForStmt>(Init, Cond, Inc, Body, Loc);
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = consume().getLoc(); // 'if'
+  if (!expect(TokenKind::LParen, "after 'if'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokenKind::RParen, "to close the if condition"))
+    return nullptr;
+  Stmt *Then = parseStmt();
+  if (!Then)
+    return nullptr;
+  Stmt *Else = nullptr;
+  if (consumeIf(TokenKind::KwElse)) {
+    Else = parseStmt();
+    if (!Else)
+      return nullptr;
+  }
+  return Ctx.create<IfStmt>(Cond, Then, Else, Loc);
+}
+
+Stmt *Parser::parseReturn() {
+  SourceLoc Loc = consume().getLoc(); // 'return'
+  Expr *Value = nullptr;
+  if (tok().isNot(TokenKind::Semi)) {
+    Value = parseExpr();
+    if (!Value)
+      return nullptr;
+  }
+  if (!expect(TokenKind::Semi, "after the return value"))
+    return nullptr;
+  return Ctx.create<ReturnStmt>(Value, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpr() { return parseAssignment(); }
+
+Expr *Parser::parseAssignment() {
+  Expr *LHS = parseConditional();
+  if (!LHS)
+    return nullptr;
+
+  BinaryOpKind Op;
+  switch (tok().getKind()) {
+  case TokenKind::Equal:
+    Op = BinaryOpKind::Assign;
+    break;
+  case TokenKind::PlusEqual:
+    Op = BinaryOpKind::AddAssign;
+    break;
+  case TokenKind::MinusEqual:
+    Op = BinaryOpKind::SubAssign;
+    break;
+  case TokenKind::StarEqual:
+    Op = BinaryOpKind::MulAssign;
+    break;
+  case TokenKind::SlashEqual:
+    Op = BinaryOpKind::DivAssign;
+    break;
+  default:
+    return LHS;
+  }
+  SourceLoc Loc = consume().getLoc();
+  Expr *RHS = parseAssignment(); // Right-associative.
+  if (!RHS)
+    return nullptr;
+  return Ctx.create<BinaryExpr>(Op, LHS, RHS, Loc);
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinaryRHS(parseUnary(), /*MinPrec=*/1);
+  if (!Cond)
+    return nullptr;
+  if (!consumeIf(TokenKind::Question))
+    return Cond;
+  SourceLoc Loc = tok().getLoc();
+  Expr *TrueExpr = parseExpr();
+  if (!TrueExpr || !expect(TokenKind::Colon, "in the conditional expression"))
+    return nullptr;
+  Expr *FalseExpr = parseConditional();
+  if (!FalseExpr)
+    return nullptr;
+  return Ctx.create<ConditionalExpr>(Cond, TrueExpr, FalseExpr, Loc);
+}
+
+/// Binary operator precedence (higher binds tighter). 0 = not a binary op.
+static int getBinOpPrecedence(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return 1;
+  case TokenKind::AmpAmp:
+    return 2;
+  case TokenKind::EqualEqual:
+  case TokenKind::ExclaimEqual:
+    return 3;
+  case TokenKind::Less:
+  case TokenKind::Greater:
+  case TokenKind::LessEqual:
+  case TokenKind::GreaterEqual:
+    return 4;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 5;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 6;
+  default:
+    return 0;
+  }
+}
+
+static BinaryOpKind getBinOpKind(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return BinaryOpKind::LOr;
+  case TokenKind::AmpAmp:
+    return BinaryOpKind::LAnd;
+  case TokenKind::EqualEqual:
+    return BinaryOpKind::EQ;
+  case TokenKind::ExclaimEqual:
+    return BinaryOpKind::NE;
+  case TokenKind::Less:
+    return BinaryOpKind::LT;
+  case TokenKind::Greater:
+    return BinaryOpKind::GT;
+  case TokenKind::LessEqual:
+    return BinaryOpKind::LE;
+  case TokenKind::GreaterEqual:
+    return BinaryOpKind::GE;
+  case TokenKind::Plus:
+    return BinaryOpKind::Add;
+  case TokenKind::Minus:
+    return BinaryOpKind::Sub;
+  case TokenKind::Star:
+    return BinaryOpKind::Mul;
+  case TokenKind::Slash:
+    return BinaryOpKind::Div;
+  case TokenKind::Percent:
+    return BinaryOpKind::Rem;
+  default:
+    tgr_unreachable("not a binary operator token");
+  }
+}
+
+Expr *Parser::parseBinaryRHS(Expr *LHS, int MinPrec) {
+  if (!LHS)
+    return nullptr;
+  while (true) {
+    int Prec = getBinOpPrecedence(tok().getKind());
+    if (Prec < MinPrec)
+      return LHS;
+    Token OpTok = consume();
+    Expr *RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    int NextPrec = getBinOpPrecedence(tok().getKind());
+    if (NextPrec > Prec) {
+      RHS = parseBinaryRHS(RHS, Prec + 1);
+      if (!RHS)
+        return nullptr;
+    }
+    LHS = Ctx.create<BinaryExpr>(getBinOpKind(OpTok.getKind()), LHS, RHS,
+                                 OpTok.getLoc());
+  }
+}
+
+Expr *Parser::parseUnary() {
+  switch (tok().getKind()) {
+  case TokenKind::Minus: {
+    SourceLoc Loc = consume().getLoc();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return Ctx.create<UnaryExpr>(UnaryOpKind::Neg, Sub, Loc);
+  }
+  case TokenKind::Exclaim: {
+    SourceLoc Loc = consume().getLoc();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return Ctx.create<UnaryExpr>(UnaryOpKind::Not, Sub, Loc);
+  }
+  case TokenKind::PlusPlus:
+  case TokenKind::MinusMinus: {
+    UnaryOpKind Op = tok().is(TokenKind::PlusPlus) ? UnaryOpKind::PreInc
+                                                   : UnaryOpKind::PreDec;
+    SourceLoc Loc = consume().getLoc();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return Ctx.create<UnaryExpr>(Op, Sub, Loc);
+  }
+  default:
+    return parsePostfix();
+  }
+}
+
+bool Parser::parseArgList(std::vector<Expr *> &Args, const char *Context) {
+  if (tok().isNot(TokenKind::RParen)) {
+    do {
+      Expr *Arg = parseExpr();
+      if (!Arg)
+        return false;
+      Args.push_back(Arg);
+    } while (consumeIf(TokenKind::Comma));
+  }
+  return expect(TokenKind::RParen, Context);
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (true) {
+    switch (tok().getKind()) {
+    case TokenKind::LParen: {
+      // Only identifier callees form calls: `sum(...)`, `partition(...)`.
+      auto *Ref = dyn_cast<DeclRefExpr>(E);
+      if (!Ref) {
+        Diags.error(tok().getLoc(), "called object is not a function name");
+        return nullptr;
+      }
+      SourceLoc Loc = consume().getLoc();
+      std::vector<Expr *> Args;
+      if (!parseArgList(Args, "to close the call"))
+        return nullptr;
+      E = Ctx.create<CallExpr>(Ref->getName(), std::move(Args), Loc);
+      break;
+    }
+    case TokenKind::LBracket: {
+      SourceLoc Loc = consume().getLoc();
+      Expr *Index = parseExpr();
+      if (!Index || !expect(TokenKind::RBracket, "to close the subscript"))
+        return nullptr;
+      E = Ctx.create<IndexExpr>(E, Index, Loc);
+      break;
+    }
+    case TokenKind::Period: {
+      SourceLoc Loc = consume().getLoc();
+      if (tok().isNot(TokenKind::Identifier)) {
+        Diags.error(tok().getLoc(), "expected member name after '.'");
+        return nullptr;
+      }
+      std::string Member(consume().getText());
+      if (!expect(TokenKind::LParen, "after the member name"))
+        return nullptr;
+      std::vector<Expr *> Args;
+      if (!parseArgList(Args, "to close the member call"))
+        return nullptr;
+      E = Ctx.create<MemberCallExpr>(E, std::move(Member), std::move(Args),
+                                     Loc);
+      break;
+    }
+    case TokenKind::PlusPlus:
+    case TokenKind::MinusMinus: {
+      // Postfix increment/decrement; statement-position use only, so the
+      // pre/post distinction is immaterial and both map to the prefix form.
+      UnaryOpKind Op = tok().is(TokenKind::PlusPlus) ? UnaryOpKind::PreInc
+                                                     : UnaryOpKind::PreDec;
+      SourceLoc Loc = consume().getLoc();
+      E = Ctx.create<UnaryExpr>(Op, E, Loc);
+      break;
+    }
+    default:
+      return E;
+    }
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  switch (tok().getKind()) {
+  case TokenKind::IntLiteral: {
+    Token T = consume();
+    return Ctx.create<IntLiteralExpr>(
+        std::strtoll(std::string(T.getText()).c_str(), nullptr, 10),
+        T.getLoc());
+  }
+  case TokenKind::FloatLiteral: {
+    Token T = consume();
+    return Ctx.create<FloatLiteralExpr>(
+        std::strtod(std::string(T.getText()).c_str(), nullptr), T.getLoc());
+  }
+  case TokenKind::Identifier: {
+    Token T = consume();
+    return Ctx.create<DeclRefExpr>(std::string(T.getText()), T.getLoc());
+  }
+  case TokenKind::LParen: {
+    SourceLoc Loc = consume().getLoc();
+    Expr *Sub = parseExpr();
+    if (!Sub || !expect(TokenKind::RParen, "to close the parenthesis"))
+      return nullptr;
+    return Ctx.create<ParenExpr>(Sub, Loc);
+  }
+  default:
+    Diags.error(tok().getLoc(), std::string("expected an expression, found ") +
+                                    getTokenKindName(tok().getKind()));
+    return nullptr;
+  }
+}

@@ -1,0 +1,83 @@
+//===- Parser.h - Tangram language recursive-descent parser ----*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Tangram codelet language. Produces a
+/// TranslationUnit of CodeletDecls allocated in the ASTContext. Errors are
+/// reported through the DiagnosticEngine with panic-mode recovery at
+/// statement boundaries, so one buffer yields as many diagnostics as
+/// possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_LANG_PARSER_H
+#define TANGRAM_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/ASTContext.h"
+#include "lang/Token.h"
+
+#include <vector>
+
+namespace tangram {
+class DiagnosticEngine;
+class SourceManager;
+} // namespace tangram
+
+namespace tangram::lang {
+
+class Parser {
+public:
+  Parser(const SourceManager &SM, ASTContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer. On syntax errors the returned unit contains
+  /// the codelets that parsed successfully and `Diags.hasErrors()` is true.
+  TranslationUnit parseTranslationUnit();
+
+private:
+  // Token stream access.
+  const Token &tok(unsigned LookAhead = 0) const;
+  Token consume();
+  bool consumeIf(TokenKind Kind);
+  /// Consumes the expected token or reports an error; returns success.
+  bool expect(TokenKind Kind, const char *Context);
+  void skipUntil(TokenKind Kind, bool ConsumeIt);
+
+  bool startsType(unsigned LookAhead = 0) const;
+  bool startsDeclStmt() const;
+
+  // Declarations.
+  CodeletDecl *parseCodelet();
+  const Type *parseType();
+  ParamDecl *parseParam();
+  VarDecl *parseVarDecl(bool &Ok);
+
+  // Statements.
+  Stmt *parseStmt();
+  CompoundStmt *parseCompound();
+  Stmt *parseFor();
+  Stmt *parseIf();
+  Stmt *parseReturn();
+
+  // Expressions (precedence climbing split into named levels).
+  Expr *parseExpr();
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinaryRHS(Expr *LHS, int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  bool parseArgList(std::vector<Expr *> &Args, const char *Context);
+
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  unsigned Index = 0;
+};
+
+} // namespace tangram::lang
+
+#endif // TANGRAM_LANG_PARSER_H

@@ -1,0 +1,27 @@
+//===- Token.cpp - Lexer tokens -------------------------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Token.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace tangram::lang;
+
+const char *tangram::lang::getTokenKindName(TokenKind Kind) {
+  switch (Kind) {
+#define TOK(K)                                                                 \
+  case TokenKind::K:                                                           \
+    return #K;
+#define PUNCT(K, Spelling)                                                     \
+  case TokenKind::K:                                                           \
+    return "'" Spelling "'";
+#define KEYWORD(K, Spelling)                                                   \
+  case TokenKind::K:                                                           \
+    return "'" Spelling "'";
+#include "lang/TokenKinds.def"
+  }
+  tgr_unreachable("unknown token kind");
+}

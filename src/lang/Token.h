@@ -1,0 +1,57 @@
+//===- Token.h - Lexer tokens ----------------------------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the Lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_LANG_TOKEN_H
+#define TANGRAM_LANG_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string_view>
+
+namespace tangram::lang {
+
+enum class TokenKind : unsigned char {
+#define TOK(Kind) Kind,
+#include "lang/TokenKinds.def"
+};
+
+/// Returns a stable human-readable name for \p Kind ("Identifier", "'+='").
+const char *getTokenKindName(TokenKind Kind);
+
+/// One lexed token. `Text` points into the SourceManager's buffer.
+class Token {
+public:
+  Token() = default;
+  Token(TokenKind Kind, std::string_view Text, SourceLoc Loc)
+      : Kind(Kind), Text(Text), Loc(Loc) {}
+
+  TokenKind getKind() const { return Kind; }
+  std::string_view getText() const { return Text; }
+  SourceLoc getLoc() const { return Loc; }
+  SourceLoc getEndLoc() const {
+    return SourceLoc(Loc.getOffset() + static_cast<uint32_t>(Text.size()));
+  }
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+  template <typename... Ts> bool isOneOf(TokenKind K, Ts... Rest) const {
+    return is(K) || (... || is(Rest));
+  }
+
+private:
+  TokenKind Kind = TokenKind::Eof;
+  std::string_view Text;
+  SourceLoc Loc;
+};
+
+} // namespace tangram::lang
+
+#endif // TANGRAM_LANG_TOKEN_H

@@ -1,0 +1,74 @@
+//===- Type.h - Tangram language types -------------------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Tangram codelet language type system: scalar types (void, int,
+/// unsigned, float), the one-dimensional `Array<1,T>` container, and the
+/// built-in primitive types `Vector`, `Sequence`, and `Map`. Types are
+/// uniqued by the ASTContext so equality is pointer identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_LANG_TYPE_H
+#define TANGRAM_LANG_TYPE_H
+
+#include <cassert>
+#include <string>
+
+namespace tangram::lang {
+
+/// A uniqued, immutable language type.
+class Type {
+public:
+  enum class Kind : unsigned char {
+    Void,
+    Int,
+    Unsigned,
+    Float,
+    Array,    ///< Array<1, Element> (optionally const-qualified)
+    Vector,   ///< The multi-thread cooperation primitive (Fig. 2).
+    Sequence, ///< Access-pattern descriptor used by Partition.
+    Map,      ///< Result of a Map(...) primitive.
+  };
+
+  Kind getKind() const { return K; }
+
+  bool isVoid() const { return K == Kind::Void; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isUnsigned() const { return K == Kind::Unsigned; }
+  bool isFloat() const { return K == Kind::Float; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isVector() const { return K == Kind::Vector; }
+  bool isSequence() const { return K == Kind::Sequence; }
+  bool isMap() const { return K == Kind::Map; }
+
+  /// True for int/unsigned/float — types a reduction accumulator may have.
+  bool isScalar() const { return isInt() || isUnsigned() || isFloat(); }
+  /// True for int/unsigned.
+  bool isIntegral() const { return isInt() || isUnsigned(); }
+
+  /// For arrays: the element type. Null otherwise.
+  const Type *getElementType() const { return Element; }
+  /// For arrays: whether declared `const Array<1,T>`.
+  bool isConstQualified() const { return Const; }
+
+  /// Renders the type as source text, e.g. "const Array<1,int>".
+  std::string getString() const;
+
+protected:
+  /// Constructed only by the ASTContext (via an access helper).
+  Type(Kind K, const Type *Element = nullptr, bool Const = false)
+      : K(K), Element(Element), Const(Const) {}
+
+private:
+  Kind K;
+  const Type *Element = nullptr;
+  bool Const = false;
+};
+
+} // namespace tangram::lang
+
+#endif // TANGRAM_LANG_TYPE_H

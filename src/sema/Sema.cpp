@@ -1,0 +1,487 @@
+//===- Sema.cpp - Semantic analysis for the Tangram language --------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Sema.h"
+
+#include "support/Diagnostics.h"
+#include "support/ErrorHandling.h"
+
+using namespace tangram;
+using namespace tangram::lang;
+using namespace tangram::sema;
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+void Sema::pushScope() { Scopes.emplace_back(); }
+
+void Sema::popScope() { Scopes.pop_back(); }
+
+bool Sema::declare(ValueDecl *D) {
+  auto &Current = Scopes.back();
+  auto [It, Inserted] = Current.try_emplace(D->getName(), D);
+  if (!Inserted) {
+    Diags.error(D->getLoc(), "redefinition of '" + D->getName() + "'");
+    Diags.note(It->second->getLoc(), "previous definition is here");
+    return false;
+  }
+  return true;
+}
+
+ValueDecl *Sema::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+bool Sema::analyze(TranslationUnit &TU) {
+  bool Ok = true;
+  for (CodeletDecl *C : TU.Codelets)
+    Ok &= analyzeCodelet(C, TU);
+  return Ok;
+}
+
+bool Sema::analyzeCodelet(CodeletDecl *C, const TranslationUnit &TU) {
+  unsigned ErrorsBefore = Diags.getNumErrors();
+  CurrentTU = &TU;
+  CurrentCodelet = C;
+  SawVectorDecl = SawMapOrPartition = SawSpectrumCall = false;
+
+  Scopes.clear();
+  pushScope();
+  for (ParamDecl *P : C->getParams())
+    declare(P);
+  pushScope();
+  for (Stmt *S : C->getBody()->getBody())
+    checkStmt(S);
+  popScope();
+  popScope();
+
+  classifyCodelet(C);
+  CurrentCodelet = nullptr;
+  CurrentTU = nullptr;
+  return Diags.getNumErrors() == ErrorsBefore;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements and declarations
+//===----------------------------------------------------------------------===//
+
+void Sema::checkStmt(Stmt *S) {
+  if (!S)
+    return;
+  if (auto *E = dyn_cast<Expr>(S)) {
+    checkExpr(E);
+    return;
+  }
+  switch (S->getKind()) {
+  case Stmt::Kind::Compound:
+    pushScope();
+    for (Stmt *Child : cast<CompoundStmt>(S)->getBody())
+      checkStmt(Child);
+    popScope();
+    return;
+  case Stmt::Kind::DeclStmt:
+    checkVarDecl(cast<DeclStmt>(S)->getVar());
+    return;
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    pushScope();
+    checkStmt(F->getInit());
+    if (F->getCond())
+      checkExpr(F->getCond());
+    if (F->getInc())
+      checkExpr(F->getInc());
+    checkStmt(F->getBody());
+    popScope();
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    checkExpr(I->getCond());
+    checkStmt(I->getThen());
+    checkStmt(I->getElse());
+    return;
+  }
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    const Type *ValueTy = Ctx.getVoidType();
+    if (R->getValue())
+      ValueTy = checkExpr(R->getValue());
+    const Type *Expected = CurrentCodelet->getReturnType();
+    if (Expected->isVoid() != ValueTy->isVoid())
+      Diags.error(R->getLoc(),
+                  Expected->isVoid()
+                      ? "void codelet must not return a value"
+                      : "non-void codelet must return a value");
+    return;
+  }
+  default:
+    tgr_unreachable("unknown statement kind");
+  }
+}
+
+void Sema::checkVarDecl(VarDecl *Var) {
+  const VarQualifiers &Q = Var->getQualifiers();
+  const Type *Ty = Var->getType();
+
+  if (Q.HasAtomic && !Q.Shared)
+    Diags.error(Var->getLoc(),
+                "'_atomic" + std::string(getReduceOpName(Q.Atomic)) +
+                    "' requires the '__shared' qualifier (Section III-B)");
+  if (Q.HasAtomic && Var->isArrayForm())
+    Diags.error(Var->getLoc(),
+                "atomic shared accumulators must be scalar variables");
+  if (Q.Tunable && (Q.Shared || Q.HasAtomic))
+    Diags.error(Var->getLoc(),
+                "'__tunable' cannot combine with memory qualifiers");
+  if (Q.Tunable && Var->getInit())
+    Diags.error(Var->getLoc(),
+                "'__tunable' parameters are bound by the tuner, not "
+                "initialized in source");
+  if (Q.Shared && !Ty->isScalar())
+    Diags.error(Var->getLoc(), "'__shared' applies to scalar element types");
+
+  if (Ty->isVector()) {
+    if (!Var->hasCtorForm() || !Var->getCtorArgs().empty())
+      Diags.error(Var->getLoc(), "Vector declarations use 'Vector v();'");
+    SawVectorDecl = true;
+  } else if (Ty->isSequence()) {
+    if (!Var->hasCtorForm())
+      Diags.error(Var->getLoc(),
+                  "Sequence declarations use constructor syntax");
+    for (Expr *Arg : Var->getCtorArgs()) {
+      // Access-pattern atoms (`tiled`, `strided`) name the pattern the
+      // Sequence triple describes (bottom of Fig. 1b); they are keywords
+      // of the Sequence constructor, not variable references.
+      auto *Ref = dyn_cast<DeclRefExpr>(Arg->ignoreParens());
+      if (Ref && (Ref->getName() == "tiled" || Ref->getName() == "strided")) {
+        Arg->setType(Ctx.getSequenceType());
+        continue;
+      }
+      checkExpr(Arg);
+    }
+  } else if (Ty->isMap()) {
+    SawMapOrPartition = true;
+    if (!Var->hasCtorForm() || Var->getCtorArgs().size() != 2) {
+      Diags.error(Var->getLoc(),
+                  "Map declarations use 'Map m(f, partition(...));'");
+    } else {
+      // First argument: the mapped spectrum, by name.
+      Expr *Fn = Var->getCtorArgs()[0]->ignoreParens();
+      auto *FnRef = dyn_cast<DeclRefExpr>(Fn);
+      if (!FnRef || CurrentTU->getSpectrum(FnRef->getName()).empty())
+        Diags.error(Fn->getLoc(),
+                    "the first Map argument must name a spectrum");
+      else
+        FnRef->setType(Ctx.getVoidType());
+      // Second argument: the partitioned container.
+      checkExpr(Var->getCtorArgs()[1]);
+    }
+  } else {
+    if (Var->getArraySize()) {
+      const Type *SizeTy = checkExpr(Var->getArraySize());
+      if (!SizeTy->isIntegral())
+        Diags.error(Var->getArraySize()->getLoc(),
+                    "array size must be integral");
+    }
+    if (Var->getInit()) {
+      const Type *InitTy = checkExpr(Var->getInit());
+      if (!InitTy->isScalar() || !Ty->isScalar())
+        Diags.error(Var->getLoc(), "scalar initializer required");
+    }
+  }
+
+  declare(Var);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Type *Sema::promote(const Type *A, const Type *B) const {
+  if (A->isFloat() || B->isFloat())
+    return Ctx.getFloatType();
+  if (A->isUnsigned() || B->isUnsigned())
+    return Ctx.getUnsignedType();
+  return Ctx.getIntType();
+}
+
+bool Sema::isAssignable(const Expr *E) const {
+  const Expr *Stripped = E->ignoreParens();
+  if (const auto *Ref = dyn_cast<DeclRefExpr>(Stripped)) {
+    const Decl *D = Ref->getDecl();
+    if (const auto *Var = dyn_cast_if_present<VarDecl>(D))
+      return !Var->isTunable();
+    return false; // Parameters are read-only containers/scalars.
+  }
+  if (const auto *Idx = dyn_cast<IndexExpr>(Stripped)) {
+    const Expr *Base = Idx->getBase()->ignoreParens();
+    if (const auto *Ref = dyn_cast<DeclRefExpr>(Base)) {
+      if (const auto *P = dyn_cast_if_present<ParamDecl>(Ref->getDecl()))
+        return P->getType()->isArray() && !P->getType()->isConstQualified();
+      return true; // Local (shared) arrays are writable.
+    }
+    return false;
+  }
+  return false;
+}
+
+const Type *Sema::checkExpr(Expr *E) {
+  const Type *Result = Ctx.getIntType();
+  switch (E->getKind()) {
+  case Stmt::Kind::IntLiteral:
+    Result = Ctx.getIntType();
+    break;
+  case Stmt::Kind::FloatLiteral:
+    Result = Ctx.getFloatType();
+    break;
+  case Stmt::Kind::DeclRef: {
+    auto *Ref = cast<DeclRefExpr>(E);
+    ValueDecl *D = lookup(Ref->getName());
+    if (!D) {
+      Diags.error(Ref->getLoc(),
+                  "use of undeclared identifier '" + Ref->getName() + "'");
+      break;
+    }
+    Ref->setDecl(D);
+    Result = D->getType();
+    break;
+  }
+  case Stmt::Kind::Paren:
+    Result = checkExpr(cast<ParenExpr>(E)->getSubExpr());
+    break;
+  case Stmt::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    const Type *SubTy = checkExpr(U->getSubExpr());
+    if (!SubTy->isScalar())
+      Diags.error(U->getLoc(), "unary operator requires a scalar operand");
+    if ((U->getOp() == UnaryOpKind::PreInc ||
+         U->getOp() == UnaryOpKind::PreDec) &&
+        !isAssignable(U->getSubExpr()))
+      Diags.error(U->getLoc(), "operand of '++'/'--' is not assignable");
+    Result = U->getOp() == UnaryOpKind::Not ? Ctx.getIntType() : SubTy;
+    break;
+  }
+  case Stmt::Kind::Binary:
+    Result = checkBinary(cast<BinaryExpr>(E));
+    break;
+  case Stmt::Kind::Conditional: {
+    auto *C = cast<ConditionalExpr>(E);
+    const Type *CondTy = checkExpr(C->getCond());
+    if (!CondTy->isScalar())
+      Diags.error(C->getCond()->getLoc(), "condition must be scalar");
+    const Type *TrueTy = checkExpr(C->getTrueExpr());
+    const Type *FalseTy = checkExpr(C->getFalseExpr());
+    if (TrueTy->isScalar() && FalseTy->isScalar())
+      Result = promote(TrueTy, FalseTy);
+    else if (TrueTy == FalseTy)
+      Result = TrueTy;
+    else
+      Diags.error(C->getLoc(), "incompatible conditional operand types");
+    break;
+  }
+  case Stmt::Kind::Call:
+    Result = checkCall(cast<CallExpr>(E));
+    break;
+  case Stmt::Kind::MemberCall:
+    Result = checkMemberCall(cast<MemberCallExpr>(E));
+    break;
+  case Stmt::Kind::Index:
+    Result = checkIndex(cast<IndexExpr>(E));
+    break;
+  default:
+    tgr_unreachable("not an expression kind");
+  }
+  E->setType(Result);
+  return Result;
+}
+
+const Type *Sema::checkBinary(BinaryExpr *B) {
+  const Type *LHSTy = checkExpr(B->getLHS());
+  const Type *RHSTy = checkExpr(B->getRHS());
+
+  if (B->isAssignment()) {
+    if (!isAssignable(B->getLHS()))
+      Diags.error(B->getLoc(), "left-hand side is not assignable");
+    if (!RHSTy->isScalar())
+      Diags.error(B->getRHS()->getLoc(),
+                  "assigned value must be scalar");
+    return LHSTy;
+  }
+
+  switch (B->getOp()) {
+  case BinaryOpKind::LAnd:
+  case BinaryOpKind::LOr:
+  case BinaryOpKind::LT:
+  case BinaryOpKind::GT:
+  case BinaryOpKind::LE:
+  case BinaryOpKind::GE:
+  case BinaryOpKind::EQ:
+  case BinaryOpKind::NE:
+    if (!LHSTy->isScalar() || !RHSTy->isScalar())
+      Diags.error(B->getLoc(), "comparison requires scalar operands");
+    return Ctx.getIntType();
+  default:
+    if (!LHSTy->isScalar() || !RHSTy->isScalar()) {
+      Diags.error(B->getLoc(), "arithmetic requires scalar operands");
+      return Ctx.getIntType();
+    }
+    if (B->getOp() == BinaryOpKind::Rem &&
+        (LHSTy->isFloat() || RHSTy->isFloat()))
+      Diags.error(B->getLoc(), "'%' requires integral operands");
+    return promote(LHSTy, RHSTy);
+  }
+}
+
+const Type *Sema::checkIndex(IndexExpr *I) {
+  const Type *BaseTy = checkExpr(I->getBase());
+  const Type *IndexTy = checkExpr(I->getIndex());
+  if (!IndexTy->isIntegral())
+    Diags.error(I->getIndex()->getLoc(), "array index must be integral");
+
+  // Array<1,T> parameter.
+  if (BaseTy->isArray())
+    return BaseTy->getElementType();
+
+  // Local array-form declaration (`__shared int tmp[n]`): the VarDecl's
+  // type is the element type.
+  const Expr *Base = I->getBase()->ignoreParens();
+  if (const auto *Ref = dyn_cast<DeclRefExpr>(Base))
+    if (const auto *Var = dyn_cast_if_present<VarDecl>(Ref->getDecl()))
+      if (Var->isArrayForm())
+        return Var->getType();
+
+  Diags.error(I->getLoc(), "subscripted value is not an array");
+  return Ctx.getIntType();
+}
+
+const Type *Sema::checkMemberCall(MemberCallExpr *M) {
+  const Type *BaseTy = checkExpr(M->getBase());
+  const std::string &Name = M->getMember();
+
+  for (Expr *Arg : M->getArgs())
+    checkExpr(Arg);
+
+  auto resolve = [&](MemberKind MK, const Type *Ty) {
+    M->setMemberKind(MK);
+    return Ty;
+  };
+
+  if (BaseTy->isArray()) {
+    if (Name == "Size")
+      return resolve(MemberKind::ArraySize, Ctx.getUnsignedType());
+    if (Name == "Stride")
+      return resolve(MemberKind::ArrayStride, Ctx.getUnsignedType());
+  } else if (BaseTy->isVector()) {
+    if (Name == "Size")
+      return resolve(MemberKind::VectorSize, Ctx.getUnsignedType());
+    if (Name == "MaxSize")
+      return resolve(MemberKind::VectorMaxSize, Ctx.getUnsignedType());
+    if (Name == "ThreadId")
+      return resolve(MemberKind::VectorThreadId, Ctx.getUnsignedType());
+    if (Name == "LaneId")
+      return resolve(MemberKind::VectorLaneId, Ctx.getUnsignedType());
+    if (Name == "VectorId")
+      return resolve(MemberKind::VectorVectorId, Ctx.getUnsignedType());
+  } else if (BaseTy->isMap()) {
+    // The Section III-A Map atomic APIs.
+    auto resolveAtomic = [&](ReduceOp Op) {
+      M->setMemberKind(MemberKind::MapAtomic);
+      M->setAtomicOp(Op);
+      return Ctx.getVoidType();
+    };
+    if (Name == "atomicAdd")
+      return resolveAtomic(ReduceOp::Add);
+    if (Name == "atomicSub")
+      return resolveAtomic(ReduceOp::Sub);
+    if (Name == "atomicMax")
+      return resolveAtomic(ReduceOp::Max);
+    if (Name == "atomicMin")
+      return resolveAtomic(ReduceOp::Min);
+  }
+
+  Diags.error(M->getLoc(), "no member '" + Name + "' on type '" +
+                               BaseTy->getString() + "'");
+  return Ctx.getIntType();
+}
+
+const Type *Sema::checkCall(CallExpr *C) {
+  for (Expr *Arg : C->getArgs())
+    checkExpr(Arg);
+
+  if (C->getCallee() == "partition") {
+    C->setCalleeKind(CalleeKind::Partition);
+    // Partition(c, n, start, inc, end): container + count + three
+    // Sequences (Section II-B1).
+    if (C->getArgs().size() != 5) {
+      Diags.error(C->getLoc(),
+                  "partition expects (container, n, start, inc, end)");
+      return Ctx.getMapType();
+    }
+    const Type *ContainerTy = C->getArgs()[0]->getType();
+    if (!ContainerTy->isArray() && !ContainerTy->isMap())
+      Diags.error(C->getArgs()[0]->getLoc(),
+                  "partition requires an Array or Map container");
+    if (!C->getArgs()[1]->getType()->isIntegral())
+      Diags.error(C->getArgs()[1]->getLoc(),
+                  "partition count must be integral");
+    for (unsigned I = 2; I != 5; ++I)
+      if (!C->getArgs()[I]->getType()->isSequence())
+        Diags.error(C->getArgs()[I]->getLoc(),
+                    "partition access patterns must be Sequences");
+    return Ctx.getMapType();
+  }
+
+  // A spectrum call resolves against the codelets of the translation unit.
+  std::vector<CodeletDecl *> Impls = CurrentTU->getSpectrum(C->getCallee());
+  if (!Impls.empty()) {
+    C->setCalleeKind(CalleeKind::Spectrum);
+    SawSpectrumCall = true;
+    if (C->getArgs().size() != 1)
+      Diags.error(C->getLoc(),
+                  "spectrum calls take a single container argument");
+    return Impls.front()->getReturnType();
+  }
+
+  Diags.error(C->getLoc(),
+              "call to unknown function '" + C->getCallee() + "'");
+  return Ctx.getIntType();
+}
+
+//===----------------------------------------------------------------------===//
+// Classification
+//===----------------------------------------------------------------------===//
+
+void Sema::classifyCodelet(CodeletDecl *C) {
+  // Section II-B1: cooperative codelets coordinate multiple threads via the
+  // Vector primitive; compound codelets decompose into other codelets via
+  // Map/Partition or spectrum calls; the rest are atomic autonomous.
+  if (C->isCoopQualified() || SawVectorDecl) {
+    C->setCodeletClass(CodeletClass::Cooperative);
+    if (!C->isCoopQualified())
+      Diags.warning(C->getLoc(),
+                    "codelet uses the Vector primitive; consider the "
+                    "'__coop' qualifier");
+    if (SawMapOrPartition)
+      Diags.error(C->getLoc(),
+                  "cooperative codelets cannot use Map/Partition");
+    return;
+  }
+  if (SawMapOrPartition || SawSpectrumCall) {
+    C->setCodeletClass(CodeletClass::Compound);
+    return;
+  }
+  C->setCodeletClass(CodeletClass::AtomicAutonomous);
+}

@@ -1,0 +1,92 @@
+//===- Sema.h - Semantic analysis for the Tangram language -----*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis: name resolution against lexical scopes, expression
+/// type checking, resolution of primitive member calls (Fig. 2 and the
+/// Section III-A Map atomic APIs), validation of the new qualifiers
+/// (`__shared`, `__tunable`, `_atomicAdd/...`), and codelet classification
+/// into atomic autonomous / compound / cooperative (Section II-B1).
+///
+/// Sema mutates the AST in place: it fills `Expr::Ty`,
+/// `DeclRefExpr::RefDecl`, `MemberCallExpr::Resolved`,
+/// `CallExpr::Resolved`, and `CodeletDecl::Class`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SEMA_SEMA_H
+#define TANGRAM_SEMA_SEMA_H
+
+#include "lang/AST.h"
+#include "lang/ASTContext.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tangram {
+class DiagnosticEngine;
+} // namespace tangram
+
+namespace tangram::sema {
+
+class Sema {
+public:
+  Sema(lang::ASTContext &Ctx, DiagnosticEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  /// Analyzes every codelet in \p TU. Returns true if no errors were
+  /// reported. Safe to call on partially-broken parses; analysis proceeds
+  /// per codelet.
+  bool analyze(lang::TranslationUnit &TU);
+
+  /// Analyzes a single codelet against the spectrum context \p TU (for
+  /// resolving spectrum calls). Used by unit tests and by the synthesizer
+  /// when re-checking transformed codelets.
+  bool analyzeCodelet(lang::CodeletDecl *C, const lang::TranslationUnit &TU);
+
+private:
+  // Scope management.
+  void pushScope();
+  void popScope();
+  bool declare(lang::ValueDecl *D);
+  lang::ValueDecl *lookup(const std::string &Name) const;
+
+  // Statement / declaration checking.
+  void checkStmt(lang::Stmt *S);
+  void checkVarDecl(lang::VarDecl *Var);
+
+  // Expression checking. Returns the expression's type (never null; error
+  // recovery assigns int).
+  const lang::Type *checkExpr(lang::Expr *E);
+  const lang::Type *checkBinary(lang::BinaryExpr *B);
+  const lang::Type *checkMemberCall(lang::MemberCallExpr *M);
+  const lang::Type *checkCall(lang::CallExpr *C);
+  const lang::Type *checkIndex(lang::IndexExpr *I);
+
+  /// True if \p E may appear on the left of an assignment.
+  bool isAssignable(const lang::Expr *E) const;
+
+  /// Numeric promotion of two scalar types (int < unsigned < float).
+  const lang::Type *promote(const lang::Type *A, const lang::Type *B) const;
+
+  void classifyCodelet(lang::CodeletDecl *C);
+
+  lang::ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  const lang::TranslationUnit *CurrentTU = nullptr;
+  lang::CodeletDecl *CurrentCodelet = nullptr;
+  std::vector<std::unordered_map<std::string, lang::ValueDecl *>> Scopes;
+
+  // Facts gathered during the walk, consumed by classifyCodelet.
+  bool SawVectorDecl = false;
+  bool SawMapOrPartition = false;
+  bool SawSpectrumCall = false;
+};
+
+} // namespace tangram::sema
+
+#endif // TANGRAM_SEMA_SEMA_H

@@ -1,0 +1,57 @@
+//===- Diagnostics.cpp - Diagnostic collection and rendering -------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/SourceManager.h"
+
+#include <sstream>
+
+using namespace tangram;
+
+static const char *severityString(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back({Severity, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::render(const Diagnostic &D) const {
+  std::ostringstream OS;
+  OS << SM.getBufferName() << ':';
+  if (D.Loc.isValid()) {
+    LineColumn LC = SM.getLineColumn(D.Loc);
+    OS << LC.Line << ':' << LC.Column << ": ";
+    OS << severityString(D.Severity) << ": " << D.Message << '\n';
+    std::string_view LineText = SM.getLineText(LC.Line);
+    OS << LineText << '\n';
+    for (unsigned I = 1; I < LC.Column; ++I)
+      OS << (I <= LineText.size() && LineText[I - 1] == '\t' ? '\t' : ' ');
+    OS << '^';
+  } else {
+    OS << ' ' << severityString(D.Severity) << ": " << D.Message;
+  }
+  return OS.str();
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    OS << render(D) << '\n';
+  return OS.str();
+}

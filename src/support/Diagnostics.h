@@ -1,0 +1,76 @@
+//===- Diagnostics.h - Diagnostic collection and rendering -----*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic engine shared by the lexer, parser, semantic analysis, and
+/// transformation passes. Diagnostics are accumulated (never thrown) and can
+/// be rendered with source context in the clang style:
+///
+///   reduce.tgr:4:7: error: unknown qualifier '_atomicAnd'
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_DIAGNOSTICS_H
+#define TANGRAM_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace tangram {
+
+class SourceManager;
+
+/// Severity of a diagnostic. Errors make the owning compilation fail; notes
+/// attach context to the preceding error or warning.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one compilation.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceManager &SM) : SM(SM) {}
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned getNumErrors() const { return NumErrors; }
+  const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+
+  const SourceManager &getSourceManager() const { return SM; }
+
+  /// Renders all accumulated diagnostics, one per line, with file:line:col
+  /// prefixes and a source snippet + caret for located diagnostics.
+  std::string renderAll() const;
+
+  /// Renders a single diagnostic (without trailing newline).
+  std::string render(const Diagnostic &D) const;
+
+private:
+  const SourceManager &SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace tangram
+
+#endif // TANGRAM_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,21 @@
+//===- ErrorHandling.cpp - Fatal error and unreachable helpers -----------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void tangram::reportFatalError(std::string_view Msg, const char *File,
+                               int Line) {
+  if (File)
+    std::fprintf(stderr, "fatal error at %s:%d: %.*s\n", File, Line,
+                 static_cast<int>(Msg.size()), Msg.data());
+  else
+    std::fprintf(stderr, "fatal error: %.*s\n", static_cast<int>(Msg.size()),
+                 Msg.data());
+  std::abort();
+}

@@ -1,0 +1,32 @@
+//===- ErrorHandling.h - Fatal error and unreachable helpers ---*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for reporting programmatic errors: `tgr_unreachable` marks code
+/// paths that must never execute; `reportFatalError` aborts with a message
+/// even in builds without assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_ERRORHANDLING_H
+#define TANGRAM_SUPPORT_ERRORHANDLING_H
+
+#include <string_view>
+
+namespace tangram {
+
+/// Prints \p Msg (with file/line context) to stderr and aborts. Used for
+/// invariant violations that must be caught even in release builds.
+[[noreturn]] void reportFatalError(std::string_view Msg,
+                                   const char *File = nullptr, int Line = 0);
+
+} // namespace tangram
+
+/// Marks a point in code that should never be reached; aborts with \p MSG.
+#define tgr_unreachable(MSG)                                                   \
+  ::tangram::reportFatalError(MSG, __FILE__, __LINE__)
+
+#endif // TANGRAM_SUPPORT_ERRORHANDLING_H

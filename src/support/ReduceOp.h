@@ -1,0 +1,72 @@
+//===- ReduceOp.h - Reduction / atomic operator kinds ----------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reduction operator set shared by the language (atomic qualifiers and
+/// Map atomic APIs), the kernel IR (atomic instructions), and the simulator.
+/// These are the four operators the paper's APIs expose: atomicAdd,
+/// atomicSub, atomicMax, atomicMin (Section III-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_REDUCEOP_H
+#define TANGRAM_SUPPORT_REDUCEOP_H
+
+namespace tangram {
+
+/// A commutative-accumulation operator usable in atomic instructions.
+enum class ReduceOp : unsigned char { Add, Sub, Max, Min };
+
+/// Spelling used in API names and generated code ("Add", "Sub", ...).
+inline const char *getReduceOpName(ReduceOp Op) {
+  switch (Op) {
+  case ReduceOp::Add:
+    return "Add";
+  case ReduceOp::Sub:
+    return "Sub";
+  case ReduceOp::Max:
+    return "Max";
+  case ReduceOp::Min:
+    return "Min";
+  }
+  return "?";
+}
+
+/// Applies \p Op to accumulator \p Acc and value \p V. `Sub` accumulates a
+/// running difference (Acc - V), matching CUDA's atomicSub semantics.
+template <typename T> T applyReduceOp(ReduceOp Op, T Acc, T V) {
+  switch (Op) {
+  case ReduceOp::Add:
+    return Acc + V;
+  case ReduceOp::Sub:
+    return Acc - V;
+  case ReduceOp::Max:
+    return Acc > V ? Acc : V;
+  case ReduceOp::Min:
+    return Acc < V ? Acc : V;
+  }
+  return Acc;
+}
+
+/// The identity element of \p Op for accumulator initialization. For Max/Min
+/// the caller supplies the type's extrema via \p Lowest / \p Highest.
+template <typename T>
+T getReduceIdentity(ReduceOp Op, T Lowest, T Highest) {
+  switch (Op) {
+  case ReduceOp::Add:
+  case ReduceOp::Sub:
+    return T(0);
+  case ReduceOp::Max:
+    return Lowest;
+  case ReduceOp::Min:
+    return Highest;
+  }
+  return T(0);
+}
+
+} // namespace tangram
+
+#endif // TANGRAM_SUPPORT_REDUCEOP_H

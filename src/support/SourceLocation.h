@@ -1,0 +1,65 @@
+//===- SourceLocation.h - Positions within a source buffer -----*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compact source positions used by the lexer, parser, and diagnostics. A
+/// SourceLoc is a byte offset into the SourceManager's buffer; 1-based
+/// line/column pairs are recovered on demand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_SOURCELOCATION_H
+#define TANGRAM_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+
+namespace tangram {
+
+/// A position in the source buffer, encoded as a byte offset. Offset
+/// `InvalidOffset` denotes "no location" (e.g. synthesized AST nodes).
+class SourceLoc {
+public:
+  static constexpr uint32_t InvalidOffset = ~0u;
+
+  SourceLoc() = default;
+  explicit SourceLoc(uint32_t Offset) : Offset(Offset) {}
+
+  bool isValid() const { return Offset != InvalidOffset; }
+  uint32_t getOffset() const { return Offset; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Offset == B.Offset;
+  }
+  friend bool operator!=(SourceLoc A, SourceLoc B) { return !(A == B); }
+  friend bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Offset < B.Offset;
+  }
+
+private:
+  uint32_t Offset = InvalidOffset;
+};
+
+/// A half-open [Begin, End) range of source text.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+/// A decoded 1-based line/column position.
+struct LineColumn {
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+} // namespace tangram
+
+#endif // TANGRAM_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,40 @@
+//===- SourceManager.cpp - Owns source text, decodes locations -----------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tangram;
+
+SourceManager::SourceManager(std::string BufferName, std::string Text)
+    : BufferName(std::move(BufferName)), Text(std::move(Text)) {
+  LineOffsets.push_back(0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(this->Text.size()); I != E;
+       ++I)
+    if (this->Text[I] == '\n')
+      LineOffsets.push_back(I + 1);
+}
+
+LineColumn SourceManager::getLineColumn(SourceLoc Loc) const {
+  assert(Loc.isValid() && "decoding an invalid location");
+  assert(Loc.getOffset() <= Text.size() && "location outside buffer");
+  auto It = std::upper_bound(LineOffsets.begin(), LineOffsets.end(),
+                             Loc.getOffset());
+  unsigned Line = static_cast<unsigned>(It - LineOffsets.begin());
+  uint32_t LineStart = LineOffsets[Line - 1];
+  return {Line, Loc.getOffset() - LineStart + 1};
+}
+
+std::string_view SourceManager::getLineText(unsigned Line) const {
+  assert(Line >= 1 && Line <= LineOffsets.size() && "line out of range");
+  uint32_t Start = LineOffsets[Line - 1];
+  uint32_t End = Line < LineOffsets.size()
+                     ? LineOffsets[Line] - 1 // Exclude the '\n'.
+                     : static_cast<uint32_t>(Text.size());
+  return std::string_view(Text).substr(Start, End - Start);
+}

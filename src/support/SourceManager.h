@@ -1,0 +1,53 @@
+//===- SourceManager.h - Owns source text, decodes locations ---*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns a single source buffer (Tangram codelet file) and maps SourceLoc
+/// byte offsets back to line/column pairs and line text for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_SOURCEMANAGER_H
+#define TANGRAM_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tangram {
+
+/// Owns the text of one source buffer and provides location decoding.
+class SourceManager {
+public:
+  SourceManager(std::string BufferName, std::string Text);
+
+  std::string_view getBufferName() const { return BufferName; }
+  std::string_view getText() const { return Text; }
+
+  /// Decodes \p Loc into a 1-based line/column pair. \p Loc must be valid
+  /// and within the buffer (the one-past-the-end offset is allowed).
+  LineColumn getLineColumn(SourceLoc Loc) const;
+
+  /// Returns the full text of the 1-based line \p Line (no newline).
+  std::string_view getLineText(unsigned Line) const;
+
+  /// Returns the number of lines in the buffer (at least 1).
+  unsigned getNumLines() const {
+    return static_cast<unsigned>(LineOffsets.size());
+  }
+
+private:
+  std::string BufferName;
+  std::string Text;
+  /// Byte offset of the start of each line.
+  std::vector<uint32_t> LineOffsets;
+};
+
+} // namespace tangram
+
+#endif // TANGRAM_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,50 @@
+//===- StringUtils.cpp - Small string helpers ----------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdint>
+
+using namespace tangram;
+
+std::string tangram::join(const std::vector<std::string> &Parts,
+                          std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I)
+      Result.append(Sep);
+    Result.append(Parts[I]);
+  }
+  return Result;
+}
+
+std::vector<std::string> tangram::split(std::string_view Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.emplace_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view tangram::trim(std::string_view Text) {
+  size_t Begin = 0, End = Text.size();
+  while (Begin != End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End != Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string tangram::formatCount(uint64_t N) {
+  return strformat("%llu", static_cast<unsigned long long>(N));
+}

@@ -1,0 +1,50 @@
+//===- StringUtils.h - Small string helpers --------------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers that the standard library lacks: printf-style formatting
+/// into std::string, joining, and simple numeric formatting used by the
+/// benchmark tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_STRINGUTILS_H
+#define TANGRAM_SUPPORT_STRINGUTILS_H
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tangram {
+
+/// printf-style formatting returning a std::string.
+template <typename... Args>
+std::string strformat(const char *Fmt, Args... Values) {
+  int Size = std::snprintf(nullptr, 0, Fmt, Values...);
+  if (Size <= 0)
+    return std::string();
+  std::string Result(static_cast<size_t>(Size), '\0');
+  std::snprintf(Result.data(), Result.size() + 1, Fmt, Values...);
+  return Result;
+}
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> split(std::string_view Text, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Formats an element count the way the paper's x-axes do: 64, 256, 1024,
+/// ... 268435456 (raw decimal; convenience wrapper kept for table code).
+std::string formatCount(uint64_t N);
+
+} // namespace tangram
+
+#endif // TANGRAM_SUPPORT_STRINGUTILS_H

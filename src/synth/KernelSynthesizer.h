@@ -1,0 +1,99 @@
+//===- KernelSynthesizer.h - Variant lowering to kernel IR ------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers one code-variant descriptor to a GPU kernel:
+///
+///  - the grid level's Map/Partition semantics become the kernel launch
+///    geometry and per-block index calculations (tiled or strided);
+///  - the block level either distributes over threads (the serial
+///    atomic-autonomous codelet is lowered per thread, with coarsening)
+///    followed by a combiner, or runs a cooperative codelet directly;
+///  - cooperative codelets are lowered from their *ASTs*, applying the
+///    Section III passes: writes to `__shared _atomicX` variables become
+///    shared-memory atomic instructions; matched tree loops become
+///    warp-shuffle loops (with shared arrays elided when the Fig. 4 pass
+///    allows); `return` is promoted to a store of the per-block partial or
+///    a global atomic accumulation (Listings 1-4);
+///  - the spectrum's reduction operator is substituted into every
+///    accumulation site, so the same codelets serve atomicAdd / Sub / Max
+///    / Min reductions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SYNTH_KERNELSYNTHESIZER_H
+#define TANGRAM_SYNTH_KERNELSYNTHESIZER_H
+
+#include "ir/Bytecode.h"
+#include "ir/KernelIR.h"
+#include "lang/AST.h"
+#include "synth/Variant.h"
+#include "transforms/Pipeline.h"
+
+#include <memory>
+#include <string>
+
+namespace tangram::synth {
+
+/// Post-synthesis kernel-IR optimizations (the paper's future-work
+/// directions; see ir/Transforms.h).
+struct OptimizationFlags {
+  bool AggregateAtomics = false; ///< Section III-D / [25].
+  bool UnrollLoops = false;      ///< Section III-A / [34].
+
+  bool any() const { return AggregateAtomics || UnrollLoops; }
+};
+
+/// A lowered, compiled, runnable code variant.
+struct SynthesizedVariant {
+  VariantDescriptor Desc;
+  ReduceOp Op = ReduceOp::Add;
+  ir::ScalarType Elem = ir::ScalarType::F32;
+  std::unique_ptr<ir::Module> M;
+  const ir::Kernel *K = nullptr;
+  ir::CompiledKernel Compiled;
+  /// For second-kernel variants (Listing 1, the pre-Section-III-A
+  /// versions): the cooperative kernel launched to reduce the per-block
+  /// partial sums. Null for the single-kernel (atomic-grid) versions.
+  std::unique_ptr<SynthesizedVariant> SecondStage;
+
+  /// Elements each block consumes (ObjectSize): BlockSize * Coarsen.
+  unsigned elementsPerBlock() const {
+    return Desc.BlockSize * (Desc.BlockDistributes ? Desc.Coarsen : 1);
+  }
+};
+
+/// Synthesizes kernels for reduction code variants from the canonical
+/// spectrum sources and the transform-pipeline results.
+class KernelSynthesizer {
+public:
+  /// \p TU must be the canonical reduction unit, sema-checked; \p Infos
+  /// the pipeline results for it.
+  KernelSynthesizer(
+      const lang::TranslationUnit &TU,
+      const std::map<const lang::CodeletDecl *,
+                     transforms::CodeletTransformInfo> &Infos,
+      ReduceOp Op, ir::ScalarType Elem);
+
+  /// Lowers \p Desc. Second-kernel (pre-pruning) variants synthesize two
+  /// kernels: the main kernel stores per-block partials (Listing 1) and a
+  /// cooperative second stage reduces them. Returns null and sets
+  /// \p Error on failure.
+  std::unique_ptr<SynthesizedVariant>
+  synthesize(const VariantDescriptor &Desc, std::string &Error,
+             const OptimizationFlags &Opts = {}) const;
+
+private:
+  const lang::TranslationUnit &TU;
+  const std::map<const lang::CodeletDecl *,
+                 transforms::CodeletTransformInfo> &Infos;
+  ReduceOp Op;
+  ir::ScalarType Elem;
+};
+
+} // namespace tangram::synth
+
+#endif // TANGRAM_SYNTH_KERNELSYNTHESIZER_H

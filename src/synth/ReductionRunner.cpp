@@ -1,0 +1,96 @@
+//===- ReductionRunner.cpp - Host-side execution of variants ---------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/ReductionRunner.h"
+
+#include <algorithm>
+
+using namespace tangram;
+using namespace tangram::ir;
+using namespace tangram::sim;
+using namespace tangram::synth;
+
+LaunchConfig tangram::synth::makeLaunchConfig(const SynthesizedVariant &V,
+                                              size_t N) {
+  LaunchConfig Config;
+  Config.BlockDim = V.Desc.BlockSize;
+  size_t PerBlock = V.elementsPerBlock();
+  Config.GridDim = static_cast<unsigned>(
+      std::max<size_t>(1, (N + PerBlock - 1) / PerBlock));
+  // Dynamic shared arrays size to the block (the lowered `in.Size()`).
+  Config.DynSharedElems = Config.BlockDim;
+  return Config;
+}
+
+RunOutcome tangram::synth::runReduction(const SynthesizedVariant &V,
+                                        const ArchDesc &Arch, Device &Dev,
+                                        BufferId In, size_t N,
+                                        ExecMode Mode) {
+  RunOutcome Out;
+
+  LaunchConfig Config = makeLaunchConfig(V, N);
+
+  // Accumulator: one identity-initialized element for atomic grids, or a
+  // per-block partials array for second-kernel variants (Listing 1).
+  bool TwoKernel = V.Desc.usesSecondKernel();
+  BufferId ReturnBuf = Dev.alloc(V.Elem, TwoKernel ? Config.GridDim : 1);
+  Cell Identity;
+  switch (V.Op) {
+  case ReduceOp::Add:
+  case ReduceOp::Sub:
+    break; // Zero.
+  case ReduceOp::Max:
+    Identity.F = -3.0e38;
+    Identity.I = -2147483647LL - 1;
+    break;
+  case ReduceOp::Min:
+    Identity.F = 3.0e38;
+    Identity.I = 2147483647LL;
+    break;
+  }
+  *Dev.get(ReturnBuf).writable(0) = Identity;
+
+  long long ObjectSize = static_cast<long long>(V.elementsPerBlock());
+
+  SimtMachine Machine(Dev, Arch);
+  Out.Launch = Machine.launch(
+      V.Compiled, Config,
+      {ArgValue::buffer(ReturnBuf), ArgValue::buffer(In),
+       ArgValue::scalar(static_cast<long long>(N)),
+       ArgValue::scalar(ObjectSize)},
+      Mode);
+  if (!Out.Launch.ok()) {
+    Out.Error = Out.Launch.Errors.front();
+    return Out;
+  }
+
+  Out.Timing = modelKernelTime(Arch, Out.Launch);
+  Out.Seconds = Out.Timing.TotalSeconds;
+
+  if (TwoKernel) {
+    // Reduce the per-block partials with the cooperative second stage
+    // (recursively: very large grids need more than one extra pass).
+    if (!V.SecondStage) {
+      Out.Ok = false;
+      Out.Error = "two-kernel variant without a second stage";
+      return Out;
+    }
+    RunOutcome Stage = runReduction(*V.SecondStage, Arch, Dev, ReturnBuf,
+                                    Config.GridDim, Mode);
+    if (!Stage.Ok)
+      return Stage;
+    Out.Seconds += Stage.Seconds;
+    Out.FloatValue = Stage.FloatValue;
+    Out.IntValue = Stage.IntValue;
+    Out.Ok = true;
+    return Out;
+  }
+
+  Out.FloatValue = Dev.readFloat(ReturnBuf, 0);
+  Out.IntValue = Dev.readInt(ReturnBuf, 0);
+  Out.Ok = true;
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- ReductionRunner.h - Host-side execution of variants ------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host program for a synthesized single-kernel reduction variant:
+/// allocates the accumulator, derives the launch geometry from the
+/// variant's tunables, launches on the SIMT machine, and models the
+/// end-to-end time (kernel + launch overhead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SYNTH_REDUCTIONRUNNER_H
+#define TANGRAM_SYNTH_REDUCTIONRUNNER_H
+
+#include "gpusim/PerfModel.h"
+#include "gpusim/SimtMachine.h"
+#include "synth/KernelSynthesizer.h"
+
+namespace tangram::synth {
+
+/// Outcome of one end-to-end reduction run.
+struct RunOutcome {
+  bool Ok = false;
+  std::string Error;
+  /// The reduction result (meaningful in Functional mode only). Float
+  /// results are in `FloatValue`, integer results in `IntValue`.
+  double FloatValue = 0;
+  long long IntValue = 0;
+  /// Modeled end-to-end seconds.
+  double Seconds = 0;
+  sim::KernelTiming Timing;
+  sim::LaunchResult Launch;
+};
+
+/// Runs \p V over \p In (N elements) on \p Arch. Sampled mode prices the
+/// paper's large sizes without executing every block.
+RunOutcome runReduction(const SynthesizedVariant &V,
+                        const sim::ArchDesc &Arch, sim::Device &Dev,
+                        sim::BufferId In, size_t N,
+                        sim::ExecMode Mode = sim::ExecMode::Functional);
+
+/// Launch geometry for \p V at problem size \p N.
+sim::LaunchConfig makeLaunchConfig(const SynthesizedVariant &V, size_t N);
+
+} // namespace tangram::synth
+
+#endif // TANGRAM_SYNTH_REDUCTIONRUNNER_H

@@ -1,0 +1,139 @@
+//===- ReductionSpectrum.cpp - Canonical reduction codelets ----------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/ReductionSpectrum.h"
+
+#include <sstream>
+
+using namespace tangram;
+using namespace tangram::synth;
+
+const char *tangram::synth::getElemKindName(ElemKind K) {
+  return K == ElemKind::Int ? "int" : "float";
+}
+
+std::string tangram::synth::getReductionSource(ElemKind Elem, ReduceOp Op) {
+  const char *T = getElemKindName(Elem);
+  const char *Zero = Elem == ElemKind::Int ? "0" : "0.0";
+  const char *OpName = getReduceOpName(Op);
+
+  std::ostringstream OS;
+
+  // Fig. 1(a): atomic autonomous codelet — sequential reduction.
+  OS << "__codelet __tag(serial)\n"
+     << T << " sum(const Array<1," << T << "> in) {\n"
+     << "  unsigned len = in.Size();\n"
+     << "  " << T << " accum = " << Zero << ";\n"
+     << "  for (unsigned i = 0; i < len; i += in.Stride()) {\n"
+     << "    accum += in[i];\n"
+     << "  }\n"
+     << "  return accum;\n"
+     << "}\n\n";
+
+  // Fig. 1(b): compound codelet, tiled access pattern, with the Section
+  // III-A Map atomic API alongside the non-atomic spectrum call.
+  auto EmitCompound = [&](const char *Tag, const char *Pattern) {
+    OS << "__codelet __tag(" << Tag << ")\n"
+       << T << " sum(const Array<1," << T << "> in) {\n"
+       << "  __tunable unsigned p;\n"
+       << "  Sequence start(" << Pattern << ");\n"
+       << "  Sequence inc(" << Pattern << ");\n"
+       << "  Sequence end(" << Pattern << ");\n"
+       << "  Map map(sum, partition(in, p, start, inc, end));\n"
+       << "  map.atomic" << OpName << "();\n"
+       << "  return sum(map);\n"
+       << "}\n\n";
+  };
+  EmitCompound(tags::DistTile, "tiled");
+  EmitCompound(tags::DistStride, "strided");
+
+  // Fig. 1(c): cooperative codelet — tree-based summation through shared
+  // memory, two phases (within each vector, then across vectors).
+  OS << "__codelet __coop __tag(coop_tree)\n"
+     << T << " sum(const Array<1," << T << "> in) {\n"
+     << "  Vector vthread();\n"
+     << "  __shared " << T << " partial[vthread.MaxSize()];\n"
+     << "  __shared " << T << " tmp[in.Size()];\n"
+     << "  " << T << " val = " << Zero << ";\n"
+     << "  val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] "
+        ": "
+     << Zero << ";\n"
+     << "  tmp[vthread.ThreadId()] = val;\n"
+     << "  for (int offset = vthread.MaxSize() / 2; offset > 0; "
+        "offset /= 2) {\n"
+     << "    val += (vthread.LaneId() + offset < vthread.Size()) ? "
+        "tmp[vthread.ThreadId() + offset] : "
+     << Zero << ";\n"
+     << "    tmp[vthread.ThreadId()] = val;\n"
+     << "  }\n"
+     << "  if (in.Size() != vthread.MaxSize() && in.Size() / "
+        "vthread.MaxSize() > 0) {\n"
+     << "    if (vthread.LaneId() == 0) {\n"
+     << "      partial[vthread.VectorId()] = val;\n"
+     << "    }\n"
+     << "    if (vthread.VectorId() == 0) {\n"
+     << "      val = (vthread.ThreadId() <= in.Size() / vthread.MaxSize()) "
+        "? partial[vthread.LaneId()] : "
+     << Zero << ";\n"
+     << "      for (int offset = vthread.MaxSize() / 2; offset > 0; "
+        "offset /= 2) {\n"
+     << "        val += (vthread.LaneId() + offset < vthread.Size()) ? "
+        "partial[vthread.ThreadId() + offset] : "
+     << Zero << ";\n"
+     << "        partial[vthread.ThreadId()] = val;\n"
+     << "      }\n"
+     << "    }\n"
+     << "  }\n"
+     << "  return val;\n"
+     << "}\n\n";
+
+  // Fig. 3(a): cooperative codelet with a single shared accumulator
+  // updated atomically by all threads of all vectors.
+  OS << "__codelet __coop __tag(shared_V1)\n"
+     << T << " sum(const Array<1," << T << "> in) {\n"
+     << "  Vector vthread();\n"
+     << "  __shared _atomic" << OpName << " " << T << " tmp;\n"
+     << "  " << T << " val = " << Zero << ";\n"
+     << "  val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] "
+        ": "
+     << Zero << ";\n"
+     << "  tmp = val;\n"
+     << "  return tmp;\n"
+     << "}\n\n";
+
+  // Fig. 3(b): cooperative codelet — per-vector tree summation, partial
+  // sums combined through an atomically-updated shared accumulator.
+  OS << "__codelet __coop __tag(shared_V2)\n"
+     << T << " sum(const Array<1," << T << "> in) {\n"
+     << "  Vector vthread();\n"
+     << "  __shared _atomic" << OpName << " " << T << " partial;\n"
+     << "  __shared " << T << " tmp[in.Size()];\n"
+     << "  " << T << " val = " << Zero << ";\n"
+     << "  val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] "
+        ": "
+     << Zero << ";\n"
+     << "  tmp[vthread.ThreadId()] = val;\n"
+     << "  for (int offset = vthread.MaxSize() / 2; offset > 0; "
+        "offset /= 2) {\n"
+     << "    val += (vthread.LaneId() + offset < vthread.Size()) ? "
+        "tmp[vthread.ThreadId() + offset] : "
+     << Zero << ";\n"
+     << "    tmp[vthread.ThreadId()] = val;\n"
+     << "  }\n"
+     << "  if (in.Size() != vthread.MaxSize() && in.Size() / "
+        "vthread.MaxSize() > 0) {\n"
+     << "    if (vthread.LaneId() == 0) {\n"
+     << "      partial = val;\n"
+     << "    }\n"
+     << "    if (vthread.VectorId() == 0) {\n"
+     << "      val = partial;\n"
+     << "    }\n"
+     << "  }\n"
+     << "  return val;\n"
+     << "}\n";
+
+  return OS.str();
+}

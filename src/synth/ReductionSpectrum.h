@@ -1,0 +1,48 @@
+//===- ReductionSpectrum.h - Canonical reduction codelets -------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical Tangram source implementing the `sum` reduction spectrum:
+/// the six codelets of Fig. 1 (atomic autonomous serial, compound tiled,
+/// compound strided, cooperative tree) and Fig. 3 (shared-atomic V1 and
+/// V2). The source is parameterized over the element type; the spectrum's
+/// reduction operator is carried by the Map atomic API (`map.atomicAdd()`
+/// etc.) and substituted by the synthesizer when lowering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SYNTH_REDUCTIONSPECTRUM_H
+#define TANGRAM_SYNTH_REDUCTIONSPECTRUM_H
+
+#include "support/ReduceOp.h"
+
+#include <string>
+
+namespace tangram::synth {
+
+/// Element types the canonical source is generated for.
+enum class ElemKind : unsigned char { Int, Float };
+
+const char *getElemKindName(ElemKind K); ///< "int" / "float"
+
+/// Renders the full reduction translation unit. \p Op selects the Map
+/// atomic API spelled in the compound codelets (atomicAdd/Sub/Max/Min).
+std::string getReductionSource(ElemKind Elem = ElemKind::Float,
+                               ReduceOp Op = ReduceOp::Add);
+
+/// Codelet tags used by the synthesizer to pick implementations.
+namespace tags {
+inline constexpr const char *Serial = "serial";
+inline constexpr const char *DistTile = "dist_tile";
+inline constexpr const char *DistStride = "dist_stride";
+inline constexpr const char *CoopTree = "coop_tree";
+inline constexpr const char *SharedV1 = "shared_V1";
+inline constexpr const char *SharedV2 = "shared_V2";
+} // namespace tags
+
+} // namespace tangram::synth
+
+#endif // TANGRAM_SYNTH_REDUCTIONSPECTRUM_H

@@ -1,0 +1,153 @@
+//===- Variant.cpp - Code-variant descriptors ------------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Variant.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace tangram;
+using namespace tangram::synth;
+
+const char *tangram::synth::getCoopKindName(CoopKind K) {
+  switch (K) {
+  case CoopKind::Tree:
+    return "V";
+  case CoopKind::TreeShuffle:
+    return "Vs";
+  case CoopKind::SharedV1:
+    return "VA1";
+  case CoopKind::SharedV2:
+    return "VA2";
+  case CoopKind::SharedV2Shuffle:
+    return "VA2+S";
+  case CoopKind::SerialThread0:
+    return "S0";
+  }
+  tgr_unreachable("unknown coop kind");
+}
+
+bool tangram::synth::coopUsesShuffle(CoopKind K) {
+  return K == CoopKind::TreeShuffle || K == CoopKind::SharedV2Shuffle;
+}
+
+bool tangram::synth::coopUsesSharedAtomics(CoopKind K) {
+  return K == CoopKind::SharedV1 || K == CoopKind::SharedV2 ||
+         K == CoopKind::SharedV2Shuffle;
+}
+
+const char *tangram::synth::getVariantCategoryName(VariantCategory C) {
+  switch (C) {
+  case VariantCategory::Original:
+    return "original";
+  case VariantCategory::GlobalAtomic:
+    return "global-atomic";
+  case VariantCategory::SharedAtomic:
+    return "shared-atomic";
+  case VariantCategory::WarpShuffle:
+    return "warp-shuffle";
+  }
+  tgr_unreachable("unknown variant category");
+}
+
+VariantCategory VariantDescriptor::getCategory() const {
+  // A version is attributed to the *newest* language/compiler feature it
+  // needs, matching the Section IV-B accounting.
+  if (coopUsesShuffle(Coop))
+    return VariantCategory::WarpShuffle;
+  if (coopUsesSharedAtomics(Coop))
+    return VariantCategory::SharedAtomic;
+  if (GridScheme == GridCombine::GlobalAtomic)
+    return VariantCategory::GlobalAtomic;
+  return VariantCategory::Original;
+}
+
+std::string VariantDescriptor::getName() const {
+  std::string Name;
+  Name += GridDist == DistPattern::Tiled ? "DT" : "DS";
+  if (GridScheme == GridCombine::GlobalAtomic)
+    Name += "A";
+  Name += "/";
+  if (BlockDistributes) {
+    Name += BlockDist == DistPattern::Tiled ? "DT" : "DS";
+    Name += ".S+";
+  }
+  Name += getCoopKindName(Coop);
+  return Name;
+}
+
+std::string VariantDescriptor::getFigure6Label() const {
+  // The 16 versions of Fig. 6 (all grid-atomic). Versions a-e: tiled
+  // block distribution with the five cooperative combiners; f-j: strided
+  // block distribution; k: the strided-grid example; l-p: direct
+  // cooperative codelets.
+  if (GridScheme != GridCombine::GlobalAtomic)
+    return "";
+
+  // Orderings recovered from the paper's per-architecture narratives:
+  // compound combiners (a-e, f-j): V, Vs, VA2, VA1, VA2+S — so that (b)
+  // and (e) are the shuffle versions Kepler prefers at large N and (c) is
+  // the Fig. 3b combiner Maxwell prefers; direct coops (l-p): V, Vs, VA1,
+  // VA2, VA2+S — so that (m)/(n)/(p) match Sections IV-C2..4.
+  auto CombineIndex = [](CoopKind K) -> int {
+    switch (K) {
+    case CoopKind::Tree:
+      return 0;
+    case CoopKind::TreeShuffle:
+      return 1;
+    case CoopKind::SharedV2:
+      return 2;
+    case CoopKind::SharedV1:
+      return 3;
+    case CoopKind::SharedV2Shuffle:
+      return 4;
+    default:
+      return -1;
+    }
+  };
+  auto DirectIndex = [](CoopKind K) -> int {
+    switch (K) {
+    case CoopKind::Tree:
+      return 0;
+    case CoopKind::TreeShuffle:
+      return 1;
+    case CoopKind::SharedV1:
+      return 2;
+    case CoopKind::SharedV2:
+      return 3;
+    case CoopKind::SharedV2Shuffle:
+      return 4;
+    default:
+      return -1;
+    }
+  };
+  int CI = BlockDistributes ? CombineIndex(Coop) : DirectIndex(Coop);
+  if (CI < 0)
+    return "";
+
+  if (GridDist == DistPattern::Strided) {
+    // (k): strided grid, strided block, shared-atomic V2 combine.
+    if (BlockDistributes && BlockDist == DistPattern::Strided &&
+        Coop == CoopKind::SharedV2)
+      return "k";
+    return "";
+  }
+
+  if (!BlockDistributes)
+    return std::string(1, static_cast<char>('l' + CI));
+  // Sections IV-C2/3 describe the large-N winners (a, b, c, e) as "tiled
+  // across blocks, then strided across threads": a-e carry the strided
+  // (coalesced, coarsening-friendly) block distribution; f-j the tiled.
+  if (BlockDist == DistPattern::Strided)
+    return std::string(1, static_cast<char>('a' + CI));
+  return std::string(1, static_cast<char>('f' + CI));
+}
+
+bool VariantDescriptor::isPaperBest() const {
+  // The 8 colored versions of Fig. 6: a, b, c, e, k, m, n, p.
+  std::string L = getFigure6Label();
+  return L == "a" || L == "b" || L == "c" || L == "e" || L == "k" ||
+         L == "m" || L == "n" || L == "p";
+}

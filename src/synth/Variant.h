@@ -1,0 +1,115 @@
+//===- Variant.h - Code-variant descriptors ---------------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptors for the parallel-reduction code versions Tangram can
+/// synthesize (Section IV-B, Fig. 6). A code version assigns codelets to
+/// the GPU software hierarchy:
+///
+///   grid level  — a compound codelet distributing the array over blocks
+///                 with a tiled or strided pattern, combining per-block
+///                 partials either through a second kernel launch or with
+///                 atomic instructions on global memory (Section III-A);
+///   block level — either a cooperative codelet directly, or a compound
+///                 codelet distributing over threads (tiled/strided, with
+///                 thread coarsening) whose per-thread partials a
+///                 cooperative codelet (or serial thread-0 code) combines;
+///   thread level— the serial atomic-autonomous codelet (Fig. 1a).
+///
+/// Cooperative codelet flavors (Fig. 1c, Fig. 3, Section III):
+///   Tree        — shared-memory tree summation (Fig. 1c)
+///   TreeShuffle — the same after the Fig. 4 warp-shuffle rewrite
+///   SharedV1    — single shared accumulator, all threads atomic (Fig. 3a)
+///   SharedV2    — per-warp tree + shared-atomic combine (Fig. 3b)
+///   SharedV2Shuffle — Fig. 3b with the warp tree done by shuffles
+///   SerialThread0   — thread 0 serially adds the partials (original
+///                     Tangram fallback; never among the pruned set)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SYNTH_VARIANT_H
+#define TANGRAM_SYNTH_VARIANT_H
+
+#include "transforms/GeneralTransforms.h"
+
+#include <string>
+
+namespace tangram::synth {
+
+using transforms::DistPattern;
+
+/// How per-block partial results reach the final answer.
+enum class GridCombine : unsigned char {
+  SecondKernel, ///< Partials array + second kernel launch (Listing 1).
+  GlobalAtomic, ///< atomicAdd on a single accumulator (Listing 2).
+};
+
+/// The cooperative codelet used directly or as the partials combiner.
+enum class CoopKind : unsigned char {
+  Tree,
+  TreeShuffle,
+  SharedV1,
+  SharedV2,
+  SharedV2Shuffle,
+  SerialThread0,
+};
+
+const char *getCoopKindName(CoopKind K);
+/// True for the shuffle-rewritten flavors.
+bool coopUsesShuffle(CoopKind K);
+/// True for the flavors using atomic instructions on shared memory.
+bool coopUsesSharedAtomics(CoopKind K);
+
+/// Feature category a version belongs to (the Section IV-B accounting).
+enum class VariantCategory : unsigned char {
+  Original,     ///< Expressible in original Tangram (Fig. 1 codelets only).
+  GlobalAtomic, ///< Needs the Section III-A Map atomic APIs.
+  SharedAtomic, ///< Needs the Section III-B shared atomic qualifiers.
+  WarpShuffle,  ///< Needs the Section III-C shuffle pass.
+};
+
+const char *getVariantCategoryName(VariantCategory C);
+
+/// One fully-specified code version plus its tunable parameters.
+struct VariantDescriptor {
+  // Structure.
+  DistPattern GridDist = DistPattern::Tiled;
+  GridCombine GridScheme = GridCombine::GlobalAtomic;
+  /// True: block distributes over threads (thread-serial + combine);
+  /// false: the cooperative codelet runs directly on the block's tile.
+  bool BlockDistributes = false;
+  DistPattern BlockDist = DistPattern::Tiled; ///< When BlockDistributes.
+  CoopKind Coop = CoopKind::Tree;
+
+  // Tunables (Section IV-C: "tuned using __tunable parameters").
+  unsigned BlockSize = 256;
+  unsigned Coarsen = 1; ///< Elements per thread when BlockDistributes.
+
+  VariantCategory getCategory() const;
+  bool usesSecondKernel() const {
+    return GridScheme == GridCombine::SecondKernel;
+  }
+
+  /// Compact structural name, e.g. "DTA/DS.S+Vs" or "DTA/VA1".
+  std::string getName() const;
+  /// Fig. 6 label ("a".."p") when this version is one of the 16 the paper
+  /// depicts; empty otherwise. Labels ignore tunables.
+  std::string getFigure6Label() const;
+  /// True when the paper colors this version as one of the 8 best.
+  bool isPaperBest() const;
+
+  /// Structural equality (ignores tunables).
+  bool sameStructure(const VariantDescriptor &O) const {
+    return GridDist == O.GridDist && GridScheme == O.GridScheme &&
+           BlockDistributes == O.BlockDistributes &&
+           (!BlockDistributes || BlockDist == O.BlockDist) &&
+           Coop == O.Coop;
+  }
+};
+
+} // namespace tangram::synth
+
+#endif // TANGRAM_SYNTH_VARIANT_H

@@ -1,0 +1,91 @@
+//===- VariantEnumerator.cpp - Search-space enumeration --------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/VariantEnumerator.h"
+
+using namespace tangram;
+using namespace tangram::synth;
+
+namespace {
+
+/// The block-level structure axis: either a direct cooperative codelet or
+/// a distribution + combiner pair.
+struct BlockStructure {
+  bool Distributes = false;
+  DistPattern Dist = DistPattern::Tiled;
+  CoopKind Coop = CoopKind::Tree;
+};
+
+std::vector<CoopKind> coopSet(const FeatureSet &F, bool AsCombiner) {
+  std::vector<CoopKind> Set = {CoopKind::Tree};
+  if (AsCombiner)
+    Set.push_back(CoopKind::SerialThread0);
+  if (F.SharedAtomics) {
+    Set.push_back(CoopKind::SharedV1);
+    Set.push_back(CoopKind::SharedV2);
+  }
+  if (F.WarpShuffle) {
+    Set.push_back(CoopKind::TreeShuffle);
+    if (F.SharedAtomics)
+      Set.push_back(CoopKind::SharedV2Shuffle);
+  }
+  return Set;
+}
+
+std::vector<BlockStructure> blockStructures(const FeatureSet &F) {
+  std::vector<BlockStructure> Result;
+  for (CoopKind C : coopSet(F, /*AsCombiner=*/false))
+    Result.push_back({false, DistPattern::Tiled, C});
+  for (DistPattern D : {DistPattern::Tiled, DistPattern::Strided})
+    for (CoopKind C : coopSet(F, /*AsCombiner=*/true))
+      Result.push_back({true, D, C});
+  return Result;
+}
+
+} // namespace
+
+SearchSpace
+tangram::synth::enumerateVariants(const FeatureSet &Features) {
+  SearchSpace Space;
+
+  std::vector<GridCombine> GridSchemes = {GridCombine::SecondKernel};
+  if (Features.GlobalAtomics)
+    GridSchemes.push_back(GridCombine::GlobalAtomic);
+
+  for (GridCombine Scheme : GridSchemes)
+    for (DistPattern GridDist : {DistPattern::Tiled, DistPattern::Strided})
+      for (const BlockStructure &B : blockStructures(Features)) {
+        VariantDescriptor V;
+        V.GridDist = GridDist;
+        V.GridScheme = Scheme;
+        V.BlockDistributes = B.Distributes;
+        V.BlockDist = B.Dist;
+        V.Coop = B.Coop;
+        Space.All.push_back(V);
+      }
+
+  // Section IV-B pruning: versions that need a second kernel launch for
+  // the per-block partial sums consistently underperform, as do the
+  // serial thread-0 combiners; what survives combines per-block partials
+  // with atomic instructions on global memory.
+  for (const VariantDescriptor &V : Space.All) {
+    if (V.usesSecondKernel())
+      continue;
+    if (V.Coop == CoopKind::SerialThread0)
+      continue;
+    Space.Pruned.push_back(V);
+  }
+  return Space;
+}
+
+const VariantDescriptor *
+tangram::synth::findByFigure6Label(const SearchSpace &Space,
+                                   const std::string &Label) {
+  for (const VariantDescriptor &V : Space.Pruned)
+    if (V.getFigure6Label() == Label)
+      return &V;
+  return nullptr;
+}

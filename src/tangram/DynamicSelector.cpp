@@ -1,0 +1,89 @@
+//===- DynamicSelector.cpp - Runtime kernel selection ------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tangram/DynamicSelector.h"
+
+#include "support/ErrorHandling.h"
+
+#include <limits>
+
+using namespace tangram;
+using namespace tangram::synth;
+
+DynamicSelector::DynamicSelector(const TangramReduction &TR,
+                                 std::vector<VariantDescriptor> Portfolio)
+    : TR(TR), Portfolio(std::move(Portfolio)) {
+  if (this->Portfolio.empty()) {
+    // Default portfolio: the paper's eight best versions.
+    for (const VariantDescriptor &V : TR.getSearchSpace().Pruned)
+      if (V.isPaperBest())
+        this->Portfolio.push_back(V);
+  }
+  std::string Error;
+  for (const VariantDescriptor &V : this->Portfolio) {
+    auto S = TR.synthesize(V, Error);
+    if (!S)
+      reportFatalError("dynamic selector: " + Error);
+    Synthesized.push_back(std::move(S));
+  }
+}
+
+unsigned DynamicSelector::bucketOf(size_t N) {
+  // Powers-of-four buckets: 0: <256, 1: <1K, 2: <4K, ...
+  unsigned Bucket = 0;
+  size_t Limit = 256;
+  while (N >= Limit && Bucket < 16) {
+    Limit *= 4;
+    ++Bucket;
+  }
+  return Bucket;
+}
+
+RunOutcome DynamicSelector::reduce(sim::Device &Dev,
+                                   const sim::ArchDesc &Arch,
+                                   sim::BufferId In, size_t N,
+                                   sim::ExecMode Mode) {
+  Key K{Arch.Gen, bucketOf(N)};
+  BucketState &State = Buckets[K];
+  if (State.Seconds.empty())
+    State.Seconds.assign(Portfolio.size(),
+                         std::numeric_limits<double>::infinity());
+
+  unsigned Candidate;
+  if (State.NextToTry < Portfolio.size()) {
+    // Exploration: micro-profile the next untried candidate.
+    Candidate = State.NextToTry++;
+  } else {
+    Candidate = static_cast<unsigned>(State.BestIndex);
+  }
+
+  RunOutcome Out =
+      runReduction(*Synthesized[Candidate], Arch, Dev, In, N, Mode);
+  if (Out.Ok) {
+    if (Out.Seconds < State.Seconds[Candidate])
+      State.Seconds[Candidate] = Out.Seconds;
+    if (State.BestIndex < 0 ||
+        State.Seconds[Candidate] <
+            State.Seconds[static_cast<unsigned>(State.BestIndex)])
+      State.BestIndex = static_cast<int>(Candidate);
+  }
+  return Out;
+}
+
+const VariantDescriptor *
+DynamicSelector::getBest(const sim::ArchDesc &Arch, size_t N) const {
+  auto It = Buckets.find(Key{Arch.Gen, bucketOf(N)});
+  if (It == Buckets.end() || It->second.BestIndex < 0)
+    return nullptr;
+  return &Portfolio[static_cast<unsigned>(It->second.BestIndex)];
+}
+
+bool DynamicSelector::isConverged(const sim::ArchDesc &Arch,
+                                  size_t N) const {
+  auto It = Buckets.find(Key{Arch.Gen, bucketOf(N)});
+  return It != Buckets.end() &&
+         It->second.NextToTry >= Portfolio.size();
+}

@@ -1,0 +1,76 @@
+//===- DynamicSelector.h - Runtime kernel selection --------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic kernel selection at runtime — the alternative to ahead-of-time
+/// tuning the paper points to ("Tangram will only use ... heuristics or
+/// dynamic kernel selection at runtime [33]", Section III). In the DySel
+/// style, the selector carries a small portfolio of synthesized versions;
+/// the first calls for a given (architecture, size-bucket) pair each
+/// "micro-profile" one candidate while still producing the caller's
+/// result, and later calls exploit the fastest candidate seen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_TANGRAM_DYNAMICSELECTOR_H
+#define TANGRAM_TANGRAM_DYNAMICSELECTOR_H
+
+#include "tangram/Tangram.h"
+
+#include <map>
+
+namespace tangram {
+
+/// Online selector over a portfolio of synthesized reduction versions.
+class DynamicSelector {
+public:
+  /// \p Portfolio defaults to the paper's eight best versions (Fig. 6
+  /// colored set) when empty.
+  DynamicSelector(const TangramReduction &TR,
+                  std::vector<synth::VariantDescriptor> Portfolio = {});
+
+  /// Reduces the buffer, micro-profiling while candidates remain untried
+  /// for this (arch, bucket). Returns the reduction outcome of whichever
+  /// candidate ran.
+  synth::RunOutcome reduce(sim::Device &Dev, const sim::ArchDesc &Arch,
+                           sim::BufferId In, size_t N,
+                           sim::ExecMode Mode = sim::ExecMode::Functional);
+
+  /// The candidate currently believed best for (arch, N); null until at
+  /// least one call completed for the bucket.
+  const synth::VariantDescriptor *getBest(const sim::ArchDesc &Arch,
+                                          size_t N) const;
+
+  /// True once every candidate has been tried for (arch, N)'s bucket.
+  bool isConverged(const sim::ArchDesc &Arch, size_t N) const;
+
+  /// Number of size buckets (powers of four).
+  static unsigned bucketOf(size_t N);
+
+private:
+  struct BucketState {
+    std::vector<double> Seconds; ///< Per-candidate best time (inf = untried).
+    unsigned NextToTry = 0;
+    int BestIndex = -1;
+  };
+
+  struct Key {
+    sim::ArchGeneration Gen;
+    unsigned Bucket;
+    bool operator<(const Key &O) const {
+      return Gen != O.Gen ? Gen < O.Gen : Bucket < O.Bucket;
+    }
+  };
+
+  const TangramReduction &TR;
+  std::vector<synth::VariantDescriptor> Portfolio;
+  std::vector<std::unique_ptr<synth::SynthesizedVariant>> Synthesized;
+  std::map<Key, BucketState> Buckets;
+};
+
+} // namespace tangram
+
+#endif // TANGRAM_TANGRAM_DYNAMICSELECTOR_H

@@ -1,0 +1,129 @@
+//===- Tangram.cpp - Public library facade ----------------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tangram/Tangram.h"
+
+#include "codegen/CudaEmitter.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "transforms/Pipeline.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace tangram;
+using namespace tangram::synth;
+
+std::unique_ptr<TangramReduction>
+TangramReduction::create(const Options &Opts, std::string &Error) {
+  auto TR = std::unique_ptr<TangramReduction>(new TangramReduction());
+  TR->Opts = Opts;
+  TR->SourceText = getReductionSource(Opts.Elem, Opts.Op);
+  TR->SM = std::make_unique<SourceManager>("reduction.tgr", TR->SourceText);
+  TR->Diags = std::make_unique<DiagnosticEngine>(*TR->SM);
+  TR->Ctx = std::make_unique<lang::ASTContext>();
+
+  lang::Parser P(*TR->SM, *TR->Ctx, *TR->Diags);
+  TR->TU = P.parseTranslationUnit();
+  if (TR->Diags->hasErrors()) {
+    Error = TR->Diags->renderAll();
+    return nullptr;
+  }
+  sema::Sema S(*TR->Ctx, *TR->Diags);
+  if (!S.analyze(TR->TU)) {
+    Error = TR->Diags->renderAll();
+    return nullptr;
+  }
+  TR->Infos = transforms::runTransformPipeline(TR->TU);
+  TR->Synth = std::make_unique<KernelSynthesizer>(
+      TR->TU, TR->Infos, Opts.Op,
+      Opts.Elem == ElemKind::Float ? ir::ScalarType::F32
+                                   : ir::ScalarType::I32);
+  TR->Space = enumerateVariants();
+  return TR;
+}
+
+std::unique_ptr<SynthesizedVariant>
+TangramReduction::synthesize(const VariantDescriptor &Desc,
+                             std::string &Error,
+                             const OptimizationFlags &Opts) const {
+  return Synth->synthesize(Desc, Error, Opts);
+}
+
+std::string TangramReduction::emitCudaFor(const VariantDescriptor &Desc,
+                                          std::string &Error) const {
+  auto S = Synth->synthesize(Desc, Error);
+  if (!S)
+    return "";
+  codegen::CudaEmitOptions Options;
+  Options.EmitHostWrapper = true;
+  return codegen::emitCuda(*S->K, Options);
+}
+
+double TangramReduction::timeVariant(const VariantDescriptor &Desc,
+                                     const sim::ArchDesc &Arch,
+                                     size_t N) const {
+  std::string Error;
+  auto S = Synth->synthesize(Desc, Error);
+  if (!S)
+    return std::numeric_limits<double>::infinity();
+  sim::Device Dev;
+  sim::VirtualPattern Pattern;
+  sim::BufferId In = Dev.allocVirtual(
+      Opts.Elem == ElemKind::Float ? ir::ScalarType::F32
+                                   : ir::ScalarType::I32,
+      N, Pattern);
+  RunOutcome Out =
+      runReduction(*S, Arch, Dev, In, N, sim::ExecMode::Sampled);
+  return Out.Ok ? Out.Seconds : std::numeric_limits<double>::infinity();
+}
+
+VariantDescriptor TangramReduction::tune(const VariantDescriptor &Desc,
+                                         const sim::ArchDesc &Arch,
+                                         size_t N) const {
+  VariantDescriptor Best = Desc;
+  double BestTime = std::numeric_limits<double>::infinity();
+  for (unsigned Block : Opts.BlockSizes) {
+    if (Block > Arch.MaxThreadsPerBlock)
+      continue;
+    std::vector<unsigned> Coarsens =
+        Desc.BlockDistributes ? Opts.CoarsenFactors
+                              : std::vector<unsigned>{1};
+    for (unsigned C : Coarsens) {
+      if (static_cast<size_t>(Block) * C > Opts.MaxElemsPerBlock)
+        continue;
+      // Skip grossly oversized tiles (a single block would cover the
+      // whole input many times over).
+      if (static_cast<size_t>(Block) * C > std::max<size_t>(N * 4, 64))
+        continue;
+      VariantDescriptor Candidate = Desc;
+      Candidate.BlockSize = Block;
+      Candidate.Coarsen = C;
+      double T = timeVariant(Candidate, Arch, N);
+      if (T < BestTime) {
+        BestTime = T;
+        Best = Candidate;
+      }
+    }
+  }
+  return Best;
+}
+
+TangramReduction::BestResult
+TangramReduction::findBest(const sim::ArchDesc &Arch, size_t N) const {
+  BestResult Best;
+  Best.Seconds = std::numeric_limits<double>::infinity();
+  for (const VariantDescriptor &V : Space.Pruned) {
+    VariantDescriptor Tuned = tune(V, Arch, N);
+    double T = timeVariant(Tuned, Arch, N);
+    if (T < Best.Seconds) {
+      Best.Seconds = T;
+      Best.Desc = Tuned;
+      Best.Fig6Label = Tuned.getFigure6Label();
+    }
+  }
+  return Best;
+}

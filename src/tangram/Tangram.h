@@ -1,0 +1,114 @@
+//===- Tangram.h - Public library facade ------------------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front door of the library: compiles the canonical reduction
+/// spectrum, runs the Fig. 5 pre-processing pipeline, enumerates the code
+/// variants of Section IV-B, synthesizes and tunes them, and selects the
+/// best performer per architecture and problem size — the full workflow
+/// the paper evaluates.
+///
+/// \code
+///   std::string Error;
+///   auto TR = tangram::TangramReduction::create({}, Error);
+///   auto Best = TR->findBest(sim::getPascalP100(), 1 << 20);
+///   std::string Cuda = TR->emitCudaFor(Best.Desc, Error);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_TANGRAM_TANGRAM_H
+#define TANGRAM_TANGRAM_TANGRAM_H
+
+#include "gpusim/Arch.h"
+#include "lang/ASTContext.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "synth/KernelSynthesizer.h"
+#include "synth/ReductionRunner.h"
+#include "synth/ReductionSpectrum.h"
+#include "synth/VariantEnumerator.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace tangram {
+
+/// Compiled reduction spectrum + synthesis services.
+class TangramReduction {
+public:
+  struct Options {
+    synth::ElemKind Elem = synth::ElemKind::Float;
+    ReduceOp Op = ReduceOp::Add;
+    /// Tunable candidates explored by `tune` (the paper's tuning script).
+    std::vector<unsigned> BlockSizes = {64, 128, 256, 512};
+    std::vector<unsigned> CoarsenFactors = {1, 4, 16, 64};
+    /// Per-block element cap during tuning (bounds simulation cost).
+    unsigned MaxElemsPerBlock = 16384;
+  };
+
+  /// Parses + checks the canonical source and runs the transform
+  /// pipeline. Returns null and fills \p Error on compilation failure.
+  static std::unique_ptr<TangramReduction> create(const Options &Opts,
+                                                  std::string &Error);
+
+  const lang::TranslationUnit &getUnit() const { return TU; }
+  const synth::SearchSpace &getSearchSpace() const { return Space; }
+  const Options &getOptions() const { return Opts; }
+  /// The normalized canonical source text.
+  const std::string &getSourceText() const { return SourceText; }
+
+  /// Synthesizes one variant (tunables taken from the descriptor).
+  /// \p Opts applies the optional future-work IR passes (warp-aggregated
+  /// atomics, loop unrolling).
+  std::unique_ptr<synth::SynthesizedVariant>
+  synthesize(const synth::VariantDescriptor &Desc, std::string &Error,
+             const synth::OptimizationFlags &Opts = {}) const;
+
+  /// Emits the CUDA C text for one variant (Listings 1-4 form).
+  std::string emitCudaFor(const synth::VariantDescriptor &Desc,
+                          std::string &Error) const;
+
+  /// Picks the best tunables for \p Desc on \p Arch at size \p N by
+  /// sampled simulation; returns the tuned descriptor.
+  synth::VariantDescriptor tune(const synth::VariantDescriptor &Desc,
+                                const sim::ArchDesc &Arch, size_t N) const;
+
+  /// A tuned, timed best-version query result.
+  struct BestResult {
+    synth::VariantDescriptor Desc;
+    double Seconds = 0;
+    std::string Fig6Label;
+  };
+
+  /// Tunes every pruned variant on \p Arch at size \p N and returns the
+  /// fastest (the per-size winners of Figs. 8-10).
+  BestResult findBest(const sim::ArchDesc &Arch, size_t N) const;
+
+  /// Modeled seconds for a tuned descriptor at size \p N (sampled run on a
+  /// virtual input).
+  double timeVariant(const synth::VariantDescriptor &Desc,
+                     const sim::ArchDesc &Arch, size_t N) const;
+
+private:
+  TangramReduction() = default;
+
+  Options Opts;
+  std::string SourceText;
+  std::unique_ptr<SourceManager> SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<lang::ASTContext> Ctx;
+  lang::TranslationUnit TU;
+  std::map<const lang::CodeletDecl *, transforms::CodeletTransformInfo>
+      Infos;
+  std::unique_ptr<synth::KernelSynthesizer> Synth;
+  synth::SearchSpace Space;
+};
+
+} // namespace tangram
+
+#endif // TANGRAM_TANGRAM_TANGRAM_H

@@ -1,0 +1,86 @@
+//===- GeneralTransforms.cpp - Fig. 5 general transformations -------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/GeneralTransforms.h"
+
+#include "lang/ASTVisitor.h"
+
+using namespace tangram;
+using namespace tangram::lang;
+using namespace tangram::transforms;
+
+const char *tangram::transforms::getDistPatternName(DistPattern P) {
+  return P == DistPattern::Tiled ? "tiled" : "strided";
+}
+
+ArgumentLinkInfo
+tangram::transforms::analyzeArgumentLink(const CodeletDecl *C) {
+  ArgumentLinkInfo Info;
+  for (const ParamDecl *P : C->getParams())
+    if (P->getType()->isArray()) {
+      Info.InputArray = P;
+      break;
+    }
+  return Info;
+}
+
+std::optional<CompoundMapInfo>
+tangram::transforms::analyzeMapStructure(const CodeletDecl *C) {
+  struct Scanner : ASTVisitor<Scanner> {
+    bool visitVarDecl(VarDecl *Var) {
+      if (Var->getType()->isMap() && !Info.MapVar) {
+        Info.MapVar = Var;
+        if (Var->getCtorArgs().size() == 2) {
+          if (const auto *FnRef = dyn_cast<DeclRefExpr>(
+                  Var->getCtorArgs()[0]->ignoreParens()))
+            Info.MappedSpectrum = FnRef->getName();
+          if (const auto *Call = dyn_cast<CallExpr>(
+                  Var->getCtorArgs()[1]->ignoreParens()))
+            if (Call->getCalleeKind() == CalleeKind::Partition)
+              Info.Partition = Call;
+        }
+      }
+      if (Var->isTunable() && !Info.TunableCount)
+        Info.TunableCount = Var;
+      if (Var->getType()->isSequence() && !SawSequencePattern) {
+        // The Sequence triple names its access pattern: tiled or strided
+        // (bottom of Fig. 1b).
+        for (const Expr *Arg : Var->getCtorArgs())
+          if (const auto *Ref = dyn_cast<DeclRefExpr>(Arg->ignoreParens())) {
+            if (Ref->getName() == "strided") {
+              Info.Pattern = DistPattern::Strided;
+              SawSequencePattern = true;
+            } else if (Ref->getName() == "tiled") {
+              Info.Pattern = DistPattern::Tiled;
+              SawSequencePattern = true;
+            }
+          }
+      }
+      return true;
+    }
+    CompoundMapInfo Info;
+    bool SawSequencePattern = false;
+  };
+  Scanner S;
+  S.traverseCodelet(const_cast<CodeletDecl *>(C));
+  if (!S.Info.MapVar)
+    return std::nullopt;
+  return S.Info;
+}
+
+ReturnInfo
+tangram::transforms::analyzeReturnPromotion(const CodeletDecl *C) {
+  struct Scanner : ASTVisitor<Scanner> {
+    bool visitReturnStmt(ReturnStmt *R) {
+      Last = R;
+      return true;
+    }
+    const ReturnStmt *Last = nullptr;
+  };
+  Scanner S;
+  S.traverseCodelet(const_cast<CodeletDecl *>(C));
+  return {S.Last};
+}

@@ -1,0 +1,69 @@
+//===- GeneralTransforms.h - Fig. 5 general transformations -----*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "general transformations" stage of Tangram's pre-processing
+/// pipeline (Fig. 5): argument linking, index calculation, and return
+/// promotion. Each is an analysis whose result the synthesizer consumes
+/// when lowering codelets onto the GPU software hierarchy:
+///
+///  - argument linker: identifies the codelet's input container parameter
+///    (wired to the kernel's global pointer argument);
+///  - index calculation: extracts the Map/Partition structure of compound
+///    codelets — the mapped spectrum, the tunable partition count, and the
+///    access pattern (tiled or strided) declared by the Sequence triple;
+///  - return promotion: locates the tail `return` whose value must be
+///    promoted to a store into the partial-results array (`Return[...]`,
+///    Listing 1) or an atomic accumulation (Listing 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_TRANSFORMS_GENERALTRANSFORMS_H
+#define TANGRAM_TRANSFORMS_GENERALTRANSFORMS_H
+
+#include "lang/AST.h"
+
+#include <optional>
+
+namespace tangram::transforms {
+
+/// Access pattern declared by a compound codelet's Sequence triple.
+enum class DistPattern : unsigned char { Tiled, Strided };
+
+const char *getDistPatternName(DistPattern P);
+
+/// Argument-linker result: the container parameter reduced over.
+struct ArgumentLinkInfo {
+  const lang::ParamDecl *InputArray = nullptr;
+};
+
+/// Index-calculation result for compound codelets.
+struct CompoundMapInfo {
+  /// The `Map map(f, partition(...))` declaration.
+  const lang::VarDecl *MapVar = nullptr;
+  /// Name of the mapped spectrum (`sum` in Fig. 1b).
+  std::string MappedSpectrum;
+  /// The partition(...) call.
+  const lang::CallExpr *Partition = nullptr;
+  /// The tunable partition count `p`.
+  const lang::VarDecl *TunableCount = nullptr;
+  /// Tiled or strided access (bottom of Fig. 1b).
+  DistPattern Pattern = DistPattern::Tiled;
+};
+
+/// Return-promotion result.
+struct ReturnInfo {
+  /// The codelet's tail return statement (null for void codelets).
+  const lang::ReturnStmt *TailReturn = nullptr;
+};
+
+ArgumentLinkInfo analyzeArgumentLink(const lang::CodeletDecl *C);
+std::optional<CompoundMapInfo> analyzeMapStructure(const lang::CodeletDecl *C);
+ReturnInfo analyzeReturnPromotion(const lang::CodeletDecl *C);
+
+} // namespace tangram::transforms
+
+#endif // TANGRAM_TRANSFORMS_GENERALTRANSFORMS_H

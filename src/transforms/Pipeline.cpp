@@ -1,0 +1,29 @@
+//===- Pipeline.cpp - Fig. 5 pre-processing pipeline -----------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Pipeline.h"
+
+using namespace tangram;
+using namespace tangram::lang;
+using namespace tangram::transforms;
+
+std::map<const CodeletDecl *, CodeletTransformInfo>
+tangram::transforms::runTransformPipeline(const TranslationUnit &TU) {
+  std::map<const CodeletDecl *, CodeletTransformInfo> Result;
+  for (CodeletDecl *C : TU.Codelets) {
+    CodeletTransformInfo Info;
+    // General transformations (Fig. 5, middle stage).
+    Info.ArgLink = analyzeArgumentLink(C);
+    Info.Return = analyzeReturnPromotion(C);
+    Info.MapStructure = analyzeMapStructure(C);
+    // CUDA-specific transformations (Fig. 5, right stage).
+    Info.GlobalAtomic = analyzeGlobalAtomicMap(C);
+    Info.SharedAtomics = analyzeSharedAtomics(C);
+    Info.Shuffles = detectWarpShuffle(C);
+    Result.emplace(C, std::move(Info));
+  }
+  return Result;
+}

@@ -1,0 +1,57 @@
+//===- Pipeline.h - Fig. 5 pre-processing pipeline --------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pre-processing pipeline of Fig. 5: after the planner builds the
+/// AST, general transformations gather metadata, then the CUDA-specific
+/// passes (atomic instructions, warp shuffle instructions) discover the
+/// code-variant axes. The synthesizer iterates the discovered variants
+/// ("New Variant?" loop) and generates CUDA for each.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_TRANSFORMS_PIPELINE_H
+#define TANGRAM_TRANSFORMS_PIPELINE_H
+
+#include "transforms/GeneralTransforms.h"
+#include "transforms/GlobalAtomicMapPass.h"
+#include "transforms/SharedAtomicAnalysis.h"
+#include "transforms/WarpShuffleDetect.h"
+
+#include <map>
+
+namespace tangram::transforms {
+
+/// Everything the pre-processing pipeline learned about one codelet.
+struct CodeletTransformInfo {
+  ArgumentLinkInfo ArgLink;
+  ReturnInfo Return;
+  std::optional<CompoundMapInfo> MapStructure;   ///< Compound codelets.
+  std::optional<GlobalAtomicInfo> GlobalAtomic;  ///< Section III-A.
+  SharedAtomicInfo SharedAtomics;                ///< Section III-B.
+  std::vector<ShuffleOpportunity> Shuffles;      ///< Section III-C.
+
+  /// Number of independent variant axes this codelet contributes: the
+  /// global-atomic toggle and the shuffle toggle each double the variant
+  /// count; shared-atomic codelets are distinct codelets by construction.
+  unsigned variantAxisCount() const {
+    unsigned Axes = 0;
+    if (GlobalAtomic && GlobalAtomic->SameComputation)
+      ++Axes;
+    if (!Shuffles.empty())
+      ++Axes;
+    return Axes;
+  }
+};
+
+/// Runs the full pipeline over every codelet of \p TU (which must have
+/// passed Sema). Results are keyed by codelet.
+std::map<const lang::CodeletDecl *, CodeletTransformInfo>
+runTransformPipeline(const lang::TranslationUnit &TU);
+
+} // namespace tangram::transforms
+
+#endif // TANGRAM_TRANSFORMS_PIPELINE_H

@@ -1,0 +1,55 @@
+//===- SharedAtomicAnalysis.cpp - Section III-B AST pass -------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/SharedAtomicAnalysis.h"
+
+#include "lang/ASTVisitor.h"
+
+using namespace tangram;
+using namespace tangram::lang;
+using namespace tangram::transforms;
+
+namespace {
+
+class Scanner : public ASTVisitor<Scanner> {
+public:
+  explicit Scanner(SharedAtomicInfo &Info) : Info(Info) {}
+
+  bool visitVarDecl(VarDecl *Var) {
+    if (Var->isShared() && Var->hasAtomicQualifier())
+      Info.AtomicVars.push_back(Var);
+    return true;
+  }
+
+  bool visitBinaryExpr(BinaryExpr *B) {
+    if (!B->isAssignment())
+      return true;
+    const auto *Ref = dyn_cast<DeclRefExpr>(B->getLHS()->ignoreParens());
+    if (!Ref)
+      return true;
+    const auto *Var = dyn_cast_if_present<VarDecl>(Ref->getDecl());
+    if (!Var || !Var->isShared() || !Var->hasAtomicQualifier())
+      return true;
+    // Both plain assignment (`partial = val`, redefined by the qualifier
+    // as an atomic accumulation — Fig. 3) and compound assignment
+    // (`partial += val`) lower to the qualifier's atomic op.
+    Info.Writes.push_back({B, Var, Var->getAtomicOp()});
+    return true;
+  }
+
+private:
+  SharedAtomicInfo &Info;
+};
+
+} // namespace
+
+SharedAtomicInfo
+tangram::transforms::analyzeSharedAtomics(const CodeletDecl *C) {
+  SharedAtomicInfo Info;
+  Scanner S(Info);
+  S.traverseCodelet(const_cast<CodeletDecl *>(C));
+  return Info;
+}

@@ -1,0 +1,58 @@
+//===- SharedAtomicAnalysis.h - Section III-B AST pass ----------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared-memory atomic pass of Section III-B. The new `_atomicAdd` /
+/// `_atomicSub` / `_atomicMax` / `_atomicMin` qualifiers combine with
+/// `__shared` to declare atomically-updated accumulators (Fig. 3). This
+/// pass identifies those declarations and every write operation targeting
+/// them; code generation lowers each such write to an atomic instruction
+/// on shared memory (Listing 3 line 27).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_TRANSFORMS_SHAREDATOMICANALYSIS_H
+#define TANGRAM_TRANSFORMS_SHAREDATOMICANALYSIS_H
+
+#include "lang/AST.h"
+
+#include <vector>
+
+namespace tangram::transforms {
+
+/// One write to an atomic shared variable.
+struct SharedAtomicWrite {
+  /// The assignment that lowers to an atomic instruction.
+  const lang::BinaryExpr *Write = nullptr;
+  /// The `__shared _atomicX` variable being updated.
+  const lang::VarDecl *Var = nullptr;
+  /// Operator taken from the variable's qualifier.
+  ReduceOp Op = ReduceOp::Add;
+};
+
+/// Result of the analysis over one codelet.
+struct SharedAtomicInfo {
+  /// All `__shared _atomicX` declarations.
+  std::vector<const lang::VarDecl *> AtomicVars;
+  /// All writes that must become shared-memory atomic instructions.
+  std::vector<SharedAtomicWrite> Writes;
+
+  bool any() const { return !Writes.empty(); }
+  /// Whether \p W is a recorded atomic write.
+  bool isAtomicWrite(const lang::BinaryExpr *W) const {
+    for (const SharedAtomicWrite &A : Writes)
+      if (A.Write == W)
+        return true;
+    return false;
+  }
+};
+
+/// Scans \p C for atomic shared variables and their writes.
+SharedAtomicInfo analyzeSharedAtomics(const lang::CodeletDecl *C);
+
+} // namespace tangram::transforms
+
+#endif // TANGRAM_TRANSFORMS_SHAREDATOMICANALYSIS_H

@@ -1,0 +1,338 @@
+//===- WarpShuffleDetect.cpp - Section III-C / Fig. 4 AST pass ------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/WarpShuffleDetect.h"
+
+#include "lang/ASTVisitor.h"
+
+#include <optional>
+#include <unordered_map>
+
+using namespace tangram;
+using namespace tangram::lang;
+using namespace tangram::transforms;
+
+namespace {
+
+/// True when \p E contains a member call of kind \p MK.
+bool containsMember(const Expr *E, MemberKind MK) {
+  struct Search : ASTVisitor<Search> {
+    explicit Search(MemberKind MK) : MK(MK) {}
+    bool visitMemberCallExpr(MemberCallExpr *M) {
+      if (M->getMemberKind() == MK)
+        Found = true;
+      return true;
+    }
+    MemberKind MK;
+    bool Found = false;
+  };
+  Search S(MK);
+  S.traverseStmt(const_cast<Expr *>(E));
+  return S.Found;
+}
+
+/// True when \p E contains any Vector member call (step 1 of Fig. 4).
+bool containsVectorMember(const Expr *E) {
+  return containsMember(E, MemberKind::VectorMaxSize) ||
+         containsMember(E, MemberKind::VectorSize) ||
+         containsMember(E, MemberKind::VectorThreadId) ||
+         containsMember(E, MemberKind::VectorLaneId) ||
+         containsMember(E, MemberKind::VectorVectorId);
+}
+
+/// True when \p E references the declaration \p D.
+bool referencesDecl(const Expr *E, const Decl *D) {
+  struct Search : ASTVisitor<Search> {
+    explicit Search(const Decl *D) : D(D) {}
+    bool visitDeclRefExpr(DeclRefExpr *R) {
+      if (R->getDecl() == D)
+        Found = true;
+      return true;
+    }
+    const Decl *D;
+    bool Found = false;
+  };
+  Search S(D);
+  S.traverseStmt(const_cast<Expr *>(E));
+  return S.Found;
+}
+
+const VarDecl *declOf(const Expr *E) {
+  const auto *Ref = dyn_cast<DeclRefExpr>(E->ignoreParens());
+  return Ref ? dyn_cast_if_present<VarDecl>(Ref->getDecl()) : nullptr;
+}
+
+/// Step 2 of Fig. 4: the iterator changes by a constant every iteration;
+/// returns the direction (Down for decreasing, Up for increasing), or
+/// nullopt when the update shape does not qualify.
+std::optional<ir::ShuffleMode> iteratorDirection(const Expr *Inc,
+                                                 const VarDecl *Iterator) {
+  const Expr *E = Inc->ignoreParens();
+  const auto *B = dyn_cast<BinaryExpr>(E);
+  if (!B)
+    return std::nullopt;
+  if (declOf(B->getLHS()) != Iterator)
+    return std::nullopt;
+  const Expr *RHS = B->getRHS()->ignoreParens();
+  const auto *Const = dyn_cast<IntLiteralExpr>(RHS);
+  switch (B->getOp()) {
+  case BinaryOpKind::DivAssign: // offset /= 2 : halving — decreasing.
+    if (Const && Const->getValue() >= 2)
+      return ir::ShuffleMode::Down;
+    return std::nullopt;
+  case BinaryOpKind::SubAssign: // offset -= c : decreasing.
+    if (Const && Const->getValue() > 0)
+      return ir::ShuffleMode::Down;
+    return std::nullopt;
+  case BinaryOpKind::MulAssign: // offset *= 2 : doubling — increasing.
+    if (Const && Const->getValue() >= 2)
+      return ir::ShuffleMode::Up;
+    return std::nullopt;
+  case BinaryOpKind::AddAssign: // offset += c : increasing.
+    if (Const && Const->getValue() > 0)
+      return ir::ShuffleMode::Up;
+    return std::nullopt;
+  case BinaryOpKind::Assign: {
+    // offset = offset / 2 and friends.
+    const auto *Update = dyn_cast<BinaryExpr>(RHS);
+    if (!Update || declOf(Update->getLHS()) != Iterator)
+      return std::nullopt;
+    const auto *C = dyn_cast<IntLiteralExpr>(Update->getRHS()->ignoreParens());
+    if (!C)
+      return std::nullopt;
+    if ((Update->getOp() == BinaryOpKind::Div && C->getValue() >= 2) ||
+        (Update->getOp() == BinaryOpKind::Sub && C->getValue() > 0))
+      return ir::ShuffleMode::Down;
+    if ((Update->getOp() == BinaryOpKind::Mul && C->getValue() >= 2) ||
+        (Update->getOp() == BinaryOpKind::Add && C->getValue() > 0))
+      return ir::ShuffleMode::Up;
+    return std::nullopt;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Statements of a loop body as a flat list (single statement bodies are
+/// treated as one-element lists).
+std::vector<Stmt *> bodyStmts(const Stmt *Body) {
+  if (const auto *CS = dyn_cast<CompoundStmt>(Body))
+    return CS->getBody();
+  return {const_cast<Stmt *>(Body)};
+}
+
+/// Matches one forloop against the full Fig. 4 pattern.
+std::optional<ShuffleOpportunity> matchLoop(const ForStmt *Loop) {
+  // The iterator must be declared in the loop init.
+  const auto *InitDecl = dyn_cast_if_present<DeclStmt>(Loop->getInit());
+  if (!InitDecl || !Loop->getCond() || !Loop->getInc())
+    return std::nullopt;
+  const VarDecl *Iterator = InitDecl->getVar();
+
+  // Step (1): bounds based on the Vector primitive.
+  if (!Iterator->getInit() || !containsVectorMember(Iterator->getInit()))
+    return std::nullopt;
+
+  // Step (2): iterator changes by a constant each iteration.
+  std::optional<ir::ShuffleMode> Direction =
+      iteratorDirection(Loop->getInc(), Iterator);
+  if (!Direction)
+    return std::nullopt;
+
+  // Walk the body looking for the reduction (step 3) and the write-back
+  // (steps 5-7).
+  ShuffleOpportunity Opp;
+  Opp.Loop = Loop;
+  Opp.Iterator = Iterator;
+  Opp.Direction = *Direction;
+
+  for (Stmt *S : bodyStmts(Loop->getBody())) {
+    auto *E = dyn_cast<Expr>(S);
+    if (!E)
+      continue;
+    auto *B = dyn_cast<BinaryExpr>(E->ignoreParens());
+    if (!B || !B->isAssignment())
+      continue;
+
+    const VarDecl *LHSVar = declOf(B->getLHS());
+
+    // Reduction into a local accumulator: `val += (...) ? tmp[f(tid,it)] : 0`
+    if (!Opp.Reduction && LHSVar && !LHSVar->isShared() &&
+        B->getOp() == BinaryOpKind::AddAssign) {
+      // Step (3): the RHS reads a shared array.
+      struct FindShared : ASTVisitor<FindShared> {
+        bool visitIndexExpr(IndexExpr *I) {
+          if (const VarDecl *V = declOf(I->getBase()))
+            if (V->isShared() && V->isArrayForm() && !Array) {
+              Array = V;
+              Index = I->getIndex();
+            }
+          return true;
+        }
+        const VarDecl *Array = nullptr;
+        const Expr *Index = nullptr;
+      };
+      FindShared FS;
+      FS.traverseStmt(B->getRHS());
+      if (FS.Array) {
+        // Step (4): the read index is a function of ThreadId() and the
+        // iterator.
+        if (containsMember(FS.Index, MemberKind::VectorThreadId) &&
+            referencesDecl(FS.Index, Iterator)) {
+          Opp.Reduction = B;
+          Opp.Array = FS.Array;
+          Opp.Accumulator = LHSVar;
+        }
+      }
+      continue;
+    }
+
+    // Write-back: `tmp[f(ThreadId())] = val` (steps 5-7).
+    if (Opp.Reduction && !Opp.WriteBack) {
+      const auto *Idx = dyn_cast<IndexExpr>(B->getLHS()->ignoreParens());
+      if (!Idx || B->getOp() != BinaryOpKind::Assign)
+        continue;
+      // Step (5,6): written to the same shared array; the stored value is
+      // the accumulator.
+      if (declOf(Idx->getBase()) != Opp.Array)
+        continue;
+      if (declOf(B->getRHS()) != Opp.Accumulator)
+        continue;
+      // Step (7): index a function of ThreadId() only (not the iterator).
+      if (!containsMember(Idx->getIndex(), MemberKind::VectorThreadId) ||
+          referencesDecl(Idx->getIndex(), Iterator))
+        continue;
+      Opp.WriteBack = B;
+    }
+  }
+
+  if (!Opp.Reduction || !Opp.WriteBack)
+    return std::nullopt;
+  return Opp;
+}
+
+/// Collects every forloop of the codelet in source order.
+std::vector<const ForStmt *> collectLoops(const CodeletDecl *C) {
+  struct Collect : ASTVisitor<Collect> {
+    bool visitForStmt(ForStmt *F) {
+      Loops.push_back(F);
+      return true;
+    }
+    std::vector<const ForStmt *> Loops;
+  };
+  Collect Coll;
+  Coll.traverseCodelet(const_cast<CodeletDecl *>(C));
+  return Coll.Loops;
+}
+
+/// Decides array elision: the array can be removed when its contents come
+/// directly from the codelet input. We trace the feeding store
+/// `A[g(tid)] = v` outside the matched loops and require v's reaching
+/// definition to read the input array parameter; stores fed by another
+/// matched loop's accumulator (producer-consumer) keep the array.
+bool canElideArray(const CodeletDecl *C, const VarDecl *Array,
+                   const std::vector<ShuffleOpportunity> &Matches) {
+  struct Walk : ASTVisitor<Walk> {
+    Walk(const VarDecl *Array, const std::vector<ShuffleOpportunity> &Matches)
+        : Array(Array), Matches(Matches) {}
+
+    bool insideMatchedLoop(const ForStmt *F) const {
+      for (const ShuffleOpportunity &M : Matches)
+        if (M.Loop == F)
+          return true;
+      return false;
+    }
+
+    bool visitForStmt(ForStmt *F) {
+      if (insideMatchedLoop(F)) {
+        // The matched loop's own reads/writes of the array are part of
+        // the rewritten pattern; skip them, but remember passing it for
+        // the producer-consumer ordering check.
+        SeenMatchedLoop = true;
+        return false;
+      }
+      return true;
+    }
+
+    bool visitBinaryExpr(BinaryExpr *B) {
+      if (!B->isAssignment())
+        return true;
+      // Track scalar defs for the reaching-definition query.
+      if (const VarDecl *V = declOf(B->getLHS())) {
+        LastDef[V] = B->getRHS();
+        return true;
+      }
+      // A store into the array outside matched loops.
+      const auto *Idx = dyn_cast<IndexExpr>(B->getLHS()->ignoreParens());
+      if (Idx && declOf(Idx->getBase()) == Array) {
+        const VarDecl *Stored = declOf(B->getRHS());
+        const Expr *Def = nullptr;
+        if (Stored) {
+          auto It = LastDef.find(Stored);
+          if (It != LastDef.end())
+            Def = It->second;
+        } else {
+          Def = B->getRHS();
+        }
+        if (!Def || !readsInputParam(Def))
+          FedByNonInput = true;
+        // A matched loop between the feeding def and this store means a
+        // producer-consumer chain: approximate by checking whether any
+        // matched loop precedes this store (source order) while the store
+        // follows the first match.
+        if (SeenMatchedLoop)
+          FedByNonInput = true;
+      }
+      return true;
+    }
+
+    bool visitIndexExpr(IndexExpr *I) {
+      if (declOf(I->getBase()) == Array)
+        ReadOutsideMatchedLoop = true;
+      return true;
+    }
+
+    bool readsInputParam(const Expr *E) {
+      struct Search : ASTVisitor<Search> {
+        bool visitIndexExpr(IndexExpr *I) {
+          const auto *Ref =
+              dyn_cast<DeclRefExpr>(I->getBase()->ignoreParens());
+          if (Ref && isa_and_present<ParamDecl>(Ref->getDecl()))
+            Found = true;
+          return true;
+        }
+        bool Found = false;
+      };
+      Search S;
+      S.traverseStmt(const_cast<Expr *>(E));
+      return S.Found;
+    }
+
+    const VarDecl *Array;
+    const std::vector<ShuffleOpportunity> &Matches;
+    std::unordered_map<const VarDecl *, const Expr *> LastDef;
+    bool FedByNonInput = false;
+    bool ReadOutsideMatchedLoop = false;
+    bool SeenMatchedLoop = false;
+  };
+
+  Walk W(Array, Matches);
+  W.traverseCodelet(const_cast<CodeletDecl *>(C));
+  return !W.FedByNonInput;
+}
+
+} // namespace
+
+std::vector<ShuffleOpportunity>
+tangram::transforms::detectWarpShuffle(const CodeletDecl *C) {
+  std::vector<ShuffleOpportunity> Result;
+  for (const ForStmt *Loop : collectLoops(C))
+    if (std::optional<ShuffleOpportunity> Opp = matchLoop(Loop))
+      Result.push_back(*Opp);
+  for (ShuffleOpportunity &Opp : Result)
+    Opp.ElideArray = canElideArray(C, Opp.Array, Result);
+  return Result;
+}

@@ -1,0 +1,69 @@
+//===- WarpShuffleDetect.h - Section III-C / Fig. 4 AST pass ----*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The warp-shuffle detection pass of Section III-C, implementing the
+/// seven-step forloop pattern matcher of Figure 4:
+///
+///  (1) the forloop bounds are based on Vector primitive member functions
+///      (e.g. `offset = vthread.MaxSize()/2`);
+///  (2) the iterator decreases (or increases) by a constant factor or
+///      stride every iteration;
+///  (3) the body reads a `__shared` array, reducing into a local
+///      accumulator;
+///  (4) the shared array read index is a function of `Vector.ThreadId()`
+///      and the forloop iterator;
+///  (5,6) the accumulator value is written back to the same shared array;
+///  (7) at an index that is a function of `Vector.ThreadId()` only.
+///
+/// A match means the loop can be rewritten with warp shuffle instructions:
+/// `__shfl_down` when the loop iterates in the negative direction of the
+/// Vector, `__shfl_up` otherwise. The pass additionally decides whether
+/// the shared array itself can be elided: it can when its contents come
+/// directly from the codelet's input array; it cannot when a
+/// producer-consumer relation links two matched loops (the `partial`
+/// array of Fig. 1c / Listing 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_TRANSFORMS_WARPSHUFFLEDETECT_H
+#define TANGRAM_TRANSFORMS_WARPSHUFFLEDETECT_H
+
+#include "ir/KernelIR.h"
+#include "lang/AST.h"
+
+#include <vector>
+
+namespace tangram::transforms {
+
+/// One forloop that can be rewritten with warp shuffle instructions.
+struct ShuffleOpportunity {
+  /// The matched tree-summation loop.
+  const lang::ForStmt *Loop = nullptr;
+  /// The `__shared` array the loop reduces over.
+  const lang::VarDecl *Array = nullptr;
+  /// The per-thread accumulator local.
+  const lang::VarDecl *Accumulator = nullptr;
+  /// The loop induction variable (the shuffle offset).
+  const lang::VarDecl *Iterator = nullptr;
+  /// shfl_down for negative-direction loops, shfl_up otherwise.
+  ir::ShuffleMode Direction = ir::ShuffleMode::Down;
+  /// True when no other code depends on the array and its contents come
+  /// directly from the input, so no shared memory need be allocated.
+  bool ElideArray = false;
+  /// The write-back statement (`tmp[ThreadId()] = val`) inside the loop.
+  const lang::BinaryExpr *WriteBack = nullptr;
+  /// The reduction statement (`val += ... tmp[...] ...`).
+  const lang::BinaryExpr *Reduction = nullptr;
+};
+
+/// Runs the Fig. 4 matcher over every forloop of \p C.
+std::vector<ShuffleOpportunity>
+detectWarpShuffle(const lang::CodeletDecl *C);
+
+} // namespace tangram::transforms
+
+#endif // TANGRAM_TRANSFORMS_WARPSHUFFLEDETECT_H

@@ -1,0 +1,154 @@
+//===- CudaEmitterTest.cpp - CUDA emission tests ------------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Checks the generated CUDA against the features the paper's Listings 1-4
+// exhibit: atomic instructions with scopes, warp shuffle intrinsics,
+// extern shared arrays, scalar shared accumulators, and barriers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CudaEmitter.h"
+
+#include "tangram/Tangram.h"
+
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::synth;
+
+namespace {
+
+TangramReduction &compiled() {
+  static std::unique_ptr<TangramReduction> TR = [] {
+    std::string Error;
+    auto T = TangramReduction::create({}, Error);
+    EXPECT_NE(T, nullptr) << Error;
+    return T;
+  }();
+  return *TR;
+}
+
+std::string cudaFor(const char *Label) {
+  std::string Error;
+  const VariantDescriptor *V =
+      findByFigure6Label(compiled().getSearchSpace(), Label);
+  EXPECT_NE(V, nullptr);
+  std::string Text = compiled().emitCudaFor(*V, Error);
+  EXPECT_FALSE(Text.empty()) << Error;
+  return Text;
+}
+
+TEST(CudaEmitter, GlobalAtomicGridCombine) {
+  // Every pruned version ends in a device-scope atomicAdd on the Return
+  // accumulator (Listing 2 shape).
+  for (const char *Label : {"a", "f", "l", "n", "p"}) {
+    std::string Text = cudaFor(Label);
+    EXPECT_NE(Text.find("atomicAdd(&Return[0], "), std::string::npos)
+        << Label;
+    EXPECT_NE(Text.find("__global__"), std::string::npos);
+  }
+}
+
+TEST(CudaEmitter, SharedAtomicScalarForm) {
+  // Fig. 3 accumulators print as scalar __shared__ variables, atomically
+  // updated (Listing 3 line 27).
+  std::string Text = cudaFor("n");
+  EXPECT_NE(Text.find("__shared__ float tmp;"), std::string::npos);
+  EXPECT_NE(Text.find("atomicAdd(&tmp, "), std::string::npos);
+}
+
+TEST(CudaEmitter, ShuffleIntrinsics) {
+  std::string Text = cudaFor("m");
+  EXPECT_NE(Text.find("__shfl_down(val, offset, 32)"), std::string::npos);
+  // The elided array must not appear.
+  EXPECT_EQ(Text.find("tmp["), std::string::npos);
+  // The cross-warp staging array survives (Listing 4).
+  EXPECT_NE(Text.find("partial["), std::string::npos);
+}
+
+TEST(CudaEmitter, TreeVariantUsesExternShared) {
+  // The blockDim-sized tmp array is dynamically sized at launch
+  // (Listing 3 line 9).
+  std::string Text = cudaFor("l");
+  EXPECT_NE(Text.find("extern __shared__ float tmp[];"), std::string::npos);
+  EXPECT_NE(Text.find("__syncthreads();"), std::string::npos);
+}
+
+TEST(CudaEmitter, SyncShuffleSpelling) {
+  std::string Error;
+  const VariantDescriptor *V =
+      findByFigure6Label(compiled().getSearchSpace(), "m");
+  auto S = compiled().synthesize(*V, Error);
+  ASSERT_NE(S, nullptr);
+  codegen::CudaEmitOptions Options;
+  Options.SyncShuffles = true;
+  std::string Text = codegen::emitCuda(*S->K, Options);
+  EXPECT_NE(Text.find("__shfl_down_sync(0xffffffff, val, offset, 32)"),
+            std::string::npos);
+}
+
+TEST(CudaEmitter, HostWrapperShape) {
+  std::string Text = cudaFor("p"); // emitCudaFor enables the wrapper.
+  EXPECT_NE(Text.find("cudaMalloc(&Return, sizeof(float));"),
+            std::string::npos);
+  EXPECT_NE(Text.find("<<<"), std::string::npos);
+  EXPECT_NE(Text.find("cudaMemcpyDeviceToHost"), std::string::npos);
+}
+
+TEST(CudaEmitter, MaxReductionSpellsAtomicMax) {
+  std::string Error;
+  TangramReduction::Options Opts;
+  Opts.Op = ReduceOp::Max;
+  Opts.Elem = ElemKind::Int;
+  auto TR = TangramReduction::create(Opts, Error);
+  ASSERT_NE(TR, nullptr) << Error;
+  const VariantDescriptor *V =
+      findByFigure6Label(TR->getSearchSpace(), "n");
+  std::string Text = TR->emitCudaFor(*V, Error);
+  EXPECT_NE(Text.find("atomicMax(&tmp, "), std::string::npos);
+  EXPECT_NE(Text.find("atomicMax(&Return[0], "), std::string::npos);
+  // Max identity, not zero.
+  EXPECT_NE(Text.find("-2147483648"), std::string::npos);
+}
+
+TEST(CudaEmitter, SerialStageEmitsCoarsenLoop) {
+  std::string Text = cudaFor("a");
+  EXPECT_NE(Text.find("for (int i = 0;"), std::string::npos);
+  EXPECT_NE(Text.find("ObjectSize / blockDim.x"), std::string::npos);
+}
+
+TEST(CudaEmitter, StridedGridUsesGridDim) {
+  std::string Text = cudaFor("k");
+  EXPECT_NE(Text.find("gridDim.x"), std::string::npos);
+}
+
+TEST(CudaEmitter, EmitsEveryPrunedVariantNonEmpty) {
+  std::string Error;
+  for (const VariantDescriptor &V : compiled().getSearchSpace().Pruned) {
+    std::string Text = compiled().emitCudaFor(V, Error);
+    EXPECT_FALSE(Text.empty()) << V.getName() << ": " << Error;
+    EXPECT_NE(Text.find("__global__"), std::string::npos) << V.getName();
+    // Identifier-safe kernel names (variant names contain '/' and '+').
+    size_t NamePos = Text.find("void ");
+    ASSERT_NE(NamePos, std::string::npos);
+    size_t ParenPos = Text.find('(', NamePos);
+    std::string KernelName =
+        Text.substr(NamePos + 5, ParenPos - NamePos - 5);
+    for (char C : KernelName)
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(C)) || C == '_')
+          << V.getName() << " -> " << KernelName;
+  }
+}
+
+TEST(CudaEmitter, FloatLiteralsAreValidCuda) {
+  std::string Text = cudaFor("l");
+  EXPECT_EQ(Text.find(" 0f"), std::string::npos);
+  EXPECT_NE(Text.find("0.0f"), std::string::npos);
+}
+
+} // namespace

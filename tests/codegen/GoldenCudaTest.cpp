@@ -1,0 +1,79 @@
+//===- GoldenCudaTest.cpp - Exact generated-CUDA regression test --------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Locks the exact CUDA text generated for the paper's flagship version
+// (p) — Fig. 3(b) lowered with the shuffle rewrite and atomic combines
+// (the Listing 3+4 composition). Any codegen change that alters this text
+// must be a conscious decision.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CudaEmitter.h"
+#include "tangram/Tangram.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::synth;
+
+namespace {
+
+const char *ExpectedVariantP = R"(__global__
+void Reduce_Block_DTA_VA2_S(float *Return, float *input_x, int SourceSize, int ObjectSize) {
+  __shared__ float partial;
+  if ((threadIdx.x == 0u)) {
+    partial = 0.0f;
+  }
+  __syncthreads();
+  float val = 0.0f;
+  val = ((threadIdx.x < ObjectSize) ? ((((blockIdx.x * ObjectSize) + threadIdx.x) < SourceSize) ? input_x[((blockIdx.x * ObjectSize) + threadIdx.x)] : 0.0f) : 0.0f);
+  for (int offset = (32u / 2); (offset > 0); offset = (offset / 2)) {
+    val = (val + __shfl_down(val, offset, 32));
+  }
+  if (((ObjectSize != 32u) && ((ObjectSize / 32u) > 0))) {
+    if (((threadIdx.x % warpSize) == 0)) {
+      atomicAdd(&partial, val);
+    }
+    __syncthreads();
+    if (((threadIdx.x / warpSize) == 0)) {
+      val = partial;
+    }
+  }
+  __syncthreads();
+  if ((threadIdx.x == 0u)) {
+    atomicAdd(&Return[0], val);
+  }
+}
+)";
+
+TEST(GoldenCuda, VariantPMatchesExactly) {
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  ASSERT_NE(TR, nullptr) << Error;
+  const VariantDescriptor *P =
+      findByFigure6Label(TR->getSearchSpace(), "p");
+  ASSERT_NE(P, nullptr);
+  auto S = TR->synthesize(*P, Error);
+  ASSERT_NE(S, nullptr) << Error;
+  std::string Text = codegen::emitCuda(*S->K);
+  EXPECT_EQ(Text, ExpectedVariantP);
+}
+
+TEST(GoldenCuda, EmissionIsDeterministic) {
+  std::string Error;
+  auto TR = TangramReduction::create({}, Error);
+  ASSERT_NE(TR, nullptr) << Error;
+  for (const char *Label : {"a", "k", "m", "n"}) {
+    const VariantDescriptor *V =
+        findByFigure6Label(TR->getSearchSpace(), Label);
+    std::string First = TR->emitCudaFor(*V, Error);
+    std::string Second = TR->emitCudaFor(*V, Error);
+    EXPECT_EQ(First, Second) << Label;
+    EXPECT_FALSE(First.empty()) << Label;
+  }
+}
+
+} // namespace

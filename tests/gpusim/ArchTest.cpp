@@ -1,0 +1,103 @@
+//===- ArchTest.cpp - Architecture descriptor invariants ----------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Invariants over the Kepler/Maxwell/Pascal descriptors: the model
+// parameters must stay physically consistent (efficiencies <= 1, warp
+// size 32) and encode the Section II-A hardware evolution (Kepler lock
+// loop -> Maxwell native -> Pascal scoped; scoped atomics only on
+// Pascal).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Arch.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram::sim;
+
+namespace {
+
+class ArchInvariants : public ::testing::TestWithParam<int> {
+protected:
+  const ArchDesc &arch() const {
+    unsigned Count = 0;
+    return getAllArchs(Count)[GetParam()];
+  }
+};
+
+TEST_P(ArchInvariants, GeometryIsSane) {
+  const ArchDesc &A = arch();
+  EXPECT_EQ(A.WarpSize, 32u);
+  EXPECT_GT(A.NumSMs, 0u);
+  EXPECT_GT(A.ClockGHz, 0.5);
+  EXPECT_LE(A.MaxThreadsPerBlock, 1024u);
+  EXPECT_GE(A.MaxThreadsPerSM, A.MaxThreadsPerBlock);
+  EXPECT_LE(A.SharedMemPerBlockBytes, A.SharedMemPerSMBytes);
+}
+
+TEST_P(ArchInvariants, MemoryEfficienciesArePhysical) {
+  const ArchDesc &A = arch();
+  EXPECT_GT(A.ScalarLoadEfficiency, 0.0);
+  EXPECT_LE(A.ScalarLoadEfficiency, 1.0);
+  EXPECT_LE(A.VectorLoadEfficiency, 1.0);
+  EXPECT_LE(A.StagedLoadEfficiency, 1.0);
+  // Vectorized loads never underperform per-element scalar loads.
+  EXPECT_GE(A.VectorLoadEfficiency, A.ScalarLoadEfficiency);
+  EXPECT_GT(A.DramBandwidthGBs, 100.0);
+}
+
+TEST_P(ArchInvariants, CostsArePositive) {
+  const ArchDesc &A = arch();
+  EXPECT_GT(A.AluCost, 0.0);
+  EXPECT_GT(A.SharedLdStCost, 0.0);
+  EXPECT_GT(A.GlobalLdStCost, A.SharedLdStCost);
+  EXPECT_GT(A.ShuffleCost, 0.0);
+  EXPECT_LT(A.ShuffleCost, A.SharedLdStCost)
+      << "shuffles must be cheaper than shared-memory round trips "
+         "(Section II-A1)";
+  EXPECT_GT(A.SharedAtomicBaseCost, 0.0);
+  EXPECT_GT(A.KernelLaunchOverheadUs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, ArchInvariants,
+                         ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           return Info.param == 0   ? std::string("Kepler")
+                                  : Info.param == 1 ? std::string("Maxwell")
+                                                    : std::string("Pascal");
+                         });
+
+TEST(ArchEvolution, SharedAtomicHardwareImproves) {
+  // Section II-A2: software lock loop (Kepler) -> native (Maxwell) ->
+  // native + scopes (Pascal).
+  EXPECT_EQ(getKeplerK40c().SharedAtomics, SharedAtomicImpl::SoftwareLock);
+  EXPECT_EQ(getMaxwellGTX980().SharedAtomics, SharedAtomicImpl::Native);
+  EXPECT_EQ(getPascalP100().SharedAtomics, SharedAtomicImpl::NativeScoped);
+
+  EXPECT_FALSE(getKeplerK40c().hasNativeSharedAtomics());
+  EXPECT_TRUE(getMaxwellGTX980().hasNativeSharedAtomics());
+  EXPECT_FALSE(getMaxwellGTX980().hasScopedAtomics());
+  EXPECT_TRUE(getPascalP100().hasScopedAtomics());
+
+  // Contention pricing orders with the hardware generations.
+  EXPECT_GT(getKeplerK40c().SharedAtomicConflictCost,
+            10 * getMaxwellGTX980().SharedAtomicConflictCost);
+  EXPECT_GE(getMaxwellGTX980().SharedAtomicConflictCost,
+            getPascalP100().SharedAtomicConflictCost);
+  // Only Pascal discounts block-scoped global atomics.
+  EXPECT_EQ(getKeplerK40c().BlockScopeAtomicFactor, 1.0);
+  EXPECT_EQ(getMaxwellGTX980().BlockScopeAtomicFactor, 1.0);
+  EXPECT_LT(getPascalP100().BlockScopeAtomicFactor, 1.0);
+}
+
+TEST(ArchEvolution, LaunchOverheadShrinksWithGenerations) {
+  EXPECT_GE(getKeplerK40c().KernelLaunchOverheadUs,
+            getMaxwellGTX980().KernelLaunchOverheadUs);
+  EXPECT_GE(getMaxwellGTX980().KernelLaunchOverheadUs,
+            getPascalP100().KernelLaunchOverheadUs);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- ShuffleModesTest.cpp - Warp shuffle flavor tests -----------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section II-A1 lists four shuffle flavors (shift up/down, butterfly/xor,
+// indexed) plus subwarp operation. These tests pin the simulator's
+// semantics for each, including segment-boundary behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/SimtMachine.h"
+#include "ir/Bytecode.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::ir;
+using namespace tangram::sim;
+
+namespace {
+
+/// Builds a one-warp kernel: out[tid] = shuffle(in[tid], offset).
+CompiledKernel buildShuffleKernel(Module &M, ShuffleMode Mode,
+                                  long long Offset, unsigned Width) {
+  Kernel *K = M.addKernel("shfl_probe");
+  Param *Out = K->addPointerParam("out", ScalarType::I32);
+  Param *In = K->addPointerParam("in", ScalarType::I32);
+  Local *Val = K->addLocal("val", ScalarType::I32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(
+      Val, M.create<LoadGlobalExpr>(In, M.special(SpecialReg::ThreadIdxX))));
+  Local *Res = K->addLocal("res", ScalarType::I32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(
+      Res, M.create<ShuffleExpr>(Mode, M.ref(Val), M.constI(Offset),
+                                 Width)));
+  K->getBody().push_back(M.create<StoreGlobalStmt>(
+      Out, M.special(SpecialReg::ThreadIdxX), M.ref(Res)));
+  return compileKernel(*K);
+}
+
+std::vector<long long> runShuffle(ShuffleMode Mode, long long Offset,
+                                  unsigned Width) {
+  Module M;
+  CompiledKernel CK = buildShuffleKernel(M, Mode, Offset, Width);
+  Device Dev;
+  BufferId In = Dev.alloc(ScalarType::I32, 32);
+  BufferId Out = Dev.alloc(ScalarType::I32, 32);
+  std::vector<int> Lanes(32);
+  for (int L = 0; L != 32; ++L)
+    Lanes[L] = 100 + L; // Distinguishable per-lane values.
+  Dev.writeInts(In, Lanes);
+  SimtMachine Machine(Dev, getMaxwellGTX980());
+  LaunchResult R = Machine.launch(
+      CK, {1, 32, 0}, {ArgValue::buffer(Out), ArgValue::buffer(In)});
+  EXPECT_TRUE(R.ok());
+  std::vector<long long> Result(32);
+  for (int L = 0; L != 32; ++L)
+    Result[L] = Dev.readInt(Out, L);
+  return Result;
+}
+
+TEST(ShuffleModes, DownShiftsFromHigherLanes) {
+  auto R = runShuffle(ShuffleMode::Down, 4, 32);
+  for (int L = 0; L != 28; ++L)
+    EXPECT_EQ(R[L], 100 + L + 4) << L;
+  // Out-of-segment lanes keep their own value (CUDA semantics).
+  for (int L = 28; L != 32; ++L)
+    EXPECT_EQ(R[L], 100 + L) << L;
+}
+
+TEST(ShuffleModes, UpShiftsFromLowerLanes) {
+  auto R = runShuffle(ShuffleMode::Up, 3, 32);
+  for (int L = 0; L != 3; ++L)
+    EXPECT_EQ(R[L], 100 + L) << L;
+  for (int L = 3; L != 32; ++L)
+    EXPECT_EQ(R[L], 100 + L - 3) << L;
+}
+
+TEST(ShuffleModes, XorIsButterflyExchange) {
+  auto R = runShuffle(ShuffleMode::Xor, 1, 32);
+  for (int L = 0; L != 32; ++L)
+    EXPECT_EQ(R[L], 100 + (L ^ 1)) << L;
+  auto R16 = runShuffle(ShuffleMode::Xor, 16, 32);
+  for (int L = 0; L != 32; ++L)
+    EXPECT_EQ(R16[L], 100 + (L ^ 16)) << L;
+}
+
+TEST(ShuffleModes, IdxBroadcastsWithinSegment) {
+  auto R = runShuffle(ShuffleMode::Idx, 5, 32);
+  for (int L = 0; L != 32; ++L)
+    EXPECT_EQ(R[L], 100 + 5) << L; // Everyone reads lane 5.
+}
+
+TEST(ShuffleModes, SubwarpSegmentsAreIndependent) {
+  // Width 8: four independent segments per warp (Section II-A1's
+  // subwarps). A down-shift never crosses a segment boundary.
+  auto R = runShuffle(ShuffleMode::Down, 2, 8);
+  for (int L = 0; L != 32; ++L) {
+    int Seg = L / 8 * 8;
+    long long Expect = (L + 2 < Seg + 8) ? 100 + L + 2 : 100 + L;
+    EXPECT_EQ(R[L], Expect) << L;
+  }
+}
+
+TEST(ShuffleModes, SubwarpIdxBroadcastsPerSegment) {
+  auto R = runShuffle(ShuffleMode::Idx, 0, 16);
+  for (int L = 0; L != 32; ++L)
+    EXPECT_EQ(R[L], 100 + (L / 16) * 16) << L; // Lane 0 of own segment.
+}
+
+TEST(ShuffleModes, SubwarpButterflyReduction) {
+  // A full butterfly reduction over width-16 subwarps: every lane of a
+  // segment ends with the segment's sum — the xor-based reduction
+  // alternative to shfl_down trees.
+  Module M;
+  Kernel *K = M.addKernel("xor_reduce");
+  Param *Out = K->addPointerParam("out", ScalarType::I32);
+  Param *InParam = K->addPointerParam("in", ScalarType::I32);
+  Local *Val = K->addLocal("val", ScalarType::I32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(
+      Val,
+      M.create<LoadGlobalExpr>(InParam, M.special(SpecialReg::ThreadIdxX))));
+  Local *Off = K->addLocal("o", ScalarType::I32);
+  std::vector<Stmt *> Body = {M.create<AssignStmt>(
+      Val, M.arith(BinOp::Add, M.ref(Val),
+                   M.create<ShuffleExpr>(ShuffleMode::Xor, M.ref(Val),
+                                         M.ref(Off), 16)))};
+  K->getBody().push_back(M.create<ForStmt>(
+      Off, M.constI(8), M.cmp(BinOp::GT, M.ref(Off), M.constI(0)),
+      M.arith(BinOp::Div, M.ref(Off), M.constI(2)), std::move(Body)));
+  K->getBody().push_back(M.create<StoreGlobalStmt>(
+      Out, M.special(SpecialReg::ThreadIdxX), M.ref(Val)));
+  CompiledKernel CK = compileKernel(*K);
+
+  Device Dev;
+  BufferId In = Dev.alloc(ScalarType::I32, 32);
+  BufferId OutBuf = Dev.alloc(ScalarType::I32, 32);
+  std::vector<int> Data(32);
+  long long Sum0 = 0, Sum1 = 0;
+  for (int L = 0; L != 32; ++L) {
+    Data[L] = L * L + 1;
+    (L < 16 ? Sum0 : Sum1) += Data[L];
+  }
+  Dev.writeInts(In, Data);
+  SimtMachine Machine(Dev, getPascalP100());
+  LaunchResult R = Machine.launch(
+      CK, {1, 32, 0}, {ArgValue::buffer(OutBuf), ArgValue::buffer(In)});
+  ASSERT_TRUE(R.ok());
+  for (int L = 0; L != 32; ++L)
+    EXPECT_EQ(Dev.readInt(OutBuf, L), L < 16 ? Sum0 : Sum1) << L;
+}
+
+} // namespace

@@ -1,0 +1,402 @@
+//===- SimtMachineTest.cpp - SIMT machine execution tests ------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Hand-built kernel IR programs exercising the SIMT machine: lockstep
+// execution, divergence, barriers, shared memory, atomics, and shuffles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/PerfModel.h"
+#include "gpusim/SimtMachine.h"
+#include "ir/Bytecode.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace tangram;
+using namespace tangram::ir;
+using namespace tangram::sim;
+
+namespace {
+
+/// Builds: out[tid_global] = in[tid_global] * 2 (elementwise doubling).
+struct DoubleKernel {
+  Module M;
+  Kernel *K = nullptr;
+  Param *In = nullptr, *Out = nullptr, *N = nullptr;
+
+  DoubleKernel() {
+    K = M.addKernel("double_elements");
+    Out = K->addPointerParam("out", ScalarType::I32);
+    In = K->addPointerParam("in", ScalarType::I32);
+    N = K->addScalarParam("n", ScalarType::I32);
+
+    Local *Tid = K->addLocal("tid", ScalarType::U32);
+    Expr *Gid = M.arith(
+        BinOp::Add,
+        M.arith(BinOp::Mul, M.special(SpecialReg::BlockIdxX),
+                M.special(SpecialReg::BlockDimX)),
+        M.special(SpecialReg::ThreadIdxX));
+    K->getBody().push_back(M.create<DeclLocalStmt>(Tid, Gid));
+
+    Expr *InBounds = M.cmp(BinOp::LT, M.ref(Tid), M.ref(N));
+    Expr *Loaded = M.create<LoadGlobalExpr>(In, M.ref(Tid));
+    Expr *Doubled =
+        M.arith(BinOp::Mul, Loaded, M.constI(2));
+    std::vector<Stmt *> Then = {
+        M.create<StoreGlobalStmt>(Out, M.ref(Tid), Doubled)};
+    K->getBody().push_back(
+        M.create<IfStmt>(InBounds, std::move(Then), std::vector<Stmt *>{}));
+  }
+};
+
+TEST(SimtMachine, ElementwiseDoubling) {
+  DoubleKernel B;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyKernel(*B.K, Errors)) << Errors.front();
+
+  CompiledKernel CK = compileKernel(*B.K);
+  Device Dev;
+  BufferId InBuf = Dev.alloc(ScalarType::I32, 100);
+  BufferId OutBuf = Dev.alloc(ScalarType::I32, 100);
+  std::vector<int> Data(100);
+  std::iota(Data.begin(), Data.end(), 1);
+  Dev.writeInts(InBuf, Data);
+
+  SimtMachine Machine(Dev, getMaxwellGTX980());
+  LaunchConfig Config{/*GridDim=*/2, /*BlockDim=*/64, 0};
+  LaunchResult R = Machine.launch(
+      CK, Config,
+      {ArgValue::buffer(OutBuf), ArgValue::buffer(InBuf),
+       ArgValue::scalar(100)});
+  ASSERT_TRUE(R.ok()) << R.Errors.front();
+
+  for (size_t I = 0; I != 100; ++I)
+    EXPECT_EQ(Dev.readInt(OutBuf, I), 2 * static_cast<long long>(I + 1));
+  EXPECT_GT(R.Stats.WarpCycles, 0);
+  EXPECT_GT(R.Stats.LaneInstructions, 0u);
+}
+
+/// Builds the canonical shuffle-based warp reduction followed by a global
+/// atomic (the shape of the paper's Listing 4 + global atomics).
+struct ShuffleReduceKernel {
+  Module M;
+  Kernel *K = nullptr;
+  Param *Out = nullptr, *In = nullptr, *N = nullptr;
+
+  ShuffleReduceKernel() {
+    K = M.addKernel("reduce_shfl");
+    Out = K->addPointerParam("out", ScalarType::F32);
+    In = K->addPointerParam("in", ScalarType::F32);
+    N = K->addScalarParam("n", ScalarType::I32);
+
+    Local *Tid = K->addLocal("tid", ScalarType::U32);
+    Expr *Gid = M.arith(
+        BinOp::Add,
+        M.arith(BinOp::Mul, M.special(SpecialReg::BlockIdxX),
+                M.special(SpecialReg::BlockDimX)),
+        M.special(SpecialReg::ThreadIdxX));
+    K->getBody().push_back(M.create<DeclLocalStmt>(Tid, Gid));
+
+    // val = tid < n ? in[tid] : 0
+    Local *Val = K->addLocal("val", ScalarType::F32);
+    Expr *Loaded = M.create<SelectExpr>(
+        M.cmp(BinOp::LT, M.ref(Tid), M.ref(N)),
+        M.create<LoadGlobalExpr>(In, M.ref(Tid)), M.constF(0.0),
+        ScalarType::F32);
+    K->getBody().push_back(M.create<DeclLocalStmt>(Val, Loaded));
+
+    // for (offset = 16; offset > 0; offset /= 2)
+    //   val += shfl_down(val, offset)
+    Local *Off = K->addLocal("offset", ScalarType::I32);
+    Expr *Shfl = M.create<ShuffleExpr>(ShuffleMode::Down, M.ref(Val),
+                                       M.ref(Off), 32);
+    std::vector<Stmt *> LoopBody = {M.create<AssignStmt>(
+        Val, M.arith(BinOp::Add, M.ref(Val), Shfl))};
+    K->getBody().push_back(M.create<ForStmt>(
+        Off, M.constI(16), M.cmp(BinOp::GT, M.ref(Off), M.constI(0)),
+        M.arith(BinOp::Div, M.ref(Off), M.constI(2)), std::move(LoopBody)));
+
+    // if (threadIdx.x % 32 == 0) atomicAdd(out, val)
+    Expr *IsLane0 = M.cmp(
+        BinOp::EQ,
+        M.arith(BinOp::Rem, M.special(SpecialReg::ThreadIdxX), M.constU(32)),
+        M.constU(0));
+    std::vector<Stmt *> Then = {M.create<AtomicGlobalStmt>(
+        ReduceOp::Add, AtomicScope::Device, Out, M.constI(0), M.ref(Val))};
+    K->getBody().push_back(
+        M.create<IfStmt>(IsLane0, std::move(Then), std::vector<Stmt *>{}));
+  }
+};
+
+TEST(SimtMachine, WarpShuffleReduction) {
+  ShuffleReduceKernel B;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyKernel(*B.K, Errors)) << Errors.front();
+
+  CompiledKernel CK = compileKernel(*B.K);
+  Device Dev;
+  const unsigned N = 1000; // Not a multiple of the block size on purpose.
+  BufferId InBuf = Dev.alloc(ScalarType::F32, N);
+  BufferId OutBuf = Dev.alloc(ScalarType::F32, 1);
+  std::vector<float> Data(N);
+  double Expected = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    Data[I] = static_cast<float>((I % 7) + 0.5);
+    Expected += Data[I];
+  }
+  Dev.writeFloats(InBuf, Data);
+
+  SimtMachine Machine(Dev, getKeplerK40c());
+  unsigned Block = 128;
+  unsigned Grid = (N + Block - 1) / Block;
+  LaunchResult R = Machine.launch(
+      CK, {Grid, Block, 0},
+      {ArgValue::buffer(OutBuf), ArgValue::buffer(InBuf),
+       ArgValue::scalar(N)});
+  ASSERT_TRUE(R.ok()) << R.Errors.front();
+  EXPECT_NEAR(Dev.readFloat(OutBuf, 0), Expected, Expected * 1e-5);
+  EXPECT_GT(R.Stats.GlobalAtomicOps, 0u);
+  // One atomic per warp, all to the same accumulator.
+  EXPECT_EQ(R.Stats.GlobalAtomicHotOps, (N + 31) / 32);
+}
+
+/// Block-wide tree reduction through shared memory with barriers inside
+/// the loop (the pattern of the paper's Listing 3 first stage).
+struct SharedTreeReduceKernel {
+  Module M;
+  Kernel *K = nullptr;
+  Param *Out = nullptr, *In = nullptr, *N = nullptr;
+
+  SharedTreeReduceKernel() {
+    K = M.addKernel("reduce_shared_tree");
+    Out = K->addPointerParam("out", ScalarType::F32);
+    In = K->addPointerParam("in", ScalarType::F32);
+    N = K->addScalarParam("n", ScalarType::I32);
+
+    SharedArray *Tmp = K->addSharedArray(
+        "tmp", ScalarType::F32, M.special(SpecialReg::BlockDimX));
+
+    Local *Tid = K->addLocal("tid", ScalarType::U32);
+    K->getBody().push_back(
+        M.create<DeclLocalStmt>(Tid, M.special(SpecialReg::ThreadIdxX)));
+    Local *Gid = K->addLocal("gid", ScalarType::U32);
+    K->getBody().push_back(M.create<DeclLocalStmt>(
+        Gid, M.arith(BinOp::Add,
+                     M.arith(BinOp::Mul, M.special(SpecialReg::BlockIdxX),
+                             M.special(SpecialReg::BlockDimX)),
+                     M.ref(Tid))));
+
+    Expr *Loaded = M.create<SelectExpr>(
+        M.cmp(BinOp::LT, M.ref(Gid), M.ref(N)),
+        M.create<LoadGlobalExpr>(In, M.ref(Gid)), M.constF(0.0),
+        ScalarType::F32);
+    K->getBody().push_back(
+        M.create<StoreSharedStmt>(Tmp, M.ref(Tid), Loaded));
+    K->getBody().push_back(M.create<BarrierStmt>());
+
+    // for (s = blockDim/2; s > 0; s /= 2) {
+    //   if (tid < s) tmp[tid] += tmp[tid+s];
+    //   barrier;
+    // }
+    Local *S = K->addLocal("s", ScalarType::U32);
+    Expr *AddBoth = M.arith(
+        BinOp::Add, M.create<LoadSharedExpr>(Tmp, M.ref(Tid)),
+        M.create<LoadSharedExpr>(
+            Tmp, M.arith(BinOp::Add, M.ref(Tid), M.ref(S))));
+    std::vector<Stmt *> Guarded = {
+        M.create<StoreSharedStmt>(Tmp, M.ref(Tid), AddBoth)};
+    std::vector<Stmt *> LoopBody = {
+        M.create<IfStmt>(M.cmp(BinOp::LT, M.ref(Tid), M.ref(S)),
+                         std::move(Guarded), std::vector<Stmt *>{}),
+        M.create<BarrierStmt>()};
+    K->getBody().push_back(M.create<ForStmt>(
+        S, M.arith(BinOp::Div, M.special(SpecialReg::BlockDimX), M.constU(2)),
+        M.cmp(BinOp::GT, M.ref(S), M.constU(0)),
+        M.arith(BinOp::Div, M.ref(S), M.constU(2)), std::move(LoopBody)));
+
+    std::vector<Stmt *> Then = {M.create<StoreGlobalStmt>(
+        Out, M.special(SpecialReg::BlockIdxX),
+        M.create<LoadSharedExpr>(Tmp, M.constU(0)))};
+    K->getBody().push_back(M.create<IfStmt>(
+        M.cmp(BinOp::EQ, M.ref(Tid), M.constU(0)), std::move(Then),
+        std::vector<Stmt *>{}));
+  }
+};
+
+TEST(SimtMachine, SharedTreeReductionWithBarriers) {
+  SharedTreeReduceKernel B;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyKernel(*B.K, Errors)) << Errors.front();
+
+  CompiledKernel CK = compileKernel(*B.K);
+  Device Dev;
+  const unsigned N = 512;
+  const unsigned Block = 256;
+  const unsigned Grid = 2;
+  BufferId InBuf = Dev.alloc(ScalarType::F32, N);
+  BufferId OutBuf = Dev.alloc(ScalarType::F32, Grid);
+  std::vector<float> Data(N, 1.0f);
+  Dev.writeFloats(InBuf, Data);
+
+  SimtMachine Machine(Dev, getPascalP100());
+  LaunchResult R = Machine.launch(
+      CK, {Grid, Block, 0},
+      {ArgValue::buffer(OutBuf), ArgValue::buffer(InBuf),
+       ArgValue::scalar(N)});
+  ASSERT_TRUE(R.ok()) << R.Errors.front();
+  EXPECT_FLOAT_EQ(Dev.readFloat(OutBuf, 0), 256.0f);
+  EXPECT_FLOAT_EQ(Dev.readFloat(OutBuf, 1), 256.0f);
+  EXPECT_GT(R.Stats.Barriers, 0u);
+  EXPECT_GT(R.Stats.DivergentBranches, 0u);
+  EXPECT_EQ(R.SharedBytesPerBlock, Block * 4u);
+}
+
+TEST(SimtMachine, SharedAtomicContentionStats) {
+  // All 64 threads atomically add into one shared accumulator; thread 0
+  // publishes it. Contention must be visible in the stats and the Kepler
+  // cost model must price it far above Maxwell's.
+  Module M;
+  Kernel *K = M.addKernel("atomic_shared");
+  Param *Out = K->addPointerParam("out", ScalarType::I32);
+  SharedArray *Accum = K->addSharedArray("acc", ScalarType::I32, M.constI(1));
+  K->getBody().push_back(
+      M.create<AtomicSharedStmt>(ReduceOp::Add, Accum, M.constI(0),
+                                 M.constI(1)));
+  K->getBody().push_back(M.create<BarrierStmt>());
+  std::vector<Stmt *> Then = {M.create<StoreGlobalStmt>(
+      Out, M.constI(0), M.create<LoadSharedExpr>(Accum, M.constI(0)))};
+  K->getBody().push_back(M.create<IfStmt>(
+      M.cmp(BinOp::EQ, M.special(SpecialReg::ThreadIdxX), M.constU(0)),
+      std::move(Then), std::vector<Stmt *>{}));
+
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyKernel(*K, Errors)) << Errors.front();
+  CompiledKernel CK = compileKernel(*K);
+
+  auto RunOn = [&](const ArchDesc &Arch) {
+    Device Dev;
+    BufferId OutBuf = Dev.alloc(ScalarType::I32, 1);
+    SimtMachine Machine(Dev, Arch);
+    LaunchResult R =
+        Machine.launch(CK, {1, 64, 0}, {ArgValue::buffer(OutBuf)});
+    EXPECT_TRUE(R.ok());
+    EXPECT_EQ(Dev.readInt(OutBuf, 0), 64);
+    EXPECT_EQ(R.Stats.SharedAtomicOps, 64u);
+    // 32 lanes of each warp hit the same address: 31 serialized extras.
+    EXPECT_EQ(R.Stats.SharedAtomicConflicts, 62u);
+    return R.Stats.WarpCycles;
+  };
+
+  double KeplerCycles = RunOn(getKeplerK40c());
+  double MaxwellCycles = RunOn(getMaxwellGTX980());
+  EXPECT_GT(KeplerCycles, 3.0 * MaxwellCycles)
+      << "software-lock shared atomics must dominate Kepler's cost";
+}
+
+TEST(SimtMachine, SampledModeScalesStats) {
+  DoubleKernel B;
+  CompiledKernel CK = compileKernel(*B.K);
+  const unsigned N = 1u << 16;
+  const unsigned Block = 128;
+  const unsigned Grid = N / Block; // 512 blocks > SampledBlocks.
+
+  auto Run = [&](ExecMode Mode) {
+    Device Dev;
+    BufferId InBuf = Dev.alloc(ScalarType::I32, N);
+    BufferId OutBuf = Dev.alloc(ScalarType::I32, N);
+    std::vector<int> Data(N, 3);
+    Dev.writeInts(InBuf, Data);
+    SimtMachine Machine(Dev, getMaxwellGTX980());
+    return Machine.launch(CK, {Grid, Block, 0},
+                          {ArgValue::buffer(OutBuf), ArgValue::buffer(InBuf),
+                           ArgValue::scalar(N)},
+                          Mode);
+  };
+
+  LaunchResult Full = Run(ExecMode::Functional);
+  LaunchResult Sampled = Run(ExecMode::Sampled);
+  ASSERT_TRUE(Full.ok());
+  ASSERT_TRUE(Sampled.ok());
+  EXPECT_TRUE(Sampled.Sampled);
+  EXPECT_LT(Sampled.BlocksSimulated, Grid);
+  // Scaled statistics land within 2% of the full run (homogeneous grid).
+  EXPECT_NEAR(Sampled.Stats.WarpCycles, Full.Stats.WarpCycles,
+              Full.Stats.WarpCycles * 0.02);
+  EXPECT_NEAR(static_cast<double>(Sampled.Stats.LaneInstructions),
+              static_cast<double>(Full.Stats.LaneInstructions),
+              static_cast<double>(Full.Stats.LaneInstructions) * 0.02);
+}
+
+TEST(SimtMachine, ReportsOutOfBoundsAccess) {
+  Module M;
+  Kernel *K = M.addKernel("oob");
+  Param *Out = K->addPointerParam("out", ScalarType::I32);
+  K->getBody().push_back(
+      M.create<StoreGlobalStmt>(Out, M.constI(99), M.constI(7)));
+  CompiledKernel CK = compileKernel(*K);
+
+  Device Dev;
+  BufferId OutBuf = Dev.alloc(ScalarType::I32, 4);
+  SimtMachine Machine(Dev, getMaxwellGTX980());
+  LaunchResult R = Machine.launch(CK, {1, 32, 0}, {ArgValue::buffer(OutBuf)});
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Errors.front().find("out of bounds"), std::string::npos);
+}
+
+TEST(PerfModel, OccupancyLimits) {
+  const ArchDesc &Arch = getMaxwellGTX980();
+  // 256-thread blocks, no shared memory, modest registers: thread-limited.
+  Occupancy A = computeOccupancy(Arch, 256, 0, 16);
+  EXPECT_EQ(A.BlocksPerSM, 8u); // 2048 / 256.
+  // 48KB shared per block: shared-limited to 2 on a 96KB SM.
+  Occupancy B = computeOccupancy(Arch, 256, 48 * 1024, 16);
+  EXPECT_EQ(B.BlocksPerSM, 2u);
+  // Over the per-block shared limit: not launchable.
+  Occupancy C = computeOccupancy(Arch, 256, 64 * 1024, 16);
+  EXPECT_FALSE(C.viable());
+  // Shared footprint of zero (shuffle variants) restores full occupancy.
+  EXPECT_GT(A.Fraction, B.Fraction);
+}
+
+TEST(PerfModel, LaunchOverheadDominatesTinyGrids) {
+  DoubleKernel B;
+  CompiledKernel CK = compileKernel(*B.K);
+  Device Dev;
+  BufferId InBuf = Dev.alloc(ScalarType::I32, 64);
+  BufferId OutBuf = Dev.alloc(ScalarType::I32, 64);
+  SimtMachine Machine(Dev, getPascalP100());
+  LaunchResult R = Machine.launch(CK, {1, 64, 0},
+                                  {ArgValue::buffer(OutBuf),
+                                   ArgValue::buffer(InBuf),
+                                   ArgValue::scalar(64)});
+  ASSERT_TRUE(R.ok());
+  KernelTiming T = modelKernelTime(getPascalP100(), R);
+  EXPECT_GT(T.OverheadSeconds, T.ComputeSeconds);
+  EXPECT_GT(T.TotalSeconds, T.OverheadSeconds);
+}
+
+TEST(PerfModel, VectorLoadsBeatScalarLoadsAtLargeN) {
+  // Two synthetic launch results moving the same bytes, one scalar, one
+  // vectorized: the vector stream must model faster.
+  LaunchResult Scalar;
+  Scalar.GridDim = 4096;
+  Scalar.BlockDim = 256;
+  Scalar.RegistersPerThread = 16;
+  Scalar.Stats.GlobalLoadBytesScalar = 1ull << 30;
+  LaunchResult Vector = Scalar;
+  Vector.Stats.GlobalLoadBytesScalar = 0;
+  Vector.Stats.GlobalLoadBytesVector = 1ull << 30;
+
+  const ArchDesc &Arch = getKeplerK40c();
+  double ScalarTime = modelKernelTime(Arch, Scalar).TotalSeconds;
+  double VectorTime = modelKernelTime(Arch, Vector).TotalSeconds;
+  EXPECT_GT(ScalarTime, VectorTime * 1.2);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- IRTest.cpp - Kernel IR, verifier, bytecode tests ----------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Bytecode.h"
+#include "ir/KernelIR.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::ir;
+
+namespace {
+
+TEST(KernelIR, TypePromotion) {
+  EXPECT_EQ(promoteTypes(ScalarType::I32, ScalarType::I32), ScalarType::I32);
+  EXPECT_EQ(promoteTypes(ScalarType::I32, ScalarType::U32), ScalarType::U32);
+  EXPECT_EQ(promoteTypes(ScalarType::U32, ScalarType::F32), ScalarType::F32);
+  EXPECT_EQ(promoteTypes(ScalarType::F32, ScalarType::I32), ScalarType::F32);
+}
+
+TEST(KernelIR, KernelEntityRegistration) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Param *P0 = K->addPointerParam("out", ScalarType::F32);
+  Param *P1 = K->addScalarParam("n", ScalarType::I32);
+  EXPECT_EQ(P0->Index, 0u);
+  EXPECT_EQ(P1->Index, 1u);
+  EXPECT_TRUE(P0->IsPointer);
+  EXPECT_FALSE(P1->IsPointer);
+  SharedArray *A = K->addSharedArray("tmp", ScalarType::F32, M.constI(32));
+  EXPECT_EQ(A->Id, 0u);
+  Local *L = K->addLocal("v", ScalarType::F32);
+  EXPECT_EQ(L->Id, 0u);
+  EXPECT_EQ(M.getKernel("k"), K);
+  EXPECT_EQ(M.getKernel("missing"), nullptr);
+}
+
+TEST(KernelIR, RegisterEstimateGrowsWithLocals) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  unsigned Base = K->getRegisterEstimate();
+  K->addLocal("a", ScalarType::I32);
+  K->addLocal("b", ScalarType::I32);
+  EXPECT_EQ(K->getRegisterEstimate(), Base + 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, RejectsForeignLocal) {
+  Module M;
+  Kernel *K1 = M.addKernel("k1");
+  Kernel *K2 = M.addKernel("k2");
+  Local *Foreign = K2->addLocal("x", ScalarType::I32);
+  K1->getBody().push_back(M.create<DeclLocalStmt>(Foreign, M.constI(0)));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyKernel(*K1, Errors));
+  EXPECT_NE(Errors.front().find("another kernel"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUseBeforeDecl) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Local *X = K->addLocal("x", ScalarType::I32);
+  Local *Y = K->addLocal("y", ScalarType::I32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(Y, M.ref(X)));
+  K->getBody().push_back(M.create<DeclLocalStmt>(X, M.constI(0)));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyKernel(*K, Errors));
+  EXPECT_NE(Errors.front().find("before its declaration"),
+            std::string::npos);
+}
+
+TEST(Verifier, RejectsBarrierInDivergentIf) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  std::vector<Stmt *> Then = {M.create<BarrierStmt>()};
+  K->getBody().push_back(M.create<IfStmt>(
+      M.cmp(BinOp::EQ, M.special(SpecialReg::ThreadIdxX), M.constU(0)),
+      std::move(Then), std::vector<Stmt *>{}));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyKernel(*K, Errors));
+  EXPECT_NE(Errors.front().find("divergent"), std::string::npos);
+}
+
+TEST(Verifier, AllowsBarrierInUniformIf) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Param *N = K->addScalarParam("n", ScalarType::I32);
+  std::vector<Stmt *> Then = {M.create<BarrierStmt>()};
+  K->getBody().push_back(M.create<IfStmt>(
+      M.cmp(BinOp::GT, M.ref(N), M.constI(32)), std::move(Then),
+      std::vector<Stmt *>{}));
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyKernel(*K, Errors)) << Errors.front();
+}
+
+TEST(Verifier, RejectsBarrierInThreadDependentLoop) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Local *I = K->addLocal("i", ScalarType::U32);
+  std::vector<Stmt *> Body = {M.create<BarrierStmt>()};
+  K->getBody().push_back(M.create<ForStmt>(
+      I, M.special(SpecialReg::ThreadIdxX),
+      M.cmp(BinOp::LT, M.ref(I), M.constU(64)),
+      M.arith(BinOp::Add, M.ref(I), M.constU(1)), std::move(Body)));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyKernel(*K, Errors));
+  EXPECT_NE(Errors.front().find("thread-dependent trip count"),
+            std::string::npos);
+}
+
+TEST(Verifier, RejectsFloatRemainder) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Local *X = K->addLocal("x", ScalarType::F32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(
+      X, M.binary(BinOp::Rem, M.constF(1.0), M.constF(2.0),
+                  ScalarType::F32)));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyKernel(*K, Errors));
+}
+
+TEST(Verifier, RejectsBadShuffleWidth) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Local *X = K->addLocal("x", ScalarType::F32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(X, M.constF(0.0)));
+  K->getBody().push_back(M.create<AssignStmt>(
+      X, M.create<ShuffleExpr>(ShuffleMode::Down, M.ref(X), M.constI(1),
+                               /*Width=*/20)));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyKernel(*K, Errors));
+  EXPECT_NE(Errors.front().find("power of two"), std::string::npos);
+}
+
+TEST(Verifier, RejectsScalarUseOfPointerParam) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Param *P = K->addPointerParam("buf", ScalarType::F32);
+  Local *X = K->addLocal("x", ScalarType::F32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(X, M.ref(P)));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyKernel(*K, Errors));
+}
+
+TEST(Verifier, RejectsVectorLoadWidth3) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Param *P = K->addPointerParam("buf", ScalarType::F32);
+  Local *X = K->addLocal("x", ScalarType::F32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(
+      X, M.create<LoadGlobalExpr>(P, M.constI(0), /*VectorWidth=*/3)));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyKernel(*K, Errors));
+}
+
+//===----------------------------------------------------------------------===//
+// Bytecode compiler
+//===----------------------------------------------------------------------===//
+
+TEST(Bytecode, IfTargetsArePatched) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Local *X = K->addLocal("x", ScalarType::I32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(X, M.constI(0)));
+  std::vector<Stmt *> Then = {M.create<AssignStmt>(X, M.constI(1))};
+  std::vector<Stmt *> Else = {M.create<AssignStmt>(X, M.constI(2))};
+  K->getBody().push_back(M.create<IfStmt>(
+      M.cmp(BinOp::EQ, M.special(SpecialReg::ThreadIdxX), M.constU(0)),
+      std::move(Then), std::move(Else)));
+  CompiledKernel CK = compileKernel(*K);
+
+  // Find PushIf / ElseIf and validate the skip targets.
+  int PushIdx = -1, ElseIdx = -1, PopIdx = -1;
+  for (size_t I = 0; I != CK.Code.size(); ++I) {
+    if (CK.Code[I].Op == Opcode::PushIf)
+      PushIdx = static_cast<int>(I);
+    if (CK.Code[I].Op == Opcode::ElseIf)
+      ElseIdx = static_cast<int>(I);
+    if (CK.Code[I].Op == Opcode::PopIf)
+      PopIdx = static_cast<int>(I);
+  }
+  ASSERT_GE(PushIdx, 0);
+  ASSERT_GT(ElseIdx, PushIdx);
+  ASSERT_GT(PopIdx, ElseIdx);
+  EXPECT_EQ(CK.Code[PushIdx].Target, static_cast<uint32_t>(ElseIdx));
+  EXPECT_EQ(CK.Code[ElseIdx].Target, static_cast<uint32_t>(PopIdx));
+}
+
+TEST(Bytecode, LoopShapeAndBackEdge) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Local *I = K->addLocal("i", ScalarType::I32);
+  Local *S = K->addLocal("s", ScalarType::I32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(S, M.constI(0)));
+  std::vector<Stmt *> Body = {
+      M.create<AssignStmt>(S, M.arith(BinOp::Add, M.ref(S), M.ref(I)))};
+  K->getBody().push_back(M.create<ForStmt>(
+      I, M.constI(0), M.cmp(BinOp::LT, M.ref(I), M.constI(4)),
+      M.arith(BinOp::Add, M.ref(I), M.constI(1)), std::move(Body)));
+  CompiledKernel CK = compileKernel(*K);
+
+  int LoopTestIdx = -1, JumpIdx = -1, PushLoopIdx = -1;
+  for (size_t Idx = 0; Idx != CK.Code.size(); ++Idx) {
+    if (CK.Code[Idx].Op == Opcode::PushLoop)
+      PushLoopIdx = static_cast<int>(Idx);
+    if (CK.Code[Idx].Op == Opcode::LoopTest)
+      LoopTestIdx = static_cast<int>(Idx);
+    if (CK.Code[Idx].Op == Opcode::Jump)
+      JumpIdx = static_cast<int>(Idx);
+  }
+  ASSERT_GE(PushLoopIdx, 0);
+  ASSERT_GT(LoopTestIdx, PushLoopIdx);
+  ASSERT_GT(JumpIdx, LoopTestIdx);
+  // The back-edge jumps to the condition evaluation (after PushLoop); the
+  // loop exit lands after the back-edge.
+  EXPECT_EQ(CK.Code[JumpIdx].Target,
+            static_cast<uint32_t>(PushLoopIdx + 1));
+  EXPECT_EQ(CK.Code[LoopTestIdx].Target,
+            static_cast<uint32_t>(JumpIdx + 1));
+}
+
+TEST(Bytecode, ScalarParamRegistersAssigned) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  K->addPointerParam("out", ScalarType::F32);
+  Param *N = K->addScalarParam("n", ScalarType::I32);
+  Param *C = K->addScalarParam("c", ScalarType::I32);
+  Local *X = K->addLocal("x", ScalarType::I32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(
+      X, M.arith(BinOp::Add, M.ref(N), M.ref(C))));
+  CompiledKernel CK = compileKernel(*K);
+  ASSERT_EQ(CK.ScalarParamRegs.size(), 2u);
+  // Distinct registers, both inside the register file.
+  EXPECT_NE(CK.ScalarParamRegs[0].second, CK.ScalarParamRegs[1].second);
+  for (const auto &[P, Reg] : CK.ScalarParamRegs) {
+    EXPECT_FALSE(P->IsPointer);
+    EXPECT_LT(Reg, CK.NumRegisters);
+  }
+}
+
+TEST(Bytecode, DisassembleMentionsOpcodes) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  Param *Out = K->addPointerParam("out", ScalarType::F32);
+  K->getBody().push_back(
+      M.create<StoreGlobalStmt>(Out, M.constI(0), M.constF(1.5)));
+  CompiledKernel CK = compileKernel(*K);
+  std::string Text = CK.disassemble();
+  EXPECT_NE(Text.find(".kernel k"), std::string::npos);
+  EXPECT_NE(Text.find("st.global"), std::string::npos);
+  EXPECT_NE(Text.find("exit"), std::string::npos);
+}
+
+TEST(Bytecode, EndsWithExit) {
+  Module M;
+  Kernel *K = M.addKernel("k");
+  CompiledKernel CK = compileKernel(*K);
+  ASSERT_FALSE(CK.Code.empty());
+  EXPECT_EQ(CK.Code.back().Op, Opcode::Exit);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- ASTClonerTest.cpp - AST deep-copy tests --------------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The synthesizer relies on per-variant clones (the Fig. 5 variant loop);
+// clones must be structurally identical, carry the resolved semantic
+// information, and be fully isolated from the original.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTCloner.h"
+
+#include "lang/ASTPrinter.h"
+#include "lang/ASTVisitor.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "synth/ReductionSpectrum.h"
+#include "transforms/GlobalAtomicMapPass.h"
+#include "transforms/WarpShuffleDetect.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::lang;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<SourceManager> SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<ASTContext> Ctx;
+  TranslationUnit TU;
+
+  Fixture() {
+    SM = std::make_unique<SourceManager>("r.tgr",
+                                         synth::getReductionSource());
+    Diags = std::make_unique<DiagnosticEngine>(*SM);
+    Ctx = std::make_unique<ASTContext>();
+    Parser P(*SM, *Ctx, *Diags);
+    TU = P.parseTranslationUnit();
+    sema::Sema S(*Ctx, *Diags);
+    EXPECT_TRUE(S.analyze(TU)) << Diags->renderAll();
+  }
+};
+
+TEST(ASTCloner, ClonePrintsIdentically) {
+  Fixture F;
+  ASTCloner Cloner(*F.Ctx);
+  for (CodeletDecl *C : F.TU.Codelets) {
+    CodeletDecl *Clone = Cloner.clone(C);
+    EXPECT_EQ(printCodelet(Clone), printCodelet(C)) << C->getTag();
+    EXPECT_EQ(Clone->getCodeletClass(), C->getCodeletClass());
+  }
+}
+
+TEST(ASTCloner, DeclRefsRemapToClonedDecls) {
+  Fixture F;
+  ASTCloner Cloner(*F.Ctx);
+  CodeletDecl *Orig = F.TU.findByTag("coop_tree");
+  CodeletDecl *Clone = Cloner.clone(Orig);
+
+  // Collect the decls owned by each tree; every reference in the clone
+  // must point inside the clone, never back into the original.
+  struct Collect : ASTVisitor<Collect> {
+    bool visitVarDecl(VarDecl *V) {
+      Owned.insert(V);
+      return true;
+    }
+    std::set<const Decl *> Owned;
+  };
+  Collect OrigDecls, CloneDecls;
+  OrigDecls.traverseCodelet(Orig);
+  CloneDecls.traverseCodelet(Clone);
+  for (const ParamDecl *P : Orig->getParams())
+    OrigDecls.Owned.insert(P);
+  for (const ParamDecl *P : Clone->getParams())
+    CloneDecls.Owned.insert(P);
+
+  struct CheckRefs : ASTVisitor<CheckRefs> {
+    bool visitDeclRefExpr(DeclRefExpr *R) {
+      if (R->getDecl()) {
+        EXPECT_FALSE(Forbidden->count(R->getDecl()))
+            << "clone references the original tree: " << R->getName();
+        bool IsValueDecl = isa<VarDecl, ParamDecl>(R->getDecl());
+        bool Ok = Allowed->count(R->getDecl()) || !IsValueDecl;
+        EXPECT_TRUE(Ok) << R->getName();
+      }
+      return true;
+    }
+    const std::set<const Decl *> *Forbidden = nullptr;
+    const std::set<const Decl *> *Allowed = nullptr;
+  };
+  CheckRefs Check;
+  Check.Forbidden = &OrigDecls.Owned;
+  Check.Allowed = &CloneDecls.Owned;
+  Check.traverseCodelet(Clone);
+}
+
+TEST(ASTCloner, MutatingCloneLeavesOriginalIntact) {
+  Fixture F;
+  ASTCloner Cloner(*F.Ctx);
+  CodeletDecl *Orig = F.TU.findByTag("dist_tile");
+  std::string Before = printCodelet(Orig);
+
+  CodeletDecl *Clone = Cloner.clone(Orig);
+  auto Info = transforms::analyzeGlobalAtomicMap(Clone);
+  ASSERT_TRUE(Info.has_value());
+  // Apply both destructive variants to the clone.
+  EXPECT_TRUE(
+      transforms::applyGlobalAtomicVariant(Clone, *Info, /*Enable=*/true));
+  EXPECT_EQ(printCodelet(Orig), Before);
+
+  CodeletDecl *Clone2 = ASTCloner(*F.Ctx).clone(Orig);
+  auto Info2 = transforms::analyzeGlobalAtomicMap(Clone2);
+  ASSERT_TRUE(Info2.has_value());
+  EXPECT_TRUE(
+      transforms::applyGlobalAtomicVariant(Clone2, *Info2, /*Enable=*/false));
+  EXPECT_EQ(printCodelet(Orig), Before);
+}
+
+TEST(ASTCloner, ResolvedSemanticInfoSurvives) {
+  Fixture F;
+  ASTCloner Cloner(*F.Ctx);
+  CodeletDecl *Clone = Cloner.clone(F.TU.findByTag("dist_tile"));
+
+  struct FindAtomic : ASTVisitor<FindAtomic> {
+    bool visitMemberCallExpr(MemberCallExpr *M) {
+      if (M->getMemberKind() == MemberKind::MapAtomic)
+        Found = M;
+      return true;
+    }
+    MemberCallExpr *Found = nullptr;
+  };
+  FindAtomic FA;
+  FA.traverseCodelet(Clone);
+  ASSERT_NE(FA.Found, nullptr)
+      << "resolved MemberKind must survive cloning";
+  EXPECT_EQ(FA.Found->getAtomicOp(), ReduceOp::Add);
+
+  // Types survive as well: the fresh clone is analyzable by the shuffle
+  // detector without re-running Sema.
+  auto Opps = transforms::detectWarpShuffle(
+      ASTCloner(*F.Ctx).clone(F.TU.findByTag("coop_tree")));
+  EXPECT_EQ(Opps.size(), 2u);
+}
+
+} // namespace

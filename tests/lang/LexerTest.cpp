@@ -1,0 +1,142 @@
+//===- LexerTest.cpp - Lexer unit tests ------------------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::lang;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Text, unsigned *NumErrors = nullptr) {
+  static std::vector<std::unique_ptr<SourceManager>> Keep;
+  Keep.push_back(std::make_unique<SourceManager>("test.tgr", Text));
+  static std::vector<std::unique_ptr<DiagnosticEngine>> KeepDiags;
+  KeepDiags.push_back(std::make_unique<DiagnosticEngine>(*Keep.back()));
+  Lexer Lex(*Keep.back(), *KeepDiags.back());
+  auto Tokens = Lex.lexAll();
+  if (NumErrors)
+    *NumErrors = KeepDiags.back()->getNumErrors();
+  return Tokens;
+}
+
+std::vector<TokenKind> kindsOf(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.getKind());
+  return Kinds;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto Tokens = lexAll("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Eof));
+}
+
+TEST(Lexer, Identifiers) {
+  auto Tokens = lexAll("foo _bar baz42");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].getText(), "foo");
+  EXPECT_EQ(Tokens[1].getText(), "_bar");
+  EXPECT_EQ(Tokens[2].getText(), "baz42");
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(Tokens[I].is(TokenKind::Identifier));
+}
+
+TEST(Lexer, Keywords) {
+  auto Tokens = lexAll("__codelet __coop __tag __shared __tunable Vector");
+  EXPECT_EQ(kindsOf(Tokens),
+            (std::vector<TokenKind>{
+                TokenKind::KwCodelet, TokenKind::KwCoop, TokenKind::KwTag,
+                TokenKind::KwShared, TokenKind::KwTunable,
+                TokenKind::KwVector, TokenKind::Eof}));
+}
+
+TEST(Lexer, AtomicQualifiers) {
+  auto Tokens = lexAll("_atomicAdd _atomicSub _atomicMax _atomicMin");
+  EXPECT_EQ(kindsOf(Tokens),
+            (std::vector<TokenKind>{
+                TokenKind::KwAtomicAddQual, TokenKind::KwAtomicSubQual,
+                TokenKind::KwAtomicMaxQual, TokenKind::KwAtomicMinQual,
+                TokenKind::Eof}));
+}
+
+TEST(Lexer, NumbersIntAndFloat) {
+  auto Tokens = lexAll("0 42 3.5 2.0f");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::IntLiteral));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::IntLiteral));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::FloatLiteral));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::FloatLiteral));
+  EXPECT_EQ(Tokens[3].getText(), "2.0f");
+}
+
+TEST(Lexer, CompoundOperators) {
+  auto Tokens = lexAll("+= -= *= /= == != <= >= && || ++ --");
+  EXPECT_EQ(kindsOf(Tokens),
+            (std::vector<TokenKind>{
+                TokenKind::PlusEqual, TokenKind::MinusEqual,
+                TokenKind::StarEqual, TokenKind::SlashEqual,
+                TokenKind::EqualEqual, TokenKind::ExclaimEqual,
+                TokenKind::LessEqual, TokenKind::GreaterEqual,
+                TokenKind::AmpAmp, TokenKind::PipePipe, TokenKind::PlusPlus,
+                TokenKind::MinusMinus, TokenKind::Eof}));
+}
+
+TEST(Lexer, LineAndBlockComments) {
+  auto Tokens = lexAll("a // comment to end\nb /* inline */ c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].getText(), "a");
+  EXPECT_EQ(Tokens[1].getText(), "b");
+  EXPECT_EQ(Tokens[2].getText(), "c");
+}
+
+TEST(Lexer, UnterminatedBlockCommentDiagnosed) {
+  unsigned Errors = 0;
+  auto Tokens = lexAll("a /* never closed", &Errors);
+  EXPECT_EQ(Errors, 1u);
+  EXPECT_TRUE(Tokens.back().is(TokenKind::Eof));
+}
+
+TEST(Lexer, UnknownCharacterRecovery) {
+  unsigned Errors = 0;
+  auto Tokens = lexAll("a @ b", &Errors);
+  EXPECT_EQ(Errors, 1u);
+  ASSERT_EQ(Tokens.size(), 3u); // a, b, eof — '@' skipped.
+  EXPECT_EQ(Tokens[1].getText(), "b");
+}
+
+TEST(Lexer, TokenLocationsAreByteOffsets) {
+  auto Tokens = lexAll("ab cd");
+  EXPECT_EQ(Tokens[0].getLoc().getOffset(), 0u);
+  EXPECT_EQ(Tokens[1].getLoc().getOffset(), 3u);
+  EXPECT_EQ(Tokens[1].getEndLoc().getOffset(), 5u);
+}
+
+TEST(Lexer, ArrayTypeTokens) {
+  auto Tokens = lexAll("const Array<1,int>");
+  EXPECT_EQ(kindsOf(Tokens),
+            (std::vector<TokenKind>{
+                TokenKind::KwConst, TokenKind::KwArray, TokenKind::Less,
+                TokenKind::IntLiteral, TokenKind::Comma, TokenKind::KwInt,
+                TokenKind::Greater, TokenKind::Eof}));
+}
+
+TEST(Lexer, PeriodAndMemberCall) {
+  auto Tokens = lexAll("in.Size()");
+  EXPECT_EQ(kindsOf(Tokens),
+            (std::vector<TokenKind>{
+                TokenKind::Identifier, TokenKind::Period,
+                TokenKind::Identifier, TokenKind::LParen, TokenKind::RParen,
+                TokenKind::Eof}));
+}
+
+} // namespace

@@ -1,0 +1,223 @@
+//===- ParserTest.cpp - Parser unit tests -----------------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/ASTPrinter.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "synth/ReductionSpectrum.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::lang;
+
+namespace {
+
+struct ParseResult {
+  std::unique_ptr<SourceManager> SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<ASTContext> Ctx;
+  TranslationUnit TU;
+};
+
+ParseResult parse(const std::string &Text) {
+  ParseResult R;
+  R.SM = std::make_unique<SourceManager>("test.tgr", Text);
+  R.Diags = std::make_unique<DiagnosticEngine>(*R.SM);
+  R.Ctx = std::make_unique<ASTContext>();
+  Parser P(*R.SM, *R.Ctx, *R.Diags);
+  R.TU = P.parseTranslationUnit();
+  return R;
+}
+
+TEST(Parser, MinimalCodelet) {
+  auto R = parse("__codelet int f(const Array<1,int> in) { return 0; }");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  ASSERT_EQ(R.TU.Codelets.size(), 1u);
+  const CodeletDecl *C = R.TU.Codelets[0];
+  EXPECT_EQ(C->getName(), "f");
+  EXPECT_FALSE(C->isCoopQualified());
+  EXPECT_TRUE(C->getTag().empty());
+  ASSERT_EQ(C->getParams().size(), 1u);
+  EXPECT_TRUE(C->getParams()[0]->getType()->isArray());
+  EXPECT_TRUE(C->getParams()[0]->getType()->isConstQualified());
+}
+
+TEST(Parser, CoopAndTagQualifiers) {
+  auto R = parse("__codelet __coop __tag(shared_V2) int f() { return 1; }");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const CodeletDecl *C = R.TU.Codelets[0];
+  EXPECT_TRUE(C->isCoopQualified());
+  EXPECT_EQ(C->getTag(), "shared_V2");
+}
+
+TEST(Parser, SharedAtomicQualifiedDecl) {
+  auto R = parse("__codelet int f() {\n"
+                 "  __shared _atomicAdd int partial;\n"
+                 "  __shared _atomicMax float m;\n"
+                 "  return 0;\n"
+                 "}");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *Body = R.TU.Codelets[0]->getBody();
+  const auto *D0 = cast<DeclStmt>(Body->getBody()[0])->getVar();
+  EXPECT_TRUE(D0->isShared());
+  EXPECT_TRUE(D0->hasAtomicQualifier());
+  EXPECT_EQ(D0->getAtomicOp(), ReduceOp::Add);
+  const auto *D1 = cast<DeclStmt>(Body->getBody()[1])->getVar();
+  EXPECT_EQ(D1->getAtomicOp(), ReduceOp::Max);
+  EXPECT_TRUE(D1->getType()->isFloat());
+}
+
+TEST(Parser, SharedArrayWithSizeExpression) {
+  auto R = parse("__codelet int f(const Array<1,int> in) {\n"
+                 "  __shared int tmp[in.Size()];\n"
+                 "  return 0;\n"
+                 "}");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *Var =
+      cast<DeclStmt>(R.TU.Codelets[0]->getBody()->getBody()[0])->getVar();
+  EXPECT_TRUE(Var->isArrayForm());
+  EXPECT_TRUE(isa<MemberCallExpr>(Var->getArraySize()));
+}
+
+TEST(Parser, VectorAndMapCtorForms) {
+  auto R = parse(
+      "__codelet int f(const Array<1,int> in) {\n"
+      "  __tunable unsigned p;\n"
+      "  Vector vthread();\n"
+      "  Sequence start(tiled);\n"
+      "  Map map(f, partition(in, p, start, start, start));\n"
+      "  return 0;\n"
+      "}");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto &Body = R.TU.Codelets[0]->getBody()->getBody();
+  const auto *Vec = cast<DeclStmt>(Body[1])->getVar();
+  EXPECT_TRUE(Vec->getType()->isVector());
+  EXPECT_TRUE(Vec->hasCtorForm());
+  const auto *Map = cast<DeclStmt>(Body[3])->getVar();
+  EXPECT_TRUE(Map->getType()->isMap());
+  ASSERT_EQ(Map->getCtorArgs().size(), 2u);
+  EXPECT_TRUE(isa<CallExpr>(Map->getCtorArgs()[1]));
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto R = parse("__codelet int f() { return 1 + 2 * 3 - 4 / 2; }");
+  ASSERT_FALSE(R.Diags->hasErrors());
+  const auto *Ret =
+      cast<ReturnStmt>(R.TU.Codelets[0]->getBody()->getBody()[0]);
+  EXPECT_EQ(printExpr(Ret->getValue()), "1 + 2 * 3 - 4 / 2");
+  // Shape: ((1 + (2*3)) - (4/2)).
+  const auto *Top = cast<BinaryExpr>(Ret->getValue());
+  EXPECT_EQ(Top->getOp(), BinaryOpKind::Sub);
+  const auto *Lhs = cast<BinaryExpr>(Top->getLHS());
+  EXPECT_EQ(Lhs->getOp(), BinaryOpKind::Add);
+}
+
+TEST(Parser, ConditionalExpression) {
+  auto R = parse("__codelet int f() { return 1 < 2 ? 3 : 4; }");
+  ASSERT_FALSE(R.Diags->hasErrors());
+  const auto *Ret =
+      cast<ReturnStmt>(R.TU.Codelets[0]->getBody()->getBody()[0]);
+  ASSERT_TRUE(isa<ConditionalExpr>(Ret->getValue()));
+}
+
+TEST(Parser, ForLoopWithCompoundAssignStep) {
+  auto R = parse("__codelet int f() {\n"
+                 "  int s = 0;\n"
+                 "  for (int i = 16; i > 0; i /= 2) { s += i; }\n"
+                 "  return s;\n"
+                 "}");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *For =
+      cast<ForStmt>(R.TU.Codelets[0]->getBody()->getBody()[1]);
+  ASSERT_TRUE(For->getInit() && For->getCond() && For->getInc());
+  EXPECT_TRUE(isa<DeclStmt>(For->getInit()));
+  const auto *Inc = cast<BinaryExpr>(For->getInc());
+  EXPECT_EQ(Inc->getOp(), BinaryOpKind::DivAssign);
+}
+
+TEST(Parser, IfElse) {
+  auto R = parse("__codelet int f() {\n"
+                 "  int x = 0;\n"
+                 "  if (x == 0) { x = 1; } else { x = 2; }\n"
+                 "  return x;\n"
+                 "}");
+  ASSERT_FALSE(R.Diags->hasErrors());
+  const auto *If = cast<IfStmt>(R.TU.Codelets[0]->getBody()->getBody()[1]);
+  EXPECT_NE(If->getElse(), nullptr);
+}
+
+TEST(Parser, MemberCallChainsAndIndexing) {
+  auto R = parse("__codelet int f(const Array<1,int> in) {\n"
+                 "  Vector vthread();\n"
+                 "  int v = in[vthread.ThreadId() + 1];\n"
+                 "  return v;\n"
+                 "}");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *Var =
+      cast<DeclStmt>(R.TU.Codelets[0]->getBody()->getBody()[1])->getVar();
+  const auto *Idx = cast<IndexExpr>(Var->getInit());
+  EXPECT_TRUE(isa<BinaryExpr>(Idx->getIndex()));
+}
+
+TEST(Parser, MapAtomicApiCall) {
+  auto R = parse("__codelet int f(const Array<1,int> in) {\n"
+                 "  __tunable unsigned p;\n"
+                 "  Sequence s(tiled);\n"
+                 "  Map map(f, partition(in, p, s, s, s));\n"
+                 "  map.atomicAdd();\n"
+                 "  return f(map);\n"
+                 "}");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto &Body = R.TU.Codelets[0]->getBody()->getBody();
+  const auto *Call = cast<MemberCallExpr>(cast<Expr>(Body[3])->ignoreParens());
+  EXPECT_EQ(Call->getMember(), "atomicAdd");
+}
+
+TEST(Parser, ErrorRecoveryProducesRemainingCodelets) {
+  auto R = parse("__codelet int broken( { return 0; }\n"
+                 "__codelet int ok() { return 1; }");
+  EXPECT_TRUE(R.Diags->hasErrors());
+  // The second codelet still parses.
+  bool FoundOk = false;
+  for (const CodeletDecl *C : R.TU.Codelets)
+    FoundOk |= C->getName() == "ok";
+  EXPECT_TRUE(FoundOk);
+}
+
+TEST(Parser, MissingSemicolonDiagnosed) {
+  auto R = parse("__codelet int f() { int x = 1 return x; }");
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+TEST(Parser, CanonicalReductionSourceParses) {
+  for (auto Elem : {synth::ElemKind::Int, synth::ElemKind::Float}) {
+    auto R = parse(synth::getReductionSource(Elem));
+    ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+    EXPECT_EQ(R.TU.Codelets.size(), 6u);
+    EXPECT_NE(R.TU.findByTag("serial"), nullptr);
+    EXPECT_NE(R.TU.findByTag("dist_tile"), nullptr);
+    EXPECT_NE(R.TU.findByTag("dist_stride"), nullptr);
+    EXPECT_NE(R.TU.findByTag("coop_tree"), nullptr);
+    EXPECT_NE(R.TU.findByTag("shared_V1"), nullptr);
+    EXPECT_NE(R.TU.findByTag("shared_V2"), nullptr);
+    EXPECT_EQ(R.TU.getSpectrum("sum").size(), 6u);
+  }
+}
+
+TEST(Parser, PrinterRoundTrip) {
+  // Print then reparse; the second parse must produce the same print.
+  auto R1 = parse(synth::getReductionSource());
+  ASSERT_FALSE(R1.Diags->hasErrors());
+  std::string P1 = printTranslationUnit(R1.TU);
+  auto R2 = parse(P1);
+  ASSERT_FALSE(R2.Diags->hasErrors()) << R2.Diags->renderAll();
+  EXPECT_EQ(printTranslationUnit(R2.TU), P1);
+}
+
+} // namespace

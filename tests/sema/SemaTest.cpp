@@ -1,0 +1,229 @@
+//===- SemaTest.cpp - Semantic analysis unit tests --------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Sema.h"
+
+#include "lang/Parser.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "synth/ReductionSpectrum.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::lang;
+
+namespace {
+
+struct Checked {
+  std::unique_ptr<SourceManager> SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<ASTContext> Ctx;
+  TranslationUnit TU;
+  bool Ok = false;
+};
+
+Checked check(const std::string &Text) {
+  Checked R;
+  R.SM = std::make_unique<SourceManager>("test.tgr", Text);
+  R.Diags = std::make_unique<DiagnosticEngine>(*R.SM);
+  R.Ctx = std::make_unique<ASTContext>();
+  Parser P(*R.SM, *R.Ctx, *R.Diags);
+  R.TU = P.parseTranslationUnit();
+  if (R.Diags->hasErrors())
+    return R;
+  sema::Sema S(*R.Ctx, *R.Diags);
+  R.Ok = S.analyze(R.TU);
+  return R;
+}
+
+TEST(Sema, CanonicalSourceChecksClean) {
+  auto R = check(synth::getReductionSource());
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+TEST(Sema, ClassifiesCodeletKinds) {
+  auto R = check(synth::getReductionSource());
+  ASSERT_TRUE(R.Ok) << R.Diags->renderAll();
+  EXPECT_EQ(R.TU.findByTag("serial")->getCodeletClass(),
+            CodeletClass::AtomicAutonomous);
+  EXPECT_EQ(R.TU.findByTag("dist_tile")->getCodeletClass(),
+            CodeletClass::Compound);
+  EXPECT_EQ(R.TU.findByTag("dist_stride")->getCodeletClass(),
+            CodeletClass::Compound);
+  EXPECT_EQ(R.TU.findByTag("coop_tree")->getCodeletClass(),
+            CodeletClass::Cooperative);
+  EXPECT_EQ(R.TU.findByTag("shared_V1")->getCodeletClass(),
+            CodeletClass::Cooperative);
+  EXPECT_EQ(R.TU.findByTag("shared_V2")->getCodeletClass(),
+            CodeletClass::Cooperative);
+}
+
+TEST(Sema, UndeclaredIdentifier) {
+  auto R = check("__codelet int f() { return nothere; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Diags->renderAll().find("undeclared identifier"),
+            std::string::npos);
+}
+
+TEST(Sema, Redefinition) {
+  auto R = check("__codelet int f() { int a = 0; int a = 1; return a; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Diags->renderAll().find("redefinition"), std::string::npos);
+}
+
+TEST(Sema, ScopesAllowShadowingAcrossBlocks) {
+  auto R = check("__codelet int f() {\n"
+                 "  int a = 0;\n"
+                 "  if (a == 0) { int b = 1; a = b; }\n"
+                 "  if (a == 1) { int b = 2; a = b; }\n"
+                 "  return a;\n"
+                 "}");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+TEST(Sema, ForLoopVariableScopedToLoop) {
+  auto R = check("__codelet int f() {\n"
+                 "  for (int i = 0; i < 4; i += 1) { int x = i; x += 1; }\n"
+                 "  return i;\n"
+                 "}");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Sema, AtomicQualifierRequiresShared) {
+  auto R = check("__codelet int f() { _atomicAdd int x; return 0; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Diags->renderAll().find("__shared"), std::string::npos);
+}
+
+TEST(Sema, AtomicSharedMustBeScalar) {
+  auto R = check(
+      "__codelet int f() { __shared _atomicAdd int x[4]; return 0; }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Sema, TunableCannotBeInitialized) {
+  auto R = check("__codelet int f() { __tunable unsigned p = 4; return 0; }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Sema, ConstArrayNotAssignable) {
+  auto R = check("__codelet int f(const Array<1,int> in) {\n"
+                 "  in[0] = 1;\n"
+                 "  return 0;\n"
+                 "}");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Diags->renderAll().find("not assignable"), std::string::npos);
+}
+
+TEST(Sema, SharedArrayIsAssignable) {
+  auto R = check("__codelet int f() {\n"
+                 "  __shared int tmp[32];\n"
+                 "  tmp[0] = 1;\n"
+                 "  return tmp[0];\n"
+                 "}");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+TEST(Sema, VectorMemberResolution) {
+  auto R = check("__codelet __coop int f(const Array<1,int> in) {\n"
+                 "  Vector vthread();\n"
+                 "  return in[vthread.ThreadId() % vthread.MaxSize()];\n"
+                 "}");
+  ASSERT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+TEST(Sema, UnknownMemberDiagnosed) {
+  auto R = check("__codelet __coop int f() {\n"
+                 "  Vector vthread();\n"
+                 "  return vthread.Bogus();\n"
+                 "}");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Diags->renderAll().find("no member"), std::string::npos);
+}
+
+TEST(Sema, MapAtomicApisResolve) {
+  const char *Ops[4] = {"atomicAdd", "atomicSub", "atomicMax", "atomicMin"};
+  ReduceOp Expect[4] = {ReduceOp::Add, ReduceOp::Sub, ReduceOp::Max,
+                        ReduceOp::Min};
+  for (int I = 0; I != 4; ++I) {
+    std::string Src = "__codelet int f(const Array<1,int> in) {\n"
+                      "  __tunable unsigned p;\n"
+                      "  Sequence s(tiled);\n"
+                      "  Map map(f, partition(in, p, s, s, s));\n"
+                      "  map." +
+                      std::string(Ops[I]) +
+                      "();\n"
+                      "  return f(map);\n"
+                      "}";
+    auto R = check(Src);
+    ASSERT_TRUE(R.Ok) << R.Diags->renderAll();
+    // Find the resolved member call.
+    const auto &Body = R.TU.Codelets[0]->getBody()->getBody();
+    const auto *M =
+        cast<MemberCallExpr>(cast<Expr>(Body[3])->ignoreParens());
+    EXPECT_EQ(M->getMemberKind(), MemberKind::MapAtomic);
+    EXPECT_EQ(M->getAtomicOp(), Expect[I]);
+  }
+}
+
+TEST(Sema, PartitionArityChecked) {
+  auto R = check("__codelet int f(const Array<1,int> in) {\n"
+                 "  __tunable unsigned p;\n"
+                 "  Map map(f, partition(in, p));\n"
+                 "  return f(map);\n"
+                 "}");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Sema, SpectrumCallResolvesAcrossCodelets) {
+  auto R = check(synth::getReductionSource());
+  ASSERT_TRUE(R.Ok);
+  // The compound codelet's `return sum(map)` resolves as a spectrum call.
+  const CodeletDecl *C = R.TU.findByTag("dist_tile");
+  const auto *Ret = cast<ReturnStmt>(C->getBody()->getBody().back());
+  const auto *Call = cast<CallExpr>(Ret->getValue()->ignoreParens());
+  EXPECT_EQ(Call->getCalleeKind(), CalleeKind::Spectrum);
+}
+
+TEST(Sema, UnknownCalleeDiagnosed) {
+  auto R = check("__codelet int f() { return g(); }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Diags->renderAll().find("unknown function"), std::string::npos);
+}
+
+TEST(Sema, CoopCannotUseMap) {
+  auto R = check("__codelet __coop int f(const Array<1,int> in) {\n"
+                 "  Vector vthread();\n"
+                 "  __tunable unsigned p;\n"
+                 "  Sequence s(tiled);\n"
+                 "  Map map(f, partition(in, p, s, s, s));\n"
+                 "  return 0;\n"
+                 "}");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Sema, FloatIntPromotion) {
+  auto R = check("__codelet float f() {\n"
+                 "  float x = 1.5;\n"
+                 "  int y = 2;\n"
+                 "  x = x + y;\n"
+                 "  return x;\n"
+                 "}");
+  ASSERT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+TEST(Sema, RemainderRequiresIntegers) {
+  auto R = check("__codelet int f() { float x = 1.0; return 3 % x; }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Sema, VoidReturnMismatch) {
+  auto R = check("__codelet void f() { return 3; }");
+  EXPECT_FALSE(R.Ok);
+}
+
+} // namespace

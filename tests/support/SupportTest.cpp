@@ -1,0 +1,177 @@
+//===- SupportTest.cpp - Support library unit tests --------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/ReduceOp.h"
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SourceManager
+//===----------------------------------------------------------------------===//
+
+TEST(SourceManager, LineColumnDecoding) {
+  SourceManager SM("f.tgr", "abc\ndef\n\nxyz");
+  EXPECT_EQ(SM.getNumLines(), 4u);
+  LineColumn LC = SM.getLineColumn(SourceLoc(0));
+  EXPECT_EQ(LC.Line, 1u);
+  EXPECT_EQ(LC.Column, 1u);
+  LC = SM.getLineColumn(SourceLoc(4)); // 'd'
+  EXPECT_EQ(LC.Line, 2u);
+  EXPECT_EQ(LC.Column, 1u);
+  LC = SM.getLineColumn(SourceLoc(6)); // 'f'
+  EXPECT_EQ(LC.Line, 2u);
+  EXPECT_EQ(LC.Column, 3u);
+  LC = SM.getLineColumn(SourceLoc(9)); // 'x'
+  EXPECT_EQ(LC.Line, 4u);
+  EXPECT_EQ(LC.Column, 1u);
+}
+
+TEST(SourceManager, LineText) {
+  SourceManager SM("f.tgr", "first\nsecond\nthird");
+  EXPECT_EQ(SM.getLineText(1), "first");
+  EXPECT_EQ(SM.getLineText(2), "second");
+  EXPECT_EQ(SM.getLineText(3), "third");
+}
+
+TEST(SourceManager, EmptyBuffer) {
+  SourceManager SM("f.tgr", "");
+  EXPECT_EQ(SM.getNumLines(), 1u);
+  EXPECT_EQ(SM.getLineText(1), "");
+  LineColumn LC = SM.getLineColumn(SourceLoc(0));
+  EXPECT_EQ(LC.Line, 1u);
+}
+
+TEST(SourceManager, EndOfBufferLocation) {
+  SourceManager SM("f.tgr", "ab");
+  LineColumn LC = SM.getLineColumn(SourceLoc(2));
+  EXPECT_EQ(LC.Line, 1u);
+  EXPECT_EQ(LC.Column, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, RenderWithCaret) {
+  SourceManager SM("r.tgr", "int x = ?;");
+  DiagnosticEngine Diags(SM);
+  Diags.error(SourceLoc(8), "unexpected character");
+  ASSERT_TRUE(Diags.hasErrors());
+  std::string Out = Diags.renderAll();
+  EXPECT_NE(Out.find("r.tgr:1:9: error: unexpected character"),
+            std::string::npos);
+  EXPECT_NE(Out.find("int x = ?;"), std::string::npos);
+  EXPECT_NE(Out.find("        ^"), std::string::npos);
+}
+
+TEST(Diagnostics, SeverityCounting) {
+  SourceManager SM("r.tgr", "x");
+  DiagnosticEngine Diags(SM);
+  Diags.warning(SourceLoc(0), "w");
+  Diags.note(SourceLoc(0), "n");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(0), "e");
+  EXPECT_EQ(Diags.getNumErrors(), 1u);
+  EXPECT_EQ(Diags.getDiagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, InvalidLocationRendersWithoutSnippet) {
+  SourceManager SM("r.tgr", "x");
+  DiagnosticEngine Diags(SM);
+  Diags.error(SourceLoc(), "global problem");
+  std::string Out = Diags.renderAll();
+  EXPECT_NE(Out.find("global problem"), std::string::npos);
+  EXPECT_EQ(Out.find("^"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtils, Strformat) {
+  EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strformat("%.2f", 1.5), "1.50");
+}
+
+TEST(StringUtils, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+//===----------------------------------------------------------------------===//
+// ReduceOp
+//===----------------------------------------------------------------------===//
+
+TEST(ReduceOp, Apply) {
+  EXPECT_EQ(applyReduceOp<int>(ReduceOp::Add, 3, 4), 7);
+  EXPECT_EQ(applyReduceOp<int>(ReduceOp::Sub, 3, 4), -1);
+  EXPECT_EQ(applyReduceOp<int>(ReduceOp::Max, 3, 4), 4);
+  EXPECT_EQ(applyReduceOp<int>(ReduceOp::Min, 3, 4), 3);
+  EXPECT_DOUBLE_EQ(applyReduceOp<double>(ReduceOp::Add, 0.5, 0.25), 0.75);
+}
+
+TEST(ReduceOp, Identity) {
+  EXPECT_EQ(getReduceIdentity<int>(ReduceOp::Add, -100, 100), 0);
+  EXPECT_EQ(getReduceIdentity<int>(ReduceOp::Max, -100, 100), -100);
+  EXPECT_EQ(getReduceIdentity<int>(ReduceOp::Min, -100, 100), 100);
+}
+
+TEST(ReduceOp, Names) {
+  EXPECT_STREQ(getReduceOpName(ReduceOp::Add), "Add");
+  EXPECT_STREQ(getReduceOpName(ReduceOp::Min), "Min");
+}
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+namespace casting_fixture {
+struct Base {
+  enum class Kind { A, B } K;
+  explicit Base(Kind K) : K(K) {}
+};
+struct A : Base {
+  A() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->K == Kind::A; }
+};
+struct B : Base {
+  B() : Base(Kind::B) {}
+  static bool classof(const Base *Bs) { return Bs->K == Kind::B; }
+};
+} // namespace casting_fixture
+
+TEST(Casting, IsaDynCast) {
+  using namespace casting_fixture;
+  A AObj;
+  Base *P = &AObj;
+  EXPECT_TRUE(isa<A>(P));
+  EXPECT_FALSE(isa<B>(P));
+  EXPECT_TRUE((isa<B, A>(P))); // Multi-alternative form.
+  EXPECT_EQ(dyn_cast<A>(P), &AObj);
+  EXPECT_EQ(dyn_cast<B>(P), nullptr);
+  Base *Null = nullptr;
+  EXPECT_FALSE(isa_and_present<A>(Null));
+  EXPECT_EQ(dyn_cast_if_present<A>(Null), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+//===- DynamicSelectorTest.cpp - Runtime selection tests ----------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tangram/DynamicSelector.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace tangram;
+using namespace tangram::synth;
+
+namespace {
+
+TangramReduction &facade() {
+  static std::unique_ptr<TangramReduction> TR = [] {
+    std::string Error;
+    auto T = TangramReduction::create({}, Error);
+    EXPECT_NE(T, nullptr) << Error;
+    return T;
+  }();
+  return *TR;
+}
+
+TEST(DynamicSelector, DefaultPortfolioIsTheBestEight) {
+  DynamicSelector Selector(facade());
+  // Exploration phase: exactly eight calls until convergence per bucket.
+  const sim::ArchDesc &Arch = sim::getMaxwellGTX980();
+  const size_t N = 4096;
+  std::vector<float> Data(N, 0.5f);
+  for (unsigned Call = 0; Call != 8; ++Call) {
+    EXPECT_FALSE(Selector.isConverged(Arch, N));
+    sim::Device Dev;
+    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
+    Dev.writeFloats(In, Data);
+    RunOutcome Out = Selector.reduce(Dev, Arch, In, N);
+    ASSERT_TRUE(Out.Ok) << Out.Error;
+    EXPECT_NEAR(Out.FloatValue, N * 0.5, 1e-2);
+  }
+  EXPECT_TRUE(Selector.isConverged(Arch, N));
+  ASSERT_NE(Selector.getBest(Arch, N), nullptr);
+}
+
+TEST(DynamicSelector, EveryCallReturnsCorrectResult) {
+  // Correctness must hold during exploration AND exploitation.
+  DynamicSelector Selector(facade());
+  const sim::ArchDesc &Arch = sim::getPascalP100();
+  const size_t N = 10007;
+  std::vector<float> Data(N);
+  double Expected = 0;
+  for (size_t I = 0; I != N; ++I) {
+    Data[I] = static_cast<float>((I % 11)) * 0.125f;
+    Expected += Data[I];
+  }
+  for (unsigned Call = 0; Call != 12; ++Call) {
+    sim::Device Dev;
+    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
+    Dev.writeFloats(In, Data);
+    RunOutcome Out = Selector.reduce(Dev, Arch, In, N);
+    ASSERT_TRUE(Out.Ok) << "call " << Call << ": " << Out.Error;
+    EXPECT_NEAR(Out.FloatValue, Expected, Expected * 1e-4);
+  }
+}
+
+TEST(DynamicSelector, ConvergesToArchAppropriateWinner) {
+  DynamicSelector Maxwell(facade());
+  DynamicSelector Kepler(facade());
+  const size_t N = 1024;
+  std::vector<float> Data(N, 1.0f);
+
+  auto Converge = [&](DynamicSelector &Sel, const sim::ArchDesc &Arch) {
+    for (unsigned Call = 0; Call != 8; ++Call) {
+      sim::Device Dev;
+      sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
+      Dev.writeFloats(In, Data);
+      EXPECT_TRUE(Sel.reduce(Dev, Arch, In, N).Ok);
+    }
+  };
+  Converge(Maxwell, sim::getMaxwellGTX980());
+  Converge(Kepler, sim::getKeplerK40c());
+
+  const VariantDescriptor *MaxwellBest =
+      Maxwell.getBest(sim::getMaxwellGTX980(), N);
+  const VariantDescriptor *KeplerBest =
+      Kepler.getBest(sim::getKeplerK40c(), N);
+  ASSERT_TRUE(MaxwellBest && KeplerBest);
+  // The Section IV-C story: Maxwell's native shared atomics pick (n);
+  // Kepler's lock loop avoids it.
+  EXPECT_EQ(MaxwellBest->getFigure6Label(), "n");
+  EXPECT_NE(KeplerBest->getFigure6Label(), "n");
+}
+
+TEST(DynamicSelector, BucketsAreIndependent) {
+  DynamicSelector Selector(facade());
+  const sim::ArchDesc &Arch = sim::getMaxwellGTX980();
+  EXPECT_NE(DynamicSelector::bucketOf(64),
+            DynamicSelector::bucketOf(1 << 20));
+  std::vector<float> Data(64, 1.0f);
+  sim::Device Dev;
+  sim::BufferId In = Dev.alloc(ir::ScalarType::F32, 64);
+  Dev.writeFloats(In, Data);
+  EXPECT_TRUE(Selector.reduce(Dev, Arch, In, 64).Ok);
+  // A different bucket has seen nothing yet.
+  EXPECT_FALSE(Selector.isConverged(Arch, 1 << 20));
+  EXPECT_EQ(Selector.getBest(Arch, 1 << 20), nullptr);
+}
+
+TEST(DynamicSelector, CustomPortfolio) {
+  std::vector<VariantDescriptor> Portfolio = {
+      *findByFigure6Label(facade().getSearchSpace(), "l"),
+      *findByFigure6Label(facade().getSearchSpace(), "m"),
+  };
+  DynamicSelector Selector(facade(), Portfolio);
+  const sim::ArchDesc &Arch = sim::getKeplerK40c();
+  std::vector<float> Data(512, 2.0f);
+  for (unsigned Call = 0; Call != 2; ++Call) {
+    sim::Device Dev;
+    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, 512);
+    Dev.writeFloats(In, Data);
+    EXPECT_TRUE(Selector.reduce(Dev, Arch, In, 512).Ok);
+  }
+  EXPECT_TRUE(Selector.isConverged(Arch, 512));
+  const VariantDescriptor *Best = Selector.getBest(Arch, 512);
+  ASSERT_NE(Best, nullptr);
+  std::string Label = Best->getFigure6Label();
+  EXPECT_TRUE(Label == "l" || Label == "m");
+}
+
+} // namespace
