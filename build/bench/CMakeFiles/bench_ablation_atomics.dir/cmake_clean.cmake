@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_atomics.dir/bench_ablation_atomics.cpp.o"
+  "CMakeFiles/bench_ablation_atomics.dir/bench_ablation_atomics.cpp.o.d"
+  "bench_ablation_atomics"
+  "bench_ablation_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

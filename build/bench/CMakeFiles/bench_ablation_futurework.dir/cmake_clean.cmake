@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_futurework.dir/bench_ablation_futurework.cpp.o"
+  "CMakeFiles/bench_ablation_futurework.dir/bench_ablation_futurework.cpp.o.d"
+  "bench_ablation_futurework"
+  "bench_ablation_futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

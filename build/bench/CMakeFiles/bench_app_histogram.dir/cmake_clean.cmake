@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_histogram.dir/bench_app_histogram.cpp.o"
+  "CMakeFiles/bench_app_histogram.dir/bench_app_histogram.cpp.o.d"
+  "bench_app_histogram"
+  "bench_app_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_pascal.cpp" "bench/CMakeFiles/bench_fig10_pascal.dir/bench_fig10_pascal.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_pascal.dir/bench_fig10_pascal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tangram/CMakeFiles/tgr_tangram.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/tgr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/tgr_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/tgr_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tgr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/tgr_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tgr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/tgr_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/tgr_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tgr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

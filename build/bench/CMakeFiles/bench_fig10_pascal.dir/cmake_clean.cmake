@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_pascal.dir/bench_fig10_pascal.cpp.o"
+  "CMakeFiles/bench_fig10_pascal.dir/bench_fig10_pascal.cpp.o.d"
+  "bench_fig10_pascal"
+  "bench_fig10_pascal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_pascal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

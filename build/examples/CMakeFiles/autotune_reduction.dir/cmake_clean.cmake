@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_reduction.dir/autotune_reduction.cpp.o"
+  "CMakeFiles/autotune_reduction.dir/autotune_reduction.cpp.o.d"
+  "autotune_reduction"
+  "autotune_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

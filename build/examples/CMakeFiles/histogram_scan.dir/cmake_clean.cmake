@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_scan.dir/histogram_scan.cpp.o"
+  "CMakeFiles/histogram_scan.dir/histogram_scan.cpp.o.d"
+  "histogram_scan"
+  "histogram_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

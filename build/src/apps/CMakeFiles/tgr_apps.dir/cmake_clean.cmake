@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_apps.dir/Histogram.cpp.o"
+  "CMakeFiles/tgr_apps.dir/Histogram.cpp.o.d"
+  "CMakeFiles/tgr_apps.dir/Scan.cpp.o"
+  "CMakeFiles/tgr_apps.dir/Scan.cpp.o.d"
+  "libtgr_apps.a"
+  "libtgr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/CubReduce.cpp" "src/baselines/CMakeFiles/tgr_baselines.dir/CubReduce.cpp.o" "gcc" "src/baselines/CMakeFiles/tgr_baselines.dir/CubReduce.cpp.o.d"
+  "/root/repo/src/baselines/KokkosReduce.cpp" "src/baselines/CMakeFiles/tgr_baselines.dir/KokkosReduce.cpp.o" "gcc" "src/baselines/CMakeFiles/tgr_baselines.dir/KokkosReduce.cpp.o.d"
+  "/root/repo/src/baselines/OmpCpuReduce.cpp" "src/baselines/CMakeFiles/tgr_baselines.dir/OmpCpuReduce.cpp.o" "gcc" "src/baselines/CMakeFiles/tgr_baselines.dir/OmpCpuReduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/tgr_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tgr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tgr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_baselines.dir/CubReduce.cpp.o"
+  "CMakeFiles/tgr_baselines.dir/CubReduce.cpp.o.d"
+  "CMakeFiles/tgr_baselines.dir/KokkosReduce.cpp.o"
+  "CMakeFiles/tgr_baselines.dir/KokkosReduce.cpp.o.d"
+  "CMakeFiles/tgr_baselines.dir/OmpCpuReduce.cpp.o"
+  "CMakeFiles/tgr_baselines.dir/OmpCpuReduce.cpp.o.d"
+  "libtgr_baselines.a"
+  "libtgr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

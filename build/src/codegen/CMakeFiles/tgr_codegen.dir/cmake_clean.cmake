@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_codegen.dir/CudaEmitter.cpp.o"
+  "CMakeFiles/tgr_codegen.dir/CudaEmitter.cpp.o.d"
+  "libtgr_codegen.a"
+  "libtgr_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

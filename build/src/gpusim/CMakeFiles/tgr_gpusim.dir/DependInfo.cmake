@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/Arch.cpp" "src/gpusim/CMakeFiles/tgr_gpusim.dir/Arch.cpp.o" "gcc" "src/gpusim/CMakeFiles/tgr_gpusim.dir/Arch.cpp.o.d"
+  "/root/repo/src/gpusim/PerfModel.cpp" "src/gpusim/CMakeFiles/tgr_gpusim.dir/PerfModel.cpp.o" "gcc" "src/gpusim/CMakeFiles/tgr_gpusim.dir/PerfModel.cpp.o.d"
+  "/root/repo/src/gpusim/SimtMachine.cpp" "src/gpusim/CMakeFiles/tgr_gpusim.dir/SimtMachine.cpp.o" "gcc" "src/gpusim/CMakeFiles/tgr_gpusim.dir/SimtMachine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/tgr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tgr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

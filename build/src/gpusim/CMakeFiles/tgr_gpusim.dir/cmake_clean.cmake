@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_gpusim.dir/Arch.cpp.o"
+  "CMakeFiles/tgr_gpusim.dir/Arch.cpp.o.d"
+  "CMakeFiles/tgr_gpusim.dir/PerfModel.cpp.o"
+  "CMakeFiles/tgr_gpusim.dir/PerfModel.cpp.o.d"
+  "CMakeFiles/tgr_gpusim.dir/SimtMachine.cpp.o"
+  "CMakeFiles/tgr_gpusim.dir/SimtMachine.cpp.o.d"
+  "libtgr_gpusim.a"
+  "libtgr_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/BytecodeCompiler.cpp" "src/ir/CMakeFiles/tgr_ir.dir/BytecodeCompiler.cpp.o" "gcc" "src/ir/CMakeFiles/tgr_ir.dir/BytecodeCompiler.cpp.o.d"
+  "/root/repo/src/ir/KernelIR.cpp" "src/ir/CMakeFiles/tgr_ir.dir/KernelIR.cpp.o" "gcc" "src/ir/CMakeFiles/tgr_ir.dir/KernelIR.cpp.o.d"
+  "/root/repo/src/ir/Transforms.cpp" "src/ir/CMakeFiles/tgr_ir.dir/Transforms.cpp.o" "gcc" "src/ir/CMakeFiles/tgr_ir.dir/Transforms.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/tgr_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/tgr_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tgr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_ir.dir/BytecodeCompiler.cpp.o"
+  "CMakeFiles/tgr_ir.dir/BytecodeCompiler.cpp.o.d"
+  "CMakeFiles/tgr_ir.dir/KernelIR.cpp.o"
+  "CMakeFiles/tgr_ir.dir/KernelIR.cpp.o.d"
+  "CMakeFiles/tgr_ir.dir/Transforms.cpp.o"
+  "CMakeFiles/tgr_ir.dir/Transforms.cpp.o.d"
+  "CMakeFiles/tgr_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/tgr_ir.dir/Verifier.cpp.o.d"
+  "libtgr_ir.a"
+  "libtgr_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_lang.dir/AST.cpp.o"
+  "CMakeFiles/tgr_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/tgr_lang.dir/ASTCloner.cpp.o"
+  "CMakeFiles/tgr_lang.dir/ASTCloner.cpp.o.d"
+  "CMakeFiles/tgr_lang.dir/ASTContext.cpp.o"
+  "CMakeFiles/tgr_lang.dir/ASTContext.cpp.o.d"
+  "CMakeFiles/tgr_lang.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/tgr_lang.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/tgr_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/tgr_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/tgr_lang.dir/Parser.cpp.o"
+  "CMakeFiles/tgr_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/tgr_lang.dir/Token.cpp.o"
+  "CMakeFiles/tgr_lang.dir/Token.cpp.o.d"
+  "libtgr_lang.a"
+  "libtgr_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_sema.dir/Sema.cpp.o"
+  "CMakeFiles/tgr_sema.dir/Sema.cpp.o.d"
+  "libtgr_sema.a"
+  "libtgr_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

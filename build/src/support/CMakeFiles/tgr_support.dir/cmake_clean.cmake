@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/tgr_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/tgr_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/tgr_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/tgr_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/tgr_support.dir/SourceManager.cpp.o.d"
+  "CMakeFiles/tgr_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/tgr_support.dir/StringUtils.cpp.o.d"
+  "libtgr_support.a"
+  "libtgr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtgr_support.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_synth.dir/KernelSynthesizer.cpp.o"
+  "CMakeFiles/tgr_synth.dir/KernelSynthesizer.cpp.o.d"
+  "CMakeFiles/tgr_synth.dir/ReductionRunner.cpp.o"
+  "CMakeFiles/tgr_synth.dir/ReductionRunner.cpp.o.d"
+  "CMakeFiles/tgr_synth.dir/ReductionSpectrum.cpp.o"
+  "CMakeFiles/tgr_synth.dir/ReductionSpectrum.cpp.o.d"
+  "CMakeFiles/tgr_synth.dir/Variant.cpp.o"
+  "CMakeFiles/tgr_synth.dir/Variant.cpp.o.d"
+  "CMakeFiles/tgr_synth.dir/VariantEnumerator.cpp.o"
+  "CMakeFiles/tgr_synth.dir/VariantEnumerator.cpp.o.d"
+  "libtgr_synth.a"
+  "libtgr_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_tangram.dir/DynamicSelector.cpp.o"
+  "CMakeFiles/tgr_tangram.dir/DynamicSelector.cpp.o.d"
+  "CMakeFiles/tgr_tangram.dir/FigureHarness.cpp.o"
+  "CMakeFiles/tgr_tangram.dir/FigureHarness.cpp.o.d"
+  "CMakeFiles/tgr_tangram.dir/Tangram.cpp.o"
+  "CMakeFiles/tgr_tangram.dir/Tangram.cpp.o.d"
+  "libtgr_tangram.a"
+  "libtgr_tangram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_tangram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/GeneralTransforms.cpp" "src/transforms/CMakeFiles/tgr_transforms.dir/GeneralTransforms.cpp.o" "gcc" "src/transforms/CMakeFiles/tgr_transforms.dir/GeneralTransforms.cpp.o.d"
+  "/root/repo/src/transforms/GlobalAtomicMapPass.cpp" "src/transforms/CMakeFiles/tgr_transforms.dir/GlobalAtomicMapPass.cpp.o" "gcc" "src/transforms/CMakeFiles/tgr_transforms.dir/GlobalAtomicMapPass.cpp.o.d"
+  "/root/repo/src/transforms/Pipeline.cpp" "src/transforms/CMakeFiles/tgr_transforms.dir/Pipeline.cpp.o" "gcc" "src/transforms/CMakeFiles/tgr_transforms.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/transforms/SharedAtomicAnalysis.cpp" "src/transforms/CMakeFiles/tgr_transforms.dir/SharedAtomicAnalysis.cpp.o" "gcc" "src/transforms/CMakeFiles/tgr_transforms.dir/SharedAtomicAnalysis.cpp.o.d"
+  "/root/repo/src/transforms/WarpShuffleDetect.cpp" "src/transforms/CMakeFiles/tgr_transforms.dir/WarpShuffleDetect.cpp.o" "gcc" "src/transforms/CMakeFiles/tgr_transforms.dir/WarpShuffleDetect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/tgr_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tgr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tgr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

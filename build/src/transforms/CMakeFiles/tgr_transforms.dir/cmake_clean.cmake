@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgr_transforms.dir/GeneralTransforms.cpp.o"
+  "CMakeFiles/tgr_transforms.dir/GeneralTransforms.cpp.o.d"
+  "CMakeFiles/tgr_transforms.dir/GlobalAtomicMapPass.cpp.o"
+  "CMakeFiles/tgr_transforms.dir/GlobalAtomicMapPass.cpp.o.d"
+  "CMakeFiles/tgr_transforms.dir/Pipeline.cpp.o"
+  "CMakeFiles/tgr_transforms.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/tgr_transforms.dir/SharedAtomicAnalysis.cpp.o"
+  "CMakeFiles/tgr_transforms.dir/SharedAtomicAnalysis.cpp.o.d"
+  "CMakeFiles/tgr_transforms.dir/WarpShuffleDetect.cpp.o"
+  "CMakeFiles/tgr_transforms.dir/WarpShuffleDetect.cpp.o.d"
+  "libtgr_transforms.a"
+  "libtgr_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgr_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

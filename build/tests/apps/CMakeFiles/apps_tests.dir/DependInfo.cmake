@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/AppsTest.cpp" "tests/apps/CMakeFiles/apps_tests.dir/AppsTest.cpp.o" "gcc" "tests/apps/CMakeFiles/apps_tests.dir/AppsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tgr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/tgr_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tgr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tgr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

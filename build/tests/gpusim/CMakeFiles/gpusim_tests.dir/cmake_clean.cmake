@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_tests.dir/ArchTest.cpp.o"
+  "CMakeFiles/gpusim_tests.dir/ArchTest.cpp.o.d"
+  "CMakeFiles/gpusim_tests.dir/DeviceTest.cpp.o"
+  "CMakeFiles/gpusim_tests.dir/DeviceTest.cpp.o.d"
+  "CMakeFiles/gpusim_tests.dir/ShuffleModesTest.cpp.o"
+  "CMakeFiles/gpusim_tests.dir/ShuffleModesTest.cpp.o.d"
+  "CMakeFiles/gpusim_tests.dir/SimtMachineTest.cpp.o"
+  "CMakeFiles/gpusim_tests.dir/SimtMachineTest.cpp.o.d"
+  "gpusim_tests"
+  "gpusim_tests.pdb"
+  "gpusim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

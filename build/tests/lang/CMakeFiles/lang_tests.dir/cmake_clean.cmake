@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_tests.dir/ASTClonerTest.cpp.o"
+  "CMakeFiles/lang_tests.dir/ASTClonerTest.cpp.o.d"
+  "CMakeFiles/lang_tests.dir/LexerTest.cpp.o"
+  "CMakeFiles/lang_tests.dir/LexerTest.cpp.o.d"
+  "CMakeFiles/lang_tests.dir/ParserTest.cpp.o"
+  "CMakeFiles/lang_tests.dir/ParserTest.cpp.o.d"
+  "lang_tests"
+  "lang_tests.pdb"
+  "lang_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sema_tests.dir/SemaTest.cpp.o"
+  "CMakeFiles/sema_tests.dir/SemaTest.cpp.o.d"
+  "sema_tests"
+  "sema_tests.pdb"
+  "sema_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sema_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_tests.dir/OptimizedVariantsTest.cpp.o"
+  "CMakeFiles/synth_tests.dir/OptimizedVariantsTest.cpp.o.d"
+  "CMakeFiles/synth_tests.dir/SynthesisTest.cpp.o"
+  "CMakeFiles/synth_tests.dir/SynthesisTest.cpp.o.d"
+  "synth_tests"
+  "synth_tests.pdb"
+  "synth_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangram_tests.dir/DynamicSelectorTest.cpp.o"
+  "CMakeFiles/tangram_tests.dir/DynamicSelectorTest.cpp.o.d"
+  "CMakeFiles/tangram_tests.dir/TangramTest.cpp.o"
+  "CMakeFiles/tangram_tests.dir/TangramTest.cpp.o.d"
+  "tangram_tests"
+  "tangram_tests.pdb"
+  "tangram_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangram_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transforms_tests.dir/TransformsTest.cpp.o"
+  "CMakeFiles/transforms_tests.dir/TransformsTest.cpp.o.d"
+  "transforms_tests"
+  "transforms_tests.pdb"
+  "transforms_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transforms_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

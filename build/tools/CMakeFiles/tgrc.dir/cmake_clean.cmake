@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgrc.dir/tgrc.cpp.o"
+  "CMakeFiles/tgrc.dir/tgrc.cpp.o.d"
+  "tgrc"
+  "tgrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

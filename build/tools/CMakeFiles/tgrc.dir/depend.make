@@ -1,0 +1,2 @@
+# Empty dependencies file for tgrc.
+# This may be replaced when dependencies are built.
