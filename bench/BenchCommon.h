@@ -19,6 +19,8 @@
 #include "tangram/FigureHarness.h"
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 namespace tangram::bench {
 
@@ -99,6 +101,54 @@ inline void printDetailTable(const sim::ArchDesc &Arch,
   std::printf("\nspeedups are over the CUB baseline on the same "
               "architecture (higher is better);\n(paper) columns are "
               "approximate digitizations of the published figure.\n");
+}
+
+/// One measured data point for the machine-readable bench output.
+struct BenchRecord {
+  std::string Arch;    ///< Architecture name (empty if not applicable).
+  std::string Variant; ///< Variant / configuration label.
+  size_t N = 0;        ///< Input size in elements (0 if not applicable).
+  double Seconds = 0;  ///< Modeled seconds for the run.
+};
+
+/// Flattens one architecture's figure rows into bench records (one per
+/// framework per size).
+inline void appendFigureRecords(const sim::ArchDesc &Arch,
+                                const std::vector<FigureRow> &Rows,
+                                std::vector<BenchRecord> &Records) {
+  for (const FigureRow &R : Rows) {
+    Records.push_back({Arch.Name, "tangram-" + R.BestName, R.N,
+                       R.TangramSeconds});
+    Records.push_back({Arch.Name, "cub", R.N, R.CubSeconds});
+    Records.push_back({Arch.Name, "kokkos", R.N, R.KokkosSeconds});
+    Records.push_back({Arch.Name, "openmp", R.N, R.OmpSeconds});
+  }
+}
+
+/// Writes `BENCH_<BenchName>.json` in the working directory: an array of
+/// `{"variant", "arch", "n", "seconds"}` objects, one per record. Keeps
+/// the figure binaries' stdout tables human-oriented while giving CI and
+/// plotting scripts a stable machine-readable artifact.
+inline void writeBenchJson(const std::string &BenchName,
+                           const std::vector<BenchRecord> &Records) {
+  std::string Path = "BENCH_" + BenchName + ".json";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: could not write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "[\n");
+  for (size_t I = 0; I != Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    std::fprintf(F,
+                 "  {\"variant\": \"%s\", \"arch\": \"%s\", \"n\": %zu, "
+                 "\"seconds\": %.9g}%s\n",
+                 R.Variant.c_str(), R.Arch.c_str(), R.N, R.Seconds,
+                 I + 1 == Records.size() ? "" : ",");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu records)\n", Path.c_str(), Records.size());
 }
 
 } // namespace tangram::bench

@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+#include "engine/ExecutionEngine.h"
 #include "ir/Bytecode.h"
 #include "tangram/Tangram.h"
 
@@ -61,21 +63,25 @@ int main() {
   std::printf("%-22s %12s %12s %12s %12s\n", "architecture", "spread=32",
               "spread=8", "spread=2", "spread=1");
 
+  std::vector<bench::BenchRecord> Records;
   unsigned Count = 0;
   const ArchDesc *Archs = getAllArchs(Count);
   for (unsigned A = 0; A != Count; ++A) {
+    engine::ExecutionEngine E(Archs[A]);
     std::printf("%-22s", Archs[A].Name.c_str());
     for (unsigned Spread : {32u, 8u, 2u, 1u}) {
       Module M;
       CompiledKernel CK = buildContentionKernel(M, Spread, 64);
-      Device Dev;
-      BufferId Out = Dev.alloc(ScalarType::I32, 1);
-      SimtMachine Machine(Dev, Archs[A]);
-      LaunchResult R =
-          Machine.launch(CK, {1, 256, 0}, {ArgValue::buffer(Out)});
+      size_t Mark = E.deviceMark();
+      BufferId Out = E.getDevice().alloc(ScalarType::I32, 1);
+      LaunchResult R = E.launch(CK, {1, 256, 0}, {ArgValue::buffer(Out)});
+      E.deviceRelease(Mark);
       double CyclesPerAtomic =
           R.Stats.WarpCycles / (8.0 * 64.0); // 8 warps x 64 reps.
       std::printf(" %12.1f", CyclesPerAtomic);
+      Records.push_back({Archs[A].Name,
+                         "contention-spread-" + std::to_string(Spread), 256,
+                         CyclesPerAtomic});
     }
     std::printf("   (%s)\n",
                 Archs[A].hasNativeSharedAtomics() ? "native unit"
@@ -102,7 +108,10 @@ int main() {
     double TP = TR->timeVariant(P, Archs[A], 16384);
     std::printf("%-22s %14.2f %14.2f %10s\n", Archs[A].Name.c_str(),
                 TN * 1e6, TP * 1e6, TN < TP ? "(n)" : "(p)");
+    Records.push_back({Archs[A].Name, "n", 16384, TN});
+    Records.push_back({Archs[A].Name, "p", 16384, TP});
   }
+  bench::writeBenchJson("ablation_atomics", Records);
   std::printf("\npaper: Kepler's lock-loop contention cost makes all-"
               "threads shared atomics ((n))\nuncompetitive there, while "
               "Maxwell/Pascal's native units make (n) a winner\n"

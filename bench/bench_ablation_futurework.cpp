@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "tangram/Tangram.h"
 
 #include <cstdio>
@@ -51,24 +52,29 @@ int main() {
     std::printf(" %14.9s", Archs[A].Name.c_str());
   std::printf("   (modeled us)\n");
 
+  std::vector<bench::BenchRecord> Records;
   for (const Config &C : Configs) {
-    auto S = TR->synthesize(N, Error, C.Flags);
-    if (!S) {
-      std::fprintf(stderr, "%s\n", Error.c_str());
-      return 1;
-    }
     std::printf("%-22s", C.Name);
     for (unsigned A = 0; A != Count; ++A) {
-      sim::Device Dev;
+      engine::ExecutionEngine &E = TR->engineFor(Archs[A]);
+      auto S = E.getVariant(N, Error, C.Flags);
+      if (!S) {
+        std::fprintf(stderr, "%s\n", Error.c_str());
+        return 1;
+      }
+      size_t Mark = E.deviceMark();
       sim::VirtualPattern Pattern;
       sim::BufferId In =
-          Dev.allocVirtual(ir::ScalarType::F32, Size, Pattern);
-      RunOutcome Out = runReduction(*S, Archs[A], Dev, In, Size,
-                                    sim::ExecMode::Sampled);
+          E.getDevice().allocVirtual(ir::ScalarType::F32, Size, Pattern);
+      engine::RunOutcome Out =
+          E.runReduction(*S, In, Size, sim::ExecMode::Sampled);
+      E.deviceRelease(Mark);
       std::printf(" %14.2f", Out.Ok ? Out.Seconds * 1e6 : -1.0);
+      Records.push_back({Archs[A].Name, C.Name, Size, Out.Seconds});
     }
     std::printf("\n");
   }
+  bench::writeBenchJson("ablation_futurework", Records);
   std::printf("\naggregation converts the 32-way contended shared atomic "
               "into a shuffle tree plus\none atomic per warp — recovering "
               "most of Kepler's lock-loop penalty in software,\nexactly "

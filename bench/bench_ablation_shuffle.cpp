@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "gpusim/PerfModel.h"
 #include "tangram/Tangram.h"
 
@@ -36,19 +37,17 @@ int main() {
 
   const ArchDesc &Arch = getMaxwellGTX980();
   const size_t N = 262144;
+  engine::ExecutionEngine &E = TR->engineFor(Arch);
+  std::vector<bench::BenchRecord> Records;
   for (const char *Label : {"l", "m", "o", "p"}) {
     VariantDescriptor V = *findByFigure6Label(Space, Label);
     V.BlockSize = 256;
-    auto S = TR->synthesize(V, Error);
-    if (!S) {
-      std::fprintf(stderr, "%s\n", Error.c_str());
-      return 1;
-    }
-    Device Dev;
+    size_t Mark = E.deviceMark();
     VirtualPattern Pattern;
-    BufferId In = Dev.allocVirtual(ir::ScalarType::F32, N, Pattern);
-    RunOutcome Out = runReduction(*S, Arch, Dev, In, N,
-                                  ExecMode::Sampled);
+    BufferId In =
+        E.getDevice().allocVirtual(ir::ScalarType::F32, N, Pattern);
+    engine::RunOutcome Out = E.reduce(V, In, N, ExecMode::Sampled);
+    E.deviceRelease(Mark);
     if (!Out.Ok) {
       std::fprintf(stderr, "%s\n", Out.Error.c_str());
       return 1;
@@ -60,7 +59,9 @@ int main() {
                     Out.Launch.Stats.LaneInstructions /
                     std::max(1u, Out.Launch.GridDim)),
                 Out.Seconds * 1e6);
+    Records.push_back({Arch.Name, Label, N, Out.Seconds});
   }
+  bench::writeBenchJson("ablation_shuffle", Records);
 
   std::printf("\n(l)->(m) elides the per-block shared array entirely "
               "(Section III-C: smaller\nshared footprint, higher "

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "apps/Histogram.h"
 
 #include <cstdio>
@@ -28,22 +29,29 @@ int main() {
   std::printf("%-22s %-20s %10s %10s %10s %10s\n", "architecture",
               "strategy", "bins=16", "bins=64", "bins=256", "bins=4096");
 
+  std::vector<bench::BenchRecord> Records;
   unsigned Count = 0;
   const sim::ArchDesc *Archs = sim::getAllArchs(Count);
   for (unsigned A = 0; A != Count; ++A) {
+    engine::ExecutionEngine E(Archs[A]);
     for (HistogramStrategy S : {HistogramStrategy::GlobalAtomics,
                                 HistogramStrategy::SharedPrivatized}) {
       std::printf("%-22s %-20s", Archs[A].Name.c_str(),
                   getHistogramStrategyName(S));
       for (unsigned Bins : {16u, 64u, 256u, 4096u}) {
         Histogram App(Bins, S);
-        sim::Device Dev;
+        size_t Mark = E.deviceMark();
         sim::VirtualPattern Pattern;
         Pattern.Modulus = Bins;
-        sim::BufferId In = Dev.allocVirtual(ir::ScalarType::I32, N, Pattern);
-        HistogramResult R =
-            App.run(Dev, Archs[A], In, N, sim::ExecMode::Sampled);
+        sim::BufferId In =
+            E.getDevice().allocVirtual(ir::ScalarType::I32, N, Pattern);
+        HistogramResult R = App.run(E, In, N, sim::ExecMode::Sampled);
+        E.deviceRelease(Mark);
         std::printf(" %10.1f", R.Ok ? R.Seconds * 1e6 : -1.0);
+        Records.push_back({Archs[A].Name,
+                           std::string(getHistogramStrategyName(S)) +
+                               "-bins-" + std::to_string(Bins),
+                           N, R.Seconds});
       }
       std::printf("\n");
     }
@@ -51,5 +59,6 @@ int main() {
   std::printf("\nprivatization moves the contention from L2 to the "
               "shared-memory atomic units;\nKepler's software lock loop "
               "narrows its benefit exactly as [13] models.\n");
+  bench::writeBenchJson("app_histogram", Records);
   return 0;
 }

@@ -113,12 +113,12 @@ void BM_SimulateReduction64K(benchmark::State &State) {
   auto TR = TangramReduction::create({}, Error);
   const synth::VariantDescriptor V =
       *synth::findByFigure6Label(TR->getSearchSpace(), "p");
-  auto S = TR->synthesize(V, Error);
-  sim::Device Dev;
-  sim::BufferId In = Dev.alloc(ir::ScalarType::F32, 65536);
+  engine::ExecutionEngine &E = TR->engineFor(sim::getPascalP100());
+  auto S = E.getVariant(V, Error);
+  sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, 65536);
   for (auto _ : State) {
-    benchmark::DoNotOptimize(runReduction(
-        *S, sim::getPascalP100(), Dev, In, 65536, sim::ExecMode::Sampled));
+    benchmark::DoNotOptimize(
+        E.runReduction(*S, In, 65536, sim::ExecMode::Sampled));
   }
 }
 BENCHMARK(BM_SimulateReduction64K);

@@ -66,5 +66,10 @@ int main() {
   std::printf("\nheadline: up to %.1fx, %.1fx geometric mean over CUB "
               "(paper: up to 7.8x, 2x on average)\n",
               MaxSpeedup, GeoMean);
+
+  std::vector<BenchRecord> Records;
+  for (unsigned A = 0; A != Count; ++A)
+    appendFigureRecords(Archs[A], AllRows[A], Records);
+  writeBenchJson("fig7_best_speedup", Records);
   return 0;
 }

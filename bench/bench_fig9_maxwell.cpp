@@ -30,5 +30,8 @@ int main() {
   FigureHarness Harness(*TR);
   std::vector<FigureRow> Rows = Harness.measureAll(Arch);
   printDetailTable(Arch, Rows);
+  std::vector<BenchRecord> Records;
+  appendFigureRecords(Arch, Rows, Records);
+  writeBenchJson("fig9_maxwell", Records);
   return 0;
 }

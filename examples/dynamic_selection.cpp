@@ -38,14 +38,16 @@ int main() {
   const sim::ArchDesc *Archs = sim::getAllArchs(Count);
   for (unsigned A = 0; A != Count; ++A) {
     DynamicSelector Selector(*TR);
+    engine::ExecutionEngine &E = TR->engineFor(Archs[A]);
     std::printf("%s — online selection over the best-8 portfolio "
                 "(N=%zu):\n",
                 Archs[A].Name.c_str(), N);
     for (unsigned Call = 0; Call != 10; ++Call) {
-      sim::Device Dev;
-      sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-      Dev.writeFloats(In, Data);
-      synth::RunOutcome Out = Selector.reduce(Dev, Archs[A], In, N);
+      size_t Mark = E.deviceMark();
+      sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+      E.getDevice().writeFloats(In, Data);
+      engine::RunOutcome Out = Selector.reduce(E, In, N);
+      E.deviceRelease(Mark);
       if (!Out.Ok) {
         std::fprintf(stderr, "%s\n", Out.Error.c_str());
         return 1;

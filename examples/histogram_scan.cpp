@@ -39,13 +39,15 @@ int main() {
   const sim::ArchDesc *Archs = sim::getAllArchs(Count);
   std::vector<long long> Expected = referenceHistogram(Keys, NumBins);
   for (unsigned A = 0; A != Count; ++A) {
+    engine::ExecutionEngine E(Archs[A]);
     for (HistogramStrategy S : {HistogramStrategy::GlobalAtomics,
                                 HistogramStrategy::SharedPrivatized}) {
       Histogram App(NumBins, S);
-      sim::Device Dev;
-      sim::BufferId In = Dev.alloc(ir::ScalarType::I32, N);
-      Dev.writeInts(In, Keys);
-      HistogramResult R = App.run(Dev, Archs[A], In, N);
+      size_t Mark = E.deviceMark();
+      sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
+      E.getDevice().writeInts(In, Keys);
+      HistogramResult R = App.run(E, In, N);
+      E.deviceRelease(Mark);
       if (!R.Ok) {
         std::fprintf(stderr, "%s\n", R.Error.c_str());
         return 1;
@@ -68,24 +70,26 @@ int main() {
   std::printf("%-22s %-22s %12s %9s %10s\n", "architecture", "strategy",
               "modeled us", "launches", "correct");
   for (unsigned A = 0; A != Count; ++A) {
+    engine::ExecutionEngine E(Archs[A]);
     for (ScanStrategy S : {ScanStrategy::SharedKoggeStone,
                            ScanStrategy::ShuffleKoggeStone}) {
       Scan App(S);
-      sim::Device Dev;
-      sim::BufferId In = Dev.alloc(ir::ScalarType::I32, ScanN);
-      sim::BufferId Out = Dev.alloc(ir::ScalarType::I32, ScanN);
-      Dev.writeInts(In, Data);
-      ScanResult R = App.run(Dev, Archs[A], In, Out, ScanN);
+      size_t Mark = E.deviceMark();
+      sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, ScanN);
+      sim::BufferId Out = E.getDevice().alloc(ir::ScalarType::I32, ScanN);
+      E.getDevice().writeInts(In, Data);
+      ScanResult R = App.run(E, In, Out, ScanN);
       if (!R.Ok) {
         std::fprintf(stderr, "%s\n", R.Error.c_str());
         return 1;
       }
       bool Correct = true;
       for (size_t I = 0; I != ScanN && Correct; ++I)
-        Correct = Dev.readInt(Out, I) == ScanRef[I];
+        Correct = E.getDevice().readInt(Out, I) == ScanRef[I];
       std::printf("%-22s %-22s %12.2f %9u %10s\n", Archs[A].Name.c_str(),
                   getScanStrategyName(S), R.Seconds * 1e6,
                   R.KernelLaunches, Correct ? "yes" : "NO");
+      E.deviceRelease(Mark);
     }
   }
   return 0;

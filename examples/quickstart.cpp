@@ -40,24 +40,18 @@ int main() {
   synth::VariantDescriptor Desc = *P;
   Desc.BlockSize = 256;
 
-  auto Variant = TR->synthesize(Desc, Error);
-  if (!Variant) {
-    std::fprintf(stderr, "synthesis failed: %s\n", Error.c_str());
-    return 1;
-  }
-
-  // Reduce one million floats on the simulated Pascal P100.
+  // Reduce one million floats on the simulated Pascal P100. The engine
+  // compiles (p) through its variant cache and launches it on its device.
   const size_t N = 1 << 20;
   std::vector<float> Data(N);
   for (size_t I = 0; I != N; ++I)
     Data[I] = static_cast<float>(I % 7) * 0.25f;
   double Expected = std::accumulate(Data.begin(), Data.end(), 0.0);
 
-  sim::Device Dev;
-  sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-  Dev.writeFloats(In, Data);
-  synth::RunOutcome Out =
-      runReduction(*Variant, sim::getPascalP100(), Dev, In, N);
+  engine::ExecutionEngine &E = TR->engineFor(sim::getPascalP100());
+  sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+  E.getDevice().writeFloats(In, Data);
+  engine::RunOutcome Out = E.reduce(Desc, In, N);
   if (!Out.Ok) {
     std::fprintf(stderr, "run failed: %s\n", Out.Error.c_str());
     return 1;

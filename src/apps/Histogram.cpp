@@ -140,22 +140,24 @@ Histogram::Histogram(unsigned NumBins, HistogramStrategy Strategy,
   Compiled = compileKernel(*Kern);
 }
 
-HistogramResult Histogram::run(Device &Dev, const ArchDesc &Arch,
-                               BufferId In, size_t N, ExecMode Mode) const {
+HistogramResult Histogram::run(engine::ExecutionEngine &E, BufferId In,
+                               size_t N, ExecMode Mode) const {
   HistogramResult Result;
+  Device &Dev = E.getDevice();
+  const ArchDesc &Arch = E.getArch();
   if (Strategy == HistogramStrategy::SharedPrivatized &&
       NumBins * 4ull > Arch.SharedMemPerBlockBytes) {
     Result.Error = "bins do not fit in shared memory";
     return Result;
   }
 
+  size_t Mark = E.deviceMark();
   BufferId BinsBuf = Dev.alloc(ScalarType::I32, NumBins);
   size_t PerBlock = static_cast<size_t>(BlockSize) * Coarsen;
   unsigned Grid = static_cast<unsigned>(
       std::max<size_t>(1, (N + PerBlock - 1) / PerBlock));
 
-  SimtMachine Machine(Dev, Arch);
-  Result.Launch = Machine.launch(
+  Result.Launch = E.launch(
       Compiled, {Grid, BlockSize, 0},
       {ArgValue::buffer(BinsBuf), ArgValue::buffer(In),
        ArgValue::scalar(static_cast<long long>(N)),
@@ -163,6 +165,7 @@ HistogramResult Histogram::run(Device &Dev, const ArchDesc &Arch,
       Mode);
   if (!Result.Launch.ok()) {
     Result.Error = Result.Launch.Errors.front();
+    E.deviceRelease(Mark);
     return Result;
   }
 
@@ -172,5 +175,6 @@ HistogramResult Histogram::run(Device &Dev, const ArchDesc &Arch,
   for (unsigned B = 0; B != NumBins; ++B)
     Result.Bins[B] = Dev.readInt(BinsBuf, B);
   Result.Ok = true;
+  E.deviceRelease(Mark);
   return Result;
 }

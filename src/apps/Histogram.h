@@ -24,6 +24,7 @@
 #ifndef TANGRAM_APPS_HISTOGRAM_H
 #define TANGRAM_APPS_HISTOGRAM_H
 
+#include "engine/ExecutionEngine.h"
 #include "gpusim/PerfModel.h"
 #include "gpusim/SimtMachine.h"
 #include "ir/Bytecode.h"
@@ -63,9 +64,9 @@ public:
   HistogramStrategy getStrategy() const { return Strategy; }
   const ir::Kernel &getKernel() const { return *K; }
 
-  /// Bins the N keys of \p In (device buffer of I32 in [0, NumBins)).
-  HistogramResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
-                      sim::BufferId In, size_t N,
+  /// Bins the N keys of \p In (device buffer of I32 in [0, NumBins)
+  /// resident in \p E's device). Scratch is released before returning.
+  HistogramResult run(engine::ExecutionEngine &E, sim::BufferId In, size_t N,
                       sim::ExecMode Mode = sim::ExecMode::Functional) const;
 
 private:

@@ -261,7 +261,7 @@ Scan::Scan(ScanStrategy Strategy, unsigned BlockSize)
   AddCompiled = compileKernel(*AddK);
 }
 
-ScanResult Scan::runLevel(Device &Dev, const ArchDesc &Arch, BufferId In,
+ScanResult Scan::runLevel(engine::ExecutionEngine &E, BufferId In,
                           BufferId Out, size_t N, ExecMode Mode,
                           unsigned Depth) const {
   ScanResult Result;
@@ -269,18 +269,21 @@ ScanResult Scan::runLevel(Device &Dev, const ArchDesc &Arch, BufferId In,
     Result.Error = "scan recursion too deep";
     return Result;
   }
+  Device &Dev = E.getDevice();
+  const ArchDesc &Arch = E.getArch();
   unsigned Grid = static_cast<unsigned>(
       std::max<size_t>(1, (N + BlockSize - 1) / BlockSize));
+  size_t Mark = E.deviceMark();
   BufferId Sums = Dev.alloc(ScalarType::I32, Grid);
 
-  SimtMachine Machine(Dev, Arch);
-  LaunchResult R1 = Machine.launch(
+  LaunchResult R1 = E.launch(
       ScanCompiled, {Grid, BlockSize, 0},
       {ArgValue::buffer(Out), ArgValue::buffer(Sums), ArgValue::buffer(In),
        ArgValue::scalar(static_cast<long long>(N))},
       Mode);
   if (!R1.ok()) {
     Result.Error = R1.Errors.front();
+    E.deviceRelease(Mark);
     return Result;
   }
   Result.Seconds += modelKernelTime(Arch, R1).TotalSeconds;
@@ -290,31 +293,34 @@ ScanResult Scan::runLevel(Device &Dev, const ArchDesc &Arch, BufferId In,
     // Scan the block sums in place, then add them back.
     BufferId ScannedSums = Dev.alloc(ScalarType::I32, Grid);
     ScanResult Inner =
-        runLevel(Dev, Arch, Sums, ScannedSums, Grid, Mode, Depth + 1);
+        runLevel(E, Sums, ScannedSums, Grid, Mode, Depth + 1);
     if (!Inner.Ok) {
       Result.Error = Inner.Error;
+      E.deviceRelease(Mark);
       return Result;
     }
     Result.Seconds += Inner.Seconds;
     Result.KernelLaunches += Inner.KernelLaunches;
 
-    LaunchResult R2 = Machine.launch(
+    LaunchResult R2 = E.launch(
         AddCompiled, {Grid, BlockSize, 0},
         {ArgValue::buffer(Out), ArgValue::buffer(ScannedSums),
          ArgValue::scalar(static_cast<long long>(N))},
         Mode);
     if (!R2.ok()) {
       Result.Error = R2.Errors.front();
+      E.deviceRelease(Mark);
       return Result;
     }
     Result.Seconds += modelKernelTime(Arch, R2).TotalSeconds;
     Result.KernelLaunches += 1;
   }
   Result.Ok = true;
+  E.deviceRelease(Mark);
   return Result;
 }
 
-ScanResult Scan::run(Device &Dev, const ArchDesc &Arch, BufferId In,
-                     BufferId Out, size_t N, ExecMode Mode) const {
-  return runLevel(Dev, Arch, In, Out, N, Mode, 0);
+ScanResult Scan::run(engine::ExecutionEngine &E, BufferId In, BufferId Out,
+                     size_t N, ExecMode Mode) const {
+  return runLevel(E, In, Out, N, Mode, 0);
 }

@@ -24,6 +24,7 @@
 #ifndef TANGRAM_APPS_SCAN_H
 #define TANGRAM_APPS_SCAN_H
 
+#include "engine/ExecutionEngine.h"
 #include "gpusim/PerfModel.h"
 #include "gpusim/SimtMachine.h"
 #include "ir/Bytecode.h"
@@ -56,15 +57,16 @@ public:
   ScanStrategy getStrategy() const { return Strategy; }
   const ir::Kernel &getScanKernel() const { return *ScanK; }
 
-  /// Scans \p In (N I32 elements) into \p Out (N elements), inclusive.
-  ScanResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
-                 sim::BufferId In, sim::BufferId Out, size_t N,
+  /// Scans \p In (N I32 elements) into \p Out (N elements, both resident
+  /// in \p E's device), inclusive. Scratch is released before returning.
+  ScanResult run(engine::ExecutionEngine &E, sim::BufferId In,
+                 sim::BufferId Out, size_t N,
                  sim::ExecMode Mode = sim::ExecMode::Functional) const;
 
 private:
-  ScanResult runLevel(sim::Device &Dev, const sim::ArchDesc &Arch,
-                      sim::BufferId In, sim::BufferId Out, size_t N,
-                      sim::ExecMode Mode, unsigned Depth) const;
+  ScanResult runLevel(engine::ExecutionEngine &E, sim::BufferId In,
+                      sim::BufferId Out, size_t N, sim::ExecMode Mode,
+                      unsigned Depth) const;
 
   ScanStrategy Strategy;
   unsigned BlockSize;

@@ -214,19 +214,21 @@ double CubReduce::getHostOverheadUs(const ArchDesc &Arch, size_t N) {
   return Base * (Knee / (Knee + static_cast<double>(N)));
 }
 
-FrameworkResult CubReduce::run(Device &Dev, const ArchDesc &Arch,
-                               BufferId In, size_t N, ExecMode Mode) {
+FrameworkResult CubReduce::run(engine::ExecutionEngine &E, BufferId In,
+                               size_t N, ExecMode Mode) {
   FrameworkResult Result;
+  Device &Dev = E.getDevice();
+  const ArchDesc &Arch = E.getArch();
   long long NumVecs = static_cast<long long>(N / VecWidth);
   unsigned TileElems = BlockSize * VecWidth * VecsPerThread;
   unsigned Grid = static_cast<unsigned>(
       std::max<size_t>(1, (N + TileElems - 1) / TileElems));
 
+  size_t Mark = E.deviceMark();
   BufferId Partials = Dev.alloc(ScalarType::F32, Grid);
   BufferId Out = Dev.alloc(ScalarType::F32, 1);
 
-  SimtMachine Machine(Dev, Arch);
-  LaunchResult R1 = Machine.launch(
+  LaunchResult R1 = E.launch(
       PartialCompiled, {Grid, BlockSize, 0},
       {ArgValue::buffer(Partials), ArgValue::buffer(In),
        ArgValue::scalar(static_cast<long long>(N)),
@@ -235,15 +237,17 @@ FrameworkResult CubReduce::run(Device &Dev, const ArchDesc &Arch,
       Mode);
   if (!R1.ok()) {
     Result.Error = R1.Errors.front();
+    E.deviceRelease(Mark);
     return Result;
   }
-  LaunchResult R2 = Machine.launch(
+  LaunchResult R2 = E.launch(
       FinalCompiled, {1, BlockSize, 0},
       {ArgValue::buffer(Out), ArgValue::buffer(Partials),
        ArgValue::scalar(static_cast<long long>(Grid))},
       ExecMode::Functional);
   if (!R2.ok()) {
     Result.Error = R2.Errors.front();
+    E.deviceRelease(Mark);
     return Result;
   }
 
@@ -253,5 +257,6 @@ FrameworkResult CubReduce::run(Device &Dev, const ArchDesc &Arch,
                    getHostOverheadUs(Arch, N) * 1e-6;
   Result.Value = Dev.readFloat(Out, 0);
   Result.Ok = true;
+  E.deviceRelease(Mark);
   return Result;
 }

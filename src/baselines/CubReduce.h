@@ -36,8 +36,7 @@ public:
 
   std::string getName() const override { return "CUB"; }
 
-  FrameworkResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
-                      sim::BufferId In, size_t N,
+  FrameworkResult run(engine::ExecutionEngine &E, sim::BufferId In, size_t N,
                       sim::ExecMode Mode) override;
 
   /// Host-side per-call overhead (temp-storage query + cudaMalloc/free),

@@ -16,6 +16,7 @@
 #ifndef TANGRAM_BASELINES_FRAMEWORK_H
 #define TANGRAM_BASELINES_FRAMEWORK_H
 
+#include "engine/ExecutionEngine.h"
 #include "gpusim/Arch.h"
 #include "gpusim/Device.h"
 #include "gpusim/SimtMachine.h"
@@ -40,12 +41,13 @@ public:
 
   virtual std::string getName() const = 0;
 
-  /// Reduces the N-element buffer \p In on \p Dev. GPU frameworks honor
-  /// \p Mode for sampled large-size pricing; the CPU baseline reads the
-  /// buffer back in functional mode.
-  virtual FrameworkResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
-                              sim::BufferId In, size_t N,
-                              sim::ExecMode Mode) = 0;
+  /// Reduces the N-element buffer \p In resident in \p E's device,
+  /// launching through the engine (and so through its thread pool). GPU
+  /// frameworks honor \p Mode for sampled large-size pricing; the CPU
+  /// baseline reads the buffer back in functional mode. Scratch buffers
+  /// are released before returning.
+  virtual FrameworkResult run(engine::ExecutionEngine &E, sim::BufferId In,
+                              size_t N, sim::ExecMode Mode) = 0;
 };
 
 } // namespace tangram::baselines

@@ -154,9 +154,11 @@ double KokkosReduce::getDispatchOverheadUs(const ArchDesc &Arch) {
   return 200.0;
 }
 
-FrameworkResult KokkosReduce::run(Device &Dev, const ArchDesc &Arch,
-                                  BufferId In, size_t N, ExecMode Mode) {
+FrameworkResult KokkosReduce::run(engine::ExecutionEngine &E, BufferId In,
+                                  size_t N, ExecMode Mode) {
   FrameworkResult Result;
+  Device &Dev = E.getDevice();
+  const ArchDesc &Arch = E.getArch();
   long long NumVecs = static_cast<long long>(N / 2);
 
   // League sized to saturate the device (Kokkos' default heuristics).
@@ -165,11 +167,11 @@ FrameworkResult KokkosReduce::run(Device &Dev, const ArchDesc &Arch,
       static_cast<unsigned>(std::max<size_t>(
           1, (NumVecs + BlockSize - 1) / BlockSize)));
 
+  size_t Mark = E.deviceMark();
   BufferId Partials = Dev.alloc(ScalarType::F32, Grid);
   BufferId Out = Dev.alloc(ScalarType::F32, 1);
 
-  SimtMachine Machine(Dev, Arch);
-  LaunchResult R1 = Machine.launch(
+  LaunchResult R1 = E.launch(
       MainCompiled, {Grid, BlockSize, 0},
       {ArgValue::buffer(Partials), ArgValue::buffer(In),
        ArgValue::scalar(NumVecs),
@@ -177,15 +179,17 @@ FrameworkResult KokkosReduce::run(Device &Dev, const ArchDesc &Arch,
       Mode);
   if (!R1.ok()) {
     Result.Error = R1.Errors.front();
+    E.deviceRelease(Mark);
     return Result;
   }
-  LaunchResult R2 = Machine.launch(
+  LaunchResult R2 = E.launch(
       FinalCompiled, {1, 64, 0},
       {ArgValue::buffer(Out), ArgValue::buffer(Partials),
        ArgValue::scalar(static_cast<long long>(Grid))},
       ExecMode::Functional);
   if (!R2.ok()) {
     Result.Error = R2.Errors.front();
+    E.deviceRelease(Mark);
     return Result;
   }
 
@@ -199,5 +203,6 @@ FrameworkResult KokkosReduce::run(Device &Dev, const ArchDesc &Arch,
                    getDispatchOverheadUs(Arch) * 1e-6;
   Result.Value = Dev.readFloat(Out, 0);
   Result.Ok = true;
+  E.deviceRelease(Mark);
   return Result;
 }

@@ -33,8 +33,7 @@ public:
 
   std::string getName() const override { return "Kokkos"; }
 
-  FrameworkResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
-                      sim::BufferId In, size_t N,
+  FrameworkResult run(engine::ExecutionEngine &E, sim::BufferId In, size_t N,
                       sim::ExecMode Mode) override;
 
   /// Runtime dispatch + fence overhead per parallel_reduce, microseconds.

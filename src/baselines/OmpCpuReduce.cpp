@@ -44,12 +44,13 @@ double OmpCpuReduce::parallelReduce(const std::vector<float> &Data,
   return std::accumulate(Partials.begin(), Partials.end(), 0.0);
 }
 
-FrameworkResult OmpCpuReduce::run(sim::Device &Dev, const sim::ArchDesc &,
+FrameworkResult OmpCpuReduce::run(engine::ExecutionEngine &E,
                                   sim::BufferId In, size_t N,
                                   sim::ExecMode Mode) {
   FrameworkResult Result;
   // In sampled (pricing-only) mode skip the real work for huge inputs.
   if (Mode == sim::ExecMode::Functional) {
+    sim::Device &Dev = E.getDevice();
     std::vector<float> Host(N);
     for (size_t I = 0; I != N; ++I)
       Host[I] = static_cast<float>(Dev.readFloat(In, I));

@@ -43,9 +43,9 @@ public:
   std::string getName() const override { return "OpenMP"; }
 
   /// `Seconds` comes from the POWER8 model; in functional mode `Value`
-  /// comes from a real threaded reduction over the buffer contents.
-  FrameworkResult run(sim::Device &Dev, const sim::ArchDesc &Arch,
-                      sim::BufferId In, size_t N,
+  /// comes from a real threaded reduction over the buffer contents. The
+  /// engine's architecture is irrelevant to the CPU baseline.
+  FrameworkResult run(engine::ExecutionEngine &E, sim::BufferId In, size_t N,
                       sim::ExecMode Mode) override;
 
   /// The functional parallel reduction (public: used directly by tests

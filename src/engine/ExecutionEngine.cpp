@@ -1,0 +1,170 @@
+//===- ExecutionEngine.cpp - Shared variant execution layer ----------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ExecutionEngine.h"
+
+#include "support/StableHash.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace tangram;
+using namespace tangram::engine;
+using namespace tangram::sim;
+
+LaunchConfig tangram::engine::makeLaunchConfig(
+    const synth::SynthesizedVariant &V, size_t N) {
+  LaunchConfig Config;
+  Config.BlockDim = V.Desc.BlockSize;
+  size_t PerBlock = V.elementsPerBlock();
+  Config.GridDim = static_cast<unsigned>(
+      std::max<size_t>(1, (N + PerBlock - 1) / PerBlock));
+  // Dynamic shared arrays size to the block (the lowered `in.Size()`).
+  Config.DynSharedElems = Config.BlockDim;
+  return Config;
+}
+
+ExecutionEngine::ExecutionEngine(const ArchDesc &Arch, EngineOptions Opts)
+    : Arch(Arch),
+      Pool(Opts.Pool ? std::move(Opts.Pool)
+                     : std::make_shared<support::ThreadPool>(
+                           Opts.ThreadCount)),
+      Cache(Opts.Cache ? std::move(Opts.Cache)
+                       : std::make_shared<VariantCache>(Opts.CacheCapacity)),
+      Machine(Dev, this->Arch, Pool.get()) {}
+
+void ExecutionEngine::attachCompiler(const synth::KernelSynthesizer &S,
+                                     const std::string &SourceText) {
+  Synth = &S;
+  SourceHash = stableHashString(SourceText);
+}
+
+std::shared_ptr<const synth::SynthesizedVariant>
+ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
+                            std::string &Error,
+                            const synth::OptimizationFlags &Flags) {
+  if (!Synth) {
+    Error = "no compiler attached to the execution engine";
+    return nullptr;
+  }
+  VariantKey Key;
+  Key.SourceHash = SourceHash;
+  Key.DescHash = Desc.stableHash();
+  Key.Gen = Arch.Gen;
+  Key.Op = Synth->getOp();
+  Key.Elem = Synth->getElem();
+  Key.Flags = static_cast<unsigned char>((Flags.AggregateAtomics ? 1 : 0) |
+                                         (Flags.UnrollLoops ? 2 : 0));
+  if (auto Cached = Cache->lookup(Key))
+    return Cached;
+  std::unique_ptr<synth::SynthesizedVariant> Fresh =
+      Synth->synthesize(Desc, Error, Flags);
+  if (!Fresh)
+    return nullptr;
+  VariantCache::VariantPtr Shared = std::move(Fresh);
+  Cache->insert(Key, Shared);
+  return Shared;
+}
+
+LaunchResult ExecutionEngine::launch(const ir::CompiledKernel &Kernel,
+                                     const LaunchConfig &Config,
+                                     const std::vector<ArgValue> &Args,
+                                     ExecMode Mode) {
+  return Machine.launch(Kernel, Config, Args, Mode);
+}
+
+RunOutcome ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
+                                         BufferId In, size_t N,
+                                         ExecMode Mode) {
+  RunOutcome Out;
+
+  LaunchConfig Config = makeLaunchConfig(V, N);
+
+  // Scratch accumulators live above this watermark and are dropped on every
+  // exit path, so repeated calls never grow the device.
+  struct Scope {
+    Device &D;
+    size_t M;
+    ~Scope() { D.release(M); }
+  } Scratch{Dev, Dev.mark()};
+
+  // Accumulator: one identity-initialized element for atomic grids, or a
+  // per-block partials array for second-kernel variants (Listing 1).
+  bool TwoKernel = V.Desc.usesSecondKernel();
+  BufferId ReturnBuf = Dev.alloc(V.Elem, TwoKernel ? Config.GridDim : 1);
+  ReduceIdentityValue Id = reduceIdentity(
+      V.Op, V.Elem == ir::ScalarType::F32 ? ElemKind::Float : ElemKind::Int);
+  Cell Identity;
+  Identity.F = Id.F;
+  Identity.I = Id.I;
+  *Dev.get(ReturnBuf).writable(0) = Identity;
+
+  long long ObjectSize = static_cast<long long>(V.elementsPerBlock());
+
+  Out.Launch = Machine.launch(
+      V.Compiled, Config,
+      {ArgValue::buffer(ReturnBuf), ArgValue::buffer(In),
+       ArgValue::scalar(static_cast<long long>(N)),
+       ArgValue::scalar(ObjectSize)},
+      Mode);
+  if (!Out.Launch.ok()) {
+    Out.Error = Out.Launch.Errors.front();
+    return Out;
+  }
+
+  Out.Timing = modelKernelTime(Arch, Out.Launch);
+  Out.Seconds = Out.Timing.TotalSeconds;
+
+  if (TwoKernel) {
+    // Reduce the per-block partials with the cooperative second stage
+    // (recursively: very large grids need more than one extra pass).
+    if (!V.SecondStage) {
+      Out.Ok = false;
+      Out.Error = "two-kernel variant without a second stage";
+      return Out;
+    }
+    RunOutcome Stage =
+        runReduction(*V.SecondStage, ReturnBuf, Config.GridDim, Mode);
+    if (!Stage.Ok)
+      return Stage;
+    Out.Seconds += Stage.Seconds;
+    Out.FloatValue = Stage.FloatValue;
+    Out.IntValue = Stage.IntValue;
+    Out.Ok = true;
+    return Out;
+  }
+
+  Out.FloatValue = Dev.readFloat(ReturnBuf, 0);
+  Out.IntValue = Dev.readInt(ReturnBuf, 0);
+  Out.Ok = true;
+  return Out;
+}
+
+RunOutcome ExecutionEngine::reduce(const synth::VariantDescriptor &Desc,
+                                   BufferId In, size_t N, ExecMode Mode) {
+  std::string Error;
+  auto V = getVariant(Desc, Error);
+  if (!V) {
+    RunOutcome Out;
+    Out.Error = Error;
+    return Out;
+  }
+  return runReduction(*V, In, N, Mode);
+}
+
+double ExecutionEngine::timeVariant(const synth::VariantDescriptor &Desc,
+                                    size_t N) {
+  std::string Error;
+  auto V = getVariant(Desc, Error);
+  if (!V)
+    return std::numeric_limits<double>::infinity();
+  size_t Mark = Dev.mark();
+  VirtualPattern Pattern;
+  BufferId In = Dev.allocVirtual(V->Elem, N, Pattern);
+  RunOutcome Out = runReduction(*V, In, N, ExecMode::Sampled);
+  Dev.release(Mark);
+  return Out.Ok ? Out.Seconds : std::numeric_limits<double>::infinity();
+}

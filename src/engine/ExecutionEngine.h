@@ -1,0 +1,141 @@
+//===- ExecutionEngine.h - Shared variant execution layer -------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place kernels are compiled and launched. An ExecutionEngine
+/// binds together, for a single architecture:
+///
+///  - a simulated Device (global memory) and the SimtMachine driving it;
+///  - a persistent ThreadPool the machine uses to interpret independent
+///    blocks in parallel (deterministic block-index merge order keeps
+///    functional results and cycle totals bit-identical to a 1-thread run);
+///  - a content-addressed VariantCache so each (source, descriptor, arch,
+///    op, elem, flags) identity is synthesized and bytecode-compiled at
+///    most once, no matter how many tuning sweeps request it.
+///
+/// Pool and cache can be shared across several per-architecture engines
+/// (TangramReduction does this), turning the paper's Fig. 6/7 sweeps into
+/// cache hits after the first pass over the portfolio.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_ENGINE_EXECUTIONENGINE_H
+#define TANGRAM_ENGINE_EXECUTIONENGINE_H
+
+#include "engine/VariantCache.h"
+#include "gpusim/PerfModel.h"
+#include "gpusim/SimtMachine.h"
+#include "support/ThreadPool.h"
+#include "synth/KernelSynthesizer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tangram::engine {
+
+/// Outcome of one end-to-end reduction run.
+struct RunOutcome {
+  bool Ok = false;
+  std::string Error;
+  /// The reduction result (meaningful in Functional mode only). Float
+  /// results are in `FloatValue`, integer results in `IntValue`.
+  double FloatValue = 0;
+  long long IntValue = 0;
+  /// Modeled end-to-end seconds.
+  double Seconds = 0;
+  sim::KernelTiming Timing;
+  sim::LaunchResult Launch;
+};
+
+/// Launch geometry for \p V at problem size \p N.
+sim::LaunchConfig makeLaunchConfig(const synth::SynthesizedVariant &V,
+                                   size_t N);
+
+/// Construction knobs for ExecutionEngine.
+struct EngineOptions {
+  /// Worker threads for block-parallel simulation; 0 = one per host core.
+  /// Ignored when \p Pool is provided.
+  unsigned ThreadCount = 0;
+  /// Capacity of the variant cache created when \p Cache is null.
+  size_t CacheCapacity = 256;
+  /// Share an existing cache (per-arch engines keyed apart by generation).
+  std::shared_ptr<VariantCache> Cache;
+  /// Share an existing pool across engines.
+  std::shared_ptr<support::ThreadPool> Pool;
+};
+
+/// Per-architecture execution facade: owns the device, drives the SIMT
+/// machine through the shared thread pool, and resolves variant descriptors
+/// through the shared compilation cache.
+class ExecutionEngine {
+public:
+  explicit ExecutionEngine(const sim::ArchDesc &Arch, EngineOptions Opts = {});
+
+  /// Attaches the synthesizer used to resolve descriptor cache misses.
+  /// \p SourceText is the canonical source the synthesizer was built from;
+  /// its hash becomes part of every cache key.
+  void attachCompiler(const synth::KernelSynthesizer &Synth,
+                      const std::string &SourceText);
+  bool hasCompiler() const { return Synth != nullptr; }
+
+  sim::Device &getDevice() { return Dev; }
+  const sim::ArchDesc &getArch() const { return Arch; }
+  support::ThreadPool &getThreadPool() { return *Pool; }
+  unsigned getThreadCount() const { return Pool->getThreadCount(); }
+  VariantCache &getCache() { return *Cache; }
+  const std::shared_ptr<VariantCache> &getCachePtr() const { return Cache; }
+  CacheStats getCacheStats() const { return Cache->getStats(); }
+
+  /// Device allocation watermark helpers for scoped scratch buffers.
+  size_t deviceMark() const { return Dev.mark(); }
+  void deviceRelease(size_t Mark) { Dev.release(Mark); }
+
+  /// Resolves \p Desc to a compiled variant, synthesizing on cache miss.
+  /// Returns null and sets \p Error on synthesis failure (failures are not
+  /// cached). Requires attachCompiler().
+  std::shared_ptr<const synth::SynthesizedVariant>
+  getVariant(const synth::VariantDescriptor &Desc, std::string &Error,
+             const synth::OptimizationFlags &Flags = {});
+
+  /// Launches \p Kernel on this engine's device/arch (through the shared
+  /// thread pool when profitable).
+  sim::LaunchResult launch(const ir::CompiledKernel &Kernel,
+                           const sim::LaunchConfig &Config,
+                           const std::vector<sim::ArgValue> &Args,
+                           sim::ExecMode Mode = sim::ExecMode::Functional);
+
+  /// Runs \p V over \p In (N elements): allocates and identity-initializes
+  /// the accumulator, launches, models time, and recursively drives the
+  /// second stage for two-kernel variants. Scratch buffers are released
+  /// before returning.
+  RunOutcome runReduction(const synth::SynthesizedVariant &V,
+                          sim::BufferId In, size_t N,
+                          sim::ExecMode Mode = sim::ExecMode::Functional);
+
+  /// Cache-resolved convenience: getVariant(Desc) then runReduction.
+  RunOutcome reduce(const synth::VariantDescriptor &Desc, sim::BufferId In,
+                    size_t N,
+                    sim::ExecMode Mode = sim::ExecMode::Functional);
+
+  /// Modeled seconds for \p Desc at size \p N over a scoped virtual input
+  /// (Sampled mode). Infinity when the variant fails to synthesize or run —
+  /// tuning loops price such variants out.
+  double timeVariant(const synth::VariantDescriptor &Desc, size_t N);
+
+private:
+  sim::ArchDesc Arch; ///< By value: the engine outlives any accessor.
+  std::shared_ptr<support::ThreadPool> Pool;
+  std::shared_ptr<VariantCache> Cache;
+  sim::Device Dev;
+  sim::SimtMachine Machine;
+  const synth::KernelSynthesizer *Synth = nullptr;
+  uint64_t SourceHash = 0;
+};
+
+} // namespace tangram::engine
+
+#endif // TANGRAM_ENGINE_EXECUTIONENGINE_H

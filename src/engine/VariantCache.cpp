@@ -1,0 +1,73 @@
+//===- VariantCache.cpp - Content-addressed compiled-variant cache ---------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/VariantCache.h"
+
+#include "support/StableHash.h"
+
+#include <algorithm>
+
+using namespace tangram;
+using namespace tangram::engine;
+
+uint64_t VariantKey::hash() const {
+  StableHash H;
+  H.u64(SourceHash);
+  H.u64(DescHash);
+  H.byte(static_cast<unsigned char>(Gen));
+  H.byte(static_cast<unsigned char>(Op));
+  H.byte(static_cast<unsigned char>(Elem));
+  H.byte(Flags);
+  return H.get();
+}
+
+VariantCache::VariantCache(size_t Capacity)
+    : Capacity(std::max<size_t>(1, Capacity)) {}
+
+VariantCache::VariantPtr VariantCache::lookup(const VariantKey &K) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Map.find(K);
+  if (It == Map.end()) {
+    ++Misses;
+    return nullptr;
+  }
+  ++Hits;
+  Lru.splice(Lru.begin(), Lru, It->second);
+  return It->second->second;
+}
+
+void VariantCache::insert(const VariantKey &K, VariantPtr V) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Map.find(K);
+  if (It != Map.end()) {
+    It->second->second = std::move(V);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.emplace_front(K, std::move(V));
+  Map[K] = Lru.begin();
+  while (Map.size() > Capacity) {
+    Map.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Evictions;
+  }
+}
+
+CacheStats VariantCache::getStats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  CacheStats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Evictions = Evictions;
+  S.Entries = Map.size();
+  return S;
+}
+
+void VariantCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Map.clear();
+  Lru.clear();
+}

@@ -1,0 +1,98 @@
+//===- VariantCache.h - Content-addressed compiled-variant cache -*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LRU cache from fully-resolved variant identities to synthesized,
+/// bytecode-compiled variants (including their second-stage kernels). The
+/// key is content-addressed: canonical source hash x VariantDescriptor hash
+/// x architecture generation x reduction op x element type x optimization
+/// flags — everything that can change the compiled artifact. One cache can
+/// be shared by several per-architecture engines; the generation field keeps
+/// their entries disjoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_ENGINE_VARIANTCACHE_H
+#define TANGRAM_ENGINE_VARIANTCACHE_H
+
+#include "gpusim/Arch.h"
+#include "support/ReduceOp.h"
+#include "synth/KernelSynthesizer.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace tangram::engine {
+
+/// Identity of one compiled variant. Equal keys mean the synthesizer would
+/// produce byte-identical bytecode, so the cached artifact is reusable.
+struct VariantKey {
+  uint64_t SourceHash = 0; ///< Canonical reduction source text.
+  uint64_t DescHash = 0;   ///< VariantDescriptor::stableHash().
+  sim::ArchGeneration Gen = sim::ArchGeneration::Kepler;
+  ReduceOp Op = ReduceOp::Add;
+  ir::ScalarType Elem = ir::ScalarType::F32;
+  unsigned char Flags = 0; ///< Packed OptimizationFlags bits.
+
+  bool operator==(const VariantKey &O) const = default;
+
+  /// Deterministic digest over all fields (map hashing + diagnostics).
+  uint64_t hash() const;
+};
+
+/// Hit/miss accounting, exposed for tests and perf tracking.
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  size_t Entries = 0;
+};
+
+/// Bounded LRU map of VariantKey -> synthesized variant. Entries are handed
+/// out as shared_ptr so eviction is always safe while a caller still runs a
+/// variant. Thread-safe (engines sharing one cache may live on different
+/// threads).
+class VariantCache {
+public:
+  using VariantPtr = std::shared_ptr<const synth::SynthesizedVariant>;
+
+  explicit VariantCache(size_t Capacity = 256);
+
+  /// Returns the cached variant and refreshes its recency, or null on miss.
+  VariantPtr lookup(const VariantKey &K);
+
+  /// Inserts (or replaces) \p V under \p K, evicting the least recently
+  /// used entry when over capacity.
+  void insert(const VariantKey &K, VariantPtr V);
+
+  CacheStats getStats() const;
+  size_t getCapacity() const { return Capacity; }
+  void clear();
+
+private:
+  struct KeyHasher {
+    size_t operator()(const VariantKey &K) const {
+      return static_cast<size_t>(K.hash());
+    }
+  };
+
+  using LruList = std::list<std::pair<VariantKey, VariantPtr>>;
+
+  size_t Capacity;
+  mutable std::mutex Mutex;
+  LruList Lru; ///< Front = most recently used.
+  std::unordered_map<VariantKey, LruList::iterator, KeyHasher> Map;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace tangram::engine
+
+#endif // TANGRAM_ENGINE_VARIANTCACHE_H

@@ -150,6 +150,18 @@ public:
   /// Releases every buffer (between benchmark iterations).
   void reset() { Buffers.clear(); }
 
+  /// Allocation watermark for scoped/stack-style buffer lifetimes: buffers
+  /// allocated after mark() can be dropped with release(), leaving earlier
+  /// ids valid (ids are allocation indices).
+  size_t mark() const { return Buffers.size(); }
+
+  /// Drops every buffer allocated at or after \p Mark.
+  void release(size_t Mark) {
+    assert(Mark <= Buffers.size() && "release past allocation watermark");
+    Buffers.erase(Buffers.begin() + static_cast<ptrdiff_t>(Mark),
+                  Buffers.end());
+  }
+
 private:
   std::vector<Buffer> Buffers;
 };

@@ -8,6 +8,7 @@
 
 #include "support/ErrorHandling.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
@@ -116,6 +117,40 @@ long long wrapInt(ScalarType Ty, long long V) {
   return static_cast<long long>(static_cast<int32_t>(V));
 }
 
+/// Writes an integer result, mirroring into the float view (guards
+/// against int constants flowing into float arithmetic).
+void setI(Cell &C, long long V) {
+  C.I = V;
+  C.F = static_cast<double>(V);
+}
+void setF(Cell &C, double V) {
+  // Round to float32 so accumulation error matches 32-bit GPU math.
+  float F32 = static_cast<float>(V);
+  C.F = F32;
+  C.I = static_cast<long long>(F32);
+}
+
+/// Applies a reduce op to a memory cell.
+void atomicApply(ReduceOp Op, ScalarType Ty, Cell &Target, const Cell &V) {
+  if (Ty == ScalarType::F32)
+    setF(Target, applyReduceOp<double>(Op, Target.F, V.F));
+  else
+    setI(Target, wrapInt(Ty, applyReduceOp<long long>(Op, Target.I, V.I)));
+}
+
+/// One deferred global-memory write recorded while a block executes in
+/// parallel mode. Entries keep program order within the block; replaying
+/// whole logs in block-index order reproduces the exact memory state the
+/// sequential block loop would have produced.
+struct GlobalEffect {
+  BufferId Buf = 0;
+  size_t Idx = 0;
+  bool Atomic = false;
+  ReduceOp Op = ReduceOp::Add;
+  ScalarType Ty = ScalarType::I32;
+  Cell Value;
+};
+
 struct Frame {
   uint32_t Saved = 0;
   uint32_t Else = 0;
@@ -134,12 +169,15 @@ struct Warp {
 /// Executes one block.
 class BlockExecutor {
 public:
+  /// When \p Log is non-null the block records its global writes there
+  /// instead of touching device memory (parallel-execution mode).
   BlockExecutor(Device &Dev, const ArchDesc &Arch,
                 const CompiledKernel &Kernel, const LaunchConfig &Config,
                 const std::vector<ArgValue> &Args, unsigned BlockIdx,
-                ExecStats &Stats, std::vector<std::string> &Errors)
+                ExecStats &Stats, std::vector<std::string> &Errors,
+                std::vector<GlobalEffect> *Log = nullptr)
       : Dev(Dev), Arch(Arch), Kernel(Kernel), Config(Config), Args(Args),
-        BlockIdx(BlockIdx), Stats(Stats), Errors(Errors) {}
+        BlockIdx(BlockIdx), Stats(Stats), Errors(Errors), Log(Log) {}
 
   void run() {
     initShared();
@@ -225,19 +263,6 @@ private:
       return nullptr;
     }
     return &Dev.get(V.Id);
-  }
-
-  /// Writes an integer result, mirroring into the float view (guards
-  /// against int constants flowing into float arithmetic).
-  static void setI(Cell &C, long long V) {
-    C.I = V;
-    C.F = static_cast<double>(V);
-  }
-  static void setF(Cell &C, double V) {
-    // Round to float32 so accumulation error matches 32-bit GPU math.
-    float F32 = static_cast<float>(V);
-    C.F = F32;
-    C.I = static_cast<long long>(F32);
   }
 
   void aluOp(Warp &W, const Instr &In) {
@@ -371,15 +396,6 @@ private:
     Stats.WarpCycles += Cycles;
     Stats.WarpInstructions += 1;
     Stats.LaneInstructions += popcount(Mask);
-  }
-
-  /// Applies a reduce op to a memory cell.
-  static void atomicApply(ReduceOp Op, ScalarType Ty, Cell &Target,
-                          const Cell &V) {
-    if (Ty == ScalarType::F32)
-      setF(Target, applyReduceOp<double>(Op, Target.F, V.F));
-    else
-      setI(Target, wrapInt(Ty, applyReduceOp<long long>(Op, Target.I, V.I)));
   }
 
   /// Runs \p W until it hits a barrier or exits.
@@ -570,7 +586,12 @@ private:
           if (Idx < 0 || static_cast<uint64_t>(Idx) >= B->size()) {
             error(strformat("global store out of bounds (index %lld)", Idx));
           } else if (Cell *C = B->writable(static_cast<size_t>(Idx))) {
-            *C = reg(W, In.Src2, L);
+            if (Log)
+              Log->push_back({Args[In.MemId].Id, static_cast<size_t>(Idx),
+                              false, ReduceOp::Add, In.Ty,
+                              reg(W, In.Src2, L)});
+            else
+              *C = reg(W, In.Src2, L);
           } else {
             error("store to a read-only (virtual) buffer");
           }
@@ -671,10 +692,15 @@ private:
             error(strformat("global atomic out of bounds (index %lld)", Idx));
             continue;
           }
-          if (Cell *C = B->writable(static_cast<size_t>(Idx)))
-            atomicApply(Op, In.Ty, *C, reg(W, In.Src2, L));
-          else
+          if (Cell *C = B->writable(static_cast<size_t>(Idx))) {
+            if (Log)
+              Log->push_back({Args[In.MemId].Id, static_cast<size_t>(Idx),
+                              true, Op, In.Ty, reg(W, In.Src2, L)});
+            else
+              atomicApply(Op, In.Ty, *C, reg(W, In.Src2, L));
+          } else {
             error("atomic on a read-only (virtual) buffer");
+          }
           ++GlobalAtomicAddrOps[Idx];
         }
         Stats.GlobalAtomicOps += Lanes;
@@ -812,9 +838,31 @@ private:
   unsigned BlockIdx;
   ExecStats &Stats;
   std::vector<std::string> &Errors;
+  std::vector<GlobalEffect> *Log;
   std::vector<Warp> Warps;
   std::vector<std::vector<Cell>> SharedMem;
 };
+
+/// True when \p Kernel loads a buffer it also writes (store or atomic):
+/// the only shape where deferred-write block parallelism could change what
+/// later blocks observe, so such launches stay sequential.
+bool kernelLoadsWrittenBuffer(const CompiledKernel &Kernel,
+                              const std::vector<ArgValue> &Args) {
+  std::vector<BufferId> Loads, Writes;
+  for (const Instr &In : Kernel.Code) {
+    if (In.Op != Opcode::LdGlobal && In.Op != Opcode::StGlobal &&
+        In.Op != Opcode::AtomGlobal)
+      continue;
+    const ArgValue &V = Args[In.MemId];
+    if (!V.IsBuffer)
+      continue;
+    (In.Op == Opcode::LdGlobal ? Loads : Writes).push_back(V.Id);
+  }
+  for (BufferId L : Loads)
+    if (std::find(Writes.begin(), Writes.end(), L) != Writes.end())
+      return true;
+  return false;
+}
 
 } // namespace
 
@@ -858,18 +906,62 @@ LaunchResult SimtMachine::launch(const CompiledKernel &Kernel,
   Result.BlocksSimulated = static_cast<unsigned>(Blocks.size());
 
   uint64_t HotOps = 0;
-  for (unsigned B : Blocks) {
-    ExecStats BlockStats;
-    BlockExecutor Exec(Dev, Arch, Kernel, Config, Args, B, BlockStats,
-                       Result.Errors);
-    Exec.run();
-    uint64_t BlockHot = 0;
-    for (const auto &[Addr, Ops] : Exec.GlobalAtomicAddrOps)
-      BlockHot = std::max(BlockHot, Ops);
-    HotOps += BlockHot;
-    if (Result.SharedBytesPerBlock == 0)
-      Result.SharedBytesPerBlock = BlockStats.SharedBytes;
-    Result.Stats.accumulate(BlockStats);
+  const bool Parallel = Pool && Pool->getThreadCount() > 1 &&
+                        Blocks.size() > 1 &&
+                        !kernelLoadsWrittenBuffer(Kernel, Args);
+  if (!Parallel) {
+    for (unsigned B : Blocks) {
+      ExecStats BlockStats;
+      BlockExecutor Exec(Dev, Arch, Kernel, Config, Args, B, BlockStats,
+                         Result.Errors);
+      Exec.run();
+      uint64_t BlockHot = 0;
+      for (const auto &[Addr, Ops] : Exec.GlobalAtomicAddrOps)
+        BlockHot = std::max(BlockHot, Ops);
+      HotOps += BlockHot;
+      if (Result.SharedBytesPerBlock == 0)
+        Result.SharedBytesPerBlock = BlockStats.SharedBytes;
+      Result.Stats.accumulate(BlockStats);
+    }
+  } else {
+    // Interpret blocks concurrently. Every block reads the pristine device
+    // image (the gate above rejected kernels that load what they write) and
+    // defers its writes into a private program-ordered log; replaying the
+    // logs and merging stats/errors in block-index order afterwards keeps
+    // results, cycle counts, and error lists bit-identical to the
+    // sequential loop above.
+    struct BlockOutcome {
+      ExecStats Stats;
+      std::vector<std::string> Errors;
+      std::vector<GlobalEffect> Effects;
+      uint64_t HotOps = 0;
+    };
+    std::vector<BlockOutcome> Outcomes(Blocks.size());
+    Pool->parallelFor(Blocks.size(), [&](size_t I) {
+      BlockOutcome &O = Outcomes[I];
+      BlockExecutor Exec(Dev, Arch, Kernel, Config, Args, Blocks[I], O.Stats,
+                         O.Errors, &O.Effects);
+      Exec.run();
+      for (const auto &[Addr, Ops] : Exec.GlobalAtomicAddrOps)
+        O.HotOps = std::max(O.HotOps, Ops);
+    });
+    for (BlockOutcome &O : Outcomes) {
+      for (const GlobalEffect &E : O.Effects) {
+        Cell *C = Dev.get(E.Buf).writable(E.Idx);
+        assert(C && "logged effect targets a read-only buffer");
+        if (E.Atomic)
+          atomicApply(E.Op, E.Ty, *C, E.Value);
+        else
+          *C = E.Value;
+      }
+      for (std::string &Msg : O.Errors)
+        if (Result.Errors.size() < 8)
+          Result.Errors.push_back(std::move(Msg));
+      HotOps += O.HotOps;
+      if (Result.SharedBytesPerBlock == 0)
+        Result.SharedBytesPerBlock = O.Stats.SharedBytes;
+      Result.Stats.accumulate(O.Stats);
+    }
   }
   Result.Stats.GlobalAtomicHotOps = HotOps;
   // SharedBytes accumulated per block; keep the per-block value in the

@@ -30,6 +30,10 @@
 #include <string>
 #include <vector>
 
+namespace tangram::support {
+class ThreadPool;
+} // namespace tangram::support
+
 namespace tangram::sim {
 
 /// Grid/block geometry for one launch (1-D, like the paper's kernels).
@@ -113,9 +117,20 @@ struct LaunchResult {
 };
 
 /// Executes kernels on a Device according to an ArchDesc.
+///
+/// When constructed with a thread pool of more than one thread, independent
+/// blocks are interpreted concurrently: each block runs against the pristine
+/// device image and defers its global-memory writes into a private,
+/// program-ordered effect log; after all blocks finish, the logs are
+/// replayed in block-index order. Functional results, modeled cycle counts,
+/// and error lists are therefore bit-identical to the sequential path.
+/// Kernels that load a buffer they also write (store or atomic) fall back to
+/// sequential execution automatically.
 class SimtMachine {
 public:
-  SimtMachine(Device &Dev, const ArchDesc &Arch) : Dev(Dev), Arch(Arch) {}
+  SimtMachine(Device &Dev, const ArchDesc &Arch,
+              support::ThreadPool *Pool = nullptr)
+      : Dev(Dev), Arch(Arch), Pool(Pool) {}
 
   /// Runs \p Kernel over the grid. \p Args must match the kernel's
   /// parameter list (buffers for pointer params, scalars otherwise).
@@ -130,6 +145,7 @@ public:
 private:
   Device &Dev;
   const ArchDesc &Arch;
+  support::ThreadPool *Pool;
 };
 
 /// Evaluates a launch-uniform IR expression (shared-array extents): only

@@ -115,6 +115,12 @@ struct CompiledKernel {
 /// violations abort via assertions.
 CompiledKernel compileKernel(const Kernel &K);
 
+/// Deterministic content hash of a compiled kernel: covers the name, every
+/// instruction field (float immediates by bit pattern), the register count,
+/// and the shared-array / scalar-parameter layout. Stable across processes,
+/// so it can key persistent or cross-engine variant caches.
+uint64_t stableHash(const CompiledKernel &K);
+
 } // namespace tangram::ir
 
 #endif // TANGRAM_IR_BYTECODE_H

@@ -7,6 +7,7 @@
 #include "ir/Bytecode.h"
 
 #include "support/ErrorHandling.h"
+#include "support/StableHash.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
@@ -512,4 +513,38 @@ CompiledKernel tangram::ir::compileKernel(const Kernel &K) {
   for (const auto &[P, Reg] : ParamRegs)
     Compiled.ScalarParamRegs.emplace_back(P, Reg);
   return Compiled;
+}
+
+uint64_t tangram::ir::stableHash(const CompiledKernel &K) {
+  StableHash H;
+  H.str(K.Name);
+  H.u64(K.Code.size());
+  for (const Instr &In : K.Code) {
+    H.byte(static_cast<unsigned char>(In.Op));
+    H.byte(static_cast<unsigned char>(In.Ty));
+    H.u64(In.Dst);
+    H.u64(In.Src1);
+    H.u64(In.Src2);
+    H.u64(In.MemId);
+    H.u64(In.Target);
+    H.byte(In.Aux);
+    H.byte(In.Aux2);
+    H.i64(In.ImmI);
+    H.f64(In.ImmF);
+  }
+  H.u64(K.NumRegisters);
+  // Layout: shared extents are launch-uniform expressions, so the count plus
+  // the per-array id/dynamic flag captures what the launcher binds; scalar
+  // params hash by register assignment order.
+  H.u64(K.SharedArrays.size());
+  for (const SharedArray *A : K.SharedArrays) {
+    H.u64(A->Id);
+    H.byte(A->IsDynamic ? 1 : 0);
+  }
+  H.u64(K.ScalarParamRegs.size());
+  for (const auto &[P, Reg] : K.ScalarParamRegs) {
+    H.str(P->Name);
+    H.u64(Reg);
+  }
+  return H.get();
 }

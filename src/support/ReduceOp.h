@@ -15,10 +15,17 @@
 #ifndef TANGRAM_SUPPORT_REDUCEOP_H
 #define TANGRAM_SUPPORT_REDUCEOP_H
 
+#include <cstdint>
+#include <limits>
+
 namespace tangram {
 
 /// A commutative-accumulation operator usable in atomic instructions.
 enum class ReduceOp : unsigned char { Add, Sub, Max, Min };
+
+/// Element domain of a reduction: the paper's spectrum is generated for both
+/// 32-bit integers and floats (Section III-B).
+enum class ElemKind : unsigned char { Int, Float };
 
 /// Spelling used in API names and generated code ("Add", "Sub", ...).
 inline const char *getReduceOpName(ReduceOp Op) {
@@ -65,6 +72,43 @@ T getReduceIdentity(ReduceOp Op, T Lowest, T Highest) {
     return Highest;
   }
   return T(0);
+}
+
+/// Identity value for a reduction accumulator cell, carried in both numeric
+/// domains so callers can initialize an untyped device cell.
+struct ReduceIdentityValue {
+  double F = 0;
+  long long I = 0;
+};
+
+/// The identity element of \p Op over \p Elem, using the element type's true
+/// extrema (float32 lowest/max for Float, int32 min/max for Int) rather than
+/// hand-rolled near-extreme constants.
+///
+/// `Sub` shares Add's zero identity: the generated kernels accumulate the
+/// negated running sum (atomicSub applies Acc - V per element), so the
+/// accumulator starts at 0 exactly like Add — this is add-negation, not a
+/// true two-sided identity for subtraction.
+inline ReduceIdentityValue reduceIdentity(ReduceOp Op, ElemKind Elem) {
+  ReduceIdentityValue V;
+  switch (Op) {
+  case ReduceOp::Add:
+  case ReduceOp::Sub:
+    break;
+  case ReduceOp::Max:
+    V.I = std::numeric_limits<int32_t>::min();
+    V.F = Elem == ElemKind::Float
+              ? static_cast<double>(std::numeric_limits<float>::lowest())
+              : static_cast<double>(std::numeric_limits<int32_t>::min());
+    break;
+  case ReduceOp::Min:
+    V.I = std::numeric_limits<int32_t>::max();
+    V.F = Elem == ElemKind::Float
+              ? static_cast<double>(std::numeric_limits<float>::max())
+              : static_cast<double>(std::numeric_limits<int32_t>::max());
+    break;
+  }
+  return V;
 }
 
 } // namespace tangram

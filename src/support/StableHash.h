@@ -1,0 +1,73 @@
+//===- StableHash.h - Deterministic content hashing ------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small FNV-1a based hash combinator for content-addressed caching. Unlike
+/// std::hash, the result is fixed across processes, platforms, and library
+/// versions, so cache keys derived from it are stable artifacts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_STABLEHASH_H
+#define TANGRAM_SUPPORT_STABLEHASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace tangram {
+
+/// Incremental FNV-1a (64-bit) hasher. Feed integral values, raw bit
+/// patterns, or byte strings; read the digest at any point.
+class StableHash {
+public:
+  static constexpr uint64_t OffsetBasis = 1469598103934665603ull;
+  static constexpr uint64_t Prime = 1099511628211ull;
+
+  uint64_t get() const { return State; }
+
+  StableHash &byte(unsigned char B) {
+    State = (State ^ B) * Prime;
+    return *this;
+  }
+
+  /// Mixes the little-endian-independent byte expansion of an integer.
+  StableHash &u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      byte(static_cast<unsigned char>(V >> (I * 8)));
+    return *this;
+  }
+
+  StableHash &i64(int64_t V) { return u64(static_cast<uint64_t>(V)); }
+
+  /// Mixes a double via its IEEE-754 bit pattern (distinguishes -0.0/0.0,
+  /// preserves NaN payload bits — exactly what a content hash wants).
+  StableHash &f64(double V) {
+    uint64_t Bits = 0;
+    static_assert(sizeof(Bits) == sizeof(V));
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    return u64(Bits);
+  }
+
+  StableHash &str(std::string_view S) {
+    u64(S.size());
+    for (char C : S)
+      byte(static_cast<unsigned char>(C));
+    return *this;
+  }
+
+private:
+  uint64_t State = OffsetBasis;
+};
+
+/// Convenience one-shot string hash.
+inline uint64_t stableHashString(std::string_view S) {
+  return StableHash().str(S).get();
+}
+
+} // namespace tangram
+
+#endif // TANGRAM_SUPPORT_STABLEHASH_H

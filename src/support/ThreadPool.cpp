@@ -1,0 +1,88 @@
+//===- ThreadPool.cpp - Persistent worker pool ----------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+namespace tangram::support {
+
+ThreadPool::ThreadPool(unsigned ThreadCount)
+    : Count(ThreadCount ? ThreadCount
+                        : std::max(1u, std::thread::hardware_concurrency())) {
+  // The caller participates in every parallelFor, so spawn Count-1 workers.
+  for (unsigned I = 1; I < Count; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Workers.empty() || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+
+  std::lock_guard<std::mutex> CallLock(CallMutex);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Job = &Fn;
+    JobSize = N;
+    NextIndex.store(0, std::memory_order_relaxed);
+    PendingWorkers = Workers.size();
+    ++Generation;
+  }
+  WorkCV.notify_all();
+
+  // The caller claims indices alongside the workers.
+  for (size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed); I < N;
+       I = NextIndex.fetch_add(1, std::memory_order_relaxed))
+    Fn(I);
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCV.wait(Lock, [this] { return PendingWorkers == 0; });
+  Job = nullptr;
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    const std::function<void(size_t)> *Fn = nullptr;
+    size_t Size = 0;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkCV.wait(Lock, [&] {
+        return Stopping || (Job && Generation != SeenGeneration);
+      });
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+      Fn = Job;
+      Size = JobSize;
+    }
+    for (size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+         I < Size; I = NextIndex.fetch_add(1, std::memory_order_relaxed))
+      (*Fn)(I);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--PendingWorkers == 0)
+        DoneCV.notify_all();
+    }
+  }
+}
+
+} // namespace tangram::support

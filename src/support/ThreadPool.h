@@ -1,0 +1,74 @@
+//===- ThreadPool.h - Persistent worker pool -------------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent thread pool with a single primitive: parallelFor over
+/// an index range. Workers are spawned once and reused across calls, so the
+/// simulator can fan out per-block interpretation without per-launch thread
+/// creation cost. The pool makes no ordering promises within a call; callers
+/// that need determinism must merge per-index results in index order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_THREADPOOL_H
+#define TANGRAM_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tangram::support {
+
+/// Persistent pool of worker threads driving index-based parallel loops.
+///
+/// The calling thread participates in the loop, so a pool constructed with
+/// ThreadCount = K uses exactly K threads of execution (K-1 workers plus the
+/// caller). ThreadCount <= 1 degenerates to an inline sequential loop.
+/// parallelFor calls are serialized; the body must not re-enter the pool and
+/// must not throw.
+class ThreadPool {
+public:
+  /// \p ThreadCount of 0 means one thread per hardware core.
+  explicit ThreadPool(unsigned ThreadCount = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total threads of execution used by parallelFor (including the caller).
+  unsigned getThreadCount() const { return Count; }
+
+  /// Invokes \p Fn(I) for every I in [0, N), distributing indices over the
+  /// pool. Returns after all N invocations have completed.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  void workerLoop();
+
+  unsigned Count;
+  std::vector<std::thread> Workers;
+
+  /// Serializes concurrent parallelFor callers (the pool is not reentrant).
+  std::mutex CallMutex;
+
+  std::mutex Mutex;
+  std::condition_variable WorkCV;
+  std::condition_variable DoneCV;
+  const std::function<void(size_t)> *Job = nullptr;
+  size_t JobSize = 0;
+  std::atomic<size_t> NextIndex{0};
+  size_t PendingWorkers = 0;
+  uint64_t Generation = 0;
+  bool Stopping = false;
+};
+
+} // namespace tangram::support
+
+#endif // TANGRAM_SUPPORT_THREADPOOL_H

@@ -86,6 +86,11 @@ public:
   synthesize(const VariantDescriptor &Desc, std::string &Error,
              const OptimizationFlags &Opts = {}) const;
 
+  /// The reduction operator this synthesizer instantiates the spectrum for.
+  ReduceOp getOp() const { return Op; }
+  /// The element type this synthesizer lowers to.
+  ir::ScalarType getElem() const { return Elem; }
+
 private:
   const lang::TranslationUnit &TU;
   const std::map<const lang::CodeletDecl *,

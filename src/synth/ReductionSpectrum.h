@@ -23,8 +23,10 @@
 
 namespace tangram::synth {
 
-/// Element types the canonical source is generated for.
-enum class ElemKind : unsigned char { Int, Float };
+/// Element types the canonical source is generated for. The enum itself
+/// lives in support/ReduceOp.h so layer-0 helpers (reduceIdentity) and the
+/// execution engine's cache keys can name it without depending on synth.
+using ElemKind = tangram::ElemKind;
 
 const char *getElemKindName(ElemKind K); ///< "int" / "float"
 

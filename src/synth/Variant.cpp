@@ -7,6 +7,7 @@
 #include "synth/Variant.h"
 
 #include "support/ErrorHandling.h"
+#include "support/StableHash.h"
 
 using namespace tangram;
 using namespace tangram::synth;
@@ -143,6 +144,18 @@ std::string VariantDescriptor::getFigure6Label() const {
   if (BlockDist == DistPattern::Strided)
     return std::string(1, static_cast<char>('a' + CI));
   return std::string(1, static_cast<char>('f' + CI));
+}
+
+uint64_t VariantDescriptor::stableHash() const {
+  StableHash H;
+  H.byte(static_cast<unsigned char>(GridDist));
+  H.byte(static_cast<unsigned char>(GridScheme));
+  H.byte(BlockDistributes ? 1 : 0);
+  H.byte(static_cast<unsigned char>(BlockDist));
+  H.byte(static_cast<unsigned char>(Coop));
+  H.u64(BlockSize);
+  H.u64(Coarsen);
+  return H.get();
 }
 
 bool VariantDescriptor::isPaperBest() const {

@@ -35,6 +35,7 @@
 
 #include "transforms/GeneralTransforms.h"
 
+#include <cstdint>
 #include <string>
 
 namespace tangram::synth {
@@ -100,6 +101,10 @@ struct VariantDescriptor {
   std::string getFigure6Label() const;
   /// True when the paper colors this version as one of the 8 best.
   bool isPaperBest() const;
+
+  /// Deterministic content hash over every field (structure AND tunables);
+  /// stable across processes so it can key compiled-variant caches.
+  uint64_t stableHash() const;
 
   /// Structural equality (ignores tunables).
   bool sameStructure(const VariantDescriptor &O) const {

@@ -6,8 +6,6 @@
 
 #include "tangram/DynamicSelector.h"
 
-#include "support/ErrorHandling.h"
-
 #include <limits>
 
 using namespace tangram;
@@ -22,13 +20,9 @@ DynamicSelector::DynamicSelector(const TangramReduction &TR,
       if (V.isPaperBest())
         this->Portfolio.push_back(V);
   }
-  std::string Error;
-  for (const VariantDescriptor &V : this->Portfolio) {
-    auto S = TR.synthesize(V, Error);
-    if (!S)
-      reportFatalError("dynamic selector: " + Error);
-    Synthesized.push_back(std::move(S));
-  }
+  // Candidates are synthesized lazily through the engine's variant cache on
+  // first use, so constructing a selector is free and the compiled versions
+  // are shared with every other consumer of the facade's cache.
 }
 
 unsigned DynamicSelector::bucketOf(size_t N) {
@@ -42,11 +36,10 @@ unsigned DynamicSelector::bucketOf(size_t N) {
   return Bucket;
 }
 
-RunOutcome DynamicSelector::reduce(sim::Device &Dev,
-                                   const sim::ArchDesc &Arch,
-                                   sim::BufferId In, size_t N,
-                                   sim::ExecMode Mode) {
-  Key K{Arch.Gen, bucketOf(N)};
+engine::RunOutcome DynamicSelector::reduce(engine::ExecutionEngine &E,
+                                           sim::BufferId In, size_t N,
+                                           sim::ExecMode Mode) {
+  Key K{E.getArch().Gen, bucketOf(N)};
   BucketState &State = Buckets[K];
   if (State.Seconds.empty())
     State.Seconds.assign(Portfolio.size(),
@@ -60,8 +53,7 @@ RunOutcome DynamicSelector::reduce(sim::Device &Dev,
     Candidate = static_cast<unsigned>(State.BestIndex);
   }
 
-  RunOutcome Out =
-      runReduction(*Synthesized[Candidate], Arch, Dev, In, N, Mode);
+  engine::RunOutcome Out = E.reduce(Portfolio[Candidate], In, N, Mode);
   if (Out.Ok) {
     if (Out.Seconds < State.Seconds[Candidate])
       State.Seconds[Candidate] = Out.Seconds;

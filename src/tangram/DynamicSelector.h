@@ -32,12 +32,13 @@ public:
   DynamicSelector(const TangramReduction &TR,
                   std::vector<synth::VariantDescriptor> Portfolio = {});
 
-  /// Reduces the buffer, micro-profiling while candidates remain untried
-  /// for this (arch, bucket). Returns the reduction outcome of whichever
-  /// candidate ran.
-  synth::RunOutcome reduce(sim::Device &Dev, const sim::ArchDesc &Arch,
-                           sim::BufferId In, size_t N,
-                           sim::ExecMode Mode = sim::ExecMode::Functional);
+  /// Reduces buffer \p In resident in \p E's device, micro-profiling while
+  /// candidates remain untried for (E's arch, bucket). Returns the
+  /// reduction outcome of whichever candidate ran. Candidates resolve
+  /// through the engine's variant cache, so each is compiled at most once.
+  engine::RunOutcome reduce(engine::ExecutionEngine &E, sim::BufferId In,
+                            size_t N,
+                            sim::ExecMode Mode = sim::ExecMode::Functional);
 
   /// The candidate currently believed best for (arch, N); null until at
   /// least one call completed for the bucket.
@@ -67,7 +68,6 @@ private:
 
   const TangramReduction &TR;
   std::vector<synth::VariantDescriptor> Portfolio;
-  std::vector<std::unique_ptr<synth::SynthesizedVariant>> Synthesized;
   std::map<Key, BucketState> Buckets;
 };
 

@@ -30,16 +30,16 @@ FigureRow FigureHarness::measure(const sim::ArchDesc &Arch, size_t N) {
   Row.BestLabel = Best.Fig6Label;
   Row.BestName = Best.Desc.getName();
 
-  // Baselines on a shared virtual input.
-  sim::Device Dev;
+  // Baselines on a scoped shared virtual input in the arch's engine.
+  engine::ExecutionEngine &E = TR.engineFor(Arch);
+  size_t Mark = E.deviceMark();
   sim::VirtualPattern Pattern;
-  sim::BufferId In = Dev.allocVirtual(ir::ScalarType::F32, N, Pattern);
-  Row.CubSeconds =
-      Cub.run(Dev, Arch, In, N, sim::ExecMode::Sampled).Seconds;
-  Row.KokkosSeconds =
-      Kokkos.run(Dev, Arch, In, N, sim::ExecMode::Sampled).Seconds;
-  Row.OmpSeconds =
-      Omp.run(Dev, Arch, In, N, sim::ExecMode::Sampled).Seconds;
+  sim::BufferId In =
+      E.getDevice().allocVirtual(ir::ScalarType::F32, N, Pattern);
+  Row.CubSeconds = Cub.run(E, In, N, sim::ExecMode::Sampled).Seconds;
+  Row.KokkosSeconds = Kokkos.run(E, In, N, sim::ExecMode::Sampled).Seconds;
+  Row.OmpSeconds = Omp.run(E, In, N, sim::ExecMode::Sampled).Seconds;
+  E.deviceRelease(Mark);
   return Row;
 }
 

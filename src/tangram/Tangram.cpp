@@ -43,7 +43,24 @@ TangramReduction::create(const Options &Opts, std::string &Error) {
       Opts.Elem == ElemKind::Float ? ir::ScalarType::F32
                                    : ir::ScalarType::I32);
   TR->Space = enumerateVariants();
+  TR->Cache =
+      std::make_shared<engine::VariantCache>(Opts.VariantCacheCapacity);
+  TR->Pool = std::make_shared<support::ThreadPool>(Opts.EngineThreads);
   return TR;
+}
+
+engine::ExecutionEngine &
+TangramReduction::engineFor(const sim::ArchDesc &Arch) const {
+  auto It = Engines.find(Arch.Gen);
+  if (It == Engines.end()) {
+    engine::EngineOptions EO;
+    EO.Cache = Cache;
+    EO.Pool = Pool;
+    auto E = std::make_unique<engine::ExecutionEngine>(Arch, EO);
+    E->attachCompiler(*Synth, SourceText);
+    It = Engines.emplace(Arch.Gen, std::move(E)).first;
+  }
+  return *It->second;
 }
 
 std::unique_ptr<SynthesizedVariant>
@@ -66,19 +83,7 @@ std::string TangramReduction::emitCudaFor(const VariantDescriptor &Desc,
 double TangramReduction::timeVariant(const VariantDescriptor &Desc,
                                      const sim::ArchDesc &Arch,
                                      size_t N) const {
-  std::string Error;
-  auto S = Synth->synthesize(Desc, Error);
-  if (!S)
-    return std::numeric_limits<double>::infinity();
-  sim::Device Dev;
-  sim::VirtualPattern Pattern;
-  sim::BufferId In = Dev.allocVirtual(
-      Opts.Elem == ElemKind::Float ? ir::ScalarType::F32
-                                   : ir::ScalarType::I32,
-      N, Pattern);
-  RunOutcome Out =
-      runReduction(*S, Arch, Dev, In, N, sim::ExecMode::Sampled);
-  return Out.Ok ? Out.Seconds : std::numeric_limits<double>::infinity();
+  return engineFor(Arch).timeVariant(Desc, N);
 }
 
 VariantDescriptor TangramReduction::tune(const VariantDescriptor &Desc,

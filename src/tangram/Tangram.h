@@ -23,12 +23,12 @@
 #ifndef TANGRAM_TANGRAM_TANGRAM_H
 #define TANGRAM_TANGRAM_TANGRAM_H
 
+#include "engine/ExecutionEngine.h"
 #include "gpusim/Arch.h"
 #include "lang/ASTContext.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
 #include "synth/KernelSynthesizer.h"
-#include "synth/ReductionRunner.h"
 #include "synth/ReductionSpectrum.h"
 #include "synth/VariantEnumerator.h"
 
@@ -49,6 +49,11 @@ public:
     std::vector<unsigned> CoarsenFactors = {1, 4, 16, 64};
     /// Per-block element cap during tuning (bounds simulation cost).
     unsigned MaxElemsPerBlock = 16384;
+    /// Worker threads for the shared block-simulation pool (0 = one per
+    /// host core).
+    unsigned EngineThreads = 0;
+    /// Compiled-variant cache capacity shared by all per-arch engines.
+    size_t VariantCacheCapacity = 256;
   };
 
   /// Parses + checks the canonical source and runs the transform
@@ -61,6 +66,14 @@ public:
   const Options &getOptions() const { return Opts; }
   /// The normalized canonical source text.
   const std::string &getSourceText() const { return SourceText; }
+  /// The synthesizer lowering this spectrum (cache-key source of truth).
+  const synth::KernelSynthesizer &getSynthesizer() const { return *Synth; }
+
+  /// The lazily-created execution engine for \p Arch. Engines are created
+  /// once per architecture generation and share one variant cache and one
+  /// thread pool, so tuning sweeps across architectures never recompile a
+  /// variant and block simulation scales with host cores.
+  engine::ExecutionEngine &engineFor(const sim::ArchDesc &Arch) const;
 
   /// Synthesizes one variant (tunables taken from the descriptor).
   /// \p Opts applies the optional future-work IR passes (warp-aggregated
@@ -107,6 +120,14 @@ private:
       Infos;
   std::unique_ptr<synth::KernelSynthesizer> Synth;
   synth::SearchSpace Space;
+
+  // Execution state. Mutable: tune/timeVariant/findBest are logically const
+  // queries but lazily materialize engines and fill the shared cache.
+  mutable std::shared_ptr<engine::VariantCache> Cache;
+  mutable std::shared_ptr<support::ThreadPool> Pool;
+  mutable std::map<sim::ArchGeneration,
+                   std::unique_ptr<engine::ExecutionEngine>>
+      Engines;
 };
 
 } // namespace tangram

@@ -48,10 +48,10 @@ TEST_P(HistogramCorrectness, MatchesReference) {
   unsigned Count = 0;
   const sim::ArchDesc *Archs = sim::getAllArchs(Count);
   for (unsigned A = 0; A != Count; ++A) {
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::I32, N);
-    Dev.writeInts(In, Keys);
-    HistogramResult R = App.run(Dev, Archs[A], In, N);
+    engine::ExecutionEngine E(Archs[A]);
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
+    E.getDevice().writeInts(In, Keys);
+    HistogramResult R = App.run(E, In, N);
     ASSERT_TRUE(R.Ok) << Archs[A].Name << ": " << R.Error;
     EXPECT_EQ(R.Bins, Expected) << Archs[A].Name;
     EXPECT_GT(R.Seconds, 0.0);
@@ -79,13 +79,15 @@ TEST(Histogram, SkewedDistribution) {
   const unsigned NumBins = 64;
   const size_t N = 10000;
   std::vector<int> Keys(N, 7);
+  engine::ExecutionEngine E(sim::getKeplerK40c());
   for (HistogramStrategy S : {HistogramStrategy::GlobalAtomics,
                               HistogramStrategy::SharedPrivatized}) {
     Histogram App(NumBins, S);
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::I32, N);
-    Dev.writeInts(In, Keys);
-    HistogramResult R = App.run(Dev, sim::getKeplerK40c(), In, N);
+    size_t Mark = E.deviceMark();
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
+    E.getDevice().writeInts(In, Keys);
+    HistogramResult R = App.run(E, In, N);
+    E.deviceRelease(Mark);
     ASSERT_TRUE(R.Ok) << R.Error;
     EXPECT_EQ(R.Bins[7], static_cast<long long>(N));
   }
@@ -94,20 +96,19 @@ TEST(Histogram, SkewedDistribution) {
 TEST(Histogram, OutOfRangeKeysDropped) {
   Histogram App(16, HistogramStrategy::GlobalAtomics);
   std::vector<int> Keys = {0, 5, -3, 200, 15, 5};
-  sim::Device Dev;
-  sim::BufferId In = Dev.alloc(ir::ScalarType::I32, Keys.size());
-  Dev.writeInts(In, Keys);
-  HistogramResult R =
-      App.run(Dev, sim::getMaxwellGTX980(), In, Keys.size());
+  engine::ExecutionEngine E(sim::getMaxwellGTX980());
+  sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, Keys.size());
+  E.getDevice().writeInts(In, Keys);
+  HistogramResult R = App.run(E, In, Keys.size());
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_EQ(R.Bins, referenceHistogram(Keys, 16));
 }
 
 TEST(Histogram, PrivatizedRejectsOversizedBins) {
   Histogram App(64 * 1024, HistogramStrategy::SharedPrivatized);
-  sim::Device Dev;
-  sim::BufferId In = Dev.alloc(ir::ScalarType::I32, 4);
-  HistogramResult R = App.run(Dev, sim::getKeplerK40c(), In, 4);
+  engine::ExecutionEngine E(sim::getKeplerK40c());
+  sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, 4);
+  HistogramResult R = App.run(E, In, 4);
   EXPECT_FALSE(R.Ok);
   EXPECT_NE(R.Error.find("shared memory"), std::string::npos);
 }
@@ -120,16 +121,14 @@ TEST(Histogram, PrivatizationPaysOffOnNativeAtomicArchs) {
   Histogram Global(NumBins, HistogramStrategy::GlobalAtomics);
   Histogram Shared(NumBins, HistogramStrategy::SharedPrivatized);
 
-  sim::Device Dev;
+  engine::ExecutionEngine E(sim::getMaxwellGTX980());
   sim::VirtualPattern Pattern;
   Pattern.Modulus = NumBins;
-  sim::BufferId In = Dev.allocVirtual(ir::ScalarType::I32, N, Pattern);
+  sim::BufferId In =
+      E.getDevice().allocVirtual(ir::ScalarType::I32, N, Pattern);
 
-  const sim::ArchDesc &Arch = sim::getMaxwellGTX980();
-  double TGlobal =
-      Global.run(Dev, Arch, In, N, sim::ExecMode::Sampled).Seconds;
-  double TShared =
-      Shared.run(Dev, Arch, In, N, sim::ExecMode::Sampled).Seconds;
+  double TGlobal = Global.run(E, In, N, sim::ExecMode::Sampled).Seconds;
+  double TShared = Shared.run(E, In, N, sim::ExecMode::Sampled).Seconds;
   EXPECT_LT(TShared, TGlobal);
 }
 
@@ -153,14 +152,14 @@ TEST_P(ScanCorrectness, MatchesReference) {
   unsigned Count = 0;
   const sim::ArchDesc *Archs = sim::getAllArchs(Count);
   for (unsigned A = 0; A != Count; ++A) {
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::I32, N);
-    sim::BufferId Out = Dev.alloc(ir::ScalarType::I32, N);
-    Dev.writeInts(In, Data);
-    ScanResult R = App.run(Dev, Archs[A], In, Out, N);
+    engine::ExecutionEngine E(Archs[A]);
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
+    sim::BufferId Out = E.getDevice().alloc(ir::ScalarType::I32, N);
+    E.getDevice().writeInts(In, Data);
+    ScanResult R = App.run(E, In, Out, N);
     ASSERT_TRUE(R.Ok) << Archs[A].Name << ": " << R.Error;
     for (size_t I = 0; I != N; ++I)
-      ASSERT_EQ(Dev.readInt(Out, I), Expected[I])
+      ASSERT_EQ(E.getDevice().readInt(Out, I), Expected[I])
           << Archs[A].Name << " index " << I;
   }
 }
@@ -182,17 +181,17 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Scan, MultiLevelLaunchCount) {
   Scan App(ScanStrategy::ShuffleKoggeStone, 256);
   const size_t N = 256 * 256 + 3; // Needs two levels + add pass.
-  sim::Device Dev;
-  sim::BufferId In = Dev.alloc(ir::ScalarType::I32, N);
-  sim::BufferId Out = Dev.alloc(ir::ScalarType::I32, N);
+  engine::ExecutionEngine E(sim::getPascalP100());
+  sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
+  sim::BufferId Out = E.getDevice().alloc(ir::ScalarType::I32, N);
   std::vector<int> Data(N, 1);
-  Dev.writeInts(In, Data);
-  ScanResult R = App.run(Dev, sim::getPascalP100(), In, Out, N);
+  E.getDevice().writeInts(In, Data);
+  ScanResult R = App.run(E, In, Out, N);
   ASSERT_TRUE(R.Ok) << R.Error;
   // Level 0 scan + level 1 scan (+ level 2 for the ragged extra block) +
   // add passes.
   EXPECT_GE(R.KernelLaunches, 3u);
-  EXPECT_EQ(Dev.readInt(Out, N - 1), static_cast<long long>(N));
+  EXPECT_EQ(E.getDevice().readInt(Out, N - 1), static_cast<long long>(N));
 }
 
 TEST(Scan, ShuffleVariantUsesNoDynamicSharedLadder) {
@@ -215,15 +214,14 @@ TEST(Scan, ShuffleVariantFasterOnWideBlocks) {
   Scan Shfl(ScanStrategy::ShuffleKoggeStone, 256);
   Scan Shared(ScanStrategy::SharedKoggeStone, 256);
   for (unsigned A = 0; A != Count; ++A) {
-    sim::Device Dev;
+    engine::ExecutionEngine E(Archs[A]);
     sim::VirtualPattern Pattern;
-    sim::BufferId In = Dev.allocVirtual(ir::ScalarType::I32, N, Pattern);
-    sim::BufferId Out = Dev.alloc(ir::ScalarType::I32, N);
-    double TShfl =
-        Shfl.run(Dev, Archs[A], In, Out, N, sim::ExecMode::Sampled).Seconds;
+    sim::BufferId In =
+        E.getDevice().allocVirtual(ir::ScalarType::I32, N, Pattern);
+    sim::BufferId Out = E.getDevice().alloc(ir::ScalarType::I32, N);
+    double TShfl = Shfl.run(E, In, Out, N, sim::ExecMode::Sampled).Seconds;
     double TShared =
-        Shared.run(Dev, Archs[A], In, Out, N, sim::ExecMode::Sampled)
-            .Seconds;
+        Shared.run(E, In, Out, N, sim::ExecMode::Sampled).Seconds;
     EXPECT_LT(TShfl, TShared) << Archs[A].Name;
   }
 }

@@ -50,11 +50,11 @@ TEST_P(GpuBaselineCorrectness, MatchesReference) {
   unsigned Count = 0;
   const sim::ArchDesc *Archs = sim::getAllArchs(Count);
   for (unsigned A = 0; A != Count; ++A) {
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, std::max<size_t>(N, 4));
-    Dev.writeFloats(In, Data);
-    FrameworkResult R =
-        FW->run(Dev, Archs[A], In, N, sim::ExecMode::Functional);
+    engine::ExecutionEngine E(Archs[A]);
+    sim::BufferId In =
+        E.getDevice().alloc(ir::ScalarType::F32, std::max<size_t>(N, 4));
+    E.getDevice().writeFloats(In, Data);
+    FrameworkResult R = FW->run(E, In, N, sim::ExecMode::Functional);
     ASSERT_TRUE(R.Ok) << Archs[A].Name << ": " << R.Error;
     EXPECT_NEAR(R.Value, Expected, std::abs(Expected) * 1e-4 + 1e-2)
         << Archs[A].Name << " N=" << N;
@@ -74,14 +74,15 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(OmpCpuReduce, FunctionalCorrectness) {
   OmpCpuReduce Omp(2);
+  engine::ExecutionEngine E(sim::getKeplerK40c());
   for (size_t N : {1u, 100u, 5000u, 100000u}) {
     std::vector<float> Data = randomFloats(N, 5);
     double Expected = referenceSum(Data);
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-    Dev.writeFloats(In, Data);
-    FrameworkResult R = Omp.run(Dev, sim::getKeplerK40c(), In, N,
-                                sim::ExecMode::Functional);
+    size_t Mark = E.deviceMark();
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+    E.getDevice().writeFloats(In, Data);
+    FrameworkResult R = Omp.run(E, In, N, sim::ExecMode::Functional);
+    E.deviceRelease(Mark);
     ASSERT_TRUE(R.Ok);
     EXPECT_NEAR(R.Value, Expected, std::abs(Expected) * 1e-6 + 1e-3);
   }
@@ -109,16 +110,16 @@ TEST(OmpCpuReduce, SmallArraysBeatCub) {
   // below 65K elements (Section IV-C1).
   OmpCpuReduce Omp(2);
   CubReduce Cub;
+  engine::ExecutionEngine E(sim::getPascalP100());
   for (size_t N : {64u, 1024u, 16384u}) {
     std::vector<float> Data = randomFloats(N, 1);
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, std::max<size_t>(N, 4));
-    Dev.writeFloats(In, Data);
-    const sim::ArchDesc &Arch = sim::getPascalP100();
-    double CubT =
-        Cub.run(Dev, Arch, In, N, sim::ExecMode::Functional).Seconds;
-    double OmpT =
-        Omp.run(Dev, Arch, In, N, sim::ExecMode::Functional).Seconds;
+    size_t Mark = E.deviceMark();
+    sim::BufferId In =
+        E.getDevice().alloc(ir::ScalarType::F32, std::max<size_t>(N, 4));
+    E.getDevice().writeFloats(In, Data);
+    double CubT = Cub.run(E, In, N, sim::ExecMode::Functional).Seconds;
+    double OmpT = Omp.run(E, In, N, sim::ExecMode::Functional).Seconds;
+    E.deviceRelease(Mark);
     EXPECT_GT(CubT, 2.0 * OmpT) << "N=" << N;
   }
 }
@@ -128,11 +129,11 @@ TEST(CubReduce, VectorizedLoadsDominateAtLargeN) {
   CubReduce Cub;
   const size_t N = 1u << 24;
   std::vector<float> Data(N, 0.5f);
-  sim::Device Dev;
-  sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-  Dev.writeFloats(In, Data);
   const sim::ArchDesc &Arch = sim::getKeplerK40c();
-  FrameworkResult R = Cub.run(Dev, Arch, In, N, sim::ExecMode::Sampled);
+  engine::ExecutionEngine E(Arch);
+  sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+  E.getDevice().writeFloats(In, Data);
+  FrameworkResult R = Cub.run(E, In, N, sim::ExecMode::Sampled);
   ASSERT_TRUE(R.Ok) << R.Error;
   double IdealSeconds =
       N * 4.0 / (Arch.DramBandwidthGBs * 1e9 * Arch.VectorLoadEfficiency);
@@ -151,14 +152,12 @@ TEST(KokkosReduce, StagedSchemeBeatsCubAtHugeN) {
   unsigned Count = 0;
   const sim::ArchDesc *Archs = sim::getAllArchs(Count);
   for (unsigned A = 0; A != Count; ++A) {
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
+    engine::ExecutionEngine E(Archs[A]);
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     std::vector<float> Full(N, 0.25f);
-    Dev.writeFloats(In, Full);
-    double CubT =
-        Cub.run(Dev, Archs[A], In, N, sim::ExecMode::Sampled).Seconds;
-    double KokkosT =
-        Kokkos.run(Dev, Archs[A], In, N, sim::ExecMode::Sampled).Seconds;
+    E.getDevice().writeFloats(In, Full);
+    double CubT = Cub.run(E, In, N, sim::ExecMode::Sampled).Seconds;
+    double KokkosT = Kokkos.run(E, In, N, sim::ExecMode::Sampled).Seconds;
     double Ratio = CubT / KokkosT;
     EXPECT_GT(Ratio, 1.6) << Archs[A].Name;
     EXPECT_LT(Ratio, 3.5) << Archs[A].Name;

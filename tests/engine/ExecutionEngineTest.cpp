@@ -1,0 +1,200 @@
+//===- ExecutionEngineTest.cpp - Engine, cache, and determinism tests ---------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The tentpole guarantees of the execution layer: each variant identity is
+// compiled at most once (cache hit/miss accounting), entries never leak
+// across architectures or optimization-flag sets, LRU eviction is bounded,
+// and block-parallel simulation is bit-identical to a 1-thread run in both
+// functional results and modeled cycle totals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ExecutionEngine.h"
+#include "tangram/Tangram.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::synth;
+
+namespace {
+
+std::unique_ptr<TangramReduction>
+makeFacade(const TangramReduction::Options &Opts = {}) {
+  std::string Error;
+  auto TR = TangramReduction::create(Opts, Error);
+  EXPECT_NE(TR, nullptr) << Error;
+  return TR;
+}
+
+VariantDescriptor labeled(const TangramReduction &TR, const char *Label) {
+  const VariantDescriptor *V = findByFigure6Label(TR.getSearchSpace(), Label);
+  EXPECT_NE(V, nullptr) << Label;
+  VariantDescriptor D = *V;
+  D.BlockSize = 128;
+  D.Coarsen = D.BlockDistributes ? 4 : 1;
+  return D;
+}
+
+TEST(VariantCache, CompileOnceOnCacheHit) {
+  auto TR = makeFacade();
+  engine::ExecutionEngine &E = TR->engineFor(sim::getKeplerK40c());
+  VariantDescriptor D = labeled(*TR, "a");
+
+  std::string Error;
+  auto First = E.getVariant(D, Error);
+  ASSERT_NE(First, nullptr) << Error;
+  auto Second = E.getVariant(D, Error);
+  ASSERT_NE(Second, nullptr) << Error;
+
+  EXPECT_EQ(First.get(), Second.get());
+  engine::CacheStats S = E.getCacheStats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Evictions, 0u);
+}
+
+TEST(VariantCache, CrossArchKeyingNeverShares) {
+  auto TR = makeFacade();
+  engine::ExecutionEngine &Kepler = TR->engineFor(sim::getKeplerK40c());
+  engine::ExecutionEngine &Maxwell = TR->engineFor(sim::getMaxwellGTX980());
+  // The per-arch engines share one cache...
+  ASSERT_EQ(Kepler.getCachePtr().get(), Maxwell.getCachePtr().get());
+
+  VariantDescriptor D = labeled(*TR, "m");
+  std::string Error;
+  auto OnKepler = Kepler.getVariant(D, Error);
+  ASSERT_NE(OnKepler, nullptr) << Error;
+  auto OnMaxwell = Maxwell.getVariant(D, Error);
+  ASSERT_NE(OnMaxwell, nullptr) << Error;
+
+  // ...but the generation field keys their entries apart: the same
+  // descriptor synthesizes twice, never hitting the other arch's artifact.
+  EXPECT_NE(OnKepler.get(), OnMaxwell.get());
+  engine::CacheStats S = Kepler.getCacheStats();
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Entries, 2u);
+}
+
+TEST(VariantCache, OptimizationFlagsAreKeyed) {
+  auto TR = makeFacade();
+  engine::ExecutionEngine &E = TR->engineFor(sim::getPascalP100());
+  VariantDescriptor D = labeled(*TR, "n");
+
+  std::string Error;
+  OptimizationFlags Agg;
+  Agg.AggregateAtomics = true;
+  auto Plain = E.getVariant(D, Error);
+  ASSERT_NE(Plain, nullptr) << Error;
+  auto Aggregated = E.getVariant(D, Error, Agg);
+  ASSERT_NE(Aggregated, nullptr) << Error;
+
+  EXPECT_NE(Plain.get(), Aggregated.get());
+  engine::CacheStats S = E.getCacheStats();
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(S.Entries, 2u);
+}
+
+TEST(VariantCache, LruEvictionIsBounded) {
+  TangramReduction::Options Opts;
+  Opts.VariantCacheCapacity = 2;
+  auto TR = makeFacade(Opts);
+  engine::ExecutionEngine &E = TR->engineFor(sim::getKeplerK40c());
+
+  std::string Error;
+  ASSERT_NE(E.getVariant(labeled(*TR, "a"), Error), nullptr) << Error;
+  ASSERT_NE(E.getVariant(labeled(*TR, "l"), Error), nullptr) << Error;
+  ASSERT_NE(E.getVariant(labeled(*TR, "m"), Error), nullptr) << Error;
+
+  engine::CacheStats S = E.getCacheStats();
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_EQ(S.Evictions, 1u);
+
+  // The least recently used entry ("a") is gone: requesting it again is a
+  // fourth miss, not a hit.
+  ASSERT_NE(E.getVariant(labeled(*TR, "a"), Error), nullptr) << Error;
+  EXPECT_EQ(E.getCacheStats().Misses, 4u);
+}
+
+TEST(ExecutionEngine, GetVariantRequiresCompiler) {
+  engine::ExecutionEngine E(sim::getKeplerK40c());
+  ASSERT_FALSE(E.hasCompiler());
+  VariantDescriptor D;
+  std::string Error;
+  EXPECT_EQ(E.getVariant(D, Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ExecutionEngine, DeterminismAcrossThreadCounts) {
+  // The paper's Fig. 6 portfolio, run block-parallel, must be bit-identical
+  // to the sequential interpretation: same functional sums AND same modeled
+  // warp-cycle totals, on every architecture.
+  TangramReduction::Options Seq;
+  Seq.EngineThreads = 1;
+  TangramReduction::Options Par;
+  Par.EngineThreads = 4;
+  auto TRSeq = makeFacade(Seq);
+  auto TRPar = makeFacade(Par);
+
+  const size_t N = 4096 + 17;
+  std::vector<float> Data(N);
+  for (size_t I = 0; I != N; ++I)
+    Data[I] = 0.25f * static_cast<float>((I % 9) + 1);
+
+  unsigned Count = 0;
+  const sim::ArchDesc *Archs = sim::getAllArchs(Count);
+  for (unsigned A = 0; A != Count; ++A) {
+    engine::ExecutionEngine &ESeq = TRSeq->engineFor(Archs[A]);
+    engine::ExecutionEngine &EPar = TRPar->engineFor(Archs[A]);
+    EXPECT_EQ(ESeq.getThreadCount(), 1u);
+    EXPECT_EQ(EPar.getThreadCount(), 4u);
+
+    for (const VariantDescriptor &Base : TRSeq->getSearchSpace().Pruned) {
+      if (Base.getFigure6Label().empty())
+        continue;
+      VariantDescriptor D = Base;
+      D.BlockSize = 128;
+      D.Coarsen = D.BlockDistributes ? 4 : 1;
+
+      size_t MarkSeq = ESeq.deviceMark();
+      sim::BufferId InSeq = ESeq.getDevice().alloc(ir::ScalarType::F32, N);
+      ESeq.getDevice().writeFloats(InSeq, Data);
+      engine::RunOutcome OutSeq = ESeq.reduce(D, InSeq, N);
+      ESeq.deviceRelease(MarkSeq);
+
+      size_t MarkPar = EPar.deviceMark();
+      sim::BufferId InPar = EPar.getDevice().alloc(ir::ScalarType::F32, N);
+      EPar.getDevice().writeFloats(InPar, Data);
+      engine::RunOutcome OutPar = EPar.reduce(D, InPar, N);
+      EPar.deviceRelease(MarkPar);
+
+      ASSERT_TRUE(OutSeq.Ok) << D.getName() << ": " << OutSeq.Error;
+      ASSERT_TRUE(OutPar.Ok) << D.getName() << ": " << OutPar.Error;
+      // Bitwise equality, not EXPECT_NEAR: the merge order is block-index
+      // deterministic, so even float rounding must agree exactly.
+      EXPECT_EQ(OutSeq.FloatValue, OutPar.FloatValue)
+          << Archs[A].Name << " " << D.getName();
+      EXPECT_EQ(OutSeq.Launch.Stats.WarpCycles, OutPar.Launch.Stats.WarpCycles)
+          << Archs[A].Name << " " << D.getName();
+      EXPECT_EQ(OutSeq.Seconds, OutPar.Seconds)
+          << Archs[A].Name << " " << D.getName();
+    }
+  }
+}
+
+TEST(ExecutionEngine, SharedPoolAcrossEnginesKeepsOneThreadSet) {
+  TangramReduction::Options Opts;
+  Opts.EngineThreads = 2;
+  auto TR = makeFacade(Opts);
+  engine::ExecutionEngine &A = TR->engineFor(sim::getKeplerK40c());
+  engine::ExecutionEngine &B = TR->engineFor(sim::getPascalP100());
+  EXPECT_EQ(&A.getThreadPool(), &B.getThreadPool());
+  EXPECT_EQ(A.getThreadCount(), 2u);
+}
+
+} // namespace

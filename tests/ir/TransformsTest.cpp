@@ -13,6 +13,7 @@
 
 #include "ir/Transforms.h"
 
+#include "engine/ExecutionEngine.h"
 #include "gpusim/SimtMachine.h"
 #include "ir/Bytecode.h"
 #include "ir/Verifier.h"
@@ -65,15 +66,15 @@ struct AllThreadsAtomicKernel {
 
 double runSum(const CompiledKernel &CK, const ArchDesc &Arch, unsigned N,
               ExecStats *StatsOut = nullptr) {
-  Device Dev;
+  engine::ExecutionEngine E(Arch);
+  Device &Dev = E.getDevice();
   BufferId In = Dev.alloc(ScalarType::F32, N);
   std::vector<float> Data(N);
   for (unsigned I = 0; I != N; ++I)
     Data[I] = static_cast<float>((I % 13) - 6) * 0.5f;
   Dev.writeFloats(In, Data);
   BufferId Out = Dev.alloc(ScalarType::F32, 1);
-  SimtMachine Machine(Dev, Arch);
-  LaunchResult R = Machine.launch(
+  LaunchResult R = E.launch(
       CK, {(N + 255) / 256, 256, 0},
       {ArgValue::buffer(Out), ArgValue::buffer(In), ArgValue::scalar(N)});
   EXPECT_TRUE(R.ok()) << (R.Errors.empty() ? "" : R.Errors.front());
@@ -262,13 +263,12 @@ TEST(UnrollLoops, ZeroTripLoopLeavesPostValue) {
   EXPECT_EQ(Stats.LoopsUnrolled, 1u);
   EXPECT_EQ(Stats.IterationsExpanded, 0u);
 
-  Device Dev;
-  BufferId OutBuf = Dev.alloc(ScalarType::I32, 1);
-  SimtMachine Machine(Dev, getMaxwellGTX980());
-  LaunchResult R = Machine.launch(compileKernel(*K), {1, 32, 0},
-                                  {ArgValue::buffer(OutBuf)});
+  engine::ExecutionEngine E(getMaxwellGTX980());
+  BufferId OutBuf = E.getDevice().alloc(ScalarType::I32, 1);
+  LaunchResult R = E.launch(compileKernel(*K), {1, 32, 0},
+                            {ArgValue::buffer(OutBuf)});
   ASSERT_TRUE(R.ok());
-  EXPECT_EQ(Dev.readInt(OutBuf, 0), 5);
+  EXPECT_EQ(E.getDevice().readInt(OutBuf, 0), 5);
 }
 
 TEST(Combined, AggregationPlusUnrollStillCorrect) {

@@ -11,12 +11,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "engine/ExecutionEngine.h"
 #include "lang/Parser.h"
 #include "sema/Sema.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
 #include "synth/KernelSynthesizer.h"
-#include "synth/ReductionRunner.h"
 #include "synth/ReductionSpectrum.h"
 #include "synth/VariantEnumerator.h"
 
@@ -79,6 +79,7 @@ TEST_P(OptimizedVariants, AllPrunedVariantsStayCorrect) {
     Expected += V;
   }
 
+  engine::ExecutionEngine E(sim::getKeplerK40c());
   for (const VariantDescriptor &Base : Space.Pruned) {
     VariantDescriptor V = Base;
     V.BlockSize = 128;
@@ -86,10 +87,11 @@ TEST_P(OptimizedVariants, AllPrunedVariantsStayCorrect) {
     std::string Error;
     auto S = Synth.synthesize(V, Error, Flags);
     ASSERT_NE(S, nullptr) << V.getName() << ": " << Error;
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-    Dev.writeFloats(In, Data);
-    RunOutcome Out = runReduction(*S, sim::getKeplerK40c(), Dev, In, N);
+    size_t Mark = E.deviceMark();
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+    E.getDevice().writeFloats(In, Data);
+    engine::RunOutcome Out = E.runReduction(*S, In, N);
+    E.deviceRelease(Mark);
     ASSERT_TRUE(Out.Ok) << V.getName() << ": " << Out.Error;
     EXPECT_NEAR(Out.FloatValue, Expected, std::abs(Expected) * 1e-3 + 1e-2)
         << V.getName() << " aggregate=" << Aggregate
@@ -150,14 +152,16 @@ TEST(OptimizedVariants, AggregationHelpsVariantNOnKepler) {
   ASSERT_TRUE(Plain && Agg) << Error;
 
   const size_t Size = 1 << 16;
+  engine::ExecutionEngine E(sim::getKeplerK40c());
   auto TimeOf = [&](const SynthesizedVariant &S) {
-    sim::Device Dev;
+    size_t Mark = E.deviceMark();
     sim::VirtualPattern Pattern;
     sim::BufferId In =
-        Dev.allocVirtual(ir::ScalarType::F32, Size, Pattern);
-    return runReduction(S, sim::getKeplerK40c(), Dev, In, Size,
-                        sim::ExecMode::Sampled)
-        .Seconds;
+        E.getDevice().allocVirtual(ir::ScalarType::F32, Size, Pattern);
+    double Seconds =
+        E.runReduction(S, In, Size, sim::ExecMode::Sampled).Seconds;
+    E.deviceRelease(Mark);
+    return Seconds;
   };
   EXPECT_LT(TimeOf(*Agg), TimeOf(*Plain));
 }

@@ -13,12 +13,12 @@
 
 #include "synth/VariantEnumerator.h"
 
+#include "engine/ExecutionEngine.h"
 #include "lang/Parser.h"
 #include "sema/Sema.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
 #include "synth/KernelSynthesizer.h"
-#include "synth/ReductionRunner.h"
 #include "synth/ReductionSpectrum.h"
 
 #include <gtest/gtest.h>
@@ -186,6 +186,7 @@ TEST(ReductionRunner, OriginalTenVersionsComputeCorrectSums) {
   for (float X : Data)
     Expected += X;
 
+  engine::ExecutionEngine E(sim::getKeplerK40c());
   unsigned Checked = 0;
   for (const VariantDescriptor &Base : Space.All) {
     if (Base.getCategory() != VariantCategory::Original)
@@ -196,11 +197,11 @@ TEST(ReductionRunner, OriginalTenVersionsComputeCorrectSums) {
     std::string Error;
     auto S = Synth.synthesize(V, Error);
     ASSERT_NE(S, nullptr) << V.getName() << ": " << Error;
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-    Dev.writeFloats(In, Data);
-    RunOutcome Out =
-        runReduction(*S, sim::getKeplerK40c(), Dev, In, N);
+    size_t Mark = E.deviceMark();
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+    E.getDevice().writeFloats(In, Data);
+    engine::RunOutcome Out = E.runReduction(*S, In, N);
+    E.deviceRelease(Mark);
     ASSERT_TRUE(Out.Ok) << V.getName() << ": " << Out.Error;
     EXPECT_NEAR(Out.FloatValue, Expected, std::abs(Expected) * 1e-4 + 1e-2)
         << V.getName();
@@ -226,19 +227,21 @@ TEST(ReductionRunner, PruningJustifiedSecondKernelIsSlower) {
   auto ST = Synth.synthesize(TwoKernel, Error);
   ASSERT_TRUE(SA && ST) << Error;
 
+  engine::ExecutionEngine EA(sim::getMaxwellGTX980());
+  engine::ExecutionEngine ET(sim::getMaxwellGTX980());
   for (size_t N : {4096u, 65536u, 1u << 20}) {
-    sim::Device DevA, DevT;
+    size_t MarkA = EA.deviceMark(), MarkT = ET.deviceMark();
     sim::VirtualPattern Pattern;
     sim::BufferId InA =
-        DevA.allocVirtual(ir::ScalarType::F32, N, Pattern);
+        EA.getDevice().allocVirtual(ir::ScalarType::F32, N, Pattern);
     sim::BufferId InT =
-        DevT.allocVirtual(ir::ScalarType::F32, N, Pattern);
-    double TA = runReduction(*SA, sim::getMaxwellGTX980(), DevA, InA, N,
-                             sim::ExecMode::Sampled)
-                    .Seconds;
-    double TT = runReduction(*ST, sim::getMaxwellGTX980(), DevT, InT, N,
-                             sim::ExecMode::Sampled)
-                    .Seconds;
+        ET.getDevice().allocVirtual(ir::ScalarType::F32, N, Pattern);
+    double TA =
+        EA.runReduction(*SA, InA, N, sim::ExecMode::Sampled).Seconds;
+    double TT =
+        ET.runReduction(*ST, InT, N, sim::ExecMode::Sampled).Seconds;
+    EA.deviceRelease(MarkA);
+    ET.deviceRelease(MarkT);
     // The second launch dominates at small/medium sizes and amortizes
     // (but never pays off) at larger ones.
     double Margin = N <= 65536 ? 1.3 : 1.1;
@@ -298,6 +301,7 @@ TEST(ReductionRunner, AllPrunedVariantsComputeCorrectSums) {
   for (float V : Data)
     Expected += V;
 
+  engine::ExecutionEngine E(sim::getMaxwellGTX980());
   for (const VariantDescriptor &Base : Space.Pruned) {
     VariantDescriptor V = Base;
     V.BlockSize = 128;
@@ -306,11 +310,11 @@ TEST(ReductionRunner, AllPrunedVariantsComputeCorrectSums) {
     auto S = Synth.synthesize(V, Error);
     ASSERT_NE(S, nullptr) << V.getName() << ": " << Error;
 
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-    Dev.writeFloats(In, Data);
-    RunOutcome Out =
-        runReduction(*S, sim::getMaxwellGTX980(), Dev, In, N);
+    size_t Mark = E.deviceMark();
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+    E.getDevice().writeFloats(In, Data);
+    engine::RunOutcome Out = E.runReduction(*S, In, N);
+    E.deviceRelease(Mark);
     ASSERT_TRUE(Out.Ok) << V.getName() << ": " << Out.Error;
     EXPECT_NEAR(Out.FloatValue, Expected, std::abs(Expected) * 1e-4 + 1e-2)
         << V.getName();
@@ -353,10 +357,10 @@ TEST_P(BestVariantSweep, CorrectOnAllArchitectures) {
   unsigned Count = 0;
   const sim::ArchDesc *Archs = sim::getAllArchs(Count);
   for (unsigned A = 0; A != Count; ++A) {
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, P.N);
-    Dev.writeFloats(In, Data);
-    RunOutcome Out = runReduction(*S, Archs[A], Dev, In, P.N);
+    engine::ExecutionEngine E(Archs[A]);
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, P.N);
+    E.getDevice().writeFloats(In, Data);
+    engine::RunOutcome Out = E.runReduction(*S, In, P.N);
     ASSERT_TRUE(Out.Ok) << Archs[A].Name << ": " << Out.Error;
     EXPECT_NEAR(Out.FloatValue, Expected,
                 std::abs(Expected) * 1e-4 + 1e-2)
@@ -395,6 +399,7 @@ TEST(ReductionRunner, IntReductionIsExact) {
     Expected += Data[I];
   }
 
+  engine::ExecutionEngine E(sim::getPascalP100());
   for (const char *Label : {"a", "k", "m", "n", "p"}) {
     VariantDescriptor V = *findByFigure6Label(Space, Label);
     V.BlockSize = 256;
@@ -402,10 +407,11 @@ TEST(ReductionRunner, IntReductionIsExact) {
     std::string Error;
     auto S = Synth.synthesize(V, Error);
     ASSERT_NE(S, nullptr) << Error;
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::I32, N);
-    Dev.writeInts(In, Data);
-    RunOutcome Out = runReduction(*S, sim::getPascalP100(), Dev, In, N);
+    size_t Mark = E.deviceMark();
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
+    E.getDevice().writeInts(In, Data);
+    engine::RunOutcome Out = E.runReduction(*S, In, N);
+    E.deviceRelease(Mark);
     ASSERT_TRUE(Out.Ok) << Out.Error;
     EXPECT_EQ(Out.IntValue, Expected) << Label;
   }
@@ -425,6 +431,7 @@ TEST(ReductionRunner, MaxAndMinReductions) {
       Expected = applyReduceOp<long long>(Op, Expected, Data[I]);
     }
 
+    engine::ExecutionEngine E(sim::getKeplerK40c());
     for (const char *Label : {"a", "n", "p"}) {
       VariantDescriptor V = *findByFigure6Label(Space, Label);
       V.BlockSize = 128;
@@ -432,10 +439,11 @@ TEST(ReductionRunner, MaxAndMinReductions) {
       std::string Error;
       auto S = Synth.synthesize(V, Error);
       ASSERT_NE(S, nullptr) << getReduceOpName(Op) << " " << Error;
-      sim::Device Dev;
-      sim::BufferId In = Dev.alloc(ir::ScalarType::I32, N);
-      Dev.writeInts(In, Data);
-      RunOutcome Out = runReduction(*S, sim::getKeplerK40c(), Dev, In, N);
+      size_t Mark = E.deviceMark();
+      sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
+      E.getDevice().writeInts(In, Data);
+      engine::RunOutcome Out = E.runReduction(*S, In, N);
+      E.deviceRelease(Mark);
       ASSERT_TRUE(Out.Ok) << Out.Error;
       EXPECT_EQ(Out.IntValue, Expected)
           << getReduceOpName(Op) << " " << Label;
@@ -448,6 +456,7 @@ TEST(ReductionRunner, SingleElementAndTinyInputs) {
   KernelSynthesizer Synth(C.TU, C.Infos, ReduceOp::Add,
                           ir::ScalarType::F32);
   SearchSpace Space = enumerateVariants();
+  engine::ExecutionEngine E(sim::getMaxwellGTX980());
   for (size_t N : {1u, 2u, 31u, 32u, 33u, 63u, 64u}) {
     std::vector<float> Data = randomFloats(N, static_cast<unsigned>(N));
     double Expected = 0;
@@ -459,11 +468,11 @@ TEST(ReductionRunner, SingleElementAndTinyInputs) {
       std::string Error;
       auto S = Synth.synthesize(V, Error);
       ASSERT_NE(S, nullptr) << Error;
-      sim::Device Dev;
-      sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-      Dev.writeFloats(In, Data);
-      RunOutcome Out =
-          runReduction(*S, sim::getMaxwellGTX980(), Dev, In, N);
+      size_t Mark = E.deviceMark();
+      sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+      E.getDevice().writeFloats(In, Data);
+      engine::RunOutcome Out = E.runReduction(*S, In, N);
+      E.deviceRelease(Mark);
       ASSERT_TRUE(Out.Ok) << Out.Error;
       EXPECT_NEAR(Out.FloatValue, Expected, 1e-3)
           << "N=" << N << " " << Label;

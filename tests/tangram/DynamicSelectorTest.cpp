@@ -31,12 +31,14 @@ TEST(DynamicSelector, DefaultPortfolioIsTheBestEight) {
   const sim::ArchDesc &Arch = sim::getMaxwellGTX980();
   const size_t N = 4096;
   std::vector<float> Data(N, 0.5f);
+  engine::ExecutionEngine &E = facade().engineFor(Arch);
   for (unsigned Call = 0; Call != 8; ++Call) {
     EXPECT_FALSE(Selector.isConverged(Arch, N));
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-    Dev.writeFloats(In, Data);
-    RunOutcome Out = Selector.reduce(Dev, Arch, In, N);
+    size_t Mark = E.deviceMark();
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+    E.getDevice().writeFloats(In, Data);
+    engine::RunOutcome Out = Selector.reduce(E, In, N);
+    E.deviceRelease(Mark);
     ASSERT_TRUE(Out.Ok) << Out.Error;
     EXPECT_NEAR(Out.FloatValue, N * 0.5, 1e-2);
   }
@@ -55,11 +57,13 @@ TEST(DynamicSelector, EveryCallReturnsCorrectResult) {
     Data[I] = static_cast<float>((I % 11)) * 0.125f;
     Expected += Data[I];
   }
+  engine::ExecutionEngine &E = facade().engineFor(Arch);
   for (unsigned Call = 0; Call != 12; ++Call) {
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-    Dev.writeFloats(In, Data);
-    RunOutcome Out = Selector.reduce(Dev, Arch, In, N);
+    size_t Mark = E.deviceMark();
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+    E.getDevice().writeFloats(In, Data);
+    engine::RunOutcome Out = Selector.reduce(E, In, N);
+    E.deviceRelease(Mark);
     ASSERT_TRUE(Out.Ok) << "call " << Call << ": " << Out.Error;
     EXPECT_NEAR(Out.FloatValue, Expected, Expected * 1e-4);
   }
@@ -72,11 +76,13 @@ TEST(DynamicSelector, ConvergesToArchAppropriateWinner) {
   std::vector<float> Data(N, 1.0f);
 
   auto Converge = [&](DynamicSelector &Sel, const sim::ArchDesc &Arch) {
+    engine::ExecutionEngine &E = facade().engineFor(Arch);
     for (unsigned Call = 0; Call != 8; ++Call) {
-      sim::Device Dev;
-      sim::BufferId In = Dev.alloc(ir::ScalarType::F32, N);
-      Dev.writeFloats(In, Data);
-      EXPECT_TRUE(Sel.reduce(Dev, Arch, In, N).Ok);
+      size_t Mark = E.deviceMark();
+      sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+      E.getDevice().writeFloats(In, Data);
+      EXPECT_TRUE(Sel.reduce(E, In, N).Ok);
+      E.deviceRelease(Mark);
     }
   };
   Converge(Maxwell, sim::getMaxwellGTX980());
@@ -99,10 +105,12 @@ TEST(DynamicSelector, BucketsAreIndependent) {
   EXPECT_NE(DynamicSelector::bucketOf(64),
             DynamicSelector::bucketOf(1 << 20));
   std::vector<float> Data(64, 1.0f);
-  sim::Device Dev;
-  sim::BufferId In = Dev.alloc(ir::ScalarType::F32, 64);
-  Dev.writeFloats(In, Data);
-  EXPECT_TRUE(Selector.reduce(Dev, Arch, In, 64).Ok);
+  engine::ExecutionEngine &E = facade().engineFor(Arch);
+  size_t Mark = E.deviceMark();
+  sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, 64);
+  E.getDevice().writeFloats(In, Data);
+  EXPECT_TRUE(Selector.reduce(E, In, 64).Ok);
+  E.deviceRelease(Mark);
   // A different bucket has seen nothing yet.
   EXPECT_FALSE(Selector.isConverged(Arch, 1 << 20));
   EXPECT_EQ(Selector.getBest(Arch, 1 << 20), nullptr);
@@ -116,11 +124,13 @@ TEST(DynamicSelector, CustomPortfolio) {
   DynamicSelector Selector(facade(), Portfolio);
   const sim::ArchDesc &Arch = sim::getKeplerK40c();
   std::vector<float> Data(512, 2.0f);
+  engine::ExecutionEngine &E = facade().engineFor(Arch);
   for (unsigned Call = 0; Call != 2; ++Call) {
-    sim::Device Dev;
-    sim::BufferId In = Dev.alloc(ir::ScalarType::F32, 512);
-    Dev.writeFloats(In, Data);
-    EXPECT_TRUE(Selector.reduce(Dev, Arch, In, 512).Ok);
+    size_t Mark = E.deviceMark();
+    sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, 512);
+    E.getDevice().writeFloats(In, Data);
+    EXPECT_TRUE(Selector.reduce(E, In, 512).Ok);
+    E.deviceRelease(Mark);
   }
   EXPECT_TRUE(Selector.isConverged(Arch, 512));
   const VariantDescriptor *Best = Selector.getBest(Arch, 512);
