@@ -90,22 +90,22 @@ int main() {
 
   std::printf("\n=== Effect on the variant ranking: (n) vs (p) at 16K "
               "elements ===\n\n");
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
     return 1;
   }
-  const synth::SearchSpace &Space = TR->getSearchSpace();
+  TangramReduction &TR = **Compiled;
+  const synth::SearchSpace &Space = TR.getSearchSpace();
   std::printf("%-22s %14s %14s %10s\n", "architecture", "(n) us", "(p) us",
               "winner");
   for (unsigned A = 0; A != Count; ++A) {
     synth::VariantDescriptor N = *findByFigure6Label(Space, "n");
     synth::VariantDescriptor P = *findByFigure6Label(Space, "p");
-    N = TR->tune(N, Archs[A], 16384);
-    P = TR->tune(P, Archs[A], 16384);
-    double TN = TR->timeVariant(N, Archs[A], 16384);
-    double TP = TR->timeVariant(P, Archs[A], 16384);
+    N = TR.tune(N, Archs[A], 16384);
+    P = TR.tune(P, Archs[A], 16384);
+    double TN = TR.timeVariant(N, Archs[A], 16384);
+    double TP = TR.timeVariant(P, Archs[A], 16384);
     std::printf("%-22s %14.2f %14.2f %10s\n", Archs[A].Name.c_str(),
                 TN * 1e6, TP * 1e6, TN < TP ? "(n)" : "(p)");
     Records.push_back({Archs[A].Name, "n", 16384, TN});

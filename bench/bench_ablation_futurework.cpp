@@ -22,13 +22,13 @@ using namespace tangram;
 using namespace tangram::synth;
 
 int main() {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
     return 1;
   }
-  VariantDescriptor N = *findByFigure6Label(TR->getSearchSpace(), "n");
+  TangramReduction &TR = **Compiled;
+  VariantDescriptor N = *findByFigure6Label(TR.getSearchSpace(), "n");
   N.BlockSize = 256;
 
   struct Config {
@@ -56,21 +56,21 @@ int main() {
   for (const Config &C : Configs) {
     std::printf("%-22s", C.Name);
     for (unsigned A = 0; A != Count; ++A) {
-      engine::ExecutionEngine &E = TR->engineFor(Archs[A]);
-      auto S = E.getVariant(N, Error, C.Flags);
+      engine::ExecutionEngine &E = TR.engineFor(Archs[A]);
+      auto S = E.getVariant(N, C.Flags);
       if (!S) {
-        std::fprintf(stderr, "%s\n", Error.c_str());
+        std::fprintf(stderr, "%s\n", S.status().toString().c_str());
         return 1;
       }
       size_t Mark = E.deviceMark();
       sim::VirtualPattern Pattern;
       sim::BufferId In =
           E.getDevice().allocVirtual(ir::ScalarType::F32, Size, Pattern);
-      engine::RunOutcome Out =
-          E.runReduction(*S, In, Size, sim::ExecMode::Sampled);
+      auto Out = E.runReduction(**S, In, Size, sim::ExecMode::Sampled);
       E.deviceRelease(Mark);
-      std::printf(" %14.2f", Out.Ok ? Out.Seconds * 1e6 : -1.0);
-      Records.push_back({Archs[A].Name, C.Name, Size, Out.Seconds});
+      std::printf(" %14.2f", Out ? Out->Seconds * 1e6 : -1.0);
+      Records.push_back({Archs[A].Name, C.Name, Size,
+                         Out ? Out->Seconds : -1.0});
     }
     std::printf("\n");
   }

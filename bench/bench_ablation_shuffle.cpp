@@ -23,13 +23,13 @@ using namespace tangram::sim;
 using namespace tangram::synth;
 
 int main() {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
     return 1;
   }
-  const SearchSpace &Space = TR->getSearchSpace();
+  TangramReduction &TR = **Compiled;
+  const SearchSpace &Space = TR.getSearchSpace();
 
   std::printf("=== Ablation: the Fig. 4 warp-shuffle rewrite ===\n\n");
   std::printf("%-6s %-14s %10s %12s %12s %12s\n", "label", "name",
@@ -37,7 +37,7 @@ int main() {
 
   const ArchDesc &Arch = getMaxwellGTX980();
   const size_t N = 262144;
-  engine::ExecutionEngine &E = TR->engineFor(Arch);
+  engine::ExecutionEngine &E = TR.engineFor(Arch);
   std::vector<bench::BenchRecord> Records;
   for (const char *Label : {"l", "m", "o", "p"}) {
     VariantDescriptor V = *findByFigure6Label(Space, Label);
@@ -46,20 +46,20 @@ int main() {
     VirtualPattern Pattern;
     BufferId In =
         E.getDevice().allocVirtual(ir::ScalarType::F32, N, Pattern);
-    engine::RunOutcome Out = E.reduce(V, In, N, ExecMode::Sampled);
+    auto Out = E.reduce(V, In, N, ExecMode::Sampled);
     E.deviceRelease(Mark);
-    if (!Out.Ok) {
-      std::fprintf(stderr, "%s\n", Out.Error.c_str());
+    if (!Out) {
+      std::fprintf(stderr, "%s\n", Out.status().toString().c_str());
       return 1;
     }
     std::printf("(%s)    %-14s %10zu %12u %12llu %12.2f\n", Label,
-                V.getName().c_str(), Out.Launch.SharedBytesPerBlock,
-                Out.Timing.Occ.BlocksPerSM,
+                V.getName().c_str(), Out->Launch.SharedBytesPerBlock,
+                Out->Timing.Occ.BlocksPerSM,
                 static_cast<unsigned long long>(
-                    Out.Launch.Stats.LaneInstructions /
-                    std::max(1u, Out.Launch.GridDim)),
-                Out.Seconds * 1e6);
-    Records.push_back({Arch.Name, Label, N, Out.Seconds});
+                    Out->Launch.Stats.LaneInstructions /
+                    std::max(1u, Out->Launch.GridDim)),
+                Out->Seconds * 1e6);
+    Records.push_back({Arch.Name, Label, N, Out->Seconds});
   }
   bench::writeBenchJson("ablation_shuffle", Records);
 

@@ -79,46 +79,43 @@ void BM_TransformPipeline(benchmark::State &State) {
 BENCHMARK(BM_TransformPipeline);
 
 void BM_SynthesizeVariant(benchmark::State &State) {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
+  auto TR = TangramReduction::create();
   const synth::VariantDescriptor V =
-      *synth::findByFigure6Label(TR->getSearchSpace(), "p");
+      *synth::findByFigure6Label((*TR)->getSearchSpace(), "p");
   for (auto _ : State)
-    benchmark::DoNotOptimize(TR->synthesize(V, Error));
+    benchmark::DoNotOptimize((*TR)->synthesize(V));
 }
 BENCHMARK(BM_SynthesizeVariant);
 
 void BM_SynthesizeAllPruned(benchmark::State &State) {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
+  auto TR = TangramReduction::create();
   for (auto _ : State)
-    for (const synth::VariantDescriptor &V : TR->getSearchSpace().Pruned)
-      benchmark::DoNotOptimize(TR->synthesize(V, Error));
+    for (const synth::VariantDescriptor &V :
+         (*TR)->getSearchSpace().Pruned)
+      benchmark::DoNotOptimize((*TR)->synthesize(V));
 }
 BENCHMARK(BM_SynthesizeAllPruned);
 
 void BM_EmitCuda(benchmark::State &State) {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
+  auto TR = TangramReduction::create();
   const synth::VariantDescriptor V =
-      *synth::findByFigure6Label(TR->getSearchSpace(), "p");
-  auto S = TR->synthesize(V, Error);
+      *synth::findByFigure6Label((*TR)->getSearchSpace(), "p");
+  auto S = (*TR)->synthesize(V);
   for (auto _ : State)
-    benchmark::DoNotOptimize(codegen::emitCuda(*S->K));
+    benchmark::DoNotOptimize(codegen::emitCuda(*(*S)->K));
 }
 BENCHMARK(BM_EmitCuda);
 
 void BM_SimulateReduction64K(benchmark::State &State) {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
+  auto TR = TangramReduction::create();
   const synth::VariantDescriptor V =
-      *synth::findByFigure6Label(TR->getSearchSpace(), "p");
-  engine::ExecutionEngine &E = TR->engineFor(sim::getPascalP100());
-  auto S = E.getVariant(V, Error);
+      *synth::findByFigure6Label((*TR)->getSearchSpace(), "p");
+  engine::ExecutionEngine &E = (*TR)->engineFor(sim::getPascalP100());
+  auto S = E.getVariant(V);
   sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, 65536);
   for (auto _ : State) {
     benchmark::DoNotOptimize(
-        E.runReduction(*S, In, 65536, sim::ExecMode::Sampled));
+        E.runReduction(**S, In, 65536, sim::ExecMode::Sampled));
   }
 }
 BENCHMARK(BM_SimulateReduction64K);

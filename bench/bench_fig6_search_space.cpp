@@ -58,14 +58,13 @@ double sweepAll(TangramReduction &TR, const SearchSpace &Space, size_t N,
       for (size_t I = 0; I != N; ++I)
         Host[I] = 0.25f * ((I % 9) + 1);
       E.getDevice().writeFloats(In, Host);
-      engine::RunOutcome Out =
-          E.reduce(*V, In, N, sim::ExecMode::Functional);
+      auto Out = E.reduce(*V, In, N, sim::ExecMode::Functional);
       E.deviceRelease(Mark);
       SweepPoint P;
-      if (Out.Ok) {
-        P.FloatValue = Out.FloatValue;
-        P.WarpCycles = Out.Launch.Stats.WarpCycles;
-        P.Seconds = Out.Seconds;
+      if (Out) {
+        P.FloatValue = Out->FloatValue;
+        P.WarpCycles = Out->Launch.Stats.WarpCycles;
+        P.Seconds = Out->Seconds;
       }
       Points.push_back(P);
     }
@@ -131,26 +130,26 @@ int main() {
   std::printf("\n=== Block-parallel simulation: 1 vs 4 worker threads "
               "===\n\n");
   const size_t N = 1 << 18;
-  std::string Error;
   TangramReduction::Options Opts1;
-  Opts1.EngineThreads = 1;
-  auto TR1 = TangramReduction::create(Opts1, Error);
+  Opts1.Engine.ThreadCount = 1;
+  auto TR1 = TangramReduction::create(Opts1);
   TangramReduction::Options Opts4;
-  Opts4.EngineThreads = 4;
-  auto TR4 = TangramReduction::create(Opts4, Error);
+  Opts4.Engine.ThreadCount = 4;
+  auto TR4 = TangramReduction::create(Opts4);
   if (!TR1 || !TR4) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+    std::fprintf(stderr, "%s\n",
+                 (!TR1 ? TR1.status() : TR4.status()).toString().c_str());
     return 1;
   }
 
   // Warm both variant caches so the timed sweeps compare pure simulation.
   std::vector<SweepPoint> Warm1, Warm4;
-  sweepAll(*TR1, TR1->getSearchSpace(), 256, Warm1);
-  sweepAll(*TR4, TR4->getSearchSpace(), 256, Warm4);
+  sweepAll(**TR1, (*TR1)->getSearchSpace(), 256, Warm1);
+  sweepAll(**TR4, (*TR4)->getSearchSpace(), 256, Warm4);
 
   std::vector<SweepPoint> Seq, Par;
-  double Wall1 = sweepAll(*TR1, TR1->getSearchSpace(), N, Seq);
-  double Wall4 = sweepAll(*TR4, TR4->getSearchSpace(), N, Par);
+  double Wall1 = sweepAll(**TR1, (*TR1)->getSearchSpace(), N, Seq);
+  double Wall4 = sweepAll(**TR4, (*TR4)->getSearchSpace(), N, Par);
 
   size_t Mismatches = 0;
   for (size_t I = 0; I != Seq.size() && I != Par.size(); ++I)

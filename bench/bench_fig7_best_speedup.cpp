@@ -21,13 +21,13 @@ using namespace tangram;
 using namespace tangram::bench;
 
 int main() {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
     return 1;
   }
-  FigureHarness Harness(*TR);
+  TangramReduction &TR = **Compiled;
+  FigureHarness Harness(TR);
 
   std::printf("=== Fig. 7: best Tangram version vs CUB across "
               "architectures ===\n\n");

@@ -18,16 +18,16 @@ using namespace tangram;
 using namespace tangram::bench;
 
 int main() {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
     return 1;
   }
+  TangramReduction &TR = **Compiled;
   const sim::ArchDesc &Arch = sim::getKeplerK40c();
   std::printf("=== Fig. 8: Tangram vs CUB / Kokkos / OpenMP on %s ===\n\n",
               Arch.Name.c_str());
-  FigureHarness Harness(*TR);
+  FigureHarness Harness(TR);
   std::vector<FigureRow> Rows = Harness.measureAll(Arch);
   printDetailTable(Arch, Rows);
   std::vector<BenchRecord> Records;

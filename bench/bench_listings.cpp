@@ -22,15 +22,15 @@ using namespace tangram;
 using namespace tangram::synth;
 
 int main() {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
     return 1;
   }
+  TangramReduction &TR = **Compiled;
 
   std::printf("=== Input: the Tangram codelets (Figs. 1 and 3) ===\n\n%s\n",
-              TR->getSourceText().c_str());
+              TR.getSourceText().c_str());
 
   struct Exhibit {
     const char *Listing;
@@ -51,14 +51,15 @@ int main() {
        "both passes combined: shuffle warp trees + shared-atomic combine"},
   };
 
-  const SearchSpace &Space = TR->getSearchSpace();
+  const SearchSpace &Space = TR.getSearchSpace();
   for (const Exhibit &E : Exhibits) {
     const VariantDescriptor *V = findByFigure6Label(Space, E.Label);
     if (!V)
       continue;
+    auto Cuda = TR.emitCudaFor(*V);
     std::printf("=== %s — version (%s) %s ===\n%s\n\n%s\n", E.Listing,
                 E.Label, V->getName().c_str(), E.Comment,
-                TR->emitCudaFor(*V, Error).c_str());
+                Cuda ? Cuda->c_str() : Cuda.status().toString().c_str());
   }
   return 0;
 }

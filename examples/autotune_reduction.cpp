@@ -35,12 +35,12 @@ int main(int Argc, char **Argv) {
   }
   size_t N = Argc > 2 ? std::strtoull(Argv[2], nullptr, 10) : (1 << 20);
 
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
     return 1;
   }
+  TangramReduction &TR = **Compiled;
 
   std::printf("tuning %zu-element float sum reduction on %s\n\n", N,
               Arch->Name.c_str());
@@ -52,9 +52,9 @@ int main(int Argc, char **Argv) {
     double Seconds;
   };
   std::vector<Entry> Results;
-  for (const VariantDescriptor &V : TR->getSearchSpace().Pruned) {
-    VariantDescriptor Tuned = TR->tune(V, *Arch, N);
-    Results.push_back({Tuned, TR->timeVariant(Tuned, *Arch, N)});
+  for (const VariantDescriptor &V : TR.getSearchSpace().Pruned) {
+    VariantDescriptor Tuned = TR.tune(V, *Arch, N);
+    Results.push_back({Tuned, TR.timeVariant(Tuned, *Arch, N)});
   }
   std::sort(Results.begin(), Results.end(),
             [](const Entry &A, const Entry &B) {

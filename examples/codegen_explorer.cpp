@@ -24,13 +24,13 @@ using namespace tangram;
 using namespace tangram::synth;
 
 int main(int Argc, char **Argv) {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
     return 1;
   }
-  const SearchSpace &Space = TR->getSearchSpace();
+  TangramReduction &TR = **Compiled;
+  const SearchSpace &Space = TR.getSearchSpace();
 
   if (Argc < 2) {
     std::printf("usage: codegen_explorer <fig6-label|variant-name>\n\n");
@@ -80,10 +80,10 @@ int main(int Argc, char **Argv) {
     break;
   }
   if (Tag) {
-    lang::CodeletDecl *C = TR->getUnit().findByTag(Tag);
+    lang::CodeletDecl *C = TR.getUnit().findByTag(Tag);
     std::printf("--- source codelet (__tag(%s)) ---\n%s\n", Tag,
                 lang::printCodelet(C).c_str());
-    auto Infos = transforms::runTransformPipeline(TR->getUnit());
+    auto Infos = transforms::runTransformPipeline(TR.getUnit());
     const auto &Info = Infos.at(C);
     std::printf("--- pass findings ---\n");
     std::printf("shared-atomic writes: %zu\n", Info.SharedAtomics.Writes.size());
@@ -98,7 +98,11 @@ int main(int Argc, char **Argv) {
     std::printf("\n");
   }
 
-  std::printf("--- generated CUDA ---\n%s\n",
-              TR->emitCudaFor(*Found, Error).c_str());
+  auto Cuda = TR.emitCudaFor(*Found);
+  if (!Cuda) {
+    std::fprintf(stderr, "%s\n", Cuda.status().toString().c_str());
+    return 1;
+  }
+  std::printf("--- generated CUDA ---\n%s\n", Cuda->c_str());
   return 0;
 }

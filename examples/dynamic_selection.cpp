@@ -19,12 +19,12 @@
 using namespace tangram;
 
 int main() {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
     return 1;
   }
+  TangramReduction &TR = **Compiled;
 
   const size_t N = 16384;
   std::vector<float> Data(N);
@@ -37,8 +37,8 @@ int main() {
   unsigned Count = 0;
   const sim::ArchDesc *Archs = sim::getAllArchs(Count);
   for (unsigned A = 0; A != Count; ++A) {
-    DynamicSelector Selector(*TR);
-    engine::ExecutionEngine &E = TR->engineFor(Archs[A]);
+    DynamicSelector Selector(TR);
+    engine::ExecutionEngine &E = TR.engineFor(Archs[A]);
     std::printf("%s — online selection over the best-8 portfolio "
                 "(N=%zu):\n",
                 Archs[A].Name.c_str(), N);
@@ -46,16 +46,16 @@ int main() {
       size_t Mark = E.deviceMark();
       sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
       E.getDevice().writeFloats(In, Data);
-      engine::RunOutcome Out = Selector.reduce(E, In, N);
+      auto Out = Selector.reduce(E, In, N);
       E.deviceRelease(Mark);
-      if (!Out.Ok) {
-        std::fprintf(stderr, "%s\n", Out.Error.c_str());
+      if (!Out) {
+        std::fprintf(stderr, "%s\n", Out.status().toString().c_str());
         return 1;
       }
       const synth::VariantDescriptor *Best =
           Selector.getBest(Archs[A], N);
       std::printf("  call %2u: %8.2f us  result %.1f  best-so-far %s%s\n",
-                  Call, Out.Seconds * 1e6, Out.FloatValue,
+                  Call, Out->Seconds * 1e6, Out->FloatValue,
                   Best ? Best->getName().c_str() : "-",
                   Selector.isConverged(Archs[A], N) ? "  [converged]"
                                                     : "");

@@ -19,12 +19,12 @@
 using namespace tangram;
 
 int main() {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
     return 1;
   }
+  TangramReduction &TR = **Compiled;
 
   const size_t Regimes[3] = {1024, 262144, 67108864};
   const char *RegimeNames[3] = {"small (1K)", "medium (256K)",
@@ -40,7 +40,7 @@ int main() {
   for (unsigned A = 0; A != Count; ++A) {
     std::printf("%-22s", Archs[A].Name.c_str());
     for (size_t R = 0; R != 3; ++R) {
-      TangramReduction::BestResult Best = TR->findBest(Archs[A], Regimes[R]);
+      TangramReduction::BestResult Best = TR.findBest(Archs[A], Regimes[R]);
       std::string Cell = Best.Desc.getName();
       if (!Best.Fig6Label.empty())
         Cell = "(" + Best.Fig6Label + ") " + Cell;

@@ -19,16 +19,17 @@
 using namespace tangram;
 
 int main() {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  if (!TR) {
-    std::fprintf(stderr, "compilation failed:\n%s\n", Error.c_str());
+  auto Compiled = TangramReduction::create();
+  if (!Compiled) {
+    std::fprintf(stderr, "compilation failed:\n%s\n",
+                 Compiled.status().toString().c_str());
     return 1;
   }
+  TangramReduction &TR = **Compiled;
 
-  const synth::SearchSpace &Space = TR->getSearchSpace();
+  const synth::SearchSpace &Space = TR.getSearchSpace();
   std::printf("reduction spectrum compiled: %zu codelets\n",
-              TR->getUnit().Codelets.size());
+              TR.getUnit().Codelets.size());
   std::printf("search space: %zu versions, %zu after pruning\n\n",
               Space.All.size(), Space.Pruned.size());
 
@@ -48,28 +49,30 @@ int main() {
     Data[I] = static_cast<float>(I % 7) * 0.25f;
   double Expected = std::accumulate(Data.begin(), Data.end(), 0.0);
 
-  engine::ExecutionEngine &E = TR->engineFor(sim::getPascalP100());
+  engine::ExecutionEngine &E = TR.engineFor(sim::getPascalP100());
   sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
   E.getDevice().writeFloats(In, Data);
-  engine::RunOutcome Out = E.reduce(Desc, In, N);
-  if (!Out.Ok) {
-    std::fprintf(stderr, "run failed: %s\n", Out.Error.c_str());
+  auto Out = E.reduce(Desc, In, N);
+  if (!Out) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 Out.status().toString().c_str());
     return 1;
   }
 
   std::printf("version (p) \"%s\" on %s\n", Desc.getName().c_str(),
               sim::getPascalP100().Name.c_str());
-  std::printf("  result    %.1f (expected %.1f)\n", Out.FloatValue,
+  std::printf("  result    %.1f (expected %.1f)\n", Out->FloatValue,
               Expected);
-  std::printf("  modeled   %.1f us (%s-bound)\n", Out.Seconds * 1e6,
-              Out.Timing.Dominant == sim::KernelTiming::Bound::Memory
+  std::printf("  modeled   %.1f us (%s-bound)\n", Out->Seconds * 1e6,
+              Out->Timing.Dominant == sim::KernelTiming::Bound::Memory
                   ? "memory"
-                  : Out.Timing.Dominant == sim::KernelTiming::Bound::Atomic
+                  : Out->Timing.Dominant == sim::KernelTiming::Bound::Atomic
                         ? "atomic"
                         : "compute");
   std::printf("  occupancy %.0f%% (%u blocks/SM)\n\n",
-              Out.Timing.Occ.Fraction * 100, Out.Timing.Occ.BlocksPerSM);
+              Out->Timing.Occ.Fraction * 100, Out->Timing.Occ.BlocksPerSM);
 
-  std::printf("generated CUDA:\n%s\n", TR->emitCudaFor(Desc, Error).c_str());
+  auto Cuda = TR.emitCudaFor(Desc);
+  std::printf("generated CUDA:\n%s\n", Cuda ? Cuda->c_str() : "");
   return 0;
 }

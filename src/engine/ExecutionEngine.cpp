@@ -15,6 +15,10 @@ using namespace tangram;
 using namespace tangram::engine;
 using namespace tangram::sim;
 
+using support::Expected;
+using support::Status;
+using support::StatusCode;
+
 LaunchConfig tangram::engine::makeLaunchConfig(
     const synth::SynthesizedVariant &V, size_t N) {
   LaunchConfig Config;
@@ -34,7 +38,9 @@ ExecutionEngine::ExecutionEngine(const ArchDesc &Arch, EngineOptions Opts)
                            Opts.ThreadCount)),
       Cache(Opts.Cache ? std::move(Opts.Cache)
                        : std::make_shared<VariantCache>(Opts.CacheCapacity)),
-      Machine(Dev, this->Arch, Pool.get()) {}
+      Machine(Dev, this->Arch, Pool.get()) {
+  Machine.setRaceCheckOptions(Opts.RaceCheck);
+}
 
 void ExecutionEngine::attachCompiler(const synth::KernelSynthesizer &S,
                                      const std::string &SourceText) {
@@ -42,14 +48,12 @@ void ExecutionEngine::attachCompiler(const synth::KernelSynthesizer &S,
   SourceHash = stableHashString(SourceText);
 }
 
-std::shared_ptr<const synth::SynthesizedVariant>
+Expected<std::shared_ptr<const synth::SynthesizedVariant>>
 ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
-                            std::string &Error,
                             const synth::OptimizationFlags &Flags) {
-  if (!Synth) {
-    Error = "no compiler attached to the execution engine";
-    return nullptr;
-  }
+  if (!Synth)
+    return Status(StatusCode::InvalidArgument,
+                  "no compiler attached to the execution engine");
   VariantKey Key;
   Key.SourceHash = SourceHash;
   Key.DescHash = Desc.stableHash();
@@ -59,14 +63,25 @@ ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
   Key.Flags = static_cast<unsigned char>((Flags.AggregateAtomics ? 1 : 0) |
                                          (Flags.UnrollLoops ? 2 : 0));
   if (auto Cached = Cache->lookup(Key))
-    return Cached;
-  std::unique_ptr<synth::SynthesizedVariant> Fresh =
-      Synth->synthesize(Desc, Error, Flags);
+    return std::shared_ptr<const synth::SynthesizedVariant>(std::move(Cached));
+  auto Fresh = Synth->synthesize(Desc, Flags);
   if (!Fresh)
-    return nullptr;
-  VariantCache::VariantPtr Shared = std::move(Fresh);
+    return Fresh.status();
+  VariantCache::VariantPtr Shared = std::move(*Fresh);
   Cache->insert(Key, Shared);
-  return Shared;
+  return std::shared_ptr<const synth::SynthesizedVariant>(std::move(Shared));
+}
+
+std::shared_ptr<const synth::SynthesizedVariant>
+ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
+                            std::string &Error,
+                            const synth::OptimizationFlags &Flags) {
+  auto V = getVariant(Desc, Flags);
+  if (!V) {
+    Error = V.status().Message;
+    return nullptr;
+  }
+  return std::move(*V);
 }
 
 LaunchResult ExecutionEngine::launch(const ir::CompiledKernel &Kernel,
@@ -76,10 +91,10 @@ LaunchResult ExecutionEngine::launch(const ir::CompiledKernel &Kernel,
   return Machine.launch(Kernel, Config, Args, Mode);
 }
 
-RunOutcome ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
-                                         BufferId In, size_t N,
-                                         ExecMode Mode) {
-  RunOutcome Out;
+Expected<RunResult>
+ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
+                              BufferId In, size_t N, ExecMode Mode) {
+  RunResult Out;
 
   LaunchConfig Config = makeLaunchConfig(V, N);
 
@@ -110,10 +125,8 @@ RunOutcome ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
        ArgValue::scalar(static_cast<long long>(N)),
        ArgValue::scalar(ObjectSize)},
       Mode);
-  if (!Out.Launch.ok()) {
-    Out.Error = Out.Launch.Errors.front();
-    return Out;
-  }
+  if (!Out.Launch.ok())
+    return Status(StatusCode::LaunchError, Out.Launch.Errors.front());
 
   Out.Timing = modelKernelTime(Arch, Out.Launch);
   Out.Seconds = Out.Timing.TotalSeconds;
@@ -121,50 +134,115 @@ RunOutcome ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
   if (TwoKernel) {
     // Reduce the per-block partials with the cooperative second stage
     // (recursively: very large grids need more than one extra pass).
-    if (!V.SecondStage) {
-      Out.Ok = false;
-      Out.Error = "two-kernel variant without a second stage";
-      return Out;
+    if (!V.SecondStage)
+      return Status(StatusCode::InternalError,
+                    "two-kernel variant without a second stage");
+    auto Stage = runReduction(*V.SecondStage, ReturnBuf, Config.GridDim, Mode);
+    if (!Stage)
+      return Stage.status();
+    Out.Seconds += Stage->Seconds;
+    Out.FloatValue = Stage->FloatValue;
+    Out.IntValue = Stage->IntValue;
+    if (Mode == ExecMode::RaceCheck) {
+      // Fold the second stage's race findings into the first-stage launch
+      // record so callers see one report per end-to-end run.
+      for (const sim::RaceDiagnostic &D : Stage->Launch.Races)
+        Out.Launch.Races.push_back(D);
+      Out.Launch.RaceConflicts += Stage->Launch.RaceConflicts;
+      Out.Launch.RaceCheckTruncated |= Stage->Launch.RaceCheckTruncated;
     }
-    RunOutcome Stage =
-        runReduction(*V.SecondStage, ReturnBuf, Config.GridDim, Mode);
-    if (!Stage.Ok)
-      return Stage;
-    Out.Seconds += Stage.Seconds;
-    Out.FloatValue = Stage.FloatValue;
-    Out.IntValue = Stage.IntValue;
-    Out.Ok = true;
     return Out;
   }
 
   Out.FloatValue = Dev.readFloat(ReturnBuf, 0);
   Out.IntValue = Dev.readInt(ReturnBuf, 0);
-  Out.Ok = true;
   return Out;
 }
 
-RunOutcome ExecutionEngine::reduce(const synth::VariantDescriptor &Desc,
-                                   BufferId In, size_t N, ExecMode Mode) {
-  std::string Error;
-  auto V = getVariant(Desc, Error);
-  if (!V) {
-    RunOutcome Out;
-    Out.Error = Error;
+Expected<RunResult> ExecutionEngine::reduce(const synth::VariantDescriptor &Desc,
+                                            BufferId In, size_t N,
+                                            ExecMode Mode) {
+  auto V = getVariant(Desc);
+  if (!V)
+    return V.status();
+  return runReduction(**V, In, N, Mode);
+}
+
+Expected<RaceReport>
+ExecutionEngine::raceCheck(const synth::VariantDescriptor &Desc, size_t N,
+                           const synth::OptimizationFlags &Flags) {
+  auto V = getVariant(Desc, Flags);
+  if (!V)
+    return V.status();
+
+  // A real (written, non-virtual) input: RaceCheck runs the full grid
+  // functionally, and virtual pattern buffers are read-only anyway.
+  size_t Mark = Dev.mark();
+  BufferId In = Dev.alloc((*V)->Elem, N);
+  for (size_t I = 0; I != N; ++I) {
+    Cell *C = Dev.get(In).writable(I);
+    C->I = static_cast<long long>(I % 17);
+    C->F = static_cast<double>(I % 17);
+  }
+
+  auto Run = runReduction(**V, In, N, ExecMode::RaceCheck);
+  Dev.release(Mark);
+  if (!Run)
+    return Run.status();
+
+  RaceReport Report;
+  Report.Diagnostics = Run->Launch.Races;
+  Report.Conflicts = Run->Launch.RaceConflicts;
+  Report.Truncated = Run->Launch.RaceCheckTruncated;
+  Report.LaunchCount = (*V)->SecondStage ? 2 : 1;
+  return Report;
+}
+
+RunOutcome ExecutionEngine::runReductionOutcome(
+    const synth::SynthesizedVariant &V, BufferId In, size_t N,
+    ExecMode Mode) {
+  auto R = runReduction(V, In, N, Mode);
+  RunOutcome Out;
+  if (!R) {
+    Out.Error = R.status().Message;
     return Out;
   }
-  return runReduction(*V, In, N, Mode);
+  Out.Ok = true;
+  Out.FloatValue = R->FloatValue;
+  Out.IntValue = R->IntValue;
+  Out.Seconds = R->Seconds;
+  Out.Timing = R->Timing;
+  Out.Launch = std::move(R->Launch);
+  return Out;
+}
+
+RunOutcome ExecutionEngine::reduceOutcome(const synth::VariantDescriptor &Desc,
+                                          BufferId In, size_t N,
+                                          ExecMode Mode) {
+  auto R = reduce(Desc, In, N, Mode);
+  RunOutcome Out;
+  if (!R) {
+    Out.Error = R.status().Message;
+    return Out;
+  }
+  Out.Ok = true;
+  Out.FloatValue = R->FloatValue;
+  Out.IntValue = R->IntValue;
+  Out.Seconds = R->Seconds;
+  Out.Timing = R->Timing;
+  Out.Launch = std::move(R->Launch);
+  return Out;
 }
 
 double ExecutionEngine::timeVariant(const synth::VariantDescriptor &Desc,
                                     size_t N) {
-  std::string Error;
-  auto V = getVariant(Desc, Error);
+  auto V = getVariant(Desc);
   if (!V)
     return std::numeric_limits<double>::infinity();
   size_t Mark = Dev.mark();
   VirtualPattern Pattern;
-  BufferId In = Dev.allocVirtual(V->Elem, N, Pattern);
-  RunOutcome Out = runReduction(*V, In, N, ExecMode::Sampled);
+  BufferId In = Dev.allocVirtual((*V)->Elem, N, Pattern);
+  auto Out = runReduction(**V, In, N, ExecMode::Sampled);
   Dev.release(Mark);
-  return Out.Ok ? Out.Seconds : std::numeric_limits<double>::infinity();
+  return Out ? Out->Seconds : std::numeric_limits<double>::infinity();
 }

@@ -27,7 +27,9 @@
 
 #include "engine/VariantCache.h"
 #include "gpusim/PerfModel.h"
+#include "gpusim/RaceDetector.h"
 #include "gpusim/SimtMachine.h"
+#include "support/Expected.h"
 #include "support/ThreadPool.h"
 #include "synth/KernelSynthesizer.h"
 
@@ -37,10 +39,9 @@
 
 namespace tangram::engine {
 
-/// Outcome of one end-to-end reduction run.
-struct RunOutcome {
-  bool Ok = false;
-  std::string Error;
+/// Result of one successful end-to-end reduction run (failures travel as
+/// the Status arm of Expected<RunResult>).
+struct RunResult {
   /// The reduction result (meaningful in Functional mode only). Float
   /// results are in `FloatValue`, integer results in `IntValue`.
   double FloatValue = 0;
@@ -48,7 +49,35 @@ struct RunOutcome {
   /// Modeled end-to-end seconds.
   double Seconds = 0;
   sim::KernelTiming Timing;
+  /// First-stage launch detail. In RaceCheck mode the second stage's race
+  /// diagnostics/conflict counts are folded in here too.
   sim::LaunchResult Launch;
+};
+
+/// Legacy Ok/Error outcome struct, kept for the deprecated *Outcome entry
+/// points. New code should use Expected<RunResult>.
+struct RunOutcome {
+  bool Ok = false;
+  std::string Error;
+  double FloatValue = 0;
+  long long IntValue = 0;
+  double Seconds = 0;
+  sim::KernelTiming Timing;
+  sim::LaunchResult Launch;
+};
+
+/// Aggregated result of a RaceCheck run over every launch a variant
+/// performs (main kernel plus the second-stage kernel when present).
+struct RaceReport {
+  std::vector<sim::RaceDiagnostic> Diagnostics;
+  /// Kernel launches the check covered.
+  unsigned LaunchCount = 0;
+  /// Total conflict observations before deduplication/caps.
+  uint64_t Conflicts = 0;
+  /// The detector's address table overflowed; coverage is partial.
+  bool Truncated = false;
+
+  bool clean() const { return Conflicts == 0 && Diagnostics.empty(); }
 };
 
 /// Launch geometry for \p V at problem size \p N.
@@ -66,6 +95,8 @@ struct EngineOptions {
   std::shared_ptr<VariantCache> Cache;
   /// Share an existing pool across engines.
   std::shared_ptr<support::ThreadPool> Pool;
+  /// Detector knobs applied to ExecMode::RaceCheck launches.
+  sim::RaceCheckOptions RaceCheck;
 };
 
 /// Per-architecture execution facade: owns the device, drives the SIMT
@@ -94,9 +125,14 @@ public:
   size_t deviceMark() const { return Dev.mark(); }
   void deviceRelease(size_t Mark) { Dev.release(Mark); }
 
-  /// Resolves \p Desc to a compiled variant, synthesizing on cache miss.
-  /// Returns null and sets \p Error on synthesis failure (failures are not
-  /// cached). Requires attachCompiler().
+  /// Resolves \p Desc to a compiled variant, synthesizing on cache miss
+  /// (failures are not cached). Requires attachCompiler(); without one the
+  /// Status carries StatusCode::InvalidArgument.
+  support::Expected<std::shared_ptr<const synth::SynthesizedVariant>>
+  getVariant(const synth::VariantDescriptor &Desc,
+             const synth::OptimizationFlags &Flags = {});
+
+  [[deprecated("use the Expected-returning overload")]]
   std::shared_ptr<const synth::SynthesizedVariant>
   getVariant(const synth::VariantDescriptor &Desc, std::string &Error,
              const synth::OptimizationFlags &Flags = {});
@@ -111,15 +147,34 @@ public:
   /// Runs \p V over \p In (N elements): allocates and identity-initializes
   /// the accumulator, launches, models time, and recursively drives the
   /// second stage for two-kernel variants. Scratch buffers are released
-  /// before returning.
-  RunOutcome runReduction(const synth::SynthesizedVariant &V,
-                          sim::BufferId In, size_t N,
-                          sim::ExecMode Mode = sim::ExecMode::Functional);
+  /// before returning. Launch failures carry StatusCode::LaunchError.
+  support::Expected<RunResult>
+  runReduction(const synth::SynthesizedVariant &V, sim::BufferId In,
+               size_t N, sim::ExecMode Mode = sim::ExecMode::Functional);
 
   /// Cache-resolved convenience: getVariant(Desc) then runReduction.
-  RunOutcome reduce(const synth::VariantDescriptor &Desc, sim::BufferId In,
-                    size_t N,
-                    sim::ExecMode Mode = sim::ExecMode::Functional);
+  support::Expected<RunResult>
+  reduce(const synth::VariantDescriptor &Desc, sim::BufferId In, size_t N,
+         sim::ExecMode Mode = sim::ExecMode::Functional);
+
+  /// Runs \p Desc in ExecMode::RaceCheck over a freshly materialized input
+  /// of \p N elements and aggregates race diagnostics across every launch
+  /// (including the second-stage kernel). A race-free variant yields a
+  /// RaceReport with clean() == true; seeded races are reported, not
+  /// errors — only synthesis/launch failures produce a Status.
+  support::Expected<RaceReport>
+  raceCheck(const synth::VariantDescriptor &Desc, size_t N,
+            const synth::OptimizationFlags &Flags = {});
+
+  [[deprecated("use runReduction, which returns Expected<RunResult>")]]
+  RunOutcome runReductionOutcome(
+      const synth::SynthesizedVariant &V, sim::BufferId In, size_t N,
+      sim::ExecMode Mode = sim::ExecMode::Functional);
+
+  [[deprecated("use reduce, which returns Expected<RunResult>")]]
+  RunOutcome reduceOutcome(const synth::VariantDescriptor &Desc,
+                           sim::BufferId In, size_t N,
+                           sim::ExecMode Mode = sim::ExecMode::Functional);
 
   /// Modeled seconds for \p Desc at size \p N over a scoped virtual input
   /// (Sampled mode). Infinity when the variant fails to synthesize or run —

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 
 using namespace tangram;
@@ -170,14 +171,18 @@ struct Warp {
 class BlockExecutor {
 public:
   /// When \p Log is non-null the block records its global writes there
-  /// instead of touching device memory (parallel-execution mode).
+  /// instead of touching device memory (parallel-execution mode). When
+  /// \p Race is non-null every shared/global access is reported to it
+  /// (RaceCheck mode; mutually exclusive with \p Log).
   BlockExecutor(Device &Dev, const ArchDesc &Arch,
                 const CompiledKernel &Kernel, const LaunchConfig &Config,
                 const std::vector<ArgValue> &Args, unsigned BlockIdx,
                 ExecStats &Stats, std::vector<std::string> &Errors,
-                std::vector<GlobalEffect> *Log = nullptr)
+                std::vector<GlobalEffect> *Log = nullptr,
+                RaceDetector *Race = nullptr)
       : Dev(Dev), Arch(Arch), Kernel(Kernel), Config(Config), Args(Args),
-        BlockIdx(BlockIdx), Stats(Stats), Errors(Errors), Log(Log) {}
+        BlockIdx(BlockIdx), Stats(Stats), Errors(Errors), Log(Log),
+        Race(Race) {}
 
   void run() {
     initShared();
@@ -202,6 +207,10 @@ public:
           }
         if (!AnyWaiting)
           return; // All warps exited.
+        // Every live warp crossed the same barrier: a new epoch begins —
+        // accesses after this point are ordered against those before it.
+        if (Race)
+          Race->barrier();
       }
     }
   }
@@ -401,6 +410,7 @@ private:
   /// Runs \p W until it hits a barrier or exits.
   void resume(Warp &W) {
     const std::vector<Instr> &Code = Kernel.Code;
+    const unsigned WarpId = W.TidBase / WarpLanes;
     while (true) {
       const Instr &In = Code[W.PC];
       switch (In.Op) {
@@ -520,6 +530,8 @@ private:
         unsigned Width = std::max<unsigned>(1, In.Aux2);
         uint64_t Segments = 0, PrevSeg = ~0ull;
         bool First = true;
+        if (Race)
+          Race->beginInstruction();
         for (unsigned L = 0; L != WarpLanes; ++L) {
           if (!(W.Active >> L & 1u))
             continue;
@@ -534,21 +546,28 @@ private:
               static_cast<uint64_t>(Base + Width) > B->size()) {
             error(strformat("global load out of bounds (index %lld)", Base));
             setI(D, 0);
-          } else if (Width == 1) {
-            D = B->read(static_cast<size_t>(Base));
           } else {
-            // Vectorized load: the IR defines it as yielding the sum of
-            // the W consecutive elements (see LoadGlobalExpr).
-            if (In.Ty == ScalarType::F32) {
-              double Sum = 0;
+            if (Race)
               for (unsigned J = 0; J != Width; ++J)
-                Sum += B->read(static_cast<size_t>(Base + J)).F;
-              setF(D, Sum);
+                Race->onGlobalAccess(Args[In.MemId].Id, In.MemId, Base + J,
+                                     WarpId, L, W.PC, /*IsWrite=*/false,
+                                     /*IsAtomic=*/false);
+            if (Width == 1) {
+              D = B->read(static_cast<size_t>(Base));
             } else {
-              long long Sum = 0;
-              for (unsigned J = 0; J != Width; ++J)
-                Sum += B->read(static_cast<size_t>(Base + J)).I;
-              setI(D, wrapInt(In.Ty, Sum));
+              // Vectorized load: the IR defines it as yielding the sum of
+              // the W consecutive elements (see LoadGlobalExpr).
+              if (In.Ty == ScalarType::F32) {
+                double Sum = 0;
+                for (unsigned J = 0; J != Width; ++J)
+                  Sum += B->read(static_cast<size_t>(Base + J)).F;
+                setF(D, Sum);
+              } else {
+                long long Sum = 0;
+                for (unsigned J = 0; J != Width; ++J)
+                  Sum += B->read(static_cast<size_t>(Base + J)).I;
+                setI(D, wrapInt(In.Ty, Sum));
+              }
             }
           }
           uint64_t Seg = static_cast<uint64_t>(Base) * 4 / 128;
@@ -577,6 +596,8 @@ private:
         Buffer *B = bufferOf(In.MemId);
         uint64_t Segments = 0, PrevSeg = ~0ull;
         bool First = true;
+        if (Race)
+          Race->beginInstruction();
         for (unsigned L = 0; L != WarpLanes; ++L) {
           if (!(W.Active >> L & 1u))
             continue;
@@ -586,6 +607,10 @@ private:
           if (Idx < 0 || static_cast<uint64_t>(Idx) >= B->size()) {
             error(strformat("global store out of bounds (index %lld)", Idx));
           } else if (Cell *C = B->writable(static_cast<size_t>(Idx))) {
+            if (Race)
+              Race->onGlobalAccess(Args[In.MemId].Id, In.MemId, Idx, WarpId,
+                                   L, W.PC, /*IsWrite=*/true,
+                                   /*IsAtomic=*/false);
             if (Log)
               Log->push_back({Args[In.MemId].Id, static_cast<size_t>(Idx),
                               false, ReduceOp::Add, In.Ty,
@@ -610,6 +635,8 @@ private:
       }
       case Opcode::LdShared: {
         auto &Mem = SharedMem[In.MemId];
+        if (Race)
+          Race->beginInstruction();
         for (unsigned L = 0; L != WarpLanes; ++L) {
           if (!(W.Active >> L & 1u))
             continue;
@@ -619,6 +646,9 @@ private:
             error(strformat("shared load out of bounds (index %lld)", Idx));
             setI(D, 0);
           } else {
+            if (Race)
+              Race->onSharedAccess(In.MemId, Idx, WarpId, L, W.PC,
+                                   /*IsWrite=*/false, /*IsAtomic=*/false);
             D = Mem[static_cast<size_t>(Idx)];
           }
         }
@@ -628,14 +658,20 @@ private:
       }
       case Opcode::StShared: {
         auto &Mem = SharedMem[In.MemId];
+        if (Race)
+          Race->beginInstruction();
         for (unsigned L = 0; L != WarpLanes; ++L) {
           if (!(W.Active >> L & 1u))
             continue;
           long long Idx = reg(W, In.Src1, L).I;
-          if (Idx < 0 || static_cast<uint64_t>(Idx) >= Mem.size())
+          if (Idx < 0 || static_cast<uint64_t>(Idx) >= Mem.size()) {
             error(strformat("shared store out of bounds (index %lld)", Idx));
-          else
+          } else {
+            if (Race)
+              Race->onSharedAccess(In.MemId, Idx, WarpId, L, W.PC,
+                                   /*IsWrite=*/true, /*IsAtomic=*/false);
             Mem[static_cast<size_t>(Idx)] = reg(W, In.Src2, L);
+          }
         }
         chargeWarpInstr(Arch.SharedLdStCost, W.Active);
         ++W.PC;
@@ -648,6 +684,8 @@ private:
         // model, then apply updates in lane order.
         std::unordered_map<long long, unsigned> Mult;
         unsigned MaxMult = 0, Lanes = 0;
+        if (Race)
+          Race->beginInstruction();
         for (unsigned L = 0; L != WarpLanes; ++L) {
           if (!(W.Active >> L & 1u))
             continue;
@@ -658,6 +696,9 @@ private:
             error(strformat("shared atomic out of bounds (index %lld)", Idx));
             continue;
           }
+          if (Race)
+            Race->onSharedAccess(In.MemId, Idx, WarpId, L, W.PC,
+                                 /*IsWrite=*/true, /*IsAtomic=*/true);
           atomicApply(Op, In.Ty, Mem[static_cast<size_t>(Idx)],
                       reg(W, In.Src2, L));
         }
@@ -680,6 +721,8 @@ private:
         auto Scope = static_cast<AtomicScope>(In.Aux2);
         std::unordered_map<long long, unsigned> Mult;
         unsigned MaxMult = 0, Lanes = 0;
+        if (Race)
+          Race->beginInstruction();
         for (unsigned L = 0; L != WarpLanes; ++L) {
           if (!(W.Active >> L & 1u))
             continue;
@@ -692,6 +735,9 @@ private:
             error(strformat("global atomic out of bounds (index %lld)", Idx));
             continue;
           }
+          if (Race)
+            Race->onGlobalAccess(Args[In.MemId].Id, In.MemId, Idx, WarpId, L,
+                                 W.PC, /*IsWrite=*/true, /*IsAtomic=*/true);
           if (Cell *C = B->writable(static_cast<size_t>(Idx))) {
             if (Log)
               Log->push_back({Args[In.MemId].Id, static_cast<size_t>(Idx),
@@ -839,6 +885,7 @@ private:
   ExecStats &Stats;
   std::vector<std::string> &Errors;
   std::vector<GlobalEffect> *Log;
+  RaceDetector *Race;
   std::vector<Warp> Warps;
   std::vector<std::vector<Cell>> SharedMem;
 };
@@ -906,14 +953,22 @@ LaunchResult SimtMachine::launch(const CompiledKernel &Kernel,
   Result.BlocksSimulated = static_cast<unsigned>(Blocks.size());
 
   uint64_t HotOps = 0;
-  const bool Parallel = Pool && Pool->getThreadCount() > 1 &&
+  // RaceCheck interleaves one detector through every block in block-index
+  // order, so it forces the sequential path (and, because Sampled is off,
+  // the full grid).
+  std::unique_ptr<RaceDetector> Race;
+  if (Mode == ExecMode::RaceCheck)
+    Race = std::make_unique<RaceDetector>(Kernel, RaceOpts);
+  const bool Parallel = !Race && Pool && Pool->getThreadCount() > 1 &&
                         Blocks.size() > 1 &&
                         !kernelLoadsWrittenBuffer(Kernel, Args);
   if (!Parallel) {
     for (unsigned B : Blocks) {
       ExecStats BlockStats;
+      if (Race)
+        Race->beginBlock(B);
       BlockExecutor Exec(Dev, Arch, Kernel, Config, Args, B, BlockStats,
-                         Result.Errors);
+                         Result.Errors, /*Log=*/nullptr, Race.get());
       Exec.run();
       uint64_t BlockHot = 0;
       for (const auto &[Addr, Ops] : Exec.GlobalAtomicAddrOps)
@@ -964,6 +1019,11 @@ LaunchResult SimtMachine::launch(const CompiledKernel &Kernel,
     }
   }
   Result.Stats.GlobalAtomicHotOps = HotOps;
+  if (Race) {
+    Result.Races = Race->getDiagnostics();
+    Result.RaceConflicts = Race->getConflictCount();
+    Result.RaceCheckTruncated = Race->isTruncated();
+  }
   // SharedBytes accumulated per block; keep the per-block value in the
   // aggregate too (scaled like everything else below).
 

@@ -12,11 +12,14 @@
 /// counts (instruction mix, memory transactions, atomic contention,
 /// divergence) that the performance model turns into modeled time.
 ///
-/// Two execution modes:
+/// Three execution modes:
 ///  - Functional: every block runs; results in device memory are exact.
 ///  - Sampled: only a subset of blocks runs (homogeneous-grid assumption)
 ///    and event counts are scaled; used by the benchmark harness for the
 ///    paper's multi-hundred-million-element sizes.
+///  - RaceCheck: every block runs sequentially while a RaceDetector records
+///    all shared/global accesses and reports data races (see
+///    RaceDetector.h for the happens-before model).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +28,7 @@
 
 #include "gpusim/Arch.h"
 #include "gpusim/Device.h"
+#include "gpusim/RaceDetector.h"
 #include "ir/Bytecode.h"
 
 #include <string>
@@ -70,7 +74,7 @@ struct ArgValue {
   Cell Scalar;
 };
 
-enum class ExecMode : unsigned char { Functional, Sampled };
+enum class ExecMode : unsigned char { Functional, Sampled, RaceCheck };
 
 /// Microarchitectural event counts, aggregated over the (scaled) grid.
 struct ExecStats {
@@ -112,6 +116,15 @@ struct LaunchResult {
   /// Runtime errors (out-of-bounds, division by zero, deadlock). Empty on
   /// clean execution.
   std::vector<std::string> Errors;
+  /// Data races found in ExecMode::RaceCheck (empty otherwise, and empty
+  /// when the launch is race-free).
+  std::vector<RaceDiagnostic> Races;
+  /// Total race-pair observations, before PC-pair deduplication and the
+  /// MaxReports cap (RaceCheck mode only).
+  uint64_t RaceConflicts = 0;
+  /// The race detector's address table overflowed; race coverage is
+  /// partial (RaceCheck mode only).
+  bool RaceCheckTruncated = false;
 
   bool ok() const { return Errors.empty(); }
 };
@@ -142,10 +155,17 @@ public:
   /// Maximum blocks sampled per launch in Sampled mode.
   static constexpr unsigned SampledBlocks = 48;
 
+  /// Knobs applied to launches in ExecMode::RaceCheck.
+  void setRaceCheckOptions(const RaceCheckOptions &Opts) {
+    RaceOpts = Opts;
+  }
+  const RaceCheckOptions &getRaceCheckOptions() const { return RaceOpts; }
+
 private:
   Device &Dev;
   const ArchDesc &Arch;
   support::ThreadPool *Pool;
+  RaceCheckOptions RaceOpts;
 };
 
 /// Evaluates a launch-uniform IR expression (shared-array extents): only

@@ -107,6 +107,18 @@ struct CompiledKernel {
   /// writes the bound value into this register for every thread.
   std::vector<std::pair<const Param *, uint16_t>> ScalarParamRegs;
 
+  /// Debug info: source location of the IR statement each instruction was
+  /// lowered from, parallel to `Code`. Invalid entries mark synthesized
+  /// scaffolding with no codelet-source counterpart. Excluded from
+  /// `stableHash` so debug info never perturbs cache identities.
+  std::vector<SourceLoc> InstrLocs;
+
+  /// The source location of instruction \p PC (invalid when no debug info
+  /// was recorded for it).
+  SourceLoc locOf(uint32_t PC) const {
+    return PC < InstrLocs.size() ? InstrLocs[PC] : SourceLoc();
+  }
+
   /// Renders a disassembly listing (tests and debugging).
   std::string disassemble() const;
 };

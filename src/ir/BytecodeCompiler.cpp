@@ -133,8 +133,11 @@ public:
   CompiledKernel run() {
     for (const Stmt *S : K.getBody())
       lowerStmt(S);
+    CurLoc = SourceLoc(); // Exit is synthesized; no source counterpart.
     emit(Opcode::Exit);
     Result.NumRegisters = MaxReg + 1;
+    assert(Result.InstrLocs.size() == Result.Code.size() &&
+           "debug-info table must stay parallel to the code");
     return std::move(Result);
   }
 
@@ -144,6 +147,7 @@ private:
   Instr &emit(Opcode Op) {
     Result.Code.emplace_back();
     Result.Code.back().Op = Op;
+    Result.InstrLocs.push_back(CurLoc);
     return Result.Code.back();
   }
 
@@ -343,6 +347,10 @@ private:
 
   void lowerStmt(const Stmt *S) {
     resetTemps();
+    // Every instruction emitted for this statement (including the ones for
+    // nested condition/index expressions) inherits its source location;
+    // nested statements override it on entry.
+    CurLoc = S->getLoc();
     switch (S->getKind()) {
     case Stmt::Kind::DeclLocal: {
       const auto *D = cast<DeclLocalStmt>(S);
@@ -419,11 +427,13 @@ private:
       for (const Stmt *Child : I->getThen())
         lowerStmt(Child);
       resetTemps();
+      CurLoc = S->getLoc(); // Children moved it; trailers belong to the if.
       uint32_t ElseIdx = pc();
       emit(Opcode::ElseIf);
       for (const Stmt *Child : I->getElse())
         lowerStmt(Child);
       resetTemps();
+      CurLoc = S->getLoc();
       // PushIf skips to the ElseIf when the then-mask is empty; ElseIf
       // skips to the PopIf when the else-mask is empty.
       Result.Code[PushIdx].Target = ElseIdx;
@@ -448,6 +458,7 @@ private:
       for (const Stmt *Child : F->getBody())
         lowerStmt(Child);
       resetTemps();
+      CurLoc = S->getLoc(); // Children moved it; the step belongs to the for.
       uint16_t StepV = lowerExpr(F->getStep());
       Instr &MovStep = emit(Opcode::Mov);
       MovStep.Ty = F->getIndVar()->Ty;
@@ -502,6 +513,7 @@ private:
   uint16_t TempBase = 0;
   uint16_t TempNext = 0;
   uint16_t MaxReg = 0;
+  SourceLoc CurLoc; ///< Debug location stamped onto emitted instructions.
 };
 
 } // namespace

@@ -23,6 +23,7 @@
 
 #include "support/Casting.h"
 #include "support/ReduceOp.h"
+#include "support/SourceLocation.h"
 
 #include <memory>
 #include <string>
@@ -328,12 +329,19 @@ public:
 
   Kind getKind() const { return K; }
 
+  /// Position in the codelet source this statement was lowered from.
+  /// Invalid for synthesizer-built scaffolding (launch-geometry code,
+  /// barriers inserted by the lowering itself, combiner fallbacks).
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
 protected:
   explicit Stmt(Kind K) : K(K) {}
   ~Stmt() = default;
 
 private:
   Kind K;
+  SourceLoc Loc;
 };
 
 /// `T name = init;` — declares (and defines) a local.

@@ -353,7 +353,81 @@ void unrollInList(Module &M, Kernel &K, std::vector<Stmt *> &Body,
   Body = std::move(NewBody);
 }
 
+//===----------------------------------------------------------------------===//
+// Atomic demotion (RaceCheck fault injection)
+//===----------------------------------------------------------------------===//
+
+/// `op(load, value)` with the accumulation semantics the atomic had. Sub
+/// accumulates additively on the device (the final subtraction lives at
+/// the API boundary), mirroring the synthesizer's reduceExpr.
+Expr *demotedCombine(Module &M, ReduceOp Op, Expr *Load, Expr *Value,
+                     ScalarType Elem) {
+  BinOp Combine = Op == ReduceOp::Max   ? BinOp::Max
+                  : Op == ReduceOp::Min ? BinOp::Min
+                                        : BinOp::Add;
+  return M.binary(Combine, Load, Value, Elem);
+}
+
+void demoteInList(Module &M, std::vector<Stmt *> &Body, bool Shared,
+                  bool Global, TransformStats &Stats) {
+  for (Stmt *&S : Body) {
+    switch (S->getKind()) {
+    case Stmt::Kind::AtomicShared: {
+      if (!Shared)
+        break;
+      auto *A = cast<AtomicSharedStmt>(S);
+      Expr *Load = M.create<LoadSharedExpr>(A->getArray(), A->getIndex());
+      Stmt *Repl = M.create<StoreSharedStmt>(
+          A->getArray(), A->getIndex(),
+          demotedCombine(M, A->getOp(), Load, A->getValue(),
+                         A->getArray()->Elem));
+      Repl->setLoc(A->getLoc());
+      S = Repl;
+      ++Stats.AtomicsDemoted;
+      break;
+    }
+    case Stmt::Kind::AtomicGlobal: {
+      if (!Global)
+        break;
+      auto *A = cast<AtomicGlobalStmt>(S);
+      Expr *Load = M.create<LoadGlobalExpr>(A->getParam(), A->getIndex());
+      Stmt *Repl = M.create<StoreGlobalStmt>(
+          A->getParam(), A->getIndex(),
+          demotedCombine(M, A->getOp(), Load, A->getValue(),
+                         A->getParam()->Elem));
+      Repl->setLoc(A->getLoc());
+      S = Repl;
+      ++Stats.AtomicsDemoted;
+      break;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      demoteInList(M, const_cast<std::vector<Stmt *> &>(I->getThen()),
+                   Shared, Global, Stats);
+      demoteInList(M, const_cast<std::vector<Stmt *> &>(I->getElse()),
+                   Shared, Global, Stats);
+      break;
+    }
+    case Stmt::Kind::For:
+      demoteInList(M,
+                   const_cast<std::vector<Stmt *> &>(
+                       cast<ForStmt>(S)->getBody()),
+                   Shared, Global, Stats);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
 } // namespace
+
+TransformStats tangram::ir::demoteAtomics(Module &M, Kernel &K, bool Shared,
+                                          bool Global) {
+  TransformStats Stats;
+  demoteInList(M, K.getBody(), Shared, Global, Stats);
+  return Stats;
+}
 
 TransformStats tangram::ir::aggregateAtomics(Module &M, Kernel &K) {
   TransformStats Stats;

@@ -34,6 +34,7 @@ struct TransformStats {
   unsigned AtomicsAggregated = 0;
   unsigned LoopsUnrolled = 0;
   unsigned IterationsExpanded = 0;
+  unsigned AtomicsDemoted = 0;
 };
 
 /// Rewrites whole-warp same-address atomic updates into a shuffle
@@ -48,6 +49,18 @@ TransformStats aggregateAtomics(Module &M, Kernel &K);
 /// and at most \p MaxTrips iterations.
 TransformStats unrollConstantLoops(Module &M, Kernel &K,
                                    unsigned MaxTrips = 8);
+
+/// Fault-injection pass for the RaceCheck cross-validation harness: rewrites
+/// atomic read-modify-write statements into their non-atomic load/op/store
+/// expansion (`a[i] = op(a[i], v)`), exactly the code the paper's
+/// SharedAtomicAnalysis / GlobalAtomicMapPass would have produced *without*
+/// the atomic qualifier or Map lowering. \p Shared / \p Global select which
+/// memory space's atomics are demoted. Source locations are preserved so
+/// seeded races still map back to the codelet line. The result is
+/// intentionally racy; recompile with `compileKernel` before running it
+/// under `ExecMode::RaceCheck`.
+TransformStats demoteAtomics(Module &M, Kernel &K, bool Shared = true,
+                             bool Global = true);
 
 } // namespace tangram::ir
 

@@ -1,0 +1,138 @@
+//===- Expected.h - Value-or-Status result type -----------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured error propagation for the public API. A `Status` carries a
+/// machine-checkable code, a human-readable message, and (when the failure
+/// maps to a position in the codelet source) a `SourceLoc`. `Expected<T>`
+/// holds either a value or a non-Ok Status; it replaces the legacy
+/// `std::string &Error` out-parameter convention, which forced callers to
+/// string-match to distinguish failure classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_EXPECTED_H
+#define TANGRAM_SUPPORT_EXPECTED_H
+
+#include "support/SourceLocation.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tangram::support {
+
+/// Failure classes surfaced by the public facade and execution engine.
+enum class StatusCode : unsigned char {
+  Ok = 0,
+  ParseError,      ///< The codelet source failed to parse.
+  SemaError,       ///< The codelet source failed semantic analysis.
+  UnknownVariant,  ///< Descriptor names a codelet/variant that is absent.
+  SynthesisError,  ///< Variant lowering or verification failed.
+  InvalidArgument, ///< A caller-provided argument is out of contract.
+  LaunchError,     ///< The simulated launch failed (geometry, args, exec).
+  RaceDetected,    ///< RaceCheck found conflicting accesses.
+  InternalError,   ///< Invariant violation inside the library.
+};
+
+const char *getStatusCodeName(StatusCode Code);
+
+/// An error (or success) descriptor: code + message + optional source
+/// position into the codelet buffer the facade compiled.
+struct Status {
+  StatusCode Code = StatusCode::Ok;
+  std::string Message;
+  SourceLoc Loc;
+
+  Status() = default;
+  Status(StatusCode Code, std::string Message, SourceLoc Loc = SourceLoc())
+      : Code(Code), Message(std::move(Message)), Loc(Loc) {}
+
+  bool ok() const { return Code == StatusCode::Ok; }
+
+  /// "<code>: <message>" rendering for logs and CLI output.
+  std::string toString() const {
+    if (ok())
+      return "ok";
+    return std::string(getStatusCodeName(Code)) + ": " + Message;
+  }
+
+  static Status success() { return Status(); }
+};
+
+inline const char *getStatusCodeName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::ParseError:
+    return "parse-error";
+  case StatusCode::SemaError:
+    return "sema-error";
+  case StatusCode::UnknownVariant:
+    return "unknown-variant";
+  case StatusCode::SynthesisError:
+    return "synthesis-error";
+  case StatusCode::InvalidArgument:
+    return "invalid-argument";
+  case StatusCode::LaunchError:
+    return "launch-error";
+  case StatusCode::RaceDetected:
+    return "race-detected";
+  case StatusCode::InternalError:
+    return "internal-error";
+  }
+  return "unknown";
+}
+
+/// Value-or-Status. Construction from a value yields the success state;
+/// construction from a non-Ok Status yields the failure state. The value
+/// accessors assert on misuse, so callers must branch on `ok()` (or the
+/// bool conversion) first.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : Storage(std::in_place_index<0>, std::move(Value)) {}
+  Expected(Status S) : Storage(std::in_place_index<1>, std::move(S)) {
+    assert(!std::get<1>(Storage).ok() &&
+           "an Ok status carries no value; construct from T instead");
+  }
+
+  bool ok() const { return Storage.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T &value() & {
+    assert(ok() && "value() on a failed Expected");
+    return std::get<0>(Storage);
+  }
+  const T &value() const & {
+    assert(ok() && "value() on a failed Expected");
+    return std::get<0>(Storage);
+  }
+  T &&value() && {
+    assert(ok() && "value() on a failed Expected");
+    return std::move(std::get<0>(Storage));
+  }
+
+  T &operator*() & { return value(); }
+  const T &operator*() const & { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  const Status &status() const {
+    assert(!ok() && "status() on a successful Expected");
+    return std::get<1>(Storage);
+  }
+  StatusCode code() const { return ok() ? StatusCode::Ok : status().Code; }
+  /// The failure message ("" on success) — convenience for logging.
+  std::string message() const { return ok() ? std::string() : status().Message; }
+
+private:
+  std::variant<T, Status> Storage;
+};
+
+} // namespace tangram::support
+
+#endif // TANGRAM_SUPPORT_EXPECTED_H

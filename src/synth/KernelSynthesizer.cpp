@@ -652,7 +652,39 @@ private:
     return Sc.Found;
   }
 
+  /// Propagates \p Loc into every statement of the subtree that has no
+  /// location of its own. Child statements lowered from nested codelet
+  /// statements were stamped by their own lowerStmt call, so the most
+  /// precise (innermost) location always wins.
+  static void stampLoc(Stmt *S, SourceLoc Loc) {
+    if (!S->getLoc().isValid())
+      S->setLoc(Loc);
+    if (auto *I = dyn_cast<ir::IfStmt>(S)) {
+      for (Stmt *Child : I->getThen())
+        stampLoc(Child, Loc);
+      for (Stmt *Child : I->getElse())
+        stampLoc(Child, Loc);
+    } else if (auto *F = dyn_cast<ir::ForStmt>(S)) {
+      for (Stmt *Child : F->getBody())
+        stampLoc(Child, Loc);
+    }
+  }
+
+  /// Lowers \p S, stamping every IR statement it produced with the codelet
+  /// source location (RaceCheck diagnostics map racing instructions back
+  /// through these).
   bool lowerStmt(lang::Stmt *S, std::vector<Stmt *> &Out) {
+    size_t Before = Out.size();
+    if (!lowerStmtImpl(S, Out))
+      return false;
+    SourceLoc Loc = S->getLoc();
+    if (Loc.isValid())
+      for (size_t I = Before; I != Out.size(); ++I)
+        stampLoc(Out[I], Loc);
+    return true;
+  }
+
+  bool lowerStmtImpl(lang::Stmt *S, std::vector<Stmt *> &Out) {
     switch (S->getKind()) {
     case lang::Stmt::Kind::DeclStmt:
       return lowerVarDecl(cast<DeclStmt>(S)->getVar(), Out);
@@ -768,10 +800,11 @@ KernelSynthesizer::KernelSynthesizer(
     ReduceOp Op, ScalarType Elem)
     : TU(TU), Infos(Infos), Op(Op), Elem(Elem) {}
 
-std::unique_ptr<SynthesizedVariant>
+support::Expected<std::unique_ptr<SynthesizedVariant>>
 KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
-                              std::string &Error,
                               const OptimizationFlags &Opts) const {
+  using support::Status;
+  using support::StatusCode;
   const char *CoopTag = nullptr;
   bool UseShuffle = false;
   switch (Desc.Coop) {
@@ -798,10 +831,9 @@ KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
   }
 
   const CodeletDecl *Coop = CoopTag ? TU.findByTag(CoopTag) : nullptr;
-  if (CoopTag && !Coop) {
-    Error = std::string("canonical codelet '") + CoopTag + "' missing";
-    return nullptr;
-  }
+  if (CoopTag && !Coop)
+    return Status(StatusCode::UnknownVariant,
+                  std::string("canonical codelet '") + CoopTag + "' missing");
 
   auto Result = std::make_unique<SynthesizedVariant>();
   Result->Desc = Desc;
@@ -929,14 +961,14 @@ KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
     }
 
     auto InfoIt = Infos.find(Coop);
-    if (InfoIt == Infos.end()) {
-      Error = "no transform info for the cooperative codelet";
-      return nullptr;
-    }
+    if (InfoIt == Infos.end())
+      return Status(StatusCode::SynthesisError,
+                    "no transform info for the cooperative codelet");
     CoopLowering Lower(M, *K, *Coop, InfoIt->second, View, Op, Elem,
                        UseShuffle);
-    if (!Lower.lower(EmitResult, Error))
-      return nullptr;
+    std::string LowerError;
+    if (!Lower.lower(EmitResult, LowerError))
+      return Status(StatusCode::SynthesisError, LowerError);
   }
 
   // Optional kernel-IR optimizations (future-work passes).
@@ -946,10 +978,9 @@ KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
     ir::unrollConstantLoops(M, *K);
 
   std::vector<std::string> VerifyErrors;
-  if (!ir::verifyKernel(*K, VerifyErrors)) {
-    Error = "verifier: " + VerifyErrors.front();
-    return nullptr;
-  }
+  if (!ir::verifyKernel(*K, VerifyErrors))
+    return Status(StatusCode::SynthesisError,
+                  "verifier: " + VerifyErrors.front());
 
   Result->K = K;
   Result->Compiled = ir::compileKernel(*K);
@@ -964,9 +995,22 @@ KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
     Stage.BlockDistributes = false;
     Stage.Coop = CoopKind::Tree;
     Stage.BlockSize = 256;
-    Result->SecondStage = synthesize(Stage, Error, Opts);
-    if (!Result->SecondStage)
-      return nullptr;
+    auto StageResult = synthesize(Stage, Opts);
+    if (!StageResult)
+      return StageResult.status();
+    Result->SecondStage = std::move(*StageResult);
   }
-  return Result;
+  return std::move(Result);
+}
+
+std::unique_ptr<SynthesizedVariant>
+KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
+                              std::string &Error,
+                              const OptimizationFlags &Opts) const {
+  auto Result = synthesize(Desc, Opts);
+  if (!Result) {
+    Error = Result.status().Message;
+    return nullptr;
+  }
+  return std::move(*Result);
 }

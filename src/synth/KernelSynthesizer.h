@@ -30,6 +30,7 @@
 #include "ir/Bytecode.h"
 #include "ir/KernelIR.h"
 #include "lang/AST.h"
+#include "support/Expected.h"
 #include "synth/Variant.h"
 #include "transforms/Pipeline.h"
 
@@ -80,8 +81,14 @@ public:
 
   /// Lowers \p Desc. Second-kernel (pre-pruning) variants synthesize two
   /// kernels: the main kernel stores per-block partials (Listing 1) and a
-  /// cooperative second stage reduces them. Returns null and sets
-  /// \p Error on failure.
+  /// cooperative second stage reduces them. Failures carry
+  /// StatusCode::UnknownVariant (a canonical codelet the descriptor needs
+  /// is absent) or StatusCode::SynthesisError (lowering / verification).
+  support::Expected<std::unique_ptr<SynthesizedVariant>>
+  synthesize(const VariantDescriptor &Desc,
+             const OptimizationFlags &Opts = {}) const;
+
+  [[deprecated("use the Expected-returning overload")]]
   std::unique_ptr<SynthesizedVariant>
   synthesize(const VariantDescriptor &Desc, std::string &Error,
              const OptimizationFlags &Opts = {}) const;

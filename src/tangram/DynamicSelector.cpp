@@ -36,9 +36,9 @@ unsigned DynamicSelector::bucketOf(size_t N) {
   return Bucket;
 }
 
-engine::RunOutcome DynamicSelector::reduce(engine::ExecutionEngine &E,
-                                           sim::BufferId In, size_t N,
-                                           sim::ExecMode Mode) {
+support::Expected<engine::RunResult>
+DynamicSelector::reduce(engine::ExecutionEngine &E, sim::BufferId In,
+                        size_t N, sim::ExecMode Mode) {
   Key K{E.getArch().Gen, bucketOf(N)};
   BucketState &State = Buckets[K];
   if (State.Seconds.empty())
@@ -53,10 +53,10 @@ engine::RunOutcome DynamicSelector::reduce(engine::ExecutionEngine &E,
     Candidate = static_cast<unsigned>(State.BestIndex);
   }
 
-  engine::RunOutcome Out = E.reduce(Portfolio[Candidate], In, N, Mode);
-  if (Out.Ok) {
-    if (Out.Seconds < State.Seconds[Candidate])
-      State.Seconds[Candidate] = Out.Seconds;
+  auto Out = E.reduce(Portfolio[Candidate], In, N, Mode);
+  if (Out) {
+    if (Out->Seconds < State.Seconds[Candidate])
+      State.Seconds[Candidate] = Out->Seconds;
     if (State.BestIndex < 0 ||
         State.Seconds[Candidate] <
             State.Seconds[static_cast<unsigned>(State.BestIndex)])

@@ -34,11 +34,11 @@ public:
 
   /// Reduces buffer \p In resident in \p E's device, micro-profiling while
   /// candidates remain untried for (E's arch, bucket). Returns the
-  /// reduction outcome of whichever candidate ran. Candidates resolve
+  /// reduction result of whichever candidate ran. Candidates resolve
   /// through the engine's variant cache, so each is compiled at most once.
-  engine::RunOutcome reduce(engine::ExecutionEngine &E, sim::BufferId In,
-                            size_t N,
-                            sim::ExecMode Mode = sim::ExecMode::Functional);
+  support::Expected<engine::RunResult>
+  reduce(engine::ExecutionEngine &E, sim::BufferId In, size_t N,
+         sim::ExecMode Mode = sim::ExecMode::Functional);
 
   /// The candidate currently believed best for (arch, N); null until at
   /// least one call completed for the bucket.

@@ -17,43 +17,60 @@
 using namespace tangram;
 using namespace tangram::synth;
 
-std::unique_ptr<TangramReduction>
-TangramReduction::create(const Options &Opts, std::string &Error) {
+using support::Expected;
+using support::Status;
+using support::StatusCode;
+
+Expected<std::unique_ptr<TangramReduction>>
+TangramReduction::create(const Options &Opts) {
   auto TR = std::unique_ptr<TangramReduction>(new TangramReduction());
   TR->Opts = Opts;
-  TR->SourceText = getReductionSource(Opts.Elem, Opts.Op);
+  TR->SourceText = Opts.SourceOverride.empty()
+                       ? getReductionSource(Opts.Elem, Opts.Op)
+                       : Opts.SourceOverride;
   TR->SM = std::make_unique<SourceManager>("reduction.tgr", TR->SourceText);
   TR->Diags = std::make_unique<DiagnosticEngine>(*TR->SM);
   TR->Ctx = std::make_unique<lang::ASTContext>();
 
   lang::Parser P(*TR->SM, *TR->Ctx, *TR->Diags);
   TR->TU = P.parseTranslationUnit();
-  if (TR->Diags->hasErrors()) {
-    Error = TR->Diags->renderAll();
-    return nullptr;
-  }
+  if (TR->Diags->hasErrors())
+    return Status(StatusCode::ParseError, TR->Diags->renderAll());
   sema::Sema S(*TR->Ctx, *TR->Diags);
-  if (!S.analyze(TR->TU)) {
-    Error = TR->Diags->renderAll();
-    return nullptr;
-  }
+  if (!S.analyze(TR->TU))
+    return Status(StatusCode::SemaError, TR->Diags->renderAll());
   TR->Infos = transforms::runTransformPipeline(TR->TU);
   TR->Synth = std::make_unique<KernelSynthesizer>(
       TR->TU, TR->Infos, Opts.Op,
       Opts.Elem == ElemKind::Float ? ir::ScalarType::F32
                                    : ir::ScalarType::I32);
   TR->Space = enumerateVariants();
-  TR->Cache =
-      std::make_shared<engine::VariantCache>(Opts.VariantCacheCapacity);
-  TR->Pool = std::make_shared<support::ThreadPool>(Opts.EngineThreads);
-  return TR;
+  TR->Cache = Opts.Engine.Cache
+                  ? Opts.Engine.Cache
+                  : std::make_shared<engine::VariantCache>(
+                        Opts.Engine.CacheCapacity);
+  TR->Pool = Opts.Engine.Pool
+                 ? Opts.Engine.Pool
+                 : std::make_shared<support::ThreadPool>(
+                       Opts.Engine.ThreadCount);
+  return Expected<std::unique_ptr<TangramReduction>>(std::move(TR));
+}
+
+std::unique_ptr<TangramReduction>
+TangramReduction::create(const Options &Opts, std::string &Error) {
+  auto TR = create(Opts);
+  if (!TR) {
+    Error = TR.status().Message;
+    return nullptr;
+  }
+  return std::move(*TR);
 }
 
 engine::ExecutionEngine &
 TangramReduction::engineFor(const sim::ArchDesc &Arch) const {
   auto It = Engines.find(Arch.Gen);
   if (It == Engines.end()) {
-    engine::EngineOptions EO;
+    engine::EngineOptions EO = Opts.Engine;
     EO.Cache = Cache;
     EO.Pool = Pool;
     auto E = std::make_unique<engine::ExecutionEngine>(Arch, EO);
@@ -63,21 +80,60 @@ TangramReduction::engineFor(const sim::ArchDesc &Arch) const {
   return *It->second;
 }
 
+Expected<std::unique_ptr<SynthesizedVariant>>
+TangramReduction::synthesize(const VariantDescriptor &Desc,
+                             const OptimizationFlags &Opts) const {
+  return Synth->synthesize(Desc, Opts);
+}
+
 std::unique_ptr<SynthesizedVariant>
 TangramReduction::synthesize(const VariantDescriptor &Desc,
                              std::string &Error,
                              const OptimizationFlags &Opts) const {
-  return Synth->synthesize(Desc, Error, Opts);
+  auto S = Synth->synthesize(Desc, Opts);
+  if (!S) {
+    Error = S.status().Message;
+    return nullptr;
+  }
+  return std::move(*S);
+}
+
+Expected<std::string>
+TangramReduction::emitCudaFor(const VariantDescriptor &Desc) const {
+  auto S = Synth->synthesize(Desc);
+  if (!S)
+    return S.status();
+  codegen::CudaEmitOptions Options;
+  Options.EmitHostWrapper = true;
+  return codegen::emitCuda(*(*S)->K, Options);
 }
 
 std::string TangramReduction::emitCudaFor(const VariantDescriptor &Desc,
                                           std::string &Error) const {
-  auto S = Synth->synthesize(Desc, Error);
-  if (!S)
+  auto Cuda = emitCudaFor(Desc);
+  if (!Cuda) {
+    Error = Cuda.status().Message;
     return "";
-  codegen::CudaEmitOptions Options;
-  Options.EmitHostWrapper = true;
-  return codegen::emitCuda(*S->K, Options);
+  }
+  return std::move(*Cuda);
+}
+
+Expected<engine::RaceReport>
+TangramReduction::raceCheck(const VariantDescriptor &Desc,
+                            const sim::ArchDesc &Arch, size_t N) const {
+  return engineFor(Arch).raceCheck(Desc, N);
+}
+
+std::string TangramReduction::renderRace(const sim::RaceDiagnostic &D) const {
+  std::string Body = D.render();
+  // Prefer the newer access's source position; scaffolding instructions
+  // carry no location, so fall back to the older one.
+  SourceLoc Loc = D.Second.Loc.isValid() ? D.Second.Loc : D.First.Loc;
+  if (!Loc.isValid() || Loc.getOffset() > SourceText.size())
+    return Body;
+  LineColumn LC = SM->getLineColumn(Loc);
+  return std::string(SM->getBufferName()) + ":" + std::to_string(LC.Line) +
+         ":" + std::to_string(LC.Column) + ": " + Body;
 }
 
 double TangramReduction::timeVariant(const VariantDescriptor &Desc,

@@ -12,10 +12,15 @@
 /// the paper evaluates.
 ///
 /// \code
-///   std::string Error;
-///   auto TR = tangram::TangramReduction::create({}, Error);
-///   auto Best = TR->findBest(sim::getPascalP100(), 1 << 20);
-///   std::string Cuda = TR->emitCudaFor(Best.Desc, Error);
+///   auto TR = tangram::TangramReduction::create({});
+///   if (!TR) {
+///     std::cerr << TR.status().toString() << "\n";  // e.g. "parse-error: ..."
+///     return 1;
+///   }
+///   auto Best = (*TR)->findBest(sim::getPascalP100(), 1 << 20);
+///   auto Cuda = (*TR)->emitCudaFor(Best.Desc);
+///   if (Cuda)
+///     std::cout << *Cuda;
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -27,6 +32,7 @@
 #include "gpusim/Arch.h"
 #include "lang/ASTContext.h"
 #include "support/Diagnostics.h"
+#include "support/Expected.h"
 #include "support/SourceManager.h"
 #include "synth/KernelSynthesizer.h"
 #include "synth/ReductionSpectrum.h"
@@ -49,15 +55,24 @@ public:
     std::vector<unsigned> CoarsenFactors = {1, 4, 16, 64};
     /// Per-block element cap during tuning (bounds simulation cost).
     unsigned MaxElemsPerBlock = 16384;
-    /// Worker threads for the shared block-simulation pool (0 = one per
-    /// host core).
-    unsigned EngineThreads = 0;
-    /// Compiled-variant cache capacity shared by all per-arch engines.
-    size_t VariantCacheCapacity = 256;
+    /// Execution-layer knobs (thread pool, variant cache, RaceCheck
+    /// detector limits), passed to every lazily-created per-arch engine.
+    engine::EngineOptions Engine;
+    /// Compile this text instead of the canonical spectrum source when
+    /// non-empty (testing hook: error paths, custom codelet sets).
+    std::string SourceOverride;
   };
 
-  /// Parses + checks the canonical source and runs the transform
-  /// pipeline. Returns null and fills \p Error on compilation failure.
+  /// Parses + checks the canonical source (or Options::SourceOverride) and
+  /// runs the transform pipeline. Failures carry StatusCode::ParseError or
+  /// StatusCode::SemaError with the rendered diagnostics as the message.
+  static support::Expected<std::unique_ptr<TangramReduction>>
+  create(const Options &Opts);
+  static support::Expected<std::unique_ptr<TangramReduction>> create() {
+    return create(Options());
+  }
+
+  [[deprecated("use the Expected-returning overload")]]
   static std::unique_ptr<TangramReduction> create(const Options &Opts,
                                                   std::string &Error);
 
@@ -77,14 +92,37 @@ public:
 
   /// Synthesizes one variant (tunables taken from the descriptor).
   /// \p Opts applies the optional future-work IR passes (warp-aggregated
-  /// atomics, loop unrolling).
+  /// atomics, loop unrolling). Failures carry StatusCode::UnknownVariant
+  /// or StatusCode::SynthesisError.
+  support::Expected<std::unique_ptr<synth::SynthesizedVariant>>
+  synthesize(const synth::VariantDescriptor &Desc,
+             const synth::OptimizationFlags &Opts = {}) const;
+
+  [[deprecated("use the Expected-returning overload")]]
   std::unique_ptr<synth::SynthesizedVariant>
   synthesize(const synth::VariantDescriptor &Desc, std::string &Error,
              const synth::OptimizationFlags &Opts = {}) const;
 
   /// Emits the CUDA C text for one variant (Listings 1-4 form).
+  support::Expected<std::string>
+  emitCudaFor(const synth::VariantDescriptor &Desc) const;
+
+  [[deprecated("use the Expected-returning overload")]]
   std::string emitCudaFor(const synth::VariantDescriptor &Desc,
                           std::string &Error) const;
+
+  /// Runs \p Desc under the dynamic race detector on \p Arch over an
+  /// \p N-element input (every launch, full grid). A clean variant yields
+  /// RaceReport::clean(); diagnostics map racing instructions back to
+  /// codelet source positions — render them with renderRace().
+  support::Expected<engine::RaceReport>
+  raceCheck(const synth::VariantDescriptor &Desc, const sim::ArchDesc &Arch,
+            size_t N) const;
+
+  /// "file:line:col: <diagnostic>" rendering of one race against the
+  /// compiled codelet source (positions fall back to the raw diagnostic
+  /// when the racing instruction is synthesized scaffolding).
+  std::string renderRace(const sim::RaceDiagnostic &D) const;
 
   /// Picks the best tunables for \p Desc on \p Arch at size \p N by
   /// sampled simulation; returns the tuned descriptor.

@@ -25,22 +25,20 @@ namespace {
 
 TangramReduction &compiled() {
   static std::unique_ptr<TangramReduction> TR = [] {
-    std::string Error;
-    auto T = TangramReduction::create({}, Error);
-    EXPECT_NE(T, nullptr) << Error;
-    return T;
+    auto T = TangramReduction::create();
+    EXPECT_TRUE(T.ok()) << T.status().toString();
+    return std::move(*T);
   }();
   return *TR;
 }
 
 std::string cudaFor(const char *Label) {
-  std::string Error;
   const VariantDescriptor *V =
       findByFigure6Label(compiled().getSearchSpace(), Label);
   EXPECT_NE(V, nullptr);
-  std::string Text = compiled().emitCudaFor(*V, Error);
-  EXPECT_FALSE(Text.empty()) << Error;
-  return Text;
+  auto Text = compiled().emitCudaFor(*V);
+  EXPECT_TRUE(Text.ok()) << Text.status().toString();
+  return Text ? *Text : std::string();
 }
 
 TEST(CudaEmitter, GlobalAtomicGridCombine) {
@@ -80,14 +78,13 @@ TEST(CudaEmitter, TreeVariantUsesExternShared) {
 }
 
 TEST(CudaEmitter, SyncShuffleSpelling) {
-  std::string Error;
   const VariantDescriptor *V =
       findByFigure6Label(compiled().getSearchSpace(), "m");
-  auto S = compiled().synthesize(*V, Error);
-  ASSERT_NE(S, nullptr);
+  auto S = compiled().synthesize(*V);
+  ASSERT_TRUE(S.ok()) << S.status().toString();
   codegen::CudaEmitOptions Options;
   Options.SyncShuffles = true;
-  std::string Text = codegen::emitCuda(*S->K, Options);
+  std::string Text = codegen::emitCuda(*(*S)->K, Options);
   EXPECT_NE(Text.find("__shfl_down_sync(0xffffffff, val, offset, 32)"),
             std::string::npos);
 }
@@ -101,15 +98,14 @@ TEST(CudaEmitter, HostWrapperShape) {
 }
 
 TEST(CudaEmitter, MaxReductionSpellsAtomicMax) {
-  std::string Error;
   TangramReduction::Options Opts;
   Opts.Op = ReduceOp::Max;
   Opts.Elem = ElemKind::Int;
-  auto TR = TangramReduction::create(Opts, Error);
-  ASSERT_NE(TR, nullptr) << Error;
+  auto TR = TangramReduction::create(Opts);
+  ASSERT_TRUE(TR.ok()) << TR.status().toString();
   const VariantDescriptor *V =
-      findByFigure6Label(TR->getSearchSpace(), "n");
-  std::string Text = TR->emitCudaFor(*V, Error);
+      findByFigure6Label((*TR)->getSearchSpace(), "n");
+  std::string Text = *(*TR)->emitCudaFor(*V);
   EXPECT_NE(Text.find("atomicMax(&tmp, "), std::string::npos);
   EXPECT_NE(Text.find("atomicMax(&Return[0], "), std::string::npos);
   // Max identity, not zero.
@@ -128,10 +124,12 @@ TEST(CudaEmitter, StridedGridUsesGridDim) {
 }
 
 TEST(CudaEmitter, EmitsEveryPrunedVariantNonEmpty) {
-  std::string Error;
   for (const VariantDescriptor &V : compiled().getSearchSpace().Pruned) {
-    std::string Text = compiled().emitCudaFor(V, Error);
-    EXPECT_FALSE(Text.empty()) << V.getName() << ": " << Error;
+    auto Cuda = compiled().emitCudaFor(V);
+    ASSERT_TRUE(Cuda.ok()) << V.getName() << ": "
+                           << Cuda.status().toString();
+    std::string Text = *Cuda;
+    EXPECT_FALSE(Text.empty()) << V.getName();
     EXPECT_NE(Text.find("__global__"), std::string::npos) << V.getName();
     // Identifier-safe kernel names (variant names contain '/' and '+').
     size_t NamePos = Text.find("void ");

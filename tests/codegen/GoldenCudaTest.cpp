@@ -50,29 +50,28 @@ void Reduce_Block_DTA_VA2_S(float *Return, float *input_x, int SourceSize, int O
 )";
 
 TEST(GoldenCuda, VariantPMatchesExactly) {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  ASSERT_NE(TR, nullptr) << Error;
+  auto TR = TangramReduction::create();
+  ASSERT_TRUE(TR.ok()) << TR.status().toString();
   const VariantDescriptor *P =
-      findByFigure6Label(TR->getSearchSpace(), "p");
+      findByFigure6Label((*TR)->getSearchSpace(), "p");
   ASSERT_NE(P, nullptr);
-  auto S = TR->synthesize(*P, Error);
-  ASSERT_NE(S, nullptr) << Error;
-  std::string Text = codegen::emitCuda(*S->K);
+  auto S = (*TR)->synthesize(*P);
+  ASSERT_TRUE(S.ok()) << S.status().toString();
+  std::string Text = codegen::emitCuda(*(*S)->K);
   EXPECT_EQ(Text, ExpectedVariantP);
 }
 
 TEST(GoldenCuda, EmissionIsDeterministic) {
-  std::string Error;
-  auto TR = TangramReduction::create({}, Error);
-  ASSERT_NE(TR, nullptr) << Error;
+  auto TR = TangramReduction::create();
+  ASSERT_TRUE(TR.ok()) << TR.status().toString();
   for (const char *Label : {"a", "k", "m", "n"}) {
     const VariantDescriptor *V =
-        findByFigure6Label(TR->getSearchSpace(), Label);
-    std::string First = TR->emitCudaFor(*V, Error);
-    std::string Second = TR->emitCudaFor(*V, Error);
-    EXPECT_EQ(First, Second) << Label;
-    EXPECT_FALSE(First.empty()) << Label;
+        findByFigure6Label((*TR)->getSearchSpace(), Label);
+    auto First = (*TR)->emitCudaFor(*V);
+    auto Second = (*TR)->emitCudaFor(*V);
+    ASSERT_TRUE(First.ok() && Second.ok()) << Label;
+    EXPECT_EQ(*First, *Second) << Label;
+    EXPECT_FALSE(First->empty()) << Label;
   }
 }
 

@@ -24,10 +24,9 @@ namespace {
 
 std::unique_ptr<TangramReduction>
 makeFacade(const TangramReduction::Options &Opts = {}) {
-  std::string Error;
-  auto TR = TangramReduction::create(Opts, Error);
-  EXPECT_NE(TR, nullptr) << Error;
-  return TR;
+  auto TR = TangramReduction::create(Opts);
+  EXPECT_TRUE(TR.ok()) << TR.status().toString();
+  return TR ? std::move(*TR) : nullptr;
 }
 
 VariantDescriptor labeled(const TangramReduction &TR, const char *Label) {
@@ -44,13 +43,12 @@ TEST(VariantCache, CompileOnceOnCacheHit) {
   engine::ExecutionEngine &E = TR->engineFor(sim::getKeplerK40c());
   VariantDescriptor D = labeled(*TR, "a");
 
-  std::string Error;
-  auto First = E.getVariant(D, Error);
-  ASSERT_NE(First, nullptr) << Error;
-  auto Second = E.getVariant(D, Error);
-  ASSERT_NE(Second, nullptr) << Error;
+  auto First = E.getVariant(D);
+  ASSERT_TRUE(First.ok()) << First.status().toString();
+  auto Second = E.getVariant(D);
+  ASSERT_TRUE(Second.ok()) << Second.status().toString();
 
-  EXPECT_EQ(First.get(), Second.get());
+  EXPECT_EQ(First->get(), Second->get());
   engine::CacheStats S = E.getCacheStats();
   EXPECT_EQ(S.Misses, 1u);
   EXPECT_EQ(S.Hits, 1u);
@@ -66,15 +64,14 @@ TEST(VariantCache, CrossArchKeyingNeverShares) {
   ASSERT_EQ(Kepler.getCachePtr().get(), Maxwell.getCachePtr().get());
 
   VariantDescriptor D = labeled(*TR, "m");
-  std::string Error;
-  auto OnKepler = Kepler.getVariant(D, Error);
-  ASSERT_NE(OnKepler, nullptr) << Error;
-  auto OnMaxwell = Maxwell.getVariant(D, Error);
-  ASSERT_NE(OnMaxwell, nullptr) << Error;
+  auto OnKepler = Kepler.getVariant(D);
+  ASSERT_TRUE(OnKepler.ok()) << OnKepler.status().toString();
+  auto OnMaxwell = Maxwell.getVariant(D);
+  ASSERT_TRUE(OnMaxwell.ok()) << OnMaxwell.status().toString();
 
   // ...but the generation field keys their entries apart: the same
   // descriptor synthesizes twice, never hitting the other arch's artifact.
-  EXPECT_NE(OnKepler.get(), OnMaxwell.get());
+  EXPECT_NE(OnKepler->get(), OnMaxwell->get());
   engine::CacheStats S = Kepler.getCacheStats();
   EXPECT_EQ(S.Misses, 2u);
   EXPECT_EQ(S.Hits, 0u);
@@ -86,15 +83,14 @@ TEST(VariantCache, OptimizationFlagsAreKeyed) {
   engine::ExecutionEngine &E = TR->engineFor(sim::getPascalP100());
   VariantDescriptor D = labeled(*TR, "n");
 
-  std::string Error;
   OptimizationFlags Agg;
   Agg.AggregateAtomics = true;
-  auto Plain = E.getVariant(D, Error);
-  ASSERT_NE(Plain, nullptr) << Error;
-  auto Aggregated = E.getVariant(D, Error, Agg);
-  ASSERT_NE(Aggregated, nullptr) << Error;
+  auto Plain = E.getVariant(D);
+  ASSERT_TRUE(Plain.ok()) << Plain.status().toString();
+  auto Aggregated = E.getVariant(D, Agg);
+  ASSERT_TRUE(Aggregated.ok()) << Aggregated.status().toString();
 
-  EXPECT_NE(Plain.get(), Aggregated.get());
+  EXPECT_NE(Plain->get(), Aggregated->get());
   engine::CacheStats S = E.getCacheStats();
   EXPECT_EQ(S.Misses, 2u);
   EXPECT_EQ(S.Entries, 2u);
@@ -102,14 +98,13 @@ TEST(VariantCache, OptimizationFlagsAreKeyed) {
 
 TEST(VariantCache, LruEvictionIsBounded) {
   TangramReduction::Options Opts;
-  Opts.VariantCacheCapacity = 2;
+  Opts.Engine.CacheCapacity = 2;
   auto TR = makeFacade(Opts);
   engine::ExecutionEngine &E = TR->engineFor(sim::getKeplerK40c());
 
-  std::string Error;
-  ASSERT_NE(E.getVariant(labeled(*TR, "a"), Error), nullptr) << Error;
-  ASSERT_NE(E.getVariant(labeled(*TR, "l"), Error), nullptr) << Error;
-  ASSERT_NE(E.getVariant(labeled(*TR, "m"), Error), nullptr) << Error;
+  ASSERT_TRUE(E.getVariant(labeled(*TR, "a")).ok());
+  ASSERT_TRUE(E.getVariant(labeled(*TR, "l")).ok());
+  ASSERT_TRUE(E.getVariant(labeled(*TR, "m")).ok());
 
   engine::CacheStats S = E.getCacheStats();
   EXPECT_EQ(S.Entries, 2u);
@@ -117,7 +112,7 @@ TEST(VariantCache, LruEvictionIsBounded) {
 
   // The least recently used entry ("a") is gone: requesting it again is a
   // fourth miss, not a hit.
-  ASSERT_NE(E.getVariant(labeled(*TR, "a"), Error), nullptr) << Error;
+  ASSERT_TRUE(E.getVariant(labeled(*TR, "a")).ok());
   EXPECT_EQ(E.getCacheStats().Misses, 4u);
 }
 
@@ -125,9 +120,10 @@ TEST(ExecutionEngine, GetVariantRequiresCompiler) {
   engine::ExecutionEngine E(sim::getKeplerK40c());
   ASSERT_FALSE(E.hasCompiler());
   VariantDescriptor D;
-  std::string Error;
-  EXPECT_EQ(E.getVariant(D, Error), nullptr);
-  EXPECT_FALSE(Error.empty());
+  auto V = E.getVariant(D);
+  ASSERT_FALSE(V.ok());
+  EXPECT_EQ(V.code(), support::StatusCode::InvalidArgument);
+  EXPECT_FALSE(V.status().Message.empty());
 }
 
 TEST(ExecutionEngine, DeterminismAcrossThreadCounts) {
@@ -135,9 +131,9 @@ TEST(ExecutionEngine, DeterminismAcrossThreadCounts) {
   // to the sequential interpretation: same functional sums AND same modeled
   // warp-cycle totals, on every architecture.
   TangramReduction::Options Seq;
-  Seq.EngineThreads = 1;
+  Seq.Engine.ThreadCount = 1;
   TangramReduction::Options Par;
-  Par.EngineThreads = 4;
+  Par.Engine.ThreadCount = 4;
   auto TRSeq = makeFacade(Seq);
   auto TRPar = makeFacade(Par);
 
@@ -164,24 +160,27 @@ TEST(ExecutionEngine, DeterminismAcrossThreadCounts) {
       size_t MarkSeq = ESeq.deviceMark();
       sim::BufferId InSeq = ESeq.getDevice().alloc(ir::ScalarType::F32, N);
       ESeq.getDevice().writeFloats(InSeq, Data);
-      engine::RunOutcome OutSeq = ESeq.reduce(D, InSeq, N);
+      auto OutSeq = ESeq.reduce(D, InSeq, N);
       ESeq.deviceRelease(MarkSeq);
 
       size_t MarkPar = EPar.deviceMark();
       sim::BufferId InPar = EPar.getDevice().alloc(ir::ScalarType::F32, N);
       EPar.getDevice().writeFloats(InPar, Data);
-      engine::RunOutcome OutPar = EPar.reduce(D, InPar, N);
+      auto OutPar = EPar.reduce(D, InPar, N);
       EPar.deviceRelease(MarkPar);
 
-      ASSERT_TRUE(OutSeq.Ok) << D.getName() << ": " << OutSeq.Error;
-      ASSERT_TRUE(OutPar.Ok) << D.getName() << ": " << OutPar.Error;
+      ASSERT_TRUE(OutSeq.ok())
+          << D.getName() << ": " << OutSeq.status().toString();
+      ASSERT_TRUE(OutPar.ok())
+          << D.getName() << ": " << OutPar.status().toString();
       // Bitwise equality, not EXPECT_NEAR: the merge order is block-index
       // deterministic, so even float rounding must agree exactly.
-      EXPECT_EQ(OutSeq.FloatValue, OutPar.FloatValue)
+      EXPECT_EQ(OutSeq->FloatValue, OutPar->FloatValue)
           << Archs[A].Name << " " << D.getName();
-      EXPECT_EQ(OutSeq.Launch.Stats.WarpCycles, OutPar.Launch.Stats.WarpCycles)
+      EXPECT_EQ(OutSeq->Launch.Stats.WarpCycles,
+                OutPar->Launch.Stats.WarpCycles)
           << Archs[A].Name << " " << D.getName();
-      EXPECT_EQ(OutSeq.Seconds, OutPar.Seconds)
+      EXPECT_EQ(OutSeq->Seconds, OutPar->Seconds)
           << Archs[A].Name << " " << D.getName();
     }
   }
@@ -189,7 +188,7 @@ TEST(ExecutionEngine, DeterminismAcrossThreadCounts) {
 
 TEST(ExecutionEngine, SharedPoolAcrossEnginesKeepsOneThreadSet) {
   TangramReduction::Options Opts;
-  Opts.EngineThreads = 2;
+  Opts.Engine.ThreadCount = 2;
   auto TR = makeFacade(Opts);
   engine::ExecutionEngine &A = TR->engineFor(sim::getKeplerK40c());
   engine::ExecutionEngine &B = TR->engineFor(sim::getPascalP100());

@@ -84,16 +84,17 @@ TEST_P(OptimizedVariants, AllPrunedVariantsStayCorrect) {
     VariantDescriptor V = Base;
     V.BlockSize = 128;
     V.Coarsen = V.BlockDistributes ? 4 : 1;
-    std::string Error;
-    auto S = Synth.synthesize(V, Error, Flags);
-    ASSERT_NE(S, nullptr) << V.getName() << ": " << Error;
+    auto S = Synth.synthesize(V, Flags);
+    ASSERT_TRUE(S.ok()) << V.getName() << ": "
+                        << S.status().toString();
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    engine::RunOutcome Out = E.runReduction(*S, In, N);
+    auto Out = E.runReduction(**S, In, N);
     E.deviceRelease(Mark);
-    ASSERT_TRUE(Out.Ok) << V.getName() << ": " << Out.Error;
-    EXPECT_NEAR(Out.FloatValue, Expected, std::abs(Expected) * 1e-3 + 1e-2)
+    ASSERT_TRUE(Out.ok()) << V.getName() << ": "
+                          << Out.status().toString();
+    EXPECT_NEAR(Out->FloatValue, Expected, std::abs(Expected) * 1e-3 + 1e-2)
         << V.getName() << " aggregate=" << Aggregate
         << " unroll=" << Unroll;
   }
@@ -115,11 +116,10 @@ TEST(OptimizedVariants, UnrollRemovesLoopOpsFromShuffleVariants) {
   OptimizationFlags Flags;
   Flags.UnrollLoops = true;
 
-  std::string Error;
   VariantDescriptor M = *findByFigure6Label(Space, "m");
-  auto Rolled = Synth.synthesize(M, Error);
-  auto Unrolled = Synth.synthesize(M, Error, Flags);
-  ASSERT_TRUE(Rolled && Unrolled) << Error;
+  auto Rolled = Synth.synthesize(M);
+  auto Unrolled = Synth.synthesize(M, Flags);
+  ASSERT_TRUE(Rolled.ok() && Unrolled.ok());
 
   auto CountLoopOps = [](const ir::CompiledKernel &CK) {
     unsigned Count = 0;
@@ -129,9 +129,9 @@ TEST(OptimizedVariants, UnrollRemovesLoopOpsFromShuffleVariants) {
   };
   // The shuffle tree loops (constant 16..1 bounds) unroll away; the
   // rolled version retains them.
-  EXPECT_GT(CountLoopOps(Rolled->Compiled), 0u);
-  EXPECT_EQ(CountLoopOps(Unrolled->Compiled), 0u);
-  EXPECT_GT(Unrolled->Compiled.Code.size(), Rolled->Compiled.Code.size());
+  EXPECT_GT(CountLoopOps((*Rolled)->Compiled), 0u);
+  EXPECT_EQ(CountLoopOps((*Unrolled)->Compiled), 0u);
+  EXPECT_GT((*Unrolled)->Compiled.Code.size(), (*Rolled)->Compiled.Code.size());
 }
 
 TEST(OptimizedVariants, AggregationHelpsVariantNOnKepler) {
@@ -144,12 +144,11 @@ TEST(OptimizedVariants, AggregationHelpsVariantNOnKepler) {
   OptimizationFlags Flags;
   Flags.AggregateAtomics = true;
 
-  std::string Error;
   VariantDescriptor N = *findByFigure6Label(Space, "n");
   N.BlockSize = 256;
-  auto Plain = Synth.synthesize(N, Error);
-  auto Agg = Synth.synthesize(N, Error, Flags);
-  ASSERT_TRUE(Plain && Agg) << Error;
+  auto Plain = Synth.synthesize(N);
+  auto Agg = Synth.synthesize(N, Flags);
+  ASSERT_TRUE(Plain.ok() && Agg.ok());
 
   const size_t Size = 1 << 16;
   engine::ExecutionEngine E(sim::getKeplerK40c());
@@ -159,11 +158,11 @@ TEST(OptimizedVariants, AggregationHelpsVariantNOnKepler) {
     sim::BufferId In =
         E.getDevice().allocVirtual(ir::ScalarType::F32, Size, Pattern);
     double Seconds =
-        E.runReduction(S, In, Size, sim::ExecMode::Sampled).Seconds;
+        E.runReduction(S, In, Size, sim::ExecMode::Sampled)->Seconds;
     E.deviceRelease(Mark);
     return Seconds;
   };
-  EXPECT_LT(TimeOf(*Agg), TimeOf(*Plain));
+  EXPECT_LT(TimeOf(**Agg), TimeOf(**Plain));
 }
 
 } // namespace

@@ -159,14 +159,13 @@ TEST(KernelSynthesizer, SecondKernelVariantsSynthesizeTwoStages) {
                           ir::ScalarType::F32);
   VariantDescriptor V;
   V.GridScheme = GridCombine::SecondKernel;
-  std::string Error;
-  auto S = Synth.synthesize(V, Error);
-  ASSERT_NE(S, nullptr) << Error;
-  ASSERT_NE(S->SecondStage, nullptr);
-  EXPECT_FALSE(S->SecondStage->Desc.usesSecondKernel());
+  auto S = Synth.synthesize(V);
+  ASSERT_TRUE(S.ok()) << S.status().toString();
+  ASSERT_NE((*S)->SecondStage, nullptr);
+  EXPECT_FALSE((*S)->SecondStage->Desc.usesSecondKernel());
   // The main kernel stores per-block partials instead of atomics.
   bool HasAtomGlobal = false, HasStGlobal = false;
-  for (const ir::Instr &I : S->Compiled.Code) {
+  for (const ir::Instr &I : (*S)->Compiled.Code) {
     HasAtomGlobal |= I.Op == ir::Opcode::AtomGlobal;
     HasStGlobal |= I.Op == ir::Opcode::StGlobal;
   }
@@ -194,16 +193,17 @@ TEST(ReductionRunner, OriginalTenVersionsComputeCorrectSums) {
     VariantDescriptor V = Base;
     V.BlockSize = 128;
     V.Coarsen = V.BlockDistributes ? 4 : 1;
-    std::string Error;
-    auto S = Synth.synthesize(V, Error);
-    ASSERT_NE(S, nullptr) << V.getName() << ": " << Error;
+    auto S = Synth.synthesize(V);
+    ASSERT_TRUE(S.ok()) << V.getName() << ": "
+                       << S.status().toString();
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    engine::RunOutcome Out = E.runReduction(*S, In, N);
+    auto Out = E.runReduction(**S, In, N);
     E.deviceRelease(Mark);
-    ASSERT_TRUE(Out.Ok) << V.getName() << ": " << Out.Error;
-    EXPECT_NEAR(Out.FloatValue, Expected, std::abs(Expected) * 1e-4 + 1e-2)
+    ASSERT_TRUE(Out.ok()) << V.getName() << ": "
+                          << Out.status().toString();
+    EXPECT_NEAR(Out->FloatValue, Expected, std::abs(Expected) * 1e-4 + 1e-2)
         << V.getName();
     ++Checked;
   }
@@ -222,10 +222,9 @@ TEST(ReductionRunner, PruningJustifiedSecondKernelIsSlower) {
   VariantDescriptor TwoKernel = Atomic;
   TwoKernel.GridScheme = GridCombine::SecondKernel;
 
-  std::string Error;
-  auto SA = Synth.synthesize(Atomic, Error);
-  auto ST = Synth.synthesize(TwoKernel, Error);
-  ASSERT_TRUE(SA && ST) << Error;
+  auto SA = Synth.synthesize(Atomic);
+  auto ST = Synth.synthesize(TwoKernel);
+  ASSERT_TRUE(SA.ok() && ST.ok());
 
   engine::ExecutionEngine EA(sim::getMaxwellGTX980());
   engine::ExecutionEngine ET(sim::getMaxwellGTX980());
@@ -237,9 +236,9 @@ TEST(ReductionRunner, PruningJustifiedSecondKernelIsSlower) {
     sim::BufferId InT =
         ET.getDevice().allocVirtual(ir::ScalarType::F32, N, Pattern);
     double TA =
-        EA.runReduction(*SA, InA, N, sim::ExecMode::Sampled).Seconds;
+        EA.runReduction(**SA, InA, N, sim::ExecMode::Sampled)->Seconds;
     double TT =
-        ET.runReduction(*ST, InT, N, sim::ExecMode::Sampled).Seconds;
+        ET.runReduction(**ST, InT, N, sim::ExecMode::Sampled)->Seconds;
     EA.deviceRelease(MarkA);
     ET.deviceRelease(MarkT);
     // The second launch dominates at small/medium sizes and amortizes
@@ -255,14 +254,14 @@ TEST(KernelSynthesizer, AllPrunedVariantsSynthesizeAndVerify) {
                           ir::ScalarType::F32);
   SearchSpace Space = enumerateVariants();
   for (const VariantDescriptor &V : Space.Pruned) {
-    std::string Error;
-    auto S = Synth.synthesize(V, Error);
-    ASSERT_NE(S, nullptr) << V.getName() << ": " << Error;
-    EXPECT_FALSE(S->Compiled.Code.empty());
+    auto S = Synth.synthesize(V);
+    ASSERT_TRUE(S.ok()) << V.getName() << ": "
+                       << S.status().toString();
+    EXPECT_FALSE((*S)->Compiled.Code.empty());
     // Shuffle variants carry Shfl instructions; shared-atomic variants
     // carry AtomShared; every pruned variant ends in a global atomic.
     bool HasShfl = false, HasAtomShared = false, HasAtomGlobal = false;
-    for (const ir::Instr &I : S->Compiled.Code) {
+    for (const ir::Instr &I : (*S)->Compiled.Code) {
       HasShfl |= I.Op == ir::Opcode::Shfl;
       HasAtomShared |= I.Op == ir::Opcode::AtomShared;
       HasAtomGlobal |= I.Op == ir::Opcode::AtomGlobal;
@@ -278,14 +277,13 @@ TEST(KernelSynthesizer, ShuffleVariantElidesSharedTmp) {
   KernelSynthesizer Synth(C.TU, C.Infos, ReduceOp::Add,
                           ir::ScalarType::F32);
   SearchSpace Space = enumerateVariants();
-  std::string Error;
-  auto Tree = Synth.synthesize(*findByFigure6Label(Space, "l"), Error);
-  auto Shfl = Synth.synthesize(*findByFigure6Label(Space, "m"), Error);
-  ASSERT_TRUE(Tree && Shfl) << Error;
+  auto Tree = Synth.synthesize(*findByFigure6Label(Space, "l"));
+  auto Shfl = Synth.synthesize(*findByFigure6Label(Space, "m"));
+  ASSERT_TRUE(Tree.ok() && Shfl.ok());
   // (l) allocates tmp[blockDim] + partial[32]; (m) drops tmp entirely —
   // the occupancy benefit Section III-C describes.
-  EXPECT_EQ(Tree->K->getSharedArrays().size(), 2u);
-  EXPECT_EQ(Shfl->K->getSharedArrays().size(), 1u);
+  EXPECT_EQ((*Tree)->K->getSharedArrays().size(), 2u);
+  EXPECT_EQ((*Shfl)->K->getSharedArrays().size(), 1u);
 }
 
 /// Runs every pruned variant functionally and checks the sum.
@@ -306,19 +304,20 @@ TEST(ReductionRunner, AllPrunedVariantsComputeCorrectSums) {
     VariantDescriptor V = Base;
     V.BlockSize = 128;
     V.Coarsen = V.BlockDistributes ? 4 : 1;
-    std::string Error;
-    auto S = Synth.synthesize(V, Error);
-    ASSERT_NE(S, nullptr) << V.getName() << ": " << Error;
+    auto S = Synth.synthesize(V);
+    ASSERT_TRUE(S.ok()) << V.getName() << ": "
+                       << S.status().toString();
 
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    engine::RunOutcome Out = E.runReduction(*S, In, N);
+    auto Out = E.runReduction(**S, In, N);
     E.deviceRelease(Mark);
-    ASSERT_TRUE(Out.Ok) << V.getName() << ": " << Out.Error;
-    EXPECT_NEAR(Out.FloatValue, Expected, std::abs(Expected) * 1e-4 + 1e-2)
+    ASSERT_TRUE(Out.ok()) << V.getName() << ": "
+                          << Out.status().toString();
+    EXPECT_NEAR(Out->FloatValue, Expected, std::abs(Expected) * 1e-4 + 1e-2)
         << V.getName();
-    EXPECT_GT(Out.Seconds, 0.0);
+    EXPECT_GT(Out->Seconds, 0.0);
   }
 }
 
@@ -345,9 +344,8 @@ TEST_P(BestVariantSweep, CorrectOnAllArchitectures) {
   VariantDescriptor V = *Base;
   V.BlockSize = P.BlockSize;
   V.Coarsen = V.BlockDistributes ? P.Coarsen : 1;
-  std::string Error;
-  auto S = Synth.synthesize(V, Error);
-  ASSERT_NE(S, nullptr) << Error;
+  auto S = Synth.synthesize(V);
+  ASSERT_TRUE(S.ok()) << S.status().toString();
 
   std::vector<float> Data = randomFloats(P.N, 7);
   double Expected = 0;
@@ -360,9 +358,10 @@ TEST_P(BestVariantSweep, CorrectOnAllArchitectures) {
     engine::ExecutionEngine E(Archs[A]);
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, P.N);
     E.getDevice().writeFloats(In, Data);
-    engine::RunOutcome Out = E.runReduction(*S, In, P.N);
-    ASSERT_TRUE(Out.Ok) << Archs[A].Name << ": " << Out.Error;
-    EXPECT_NEAR(Out.FloatValue, Expected,
+    auto Out = E.runReduction(**S, In, P.N);
+    ASSERT_TRUE(Out.ok()) << Archs[A].Name << ": "
+                          << Out.status().toString();
+    EXPECT_NEAR(Out->FloatValue, Expected,
                 std::abs(Expected) * 1e-4 + 1e-2)
         << Archs[A].Name << " " << V.getName();
   }
@@ -404,16 +403,15 @@ TEST(ReductionRunner, IntReductionIsExact) {
     VariantDescriptor V = *findByFigure6Label(Space, Label);
     V.BlockSize = 256;
     V.Coarsen = V.BlockDistributes ? 8 : 1;
-    std::string Error;
-    auto S = Synth.synthesize(V, Error);
-    ASSERT_NE(S, nullptr) << Error;
+    auto S = Synth.synthesize(V);
+    ASSERT_TRUE(S.ok()) << S.status().toString();
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
     E.getDevice().writeInts(In, Data);
-    engine::RunOutcome Out = E.runReduction(*S, In, N);
+    auto Out = E.runReduction(**S, In, N);
     E.deviceRelease(Mark);
-    ASSERT_TRUE(Out.Ok) << Out.Error;
-    EXPECT_EQ(Out.IntValue, Expected) << Label;
+    ASSERT_TRUE(Out.ok()) << Out.status().toString();
+    EXPECT_EQ(Out->IntValue, Expected) << Label;
   }
 }
 
@@ -436,16 +434,16 @@ TEST(ReductionRunner, MaxAndMinReductions) {
       VariantDescriptor V = *findByFigure6Label(Space, Label);
       V.BlockSize = 128;
       V.Coarsen = V.BlockDistributes ? 4 : 1;
-      std::string Error;
-      auto S = Synth.synthesize(V, Error);
-      ASSERT_NE(S, nullptr) << getReduceOpName(Op) << " " << Error;
+      auto S = Synth.synthesize(V);
+      ASSERT_TRUE(S.ok()) << getReduceOpName(Op) << " "
+                          << S.status().toString();
       size_t Mark = E.deviceMark();
       sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
       E.getDevice().writeInts(In, Data);
-      engine::RunOutcome Out = E.runReduction(*S, In, N);
+      auto Out = E.runReduction(**S, In, N);
       E.deviceRelease(Mark);
-      ASSERT_TRUE(Out.Ok) << Out.Error;
-      EXPECT_EQ(Out.IntValue, Expected)
+      ASSERT_TRUE(Out.ok()) << Out.status().toString();
+      EXPECT_EQ(Out->IntValue, Expected)
           << getReduceOpName(Op) << " " << Label;
     }
   }
@@ -465,16 +463,15 @@ TEST(ReductionRunner, SingleElementAndTinyInputs) {
     for (const char *Label : {"n", "p", "m"}) {
       VariantDescriptor V = *findByFigure6Label(Space, Label);
       V.BlockSize = 64;
-      std::string Error;
-      auto S = Synth.synthesize(V, Error);
-      ASSERT_NE(S, nullptr) << Error;
+      auto S = Synth.synthesize(V);
+      ASSERT_TRUE(S.ok()) << S.status().toString();
       size_t Mark = E.deviceMark();
       sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
       E.getDevice().writeFloats(In, Data);
-      engine::RunOutcome Out = E.runReduction(*S, In, N);
+      auto Out = E.runReduction(**S, In, N);
       E.deviceRelease(Mark);
-      ASSERT_TRUE(Out.Ok) << Out.Error;
-      EXPECT_NEAR(Out.FloatValue, Expected, 1e-3)
+      ASSERT_TRUE(Out.ok()) << Out.status().toString();
+      EXPECT_NEAR(Out->FloatValue, Expected, 1e-3)
           << "N=" << N << " " << Label;
     }
   }

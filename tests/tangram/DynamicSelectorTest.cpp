@@ -17,10 +17,9 @@ namespace {
 
 TangramReduction &facade() {
   static std::unique_ptr<TangramReduction> TR = [] {
-    std::string Error;
-    auto T = TangramReduction::create({}, Error);
-    EXPECT_NE(T, nullptr) << Error;
-    return T;
+    auto T = TangramReduction::create();
+    EXPECT_TRUE(T.ok()) << T.status().toString();
+    return std::move(*T);
   }();
   return *TR;
 }
@@ -37,10 +36,10 @@ TEST(DynamicSelector, DefaultPortfolioIsTheBestEight) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    engine::RunOutcome Out = Selector.reduce(E, In, N);
+    auto Out = Selector.reduce(E, In, N);
     E.deviceRelease(Mark);
-    ASSERT_TRUE(Out.Ok) << Out.Error;
-    EXPECT_NEAR(Out.FloatValue, N * 0.5, 1e-2);
+    ASSERT_TRUE(Out.ok()) << Out.status().toString();
+    EXPECT_NEAR(Out->FloatValue, N * 0.5, 1e-2);
   }
   EXPECT_TRUE(Selector.isConverged(Arch, N));
   ASSERT_NE(Selector.getBest(Arch, N), nullptr);
@@ -62,10 +61,11 @@ TEST(DynamicSelector, EveryCallReturnsCorrectResult) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    engine::RunOutcome Out = Selector.reduce(E, In, N);
+    auto Out = Selector.reduce(E, In, N);
     E.deviceRelease(Mark);
-    ASSERT_TRUE(Out.Ok) << "call " << Call << ": " << Out.Error;
-    EXPECT_NEAR(Out.FloatValue, Expected, Expected * 1e-4);
+    ASSERT_TRUE(Out.ok()) << "call " << Call << ": "
+                          << Out.status().toString();
+    EXPECT_NEAR(Out->FloatValue, Expected, Expected * 1e-4);
   }
 }
 
@@ -81,7 +81,7 @@ TEST(DynamicSelector, ConvergesToArchAppropriateWinner) {
       size_t Mark = E.deviceMark();
       sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
       E.getDevice().writeFloats(In, Data);
-      EXPECT_TRUE(Sel.reduce(E, In, N).Ok);
+      EXPECT_TRUE(Sel.reduce(E, In, N).ok());
       E.deviceRelease(Mark);
     }
   };
@@ -109,7 +109,7 @@ TEST(DynamicSelector, BucketsAreIndependent) {
   size_t Mark = E.deviceMark();
   sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, 64);
   E.getDevice().writeFloats(In, Data);
-  EXPECT_TRUE(Selector.reduce(E, In, 64).Ok);
+  EXPECT_TRUE(Selector.reduce(E, In, 64).ok());
   E.deviceRelease(Mark);
   // A different bucket has seen nothing yet.
   EXPECT_FALSE(Selector.isConverged(Arch, 1 << 20));
@@ -129,7 +129,7 @@ TEST(DynamicSelector, CustomPortfolio) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, 512);
     E.getDevice().writeFloats(In, Data);
-    EXPECT_TRUE(Selector.reduce(E, In, 512).Ok);
+    EXPECT_TRUE(Selector.reduce(E, In, 512).ok());
     E.deviceRelease(Mark);
   }
   EXPECT_TRUE(Selector.isConverged(Arch, 512));

@@ -23,10 +23,9 @@ namespace {
 
 TangramReduction &facade() {
   static std::unique_ptr<TangramReduction> TR = [] {
-    std::string Error;
-    auto T = TangramReduction::create({}, Error);
-    EXPECT_NE(T, nullptr) << Error;
-    return T;
+    auto T = TangramReduction::create();
+    EXPECT_TRUE(T.ok()) << T.status().toString();
+    return std::move(*T);
   }();
   return *TR;
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 gate: configure, build, and run the full test suite exactly the
+# way CI does. Run from anywhere; exits nonzero on the first failure.
+#
+#   tools/run_tier1.sh            # RelWithDebInfo tier-1 gate
+#   tools/run_tier1.sh asan-ubsan # same suite under ASan+UBSan
+set -eu
+
+PRESET="${1:-tier1}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if command -v cmake >/dev/null 2>&1 && cmake --list-presets >/dev/null 2>&1; then
+  cmake --preset "$PRESET"
+  cmake --build --preset "$PRESET" -j "$(nproc 2>/dev/null || echo 2)"
+  ctest --preset "$PRESET"
+else
+  # CMake < 3.21: no preset support; fall back to the plain tier-1 build.
+  cmake -B build -S .
+  cmake --build build -j "$(nproc 2>/dev/null || echo 2)"
+  ctest --test-dir build --output-on-failure -j 4
+fi

@@ -6,20 +6,28 @@
 //
 // Command-line driver for the Tangram reduction compiler:
 //
-//   tgrc [options] [file.tgr]
+//   tgrc <subcommand> [options] [args]
 //
-// Reads a Tangram codelet source (or the built-in canonical reduction
-// spectrum when no file is given), runs the full pipeline, and prints the
-// requested artifact.
+// Subcommands:
+//   list                         enumerated search space (default)
+//   emit NAME [--bytecode]       CUDA C (or SIMT bytecode) for one variant
+//   tune NAME [--arch=A --n=N]   pick tunables by sampled simulation
+//   best [--arch=A --n=N]        fastest tuned variant per architecture
+//   racecheck [NAME|all]         dynamic race detector over the variant(s)
+//   check FILE [--dump-ast] [--dump-passes]
+//                                front-end check a user codelet source
 //
-// Options:
-//   --dump-ast          normalized source after parse+sema
-//   --dump-passes       per-codelet transform-pipeline findings
-//   --list-variants     the enumerated search space (default)
-//   --emit-cuda=NAME    CUDA for the variant with Fig. 6 label or name
-//   --emit-bytecode=NAME  SIMT bytecode disassembly for the variant
-//   --op=add|sub|max|min  reduction operator (built-in source only)
-//   --type=float|int      element type (built-in source only)
+// Shared options:
+//   --op=add|sub|max|min   reduction operator (canonical source only)
+//   --type=float|int       element type (canonical source only)
+//   --arch=kepler|maxwell|pascal|all   target architecture(s)
+//   --n=SIZE               problem size (elements)
+//   --dump-ast             normalized source after parse+sema
+//   --dump-passes          per-codelet transform-pipeline findings
+//
+// Legacy spellings remain accepted: --list-variants, --emit-cuda=NAME,
+// --emit-bytecode=NAME, --racecheck[=NAME], and a bare FILE argument
+// (routed to `check`).
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +42,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 using namespace tangram;
 using namespace tangram::synth;
@@ -43,10 +52,106 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: tgrc [--dump-ast] [--dump-passes] [--list-variants]\n"
-      "            [--emit-cuda=NAME] [--emit-bytecode=NAME]\n"
-      "            [--op=add|sub|max|min] [--type=float|int] [file.tgr]\n");
+      "usage: tgrc <list|emit|tune|best|racecheck|check> [options] [args]\n"
+      "  tgrc list\n"
+      "  tgrc emit NAME [--bytecode]\n"
+      "  tgrc tune NAME [--arch=kepler|maxwell|pascal|all] [--n=SIZE]\n"
+      "  tgrc best [--arch=...] [--n=SIZE]\n"
+      "  tgrc racecheck [NAME|all] [--arch=...] [--n=SIZE]\n"
+      "  tgrc check FILE [--dump-ast] [--dump-passes]\n"
+      "shared options: --op=add|sub|max|min --type=float|int\n");
   return 2;
+}
+
+/// Options shared by every subcommand, parsed once up front.
+struct DriverOptions {
+  TangramReduction::Options Create;
+  std::vector<sim::ArchDesc> Archs; ///< Resolved --arch set.
+  size_t N = 1 << 20;
+  bool Bytecode = false;
+  bool DumpAst = false;
+  bool DumpPasses = false;
+  std::vector<std::string> Positional;
+
+  // Legacy flag spellings, mapped onto subcommands in main().
+  std::string LegacyEmitCuda, LegacyEmitBytecode, LegacyRaceCheck;
+  bool LegacyList = false;
+};
+
+bool parseArchSet(const std::string &Name, std::vector<sim::ArchDesc> &Out) {
+  if (Name == "kepler")
+    Out = {sim::getKeplerK40c()};
+  else if (Name == "maxwell")
+    Out = {sim::getMaxwellGTX980()};
+  else if (Name == "pascal")
+    Out = {sim::getPascalP100()};
+  else if (Name == "all") {
+    unsigned Count = 0;
+    const sim::ArchDesc *All = sim::getAllArchs(Count);
+    Out.assign(All, All + Count);
+  } else
+    return false;
+  return true;
+}
+
+/// Parses every flag into \p O; non-flag arguments land in O.Positional in
+/// order. Returns false on an unknown or malformed flag.
+bool parseOptions(int Argc, char **Argv, DriverOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (!std::strcmp(Arg, "--dump-ast"))
+      O.DumpAst = true;
+    else if (!std::strcmp(Arg, "--dump-passes"))
+      O.DumpPasses = true;
+    else if (!std::strcmp(Arg, "--bytecode"))
+      O.Bytecode = true;
+    else if (!std::strcmp(Arg, "--list-variants"))
+      O.LegacyList = true;
+    else if (!std::strncmp(Arg, "--emit-cuda=", 12))
+      O.LegacyEmitCuda = Arg + 12;
+    else if (!std::strncmp(Arg, "--emit-bytecode=", 16))
+      O.LegacyEmitBytecode = Arg + 16;
+    else if (!std::strcmp(Arg, "--racecheck"))
+      O.LegacyRaceCheck = "all";
+    else if (!std::strncmp(Arg, "--racecheck=", 12))
+      O.LegacyRaceCheck = Arg + 12;
+    else if (!std::strncmp(Arg, "--arch=", 7)) {
+      if (!parseArchSet(Arg + 7, O.Archs))
+        return false;
+    } else if (!std::strncmp(Arg, "--n=", 4)) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(Arg + 4, &End, 10);
+      if (!End || *End || V == 0)
+        return false;
+      O.N = static_cast<size_t>(V);
+    } else if (!std::strncmp(Arg, "--op=", 5)) {
+      std::string Op = Arg + 5;
+      if (Op == "add")
+        O.Create.Op = ReduceOp::Add;
+      else if (Op == "sub")
+        O.Create.Op = ReduceOp::Sub;
+      else if (Op == "max")
+        O.Create.Op = ReduceOp::Max;
+      else if (Op == "min")
+        O.Create.Op = ReduceOp::Min;
+      else
+        return false;
+    } else if (!std::strncmp(Arg, "--type=", 7)) {
+      std::string Ty = Arg + 7;
+      if (Ty == "float")
+        O.Create.Elem = ElemKind::Float;
+      else if (Ty == "int")
+        O.Create.Elem = ElemKind::Int;
+      else
+        return false;
+    } else if (Arg[0] == '-')
+      return false;
+    else
+      O.Positional.push_back(Arg);
+  }
+  if (O.Archs.empty())
+    O.Archs = {sim::getPascalP100()};
+  return true;
 }
 
 const VariantDescriptor *findVariant(const SearchSpace &Space,
@@ -59,13 +164,26 @@ const VariantDescriptor *findVariant(const SearchSpace &Space,
   return nullptr;
 }
 
+/// Compiles the canonical spectrum (or an error exit). Shared by every
+/// subcommand that needs the facade.
+std::unique_ptr<TangramReduction> compileSpectrum(const DriverOptions &O) {
+  auto TR = TangramReduction::create(O.Create);
+  if (!TR) {
+    std::fprintf(stderr, "tgrc: %s\n", TR.status().toString().c_str());
+    return nullptr;
+  }
+  return std::move(*TR);
+}
+
+// --- check ---------------------------------------------------------------
+
 /// Checks a user-supplied source file: parse, sema, pass pipeline; prints
 /// what was requested. (Variant synthesis requires the canonical spectrum
 /// shape and stays on the built-in path.)
-int runOnFile(const char *Path, bool DumpAst, bool DumpPasses) {
+int cmdCheck(const DriverOptions &O, const std::string &Path) {
   std::ifstream File(Path);
   if (!File) {
-    std::fprintf(stderr, "tgrc: cannot open '%s'\n", Path);
+    std::fprintf(stderr, "tgrc: cannot open '%s'\n", Path.c_str());
     return 1;
   }
   std::stringstream Text;
@@ -89,9 +207,9 @@ int runOnFile(const char *Path, bool DumpAst, bool DumpPasses) {
     std::printf("  %-12s %-12s %s\n", C->getName().c_str(),
                 C->getTag().empty() ? "-" : C->getTag().c_str(),
                 lang::getCodeletClassName(C->getCodeletClass()));
-  if (DumpAst)
+  if (O.DumpAst)
     std::printf("\n%s", lang::printTranslationUnit(TU).c_str());
-  if (DumpPasses) {
+  if (O.DumpPasses) {
     auto Infos = transforms::runTransformPipeline(TU);
     for (const auto &[C, Info] : Infos) {
       std::printf("\n%s (%s):\n", C->getName().c_str(), C->getTag().c_str());
@@ -104,117 +222,37 @@ int runOnFile(const char *Path, bool DumpAst, bool DumpPasses) {
       for (const auto &W : Info.SharedAtomics.Writes)
         std::printf("  shared-atomic write on '%s' (atomic%s)\n",
                     W.Var->getName().c_str(), getReduceOpName(W.Op));
-      for (const auto &O : Info.Shuffles)
+      for (const auto &Op : Info.Shuffles)
         std::printf("  shuffle loop over '%s' (%s, array %s)\n",
-                    O.Array->getName().c_str(),
-                    O.Direction == ir::ShuffleMode::Down ? "shfl_down"
-                                                         : "shfl_up",
-                    O.ElideArray ? "elided" : "kept");
+                    Op.Array->getName().c_str(),
+                    Op.Direction == ir::ShuffleMode::Down ? "shfl_down"
+                                                          : "shfl_up",
+                    Op.ElideArray ? "elided" : "kept");
     }
   }
   return 0;
 }
 
-} // namespace
+// --- list ----------------------------------------------------------------
 
-int main(int Argc, char **Argv) {
-  bool DumpAst = false, DumpPasses = false, ListVariants = false;
-  std::string EmitCuda, EmitBytecode, File;
-  TangramReduction::Options Opts;
-
-  for (int I = 1; I < Argc; ++I) {
-    const char *Arg = Argv[I];
-    if (!std::strcmp(Arg, "--dump-ast"))
-      DumpAst = true;
-    else if (!std::strcmp(Arg, "--dump-passes"))
-      DumpPasses = true;
-    else if (!std::strcmp(Arg, "--list-variants"))
-      ListVariants = true;
-    else if (!std::strncmp(Arg, "--emit-cuda=", 12))
-      EmitCuda = Arg + 12;
-    else if (!std::strncmp(Arg, "--emit-bytecode=", 16))
-      EmitBytecode = Arg + 16;
-    else if (!std::strncmp(Arg, "--op=", 5)) {
-      std::string Op = Arg + 5;
-      if (Op == "add")
-        Opts.Op = ReduceOp::Add;
-      else if (Op == "sub")
-        Opts.Op = ReduceOp::Sub;
-      else if (Op == "max")
-        Opts.Op = ReduceOp::Max;
-      else if (Op == "min")
-        Opts.Op = ReduceOp::Min;
-      else
-        return usage();
-    } else if (!std::strncmp(Arg, "--type=", 7)) {
-      std::string Ty = Arg + 7;
-      if (Ty == "float")
-        Opts.Elem = ElemKind::Float;
-      else if (Ty == "int")
-        Opts.Elem = ElemKind::Int;
-      else
-        return usage();
-    } else if (Arg[0] == '-')
-      return usage();
-    else
-      File = Arg;
-  }
-
-  if (!File.empty())
-    return runOnFile(File.c_str(), DumpAst, DumpPasses);
-
-  std::string Error;
-  auto TR = TangramReduction::create(Opts, Error);
-  if (!TR) {
-    std::fprintf(stderr, "%s", Error.c_str());
+int cmdList(const DriverOptions &O) {
+  auto TR = compileSpectrum(O);
+  if (!TR)
     return 1;
-  }
-
-  if (DumpAst) {
+  if (O.DumpAst) {
     std::printf("%s", lang::printTranslationUnit(TR->getUnit()).c_str());
     return 0;
   }
-  if (DumpPasses) {
-    // Reuse the file path with the canonical source via a temp round
-    // trip: simpler to re-run the pipeline here.
+  if (O.DumpPasses) {
     auto Infos = transforms::runTransformPipeline(TR->getUnit());
-    for (const auto &[C, Info] : Infos) {
+    for (const auto &[C, Info] : Infos)
       std::printf("%s (%s): %zu shared-atomic write(s), %zu shuffle "
                   "opportunit(ies)%s\n",
                   C->getName().c_str(), C->getTag().c_str(),
                   Info.SharedAtomics.Writes.size(), Info.Shuffles.size(),
                   Info.GlobalAtomic ? ", Map atomic API" : "");
-    }
     return 0;
   }
-  if (!EmitCuda.empty()) {
-    const VariantDescriptor *V = findVariant(TR->getSearchSpace(), EmitCuda);
-    if (!V) {
-      std::fprintf(stderr, "tgrc: unknown variant '%s'\n", EmitCuda.c_str());
-      return 1;
-    }
-    std::printf("%s", TR->emitCudaFor(*V, Error).c_str());
-    return 0;
-  }
-  if (!EmitBytecode.empty()) {
-    const VariantDescriptor *V =
-        findVariant(TR->getSearchSpace(), EmitBytecode);
-    if (!V) {
-      std::fprintf(stderr, "tgrc: unknown variant '%s'\n",
-                   EmitBytecode.c_str());
-      return 1;
-    }
-    auto S = TR->synthesize(*V, Error);
-    if (!S) {
-      std::fprintf(stderr, "%s\n", Error.c_str());
-      return 1;
-    }
-    std::printf("%s", S->Compiled.disassemble().c_str());
-    return 0;
-  }
-
-  // Default: list the search space.
-  (void)ListVariants;
   const SearchSpace &Space = TR->getSearchSpace();
   std::printf("%zu versions enumerated, %zu after pruning:\n",
               Space.All.size(), Space.Pruned.size());
@@ -225,4 +263,192 @@ int main(int Argc, char **Argv) {
                 getVariantCategoryName(V.getCategory()));
   }
   return 0;
+}
+
+// --- emit ----------------------------------------------------------------
+
+int cmdEmit(const DriverOptions &O, const std::string &Name) {
+  auto TR = compileSpectrum(O);
+  if (!TR)
+    return 1;
+  const VariantDescriptor *V = findVariant(TR->getSearchSpace(), Name);
+  if (!V) {
+    std::fprintf(stderr, "tgrc: unknown variant '%s'\n", Name.c_str());
+    return 1;
+  }
+  if (O.Bytecode) {
+    auto S = TR->synthesize(*V);
+    if (!S) {
+      std::fprintf(stderr, "tgrc: %s\n", S.status().toString().c_str());
+      return 1;
+    }
+    std::printf("%s", (*S)->Compiled.disassemble().c_str());
+    return 0;
+  }
+  auto Cuda = TR->emitCudaFor(*V);
+  if (!Cuda) {
+    std::fprintf(stderr, "tgrc: %s\n", Cuda.status().toString().c_str());
+    return 1;
+  }
+  std::printf("%s", Cuda->c_str());
+  return 0;
+}
+
+// --- tune ----------------------------------------------------------------
+
+int cmdTune(const DriverOptions &O, const std::string &Name) {
+  auto TR = compileSpectrum(O);
+  if (!TR)
+    return 1;
+  const VariantDescriptor *V = findVariant(TR->getSearchSpace(), Name);
+  if (!V) {
+    std::fprintf(stderr, "tgrc: unknown variant '%s'\n", Name.c_str());
+    return 1;
+  }
+  for (const sim::ArchDesc &Arch : O.Archs) {
+    VariantDescriptor Tuned = TR->tune(*V, Arch, O.N);
+    double Seconds = TR->timeVariant(Tuned, Arch, O.N);
+    std::printf("%-10s n=%zu  block=%u coarsen=%u  %.3f us\n",
+                Arch.Name.c_str(), O.N, Tuned.BlockSize, Tuned.Coarsen,
+                Seconds * 1e6);
+  }
+  return 0;
+}
+
+// --- best ----------------------------------------------------------------
+
+int cmdBest(const DriverOptions &O) {
+  auto TR = compileSpectrum(O);
+  if (!TR)
+    return 1;
+  for (const sim::ArchDesc &Arch : O.Archs) {
+    TangramReduction::BestResult Best = TR->findBest(Arch, O.N);
+    std::printf("%-10s n=%zu  %-4s %-20s block=%u coarsen=%u  %.3f us\n",
+                Arch.Name.c_str(), O.N,
+                Best.Fig6Label.empty() ? "-" : Best.Fig6Label.c_str(),
+                Best.Desc.getName().c_str(), Best.Desc.BlockSize,
+                Best.Desc.Coarsen, Best.Seconds * 1e6);
+  }
+  return 0;
+}
+
+// --- racecheck -----------------------------------------------------------
+
+int raceCheckOne(const TangramReduction &TR, const VariantDescriptor &V,
+                 const sim::ArchDesc &Arch, size_t N, unsigned &Races) {
+  auto Report = TR.raceCheck(V, Arch, N);
+  if (!Report) {
+    std::fprintf(stderr, "tgrc: %s: %s\n", V.getName().c_str(),
+                 Report.status().toString().c_str());
+    return 1;
+  }
+  std::printf("%-10s %-20s launches=%u  %s\n", Arch.Name.c_str(),
+              V.getName().c_str(), Report->LaunchCount,
+              Report->clean()
+                  ? "clean"
+                  : (std::to_string(Report->Conflicts) + " conflict(s), " +
+                     std::to_string(Report->Diagnostics.size()) +
+                     " distinct race(s)")
+                        .c_str());
+  for (const sim::RaceDiagnostic &D : Report->Diagnostics)
+    std::printf("    %s\n", TR.renderRace(D).c_str());
+  if (Report->Truncated)
+    std::printf("    (address table overflowed; coverage is partial)\n");
+  Races += static_cast<unsigned>(Report->Diagnostics.size());
+  return 0;
+}
+
+int cmdRaceCheck(const DriverOptions &O, const std::string &Name) {
+  auto TR = compileSpectrum(O);
+  if (!TR)
+    return 1;
+  std::vector<const VariantDescriptor *> Targets;
+  if (Name.empty() || Name == "all") {
+    for (const VariantDescriptor &V : TR->getSearchSpace().Pruned)
+      Targets.push_back(&V);
+  } else {
+    const VariantDescriptor *V = findVariant(TR->getSearchSpace(), Name);
+    if (!V) {
+      std::fprintf(stderr, "tgrc: unknown variant '%s'\n", Name.c_str());
+      return 1;
+    }
+    Targets.push_back(V);
+  }
+  unsigned Races = 0;
+  for (const sim::ArchDesc &Arch : O.Archs)
+    for (const VariantDescriptor *V : Targets)
+      if (int RC = raceCheckOne(*TR, *V, Arch, O.N, Races))
+        return RC;
+  std::printf("%zu variant(s) x %zu architecture(s): %u race(s)\n",
+              Targets.size(), O.Archs.size(), Races);
+  return Races ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions O;
+  // RaceCheck sweeps stay tractable at the default problem size.
+  bool SawN = false;
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strncmp(Argv[I], "--n=", 4))
+      SawN = true;
+  if (!parseOptions(Argc, Argv, O))
+    return usage();
+
+  std::string Cmd;
+  if (!O.Positional.empty()) {
+    const std::string &First = O.Positional.front();
+    if (First == "list" || First == "emit" || First == "tune" ||
+        First == "best" || First == "racecheck" || First == "check") {
+      Cmd = First;
+      O.Positional.erase(O.Positional.begin());
+    }
+  }
+
+  // Map legacy flag spellings onto subcommands.
+  if (Cmd.empty()) {
+    if (!O.LegacyEmitCuda.empty()) {
+      Cmd = "emit";
+      O.Positional = {O.LegacyEmitCuda};
+    } else if (!O.LegacyEmitBytecode.empty()) {
+      Cmd = "emit";
+      O.Bytecode = true;
+      O.Positional = {O.LegacyEmitBytecode};
+    } else if (!O.LegacyRaceCheck.empty()) {
+      Cmd = "racecheck";
+      O.Positional = {O.LegacyRaceCheck};
+    } else if (!O.Positional.empty()) {
+      Cmd = "check"; // bare FILE argument
+    } else {
+      Cmd = "list"; // includes legacy --list-variants / dump flags
+    }
+  }
+
+  if (Cmd == "check")
+    return O.Positional.size() == 1 ? cmdCheck(O, O.Positional.front())
+                                    : usage();
+  if (!O.Positional.empty() && Cmd != "emit" && Cmd != "tune" &&
+      Cmd != "racecheck")
+    return usage();
+
+  if (Cmd == "list")
+    return cmdList(O);
+  if (Cmd == "emit")
+    return O.Positional.size() == 1 ? cmdEmit(O, O.Positional.front())
+                                    : usage();
+  if (Cmd == "tune")
+    return O.Positional.size() == 1 ? cmdTune(O, O.Positional.front())
+                                    : usage();
+  if (Cmd == "best")
+    return cmdBest(O);
+  if (Cmd == "racecheck") {
+    if (O.Positional.size() > 1)
+      return usage();
+    if (!SawN)
+      O.N = 1 << 14; // full-grid functional runs; keep the sweep quick
+    return cmdRaceCheck(O,
+                        O.Positional.empty() ? "" : O.Positional.front());
+  }
+  return usage();
 }
