@@ -18,6 +18,7 @@
 
 #include "tangram/FigureHarness.h"
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -109,6 +110,10 @@ struct BenchRecord {
   std::string Variant; ///< Variant / configuration label.
   size_t N = 0;        ///< Input size in elements (0 if not applicable).
   double Seconds = 0;  ///< Modeled seconds for the run.
+  /// Run health: "ok", or a failure class ("quarantined", "timeout", ...)
+  /// when the hardened pipeline rejected the configuration. Benches emit a
+  /// record either way so partial failures still produce valid JSON.
+  std::string Status = "ok";
 };
 
 /// Flattens one architecture's figure rows into bench records (one per
@@ -117,8 +122,10 @@ inline void appendFigureRecords(const sim::ArchDesc &Arch,
                                 const std::vector<FigureRow> &Rows,
                                 std::vector<BenchRecord> &Records) {
   for (const FigureRow &R : Rows) {
-    Records.push_back({Arch.Name, "tangram-" + R.BestName, R.N,
-                       R.TangramSeconds});
+    Records.push_back({Arch.Name,
+                       R.BestName.empty() ? "tangram"
+                                          : "tangram-" + R.BestName,
+                       R.N, R.TangramSeconds, R.Status});
     Records.push_back({Arch.Name, "cub", R.N, R.CubSeconds});
     Records.push_back({Arch.Name, "kokkos", R.N, R.KokkosSeconds});
     Records.push_back({Arch.Name, "openmp", R.N, R.OmpSeconds});
@@ -126,9 +133,12 @@ inline void appendFigureRecords(const sim::ArchDesc &Arch,
 }
 
 /// Writes `BENCH_<BenchName>.json` in the working directory: an array of
-/// `{"variant", "arch", "n", "seconds"}` objects, one per record. Keeps
-/// the figure binaries' stdout tables human-oriented while giving CI and
-/// plotting scripts a stable machine-readable artifact.
+/// `{"variant", "arch", "n", "seconds", "status"}` objects, one per
+/// record. Keeps the figure binaries' stdout tables human-oriented while
+/// giving CI and plotting scripts a stable machine-readable artifact.
+/// Records with a non-"ok" status carry whatever Seconds were measured
+/// before the failure (usually 0 or infinity) — the array stays valid
+/// JSON even when part of the sweep was quarantined.
 inline void writeBenchJson(const std::string &BenchName,
                            const std::vector<BenchRecord> &Records) {
   std::string Path = "BENCH_" + BenchName + ".json";
@@ -140,11 +150,14 @@ inline void writeBenchJson(const std::string &BenchName,
   std::fprintf(F, "[\n");
   for (size_t I = 0; I != Records.size(); ++I) {
     const BenchRecord &R = Records[I];
+    // Infinity is not valid JSON; failed configurations keep a numeric
+    // placeholder and their status says why the number is meaningless.
+    double Seconds = std::isfinite(R.Seconds) ? R.Seconds : 0;
     std::fprintf(F,
                  "  {\"variant\": \"%s\", \"arch\": \"%s\", \"n\": %zu, "
-                 "\"seconds\": %.9g}%s\n",
-                 R.Variant.c_str(), R.Arch.c_str(), R.N, R.Seconds,
-                 I + 1 == Records.size() ? "" : ",");
+                 "\"seconds\": %.9g, \"status\": \"%s\"}%s\n",
+                 R.Variant.c_str(), R.Arch.c_str(), R.N, Seconds,
+                 R.Status.c_str(), I + 1 == Records.size() ? "" : ",");
   }
   std::fprintf(F, "]\n");
   std::fclose(F);

@@ -35,6 +35,9 @@ struct SweepPoint {
   double FloatValue = 0;
   double WarpCycles = 0;
   double Seconds = 0;
+  /// "ok", or the failure class when the hardened engine rejected the run
+  /// (quarantine, watchdog deadline, launch error).
+  std::string Status = "ok";
 };
 
 /// Runs every Fig. 6 version on every architecture through \p TR,
@@ -65,6 +68,8 @@ double sweepAll(TangramReduction &TR, const SearchSpace &Space, size_t N,
         P.FloatValue = Out->FloatValue;
         P.WarpCycles = Out->Launch.Stats.WarpCycles;
         P.Seconds = Out->Seconds;
+      } else {
+        P.Status = support::getStatusCodeName(Out.status().Code);
       }
       Points.push_back(P);
     }
@@ -182,7 +187,7 @@ int main() {
         continue;
       if (Idx < Par.size())
         Records.push_back({Archs[A].Name, std::string(1, L), N,
-                           Par[Idx].Seconds});
+                           Par[Idx].Seconds, Par[Idx].Status});
       ++Idx;
     }
   bench::writeBenchJson("fig6_search_space", Records);

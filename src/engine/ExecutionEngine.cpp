@@ -7,8 +7,10 @@
 #include "engine/ExecutionEngine.h"
 
 #include "support/StableHash.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 using namespace tangram;
@@ -28,7 +30,27 @@ LaunchConfig tangram::engine::makeLaunchConfig(
       std::max<size_t>(1, (N + PerBlock - 1) / PerBlock));
   // Dynamic shared arrays size to the block (the lowered `in.Size()`).
   Config.DynSharedElems = Config.BlockDim;
+  // Per-block watchdog: a legitimate lowering issues a small multiple of
+  // its tile size in warp-instructions; give it two orders of magnitude of
+  // headroom so budgets never clip a slow-but-correct variant, while a
+  // livelocked lock loop still traps promptly.
+  Config.MaxWarpInstructions =
+      65536 + 128ull * PerBlock + 64ull * Config.BlockDim;
   return Config;
+}
+
+const char *tangram::engine::getFaultOutcomeName(FaultOutcome O) {
+  switch (O) {
+  case FaultOutcome::Clean:
+    return "clean";
+  case FaultOutcome::Survived:
+    return "survived";
+  case FaultOutcome::Detected:
+    return "detected";
+  case FaultOutcome::Trapped:
+    return "trapped";
+  }
+  return "unknown";
 }
 
 ExecutionEngine::ExecutionEngine(const ArchDesc &Arch, EngineOptions Opts)
@@ -40,6 +62,7 @@ ExecutionEngine::ExecutionEngine(const ArchDesc &Arch, EngineOptions Opts)
                        : std::make_shared<VariantCache>(Opts.CacheCapacity)),
       Machine(Dev, this->Arch, Pool.get()) {
   Machine.setRaceCheckOptions(Opts.RaceCheck);
+  Machine.setFaultPlan(Opts.Fault);
 }
 
 void ExecutionEngine::attachCompiler(const synth::KernelSynthesizer &S,
@@ -97,6 +120,8 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
   RunResult Out;
 
   LaunchConfig Config = makeLaunchConfig(V, N);
+  if (BudgetEscalation > 1)
+    Config.MaxWarpInstructions *= BudgetEscalation;
 
   // Scratch accumulators live above this watermark and are dropped on every
   // exit path, so repeated calls never grow the device.
@@ -126,7 +151,9 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
        ArgValue::scalar(ObjectSize)},
       Mode);
   if (!Out.Launch.ok())
-    return Status(StatusCode::LaunchError, Out.Launch.Errors.front());
+    return Status(Out.Launch.DeadlineExceeded ? StatusCode::DeadlineExceeded
+                                              : StatusCode::LaunchError,
+                  Out.Launch.Errors.front());
 
   Out.Timing = modelKernelTime(Arch, Out.Launch);
   Out.Seconds = Out.Timing.TotalSeconds;
@@ -143,6 +170,8 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
     Out.Seconds += Stage->Seconds;
     Out.FloatValue = Stage->FloatValue;
     Out.IntValue = Stage->IntValue;
+    // Callers see one fault count per end-to-end run.
+    Out.Launch.FaultsInjected += Stage->Launch.FaultsInjected;
     if (Mode == ExecMode::RaceCheck) {
       // Fold the second stage's race findings into the first-stage launch
       // record so callers see one report per end-to-end run.
@@ -236,13 +265,297 @@ RunOutcome ExecutionEngine::reduceOutcome(const synth::VariantDescriptor &Desc,
 
 double ExecutionEngine::timeVariant(const synth::VariantDescriptor &Desc,
                                     size_t N) {
+  auto T = timeVariantChecked(Desc, N);
+  return T ? *T : std::numeric_limits<double>::infinity();
+}
+
+Expected<double>
+ExecutionEngine::timeVariantChecked(const synth::VariantDescriptor &Desc,
+                                    size_t N, unsigned RetryBudgetFactor) {
+  if (const QuarantineRecord *Q = findQuarantine(Desc))
+    return Q->Why;
   auto V = getVariant(Desc);
   if (!V)
-    return std::numeric_limits<double>::infinity();
+    return V.status();
   size_t Mark = Dev.mark();
   VirtualPattern Pattern;
   BufferId In = Dev.allocVirtual((*V)->Elem, N, Pattern);
   auto Out = runReduction(**V, In, N, ExecMode::Sampled);
+  if (!Out && Out.status().Code == StatusCode::DeadlineExceeded &&
+      RetryBudgetFactor > 1) {
+    // One retry at an escalated budget: a genuinely slow configuration
+    // finishes and survives; a livelocked one trips the watchdog again
+    // and is quarantined below.
+    BudgetEscalation = RetryBudgetFactor;
+    Out = runReduction(**V, In, N, ExecMode::Sampled);
+    BudgetEscalation = 1;
+  }
   Dev.release(Mark);
-  return Out ? Out->Seconds : std::numeric_limits<double>::infinity();
+  if (!Out) {
+    quarantineVariant(Desc, Out.status());
+    return Out.status();
+  }
+  return Out->Seconds;
+}
+
+Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
+                                        size_t N) {
+  if (N == 0 || !Synth)
+    return Status::success();
+  // Sub is not associative: a tree schedule and a serial schedule disagree
+  // legitimately, so there is no single reference value to validate
+  // against.
+  if (Synth->getOp() == ReduceOp::Sub)
+    return Status::success();
+  if (Validated.count(Desc.stableHash()))
+    return Status::success();
+  if (const QuarantineRecord *Q = findQuarantine(Desc))
+    return Q->Why;
+  auto V = getVariant(Desc);
+  if (!V) {
+    quarantineVariant(Desc, V.status());
+    return V.status();
+  }
+
+  // Materialized small-integer input: float32 sums of these values stay
+  // exact (well under 2^24), so even the float comparison is exact in
+  // practice and any mismatch is a real lost/corrupted update.
+  size_t Mark = Dev.mark();
+  BufferId In = Dev.alloc((*V)->Elem, N);
+  ReduceOp Op = Synth->getOp();
+  bool IsFloat = (*V)->Elem == ir::ScalarType::F32;
+  ReduceIdentityValue Id =
+      reduceIdentity(Op, IsFloat ? ElemKind::Float : ElemKind::Int);
+  double RefF = Id.F;
+  long long RefI = Id.I;
+  for (size_t I = 0; I != N; ++I) {
+    Cell *C = Dev.get(In).writable(I);
+    C->I = static_cast<long long>(I % 17);
+    C->F = static_cast<double>(I % 17);
+    RefF = applyReduceOp<double>(Op, RefF, C->F);
+    RefI = applyReduceOp<long long>(Op, RefI, C->I);
+  }
+
+  auto Run = runReduction(**V, In, N, ExecMode::Functional);
+  Dev.release(Mark);
+  if (!Run) {
+    quarantineVariant(Desc, Run.status());
+    return Run.status();
+  }
+
+  bool Wrong;
+  if (IsFloat) {
+    double Tol = std::abs(RefF) * 1e-4 + 1e-6;
+    // NaN-safe: a NaN result fails the <= and is flagged wrong.
+    Wrong = !(std::abs(Run->FloatValue - RefF) <= Tol);
+  } else {
+    Wrong = Run->IntValue != RefI;
+  }
+  if (Wrong) {
+    Status S(StatusCode::WrongResult,
+             IsFloat ? strformat("wrong reduction: got %.9g, expected %.9g "
+                                 "over %zu elements",
+                                 Run->FloatValue, RefF, N)
+                     : strformat("wrong reduction: got %lld, expected %lld "
+                                 "over %zu elements",
+                                 Run->IntValue, RefI, N));
+    quarantineVariant(Desc, S);
+    return S;
+  }
+  Validated.insert(Desc.stableHash());
+  return Status::success();
+}
+
+Expected<TuneReport>
+ExecutionEngine::tune(const synth::VariantDescriptor &Desc, size_t N,
+                      const TuneOptions &Opts) {
+  if (!Synth)
+    return Status(StatusCode::InvalidArgument,
+                  "no compiler attached to the execution engine");
+  TuneReport Report;
+  Report.Best = Desc;
+  Report.CandidatesTried = 1;
+
+  // Time every admissible configuration, keeping all survivors so a winner
+  // that later fails validation can fall back to the next-fastest one.
+  std::vector<std::pair<double, synth::VariantDescriptor>> Timed;
+  for (unsigned Block : Opts.BlockSizes) {
+    if (Block > Arch.MaxThreadsPerBlock)
+      continue;
+    std::vector<unsigned> Coarsens =
+        Desc.BlockDistributes ? Opts.CoarsenFactors
+                              : std::vector<unsigned>{1};
+    for (unsigned C : Coarsens) {
+      if (static_cast<size_t>(Block) * C > Opts.MaxElemsPerBlock)
+        continue;
+      // Skip grossly oversized tiles (a single block would cover the
+      // whole input many times over).
+      if (static_cast<size_t>(Block) * C > std::max<size_t>(N * 4, 64))
+        continue;
+      synth::VariantDescriptor Candidate = Desc;
+      Candidate.BlockSize = Block;
+      Candidate.Coarsen = C;
+      ++Report.ConfigsTimed;
+      auto T = timeVariantChecked(Candidate, N, Opts.RetryBudgetFactor);
+      if (!T) {
+        Report.Quarantined.push_back({Candidate, T.status()});
+        continue;
+      }
+      Timed.emplace_back(*T, Candidate);
+    }
+  }
+  // Stable: among equal times the first-enumerated configuration wins,
+  // matching the historical strict-< sweep so clean-run winners are
+  // bit-identical to the unhardened tuner.
+  std::stable_sort(Timed.begin(), Timed.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first < B.first;
+                   });
+
+  for (const auto &[Seconds, Candidate] : Timed) {
+    if (Opts.ValidateN) {
+      Status S = validateVariant(Candidate, Opts.ValidateN);
+      if (!S.ok()) {
+        Report.Quarantined.push_back({Candidate, S});
+        continue; // Fall back to the next-fastest configuration.
+      }
+    }
+    Report.Best = Candidate;
+    Report.BestSeconds = Seconds;
+    Report.Fig6Label = Candidate.getFigure6Label();
+    break;
+  }
+  return Report;
+}
+
+Expected<TuneReport> ExecutionEngine::findBest(
+    const std::vector<synth::VariantDescriptor> &Candidates, size_t N,
+    const TuneOptions &Opts) {
+  if (!Synth)
+    return Status(StatusCode::InvalidArgument,
+                  "no compiler attached to the execution engine");
+  TuneReport Report;
+  for (const synth::VariantDescriptor &Desc : Candidates) {
+    auto Sub = tune(Desc, N, Opts);
+    if (!Sub)
+      return Sub.status();
+    Report.CandidatesTried += 1;
+    Report.ConfigsTimed += Sub->ConfigsTimed;
+    for (QuarantineRecord &Q : Sub->Quarantined)
+      Report.Quarantined.push_back(std::move(Q));
+    if (Sub->hasWinner() && Sub->BestSeconds < Report.BestSeconds) {
+      Report.Best = Sub->Best;
+      Report.BestSeconds = Sub->BestSeconds;
+      Report.Fig6Label = Sub->Fig6Label;
+    }
+  }
+  if (!Report.hasWinner()) {
+    if (Report.Quarantined.empty())
+      return Status(StatusCode::InvalidArgument,
+                    "no tunable configuration was admissible for tuning");
+    // Name the first casualty so callers learn why tuning came back empty.
+    const QuarantineRecord &First = Report.Quarantined.front();
+    return Status(First.Why.Code,
+                  strformat("all %zu configurations quarantined; first: %s: %s",
+                            Report.Quarantined.size(),
+                            First.Desc.getName().c_str(),
+                            First.Why.toString().c_str()));
+  }
+  return Report;
+}
+
+Expected<FaultReport>
+ExecutionEngine::faultCheck(const synth::VariantDescriptor &Desc, size_t N,
+                            const sim::FaultPlan &Plan,
+                            const synth::OptimizationFlags &Flags) {
+  auto V = getVariant(Desc, Flags);
+  if (!V)
+    return V.status();
+
+  size_t Mark = Dev.mark();
+  BufferId In = Dev.alloc((*V)->Elem, N);
+  for (size_t I = 0; I != N; ++I) {
+    Cell *C = Dev.get(In).writable(I);
+    C->I = static_cast<long long>(I % 17);
+    C->F = static_cast<double>(I % 17);
+  }
+
+  struct PlanScope {
+    sim::SimtMachine &M;
+    sim::FaultPlan Saved;
+    ~PlanScope() { M.setFaultPlan(Saved); }
+  } Restore{Machine, Machine.getFaultPlan()};
+
+  // Clean reference first: simulation is deterministic, so the faulted run
+  // can be compared bit-exactly — any divergence is the fault's doing.
+  Machine.setFaultPlan(sim::FaultPlan());
+  auto Ref = runReduction(**V, In, N, ExecMode::Functional);
+  if (!Ref) {
+    Dev.release(Mark);
+    return Ref.status(); // Broken without any fault: a real error.
+  }
+
+  Machine.setFaultPlan(Plan);
+  auto Run = runReduction(**V, In, N, ExecMode::Functional);
+  Dev.release(Mark);
+
+  FaultReport Report;
+  Report.Kind = Plan.Kind;
+  Report.RefFloat = Ref->FloatValue;
+  Report.RefInt = Ref->IntValue;
+  if (!Run) {
+    Report.Outcome = FaultOutcome::Trapped;
+    Report.Trap = Run.status();
+    return Report;
+  }
+  Report.FaultsInjected = Run->Launch.FaultsInjected;
+  Report.GotFloat = Run->FloatValue;
+  Report.GotInt = Run->IntValue;
+  bool Match = (*V)->Elem == ir::ScalarType::F32
+                   ? Run->FloatValue == Ref->FloatValue
+                   : Run->IntValue == Ref->IntValue;
+  if (!Match)
+    Report.Outcome = FaultOutcome::Detected;
+  else
+    Report.Outcome = Report.FaultsInjected == 0 ? FaultOutcome::Clean
+                                                : FaultOutcome::Survived;
+  return Report;
+}
+
+void ExecutionEngine::setFaultPlan(const sim::FaultPlan &Plan) {
+  Machine.setFaultPlan(Plan);
+}
+
+const sim::FaultPlan &ExecutionEngine::getFaultPlan() const {
+  return Machine.getFaultPlan();
+}
+
+const QuarantineRecord *
+ExecutionEngine::findQuarantine(const synth::VariantDescriptor &Desc) const {
+  auto It = Quarantine.find(Desc.stableHash());
+  return It == Quarantine.end() ? nullptr : &It->second;
+}
+
+bool ExecutionEngine::isQuarantined(
+    const synth::VariantDescriptor &Desc) const {
+  return findQuarantine(Desc) != nullptr;
+}
+
+void ExecutionEngine::quarantineVariant(const synth::VariantDescriptor &Desc,
+                                        Status Why) {
+  Quarantine.emplace(Desc.stableHash(),
+                     QuarantineRecord{Desc, std::move(Why)});
+}
+
+std::vector<QuarantineRecord> ExecutionEngine::getQuarantineRecords() const {
+  std::vector<QuarantineRecord> Records;
+  Records.reserve(Quarantine.size());
+  for (const auto &[Hash, Record] : Quarantine)
+    Records.push_back(Record);
+  return Records;
+}
+
+void ExecutionEngine::clearQuarantine() {
+  Quarantine.clear();
+  Validated.clear();
 }

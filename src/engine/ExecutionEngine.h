@@ -33,8 +33,11 @@
 #include "support/ThreadPool.h"
 #include "synth/KernelSynthesizer.h"
 
+#include <limits>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace tangram::engine {
@@ -80,9 +83,76 @@ struct RaceReport {
   bool clean() const { return Conflicts == 0 && Diagnostics.empty(); }
 };
 
-/// Launch geometry for \p V at problem size \p N.
+/// Launch geometry for \p V at problem size \p N, including a per-variant
+/// watchdog budget sized from the block tile (~100x above any legitimate
+/// lowering's issue count, yet finite).
 sim::LaunchConfig makeLaunchConfig(const synth::SynthesizedVariant &V,
                                    size_t N);
+
+/// Why one variant configuration was pulled from tuning.
+struct QuarantineRecord {
+  synth::VariantDescriptor Desc;
+  support::Status Why;
+};
+
+/// Structured result of a hardened tuning sweep: the best *surviving*
+/// configuration plus an account of everything that was quarantined
+/// (trapped, timed out, or produced a wrong reduction) along the way.
+struct TuneReport {
+  synth::VariantDescriptor Best;
+  double BestSeconds = std::numeric_limits<double>::infinity();
+  std::string Fig6Label;
+  /// Structural candidates examined (descriptors before tunable expansion).
+  unsigned CandidatesTried = 0;
+  /// Tunable configurations actually timed.
+  unsigned ConfigsTimed = 0;
+  std::vector<QuarantineRecord> Quarantined;
+
+  bool hasWinner() const {
+    return BestSeconds < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Knobs for the hardened tune/findBest sweeps.
+struct TuneOptions {
+  /// Tunable candidates (the paper's tuning-script grid).
+  std::vector<unsigned> BlockSizes = {64, 128, 256, 512};
+  std::vector<unsigned> CoarsenFactors = {1, 4, 16, 64};
+  /// Per-block element cap during tuning (bounds simulation cost).
+  unsigned MaxElemsPerBlock = 16384;
+  /// Winning configurations are validated against a host reference over
+  /// this many elements before being declared best (0 disables).
+  size_t ValidateN = 2048;
+  /// A DeadlineExceeded run gets one retry at budget x this factor, to
+  /// tell a genuinely slow configuration from a livelocked one (<= 1
+  /// disables the retry).
+  unsigned RetryBudgetFactor = 8;
+};
+
+/// How an injected fault played out for one variant (see faultCheck()).
+enum class FaultOutcome : unsigned char {
+  Clean,    ///< No fault fired; result matches the reference bit-exactly.
+  Survived, ///< Faults fired, yet the result still matches the reference.
+  Detected, ///< The result diverged from the reference (fault caught).
+  Trapped,  ///< The faulted run failed structurally (error/deadline).
+};
+
+const char *getFaultOutcomeName(FaultOutcome O);
+
+/// Result of one fault-injection campaign against one variant.
+struct FaultReport {
+  sim::FaultKind Kind = sim::FaultKind::None;
+  FaultOutcome Outcome = FaultOutcome::Clean;
+  uint64_t FaultsInjected = 0;
+  /// Clean-run reference reduction values.
+  double RefFloat = 0;
+  long long RefInt = 0;
+  /// Faulted-run values (meaningless when Outcome == Trapped).
+  double GotFloat = 0;
+  long long GotInt = 0;
+  /// The structural failure when Outcome == Trapped.
+  support::Status Trap;
+};
 
 /// Construction knobs for ExecutionEngine.
 struct EngineOptions {
@@ -97,6 +167,9 @@ struct EngineOptions {
   std::shared_ptr<support::ThreadPool> Pool;
   /// Detector knobs applied to ExecMode::RaceCheck launches.
   sim::RaceCheckOptions RaceCheck;
+  /// Fault plan applied to every launch (inactive by default). See
+  /// ExecutionEngine::setFaultPlan.
+  sim::FaultPlan Fault;
 };
 
 /// Per-architecture execution facade: owns the device, drives the SIMT
@@ -178,10 +251,74 @@ public:
 
   /// Modeled seconds for \p Desc at size \p N over a scoped virtual input
   /// (Sampled mode). Infinity when the variant fails to synthesize or run —
-  /// tuning loops price such variants out.
+  /// tuning loops price such variants out. Delegates to timeVariantChecked,
+  /// so failures also land the configuration in quarantine.
   double timeVariant(const synth::VariantDescriptor &Desc, size_t N);
 
+  /// Hardened timing: skips configurations already in quarantine, runs with
+  /// the per-variant watchdog budget, retries DeadlineExceeded once at
+  /// budget x \p RetryBudgetFactor, and quarantines configurations that
+  /// still trap/timeout. The Status names why a run was priced out.
+  support::Expected<double>
+  timeVariantChecked(const synth::VariantDescriptor &Desc, size_t N,
+                     unsigned RetryBudgetFactor = 8);
+
+  /// Functional validation: runs \p Desc over \p N materialized elements
+  /// and compares against a host-computed reference. A mismatch (or any
+  /// trap) quarantines the configuration and returns a non-Ok Status
+  /// (StatusCode::WrongResult for mismatches). Passing configurations are
+  /// remembered and not re-validated. Non-associative ops (Sub) are
+  /// skipped: different schedules legitimately disagree.
+  support::Status validateVariant(const synth::VariantDescriptor &Desc,
+                                  size_t N = 2048);
+
+  /// Hardened tunable sweep for one structural candidate: times every
+  /// (BlockSize, Coarsen) configuration through timeVariantChecked, then
+  /// validates winners (falling back to the next-fastest surviving
+  /// configuration when a winner fails validation). Never hangs: every run
+  /// is budgeted. Returns a report even when nothing survives
+  /// (hasWinner() == false); a Status only for engine misuse (no compiler).
+  support::Expected<TuneReport> tune(const synth::VariantDescriptor &Desc,
+                                     size_t N, const TuneOptions &Opts = {});
+
+  /// Hardened portfolio sweep: tune() for every candidate, aggregated into
+  /// one report whose Best is the fastest surviving configuration. When
+  /// nothing survives, the Status carries the first quarantine reason so
+  /// callers learn *why* tuning came back empty.
+  support::Expected<TuneReport>
+  findBest(const std::vector<synth::VariantDescriptor> &Candidates, size_t N,
+           const TuneOptions &Opts = {});
+
+  /// Fault campaign against one variant: a clean reference run, then an
+  /// identical run under \p Plan, compared bit-exactly (simulation is
+  /// deterministic, so any divergence is the fault's doing). Only a broken
+  /// *clean* run produces a Status; faulted-run failures are reported as
+  /// FaultOutcome::Trapped.
+  support::Expected<FaultReport>
+  faultCheck(const synth::VariantDescriptor &Desc, size_t N,
+             const sim::FaultPlan &Plan,
+             const synth::OptimizationFlags &Flags = {});
+
+  /// Fault plan applied to every subsequent launch on this engine (tuning
+  /// under injected faults is how the quarantine/fallback machinery is
+  /// exercised). Inactive by default.
+  void setFaultPlan(const sim::FaultPlan &Plan);
+  const sim::FaultPlan &getFaultPlan() const;
+
+  /// Quarantine bookkeeping. Configurations are keyed by their full stable
+  /// hash (structure + tunables), per engine (= per architecture).
+  bool isQuarantined(const synth::VariantDescriptor &Desc) const;
+  void quarantineVariant(const synth::VariantDescriptor &Desc,
+                         support::Status Why);
+  std::vector<QuarantineRecord> getQuarantineRecords() const;
+  /// Drops all quarantine records and validation memos (e.g. after
+  /// changing the fault plan).
+  void clearQuarantine();
+
 private:
+  const QuarantineRecord *
+  findQuarantine(const synth::VariantDescriptor &Desc) const;
+
   sim::ArchDesc Arch; ///< By value: the engine outlives any accessor.
   std::shared_ptr<support::ThreadPool> Pool;
   std::shared_ptr<VariantCache> Cache;
@@ -189,6 +326,13 @@ private:
   sim::SimtMachine Machine;
   const synth::KernelSynthesizer *Synth = nullptr;
   uint64_t SourceHash = 0;
+  /// Quarantined configurations, keyed by VariantDescriptor::stableHash().
+  std::unordered_map<uint64_t, QuarantineRecord> Quarantine;
+  /// Configurations that already passed validateVariant.
+  std::unordered_set<uint64_t> Validated;
+  /// Watchdog multiplier applied by runReduction (1 except during the
+  /// escalated-budget retry inside timeVariantChecked).
+  unsigned BudgetEscalation = 1;
 };
 
 } // namespace tangram::engine

@@ -1,0 +1,97 @@
+//===- FaultInjector.cpp - Deterministic fault injection -------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/FaultInjector.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace tangram;
+using namespace tangram::sim;
+
+const char *tangram::sim::getFaultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::None:
+    return "none";
+  case FaultKind::BitFlipShared:
+    return "bitflip-shared";
+  case FaultKind::BitFlipGlobal:
+    return "bitflip-global";
+  case FaultKind::DropAtomic:
+    return "drop-atomic";
+  case FaultKind::DuplicateAtomic:
+    return "dup-atomic";
+  case FaultKind::StuckWarp:
+    return "stuck-warp";
+  case FaultKind::SkipBarrier:
+    return "skip-barrier";
+  }
+  return "unknown";
+}
+
+bool tangram::sim::parseFaultKind(const std::string &Name, FaultKind &Out) {
+  unsigned Count = 0;
+  const FaultKind *Kinds = getAllFaultKinds(Count);
+  for (unsigned I = 0; I != Count; ++I)
+    if (Name == getFaultKindName(Kinds[I])) {
+      Out = Kinds[I];
+      return true;
+    }
+  if (Name == "none") {
+    Out = FaultKind::None;
+    return true;
+  }
+  return false;
+}
+
+const FaultKind *tangram::sim::getAllFaultKinds(unsigned &Count) {
+  static const FaultKind Kinds[] = {
+      FaultKind::BitFlipShared,   FaultKind::BitFlipGlobal,
+      FaultKind::DropAtomic,      FaultKind::DuplicateAtomic,
+      FaultKind::StuckWarp,       FaultKind::SkipBarrier,
+  };
+  Count = sizeof(Kinds) / sizeof(Kinds[0]);
+  return Kinds;
+}
+
+bool FaultInjector::fires(FaultKind K) {
+  if (Plan.Kind != K)
+    return false;
+  uint64_t Ordinal = Events++;
+  uint64_t Period = Plan.Period ? Plan.Period : 1;
+  // splitmix64-style mix of (Seed, ordinal): platform-independent, so the
+  // same plan picks the same fault sites everywhere.
+  uint64_t X = Ordinal + 0x9e3779b97f4a7c15ull * (Plan.Seed + 1);
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  if (X % Period != 0)
+    return false;
+  ++Fires;
+  return true;
+}
+
+Cell FaultInjector::corrupt(Cell V, ir::ScalarType Ty) const {
+  Cell Out = V;
+  unsigned Bit = static_cast<unsigned>(Plan.Seed % 31);
+  if (Ty == ir::ScalarType::F32) {
+    float F = static_cast<float>(V.F);
+    uint32_t Bits;
+    std::memcpy(&Bits, &F, sizeof(Bits));
+    Bits ^= 1u << Bit;
+    std::memcpy(&F, &Bits, sizeof(F));
+    Out.F = F;
+    // Mirror into the integer view the way setF does, guarding the cast
+    // against non-finite corrupted values.
+    Out.I = std::isfinite(F) ? static_cast<long long>(F) : 0;
+  } else {
+    Out.I = V.I ^ (1ll << Bit);
+    Out.F = static_cast<double>(Out.I);
+  }
+  return Out;
+}

@@ -173,16 +173,25 @@ public:
   /// When \p Log is non-null the block records its global writes there
   /// instead of touching device memory (parallel-execution mode). When
   /// \p Race is non-null every shared/global access is reported to it
-  /// (RaceCheck mode; mutually exclusive with \p Log).
+  /// (RaceCheck mode; mutually exclusive with \p Log). \p Fault, when
+  /// non-null, perturbs execution per its plan (mutually exclusive with
+  /// \p Log too — fault launches run sequentially). \p InstrBudget is the
+  /// watchdog: the block traps once it issues that many warp-instructions.
   BlockExecutor(Device &Dev, const ArchDesc &Arch,
                 const CompiledKernel &Kernel, const LaunchConfig &Config,
                 const std::vector<ArgValue> &Args, unsigned BlockIdx,
                 ExecStats &Stats, std::vector<std::string> &Errors,
                 std::vector<GlobalEffect> *Log = nullptr,
-                RaceDetector *Race = nullptr)
+                RaceDetector *Race = nullptr,
+                FaultInjector *Fault = nullptr,
+                uint64_t InstrBudget = ~0ull)
       : Dev(Dev), Arch(Arch), Kernel(Kernel), Config(Config), Args(Args),
         BlockIdx(BlockIdx), Stats(Stats), Errors(Errors), Log(Log),
-        Race(Race) {}
+        Race(Race), Fault(Fault), InstrBudget(InstrBudget) {}
+
+  /// True once the watchdog tripped: the block was cut short and its
+  /// results are meaningless.
+  bool hitDeadline() const { return BudgetExhausted; }
 
   void run() {
     initShared();
@@ -206,13 +215,15 @@ public:
             AnyWaiting = true;
           }
         if (!AnyWaiting)
-          return; // All warps exited.
+          break; // All warps exited.
         // Every live warp crossed the same barrier: a new epoch begins —
         // accesses after this point are ordered against those before it.
         if (Race)
           Race->barrier();
       }
     }
+    if (BudgetExhausted)
+      deadline(); // Budget tripped on the block's very last instructions.
   }
 
 private:
@@ -405,6 +416,22 @@ private:
     Stats.WarpCycles += Cycles;
     Stats.WarpInstructions += 1;
     Stats.LaneInstructions += popcount(Mask);
+    if (++IssuedWarpInstrs > InstrBudget)
+      BudgetExhausted = true;
+  }
+
+  /// Watchdog trip: report once, then retire every warp so run() drains.
+  void deadline() {
+    if (!DeadlineReported) {
+      DeadlineReported = true;
+      error(strformat("warp-instruction budget %llu exhausted "
+                      "(deadline exceeded; possible livelock)",
+                      static_cast<unsigned long long>(InstrBudget)));
+    }
+    for (Warp &Wp : Warps) {
+      Wp.Done = true;
+      Wp.AtBarrier = false;
+    }
   }
 
   /// Runs \p W until it hits a barrier or exits.
@@ -412,6 +439,16 @@ private:
     const std::vector<Instr> &Code = Kernel.Code;
     const unsigned WarpId = W.TidBase / WarpLanes;
     while (true) {
+      if (BudgetExhausted) {
+        deadline();
+        return;
+      }
+      if (StuckWarpId == static_cast<int>(WarpId)) {
+        // Livelocked: keep issuing (a spinning lock loop still occupies
+        // issue slots) without advancing PC until the watchdog trips.
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        continue;
+      }
       const Instr &In = Code[W.PC];
       switch (In.Op) {
       case Opcode::MovImmI:
@@ -598,6 +635,7 @@ private:
         bool First = true;
         if (Race)
           Race->beginInstruction();
+        bool Flip = Fault && Fault->fires(FaultKind::BitFlipGlobal);
         for (unsigned L = 0; L != WarpLanes; ++L) {
           if (!(W.Active >> L & 1u))
             continue;
@@ -611,12 +649,16 @@ private:
               Race->onGlobalAccess(Args[In.MemId].Id, In.MemId, Idx, WarpId,
                                    L, W.PC, /*IsWrite=*/true,
                                    /*IsAtomic=*/false);
+            Cell V = reg(W, In.Src2, L);
+            if (Flip) {
+              V = Fault->corrupt(V, In.Ty);
+              Flip = false;
+            }
             if (Log)
               Log->push_back({Args[In.MemId].Id, static_cast<size_t>(Idx),
-                              false, ReduceOp::Add, In.Ty,
-                              reg(W, In.Src2, L)});
+                              false, ReduceOp::Add, In.Ty, V});
             else
-              *C = reg(W, In.Src2, L);
+              *C = V;
           } else {
             error("store to a read-only (virtual) buffer");
           }
@@ -660,6 +702,9 @@ private:
         auto &Mem = SharedMem[In.MemId];
         if (Race)
           Race->beginInstruction();
+        // One eligible bit-flip event per store instruction; a firing plan
+        // corrupts the first active lane's value.
+        bool Flip = Fault && Fault->fires(FaultKind::BitFlipShared);
         for (unsigned L = 0; L != WarpLanes; ++L) {
           if (!(W.Active >> L & 1u))
             continue;
@@ -670,7 +715,12 @@ private:
             if (Race)
               Race->onSharedAccess(In.MemId, Idx, WarpId, L, W.PC,
                                    /*IsWrite=*/true, /*IsAtomic=*/false);
-            Mem[static_cast<size_t>(Idx)] = reg(W, In.Src2, L);
+            Cell V = reg(W, In.Src2, L);
+            if (Flip) {
+              V = Fault->corrupt(V, In.Ty);
+              Flip = false;
+            }
+            Mem[static_cast<size_t>(Idx)] = V;
           }
         }
         chargeWarpInstr(Arch.SharedLdStCost, W.Active);
@@ -686,6 +736,10 @@ private:
         unsigned MaxMult = 0, Lanes = 0;
         if (Race)
           Race->beginInstruction();
+        // One eligible drop/duplicate event per atomic instruction; a
+        // firing plan perturbs the first applying lane's update.
+        bool Drop = Fault && Fault->fires(FaultKind::DropAtomic);
+        bool Dup = Fault && Fault->fires(FaultKind::DuplicateAtomic);
         for (unsigned L = 0; L != WarpLanes; ++L) {
           if (!(W.Active >> L & 1u))
             continue;
@@ -699,8 +753,17 @@ private:
           if (Race)
             Race->onSharedAccess(In.MemId, Idx, WarpId, L, W.PC,
                                  /*IsWrite=*/true, /*IsAtomic=*/true);
+          if (Drop) {
+            Drop = false; // Lost read-modify-write: skip this lane's update.
+            continue;
+          }
           atomicApply(Op, In.Ty, Mem[static_cast<size_t>(Idx)],
                       reg(W, In.Src2, L));
+          if (Dup) {
+            Dup = false; // Replayed read-modify-write: apply a second time.
+            atomicApply(Op, In.Ty, Mem[static_cast<size_t>(Idx)],
+                        reg(W, In.Src2, L));
+          }
         }
         Stats.SharedAtomicOps += Lanes;
         Stats.SharedAtomicConflicts += MaxMult > 0 ? MaxMult - 1 : 0;
@@ -723,6 +786,8 @@ private:
         unsigned MaxMult = 0, Lanes = 0;
         if (Race)
           Race->beginInstruction();
+        bool Drop = Fault && Fault->fires(FaultKind::DropAtomic);
+        bool Dup = Fault && Fault->fires(FaultKind::DuplicateAtomic);
         for (unsigned L = 0; L != WarpLanes; ++L) {
           if (!(W.Active >> L & 1u))
             continue;
@@ -739,11 +804,21 @@ private:
             Race->onGlobalAccess(Args[In.MemId].Id, In.MemId, Idx, WarpId, L,
                                  W.PC, /*IsWrite=*/true, /*IsAtomic=*/true);
           if (Cell *C = B->writable(static_cast<size_t>(Idx))) {
-            if (Log)
-              Log->push_back({Args[In.MemId].Id, static_cast<size_t>(Idx),
-                              true, Op, In.Ty, reg(W, In.Src2, L)});
-            else
-              atomicApply(Op, In.Ty, *C, reg(W, In.Src2, L));
+            unsigned Applies = 1;
+            if (Drop) {
+              Drop = false;
+              Applies = 0; // Lost read-modify-write.
+            } else if (Dup) {
+              Dup = false;
+              Applies = 2; // Replayed read-modify-write.
+            }
+            for (unsigned A = 0; A != Applies; ++A) {
+              if (Log)
+                Log->push_back({Args[In.MemId].Id, static_cast<size_t>(Idx),
+                                true, Op, In.Ty, reg(W, In.Src2, L)});
+              else
+                atomicApply(Op, In.Ty, *C, reg(W, In.Src2, L));
+            }
           } else {
             error("atomic on a read-only (virtual) buffer");
           }
@@ -797,9 +872,22 @@ private:
         break;
       }
       case Opcode::Bar:
+        if (Fault && StuckWarpId < 0 &&
+            Fault->fires(FaultKind::StuckWarp)) {
+          // The warp never reaches the barrier: it livelocks here (e.g. a
+          // software lock loop that never acquires) until the watchdog
+          // trips. Do not advance PC or set AtBarrier.
+          StuckWarpId = static_cast<int>(WarpId);
+          break;
+        }
         Stats.Barriers += 1;
         chargeWarpInstr(Arch.BarrierCost, W.Active);
         ++W.PC;
+        if (Fault && Fault->fires(FaultKind::SkipBarrier)) {
+          // Missing __syncthreads: this warp sails past without waiting
+          // for the rest of the block.
+          break;
+        }
         W.AtBarrier = true;
         return;
       case Opcode::PushIf: {
@@ -843,6 +931,11 @@ private:
         ++W.PC;
         break;
       case Opcode::LoopTest: {
+        if (Fault && StuckWarpId < 0 &&
+            Fault->fires(FaultKind::StuckWarp)) {
+          StuckWarpId = static_cast<int>(WarpId);
+          break; // Spin at this loop head until the watchdog trips.
+        }
         uint32_t Continue = 0;
         for (unsigned L = 0; L != WarpLanes; ++L)
           if ((W.Active >> L & 1u) && reg(W, In.Src1, L).I != 0)
@@ -886,6 +979,13 @@ private:
   std::vector<std::string> &Errors;
   std::vector<GlobalEffect> *Log;
   RaceDetector *Race;
+  FaultInjector *Fault;
+  uint64_t InstrBudget;
+  uint64_t IssuedWarpInstrs = 0;
+  bool BudgetExhausted = false;
+  bool DeadlineReported = false;
+  /// Warp id held in a livelock by FaultKind::StuckWarp (-1 = none).
+  int StuckWarpId = -1;
   std::vector<Warp> Warps;
   std::vector<std::vector<Cell>> SharedMem;
 };
@@ -953,14 +1053,37 @@ LaunchResult SimtMachine::launch(const CompiledKernel &Kernel,
   Result.BlocksSimulated = static_cast<unsigned>(Blocks.size());
 
   uint64_t HotOps = 0;
+  // Watchdog budget: callers can size it precisely; 0 derives a generous
+  // default from the kernel size, warp count, and the largest scalar
+  // argument (a proxy for the problem size a serial kernel may legally
+  // walk). The default is deliberately loose — orders of magnitude above
+  // any legitimate kernel's issue count — but finite, so a livelocked
+  // lock loop always traps instead of spinning forever.
+  uint64_t Budget = Config.MaxWarpInstructions;
+  if (Budget == 0) {
+    uint64_t MaxScalar = 0;
+    for (const ArgValue &A : Args)
+      if (!A.IsBuffer)
+        MaxScalar = std::max(MaxScalar,
+                             static_cast<uint64_t>(std::max(0ll, A.Scalar.I)));
+    uint64_t NumWarps = (Config.BlockDim + WarpLanes - 1) / WarpLanes;
+    Budget = (1ull << 20) +
+             4096ull * (Kernel.Code.size() + 16) * NumWarps +
+             64ull * MaxScalar;
+  }
   // RaceCheck interleaves one detector through every block in block-index
   // order, so it forces the sequential path (and, because Sampled is off,
-  // the full grid).
+  // the full grid). An active fault plan does the same: one injector's
+  // event ordinals must advance in block-index order for fault sites to be
+  // deterministic.
   std::unique_ptr<RaceDetector> Race;
   if (Mode == ExecMode::RaceCheck)
     Race = std::make_unique<RaceDetector>(Kernel, RaceOpts);
-  const bool Parallel = !Race && Pool && Pool->getThreadCount() > 1 &&
-                        Blocks.size() > 1 &&
+  std::unique_ptr<FaultInjector> Injector;
+  if (Fault.active())
+    Injector = std::make_unique<FaultInjector>(Fault);
+  const bool Parallel = !Race && !Injector && Pool &&
+                        Pool->getThreadCount() > 1 && Blocks.size() > 1 &&
                         !kernelLoadsWrittenBuffer(Kernel, Args);
   if (!Parallel) {
     for (unsigned B : Blocks) {
@@ -968,8 +1091,10 @@ LaunchResult SimtMachine::launch(const CompiledKernel &Kernel,
       if (Race)
         Race->beginBlock(B);
       BlockExecutor Exec(Dev, Arch, Kernel, Config, Args, B, BlockStats,
-                         Result.Errors, /*Log=*/nullptr, Race.get());
+                         Result.Errors, /*Log=*/nullptr, Race.get(),
+                         Injector.get(), Budget);
       Exec.run();
+      Result.DeadlineExceeded |= Exec.hitDeadline();
       uint64_t BlockHot = 0;
       for (const auto &[Addr, Ops] : Exec.GlobalAtomicAddrOps)
         BlockHot = std::max(BlockHot, Ops);
@@ -990,17 +1115,21 @@ LaunchResult SimtMachine::launch(const CompiledKernel &Kernel,
       std::vector<std::string> Errors;
       std::vector<GlobalEffect> Effects;
       uint64_t HotOps = 0;
+      bool DeadlineExceeded = false;
     };
     std::vector<BlockOutcome> Outcomes(Blocks.size());
     Pool->parallelFor(Blocks.size(), [&](size_t I) {
       BlockOutcome &O = Outcomes[I];
       BlockExecutor Exec(Dev, Arch, Kernel, Config, Args, Blocks[I], O.Stats,
-                         O.Errors, &O.Effects);
+                         O.Errors, &O.Effects, /*Race=*/nullptr,
+                         /*Fault=*/nullptr, Budget);
       Exec.run();
+      O.DeadlineExceeded = Exec.hitDeadline();
       for (const auto &[Addr, Ops] : Exec.GlobalAtomicAddrOps)
         O.HotOps = std::max(O.HotOps, Ops);
     });
     for (BlockOutcome &O : Outcomes) {
+      Result.DeadlineExceeded |= O.DeadlineExceeded;
       for (const GlobalEffect &E : O.Effects) {
         Cell *C = Dev.get(E.Buf).writable(E.Idx);
         assert(C && "logged effect targets a read-only buffer");
@@ -1019,6 +1148,8 @@ LaunchResult SimtMachine::launch(const CompiledKernel &Kernel,
     }
   }
   Result.Stats.GlobalAtomicHotOps = HotOps;
+  if (Injector)
+    Result.FaultsInjected = Injector->getFireCount();
   if (Race) {
     Result.Races = Race->getDiagnostics();
     Result.RaceConflicts = Race->getConflictCount();

@@ -28,6 +28,7 @@
 
 #include "gpusim/Arch.h"
 #include "gpusim/Device.h"
+#include "gpusim/FaultInjector.h"
 #include "gpusim/RaceDetector.h"
 #include "ir/Bytecode.h"
 
@@ -46,6 +47,12 @@ struct LaunchConfig {
   unsigned BlockDim = 32;
   /// Extent (elements) bound to `extern __shared__` arrays.
   size_t DynSharedElems = 0;
+  /// Watchdog: per-block warp-instruction budget. A block that issues more
+  /// traps with an error and LaunchResult::DeadlineExceeded instead of
+  /// spinning forever (e.g. a livelocked Kepler lock loop). 0 derives a
+  /// generous default from the kernel size, block width, and the largest
+  /// scalar argument — every launch has a finite budget.
+  uint64_t MaxWarpInstructions = 0;
 };
 
 /// One kernel argument: a device buffer (pointer param) or scalar value.
@@ -125,6 +132,11 @@ struct LaunchResult {
   /// The race detector's address table overflowed; race coverage is
   /// partial (RaceCheck mode only).
   bool RaceCheckTruncated = false;
+  /// At least one block exhausted its warp-instruction watchdog budget
+  /// (livelock or runaway loop); an Errors entry describes it.
+  bool DeadlineExceeded = false;
+  /// Faults the active FaultPlan actually applied during this launch.
+  uint64_t FaultsInjected = 0;
 
   bool ok() const { return Errors.empty(); }
 };
@@ -161,11 +173,18 @@ public:
   }
   const RaceCheckOptions &getRaceCheckOptions() const { return RaceOpts; }
 
+  /// Fault plan applied to every subsequent launch (an inactive plan — the
+  /// default — injects nothing). Active plans force sequential block
+  /// execution, like RaceCheck, so fault sites are deterministic.
+  void setFaultPlan(const FaultPlan &Plan) { Fault = Plan; }
+  const FaultPlan &getFaultPlan() const { return Fault; }
+
 private:
   Device &Dev;
   const ArchDesc &Arch;
   support::ThreadPool *Pool;
   RaceCheckOptions RaceOpts;
+  FaultPlan Fault;
 };
 
 /// Evaluates a launch-uniform IR expression (shared-array extents): only

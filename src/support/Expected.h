@@ -36,6 +36,8 @@ enum class StatusCode : unsigned char {
   InvalidArgument, ///< A caller-provided argument is out of contract.
   LaunchError,     ///< The simulated launch failed (geometry, args, exec).
   RaceDetected,    ///< RaceCheck found conflicting accesses.
+  DeadlineExceeded, ///< The watchdog budget expired (livelock/runaway).
+  WrongResult,     ///< A run produced a reduction that fails validation.
   InternalError,   ///< Invariant violation inside the library.
 };
 
@@ -82,6 +84,10 @@ inline const char *getStatusCodeName(StatusCode Code) {
     return "launch-error";
   case StatusCode::RaceDetected:
     return "race-detected";
+  case StatusCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case StatusCode::WrongResult:
+    return "wrong-result";
   case StatusCode::InternalError:
     return "internal-error";
   }

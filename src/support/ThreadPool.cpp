@@ -42,6 +42,7 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
     std::lock_guard<std::mutex> Lock(Mutex);
     Job = &Fn;
     JobSize = N;
+    BodyException = nullptr;
     NextIndex.store(0, std::memory_order_relaxed);
     PendingWorkers = Workers.size();
     ++Generation;
@@ -50,12 +51,33 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
 
   // The caller claims indices alongside the workers.
   for (size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed); I < N;
-       I = NextIndex.fetch_add(1, std::memory_order_relaxed))
-    Fn(I);
+       I = NextIndex.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      Fn(I);
+    } catch (...) {
+      noteBodyException();
+    }
+  }
 
-  std::unique_lock<std::mutex> Lock(Mutex);
-  DoneCV.wait(Lock, [this] { return PendingWorkers == 0; });
-  Job = nullptr;
+  std::exception_ptr Pending;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    DoneCV.wait(Lock, [this] { return PendingWorkers == 0; });
+    Job = nullptr;
+    Pending = BodyException;
+    BodyException = nullptr;
+  }
+  if (Pending)
+    std::rethrow_exception(Pending);
+}
+
+void ThreadPool::noteBodyException() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!BodyException)
+    BodyException = std::current_exception();
+  // Abandon the remaining unclaimed indices so every thread drains fast;
+  // partially-run loops are fine — the caller sees the exception.
+  NextIndex.store(JobSize, std::memory_order_relaxed);
 }
 
 void ThreadPool::workerLoop() {
@@ -75,8 +97,13 @@ void ThreadPool::workerLoop() {
       Size = JobSize;
     }
     for (size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
-         I < Size; I = NextIndex.fetch_add(1, std::memory_order_relaxed))
-      (*Fn)(I);
+         I < Size; I = NextIndex.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        (*Fn)(I);
+      } catch (...) {
+        noteBodyException();
+      }
+    }
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       if (--PendingWorkers == 0)

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,8 +32,12 @@ namespace tangram::support {
 /// The calling thread participates in the loop, so a pool constructed with
 /// ThreadCount = K uses exactly K threads of execution (K-1 workers plus the
 /// caller). ThreadCount <= 1 degenerates to an inline sequential loop.
-/// parallelFor calls are serialized; the body must not re-enter the pool and
-/// must not throw.
+/// parallelFor calls are serialized; the body must not re-enter the pool.
+///
+/// A body that throws does not take down the pool or deadlock waiters: the
+/// first exception is captured, the remaining unclaimed indices are
+/// abandoned, every worker quiesces, and the exception is rethrown to the
+/// parallelFor caller. The pool stays usable for subsequent calls.
 class ThreadPool {
 public:
   /// \p ThreadCount of 0 means one thread per hardware core.
@@ -46,11 +51,16 @@ public:
   unsigned getThreadCount() const { return Count; }
 
   /// Invokes \p Fn(I) for every I in [0, N), distributing indices over the
-  /// pool. Returns after all N invocations have completed.
+  /// pool. Returns after all N invocations have completed (or, when a body
+  /// throws, after every worker has quiesced — the first exception is then
+  /// rethrown here).
   void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
 
 private:
   void workerLoop();
+  /// Records the first exception thrown by a loop body and cancels the
+  /// remaining unclaimed indices.
+  void noteBodyException();
 
   unsigned Count;
   std::vector<std::thread> Workers;
@@ -63,6 +73,9 @@ private:
   std::condition_variable DoneCV;
   const std::function<void(size_t)> *Job = nullptr;
   size_t JobSize = 0;
+  /// First exception thrown by any loop body of the current job (guarded
+  /// by Mutex; rethrown by parallelFor once all workers quiesce).
+  std::exception_ptr BodyException;
   std::atomic<size_t> NextIndex{0};
   size_t PendingWorkers = 0;
   uint64_t Generation = 0;

@@ -6,10 +6,17 @@
 
 #include "tangram/DynamicSelector.h"
 
+#include "baselines/OmpCpuReduce.h"
+
+#include <cmath>
 #include <limits>
 
 using namespace tangram;
 using namespace tangram::synth;
+
+using support::Expected;
+using support::Status;
+using support::StatusCode;
 
 DynamicSelector::DynamicSelector(const TangramReduction &TR,
                                  std::vector<VariantDescriptor> Portfolio)
@@ -36,33 +43,117 @@ unsigned DynamicSelector::bucketOf(size_t N) {
   return Bucket;
 }
 
-support::Expected<engine::RunResult>
+int DynamicSelector::pickCandidate(BucketState &State,
+                                   engine::ExecutionEngine &E) const {
+  auto Alive = [&](unsigned C) {
+    return !State.Dead[C] && !E.isQuarantined(Portfolio[C]);
+  };
+  // Exploration: the next untried candidate still worth trying.
+  while (State.NextToTry < Portfolio.size()) {
+    unsigned C = State.NextToTry++;
+    if (Alive(C))
+      return static_cast<int>(C);
+  }
+  // Exploitation: the best known candidate, if it still lives.
+  if (State.BestIndex >= 0 && Alive(static_cast<unsigned>(State.BestIndex)))
+    return State.BestIndex;
+  // The best died (or was quarantined since): fastest surviving candidate,
+  // falling back to any alive one (untried entries carry infinity).
+  int Pick = -1;
+  for (unsigned C = 0; C != Portfolio.size(); ++C)
+    if (Alive(C) &&
+        (Pick < 0 ||
+         State.Seconds[C] < State.Seconds[static_cast<unsigned>(Pick)]))
+      Pick = static_cast<int>(C);
+  return Pick;
+}
+
+Expected<engine::RunResult>
 DynamicSelector::reduce(engine::ExecutionEngine &E, sim::BufferId In,
                         size_t N, sim::ExecMode Mode) {
   Key K{E.getArch().Gen, bucketOf(N)};
   BucketState &State = Buckets[K];
-  if (State.Seconds.empty())
+  if (State.Seconds.empty()) {
     State.Seconds.assign(Portfolio.size(),
                          std::numeric_limits<double>::infinity());
+    State.Dead.assign(Portfolio.size(), 0);
+  }
 
-  unsigned Candidate;
-  if (State.NextToTry < Portfolio.size()) {
-    // Exploration: micro-profile the next untried candidate.
-    Candidate = State.NextToTry++;
+  for (;;) {
+    int Pick = pickCandidate(State, E);
+    if (Pick < 0)
+      break;
+    unsigned Candidate = static_cast<unsigned>(Pick);
+    auto Out = E.reduce(Portfolio[Candidate], In, N, Mode);
+    if (Out) {
+      if (Out->Seconds < State.Seconds[Candidate])
+        State.Seconds[Candidate] = Out->Seconds;
+      if (State.BestIndex < 0 ||
+          State.Seconds[Candidate] <
+              State.Seconds[static_cast<unsigned>(State.BestIndex)])
+        State.BestIndex = static_cast<int>(Candidate);
+      return Out;
+    }
+    // The candidate trapped (launch error, watchdog deadline, quarantine):
+    // mark it dead for this bucket and try the next one. The caller still
+    // gets an answer as long as anything in the chain can produce one.
+    State.Dead[Candidate] = 1;
+    if (State.BestIndex == Pick) {
+      State.BestIndex = -1;
+      for (unsigned C = 0; C != Portfolio.size(); ++C)
+        if (!State.Dead[C] && std::isfinite(State.Seconds[C]) &&
+            (State.BestIndex < 0 ||
+             State.Seconds[C] <
+                 State.Seconds[static_cast<unsigned>(State.BestIndex)]))
+          State.BestIndex = static_cast<int>(C);
+    }
+  }
+
+  // Every GPU candidate is dead or quarantined: answer from the host.
+  auto Host = hostFallback(E, In, N);
+  if (Host)
+    ++FallbackRuns;
+  return Host;
+}
+
+Expected<engine::RunResult>
+DynamicSelector::hostFallback(engine::ExecutionEngine &E, sim::BufferId In,
+                              size_t N) {
+  sim::Device &Dev = E.getDevice();
+  if (In >= Dev.mark())
+    return Status(StatusCode::InvalidArgument,
+                  "host fallback: invalid input buffer id");
+  if (N > Dev.get(In).size())
+    return Status(StatusCode::InvalidArgument,
+                  "host fallback: N exceeds the input buffer length");
+
+  // Honor the facade's operator and element domain exactly — the baseline's
+  // parallel path only knows float Add, and correctness beats speed here.
+  const TangramReduction::Options &Opts = TR.getOptions();
+  ReduceIdentityValue Id = reduceIdentity(Opts.Op, Opts.Elem);
+  engine::RunResult Out;
+  if (Opts.Elem == ElemKind::Float) {
+    double Acc = Id.F;
+    for (size_t I = 0; I != N; ++I)
+      Acc = applyReduceOp<double>(Opts.Op, Acc, Dev.readFloat(In, I));
+    Out.FloatValue = Acc;
   } else {
-    Candidate = static_cast<unsigned>(State.BestIndex);
+    long long Acc = Id.I;
+    for (size_t I = 0; I != N; ++I)
+      Acc = applyReduceOp<long long>(Opts.Op, Acc, Dev.readInt(In, I));
+    Out.IntValue = Acc;
   }
-
-  auto Out = E.reduce(Portfolio[Candidate], In, N, Mode);
-  if (Out) {
-    if (Out->Seconds < State.Seconds[Candidate])
-      State.Seconds[Candidate] = Out->Seconds;
-    if (State.BestIndex < 0 ||
-        State.Seconds[Candidate] <
-            State.Seconds[static_cast<unsigned>(State.BestIndex)])
-      State.BestIndex = static_cast<int>(Candidate);
-  }
+  // Priced like the OmpCpuReduce baseline (POWER8 host model).
+  Out.Seconds = baselines::Power8Model{}.seconds(N);
   return Out;
+}
+
+unsigned DynamicSelector::getDeadCandidates() const {
+  unsigned Count = 0;
+  for (const auto &Entry : Buckets)
+    for (char D : Entry.second.Dead)
+      Count += D ? 1u : 0u;
+  return Count;
 }
 
 const VariantDescriptor *

@@ -25,6 +25,14 @@
 namespace tangram {
 
 /// Online selector over a portfolio of synthesized reduction versions.
+///
+/// Resilience: the selector is the last consumer standing when variants
+/// misbehave, so reduce() walks a fallback chain instead of propagating
+/// the first failure — a candidate that traps (launch error, watchdog
+/// deadline) or is quarantined by its engine is marked dead for that
+/// (arch, bucket) and the next-best candidate runs instead; when every
+/// GPU candidate is dead, a host CPU reduction (the OmpCpuReduce baseline
+/// path) still produces the caller's answer.
 class DynamicSelector {
 public:
   /// \p Portfolio defaults to the paper's eight best versions (Fig. 6
@@ -34,11 +42,20 @@ public:
 
   /// Reduces buffer \p In resident in \p E's device, micro-profiling while
   /// candidates remain untried for (E's arch, bucket). Returns the
-  /// reduction result of whichever candidate ran. Candidates resolve
-  /// through the engine's variant cache, so each is compiled at most once.
+  /// reduction result of whichever candidate ran — falling back through
+  /// the portfolio, then to the host baseline, when candidates fail.
+  /// Candidates resolve through the engine's variant cache, so each is
+  /// compiled at most once. A Status only escapes when even the host
+  /// fallback cannot run (e.g. an invalid buffer).
   support::Expected<engine::RunResult>
   reduce(engine::ExecutionEngine &E, sim::BufferId In, size_t N,
          sim::ExecMode Mode = sim::ExecMode::Functional);
+
+  /// Times the host CPU baseline answered instead of a GPU candidate.
+  unsigned getFallbackRuns() const { return FallbackRuns; }
+  /// Candidates marked dead (across all buckets) after trapping or being
+  /// quarantined.
+  unsigned getDeadCandidates() const;
 
   /// The candidate currently believed best for (arch, N); null until at
   /// least one call completed for the bucket.
@@ -54,9 +71,20 @@ public:
 private:
   struct BucketState {
     std::vector<double> Seconds; ///< Per-candidate best time (inf = untried).
+    std::vector<char> Dead;      ///< Candidates that trapped here.
     unsigned NextToTry = 0;
     int BestIndex = -1;
   };
+
+  /// The next candidate to run for \p State: exploration first, then the
+  /// best known, skipping dead and engine-quarantined entries (-1 = none
+  /// alive).
+  int pickCandidate(BucketState &State, engine::ExecutionEngine &E) const;
+
+  /// Correct-if-slow host CPU reduction over the device buffer, priced by
+  /// the OmpCpuReduce POWER8 model.
+  support::Expected<engine::RunResult>
+  hostFallback(engine::ExecutionEngine &E, sim::BufferId In, size_t N);
 
   struct Key {
     sim::ArchGeneration Gen;
@@ -69,6 +97,7 @@ private:
   const TangramReduction &TR;
   std::vector<synth::VariantDescriptor> Portfolio;
   std::map<Key, BucketState> Buckets;
+  unsigned FallbackRuns = 0;
 };
 
 } // namespace tangram

@@ -8,6 +8,7 @@
 
 #include "support/StringUtils.h"
 
+#include <limits>
 #include <sstream>
 
 using namespace tangram;
@@ -24,11 +25,20 @@ FigureRow FigureHarness::measure(const sim::ArchDesc &Arch, size_t N) {
   FigureRow Row;
   Row.N = N;
 
-  // Tangram: tuned best version over the pruned set.
-  TangramReduction::BestResult Best = TR.findBest(Arch, N);
-  Row.TangramSeconds = Best.Seconds;
-  Row.BestLabel = Best.Fig6Label;
-  Row.BestName = Best.Desc.getName();
+  // Tangram: tuned best version over the pruned set, via the hardened
+  // sweep so the row records what (if anything) was quarantined.
+  auto Best = TR.findBestReport(Arch, N);
+  if (Best) {
+    Row.TangramSeconds = Best->BestSeconds;
+    Row.BestLabel = Best->Fig6Label;
+    Row.BestName = Best->Best.getName();
+    Row.QuarantinedConfigs = static_cast<unsigned>(Best->Quarantined.size());
+  } else {
+    // No surviving configuration: the row still measures every baseline and
+    // carries the failure class instead of a Tangram time.
+    Row.TangramSeconds = std::numeric_limits<double>::infinity();
+    Row.Status = support::getStatusCodeName(Best.status().Code);
+  }
 
   // Baselines on a scoped shared virtual input in the arch's engine.
   engine::ExecutionEngine &E = TR.engineFor(Arch);

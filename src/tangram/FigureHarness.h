@@ -32,6 +32,14 @@ struct FigureRow {
   /// Fig. 6 label of the winning Tangram version at this size.
   std::string BestLabel;
   std::string BestName;
+  /// Health of the Tangram sweep behind this row: "ok" when a tuned winner
+  /// survived, else the failure class of the hardened tuner (for example
+  /// "deadline-exceeded" or "wrong-result"). Baseline columns are always
+  /// measured; only TangramSeconds is meaningless when not "ok".
+  std::string Status = "ok";
+  /// Configurations the hardened tuner quarantined while producing this
+  /// row (0 on a fully clean sweep).
+  unsigned QuarantinedConfigs = 0;
 
   double tangramSpeedup() const { return CubSeconds / TangramSeconds; }
   double kokkosSpeedup() const { return CubSeconds / KokkosSeconds; }

@@ -142,49 +142,47 @@ double TangramReduction::timeVariant(const VariantDescriptor &Desc,
   return engineFor(Arch).timeVariant(Desc, N);
 }
 
+engine::TuneOptions TangramReduction::makeTuneOptions() const {
+  engine::TuneOptions TO;
+  TO.BlockSizes = Opts.BlockSizes;
+  TO.CoarsenFactors = Opts.CoarsenFactors;
+  TO.MaxElemsPerBlock = Opts.MaxElemsPerBlock;
+  return TO;
+}
+
 VariantDescriptor TangramReduction::tune(const VariantDescriptor &Desc,
                                          const sim::ArchDesc &Arch,
                                          size_t N) const {
-  VariantDescriptor Best = Desc;
-  double BestTime = std::numeric_limits<double>::infinity();
-  for (unsigned Block : Opts.BlockSizes) {
-    if (Block > Arch.MaxThreadsPerBlock)
-      continue;
-    std::vector<unsigned> Coarsens =
-        Desc.BlockDistributes ? Opts.CoarsenFactors
-                              : std::vector<unsigned>{1};
-    for (unsigned C : Coarsens) {
-      if (static_cast<size_t>(Block) * C > Opts.MaxElemsPerBlock)
-        continue;
-      // Skip grossly oversized tiles (a single block would cover the
-      // whole input many times over).
-      if (static_cast<size_t>(Block) * C > std::max<size_t>(N * 4, 64))
-        continue;
-      VariantDescriptor Candidate = Desc;
-      Candidate.BlockSize = Block;
-      Candidate.Coarsen = C;
-      double T = timeVariant(Candidate, Arch, N);
-      if (T < BestTime) {
-        BestTime = T;
-        Best = Candidate;
-      }
-    }
-  }
-  return Best;
+  auto Report = engineFor(Arch).tune(Desc, N, makeTuneOptions());
+  // Engine misuse aside, tune always yields a report; a winnerless sweep
+  // keeps the caller's descriptor (its timing prices it out downstream,
+  // exactly like the unhardened tuner did).
+  if (!Report || !Report->hasWinner())
+    return Desc;
+  return Report->Best;
 }
 
 TangramReduction::BestResult
 TangramReduction::findBest(const sim::ArchDesc &Arch, size_t N) const {
   BestResult Best;
   Best.Seconds = std::numeric_limits<double>::infinity();
-  for (const VariantDescriptor &V : Space.Pruned) {
-    VariantDescriptor Tuned = tune(V, Arch, N);
-    double T = timeVariant(Tuned, Arch, N);
-    if (T < Best.Seconds) {
-      Best.Seconds = T;
-      Best.Desc = Tuned;
-      Best.Fig6Label = Tuned.getFigure6Label();
-    }
-  }
+  auto Report = findBestReport(Arch, N);
+  if (!Report)
+    return Best;
+  Best.Desc = Report->Best;
+  Best.Seconds = Report->BestSeconds;
+  Best.Fig6Label = Report->Fig6Label;
   return Best;
+}
+
+Expected<engine::TuneReport>
+TangramReduction::findBestReport(const sim::ArchDesc &Arch, size_t N) const {
+  return engineFor(Arch).findBest(Space.Pruned, N, makeTuneOptions());
+}
+
+Expected<engine::FaultReport>
+TangramReduction::faultCheck(const VariantDescriptor &Desc,
+                             const sim::ArchDesc &Arch, size_t N,
+                             const sim::FaultPlan &Plan) const {
+  return engineFor(Arch).faultCheck(Desc, N, Plan);
 }

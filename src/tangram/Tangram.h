@@ -125,7 +125,9 @@ public:
   std::string renderRace(const sim::RaceDiagnostic &D) const;
 
   /// Picks the best tunables for \p Desc on \p Arch at size \p N by
-  /// sampled simulation; returns the tuned descriptor.
+  /// sampled simulation; returns the tuned descriptor. Delegates to the
+  /// hardened engine tuner: configurations that trap, time out, or produce
+  /// wrong reductions are quarantined and never win.
   synth::VariantDescriptor tune(const synth::VariantDescriptor &Desc,
                                 const sim::ArchDesc &Arch, size_t N) const;
 
@@ -137,13 +139,32 @@ public:
   };
 
   /// Tunes every pruned variant on \p Arch at size \p N and returns the
-  /// fastest (the per-size winners of Figs. 8-10).
+  /// fastest (the per-size winners of Figs. 8-10). Seconds is infinity
+  /// when nothing survived tuning — use findBestReport for the structured
+  /// account of what was quarantined and why.
   BestResult findBest(const sim::ArchDesc &Arch, size_t N) const;
+
+  /// The hardened full-portfolio sweep: the best surviving variant plus
+  /// every quarantine record. When nothing survives, the Status names the
+  /// first quarantined configuration and its failure.
+  support::Expected<engine::TuneReport>
+  findBestReport(const sim::ArchDesc &Arch, size_t N) const;
+
+  /// Runs \p Desc on \p Arch under the injected \p Plan over an
+  /// \p N-element input and classifies the outcome against a clean
+  /// reference run (mirrors raceCheck). See ExecutionEngine::faultCheck.
+  support::Expected<engine::FaultReport>
+  faultCheck(const synth::VariantDescriptor &Desc, const sim::ArchDesc &Arch,
+             size_t N, const sim::FaultPlan &Plan) const;
 
   /// Modeled seconds for a tuned descriptor at size \p N (sampled run on a
   /// virtual input).
   double timeVariant(const synth::VariantDescriptor &Desc,
                      const sim::ArchDesc &Arch, size_t N) const;
+
+  /// The engine TuneOptions equivalent of this facade's Options (tuning
+  /// grid, per-block cap, validation size).
+  engine::TuneOptions makeTuneOptions() const;
 
 private:
   TangramReduction() = default;

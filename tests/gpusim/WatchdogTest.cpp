@@ -1,0 +1,161 @@
+//===- WatchdogTest.cpp - Cycle-budget watchdog + fault injector tests ------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every launch carries a finite warp-instruction budget: a hand-built
+// livelocked kernel must trap with DeadlineExceeded under the *default*
+// budget (no explicit configuration), and the deterministic fault injector
+// must fire reproducibly for a given plan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/FaultInjector.h"
+#include "gpusim/SimtMachine.h"
+#include "ir/Bytecode.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::ir;
+using namespace tangram::sim;
+
+namespace {
+
+/// Builds `for (unsigned i = 0; i < 1; i = i * 0) out[0] = i;` — the
+/// induction variable never advances, so the loop never exits: the shape
+/// of a livelocked software-lock spin (Kepler's shared-atomic emulation).
+struct LivelockKernel {
+  Module M;
+  Kernel *K = nullptr;
+  Param *Out = nullptr;
+
+  LivelockKernel() {
+    K = M.addKernel("livelock");
+    Out = K->addPointerParam("out", ScalarType::I32);
+    Local *I = K->addLocal("i", ScalarType::U32);
+    std::vector<Stmt *> Body = {
+        M.create<StoreGlobalStmt>(Out, M.constI(0), M.ref(I))};
+    K->getBody().push_back(M.create<ForStmt>(
+        I, M.constI(0), M.cmp(BinOp::LT, M.ref(I), M.constI(1)),
+        M.arith(BinOp::Mul, M.ref(I), M.constI(0)), std::move(Body)));
+  }
+};
+
+TEST(Watchdog, DefaultBudgetTrapsLivelock) {
+  LivelockKernel B;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyKernel(*B.K, Errors)) << Errors.front();
+  CompiledKernel CK = compileKernel(*B.K);
+
+  Device Dev;
+  BufferId OutBuf = Dev.alloc(ScalarType::I32, 1);
+  SimtMachine Machine(Dev, getKeplerK40c());
+
+  // MaxWarpInstructions stays 0: the machine must derive a finite default.
+  LaunchConfig Config{/*GridDim=*/1, /*BlockDim=*/32, 0};
+  LaunchResult R =
+      Machine.launch(CK, Config, {ArgValue::buffer(OutBuf)});
+
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.DeadlineExceeded);
+  ASSERT_FALSE(R.Errors.empty());
+  EXPECT_NE(R.Errors.front().find("deadline"), std::string::npos)
+      << R.Errors.front();
+}
+
+TEST(Watchdog, ExplicitBudgetIsHonored) {
+  LivelockKernel B;
+  CompiledKernel CK = compileKernel(*B.K);
+  Device Dev;
+  BufferId OutBuf = Dev.alloc(ScalarType::I32, 1);
+  SimtMachine Machine(Dev, getPascalP100());
+
+  LaunchConfig Config{1, 32, 0};
+  Config.MaxWarpInstructions = 256; // trips far faster than the default
+  LaunchResult R =
+      Machine.launch(CK, Config, {ArgValue::buffer(OutBuf)});
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.DeadlineExceeded);
+}
+
+TEST(Watchdog, HealthyKernelStaysUnderDefaultBudget) {
+  // A terminating kernel must never trip the derived default budget.
+  Module M;
+  Kernel *K = M.addKernel("store_one");
+  Param *Out = K->addPointerParam("out", ScalarType::I32);
+  K->getBody().push_back(
+      M.create<StoreGlobalStmt>(Out, M.constI(0), M.constI(1)));
+  CompiledKernel CK = compileKernel(*K);
+
+  Device Dev;
+  BufferId OutBuf = Dev.alloc(ScalarType::I32, 1);
+  SimtMachine Machine(Dev, getMaxwellGTX980());
+  LaunchConfig Config{4, 128, 0};
+  LaunchResult R = Machine.launch(CK, Config, {ArgValue::buffer(OutBuf)});
+  EXPECT_TRUE(R.ok());
+  EXPECT_FALSE(R.DeadlineExceeded);
+  EXPECT_EQ(Dev.readInt(OutBuf, 0), 1);
+}
+
+TEST(FaultInjector, FiresAreDeterministicPerPlan) {
+  FaultPlan Plan;
+  Plan.Kind = FaultKind::BitFlipGlobal;
+  Plan.Seed = 42;
+  Plan.Period = 3;
+
+  // Two injectors over the same event stream agree event for event.
+  FaultInjector A(Plan), B(Plan);
+  unsigned Fired = 0;
+  for (unsigned I = 0; I != 300; ++I) {
+    bool FA = A.fires(FaultKind::BitFlipGlobal);
+    EXPECT_EQ(FA, B.fires(FaultKind::BitFlipGlobal));
+    Fired += FA;
+  }
+  EXPECT_EQ(A.getFireCount(), Fired);
+  // Period 3 over 300 events: roughly a third fire; the hash is not a
+  // strict modulus over ordinals, so allow slack.
+  EXPECT_GT(Fired, 50u);
+  EXPECT_LT(Fired, 200u);
+}
+
+TEST(FaultInjector, MismatchedKindNeverFires) {
+  FaultPlan Plan;
+  Plan.Kind = FaultKind::DropAtomic;
+  Plan.Period = 1;
+  FaultInjector Inj(Plan);
+  for (unsigned I = 0; I != 64; ++I)
+    EXPECT_FALSE(Inj.fires(FaultKind::BitFlipShared));
+  EXPECT_EQ(Inj.getFireCount(), 0u);
+}
+
+TEST(FaultInjector, CorruptFlipsExactlyOneIntBit) {
+  FaultPlan Plan;
+  Plan.Kind = FaultKind::BitFlipGlobal;
+  Plan.Seed = 7;
+  FaultInjector Inj(Plan);
+  Cell V;
+  V.I = 12345;
+  Cell Out = Inj.corrupt(V, ir::ScalarType::I32);
+  long long Diff = Out.I ^ V.I;
+  EXPECT_NE(Diff, 0);
+  EXPECT_EQ(Diff & (Diff - 1), 0) << "more than one bit flipped";
+}
+
+TEST(FaultInjector, KindNamesRoundTrip) {
+  unsigned Count = 0;
+  const FaultKind *All = getAllFaultKinds(Count);
+  ASSERT_GE(Count, 6u);
+  for (unsigned I = 0; I != Count; ++I) {
+    FaultKind K = FaultKind::None;
+    ASSERT_TRUE(parseFaultKind(getFaultKindName(All[I]), K))
+        << getFaultKindName(All[I]);
+    EXPECT_EQ(K, All[I]);
+  }
+  FaultKind K;
+  EXPECT_FALSE(parseFaultKind("not-a-fault", K));
+}
+
+} // namespace

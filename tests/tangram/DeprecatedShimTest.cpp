@@ -1,0 +1,131 @@
+//===- DeprecatedShimTest.cpp - Legacy out-param shim coverage --------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The deprecated bool/out-param shims wrap the Expected-returning APIs for
+// older embedders. They stay supported until removal, so each one gets a
+// success-path and an error-path check: the value comes through unchanged
+// and the Status message lands in the out-parameter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/KernelSynthesizer.h"
+#include "tangram/Tangram.h"
+
+#include <gtest/gtest.h>
+
+// The whole file exists to call deprecated APIs.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+using namespace tangram;
+using namespace tangram::synth;
+
+namespace {
+
+TangramReduction &facade() {
+  static std::unique_ptr<TangramReduction> TR = [] {
+    auto T = TangramReduction::create();
+    EXPECT_TRUE(T.ok()) << T.status().toString();
+    return std::move(*T);
+  }();
+  return *TR;
+}
+
+const VariantDescriptor &someVariant() {
+  return facade().getSearchSpace().Pruned.front();
+}
+
+TEST(DeprecatedShims, FacadeCreateOutParam) {
+  std::string Error = "stale";
+  auto TR = TangramReduction::create(TangramReduction::Options(), Error);
+  ASSERT_NE(TR, nullptr);
+  EXPECT_EQ(Error, "stale") << "out-param must be untouched on success";
+
+  TangramReduction::Options Bad;
+  Bad.SourceOverride = "__codelet float broken(";
+  auto Fail = TangramReduction::create(Bad, Error);
+  EXPECT_EQ(Fail, nullptr);
+  EXPECT_FALSE(Error.empty());
+  EXPECT_NE(Error, "stale");
+}
+
+TEST(DeprecatedShims, FacadeSynthesizeOutParam) {
+  std::string Error;
+  auto V = facade().synthesize(someVariant(), Error);
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(Error.empty());
+
+  VariantDescriptor Unknown = someVariant();
+  Unknown.BlockSize = 7; // not a power of two: synthesis rejects it
+  auto Fail = facade().synthesize(Unknown, Error);
+  if (!Fail)
+    EXPECT_FALSE(Error.empty());
+}
+
+TEST(DeprecatedShims, FacadeEmitCudaOutParam) {
+  std::string Error;
+  std::string Cuda = facade().emitCudaFor(someVariant(), Error);
+  EXPECT_FALSE(Cuda.empty());
+  EXPECT_TRUE(Error.empty());
+  EXPECT_NE(Cuda.find("__global__"), std::string::npos);
+}
+
+TEST(DeprecatedShims, SynthesizerSynthesizeOutParam) {
+  std::string Error;
+  auto V = facade().getSynthesizer().synthesize(someVariant(), Error);
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(Error.empty());
+  EXPECT_NE(V->K, nullptr);
+}
+
+TEST(DeprecatedShims, EngineGetVariantOutParam) {
+  engine::ExecutionEngine &E = facade().engineFor(sim::getPascalP100());
+  std::string Error;
+  auto V = E.getVariant(someVariant(), Error);
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(Error.empty());
+}
+
+TEST(DeprecatedShims, EngineRunReductionOutcome) {
+  engine::ExecutionEngine &E = facade().engineFor(sim::getPascalP100());
+  std::string Error;
+  auto V = E.getVariant(someVariant(), Error);
+  ASSERT_NE(V, nullptr);
+
+  const size_t N = 2048;
+  size_t Mark = E.deviceMark();
+  sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+  std::vector<float> Host(N, 0.5f);
+  E.getDevice().writeFloats(In, Host);
+  engine::RunOutcome Out =
+      E.runReductionOutcome(*V, In, N, sim::ExecMode::Functional);
+  E.deviceRelease(Mark);
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  EXPECT_NEAR(Out.FloatValue, N * 0.5, 1e-3);
+}
+
+TEST(DeprecatedShims, EngineReduceOutcome) {
+  engine::ExecutionEngine &E = facade().engineFor(sim::getMaxwellGTX980());
+  const size_t N = 1024;
+  size_t Mark = E.deviceMark();
+  sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
+  std::vector<float> Host(N, 2.0f);
+  E.getDevice().writeFloats(In, Host);
+  engine::RunOutcome Out =
+      E.reduceOutcome(someVariant(), In, N, sim::ExecMode::Functional);
+  E.deviceRelease(Mark);
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  EXPECT_NEAR(Out.FloatValue, N * 2.0, 1e-3);
+
+  // Error path: an engine without an attached compiler fails with a
+  // message, not a crash.
+  engine::ExecutionEngine Bare(sim::getMaxwellGTX980());
+  engine::RunOutcome Bad =
+      Bare.reduceOutcome(someVariant(), In, N, sim::ExecMode::Functional);
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_FALSE(Bad.Error.empty());
+}
+
+} // namespace

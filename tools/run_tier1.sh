@@ -2,11 +2,27 @@
 # Tier-1 gate: configure, build, and run the full test suite exactly the
 # way CI does. Run from anywhere; exits nonzero on the first failure.
 #
-#   tools/run_tier1.sh            # RelWithDebInfo tier-1 gate
-#   tools/run_tier1.sh asan-ubsan # same suite under ASan+UBSan
+#   tools/run_tier1.sh                     # RelWithDebInfo tier-1 gate
+#   tools/run_tier1.sh --preset asan-ubsan # same suite under ASan+UBSan
+#   tools/run_tier1.sh asan-ubsan          # legacy positional spelling
 set -eu
 
-PRESET="${1:-tier1}"
+PRESET="tier1"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --preset)
+      [ $# -ge 2 ] || { echo "run_tier1.sh: --preset needs a value" >&2; exit 2; }
+      PRESET="$2"; shift 2 ;;
+    --preset=*)
+      PRESET="${1#--preset=}"; shift ;;
+    -h|--help)
+      sed -n '2,8p' "$0"; exit 0 ;;
+    -*)
+      echo "run_tier1.sh: unknown option '$1'" >&2; exit 2 ;;
+    *)
+      PRESET="$1"; shift ;;
+  esac
+done
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 

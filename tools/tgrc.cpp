@@ -14,6 +14,7 @@
 //   tune NAME [--arch=A --n=N]   pick tunables by sampled simulation
 //   best [--arch=A --n=N]        fastest tuned variant per architecture
 //   racecheck [NAME|all]         dynamic race detector over the variant(s)
+//   faultcheck [NAME|all]        fault-injection matrix over the variant(s)
 //   check FILE [--dump-ast] [--dump-passes]
 //                                front-end check a user codelet source
 //
@@ -22,6 +23,8 @@
 //   --type=float|int       element type (canonical source only)
 //   --arch=kepler|maxwell|pascal|all   target architecture(s)
 //   --n=SIZE               problem size (elements)
+//   --fault=KIND|all       fault kind(s) injected by faultcheck
+//   --seed=S --period=P    fault-injection determinism knobs
 //   --dump-ast             normalized source after parse+sema
 //   --dump-passes          per-codelet transform-pipeline findings
 //
@@ -58,6 +61,10 @@ int usage() {
       "  tgrc tune NAME [--arch=kepler|maxwell|pascal|all] [--n=SIZE]\n"
       "  tgrc best [--arch=...] [--n=SIZE]\n"
       "  tgrc racecheck [NAME|all] [--arch=...] [--n=SIZE]\n"
+      "  tgrc faultcheck [NAME|all] [--arch=...] [--n=SIZE]\n"
+      "                  [--fault=bitflip-shared|bitflip-global|drop-atomic|\n"
+      "                   dup-atomic|stuck-warp|skip-barrier|all]\n"
+      "                  [--seed=S] [--period=P]\n"
       "  tgrc check FILE [--dump-ast] [--dump-passes]\n"
       "shared options: --op=add|sub|max|min --type=float|int\n");
   return 2;
@@ -68,6 +75,11 @@ struct DriverOptions {
   TangramReduction::Options Create;
   std::vector<sim::ArchDesc> Archs; ///< Resolved --arch set.
   size_t N = 1 << 20;
+  /// Faultcheck knobs: the kinds to inject ("all" = the whole taxonomy)
+  /// and the deterministic plan seed/period shared by every run.
+  std::string FaultKinds = "all";
+  uint64_t FaultSeed = 1;
+  uint64_t FaultPeriod = 4;
   bool Bytecode = false;
   bool DumpAst = false;
   bool DumpPasses = false;
@@ -124,6 +136,25 @@ bool parseOptions(int Argc, char **Argv, DriverOptions &O) {
       if (!End || *End || V == 0)
         return false;
       O.N = static_cast<size_t>(V);
+    } else if (!std::strncmp(Arg, "--fault=", 8)) {
+      sim::FaultKind K;
+      std::string Name = Arg + 8;
+      if (Name != "all" && (!sim::parseFaultKind(Name, K) ||
+                            K == sim::FaultKind::None))
+        return false;
+      O.FaultKinds = Name;
+    } else if (!std::strncmp(Arg, "--seed=", 7)) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(Arg + 7, &End, 10);
+      if (!End || *End)
+        return false;
+      O.FaultSeed = V;
+    } else if (!std::strncmp(Arg, "--period=", 9)) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(Arg + 9, &End, 10);
+      if (!End || *End || V == 0)
+        return false;
+      O.FaultPeriod = V;
     } else if (!std::strncmp(Arg, "--op=", 5)) {
       std::string Op = Arg + 5;
       if (Op == "add")
@@ -384,6 +415,80 @@ int cmdRaceCheck(const DriverOptions &O, const std::string &Name) {
   return Races ? 1 : 0;
 }
 
+// --- faultcheck ----------------------------------------------------------
+
+/// Runs one (variant, arch, fault-kind) cell of the fault matrix and prints
+/// its structured outcome. Returns nonzero only when the harness itself
+/// fails (e.g. the clean reference run traps) — a Detected or Trapped fault
+/// is the framework *working*.
+int faultCheckOne(const TangramReduction &TR, const VariantDescriptor &V,
+                  const sim::ArchDesc &Arch, size_t N,
+                  const sim::FaultPlan &Plan, unsigned Outcomes[4]) {
+  auto Report = TR.faultCheck(V, Arch, N, Plan);
+  if (!Report) {
+    std::fprintf(stderr, "tgrc: %s: %s\n", V.getName().c_str(),
+                 Report.status().toString().c_str());
+    return 1;
+  }
+  ++Outcomes[static_cast<unsigned>(Report->Outcome)];
+  std::printf("%-10s %-20s %-14s injected=%-4llu %s", Arch.Name.c_str(),
+              V.getName().c_str(), sim::getFaultKindName(Report->Kind),
+              static_cast<unsigned long long>(Report->FaultsInjected),
+              engine::getFaultOutcomeName(Report->Outcome));
+  if (Report->Outcome == engine::FaultOutcome::Detected)
+    std::printf("  (got %g expected %g)", Report->GotFloat, Report->RefFloat);
+  else if (Report->Outcome == engine::FaultOutcome::Trapped)
+    std::printf("  (%s)", Report->Trap.toString().c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmdFaultCheck(const DriverOptions &O, const std::string &Name) {
+  auto TR = compileSpectrum(O);
+  if (!TR)
+    return 1;
+  std::vector<const VariantDescriptor *> Targets;
+  if (Name.empty() || Name == "all") {
+    for (const VariantDescriptor &V : TR->getSearchSpace().Pruned)
+      Targets.push_back(&V);
+  } else {
+    const VariantDescriptor *V = findVariant(TR->getSearchSpace(), Name);
+    if (!V) {
+      std::fprintf(stderr, "tgrc: unknown variant '%s'\n", Name.c_str());
+      return 1;
+    }
+    Targets.push_back(V);
+  }
+
+  std::vector<sim::FaultKind> Kinds;
+  if (O.FaultKinds == "all") {
+    unsigned Count = 0;
+    const sim::FaultKind *All = sim::getAllFaultKinds(Count);
+    Kinds.assign(All, All + Count);
+  } else {
+    sim::FaultKind K = sim::FaultKind::None;
+    sim::parseFaultKind(O.FaultKinds, K); // validated during flag parsing
+    Kinds.push_back(K);
+  }
+
+  unsigned Outcomes[4] = {0, 0, 0, 0};
+  for (const sim::ArchDesc &Arch : O.Archs)
+    for (const VariantDescriptor *V : Targets)
+      for (sim::FaultKind K : Kinds) {
+        sim::FaultPlan Plan;
+        Plan.Kind = K;
+        Plan.Seed = O.FaultSeed;
+        Plan.Period = O.FaultPeriod;
+        if (int RC = faultCheckOne(*TR, *V, Arch, O.N, Plan, Outcomes))
+          return RC;
+      }
+  std::printf("%zu variant(s) x %zu architecture(s) x %zu fault kind(s): "
+              "%u clean, %u survived, %u detected, %u trapped\n",
+              Targets.size(), O.Archs.size(), Kinds.size(), Outcomes[0],
+              Outcomes[1], Outcomes[2], Outcomes[3]);
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -400,7 +505,8 @@ int main(int Argc, char **Argv) {
   if (!O.Positional.empty()) {
     const std::string &First = O.Positional.front();
     if (First == "list" || First == "emit" || First == "tune" ||
-        First == "best" || First == "racecheck" || First == "check") {
+        First == "best" || First == "racecheck" || First == "faultcheck" ||
+        First == "check") {
       Cmd = First;
       O.Positional.erase(O.Positional.begin());
     }
@@ -429,7 +535,7 @@ int main(int Argc, char **Argv) {
     return O.Positional.size() == 1 ? cmdCheck(O, O.Positional.front())
                                     : usage();
   if (!O.Positional.empty() && Cmd != "emit" && Cmd != "tune" &&
-      Cmd != "racecheck")
+      Cmd != "racecheck" && Cmd != "faultcheck")
     return usage();
 
   if (Cmd == "list")
@@ -449,6 +555,14 @@ int main(int Argc, char **Argv) {
       O.N = 1 << 14; // full-grid functional runs; keep the sweep quick
     return cmdRaceCheck(O,
                         O.Positional.empty() ? "" : O.Positional.front());
+  }
+  if (Cmd == "faultcheck") {
+    if (O.Positional.size() > 1)
+      return usage();
+    if (!SawN)
+      O.N = 1 << 12; // two functional runs per matrix cell; keep it quick
+    return cmdFaultCheck(O,
+                         O.Positional.empty() ? "" : O.Positional.front());
   }
   return usage();
 }
