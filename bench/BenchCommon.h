@@ -16,11 +16,15 @@
 #ifndef TANGRAM_BENCH_BENCHCOMMON_H
 #define TANGRAM_BENCH_BENCHCOMMON_H
 
+#include "pm/PassInstrumentation.h"
+#include "support/Statistics.h"
 #include "tangram/FigureHarness.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tangram::bench {
@@ -132,34 +136,87 @@ inline void appendFigureRecords(const sim::ArchDesc &Arch,
   }
 }
 
-/// Writes `BENCH_<BenchName>.json` in the working directory: an array of
-/// `{"variant", "arch", "n", "seconds", "status"}` objects, one per
-/// record. Keeps the figure binaries' stdout tables human-oriented while
-/// giving CI and plotting scripts a stable machine-readable artifact.
-/// Records with a non-"ok" status carry whatever Seconds were measured
-/// before the failure (usually 0 or infinity) — the array stays valid
-/// JSON even when part of the sweep was quarantined.
-inline void writeBenchJson(const std::string &BenchName,
-                           const std::vector<BenchRecord> &Records) {
-  std::string Path = "BENCH_" + BenchName + ".json";
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
-    std::fprintf(stderr, "warning: could not write %s\n", Path.c_str());
-    return;
+/// Compile-time observability attached to a bench's JSON artifact: total
+/// pipeline wall-clock, the per-pass breakdown, and the pass statistics
+/// counters at the time of writing.
+struct CompileInfo {
+  double CompileSeconds = 0;
+  std::vector<pm::PassTiming> Passes;
+  std::vector<std::pair<std::string, uint64_t>> Stats;
+
+  /// Snapshot of \p PI plus the global statistics registry.
+  static CompileInfo capture(const pm::PassInstrumentation &PI) {
+    CompileInfo Info;
+    Info.CompileSeconds = PI.getTotalSeconds();
+    Info.Passes = PI.getTimings();
+    Info.Stats = support::Statistics::get().snapshot();
+    return Info;
   }
-  std::fprintf(F, "[\n");
+};
+
+inline void writeBenchRecords(std::FILE *F,
+                              const std::vector<BenchRecord> &Records,
+                              const char *Indent) {
   for (size_t I = 0; I != Records.size(); ++I) {
     const BenchRecord &R = Records[I];
     // Infinity is not valid JSON; failed configurations keep a numeric
     // placeholder and their status says why the number is meaningless.
     double Seconds = std::isfinite(R.Seconds) ? R.Seconds : 0;
     std::fprintf(F,
-                 "  {\"variant\": \"%s\", \"arch\": \"%s\", \"n\": %zu, "
+                 "%s{\"variant\": \"%s\", \"arch\": \"%s\", \"n\": %zu, "
                  "\"seconds\": %.9g, \"status\": \"%s\"}%s\n",
-                 R.Variant.c_str(), R.Arch.c_str(), R.N, Seconds,
+                 Indent, R.Variant.c_str(), R.Arch.c_str(), R.N, Seconds,
                  R.Status.c_str(), I + 1 == Records.size() ? "" : ",");
   }
-  std::fprintf(F, "]\n");
+}
+
+/// Writes `BENCH_<BenchName>.json` in the working directory. Without
+/// \p Compile the artifact is an array of `{"variant", "arch", "n",
+/// "seconds", "status"}` objects, one per record (the historical format).
+/// With \p Compile it is an object: the same array under "records" plus
+/// "compile_ms", a "passes" array (name/runs/seconds per lowering pass),
+/// and a "stats" counter map. Keeps the figure binaries' stdout tables
+/// human-oriented while giving CI and plotting scripts a stable
+/// machine-readable artifact. Records with a non-"ok" status carry
+/// whatever Seconds were measured before the failure (usually 0 or
+/// infinity) — the output stays valid JSON even when part of the sweep
+/// was quarantined.
+inline void writeBenchJson(const std::string &BenchName,
+                           const std::vector<BenchRecord> &Records,
+                           const CompileInfo *Compile = nullptr) {
+  std::string Path = "BENCH_" + BenchName + ".json";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: could not write %s\n", Path.c_str());
+    return;
+  }
+  if (!Compile) {
+    std::fprintf(F, "[\n");
+    writeBenchRecords(F, Records, "  ");
+    std::fprintf(F, "]\n");
+  } else {
+    std::fprintf(F, "{\n  \"compile_ms\": %.6g,\n",
+                 Compile->CompileSeconds * 1e3);
+    std::fprintf(F, "  \"passes\": [\n");
+    for (size_t I = 0; I != Compile->Passes.size(); ++I) {
+      const pm::PassTiming &T = Compile->Passes[I];
+      std::fprintf(F,
+                   "    {\"pass\": \"%s\", \"runs\": %llu, "
+                   "\"seconds\": %.9g}%s\n",
+                   T.Name.c_str(),
+                   static_cast<unsigned long long>(T.Invocations), T.Seconds,
+                   I + 1 == Compile->Passes.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n  \"stats\": {\n");
+    for (size_t I = 0; I != Compile->Stats.size(); ++I)
+      std::fprintf(F, "    \"%s\": %llu%s\n",
+                   Compile->Stats[I].first.c_str(),
+                   static_cast<unsigned long long>(Compile->Stats[I].second),
+                   I + 1 == Compile->Stats.size() ? "" : ",");
+    std::fprintf(F, "  },\n  \"records\": [\n");
+    writeBenchRecords(F, Records, "    ");
+    std::fprintf(F, "  ]\n}\n");
+  }
   std::fclose(F);
   std::printf("wrote %s (%zu records)\n", Path.c_str(), Records.size());
 }

@@ -190,6 +190,17 @@ int main() {
                            Par[Idx].Seconds, Par[Idx].Status});
       ++Idx;
     }
-  bench::writeBenchJson("fig6_search_space", Records);
+  // Attach the compile-time account: per-pass wall clock aggregated across
+  // every variant the parallel engine compiled, plus the pass statistics.
+  bench::CompileInfo Compile =
+      bench::CompileInfo::capture((*TR4)->getInstrumentation());
+  unsigned long long PassRuns = 0;
+  for (const pm::PassTiming &T : Compile.Passes)
+    PassRuns += T.Invocations;
+  std::printf("  compile: %llu pass invocations across %zu passes, "
+              "%.3f ms pipeline wall-clock\n",
+              PassRuns, Compile.Passes.size(),
+              Compile.CompileSeconds * 1e3);
+  bench::writeBenchJson("fig6_search_space", Records, &Compile);
   return Mismatches == 0 ? 0 : 1;
 }

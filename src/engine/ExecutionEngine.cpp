@@ -95,18 +95,6 @@ ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
   return std::shared_ptr<const synth::SynthesizedVariant>(std::move(Shared));
 }
 
-std::shared_ptr<const synth::SynthesizedVariant>
-ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
-                            std::string &Error,
-                            const synth::OptimizationFlags &Flags) {
-  auto V = getVariant(Desc, Flags);
-  if (!V) {
-    Error = V.status().Message;
-    return nullptr;
-  }
-  return std::move(*V);
-}
-
 LaunchResult ExecutionEngine::launch(const ir::CompiledKernel &Kernel,
                                      const LaunchConfig &Config,
                                      const std::vector<ArgValue> &Args,
@@ -225,42 +213,6 @@ ExecutionEngine::raceCheck(const synth::VariantDescriptor &Desc, size_t N,
   Report.Truncated = Run->Launch.RaceCheckTruncated;
   Report.LaunchCount = (*V)->SecondStage ? 2 : 1;
   return Report;
-}
-
-RunOutcome ExecutionEngine::runReductionOutcome(
-    const synth::SynthesizedVariant &V, BufferId In, size_t N,
-    ExecMode Mode) {
-  auto R = runReduction(V, In, N, Mode);
-  RunOutcome Out;
-  if (!R) {
-    Out.Error = R.status().Message;
-    return Out;
-  }
-  Out.Ok = true;
-  Out.FloatValue = R->FloatValue;
-  Out.IntValue = R->IntValue;
-  Out.Seconds = R->Seconds;
-  Out.Timing = R->Timing;
-  Out.Launch = std::move(R->Launch);
-  return Out;
-}
-
-RunOutcome ExecutionEngine::reduceOutcome(const synth::VariantDescriptor &Desc,
-                                          BufferId In, size_t N,
-                                          ExecMode Mode) {
-  auto R = reduce(Desc, In, N, Mode);
-  RunOutcome Out;
-  if (!R) {
-    Out.Error = R.status().Message;
-    return Out;
-  }
-  Out.Ok = true;
-  Out.FloatValue = R->FloatValue;
-  Out.IntValue = R->IntValue;
-  Out.Seconds = R->Seconds;
-  Out.Timing = R->Timing;
-  Out.Launch = std::move(R->Launch);
-  return Out;
 }
 
 double ExecutionEngine::timeVariant(const synth::VariantDescriptor &Desc,

@@ -57,18 +57,6 @@ struct RunResult {
   sim::LaunchResult Launch;
 };
 
-/// Legacy Ok/Error outcome struct, kept for the deprecated *Outcome entry
-/// points. New code should use Expected<RunResult>.
-struct RunOutcome {
-  bool Ok = false;
-  std::string Error;
-  double FloatValue = 0;
-  long long IntValue = 0;
-  double Seconds = 0;
-  sim::KernelTiming Timing;
-  sim::LaunchResult Launch;
-};
-
 /// Aggregated result of a RaceCheck run over every launch a variant
 /// performs (main kernel plus the second-stage kernel when present).
 struct RaceReport {
@@ -205,11 +193,6 @@ public:
   getVariant(const synth::VariantDescriptor &Desc,
              const synth::OptimizationFlags &Flags = {});
 
-  [[deprecated("use the Expected-returning overload")]]
-  std::shared_ptr<const synth::SynthesizedVariant>
-  getVariant(const synth::VariantDescriptor &Desc, std::string &Error,
-             const synth::OptimizationFlags &Flags = {});
-
   /// Launches \p Kernel on this engine's device/arch (through the shared
   /// thread pool when profitable).
   sim::LaunchResult launch(const ir::CompiledKernel &Kernel,
@@ -238,16 +221,6 @@ public:
   support::Expected<RaceReport>
   raceCheck(const synth::VariantDescriptor &Desc, size_t N,
             const synth::OptimizationFlags &Flags = {});
-
-  [[deprecated("use runReduction, which returns Expected<RunResult>")]]
-  RunOutcome runReductionOutcome(
-      const synth::SynthesizedVariant &V, sim::BufferId In, size_t N,
-      sim::ExecMode Mode = sim::ExecMode::Functional);
-
-  [[deprecated("use reduce, which returns Expected<RunResult>")]]
-  RunOutcome reduceOutcome(const synth::VariantDescriptor &Desc,
-                           sim::BufferId In, size_t N,
-                           sim::ExecMode Mode = sim::ExecMode::Functional);
 
   /// Modeled seconds for \p Desc at size \p N over a scoped virtual input
   /// (Sampled mode). Infinity when the variant fails to synthesize or run —

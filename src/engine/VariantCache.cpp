@@ -41,6 +41,10 @@ VariantCache::VariantPtr VariantCache::lookup(const VariantKey &K) {
 
 void VariantCache::insert(const VariantKey &K, VariantPtr V) {
   std::lock_guard<std::mutex> Lock(Mutex);
+  if (V) {
+    ++VariantsCompiled;
+    CompileSeconds += V->CompileSeconds;
+  }
   auto It = Map.find(K);
   if (It != Map.end()) {
     It->second->second = std::move(V);
@@ -63,6 +67,8 @@ CacheStats VariantCache::getStats() const {
   S.Misses = Misses;
   S.Evictions = Evictions;
   S.Entries = Map.size();
+  S.VariantsCompiled = VariantsCompiled;
+  S.CompileSeconds = CompileSeconds;
   return S;
 }
 

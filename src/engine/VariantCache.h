@@ -52,6 +52,12 @@ struct CacheStats {
   uint64_t Misses = 0;
   uint64_t Evictions = 0;
   size_t Entries = 0;
+  /// Variants ever compiled into this cache (monotonic; eviction and
+  /// replacement never decrease it).
+  uint64_t VariantsCompiled = 0;
+  /// Total pipeline wall-clock spent compiling them (sum of each inserted
+  /// variant's SynthesizedVariant::CompileSeconds, second stages included).
+  double CompileSeconds = 0;
 };
 
 /// Bounded LRU map of VariantKey -> synthesized variant. Entries are handed
@@ -91,6 +97,8 @@ private:
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Evictions = 0;
+  uint64_t VariantsCompiled = 0;
+  double CompileSeconds = 0;
 };
 
 } // namespace tangram::engine

@@ -1,0 +1,73 @@
+//===- Pass.h - Generic compiler-pass interface -----------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass abstraction shared by every stage of the Fig. 5 pipeline:
+/// AST-level analyses (src/transforms), the variant lowering stages
+/// (src/synth/LoweringPasses), and the kernel-IR rewrites
+/// (ir/Transforms). A pass is a named unit of work over some unit type
+/// `UnitT` (a codelet analysis, a lowering context, a kernel) that
+/// reports failure through support::Status; the PassManager threads
+/// instrumentation, verification, and dumping around it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_PM_PASS_H
+#define TANGRAM_PM_PASS_H
+
+#include "support/Expected.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace tangram::pm {
+
+/// One named stage of a pipeline over units of type \p UnitT.
+template <typename UnitT> class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// Stable kebab-case name ("warp-shuffle-detect", "coop-lower", ...);
+  /// used for timing rows, statistics prefixes, dump headers, and the
+  /// pass tag on verifier failures.
+  virtual std::string getName() const = 0;
+
+  /// Runs the pass. A non-Ok Status aborts the pipeline and is returned
+  /// to the PassManager::run caller unchanged.
+  virtual support::Status run(UnitT &U) = 0;
+};
+
+/// A pass backed by a callable — the common case for pipeline stages that
+/// are one function.
+template <typename UnitT> class FunctionPass final : public Pass<UnitT> {
+public:
+  using Body = std::function<support::Status(UnitT &)>;
+
+  FunctionPass(std::string Name, Body Fn)
+      : Name(std::move(Name)), Fn(std::move(Fn)) {}
+
+  std::string getName() const override { return Name; }
+  support::Status run(UnitT &U) override { return Fn(U); }
+
+private:
+  std::string Name;
+  Body Fn;
+};
+
+/// Convenience builder for FunctionPass.
+template <typename UnitT>
+std::unique_ptr<Pass<UnitT>>
+makePass(std::string Name,
+         std::function<support::Status(UnitT &)> Fn) {
+  return std::make_unique<FunctionPass<UnitT>>(std::move(Name),
+                                               std::move(Fn));
+}
+
+} // namespace tangram::pm
+
+#endif // TANGRAM_PM_PASS_H

@@ -1,0 +1,88 @@
+//===- PassInstrumentation.cpp - Pass observability sink --------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pm/PassInstrumentation.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace tangram::pm;
+
+void PassInstrumentation::recordPassTime(const std::string &Name,
+                                         double Seconds) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (PassTiming &T : Timings)
+    if (T.Name == Name) {
+      ++T.Invocations;
+      T.Seconds += Seconds;
+      return;
+    }
+  Timings.push_back({Name, 1, Seconds});
+}
+
+std::vector<PassTiming> PassInstrumentation::getTimings() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Timings;
+}
+
+double PassInstrumentation::getTotalSeconds() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  double Total = 0;
+  for (const PassTiming &T : Timings)
+    Total += T.Seconds;
+  return Total;
+}
+
+void PassInstrumentation::appendDump(const std::string &Text) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  DumpText += Text;
+}
+
+std::string PassInstrumentation::getDumpText() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return DumpText;
+}
+
+std::string PassInstrumentation::takeDumpText() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = std::move(DumpText);
+  DumpText.clear();
+  return Out;
+}
+
+std::string PassInstrumentation::renderTimingTable() const {
+  std::vector<PassTiming> Rows = getTimings();
+  if (Rows.empty())
+    return "";
+  double Total = 0;
+  size_t Width = 4; // "pass"
+  for (const PassTiming &T : Rows) {
+    Total += T.Seconds;
+    Width = std::max(Width, T.Name.size());
+  }
+  std::string Out = "=== Pass execution timing ===\n";
+  char Line[512];
+  std::snprintf(Line, sizeof(Line), "  %-*s %8s %12s %7s\n",
+                static_cast<int>(Width), "pass", "runs", "seconds", "%");
+  Out += Line;
+  for (const PassTiming &T : Rows) {
+    std::snprintf(Line, sizeof(Line), "  %-*s %8llu %12.6f %6.1f%%\n",
+                  static_cast<int>(Width), T.Name.c_str(),
+                  static_cast<unsigned long long>(T.Invocations), T.Seconds,
+                  Total > 0 ? 100.0 * T.Seconds / Total : 0.0);
+    Out += Line;
+  }
+  std::snprintf(Line, sizeof(Line), "  %-*s %8s %12.6f %6.1f%%\n",
+                static_cast<int>(Width), "total", "", Total, 100.0);
+  Out += Line;
+  return Out;
+}
+
+void PassInstrumentation::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Timings.clear();
+  DumpText.clear();
+}

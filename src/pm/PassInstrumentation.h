@@ -1,0 +1,95 @@
+//===- PassInstrumentation.h - Pass observability sink ----------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The callback/aggregation layer every PassManager reports into: per-pass
+/// wall-clock totals (the `-time-passes` analog), before/after dump text
+/// (`--print-after-all`), and the knobs that turn opt-in behaviour on
+/// (per-pass verification, dumping). One instance is typically shared by
+/// every pipeline a TangramReduction facade runs — AST analyses at create
+/// time and every variant lowering afterwards — so a tool can render one
+/// consolidated timing table at exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_PM_PASSINSTRUMENTATION_H
+#define TANGRAM_PM_PASSINSTRUMENTATION_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tangram::pm {
+
+/// Opt-in pass-pipeline behaviour, settable per facade / tool invocation.
+struct InstrumentationOptions {
+  /// Render the per-pass timing table (`tgrc --time-passes`). Timings are
+  /// *recorded* unconditionally — the cost is two clock reads per pass —
+  /// this flag only controls tool output.
+  bool TimePasses = false;
+  /// Render the support::Statistics counters (`tgrc --stats`).
+  bool Stats = false;
+  /// Capture a dump of the unit after every pass (`--print-after-all`).
+  bool PrintAfterAll = false;
+  /// Run the pipeline's verifier after every pass and convert failures
+  /// into Expected errors tagged with the offending pass name
+  /// (`--verify-each`).
+  bool VerifyEach = false;
+};
+
+/// Aggregated wall-clock account of one pass across every pipeline run
+/// that reported into this instrumentation instance.
+struct PassTiming {
+  std::string Name;
+  uint64_t Invocations = 0;
+  double Seconds = 0;
+};
+
+/// Thread-safe sink for pass timings and dump text.
+class PassInstrumentation {
+public:
+  explicit PassInstrumentation(InstrumentationOptions Opts = {})
+      : Opts(Opts) {}
+
+  const InstrumentationOptions &getOptions() const { return Opts; }
+  void setOptions(const InstrumentationOptions &O) { Opts = O; }
+
+  /// Adds one invocation of \p Name taking \p Seconds.
+  void recordPassTime(const std::string &Name, double Seconds);
+
+  /// Timings in first-seen order (matches pipeline registration order for
+  /// a single pipeline; stable across repeat runs).
+  std::vector<PassTiming> getTimings() const;
+
+  /// Sum of all recorded pass seconds (the pipeline-side compile time).
+  double getTotalSeconds() const;
+
+  /// Appends `--print-after-all` dump text.
+  void appendDump(const std::string &Text);
+
+  /// The accumulated dump text (left in place; see takeDumpText()).
+  std::string getDumpText() const;
+
+  /// Returns and clears the accumulated dump text.
+  std::string takeDumpText();
+
+  /// Renders the `-time-passes`-style table. Empty when nothing ran.
+  std::string renderTimingTable() const;
+
+  /// Drops timings and dump text (options are preserved).
+  void reset();
+
+private:
+  InstrumentationOptions Opts;
+  mutable std::mutex Mu;
+  std::vector<PassTiming> Timings; ///< First-seen order.
+  std::string DumpText;
+};
+
+} // namespace tangram::pm
+
+#endif // TANGRAM_PM_PASSINSTRUMENTATION_H

@@ -1,0 +1,131 @@
+//===- PassManager.h - Instrumented pass pipeline ---------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs an ordered list of Pass<UnitT> over one unit, wrapping every pass
+/// with:
+///
+///  - wall-clock timing, recorded per run (getStageTimes(), for variant
+///    compile metadata) and aggregated into the shared PassInstrumentation
+///    (for the `--time-passes` table);
+///  - optional after-pass dumping (`--print-after-all`): the configured
+///    printer renders the unit after every pass under a
+///    `*** IR Dump After <pass> ***` header;
+///  - optional after-pass verification (`--verify-each`): the configured
+///    verifier runs after every pass, and a failure aborts the pipeline
+///    with a Status tagged with the offending pass name.
+///
+/// The manager is deliberately dumb about unit types: the same template
+/// drives AST codelet analyses, variant lowering contexts, and raw kernel
+/// IR — the pipeline author supplies the verifier/printer adaptors that
+/// make sense for the unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_PM_PASSMANAGER_H
+#define TANGRAM_PM_PASSMANAGER_H
+
+#include "pm/Pass.h"
+#include "pm/PassInstrumentation.h"
+
+#include <chrono>
+#include <vector>
+
+namespace tangram::pm {
+
+template <typename UnitT> class PassManager {
+public:
+  /// Returns verifier diagnostics for \p U; empty means valid. May be
+  /// empty-by-construction for unit states a verifier cannot inspect yet
+  /// (e.g. a lowering context before its kernel exists).
+  using VerifierFn = std::function<std::vector<std::string>(const UnitT &)>;
+  /// Renders \p U for `--print-after-all` dumps.
+  using PrinterFn = std::function<std::string(const UnitT &)>;
+
+  /// Wall-clock cost of one pass in the most recent run() — the per-stage
+  /// compile timing that lands in variant metadata.
+  struct StageTime {
+    std::string Name;
+    double Seconds = 0;
+  };
+
+  void addPass(std::unique_ptr<Pass<UnitT>> P) {
+    Passes.push_back(std::move(P));
+  }
+  void addPass(std::string Name,
+               std::function<support::Status(UnitT &)> Fn) {
+    Passes.push_back(makePass<UnitT>(std::move(Name), std::move(Fn)));
+  }
+
+  /// Shared observability sink; may be null (timing is then only
+  /// available through getStageTimes()).
+  void setInstrumentation(PassInstrumentation *Instr) { PI = Instr; }
+  void setVerifier(VerifierFn V) { Verifier = std::move(V); }
+  void setPrinter(PrinterFn P) { Printer = std::move(P); }
+  /// Forces per-pass verification on regardless of instrumentation
+  /// options (the TGR_VERIFY_EACH CI hook).
+  void setForceVerifyEach(bool Force) { ForceVerifyEach = Force; }
+
+  size_t size() const { return Passes.size(); }
+  std::vector<std::string> getPassNames() const {
+    std::vector<std::string> Names;
+    for (const auto &P : Passes)
+      Names.push_back(P->getName());
+    return Names;
+  }
+
+  /// Runs every pass in order over \p U. Stops at the first failure; the
+  /// failing pass's Status is returned unchanged, and a verify-each
+  /// failure is returned as StatusCode::SynthesisError tagged
+  /// `verifier after pass '<name>'`.
+  support::Status run(UnitT &U) {
+    Stages.clear();
+    InstrumentationOptions Effective =
+        PI ? PI->getOptions() : InstrumentationOptions{};
+    Effective.VerifyEach |= ForceVerifyEach;
+    for (const auto &P : Passes) {
+      auto Start = std::chrono::steady_clock::now();
+      support::Status S = P->run(U);
+      auto End = std::chrono::steady_clock::now();
+      double Seconds = std::chrono::duration<double>(End - Start).count();
+      Stages.push_back({P->getName(), Seconds});
+      if (PI)
+        PI->recordPassTime(P->getName(), Seconds);
+      if (!S.ok())
+        return S;
+      if (Effective.PrintAfterAll && Printer && PI) {
+        std::string Text = Printer(U);
+        if (!Text.empty() && Text.back() != '\n')
+          Text += '\n';
+        PI->appendDump("*** IR Dump After " + P->getName() + " ***\n" +
+                       Text);
+      }
+      if (Effective.VerifyEach && Verifier) {
+        std::vector<std::string> Errors = Verifier(U);
+        if (!Errors.empty())
+          return support::Status(
+              support::StatusCode::SynthesisError,
+              "verifier after pass '" + P->getName() + "': " +
+                  Errors.front());
+      }
+    }
+    return support::Status::success();
+  }
+
+  const std::vector<StageTime> &getStageTimes() const { return Stages; }
+
+private:
+  std::vector<std::unique_ptr<Pass<UnitT>>> Passes;
+  PassInstrumentation *PI = nullptr;
+  VerifierFn Verifier;
+  PrinterFn Printer;
+  bool ForceVerifyEach = false;
+  std::vector<StageTime> Stages;
+};
+
+} // namespace tangram::pm
+
+#endif // TANGRAM_PM_PASSMANAGER_H

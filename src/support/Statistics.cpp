@@ -1,0 +1,56 @@
+//===- Statistics.cpp - Global named-counter registry -----------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace tangram::support;
+
+Statistics &Statistics::get() {
+  static Statistics S;
+  return S;
+}
+
+void Statistics::add(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters[Name] += Delta;
+}
+
+uint64_t Statistics::lookup(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Statistics::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return {Counters.begin(), Counters.end()};
+}
+
+void Statistics::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters.clear();
+}
+
+std::string Statistics::report() const {
+  auto Counts = snapshot();
+  if (Counts.empty())
+    return "";
+  size_t Width = 0;
+  for (const auto &[Name, Value] : Counts)
+    Width = std::max(Width, Name.size());
+  std::string Out = "=== Statistics ===\n";
+  for (const auto &[Name, Value] : Counts) {
+    char Line[512];
+    std::snprintf(Line, sizeof(Line), "  %-*s %12llu\n",
+                  static_cast<int>(Width), Name.c_str(),
+                  static_cast<unsigned long long>(Value));
+    Out += Line;
+  }
+  return Out;
+}

@@ -1,0 +1,57 @@
+//===- Statistics.h - Global named-counter registry -------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named counters in the spirit of LLVM's
+/// `-stats` machinery: passes bump counters like
+/// `warp-shuffle.opportunities` or `global-atomic.rewrites` as they run,
+/// and tools render the sorted totals on request (`tgrc --stats`). The
+/// registry is mutex-protected so passes running from any thread may
+/// report, and resettable so tests and benches can scope their counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_STATISTICS_H
+#define TANGRAM_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tangram::support {
+
+/// The global counter registry. One instance per process (get()); all
+/// members are thread-safe.
+class Statistics {
+public:
+  static Statistics &get();
+
+  /// Adds \p Delta to the counter named \p Name, creating it at zero.
+  void add(const std::string &Name, uint64_t Delta = 1);
+
+  /// Current value of \p Name (0 when the counter does not exist).
+  uint64_t lookup(const std::string &Name) const;
+
+  /// All counters, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> snapshot() const;
+
+  /// Drops every counter (test/bench scoping).
+  void reset();
+
+  /// Renders the sorted counters as an aligned text table. Empty string
+  /// when no counter was ever bumped.
+  std::string report() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace tangram::support
+
+#endif // TANGRAM_SUPPORT_STATISTICS_H

@@ -1,0 +1,128 @@
+//===- CoopLowering.h - Cooperative codelet AST lowering --------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AST walk that lowers one cooperative codelet to kernel IR, applying
+/// the Section III rewrites per the variant. Extracted from the
+/// KernelSynthesizer monolith so the `coop-lower` pipeline stage is a
+/// self-contained, individually testable unit: the *decisions* (which
+/// loops become shuffle loops, which shared arrays are elided) are
+/// precomputed by the `shuffle-lower` planning pass into a LoweringPlan;
+/// this walk only executes them, which is what keeps the pass split
+/// bit-identical to the monolithic lowering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SYNTH_COOPLOWERING_H
+#define TANGRAM_SYNTH_COOPLOWERING_H
+
+#include "ir/KernelIR.h"
+#include "synth/Variant.h"
+#include "transforms/Pipeline.h"
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tangram::synth {
+
+/// The reduce-op identity constant for the synthesizer's element type.
+ir::Expr *identityConst(ir::Module &M, ir::ScalarType Elem, ReduceOp Op);
+
+/// acc OP v as an IR expression. Sub accumulates like Add within the
+/// device (partials are summed; the final subtraction semantics live at
+/// the API boundary), matching CUDA reduction practice.
+ir::Expr *reduceExpr(ir::Module &M, ReduceOp Op, ir::Expr *Acc, ir::Expr *V,
+                     ir::ScalarType Elem);
+
+/// How `in[...]` and `in.Size()` resolve inside a lowered codelet.
+struct InputView {
+  enum class Kind {
+    GlobalTile, ///< The block's sub-container of the input array.
+    Register,   ///< Per-thread partials living in a register.
+  };
+  Kind K = Kind::GlobalTile;
+  /// GlobalTile: the input pointer param.
+  const ir::Param *Input = nullptr;
+  /// GlobalTile: global index of tile element `e` (built per grid dist).
+  std::function<ir::Expr *(ir::Expr *)> GlobalIndex;
+  /// GlobalTile: the guard bound (SourceSize param).
+  const ir::Param *SourceSize = nullptr;
+  /// Register: the per-thread partial local.
+  const ir::Local *PartialReg = nullptr;
+  /// `in.Size()` (ObjectSize for tiles, blockDim for partials).
+  std::function<ir::Expr *()> Size;
+};
+
+/// Decisions the `shuffle-lower` planning pass precomputed for one
+/// variant: the Fig. 4 loops to rewrite and the shared arrays the rewrite
+/// elides. Empty for non-shuffle variants.
+struct LoweringPlan {
+  /// Loop -> matched opportunity; first opportunity per loop wins.
+  std::map<const lang::ForStmt *, const transforms::ShuffleOpportunity *>
+      ShuffleLoops;
+  std::unordered_set<const lang::VarDecl *> ElidedArrays;
+};
+
+/// Lowers one cooperative codelet's AST to IR statements appended to the
+/// kernel body, applying the Section III passes per the variant.
+class CoopLowering {
+public:
+  CoopLowering(ir::Module &M, ir::Kernel &K, const lang::CodeletDecl &C,
+               const transforms::CodeletTransformInfo &Info,
+               const LoweringPlan &Plan, const InputView &View, ReduceOp Op,
+               ir::ScalarType Elem);
+
+  /// Lowers the body. On success the block's result value handling has
+  /// been emitted through \p EmitResult (called with the value expression,
+  /// inside a thread-0 guard emitted by this class).
+  bool lower(const std::function<void(std::vector<ir::Stmt *> &,
+                                      ir::Expr *)> &EmitResult,
+             std::string &Error);
+
+private:
+  ir::Expr *threadIdx();
+  ir::Expr *warpSize();
+  ir::Expr *lowerMember(const lang::MemberCallExpr *E);
+  ir::Expr *lowerInputRead(ir::Expr *Index);
+  ir::Expr *lowerExpr(const lang::Expr *E);
+  bool lowerVarDecl(lang::VarDecl *Var, std::vector<ir::Stmt *> &Out);
+  ir::Expr *lowerUniform(const lang::Expr *E);
+  const transforms::ShuffleOpportunity *
+  shuffleFor(const lang::ForStmt *Loop) const;
+  bool writesShared(const lang::Stmt *S);
+  bool lowerAssignment(const lang::BinaryExpr *B,
+                       std::vector<ir::Stmt *> &Out);
+  bool lowerFor(const lang::ForStmt *F, std::vector<ir::Stmt *> &Out);
+  static std::vector<lang::Stmt *> bodyOf(lang::Stmt *S);
+  static bool isThreadDependentCond(const lang::Expr *E);
+  static void stampLoc(ir::Stmt *S, SourceLoc Loc);
+  bool lowerStmt(lang::Stmt *S, std::vector<ir::Stmt *> &Out);
+  bool lowerStmtImpl(lang::Stmt *S, std::vector<ir::Stmt *> &Out);
+
+  ir::Module &M;
+  ir::Kernel &K;
+  const lang::CodeletDecl &C;
+  const transforms::CodeletTransformInfo &Info;
+  const LoweringPlan &Plan;
+  const InputView &View;
+  ReduceOp Op;
+  ir::ScalarType Elem;
+
+  const std::function<void(std::vector<ir::Stmt *> &, ir::Expr *)>
+      *EmitResult = nullptr;
+  std::unordered_map<const lang::VarDecl *, ir::Local *> Locals;
+  std::unordered_map<const lang::VarDecl *, ir::SharedArray *> SharedArrays;
+  std::unordered_map<const lang::VarDecl *, ir::SharedArray *> AtomicAccs;
+  bool InReductionRHS = false;
+  bool InDivergent = false;
+};
+
+} // namespace tangram::synth
+
+#endif // TANGRAM_SYNTH_COOPLOWERING_H

@@ -3,790 +3,50 @@
 // Part of the tangram-reduction project. See README.md for license details.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthesizer proper is now a thin driver: it assembles the lowering
+/// pass pipeline (LoweringPasses.cpp) for one descriptor, wires in the
+/// shared instrumentation plus the IR verifier / CUDA printer adaptors,
+/// runs it, and books the per-stage compile timings into the variant.
+///
+//===----------------------------------------------------------------------===//
 
 #include "synth/KernelSynthesizer.h"
 
-#include "ir/Transforms.h"
+#include "codegen/CudaEmitter.h"
 #include "ir/Verifier.h"
-#include "lang/ASTVisitor.h"
-#include "synth/ReductionSpectrum.h"
-#include "support/ErrorHandling.h"
+#include "pm/PassManager.h"
+#include "synth/LoweringPasses.h"
 
-#include <cassert>
-#include <cctype>
-#include <functional>
-
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdlib>
+#include <string_view>
 
 using namespace tangram;
-using namespace tangram::ir;
 using namespace tangram::synth;
-using namespace tangram::transforms;
-
-// The lang AST and the kernel IR share several class names (Expr, Stmt,
-// IfStmt, ForStmt); this file works in IR terms and imports the lang names
-// it needs explicitly.
-using tangram::lang::BinaryExpr;
-using tangram::lang::BinaryOpKind;
-using tangram::lang::CodeletDecl;
-using tangram::lang::CompoundStmt;
-using tangram::lang::ConditionalExpr;
-using tangram::lang::DeclRefExpr;
-using tangram::lang::DeclStmt;
-using tangram::lang::FloatLiteralExpr;
-using tangram::lang::getCompoundOpcode;
-using tangram::lang::IndexExpr;
-using tangram::lang::IntLiteralExpr;
-using tangram::lang::MemberCallExpr;
-using tangram::lang::MemberKind;
-using tangram::lang::ParamDecl;
-using tangram::lang::ReturnStmt;
-using tangram::lang::TranslationUnit;
-using tangram::lang::UnaryExpr;
-using tangram::lang::UnaryOpKind;
-using tangram::lang::VarDecl;
 
 namespace {
 
-/// The reduce-op identity constant for the synthesizer's element type.
-Expr *identityConst(Module &M, ScalarType Elem, ReduceOp Op) {
-  if (Elem == ScalarType::F32) {
-    double V = 0.0;
-    switch (Op) {
-    case ReduceOp::Add:
-    case ReduceOp::Sub:
-      V = 0.0;
-      break;
-    case ReduceOp::Max:
-      V = -3.0e38; // ~ -FLT_MAX
-      break;
-    case ReduceOp::Min:
-      V = 3.0e38;
-      break;
-    }
-    return M.constF(V);
-  }
-  long long V = 0;
-  switch (Op) {
-  case ReduceOp::Add:
-  case ReduceOp::Sub:
-    V = 0;
-    break;
-  case ReduceOp::Max:
-    V = -2147483647LL - 1;
-    break;
-  case ReduceOp::Min:
-    V = 2147483647LL;
-    break;
-  }
-  return M.create<IntConstExpr>(V, Elem);
+/// The CI hook: TGR_VERIFY_EACH=1 forces per-pass verification on for
+/// every pipeline in the process (the tier1-verify-each preset), without
+/// any tool plumbing.
+bool verifyEachForced() {
+  const char *Env = std::getenv("TGR_VERIFY_EACH");
+  return Env && *Env && std::string_view(Env) != "0";
 }
 
-/// acc OP v as an IR expression. Sub accumulates like Add within the
-/// device (partials are summed; the final subtraction semantics live at
-/// the API boundary), matching CUDA reduction practice.
-Expr *reduceExpr(Module &M, ReduceOp Op, Expr *Acc, Expr *V,
-                 ScalarType Elem) {
-  switch (Op) {
-  case ReduceOp::Add:
-  case ReduceOp::Sub:
-    return M.binary(BinOp::Add, Acc, V, Elem);
-  case ReduceOp::Max:
-    return M.binary(BinOp::Max, Acc, V, Elem);
-  case ReduceOp::Min:
-    return M.binary(BinOp::Min, Acc, V, Elem);
-  }
-  tgr_unreachable("unknown reduce op");
+/// Folds \p Stage into \p Stages, aggregating by pass name (used to merge
+/// a second-stage kernel's compile account into its parent variant).
+void mergeStage(std::vector<pm::PassTiming> &Stages,
+                const pm::PassTiming &Stage) {
+  for (pm::PassTiming &T : Stages)
+    if (T.Name == Stage.Name) {
+      T.Invocations += Stage.Invocations;
+      T.Seconds += Stage.Seconds;
+      return;
+    }
+  Stages.push_back(Stage);
 }
-
-/// How `in[...]` and `in.Size()` resolve inside a lowered codelet.
-struct InputView {
-  enum class Kind {
-    GlobalTile, ///< The block's sub-container of the input array.
-    Register,   ///< Per-thread partials living in a register.
-  };
-  Kind K = Kind::GlobalTile;
-  /// GlobalTile: the input pointer param.
-  const Param *Input = nullptr;
-  /// GlobalTile: global index of tile element `e` (built per grid dist).
-  std::function<Expr *(Expr *)> GlobalIndex;
-  /// GlobalTile: the guard bound (SourceSize param).
-  const Param *SourceSize = nullptr;
-  /// Register: the per-thread partial local.
-  const Local *PartialReg = nullptr;
-  /// `in.Size()` (ObjectSize for tiles, blockDim for partials).
-  std::function<Expr *()> Size;
-};
-
-/// Lowers one cooperative codelet's AST to IR statements appended to the
-/// kernel body, applying the Section III passes per the variant.
-class CoopLowering {
-public:
-  CoopLowering(Module &M, Kernel &K, const CodeletDecl &C,
-               const CodeletTransformInfo &Info, const InputView &View,
-               ReduceOp Op, ScalarType Elem, bool UseShuffle)
-      : M(M), K(K), C(C), Info(Info), View(View), Op(Op), Elem(Elem),
-        UseShuffle(UseShuffle) {
-    if (UseShuffle)
-      for (const ShuffleOpportunity &S : Info.Shuffles)
-        if (S.ElideArray)
-          ElidedArrays.insert(S.Array);
-  }
-
-  /// Lowers the body. On success the block's result value handling has
-  /// been emitted through \p EmitResult (called with the value expression,
-  /// inside a thread-0 guard emitted by this class).
-  bool
-  lower(const std::function<void(std::vector<Stmt *> &, Expr *)> &EmitResult,
-        std::string &Error) {
-    this->EmitResult = &EmitResult;
-    for (lang::Stmt *S : C.getBody()->getBody())
-      if (!lowerStmt(S, K.getBody())) {
-        Error = "unsupported construct in codelet '" + C.getTag() + "'";
-        return false;
-      }
-    return true;
-  }
-
-private:
-  //===--------------------------------------------------------------------===
-  // Expression mapping
-  //===--------------------------------------------------------------------===
-
-  Expr *threadIdx() { return M.special(SpecialReg::ThreadIdxX); }
-  Expr *warpSize() { return M.special(SpecialReg::WarpSize); }
-
-  Expr *lowerMember(const MemberCallExpr *E) {
-    switch (E->getMemberKind()) {
-    case MemberKind::ArraySize:
-      return View.Size();
-    case MemberKind::ArrayStride:
-      return M.constU(1);
-    case MemberKind::VectorSize:
-      return warpSize();
-    case MemberKind::VectorMaxSize:
-      return M.constU(32);
-    case MemberKind::VectorThreadId:
-      return threadIdx();
-    case MemberKind::VectorLaneId:
-      return M.binary(BinOp::Rem, threadIdx(), warpSize(), ScalarType::U32);
-    case MemberKind::VectorVectorId:
-      return M.binary(BinOp::Div, threadIdx(), warpSize(), ScalarType::U32);
-    default:
-      return nullptr;
-    }
-  }
-
-  /// `in[index]` under the current view, with the global-bounds guard
-  /// (Listing 3 lines 13-16).
-  Expr *lowerInputRead(Expr *Index) {
-    if (View.K == InputView::Kind::Register)
-      return M.ref(View.PartialReg);
-    Expr *Gidx = View.GlobalIndex(Index);
-    Expr *Guard =
-        M.cmp(BinOp::LT, Gidx, M.ref(View.SourceSize));
-    return M.create<SelectExpr>(Guard,
-                                M.create<LoadGlobalExpr>(View.Input, Gidx),
-                                identityConst(M, Elem, Op), Elem);
-  }
-
-  Expr *lowerExpr(const lang::Expr *E) {
-    E = E->ignoreParens();
-    switch (E->getKind()) {
-    case lang::Stmt::Kind::IntLiteral: {
-      long long V = cast<IntLiteralExpr>(E)->getValue();
-      // Literal zero in reduction positions stands for the operator's
-      // identity (the canonical source spells the guard arms `: 0`).
-      if (V == 0 && InReductionRHS)
-        return identityConst(M, Elem, Op);
-      if (Elem == ScalarType::F32 && E->getType() && E->getType()->isFloat())
-        return M.constF(static_cast<double>(V));
-      return M.constI(V);
-    }
-    case lang::Stmt::Kind::FloatLiteral: {
-      double V = cast<FloatLiteralExpr>(E)->getValue();
-      if (V == 0.0 && InReductionRHS)
-        return identityConst(M, Elem, Op);
-      return M.constF(V);
-    }
-    case lang::Stmt::Kind::DeclRef: {
-      const auto *Ref = cast<DeclRefExpr>(E);
-      const auto *Var = dyn_cast_if_present<VarDecl>(Ref->getDecl());
-      if (!Var)
-        return nullptr;
-      // A bare reference to a shared atomic accumulator reads element 0.
-      auto AccIt = AtomicAccs.find(Var);
-      if (AccIt != AtomicAccs.end())
-        return M.create<LoadSharedExpr>(AccIt->second, M.constI(0));
-      auto It = Locals.find(Var);
-      if (It == Locals.end())
-        return nullptr;
-      return M.ref(It->second);
-    }
-    case lang::Stmt::Kind::Unary: {
-      const auto *U = cast<UnaryExpr>(E);
-      Expr *Sub = lowerExpr(U->getSubExpr());
-      if (!Sub)
-        return nullptr;
-      switch (U->getOp()) {
-      case UnaryOpKind::Neg:
-        return M.create<UnaryOpExpr>(UnOp::Neg, Sub, Sub->getType());
-      case UnaryOpKind::Not:
-        return M.create<UnaryOpExpr>(UnOp::Not, Sub, ScalarType::I32);
-      default:
-        return nullptr; // ++/-- never appear in cooperative codelets.
-      }
-    }
-    case lang::Stmt::Kind::Binary: {
-      const auto *B = cast<BinaryExpr>(E);
-      if (B->isAssignment())
-        return nullptr; // Assignments are statements here.
-      Expr *L = lowerExpr(B->getLHS());
-      Expr *R = lowerExpr(B->getRHS());
-      if (!L || !R)
-        return nullptr;
-      BinOp IROp;
-      bool IsCmp = false;
-      switch (B->getOp()) {
-      case BinaryOpKind::Add:
-        IROp = BinOp::Add;
-        break;
-      case BinaryOpKind::Sub:
-        IROp = BinOp::Sub;
-        break;
-      case BinaryOpKind::Mul:
-        IROp = BinOp::Mul;
-        break;
-      case BinaryOpKind::Div:
-        IROp = BinOp::Div;
-        break;
-      case BinaryOpKind::Rem:
-        IROp = BinOp::Rem;
-        break;
-      case BinaryOpKind::LT:
-        IROp = BinOp::LT;
-        IsCmp = true;
-        break;
-      case BinaryOpKind::GT:
-        IROp = BinOp::GT;
-        IsCmp = true;
-        break;
-      case BinaryOpKind::LE:
-        IROp = BinOp::LE;
-        IsCmp = true;
-        break;
-      case BinaryOpKind::GE:
-        IROp = BinOp::GE;
-        IsCmp = true;
-        break;
-      case BinaryOpKind::EQ:
-        IROp = BinOp::EQ;
-        IsCmp = true;
-        break;
-      case BinaryOpKind::NE:
-        IROp = BinOp::NE;
-        IsCmp = true;
-        break;
-      case BinaryOpKind::LAnd:
-        IROp = BinOp::LAnd;
-        IsCmp = true;
-        break;
-      case BinaryOpKind::LOr:
-        IROp = BinOp::LOr;
-        IsCmp = true;
-        break;
-      default:
-        return nullptr;
-      }
-      return IsCmp ? M.cmp(IROp, L, R) : M.arith(IROp, L, R);
-    }
-    case lang::Stmt::Kind::Conditional: {
-      const auto *Cond = cast<ConditionalExpr>(E);
-      Expr *C0 = lowerExpr(Cond->getCond());
-      Expr *T = lowerExpr(Cond->getTrueExpr());
-      Expr *F = lowerExpr(Cond->getFalseExpr());
-      if (!C0 || !T || !F)
-        return nullptr;
-      return M.create<SelectExpr>(C0, T, F,
-                                  promoteTypes(T->getType(), F->getType()));
-    }
-    case lang::Stmt::Kind::MemberCall:
-      return lowerMember(cast<MemberCallExpr>(E));
-    case lang::Stmt::Kind::Index: {
-      const auto *I = cast<IndexExpr>(E);
-      const lang::Expr *Base = I->getBase()->ignoreParens();
-      const auto *Ref = dyn_cast<DeclRefExpr>(Base);
-      if (!Ref)
-        return nullptr;
-      // Input array read.
-      if (isa_and_present<ParamDecl>(Ref->getDecl())) {
-        Expr *Index = lowerExpr(I->getIndex());
-        return Index ? lowerInputRead(Index) : nullptr;
-      }
-      // Shared array read.
-      const auto *Var = dyn_cast_if_present<VarDecl>(Ref->getDecl());
-      if (!Var)
-        return nullptr;
-      auto It = SharedArrays.find(Var);
-      if (It == SharedArrays.end())
-        return nullptr;
-      Expr *Index = lowerExpr(I->getIndex());
-      if (!Index)
-        return nullptr;
-      return M.create<LoadSharedExpr>(It->second, Index);
-    }
-    default:
-      return nullptr;
-    }
-  }
-
-  //===--------------------------------------------------------------------===
-  // Statement mapping
-  //===--------------------------------------------------------------------===
-
-  bool lowerVarDecl(VarDecl *Var, std::vector<Stmt *> &Out) {
-    const lang::Type *Ty = Var->getType();
-    if (Ty->isVector())
-      return true; // `Vector vthread();` declares the SIMT context.
-
-    if (Var->isShared()) {
-      if (Var->hasAtomicQualifier()) {
-        // `__shared _atomicX T acc;` — single-slot accumulator with
-        // thread-0 initialization (Listing 3 lines 5-8).
-        SharedArray *Acc =
-            K.addSharedArray(Var->getName(), Elem, M.constI(1));
-        AtomicAccs[Var] = Acc;
-        std::vector<Stmt *> Init = {M.create<StoreSharedStmt>(
-            Acc, M.constI(0), identityConst(M, Elem, Op))};
-        Out.push_back(M.create<ir::IfStmt>(
-            M.cmp(BinOp::EQ, threadIdx(), M.constU(0)), std::move(Init),
-            std::vector<Stmt *>{}));
-        Out.push_back(M.create<BarrierStmt>());
-        return true;
-      }
-      if (ElidedArrays.count(Var))
-        return true; // The Fig. 4 pass removed this array (Listing 4).
-      // `__shared T name[extent];` — extent is a launch-uniform function
-      // of in.Size() / Vector.MaxSize().
-      Expr *Extent =
-          Var->getArraySize() ? lowerUniform(Var->getArraySize()) : nullptr;
-      if (!Extent)
-        return false;
-      SharedArray *Arr = K.addSharedArray(Var->getName(), Elem, Extent);
-      SharedArrays[Var] = Arr;
-      // Cooperative initialization to the operator identity (Listing 3
-      // lines 9-11 / Listing 4 lines 5-8); extents never exceed blockDim.
-      std::vector<Stmt *> Init = {M.create<StoreSharedStmt>(
-          Arr, threadIdx(), identityConst(M, Elem, Op))};
-      Out.push_back(M.create<ir::IfStmt>(
-          M.cmp(BinOp::LT, threadIdx(), lowerUniform(Var->getArraySize())),
-          std::move(Init), std::vector<Stmt *>{}));
-      Out.push_back(M.create<BarrierStmt>());
-      return true;
-    }
-
-    // Scalar local.
-    ScalarType LTy = Ty->isFloat()  ? ScalarType::F32
-                     : Ty->isInt()  ? ScalarType::I32
-                                    : ScalarType::U32;
-    // The canonical sources declare accumulators with the element type.
-    if (Ty->isScalar() && Ty == C.getReturnType())
-      LTy = Elem;
-    Local *L = K.addLocal(Var->getName(), LTy);
-    Locals[Var] = L;
-    Expr *Init = nullptr;
-    if (Var->getInit()) {
-      Init = lowerExpr(Var->getInit());
-      if (!Init)
-        return false;
-    }
-    Out.push_back(M.create<DeclLocalStmt>(L, Init));
-    return true;
-  }
-
-  /// Lowers shared-array extents: `in.Size()` means the block's tile,
-  /// whose uniform extent is blockDim (direct) / blockDim (partials);
-  /// `vthread.MaxSize()` is 32.
-  Expr *lowerUniform(const lang::Expr *E) {
-    E = E->ignoreParens();
-    if (const auto *MC = dyn_cast<MemberCallExpr>(E)) {
-      if (MC->getMemberKind() == MemberKind::ArraySize)
-        return M.special(SpecialReg::BlockDimX);
-      if (MC->getMemberKind() == MemberKind::VectorMaxSize)
-        return M.constU(32);
-      return nullptr;
-    }
-    if (const auto *I = dyn_cast<IntLiteralExpr>(E))
-      return M.constI(I->getValue());
-    if (const auto *B = dyn_cast<BinaryExpr>(E)) {
-      Expr *L = lowerUniform(B->getLHS());
-      Expr *R = lowerUniform(B->getRHS());
-      if (!L || !R)
-        return nullptr;
-      switch (B->getOp()) {
-      case BinaryOpKind::Add:
-        return M.arith(BinOp::Add, L, R);
-      case BinaryOpKind::Sub:
-        return M.arith(BinOp::Sub, L, R);
-      case BinaryOpKind::Mul:
-        return M.arith(BinOp::Mul, L, R);
-      case BinaryOpKind::Div:
-        return M.arith(BinOp::Div, L, R);
-      default:
-        return nullptr;
-      }
-    }
-    return nullptr;
-  }
-
-  /// The matched shuffle opportunity for \p Loop under this variant, if
-  /// shuffle rewriting is on.
-  const ShuffleOpportunity *shuffleFor(const lang::ForStmt *Loop) const {
-    if (!UseShuffle)
-      return nullptr;
-    for (const ShuffleOpportunity &S : Info.Shuffles)
-      if (S.Loop == Loop)
-        return &S;
-    return nullptr;
-  }
-
-  /// True when the statement subtree stores to a (non-elided) shared array
-  /// or atomic accumulator — such statements are followed by barriers.
-  bool writesShared(const lang::Stmt *S) {
-    struct Scan : lang::ASTVisitor<Scan> {
-      explicit Scan(CoopLowering &Self) : Self(Self) {}
-      bool visitBinaryExpr(BinaryExpr *B) {
-        if (!B->isAssignment())
-          return true;
-        const lang::Expr *LHS = B->getLHS()->ignoreParens();
-        const VarDecl *Var = nullptr;
-        if (const auto *I = dyn_cast<lang::IndexExpr>(LHS)) {
-          if (const auto *R =
-                  dyn_cast<DeclRefExpr>(I->getBase()->ignoreParens()))
-            Var = dyn_cast_if_present<VarDecl>(R->getDecl());
-        } else if (const auto *R = dyn_cast<DeclRefExpr>(LHS)) {
-          Var = dyn_cast_if_present<VarDecl>(R->getDecl());
-        }
-        if (Var && Var->isShared() && !Self.ElidedArrays.count(Var))
-          Found = true;
-        return true;
-      }
-      CoopLowering &Self;
-      bool Found = false;
-    };
-    Scan Sc(*this);
-    Sc.traverseStmt(const_cast<lang::Stmt *>(S));
-    return Sc.Found;
-  }
-
-  bool lowerAssignment(const BinaryExpr *B, std::vector<Stmt *> &Out) {
-    const lang::Expr *LHS = B->getLHS()->ignoreParens();
-
-    // Writes to `__shared _atomicX` variables become atomic instructions
-    // on shared memory (Section III-B).
-    if (Info.SharedAtomics.isAtomicWrite(B)) {
-      const auto *Ref = cast<DeclRefExpr>(LHS);
-      const auto *Var = cast<VarDecl>(Ref->getDecl());
-      SharedArray *Acc = AtomicAccs.at(Var);
-      Expr *Value = lowerExpr(B->getRHS());
-      if (!Value)
-        return false;
-      Out.push_back(M.create<AtomicSharedStmt>(Var->getAtomicOp(), Acc,
-                                               M.constI(0), Value));
-      return true;
-    }
-
-    // Shared-array element store.
-    if (const auto *I = dyn_cast<lang::IndexExpr>(LHS)) {
-      const auto *Ref = dyn_cast<DeclRefExpr>(I->getBase()->ignoreParens());
-      const auto *Var =
-          Ref ? dyn_cast_if_present<VarDecl>(Ref->getDecl()) : nullptr;
-      if (!Var || !Var->isShared())
-        return false;
-      if (ElidedArrays.count(Var))
-        return true; // Store elided with its array (Listing 4).
-      SharedArray *Arr = SharedArrays.at(Var);
-      Expr *Index = lowerExpr(I->getIndex());
-      Expr *Value = lowerExpr(B->getRHS());
-      if (!Index || !Value)
-        return false;
-      if (B->getOp() != BinaryOpKind::Assign)
-        return false;
-      Out.push_back(M.create<StoreSharedStmt>(Arr, Index, Value));
-      return true;
-    }
-
-    // Scalar local assignment (plain or compound).
-    const auto *Ref = dyn_cast<DeclRefExpr>(LHS);
-    const auto *Var =
-        Ref ? dyn_cast_if_present<VarDecl>(Ref->getDecl()) : nullptr;
-    if (!Var)
-      return false;
-    auto It = Locals.find(Var);
-    if (It == Locals.end())
-      return false;
-    const Local *L = It->second;
-
-    if (B->getOp() == BinaryOpKind::Assign) {
-      Expr *Value = lowerExpr(B->getRHS());
-      if (!Value)
-        return false;
-      Out.push_back(M.create<AssignStmt>(L, Value));
-      return true;
-    }
-    if (B->getOp() == BinaryOpKind::AddAssign) {
-      // The spectrum's reduction slot: `val += x` accumulates with the
-      // spectrum operator.
-      InReductionRHS = true;
-      Expr *Value = lowerExpr(B->getRHS());
-      InReductionRHS = false;
-      if (!Value)
-        return false;
-      Out.push_back(M.create<AssignStmt>(
-          L, reduceExpr(M, Op, M.ref(L), Value, Elem)));
-      return true;
-    }
-    return false;
-  }
-
-  bool lowerFor(const lang::ForStmt *F, std::vector<Stmt *> &Out) {
-    const auto *InitDecl = dyn_cast_if_present<DeclStmt>(F->getInit());
-    if (!InitDecl || !F->getCond() || !F->getInc())
-      return false;
-    VarDecl *IterVar = InitDecl->getVar();
-    Local *Iter = K.addLocal(IterVar->getName(), ScalarType::I32);
-    Locals[IterVar] = Iter;
-
-    Expr *Init = lowerExpr(IterVar->getInit());
-    Expr *Cond = lowerExpr(F->getCond());
-    if (!Init || !Cond)
-      return false;
-
-    // Step: the canonical loops use `offset /= 2`; general compound
-    // assignments and `i += c` work the same way.
-    Expr *Step = nullptr;
-    const auto *Inc = dyn_cast<BinaryExpr>(F->getInc()->ignoreParens());
-    if (Inc && Inc->isAssignment() &&
-        Inc->getOp() != BinaryOpKind::Assign) {
-      Expr *RHS = lowerExpr(Inc->getRHS());
-      if (!RHS)
-        return false;
-      BinOp IROp;
-      switch (getCompoundOpcode(Inc->getOp())) {
-      case BinaryOpKind::Add:
-        IROp = BinOp::Add;
-        break;
-      case BinaryOpKind::Sub:
-        IROp = BinOp::Sub;
-        break;
-      case BinaryOpKind::Mul:
-        IROp = BinOp::Mul;
-        break;
-      case BinaryOpKind::Div:
-        IROp = BinOp::Div;
-        break;
-      default:
-        return false;
-      }
-      Step = M.binary(IROp, M.ref(Iter), RHS, ScalarType::I32);
-    } else if (Inc && Inc->getOp() == BinaryOpKind::Assign) {
-      Step = lowerExpr(Inc->getRHS());
-    }
-    if (!Step)
-      return false;
-
-    std::vector<Stmt *> Body;
-    if (const ShuffleOpportunity *Opp = shuffleFor(F)) {
-      // Warp-shuffle rewrite (Listing 4): the whole tree-summation body
-      // collapses to `val = op(val, shfl(val, offset))`.
-      const Local *Acc = Locals.at(Opp->Accumulator);
-      Expr *Shfl = M.create<ShuffleExpr>(Opp->Direction, M.ref(Acc),
-                                         M.ref(Iter), 32);
-      Body.push_back(M.create<AssignStmt>(
-          Acc, reduceExpr(M, Op, M.ref(Acc), Shfl, Elem)));
-    } else {
-      bool SharedWrites = false;
-      for (lang::Stmt *S : bodyOf(F->getBody())) {
-        if (!lowerStmt(S, Body))
-          return false;
-        SharedWrites |= writesShared(S);
-      }
-      // Tree summation through shared memory synchronizes per level
-      // (Listing 3 line 23) — unless the loop runs in a warp-local
-      // region, where all traffic stays within one warp.
-      if (SharedWrites && !InDivergent)
-        Body.push_back(M.create<BarrierStmt>());
-    }
-    Out.push_back(
-        M.create<ir::ForStmt>(Iter, Init, Cond, Step, std::move(Body)));
-    return true;
-  }
-
-  static std::vector<lang::Stmt *> bodyOf(lang::Stmt *S) {
-    if (auto *CS = dyn_cast<CompoundStmt>(S))
-      return CS->getBody();
-    return {S};
-  }
-
-  /// True when \p E depends on the thread identity — such conditions make
-  /// a region warp-local, where barriers are neither legal nor needed.
-  static bool isThreadDependentCond(const lang::Expr *E) {
-    struct Scan : lang::ASTVisitor<Scan> {
-      bool visitMemberCallExpr(MemberCallExpr *MC) {
-        switch (MC->getMemberKind()) {
-        case MemberKind::VectorThreadId:
-        case MemberKind::VectorLaneId:
-        case MemberKind::VectorVectorId:
-          Found = true;
-          break;
-        default:
-          break;
-        }
-        return true;
-      }
-      bool Found = false;
-    };
-    Scan Sc;
-    Sc.traverseStmt(const_cast<lang::Expr *>(E));
-    return Sc.Found;
-  }
-
-  /// Propagates \p Loc into every statement of the subtree that has no
-  /// location of its own. Child statements lowered from nested codelet
-  /// statements were stamped by their own lowerStmt call, so the most
-  /// precise (innermost) location always wins.
-  static void stampLoc(Stmt *S, SourceLoc Loc) {
-    if (!S->getLoc().isValid())
-      S->setLoc(Loc);
-    if (auto *I = dyn_cast<ir::IfStmt>(S)) {
-      for (Stmt *Child : I->getThen())
-        stampLoc(Child, Loc);
-      for (Stmt *Child : I->getElse())
-        stampLoc(Child, Loc);
-    } else if (auto *F = dyn_cast<ir::ForStmt>(S)) {
-      for (Stmt *Child : F->getBody())
-        stampLoc(Child, Loc);
-    }
-  }
-
-  /// Lowers \p S, stamping every IR statement it produced with the codelet
-  /// source location (RaceCheck diagnostics map racing instructions back
-  /// through these).
-  bool lowerStmt(lang::Stmt *S, std::vector<Stmt *> &Out) {
-    size_t Before = Out.size();
-    if (!lowerStmtImpl(S, Out))
-      return false;
-    SourceLoc Loc = S->getLoc();
-    if (Loc.isValid())
-      for (size_t I = Before; I != Out.size(); ++I)
-        stampLoc(Out[I], Loc);
-    return true;
-  }
-
-  bool lowerStmtImpl(lang::Stmt *S, std::vector<Stmt *> &Out) {
-    switch (S->getKind()) {
-    case lang::Stmt::Kind::DeclStmt:
-      return lowerVarDecl(cast<DeclStmt>(S)->getVar(), Out);
-    case lang::Stmt::Kind::Compound: {
-      for (lang::Stmt *Child : cast<CompoundStmt>(S)->getBody())
-        if (!lowerStmt(Child, Out))
-          return false;
-      return true;
-    }
-    case lang::Stmt::Kind::If: {
-      const auto *I = cast<lang::IfStmt>(S);
-      Expr *Cond = lowerExpr(I->getCond());
-      if (!Cond)
-        return false;
-      bool SavedDivergent = InDivergent;
-      InDivergent = InDivergent || isThreadDependentCond(I->getCond());
-      std::vector<Stmt *> Then, Else;
-      for (lang::Stmt *Child : bodyOf(I->getThen()))
-        if (!lowerStmt(Child, Then)) {
-          InDivergent = SavedDivergent;
-          return false;
-        }
-      if (I->getElse())
-        for (lang::Stmt *Child : bodyOf(I->getElse()))
-          if (!lowerStmt(Child, Else)) {
-            InDivergent = SavedDivergent;
-            return false;
-          }
-      InDivergent = SavedDivergent;
-      Out.push_back(
-          M.create<ir::IfStmt>(Cond, std::move(Then), std::move(Else)));
-      // Cross-thread visibility: a branch that published values to shared
-      // memory is followed by a barrier (Listing 3/4 shape) when we are
-      // at block-uniform level.
-      if (!InDivergent &&
-          (writesShared(I->getThen()) ||
-           (I->getElse() && writesShared(I->getElse()))))
-        Out.push_back(M.create<BarrierStmt>());
-      return true;
-    }
-    case lang::Stmt::Kind::For:
-      return lowerFor(cast<lang::ForStmt>(S), Out);
-    case lang::Stmt::Kind::Return: {
-      const auto *R = cast<ReturnStmt>(S);
-      if (!R->getValue())
-        return false;
-      // Return promotion: the shared-accumulator case reads after a full
-      // barrier; the register case publishes thread 0's value.
-      const lang::Expr *Val = R->getValue()->ignoreParens();
-      if (const auto *Ref = dyn_cast<DeclRefExpr>(Val)) {
-        const auto *Var = dyn_cast_if_present<VarDecl>(Ref->getDecl());
-        if (Var && AtomicAccs.count(Var))
-          Out.push_back(M.create<BarrierStmt>());
-      }
-      Expr *Value = lowerExpr(R->getValue());
-      if (!Value)
-        return false;
-      std::vector<Stmt *> Then;
-      (*EmitResult)(Then, Value);
-      Out.push_back(M.create<ir::IfStmt>(
-          M.cmp(BinOp::EQ, threadIdx(), M.constU(0)), std::move(Then),
-          std::vector<Stmt *>{}));
-      return true;
-    }
-    default: {
-      // Expression statements: assignments and (ignored) primitive calls.
-      auto *E = dyn_cast<lang::Expr>(S);
-      if (!E)
-        return false;
-      const lang::Expr *Stripped = E->ignoreParens();
-      if (const auto *B = dyn_cast<BinaryExpr>(Stripped)) {
-        if (!lowerAssignment(B, Out))
-          return false;
-        // Publishing to shared memory at statement level synchronizes
-        // (Listing 3 line 11/17-area barriers).
-        if (!InDivergent && writesShared(const_cast<lang::Expr *>(Stripped)))
-          Out.push_back(M.create<BarrierStmt>());
-        return true;
-      }
-      return false;
-    }
-    }
-  }
-
-  Module &M;
-  Kernel &K;
-  const CodeletDecl &C;
-  const CodeletTransformInfo &Info;
-  const InputView &View;
-  ReduceOp Op;
-  ScalarType Elem;
-  bool UseShuffle;
-
-  const std::function<void(std::vector<Stmt *> &, Expr *)> *EmitResult =
-      nullptr;
-  std::unordered_map<const VarDecl *, Local *> Locals;
-  std::unordered_map<const VarDecl *, SharedArray *> SharedArrays;
-  std::unordered_map<const VarDecl *, SharedArray *> AtomicAccs;
-  std::unordered_set<const VarDecl *> ElidedArrays;
-  bool InReductionRHS = false;
-  bool InDivergent = false;
-};
 
 } // namespace
 
@@ -795,195 +55,51 @@ private:
 //===----------------------------------------------------------------------===//
 
 KernelSynthesizer::KernelSynthesizer(
-    const TranslationUnit &TU,
-    const std::map<const CodeletDecl *, CodeletTransformInfo> &Infos,
-    ReduceOp Op, ScalarType Elem)
+    const lang::TranslationUnit &TU,
+    const std::map<const lang::CodeletDecl *,
+                   transforms::CodeletTransformInfo> &Infos,
+    ReduceOp Op, ir::ScalarType Elem)
     : TU(TU), Infos(Infos), Op(Op), Elem(Elem) {}
 
 support::Expected<std::unique_ptr<SynthesizedVariant>>
 KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
                               const OptimizationFlags &Opts) const {
-  using support::Status;
-  using support::StatusCode;
-  const char *CoopTag = nullptr;
-  bool UseShuffle = false;
-  switch (Desc.Coop) {
-  case CoopKind::Tree:
-    CoopTag = tags::CoopTree;
-    break;
-  case CoopKind::TreeShuffle:
-    CoopTag = tags::CoopTree;
-    UseShuffle = true;
-    break;
-  case CoopKind::SharedV1:
-    CoopTag = tags::SharedV1;
-    break;
-  case CoopKind::SharedV2:
-    CoopTag = tags::SharedV2;
-    break;
-  case CoopKind::SharedV2Shuffle:
-    CoopTag = tags::SharedV2;
-    UseShuffle = true;
-    break;
-  case CoopKind::SerialThread0:
-    CoopTag = nullptr; // Built-in lowering below.
-    break;
-  }
-
-  const CodeletDecl *Coop = CoopTag ? TU.findByTag(CoopTag) : nullptr;
-  if (CoopTag && !Coop)
-    return Status(StatusCode::UnknownVariant,
-                  std::string("canonical codelet '") + CoopTag + "' missing");
-
   auto Result = std::make_unique<SynthesizedVariant>();
   Result->Desc = Desc;
   Result->Op = Op;
   Result->Elem = Elem;
-  Result->M = std::make_unique<Module>();
-  Module &M = *Result->M;
+  Result->M = std::make_unique<ir::Module>();
 
-  // Kernel names must be C identifiers; mangle the variant name.
-  std::string Mangled;
-  for (char C0 : Desc.getName())
-    Mangled += (std::isalnum(static_cast<unsigned char>(C0)) ? C0 : '_');
-  Kernel *K = M.addKernel("Reduce_Block_" + Mangled);
-  Param *Return = K->addPointerParam("Return", Elem);
-  Param *Input = K->addPointerParam("input_x", Elem);
-  Param *SourceSize = K->addScalarParam("SourceSize", ScalarType::I32);
-  Param *ObjectSize = K->addScalarParam("ObjectSize", ScalarType::I32);
+  LoweringContext Ctx;
+  Ctx.TU = &TU;
+  Ctx.Infos = &Infos;
+  Ctx.Desc = Desc;
+  Ctx.Flags = Opts;
+  Ctx.Op = Op;
+  Ctx.Elem = Elem;
+  Ctx.Result = Result.get();
 
-  auto BlockBase = [&]() -> Expr * {
-    // Tiled: block b owns [b*ObjectSize, (b+1)*ObjectSize). Strided:
-    // element e of block b lives at b + e*gridDim.
-    return M.arith(BinOp::Mul, M.special(SpecialReg::BlockIdxX),
-                   M.ref(ObjectSize));
-  };
-  auto GlobalIndexOf = [&](Expr *TileElem) -> Expr * {
-    if (Desc.GridDist == DistPattern::Tiled)
-      return M.arith(BinOp::Add, BlockBase(), TileElem);
-    return M.arith(BinOp::Add, M.special(SpecialReg::BlockIdxX),
-                   M.arith(BinOp::Mul, TileElem,
-                           M.special(SpecialReg::GridDimX)));
-  };
+  pm::PassManager<LoweringContext> PM;
+  buildLoweringPipeline(PM, Desc, Opts);
+  PM.setInstrumentation(PI);
+  PM.setForceVerifyEach(verifyEachForced());
+  PM.setVerifier([](const LoweringContext &C) {
+    std::vector<std::string> Errors;
+    if (C.K)
+      ir::verifyKernel(*C.K, Errors);
+    return Errors;
+  });
+  PM.setPrinter([](const LoweringContext &C) {
+    return C.K ? codegen::emitCuda(*C.K) : std::string("(no kernel)\n");
+  });
 
-  // Grid-level combine: return promotion target (Listings 1/2).
-  auto EmitResult = [&](std::vector<Stmt *> &Out, Expr *Value) {
-    if (Desc.GridScheme == GridCombine::GlobalAtomic) {
-      Out.push_back(M.create<AtomicGlobalStmt>(Op, AtomicScope::Device,
-                                               Return, M.constI(0), Value));
-    } else {
-      Out.push_back(M.create<StoreGlobalStmt>(
-          Return, M.special(SpecialReg::BlockIdxX), Value));
-    }
-  };
-
-  const Local *PartialReg = nullptr;
-  if (Desc.BlockDistributes) {
-    // Thread-serial stage: lower the atomic-autonomous codelet per thread
-    // with the block's distribution pattern and coarsening.
-    Local *Coarsen = K->addLocal("coarsen", ScalarType::I32);
-    K->getBody().push_back(M.create<DeclLocalStmt>(
-        Coarsen, M.binary(BinOp::Div, M.ref(ObjectSize),
-                          M.special(SpecialReg::BlockDimX),
-                          ScalarType::I32)));
-    Local *Val = K->addLocal("val", Elem);
-    K->getBody().push_back(
-        M.create<DeclLocalStmt>(Val, identityConst(M, Elem, Op)));
-
-    Local *I = K->addLocal("i", ScalarType::I32);
-    // Element index inside the block's tile for iteration i of thread t.
-    Expr *TileElem =
-        Desc.BlockDist == DistPattern::Tiled
-            ? M.arith(BinOp::Add,
-                      M.arith(BinOp::Mul,
-                              M.special(SpecialReg::ThreadIdxX),
-                              M.ref(Coarsen)),
-                      M.ref(I))
-            : M.arith(BinOp::Add,
-                      M.arith(BinOp::Mul, M.ref(I),
-                              M.special(SpecialReg::BlockDimX)),
-                      M.special(SpecialReg::ThreadIdxX));
-    Expr *Gidx = GlobalIndexOf(TileElem);
-    Expr *Guarded = M.create<SelectExpr>(
-        M.cmp(BinOp::LT, Gidx, M.ref(SourceSize)),
-        M.create<LoadGlobalExpr>(Input, Gidx), identityConst(M, Elem, Op),
-        Elem);
-    std::vector<Stmt *> LoopBody = {M.create<AssignStmt>(
-        Val, reduceExpr(M, Op, M.ref(Val), Guarded, Elem))};
-    K->getBody().push_back(M.create<ir::ForStmt>(
-        I, M.constI(0), M.cmp(BinOp::LT, M.ref(I), M.ref(Coarsen)),
-        M.arith(BinOp::Add, M.ref(I), M.constI(1)), std::move(LoopBody)));
-    PartialReg = Val;
+  support::Status S = PM.run(Ctx);
+  for (const auto &Stage : PM.getStageTimes()) {
+    Result->CompileSeconds += Stage.Seconds;
+    mergeStage(Result->CompileStages, {Stage.Name, 1, Stage.Seconds});
   }
-
-  if (Desc.Coop == CoopKind::SerialThread0) {
-    // Built-in fallback combiner: publish partials, thread 0 reduces.
-    assert(PartialReg && "serial combine requires a distributed block");
-    SharedArray *Partials = K->addSharedArray(
-        "partials", Elem, M.special(SpecialReg::BlockDimX));
-    K->getBody().push_back(M.create<StoreSharedStmt>(
-        Partials, M.special(SpecialReg::ThreadIdxX), M.ref(PartialReg)));
-    K->getBody().push_back(M.create<BarrierStmt>());
-    Local *Total = K->addLocal("total", Elem);
-    Local *J = K->addLocal("j", ScalarType::I32);
-    std::vector<Stmt *> Inner = {M.create<AssignStmt>(
-        Total, reduceExpr(M, Op, M.ref(Total),
-                          M.create<LoadSharedExpr>(Partials, M.ref(J)),
-                          Elem))};
-    std::vector<Stmt *> Then;
-    Then.push_back(
-        M.create<DeclLocalStmt>(Total, identityConst(M, Elem, Op)));
-    Then.push_back(M.create<ir::ForStmt>(
-        J, M.constI(0),
-        M.cmp(BinOp::LT, M.ref(J), M.special(SpecialReg::BlockDimX)),
-        M.arith(BinOp::Add, M.ref(J), M.constI(1)), std::move(Inner)));
-    EmitResult(Then, M.ref(Total));
-    K->getBody().push_back(M.create<ir::IfStmt>(
-        M.cmp(BinOp::EQ, M.special(SpecialReg::ThreadIdxX), M.constU(0)),
-        std::move(Then), std::vector<Stmt *>{}));
-  } else {
-    // Cooperative codelet lowered from its AST.
-    InputView View;
-    if (Desc.BlockDistributes) {
-      View.K = InputView::Kind::Register;
-      View.PartialReg = PartialReg;
-      View.Size = [&M]() -> Expr * {
-        return M.special(SpecialReg::BlockDimX);
-      };
-    } else {
-      View.K = InputView::Kind::GlobalTile;
-      View.Input = Input;
-      View.SourceSize = SourceSize;
-      View.GlobalIndex = GlobalIndexOf;
-      View.Size = [&M, ObjectSize]() -> Expr * {
-        return M.ref(ObjectSize);
-      };
-    }
-
-    auto InfoIt = Infos.find(Coop);
-    if (InfoIt == Infos.end())
-      return Status(StatusCode::SynthesisError,
-                    "no transform info for the cooperative codelet");
-    CoopLowering Lower(M, *K, *Coop, InfoIt->second, View, Op, Elem,
-                       UseShuffle);
-    std::string LowerError;
-    if (!Lower.lower(EmitResult, LowerError))
-      return Status(StatusCode::SynthesisError, LowerError);
-  }
-
-  // Optional kernel-IR optimizations (future-work passes).
-  if (Opts.AggregateAtomics)
-    ir::aggregateAtomics(M, *K);
-  if (Opts.UnrollLoops)
-    ir::unrollConstantLoops(M, *K);
-
-  std::vector<std::string> VerifyErrors;
-  if (!ir::verifyKernel(*K, VerifyErrors))
-    return Status(StatusCode::SynthesisError,
-                  "verifier: " + VerifyErrors.front());
-
-  Result->K = K;
-  Result->Compiled = ir::compileKernel(*K);
+  if (!S.ok())
+    return S;
 
   // Second-kernel variants (Listing 1): the per-block partial sums are
   // consumed by another spectrum call — a cooperative tree kernel with an
@@ -999,18 +115,9 @@ KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
     if (!StageResult)
       return StageResult.status();
     Result->SecondStage = std::move(*StageResult);
+    Result->CompileSeconds += Result->SecondStage->CompileSeconds;
+    for (const pm::PassTiming &T : Result->SecondStage->CompileStages)
+      mergeStage(Result->CompileStages, T);
   }
   return std::move(Result);
-}
-
-std::unique_ptr<SynthesizedVariant>
-KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
-                              std::string &Error,
-                              const OptimizationFlags &Opts) const {
-  auto Result = synthesize(Desc, Opts);
-  if (!Result) {
-    Error = Result.status().Message;
-    return nullptr;
-  }
-  return std::move(*Result);
 }

@@ -5,7 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Lowers one code-variant descriptor to a GPU kernel:
+/// Lowers one code-variant descriptor to a GPU kernel by running the
+/// lowering pass pipeline (see synth/LoweringPasses.h):
 ///
 ///  - the grid level's Map/Partition semantics become the kernel launch
 ///    geometry and per-block index calculations (tiled or strided);
@@ -30,12 +31,14 @@
 #include "ir/Bytecode.h"
 #include "ir/KernelIR.h"
 #include "lang/AST.h"
+#include "pm/PassInstrumentation.h"
 #include "support/Expected.h"
 #include "synth/Variant.h"
 #include "transforms/Pipeline.h"
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace tangram::synth {
 
@@ -61,6 +64,12 @@ struct SynthesizedVariant {
   /// partial sums. Null for the single-kernel (atomic-grid) versions.
   std::unique_ptr<SynthesizedVariant> SecondStage;
 
+  /// Wall-clock cost of lowering + compiling this variant (including its
+  /// second stage), and the per-pass breakdown, as recorded by the pass
+  /// manager. Stage names follow LoweringPasses.h.
+  double CompileSeconds = 0.0;
+  std::vector<pm::PassTiming> CompileStages;
+
   /// Elements each block consumes (ObjectSize): BlockSize * Coarsen.
   unsigned elementsPerBlock() const {
     return Desc.BlockSize * (Desc.BlockDistributes ? Desc.Coarsen : 1);
@@ -68,7 +77,10 @@ struct SynthesizedVariant {
 };
 
 /// Synthesizes kernels for reduction code variants from the canonical
-/// spectrum sources and the transform-pipeline results.
+/// spectrum sources and the transform-pipeline results. Each synthesize()
+/// call assembles the lowering pipeline for the descriptor and runs it
+/// under the attached instrumentation (timers, statistics, IR dumps,
+/// per-pass verification).
 class KernelSynthesizer {
 public:
   /// \p TU must be the canonical reduction unit, sema-checked; \p Infos
@@ -83,15 +95,16 @@ public:
   /// kernels: the main kernel stores per-block partials (Listing 1) and a
   /// cooperative second stage reduces them. Failures carry
   /// StatusCode::UnknownVariant (a canonical codelet the descriptor needs
-  /// is absent) or StatusCode::SynthesisError (lowering / verification).
+  /// is absent) or StatusCode::SynthesisError (lowering / verification),
+  /// tagged with the failing pass when per-pass verification is on.
   support::Expected<std::unique_ptr<SynthesizedVariant>>
   synthesize(const VariantDescriptor &Desc,
              const OptimizationFlags &Opts = {}) const;
 
-  [[deprecated("use the Expected-returning overload")]]
-  std::unique_ptr<SynthesizedVariant>
-  synthesize(const VariantDescriptor &Desc, std::string &Error,
-             const OptimizationFlags &Opts = {}) const;
+  /// Shares per-pass timing / dump / verification sinks with the caller.
+  /// The synthesizer does not own \p PI; pass nullptr to detach.
+  void setInstrumentation(pm::PassInstrumentation *PI) { this->PI = PI; }
+  pm::PassInstrumentation *getInstrumentation() const { return PI; }
 
   /// The reduction operator this synthesizer instantiates the spectrum for.
   ReduceOp getOp() const { return Op; }
@@ -104,6 +117,7 @@ private:
                  transforms::CodeletTransformInfo> &Infos;
   ReduceOp Op;
   ir::ScalarType Elem;
+  pm::PassInstrumentation *PI = nullptr;
 };
 
 } // namespace tangram::synth

@@ -1,0 +1,303 @@
+//===- LoweringPasses.cpp - Variant lowering as a pass pipeline -------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/LoweringPasses.h"
+
+#include "ir/Transforms.h"
+#include "ir/Verifier.h"
+#include "support/Statistics.h"
+#include "synth/ReductionSpectrum.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace tangram;
+using namespace tangram::ir;
+using namespace tangram::synth;
+
+using support::Statistics;
+using support::Status;
+using support::StatusCode;
+
+namespace {
+
+/// codelet-select: map the descriptor's cooperation scheme to a canonical
+/// codelet tag + shuffle toggle and resolve the codelet and its transform
+/// info. SerialThread0 uses the built-in combiner and selects nothing.
+Status codeletSelect(LoweringContext &Ctx) {
+  switch (Ctx.Desc.Coop) {
+  case CoopKind::Tree:
+    Ctx.CoopTag = tags::CoopTree;
+    break;
+  case CoopKind::TreeShuffle:
+    Ctx.CoopTag = tags::CoopTree;
+    Ctx.UseShuffle = true;
+    break;
+  case CoopKind::SharedV1:
+    Ctx.CoopTag = tags::SharedV1;
+    break;
+  case CoopKind::SharedV2:
+    Ctx.CoopTag = tags::SharedV2;
+    break;
+  case CoopKind::SharedV2Shuffle:
+    Ctx.CoopTag = tags::SharedV2;
+    Ctx.UseShuffle = true;
+    break;
+  case CoopKind::SerialThread0:
+    Ctx.CoopTag = nullptr; // Built-in lowering in coop-lower.
+    break;
+  }
+  if (!Ctx.CoopTag)
+    return Status::success();
+  Ctx.Coop = Ctx.TU->findByTag(Ctx.CoopTag);
+  if (!Ctx.Coop)
+    return Status(StatusCode::UnknownVariant,
+                  std::string("canonical codelet '") + Ctx.CoopTag +
+                      "' missing");
+  auto InfoIt = Ctx.Infos->find(Ctx.Coop);
+  if (InfoIt == Ctx.Infos->end())
+    return Status(StatusCode::SynthesisError,
+                  "no transform info for the cooperative codelet");
+  Ctx.Info = &InfoIt->second;
+  return Status::success();
+}
+
+/// kernel-scaffold: the kernel, its parameters, and the grid-level index
+/// and combine lambdas every later stage emits through.
+Status kernelScaffold(LoweringContext &Ctx) {
+  Module &M = *Ctx.Result->M;
+
+  // Kernel names must be C identifiers; mangle the variant name.
+  std::string Mangled;
+  for (char C0 : Ctx.Desc.getName())
+    Mangled += (std::isalnum(static_cast<unsigned char>(C0)) ? C0 : '_');
+  Ctx.K = M.addKernel("Reduce_Block_" + Mangled);
+  Ctx.Return = Ctx.K->addPointerParam("Return", Ctx.Elem);
+  Ctx.Input = Ctx.K->addPointerParam("input_x", Ctx.Elem);
+  Ctx.SourceSize = Ctx.K->addScalarParam("SourceSize", ScalarType::I32);
+  Ctx.ObjectSize = Ctx.K->addScalarParam("ObjectSize", ScalarType::I32);
+
+  // The lambdas outlive this pass invocation (coop-lower calls them), so
+  // they capture the context, not this frame's locals.
+  Ctx.GlobalIndexOf = [&Ctx](Expr *TileElem) -> Expr * {
+    Module &M = *Ctx.Result->M;
+    // Tiled: block b owns [b*ObjectSize, (b+1)*ObjectSize). Strided:
+    // element e of block b lives at b + e*gridDim.
+    if (Ctx.Desc.GridDist == DistPattern::Tiled)
+      return M.arith(BinOp::Add,
+                     M.arith(BinOp::Mul, M.special(SpecialReg::BlockIdxX),
+                             M.ref(Ctx.ObjectSize)),
+                     TileElem);
+    return M.arith(BinOp::Add, M.special(SpecialReg::BlockIdxX),
+                   M.arith(BinOp::Mul, TileElem,
+                           M.special(SpecialReg::GridDimX)));
+  };
+
+  Ctx.EmitResult = [&Ctx](std::vector<Stmt *> &Out, Expr *Value) {
+    Module &M = *Ctx.Result->M;
+    if (Ctx.Desc.GridScheme == GridCombine::GlobalAtomic) {
+      Out.push_back(M.create<AtomicGlobalStmt>(Ctx.Op, AtomicScope::Device,
+                                               Ctx.Return, M.constI(0),
+                                               Value));
+    } else {
+      Out.push_back(M.create<StoreGlobalStmt>(
+          Ctx.Return, M.special(SpecialReg::BlockIdxX), Value));
+    }
+  };
+  return Status::success();
+}
+
+/// tile-expand: the thread-serial coarsening stage — the atomic-autonomous
+/// codelet lowered per thread with the block's distribution pattern.
+Status tileExpand(LoweringContext &Ctx) {
+  if (!Ctx.Desc.BlockDistributes)
+    return Status::success();
+  Module &M = *Ctx.Result->M;
+  Kernel *K = Ctx.K;
+
+  Local *Coarsen = K->addLocal("coarsen", ScalarType::I32);
+  K->getBody().push_back(M.create<DeclLocalStmt>(
+      Coarsen, M.binary(BinOp::Div, M.ref(Ctx.ObjectSize),
+                        M.special(SpecialReg::BlockDimX), ScalarType::I32)));
+  Local *Val = K->addLocal("val", Ctx.Elem);
+  K->getBody().push_back(
+      M.create<DeclLocalStmt>(Val, identityConst(M, Ctx.Elem, Ctx.Op)));
+
+  Local *I = K->addLocal("i", ScalarType::I32);
+  // Element index inside the block's tile for iteration i of thread t.
+  Expr *TileElem =
+      Ctx.Desc.BlockDist == DistPattern::Tiled
+          ? M.arith(BinOp::Add,
+                    M.arith(BinOp::Mul, M.special(SpecialReg::ThreadIdxX),
+                            M.ref(Coarsen)),
+                    M.ref(I))
+          : M.arith(BinOp::Add,
+                    M.arith(BinOp::Mul, M.ref(I),
+                            M.special(SpecialReg::BlockDimX)),
+                    M.special(SpecialReg::ThreadIdxX));
+  Expr *Gidx = Ctx.GlobalIndexOf(TileElem);
+  Expr *Guarded = M.create<SelectExpr>(
+      M.cmp(BinOp::LT, Gidx, M.ref(Ctx.SourceSize)),
+      M.create<LoadGlobalExpr>(Ctx.Input, Gidx),
+      identityConst(M, Ctx.Elem, Ctx.Op), Ctx.Elem);
+  std::vector<Stmt *> LoopBody = {M.create<AssignStmt>(
+      Val, reduceExpr(M, Ctx.Op, M.ref(Val), Guarded, Ctx.Elem))};
+  K->getBody().push_back(M.create<ir::ForStmt>(
+      I, M.constI(0), M.cmp(BinOp::LT, M.ref(I), M.ref(Coarsen)),
+      M.arith(BinOp::Add, M.ref(I), M.constI(1)), std::move(LoopBody)));
+  Ctx.PartialReg = Val;
+  Statistics::get().add("tile-expand.thread-serial-stages");
+  return Status::success();
+}
+
+/// atomic-lower: Section III-A/B planning. The grid-level global-atomic
+/// combine was bound into EmitResult by the scaffold; the shared-atomic
+/// writes of the selected codelet are lowered by the coop-lower walk via
+/// SharedAtomicInfo. This stage accounts for both variant axes.
+Status atomicLower(LoweringContext &Ctx) {
+  if (Ctx.Desc.GridScheme == GridCombine::GlobalAtomic)
+    Statistics::get().add("global-atomic.rewrites");
+  if (Ctx.Info)
+    Statistics::get().add("shared-atomic.rewrites",
+                          Ctx.Info->SharedAtomics.Writes.size());
+  return Status::success();
+}
+
+/// shuffle-lower: Section III-C planning. Precomputes which codelet loops
+/// the Fig. 4 rewrite applies to and which shared arrays it elides; the
+/// coop-lower walk executes exactly this plan.
+Status shuffleLower(LoweringContext &Ctx) {
+  if (!Ctx.UseShuffle || !Ctx.Info)
+    return Status::success();
+  for (const transforms::ShuffleOpportunity &S : Ctx.Info->Shuffles) {
+    // First opportunity per loop wins (matches the former first-match
+    // scan over the opportunity list).
+    if (Ctx.Plan.ShuffleLoops.emplace(S.Loop, &S).second)
+      Statistics::get().add("warp-shuffle.rewrites");
+    if (S.ElideArray && Ctx.Plan.ElidedArrays.insert(S.Array).second)
+      Statistics::get().add("warp-shuffle.arrays-elided");
+  }
+  return Status::success();
+}
+
+/// coop-lower: the block-level combiner — either the built-in
+/// SerialThread0 fallback or the cooperative codelet's AST walk executing
+/// the precomputed plans.
+Status coopLower(LoweringContext &Ctx) {
+  Module &M = *Ctx.Result->M;
+  Kernel *K = Ctx.K;
+
+  if (Ctx.Desc.Coop == CoopKind::SerialThread0) {
+    // Built-in fallback combiner: publish partials, thread 0 reduces.
+    assert(Ctx.PartialReg && "serial combine requires a distributed block");
+    SharedArray *Partials = K->addSharedArray(
+        "partials", Ctx.Elem, M.special(SpecialReg::BlockDimX));
+    K->getBody().push_back(M.create<StoreSharedStmt>(
+        Partials, M.special(SpecialReg::ThreadIdxX), M.ref(Ctx.PartialReg)));
+    K->getBody().push_back(M.create<BarrierStmt>());
+    Local *Total = K->addLocal("total", Ctx.Elem);
+    Local *J = K->addLocal("j", ScalarType::I32);
+    std::vector<Stmt *> Inner = {M.create<AssignStmt>(
+        Total, reduceExpr(M, Ctx.Op, M.ref(Total),
+                          M.create<LoadSharedExpr>(Partials, M.ref(J)),
+                          Ctx.Elem))};
+    std::vector<Stmt *> Then;
+    Then.push_back(
+        M.create<DeclLocalStmt>(Total, identityConst(M, Ctx.Elem, Ctx.Op)));
+    Then.push_back(M.create<ir::ForStmt>(
+        J, M.constI(0),
+        M.cmp(BinOp::LT, M.ref(J), M.special(SpecialReg::BlockDimX)),
+        M.arith(BinOp::Add, M.ref(J), M.constI(1)), std::move(Inner)));
+    Ctx.EmitResult(Then, M.ref(Total));
+    K->getBody().push_back(M.create<ir::IfStmt>(
+        M.cmp(BinOp::EQ, M.special(SpecialReg::ThreadIdxX), M.constU(0)),
+        std::move(Then), std::vector<Stmt *>{}));
+    return Status::success();
+  }
+
+  // Cooperative codelet lowered from its AST.
+  InputView View;
+  if (Ctx.Desc.BlockDistributes) {
+    View.K = InputView::Kind::Register;
+    View.PartialReg = Ctx.PartialReg;
+    View.Size = [&M]() -> Expr * {
+      return M.special(SpecialReg::BlockDimX);
+    };
+  } else {
+    View.K = InputView::Kind::GlobalTile;
+    View.Input = Ctx.Input;
+    View.SourceSize = Ctx.SourceSize;
+    View.GlobalIndex = Ctx.GlobalIndexOf;
+    View.Size = [&M, &Ctx]() -> Expr * { return M.ref(Ctx.ObjectSize); };
+  }
+
+  CoopLowering Lower(M, *K, *Ctx.Coop, *Ctx.Info, Ctx.Plan, View, Ctx.Op,
+                     Ctx.Elem);
+  std::string LowerError;
+  if (!Lower.lower(Ctx.EmitResult, LowerError))
+    return Status(StatusCode::SynthesisError, LowerError);
+  return Status::success();
+}
+
+Status aggregateAtomicsPass(LoweringContext &Ctx) {
+  TransformStats S = ir::aggregateAtomics(*Ctx.Result->M, *Ctx.K);
+  Statistics::get().add("ir.atomics-aggregated", S.AtomicsAggregated);
+  return Status::success();
+}
+
+Status unrollLoopsPass(LoweringContext &Ctx) {
+  TransformStats S = ir::unrollConstantLoops(*Ctx.Result->M, *Ctx.K);
+  Statistics::get().add("ir.loops-unrolled", S.LoopsUnrolled);
+  Statistics::get().add("ir.iterations-expanded", S.IterationsExpanded);
+  return Status::success();
+}
+
+/// verify: the always-on final ir::Verifier gate (the per-pass
+/// `--verify-each` runs are the PassManager's job; this one is
+/// unconditional and keeps the historical message shape).
+Status verifyPass(LoweringContext &Ctx) {
+  std::vector<std::string> VerifyErrors;
+  if (!ir::verifyKernel(*Ctx.K, VerifyErrors))
+    return Status(StatusCode::SynthesisError,
+                  "verifier: " + VerifyErrors.front());
+  return Status::success();
+}
+
+/// bytecode-prep: flat SIMT bytecode compilation into the variant.
+Status bytecodePrep(LoweringContext &Ctx) {
+  Ctx.Result->K = Ctx.K;
+  Ctx.Result->Compiled = ir::compileKernel(*Ctx.K);
+  Statistics::get().add("bytecode.kernels-compiled");
+  return Status::success();
+}
+
+} // namespace
+
+void tangram::synth::buildLoweringPipeline(
+    pm::PassManager<LoweringContext> &PM, const VariantDescriptor &Desc,
+    const OptimizationFlags &Flags) {
+  (void)Desc;
+  PM.addPass("codelet-select", codeletSelect);
+  PM.addPass("kernel-scaffold", kernelScaffold);
+  PM.addPass("tile-expand", tileExpand);
+  PM.addPass("atomic-lower", atomicLower);
+  PM.addPass("shuffle-lower", shuffleLower);
+  PM.addPass("coop-lower", coopLower);
+  if (Flags.AggregateAtomics)
+    PM.addPass("aggregate-atomics", aggregateAtomicsPass);
+  if (Flags.UnrollLoops)
+    PM.addPass("unroll-loops", unrollLoopsPass);
+  PM.addPass("verify", verifyPass);
+  PM.addPass("bytecode-prep", bytecodePrep);
+}
+
+std::vector<std::string>
+tangram::synth::getLoweringPassNames(const VariantDescriptor &Desc,
+                                     const OptimizationFlags &Flags) {
+  pm::PassManager<LoweringContext> PM;
+  buildLoweringPipeline(PM, Desc, Flags);
+  return PM.getPassNames();
+}

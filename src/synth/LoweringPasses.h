@@ -1,0 +1,95 @@
+//===- LoweringPasses.h - Variant lowering as a pass pipeline ---*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete lowering stages the KernelSynthesizer registers with the
+/// pass manager — the "New Variant?" loop of Fig. 5 as a pipeline re-run
+/// per descriptor:
+///
+///   codelet-select     resolve the cooperative codelet + shuffle toggle
+///   kernel-scaffold    kernel, params, grid index / grid-combine lambdas
+///   tile-expand        thread-serial coarsening stage (BlockDistributes)
+///   atomic-lower       Section III-A/B planning + counters
+///   shuffle-lower      Section III-C/Fig. 4 planning (loops + elisions)
+///   coop-lower         the AST walk executing the precomputed plans
+///   aggregate-atomics  optional Section III-D IR rewrite
+///   unroll-loops       optional Section III-A IR rewrite
+///   verify             ir::Verifier gate (always on, final)
+///   bytecode-prep      SIMT bytecode compilation into the variant
+///
+/// The planning/execution split (atomic-lower and shuffle-lower compute
+/// decisions; coop-lower executes them) is what lets the pipeline emit
+/// bit-identical bytecode to the former monolith while each stage stays
+/// individually registered and individually testable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SYNTH_LOWERINGPASSES_H
+#define TANGRAM_SYNTH_LOWERINGPASSES_H
+
+#include "pm/PassManager.h"
+#include "synth/CoopLowering.h"
+#include "synth/KernelSynthesizer.h"
+
+#include <vector>
+
+namespace tangram::synth {
+
+/// Everything the lowering passes share while one variant descriptor is
+/// being lowered. Built by KernelSynthesizer::synthesize, mutated by the
+/// passes in order.
+struct LoweringContext {
+  // Pipeline inputs.
+  const lang::TranslationUnit *TU = nullptr;
+  const std::map<const lang::CodeletDecl *,
+                 transforms::CodeletTransformInfo> *Infos = nullptr;
+  VariantDescriptor Desc;
+  OptimizationFlags Flags;
+  ReduceOp Op = ReduceOp::Add;
+  ir::ScalarType Elem = ir::ScalarType::F32;
+  /// Output container; owns the Module the passes build into.
+  SynthesizedVariant *Result = nullptr;
+
+  // codelet-select results.
+  const char *CoopTag = nullptr;
+  bool UseShuffle = false;
+  const lang::CodeletDecl *Coop = nullptr;
+  const transforms::CodeletTransformInfo *Info = nullptr;
+
+  // kernel-scaffold results.
+  ir::Kernel *K = nullptr;
+  ir::Param *Return = nullptr;
+  ir::Param *Input = nullptr;
+  ir::Param *SourceSize = nullptr;
+  ir::Param *ObjectSize = nullptr;
+  /// Global index of tile element `e` under the grid distribution.
+  std::function<ir::Expr *(ir::Expr *)> GlobalIndexOf;
+  /// Grid-level combine: return promotion target (Listings 1/2).
+  std::function<void(std::vector<ir::Stmt *> &, ir::Expr *)> EmitResult;
+
+  // tile-expand result: the per-thread partial register, when the block
+  // level distributes.
+  const ir::Local *PartialReg = nullptr;
+
+  // atomic-lower / shuffle-lower plans, consumed by coop-lower.
+  LoweringPlan Plan;
+};
+
+/// Registers the lowering pipeline for \p Desc / \p Flags with \p PM.
+/// The optional IR rewrites are registered only when their flag is set,
+/// so the pass list *is* the variant's compile plan.
+void buildLoweringPipeline(pm::PassManager<LoweringContext> &PM,
+                           const VariantDescriptor &Desc,
+                           const OptimizationFlags &Flags);
+
+/// The pass names buildLoweringPipeline would register, in order.
+std::vector<std::string>
+getLoweringPassNames(const VariantDescriptor &Desc,
+                     const OptimizationFlags &Flags);
+
+} // namespace tangram::synth
+
+#endif // TANGRAM_SYNTH_LOWERINGPASSES_H

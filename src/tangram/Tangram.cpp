@@ -39,11 +39,13 @@ TangramReduction::create(const Options &Opts) {
   sema::Sema S(*TR->Ctx, *TR->Diags);
   if (!S.analyze(TR->TU))
     return Status(StatusCode::SemaError, TR->Diags->renderAll());
-  TR->Infos = transforms::runTransformPipeline(TR->TU);
+  TR->PI = std::make_unique<pm::PassInstrumentation>(Opts.PM);
+  TR->Infos = transforms::runTransformPipeline(TR->TU, TR->PI.get());
   TR->Synth = std::make_unique<KernelSynthesizer>(
       TR->TU, TR->Infos, Opts.Op,
       Opts.Elem == ElemKind::Float ? ir::ScalarType::F32
                                    : ir::ScalarType::I32);
+  TR->Synth->setInstrumentation(TR->PI.get());
   TR->Space = enumerateVariants();
   TR->Cache = Opts.Engine.Cache
                   ? Opts.Engine.Cache
@@ -54,16 +56,6 @@ TangramReduction::create(const Options &Opts) {
                  : std::make_shared<support::ThreadPool>(
                        Opts.Engine.ThreadCount);
   return Expected<std::unique_ptr<TangramReduction>>(std::move(TR));
-}
-
-std::unique_ptr<TangramReduction>
-TangramReduction::create(const Options &Opts, std::string &Error) {
-  auto TR = create(Opts);
-  if (!TR) {
-    Error = TR.status().Message;
-    return nullptr;
-  }
-  return std::move(*TR);
 }
 
 engine::ExecutionEngine &
@@ -86,18 +78,6 @@ TangramReduction::synthesize(const VariantDescriptor &Desc,
   return Synth->synthesize(Desc, Opts);
 }
 
-std::unique_ptr<SynthesizedVariant>
-TangramReduction::synthesize(const VariantDescriptor &Desc,
-                             std::string &Error,
-                             const OptimizationFlags &Opts) const {
-  auto S = Synth->synthesize(Desc, Opts);
-  if (!S) {
-    Error = S.status().Message;
-    return nullptr;
-  }
-  return std::move(*S);
-}
-
 Expected<std::string>
 TangramReduction::emitCudaFor(const VariantDescriptor &Desc) const {
   auto S = Synth->synthesize(Desc);
@@ -106,16 +86,6 @@ TangramReduction::emitCudaFor(const VariantDescriptor &Desc) const {
   codegen::CudaEmitOptions Options;
   Options.EmitHostWrapper = true;
   return codegen::emitCuda(*(*S)->K, Options);
-}
-
-std::string TangramReduction::emitCudaFor(const VariantDescriptor &Desc,
-                                          std::string &Error) const {
-  auto Cuda = emitCudaFor(Desc);
-  if (!Cuda) {
-    Error = Cuda.status().Message;
-    return "";
-  }
-  return std::move(*Cuda);
 }
 
 Expected<engine::RaceReport>

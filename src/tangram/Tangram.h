@@ -31,6 +31,7 @@
 #include "engine/ExecutionEngine.h"
 #include "gpusim/Arch.h"
 #include "lang/ASTContext.h"
+#include "pm/PassInstrumentation.h"
 #include "support/Diagnostics.h"
 #include "support/Expected.h"
 #include "support/SourceManager.h"
@@ -61,6 +62,11 @@ public:
     /// Compile this text instead of the canonical spectrum source when
     /// non-empty (testing hook: error paths, custom codelet sets).
     std::string SourceOverride;
+    /// Pass-pipeline observability knobs (`--time-passes`, `--stats`,
+    /// `--print-after-all`, `--verify-each`). One PassInstrumentation is
+    /// created from these and shared by the AST pipeline at create() time
+    /// and by every variant lowering afterwards.
+    pm::InstrumentationOptions PM;
   };
 
   /// Parses + checks the canonical source (or Options::SourceOverride) and
@@ -72,10 +78,6 @@ public:
     return create(Options());
   }
 
-  [[deprecated("use the Expected-returning overload")]]
-  static std::unique_ptr<TangramReduction> create(const Options &Opts,
-                                                  std::string &Error);
-
   const lang::TranslationUnit &getUnit() const { return TU; }
   const synth::SearchSpace &getSearchSpace() const { return Space; }
   const Options &getOptions() const { return Opts; }
@@ -83,6 +85,15 @@ public:
   const std::string &getSourceText() const { return SourceText; }
   /// The synthesizer lowering this spectrum (cache-key source of truth).
   const synth::KernelSynthesizer &getSynthesizer() const { return *Synth; }
+  /// The Fig. 5 pre-processing pipeline results, keyed by codelet.
+  const std::map<const lang::CodeletDecl *,
+                 transforms::CodeletTransformInfo> &
+  getTransformInfos() const {
+    return Infos;
+  }
+  /// The shared pass observability sink: per-pass timings across the AST
+  /// pipeline and every variant lowering, plus `--print-after-all` dumps.
+  pm::PassInstrumentation &getInstrumentation() const { return *PI; }
 
   /// The lazily-created execution engine for \p Arch. Engines are created
   /// once per architecture generation and share one variant cache and one
@@ -98,18 +109,9 @@ public:
   synthesize(const synth::VariantDescriptor &Desc,
              const synth::OptimizationFlags &Opts = {}) const;
 
-  [[deprecated("use the Expected-returning overload")]]
-  std::unique_ptr<synth::SynthesizedVariant>
-  synthesize(const synth::VariantDescriptor &Desc, std::string &Error,
-             const synth::OptimizationFlags &Opts = {}) const;
-
   /// Emits the CUDA C text for one variant (Listings 1-4 form).
   support::Expected<std::string>
   emitCudaFor(const synth::VariantDescriptor &Desc) const;
-
-  [[deprecated("use the Expected-returning overload")]]
-  std::string emitCudaFor(const synth::VariantDescriptor &Desc,
-                          std::string &Error) const;
 
   /// Runs \p Desc under the dynamic race detector on \p Arch over an
   /// \p N-element input (every launch, full grid). A clean variant yields
@@ -177,6 +179,7 @@ private:
   lang::TranslationUnit TU;
   std::map<const lang::CodeletDecl *, transforms::CodeletTransformInfo>
       Infos;
+  std::unique_ptr<pm::PassInstrumentation> PI;
   std::unique_ptr<synth::KernelSynthesizer> Synth;
   synth::SearchSpace Space;
 

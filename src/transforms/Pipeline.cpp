@@ -6,24 +6,73 @@
 
 #include "transforms/Pipeline.h"
 
+#include "support/Statistics.h"
+
 using namespace tangram;
 using namespace tangram::lang;
 using namespace tangram::transforms;
 
+using support::Statistics;
+using support::Status;
+
+void tangram::transforms::buildAstPipeline(
+    pm::PassManager<CodeletAnalysis> &PM) {
+  // General transformations (Fig. 5, middle stage).
+  PM.addPass("arg-link", [](CodeletAnalysis &U) {
+    U.Info.ArgLink = analyzeArgumentLink(U.C);
+    return Status::success();
+  });
+  PM.addPass("return-promote", [](CodeletAnalysis &U) {
+    U.Info.Return = analyzeReturnPromotion(U.C);
+    return Status::success();
+  });
+  PM.addPass("map-structure", [](CodeletAnalysis &U) {
+    U.Info.MapStructure = analyzeMapStructure(U.C);
+    if (U.Info.MapStructure)
+      Statistics::get().add("map-structure.compound-codelets");
+    return Status::success();
+  });
+  // CUDA-specific transformations (Fig. 5, right stage).
+  PM.addPass("global-atomic-detect", [](CodeletAnalysis &U) {
+    U.Info.GlobalAtomic = analyzeGlobalAtomicMap(U.C);
+    if (U.Info.GlobalAtomic) {
+      Statistics::get().add("global-atomic.opportunities");
+      if (U.Info.GlobalAtomic->SameComputation)
+        Statistics::get().add("global-atomic.spectrum-calls-subsumed");
+    }
+    return Status::success();
+  });
+  PM.addPass("shared-atomic-analyze", [](CodeletAnalysis &U) {
+    U.Info.SharedAtomics = analyzeSharedAtomics(U.C);
+    Statistics::get().add("shared-atomic.writes",
+                          U.Info.SharedAtomics.Writes.size());
+    return Status::success();
+  });
+  PM.addPass("warp-shuffle-detect", [](CodeletAnalysis &U) {
+    U.Info.Shuffles = detectWarpShuffle(U.C);
+    Statistics::get().add("warp-shuffle.opportunities",
+                          U.Info.Shuffles.size());
+    for (const ShuffleOpportunity &S : U.Info.Shuffles)
+      if (S.ElideArray)
+        Statistics::get().add("warp-shuffle.elidable-arrays");
+    return Status::success();
+  });
+}
+
 std::map<const CodeletDecl *, CodeletTransformInfo>
-tangram::transforms::runTransformPipeline(const TranslationUnit &TU) {
+tangram::transforms::runTransformPipeline(const TranslationUnit &TU,
+                                          pm::PassInstrumentation *PI) {
+  pm::PassManager<CodeletAnalysis> PM;
+  buildAstPipeline(PM);
+  PM.setInstrumentation(PI);
   std::map<const CodeletDecl *, CodeletTransformInfo> Result;
   for (CodeletDecl *C : TU.Codelets) {
-    CodeletTransformInfo Info;
-    // General transformations (Fig. 5, middle stage).
-    Info.ArgLink = analyzeArgumentLink(C);
-    Info.Return = analyzeReturnPromotion(C);
-    Info.MapStructure = analyzeMapStructure(C);
-    // CUDA-specific transformations (Fig. 5, right stage).
-    Info.GlobalAtomic = analyzeGlobalAtomicMap(C);
-    Info.SharedAtomics = analyzeSharedAtomics(C);
-    Info.Shuffles = detectWarpShuffle(C);
-    Result.emplace(C, std::move(Info));
+    CodeletAnalysis Unit;
+    Unit.C = C;
+    // Every AST analysis is total; the manager's Status plumbing exists
+    // for the lowering pipelines that share it.
+    (void)PM.run(Unit);
+    Result.emplace(C, std::move(Unit.Info));
   }
   return Result;
 }

@@ -16,6 +16,7 @@
 #ifndef TANGRAM_TRANSFORMS_PIPELINE_H
 #define TANGRAM_TRANSFORMS_PIPELINE_H
 
+#include "pm/PassManager.h"
 #include "transforms/GeneralTransforms.h"
 #include "transforms/GlobalAtomicMapPass.h"
 #include "transforms/SharedAtomicAnalysis.h"
@@ -47,10 +48,28 @@ struct CodeletTransformInfo {
   }
 };
 
+/// The unit the AST pipeline's passes run over: one codelet and the
+/// analysis results accumulated for it so far.
+struct CodeletAnalysis {
+  lang::CodeletDecl *C = nullptr;
+  CodeletTransformInfo Info;
+};
+
+/// Registers the Fig. 5 AST passes with \p PM in pipeline order: the
+/// general transformations (argument linker, return promotion, map
+/// structure) followed by the CUDA-specific Section III analyses
+/// (global-atomic detection, shared-atomic analysis, warp-shuffle
+/// detection). Each pass bumps its support::Statistics counters
+/// (`global-atomic.opportunities`, `shared-atomic.writes`,
+/// `warp-shuffle.opportunities`, ...) as it discovers variant axes.
+void buildAstPipeline(pm::PassManager<CodeletAnalysis> &PM);
+
 /// Runs the full pipeline over every codelet of \p TU (which must have
-/// passed Sema). Results are keyed by codelet.
+/// passed Sema). Results are keyed by codelet. Pass timings are reported
+/// into \p PI when provided.
 std::map<const lang::CodeletDecl *, CodeletTransformInfo>
-runTransformPipeline(const lang::TranslationUnit &TU);
+runTransformPipeline(const lang::TranslationUnit &TU,
+                     pm::PassInstrumentation *PI = nullptr);
 
 } // namespace tangram::transforms
 

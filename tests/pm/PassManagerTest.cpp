@@ -1,0 +1,182 @@
+//===- PassManagerTest.cpp - PassManager / instrumentation tests ----------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pm/PassManager.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::pm;
+
+namespace {
+
+struct Counter {
+  std::vector<std::string> Trace;
+};
+
+std::unique_ptr<Pass<Counter>> tracePass(const std::string &Name) {
+  return makePass<Counter>(Name,
+                           std::function<support::Status(Counter &)>(
+                               [Name](Counter &C) {
+                                 C.Trace.push_back(Name);
+                                 return support::Status::success();
+                               }));
+}
+
+TEST(PassManager, RunsPassesInRegistrationOrder) {
+  PassManager<Counter> PM;
+  PM.addPass(tracePass("first"));
+  PM.addPass(tracePass("second"));
+  PM.addPass(tracePass("third"));
+  EXPECT_EQ(PM.size(), 3u);
+  EXPECT_EQ(PM.getPassNames(),
+            (std::vector<std::string>{"first", "second", "third"}));
+  Counter C;
+  ASSERT_TRUE(PM.run(C).ok());
+  EXPECT_EQ(C.Trace, (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(PassManager, FailingPassAbortsPipelineWithItsStatus) {
+  PassManager<Counter> PM;
+  PM.addPass(tracePass("ok"));
+  PM.addPass("boom", [](Counter &) {
+    return support::Status(support::StatusCode::SynthesisError,
+                           "deliberate failure");
+  });
+  PM.addPass(tracePass("never"));
+  Counter C;
+  support::Status S = PM.run(C);
+  EXPECT_EQ(S.Code, support::StatusCode::SynthesisError);
+  EXPECT_EQ(S.Message, "deliberate failure");
+  // The pass after the failure must not have run.
+  EXPECT_EQ(C.Trace, (std::vector<std::string>{"ok"}));
+  // Both executed passes are still timed (the failure itself is billed).
+  ASSERT_EQ(PM.getStageTimes().size(), 2u);
+  EXPECT_EQ(PM.getStageTimes()[0].Name, "ok");
+  EXPECT_EQ(PM.getStageTimes()[1].Name, "boom");
+}
+
+TEST(PassManager, TimingsAggregateAcrossRunsIntoInstrumentation) {
+  PassInstrumentation PI;
+  PassManager<Counter> PM;
+  PM.setInstrumentation(&PI);
+  PM.addPass(tracePass("a"));
+  PM.addPass(tracePass("b"));
+  Counter C;
+  ASSERT_TRUE(PM.run(C).ok());
+  ASSERT_TRUE(PM.run(C).ok());
+  ASSERT_TRUE(PM.run(C).ok());
+  std::vector<PassTiming> T = PI.getTimings();
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T[0].Name, "a");
+  EXPECT_EQ(T[0].Invocations, 3u);
+  EXPECT_EQ(T[1].Name, "b");
+  EXPECT_EQ(T[1].Invocations, 3u);
+  EXPECT_GE(PI.getTotalSeconds(), 0.0);
+  // getStageTimes() reflects only the most recent run.
+  EXPECT_EQ(PM.getStageTimes().size(), 2u);
+  std::string Table = PI.renderTimingTable();
+  EXPECT_NE(Table.find("a"), std::string::npos);
+  EXPECT_NE(Table.find("b"), std::string::npos);
+  PI.reset();
+  EXPECT_TRUE(PI.getTimings().empty());
+}
+
+TEST(PassManager, PrintAfterAllCapturesOneDumpPerPass) {
+  InstrumentationOptions Opts;
+  Opts.PrintAfterAll = true;
+  PassInstrumentation PI(Opts);
+  PassManager<Counter> PM;
+  PM.setInstrumentation(&PI);
+  PM.setPrinter([](const Counter &C) {
+    return "trace-size=" + std::to_string(C.Trace.size());
+  });
+  PM.addPass(tracePass("alpha"));
+  PM.addPass(tracePass("beta"));
+  Counter C;
+  ASSERT_TRUE(PM.run(C).ok());
+  std::string Dump = PI.getDumpText();
+  EXPECT_NE(Dump.find("*** IR Dump After alpha ***\ntrace-size=1\n"),
+            std::string::npos);
+  EXPECT_NE(Dump.find("*** IR Dump After beta ***\ntrace-size=2\n"),
+            std::string::npos);
+  // takeDumpText drains the buffer.
+  EXPECT_EQ(PI.takeDumpText(), Dump);
+  EXPECT_TRUE(PI.getDumpText().empty());
+}
+
+TEST(PassManager, DumpingIsOffByDefault) {
+  PassInstrumentation PI;
+  PassManager<Counter> PM;
+  PM.setInstrumentation(&PI);
+  PM.setPrinter([](const Counter &) { return std::string("text"); });
+  PM.addPass(tracePass("p"));
+  Counter C;
+  ASSERT_TRUE(PM.run(C).ok());
+  EXPECT_TRUE(PI.getDumpText().empty());
+}
+
+TEST(PassManager, VerifyEachTagsFailureWithPassName) {
+  InstrumentationOptions Opts;
+  Opts.VerifyEach = true;
+  PassInstrumentation PI(Opts);
+  PassManager<Counter> PM;
+  PM.setInstrumentation(&PI);
+  PM.setVerifier([](const Counter &C) {
+    std::vector<std::string> Errors;
+    if (C.Trace.size() >= 2)
+      Errors.push_back("trace grew past one entry");
+    return Errors;
+  });
+  PM.addPass(tracePass("fine"));
+  PM.addPass(tracePass("corrupting"));
+  PM.addPass(tracePass("unreached"));
+  Counter C;
+  support::Status S = PM.run(C);
+  EXPECT_EQ(S.Code, support::StatusCode::SynthesisError);
+  EXPECT_EQ(S.Message,
+            "verifier after pass 'corrupting': trace grew past one entry");
+  EXPECT_EQ(C.Trace,
+            (std::vector<std::string>{"fine", "corrupting"}));
+}
+
+TEST(PassManager, ForceVerifyEachOverridesOptions) {
+  // No instrumentation at all: setForceVerifyEach alone must still turn
+  // per-pass verification on (the TGR_VERIFY_EACH CI hook).
+  PassManager<Counter> PM;
+  PM.setForceVerifyEach(true);
+  PM.setVerifier([](const Counter &) {
+    return std::vector<std::string>{"always invalid"};
+  });
+  PM.addPass(tracePass("only"));
+  Counter C;
+  support::Status S = PM.run(C);
+  EXPECT_EQ(S.Code, support::StatusCode::SynthesisError);
+  EXPECT_EQ(S.Message, "verifier after pass 'only': always invalid");
+}
+
+TEST(Statistics, CountersAccumulateAndReport) {
+  support::Statistics &S = support::Statistics::get();
+  S.reset();
+  EXPECT_EQ(S.lookup("pmtest.counter"), 0u);
+  S.add("pmtest.counter");
+  S.add("pmtest.counter", 4);
+  S.add("pmtest.other", 2);
+  EXPECT_EQ(S.lookup("pmtest.counter"), 5u);
+  auto Snap = S.snapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  // snapshot() is sorted by name.
+  EXPECT_EQ(Snap[0].first, "pmtest.counter");
+  EXPECT_EQ(Snap[1].first, "pmtest.other");
+  std::string Report = S.report();
+  EXPECT_NE(Report.find("pmtest.counter"), std::string::npos);
+  S.reset();
+  EXPECT_TRUE(S.snapshot().empty());
+  EXPECT_TRUE(S.report().empty());
+}
+
+} // namespace

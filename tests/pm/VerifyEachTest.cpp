@@ -1,0 +1,168 @@
+//===- VerifyEachTest.cpp - ir::Verifier rejection paths under verify-each ===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives PassManager<ir::Kernel> pipelines whose passes deliberately emit
+// malformed IR, with ir::verifyKernel installed as the per-pass verifier.
+// Each fixture checks that --verify-each converts the structural defect
+// into an Expected error tagged with the name of the offending pass —
+// the observability contract tools rely on to localize miscompiles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/KernelIR.h"
+#include "ir/Verifier.h"
+#include "pm/PassManager.h"
+#include "synth/KernelSynthesizer.h"
+#include "synth/ReductionSpectrum.h"
+#include "tangram/Tangram.h"
+
+#include <gtest/gtest.h>
+
+using namespace tangram;
+using namespace tangram::ir;
+
+namespace {
+
+/// One kernel being built up by a pipeline (the unit type).
+struct KernelUnit {
+  Module M;
+  Kernel *K = nullptr;
+};
+
+pm::PassManager<KernelUnit> makeVerifyingPM() {
+  pm::PassManager<KernelUnit> PM;
+  PM.setForceVerifyEach(true);
+  PM.setVerifier([](const KernelUnit &U) {
+    std::vector<std::string> Errors;
+    if (U.K)
+      verifyKernel(*U.K, Errors);
+    return Errors;
+  });
+  PM.addPass("make-kernel", [](KernelUnit &U) {
+    U.K = U.M.addKernel("fixture");
+    return support::Status::success();
+  });
+  return PM;
+}
+
+void expectTaggedFailure(const support::Status &S, const char *PassName,
+                         const char *Detail) {
+  EXPECT_EQ(S.Code, support::StatusCode::SynthesisError);
+  EXPECT_NE(S.Message.find(std::string("verifier after pass '") + PassName +
+                           "'"),
+            std::string::npos)
+      << S.Message;
+  EXPECT_NE(S.Message.find(Detail), std::string::npos) << S.Message;
+}
+
+TEST(VerifyEach, CatchesUndefinedLocalAfterOffendingPass) {
+  pm::PassManager<KernelUnit> PM = makeVerifyingPM();
+  PM.addPass("inject-undefined-local", [](KernelUnit &U) {
+    // Use a local in an assignment without ever declaring it.
+    Local *X = U.K->addLocal("ghost", ScalarType::I32);
+    U.K->getBody().push_back(
+        U.M.create<AssignStmt>(X, U.M.constI(1)));
+    return support::Status::success();
+  });
+  KernelUnit U;
+  expectTaggedFailure(PM.run(U), "inject-undefined-local",
+                      "before its declaration");
+}
+
+TEST(VerifyEach, CatchesTypeMisuseAfterOffendingPass) {
+  pm::PassManager<KernelUnit> PM = makeVerifyingPM();
+  PM.addPass("inject-float-rem", [](KernelUnit &U) {
+    // '%' on floating-point operands is a type error in this IR.
+    Local *X = U.K->addLocal("x", ScalarType::F32);
+    U.K->getBody().push_back(U.M.create<DeclLocalStmt>(
+        X, U.M.binary(BinOp::Rem, U.M.constF(1.0), U.M.constF(2.0),
+                      ScalarType::F32)));
+    return support::Status::success();
+  });
+  KernelUnit U;
+  expectTaggedFailure(PM.run(U), "inject-float-rem",
+                      "floating-point operands");
+}
+
+TEST(VerifyEach, CatchesPointerParamUsedAsScalar) {
+  pm::PassManager<KernelUnit> PM = makeVerifyingPM();
+  PM.addPass("inject-pointer-as-scalar", [](KernelUnit &U) {
+    Param *P = U.K->addPointerParam("buf", ScalarType::F32);
+    Local *X = U.K->addLocal("x", ScalarType::F32);
+    U.K->getBody().push_back(
+        U.M.create<DeclLocalStmt>(X, U.M.ref(P)));
+    return support::Status::success();
+  });
+  KernelUnit U;
+  expectTaggedFailure(PM.run(U), "inject-pointer-as-scalar",
+                      "used as a scalar");
+}
+
+TEST(VerifyEach, CatchesBarrierInsideDivergentBranch) {
+  pm::PassManager<KernelUnit> PM = makeVerifyingPM();
+  PM.addPass("inject-divergent-barrier", [](KernelUnit &U) {
+    std::vector<Stmt *> Then = {U.M.create<BarrierStmt>()};
+    U.K->getBody().push_back(U.M.create<IfStmt>(
+        U.M.cmp(BinOp::EQ, U.M.special(SpecialReg::ThreadIdxX),
+                U.M.constU(0)),
+        std::move(Then), std::vector<Stmt *>{}));
+    return support::Status::success();
+  });
+  KernelUnit U;
+  expectTaggedFailure(PM.run(U), "inject-divergent-barrier",
+                      "divergent control flow");
+}
+
+TEST(VerifyEach, FirstDefectWinsWhenLaterPassesWouldAlsoCorrupt) {
+  pm::PassManager<KernelUnit> PM = makeVerifyingPM();
+  PM.addPass("inject-bad-shuffle", [](KernelUnit &U) {
+    Local *X = U.K->addLocal("x", ScalarType::F32);
+    U.K->getBody().push_back(U.M.create<DeclLocalStmt>(X, U.M.constF(0.0)));
+    U.K->getBody().push_back(U.M.create<AssignStmt>(
+        X, U.M.create<ShuffleExpr>(ShuffleMode::Down, U.M.ref(X),
+                                   U.M.constI(1), /*Width=*/20)));
+    return support::Status::success();
+  });
+  bool SecondRan = false;
+  PM.addPass("would-corrupt-more", [&SecondRan](KernelUnit &) {
+    SecondRan = true;
+    return support::Status::success();
+  });
+  KernelUnit U;
+  expectTaggedFailure(PM.run(U), "inject-bad-shuffle", "power of two");
+  EXPECT_FALSE(SecondRan);
+}
+
+TEST(VerifyEach, CleanPipelineStillSucceeds) {
+  pm::PassManager<KernelUnit> PM = makeVerifyingPM();
+  PM.addPass("well-formed-body", [](KernelUnit &U) {
+    Local *X = U.K->addLocal("x", ScalarType::I32);
+    U.K->getBody().push_back(
+        U.M.create<DeclLocalStmt>(X, U.M.constI(7)));
+    return support::Status::success();
+  });
+  KernelUnit U;
+  EXPECT_TRUE(PM.run(U).ok());
+}
+
+// End-to-end: the real lowering pipeline stays verifier-clean after every
+// pass when the facade is created with VerifyEach on, so --verify-each is
+// a no-op on healthy input (only malformed IR trips it).
+TEST(VerifyEach, RealLoweringPipelineIsVerifierCleanPerPass) {
+  TangramReduction::Options Opts;
+  Opts.PM.VerifyEach = true;
+  auto TR = TangramReduction::create(Opts);
+  ASSERT_TRUE(static_cast<bool>(TR)) << TR.status().toString();
+  const synth::SearchSpace &Space = (*TR)->getSearchSpace();
+  ASSERT_FALSE(Space.Pruned.empty());
+  for (size_t I = 0; I != Space.Pruned.size() && I != 4; ++I) {
+    auto V = (*TR)->synthesize(Space.Pruned[I]);
+    EXPECT_TRUE(static_cast<bool>(V))
+        << Space.Pruned[I].getName() << ": " << V.status().toString();
+  }
+}
+
+} // namespace

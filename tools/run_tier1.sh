@@ -2,12 +2,19 @@
 # Tier-1 gate: configure, build, and run the full test suite exactly the
 # way CI does. Run from anywhere; exits nonzero on the first failure.
 #
+# After the plain tier-1 suite passes, the suite runs once more with
+# TGR_VERIFY_EACH=1 (the tier1-verify-each preset): every lowering
+# pipeline re-verifies the kernel IR after every pass, so a pass that
+# emits structurally broken IR fails with the pass's name even if a
+# later pass would have masked the damage. Skip with --no-verify-each.
+#
 #   tools/run_tier1.sh                     # RelWithDebInfo tier-1 gate
 #   tools/run_tier1.sh --preset asan-ubsan # same suite under ASan+UBSan
 #   tools/run_tier1.sh asan-ubsan          # legacy positional spelling
 set -eu
 
 PRESET="tier1"
+VERIFY_EACH=1
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset)
@@ -15,8 +22,10 @@ while [ $# -gt 0 ]; do
       PRESET="$2"; shift 2 ;;
     --preset=*)
       PRESET="${1#--preset=}"; shift ;;
+    --no-verify-each)
+      VERIFY_EACH=0; shift ;;
     -h|--help)
-      sed -n '2,8p' "$0"; exit 0 ;;
+      sed -n '2,14p' "$0"; exit 0 ;;
     -*)
       echo "run_tier1.sh: unknown option '$1'" >&2; exit 2 ;;
     *)
@@ -30,9 +39,17 @@ if command -v cmake >/dev/null 2>&1 && cmake --list-presets >/dev/null 2>&1; the
   cmake --preset "$PRESET"
   cmake --build --preset "$PRESET" -j "$(nproc 2>/dev/null || echo 2)"
   ctest --preset "$PRESET"
+  if [ "$VERIFY_EACH" = 1 ] && [ "$PRESET" = tier1 ]; then
+    echo "== tier-1 again with per-pass IR verification (TGR_VERIFY_EACH=1) =="
+    ctest --preset tier1-verify-each
+  fi
 else
   # CMake < 3.21: no preset support; fall back to the plain tier-1 build.
   cmake -B build -S .
   cmake --build build -j "$(nproc 2>/dev/null || echo 2)"
   ctest --test-dir build --output-on-failure -j 4
+  if [ "$VERIFY_EACH" = 1 ]; then
+    echo "== tier-1 again with per-pass IR verification (TGR_VERIFY_EACH=1) =="
+    TGR_VERIFY_EACH=1 ctest --test-dir build --output-on-failure -j 4
+  fi
 fi

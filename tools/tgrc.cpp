@@ -27,6 +27,10 @@
 //   --seed=S --period=P    fault-injection determinism knobs
 //   --dump-ast             normalized source after parse+sema
 //   --dump-passes          per-codelet transform-pipeline findings
+//   --time-passes          per-pass wall-clock timing table at exit
+//   --stats                pass statistics counters at exit
+//   --print-after-all      dump the unit after every pipeline pass
+//   --verify-each          run the IR verifier after every lowering pass
 //
 // Legacy spellings remain accepted: --list-variants, --emit-cuda=NAME,
 // --emit-bytecode=NAME, --racecheck[=NAME], and a bare FILE argument
@@ -38,6 +42,8 @@
 #include "lang/ASTPrinter.h"
 #include "lang/Parser.h"
 #include "sema/Sema.h"
+#include "support/Statistics.h"
+#include "synth/ReductionSpectrum.h"
 #include "tangram/Tangram.h"
 #include "transforms/Pipeline.h"
 
@@ -65,8 +71,11 @@ int usage() {
       "                  [--fault=bitflip-shared|bitflip-global|drop-atomic|\n"
       "                   dup-atomic|stuck-warp|skip-barrier|all]\n"
       "                  [--seed=S] [--period=P]\n"
+      "  tgrc tune FILE.tgr [--arch=...] [--n=SIZE]\n"
       "  tgrc check FILE [--dump-ast] [--dump-passes]\n"
-      "shared options: --op=add|sub|max|min --type=float|int\n");
+      "shared options: --op=add|sub|max|min --type=float|int\n"
+      "                --time-passes --stats --print-after-all "
+      "--verify-each\n");
   return 2;
 }
 
@@ -115,6 +124,14 @@ bool parseOptions(int Argc, char **Argv, DriverOptions &O) {
       O.DumpAst = true;
     else if (!std::strcmp(Arg, "--dump-passes"))
       O.DumpPasses = true;
+    else if (!std::strcmp(Arg, "--time-passes"))
+      O.Create.PM.TimePasses = true;
+    else if (!std::strcmp(Arg, "--stats"))
+      O.Create.PM.Stats = true;
+    else if (!std::strcmp(Arg, "--print-after-all"))
+      O.Create.PM.PrintAfterAll = true;
+    else if (!std::strcmp(Arg, "--verify-each"))
+      O.Create.PM.VerifyEach = true;
     else if (!std::strcmp(Arg, "--bytecode"))
       O.Bytecode = true;
     else if (!std::strcmp(Arg, "--list-variants"))
@@ -180,9 +197,22 @@ bool parseOptions(int Argc, char **Argv, DriverOptions &O) {
     else
       O.Positional.push_back(Arg);
   }
-  if (O.Archs.empty())
-    O.Archs = {sim::getPascalP100()};
+  // Arch defaults are per-command (tune/best sweep all three) and are
+  // resolved in main() once the subcommand is known.
   return true;
+}
+
+/// The `--time-passes` / `--stats` / `--print-after-all` epilogue, shared
+/// by every subcommand that compiled the spectrum.
+void printObservability(const TangramReduction &TR) {
+  const pm::InstrumentationOptions &PMO = TR.getOptions().PM;
+  pm::PassInstrumentation &PI = TR.getInstrumentation();
+  if (PMO.PrintAfterAll)
+    std::printf("%s", PI.getDumpText().c_str());
+  if (PMO.TimePasses)
+    std::printf("%s", PI.renderTimingTable().c_str());
+  if (PMO.Stats)
+    std::printf("%s", support::Statistics::get().report().c_str());
 }
 
 const VariantDescriptor *findVariant(const SearchSpace &Space,
@@ -240,8 +270,13 @@ int cmdCheck(const DriverOptions &O, const std::string &Path) {
                 lang::getCodeletClassName(C->getCodeletClass()));
   if (O.DumpAst)
     std::printf("\n%s", lang::printTranslationUnit(TU).c_str());
-  if (O.DumpPasses) {
-    auto Infos = transforms::runTransformPipeline(TU);
+  pm::PassInstrumentation PI(O.Create.PM);
+  bool WantPipeline = O.DumpPasses || O.Create.PM.TimePasses ||
+                      O.Create.PM.Stats;
+  if (WantPipeline) {
+    auto Infos = transforms::runTransformPipeline(TU, &PI);
+    if (!O.DumpPasses)
+      Infos.clear();
     for (const auto &[C, Info] : Infos) {
       std::printf("\n%s (%s):\n", C->getName().c_str(), C->getTag().c_str());
       if (Info.GlobalAtomic)
@@ -261,6 +296,10 @@ int cmdCheck(const DriverOptions &O, const std::string &Path) {
                     Op.ElideArray ? "elided" : "kept");
     }
   }
+  if (O.Create.PM.TimePasses)
+    std::printf("%s", PI.renderTimingTable().c_str());
+  if (O.Create.PM.Stats)
+    std::printf("%s", support::Statistics::get().report().c_str());
   return 0;
 }
 
@@ -289,10 +328,47 @@ int cmdList(const DriverOptions &O) {
               Space.All.size(), Space.Pruned.size());
   for (const VariantDescriptor &V : Space.Pruned) {
     std::string L = V.getFigure6Label();
-    std::printf("  %-4s %-20s %s\n", L.empty() ? "" : ("(" + L + ")").c_str(),
+    // Axis provenance: which Section III rewrites produced this variant,
+    // and how many variant axes its cooperative codelet contributes.
+    bool GlobalAtomic = V.GridScheme == GridCombine::GlobalAtomic;
+    bool Shuffle = V.Coop == CoopKind::TreeShuffle ||
+                   V.Coop == CoopKind::SharedV2Shuffle;
+    const char *SharedCodelet = "-";
+    const char *CoopTag = nullptr;
+    switch (V.Coop) {
+    case CoopKind::Tree:
+    case CoopKind::TreeShuffle:
+      CoopTag = tags::CoopTree;
+      break;
+    case CoopKind::SharedV1:
+      CoopTag = tags::SharedV1;
+      SharedCodelet = "v1";
+      break;
+    case CoopKind::SharedV2:
+    case CoopKind::SharedV2Shuffle:
+      CoopTag = tags::SharedV2;
+      SharedCodelet = "v2";
+      break;
+    case CoopKind::SerialThread0:
+      break;
+    }
+    unsigned Axes = 0;
+    if (CoopTag) {
+      if (const lang::CodeletDecl *C = TR->getUnit().findByTag(CoopTag)) {
+        auto It = TR->getTransformInfos().find(C);
+        if (It != TR->getTransformInfos().end())
+          Axes = It->second.variantAxisCount();
+      }
+    }
+    std::printf("  %-4s %-20s %-14s global-atomic=%c shuffle=%c "
+                "shared-atomic=%-2s axes=%u\n",
+                L.empty() ? "" : ("(" + L + ")").c_str(),
                 V.getName().c_str(),
-                getVariantCategoryName(V.getCategory()));
+                getVariantCategoryName(V.getCategory()),
+                GlobalAtomic ? '+' : '-', Shuffle ? '+' : '-', SharedCodelet,
+                Axes);
   }
+  printObservability(*TR);
   return 0;
 }
 
@@ -314,6 +390,7 @@ int cmdEmit(const DriverOptions &O, const std::string &Name) {
       return 1;
     }
     std::printf("%s", (*S)->Compiled.disassemble().c_str());
+    printObservability(*TR);
     return 0;
   }
   auto Cuda = TR->emitCudaFor(*V);
@@ -322,15 +399,43 @@ int cmdEmit(const DriverOptions &O, const std::string &Name) {
     return 1;
   }
   std::printf("%s", Cuda->c_str());
+  printObservability(*TR);
   return 0;
 }
 
 // --- tune ----------------------------------------------------------------
 
-int cmdTune(const DriverOptions &O, const std::string &Name) {
+int cmdTune(const DriverOptions &Opts, const std::string &Name) {
+  DriverOptions O = Opts;
+  // `tune FILE.tgr` compiles that source instead of the canonical
+  // spectrum and tunes its whole variant portfolio per architecture.
+  bool IsFile =
+      Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".tgr") == 0;
+  if (IsFile) {
+    std::ifstream File(Name);
+    if (!File) {
+      std::fprintf(stderr, "tgrc: cannot open '%s'\n", Name.c_str());
+      return 1;
+    }
+    std::stringstream Text;
+    Text << File.rdbuf();
+    O.Create.SourceOverride = Text.str();
+  }
   auto TR = compileSpectrum(O);
   if (!TR)
     return 1;
+  if (IsFile) {
+    for (const sim::ArchDesc &Arch : O.Archs) {
+      TangramReduction::BestResult Best = TR->findBest(Arch, O.N);
+      std::printf("%-10s n=%zu  %-4s %-20s block=%u coarsen=%u  %.3f us\n",
+                  Arch.Name.c_str(), O.N,
+                  Best.Fig6Label.empty() ? "-" : Best.Fig6Label.c_str(),
+                  Best.Desc.getName().c_str(), Best.Desc.BlockSize,
+                  Best.Desc.Coarsen, Best.Seconds * 1e6);
+    }
+    printObservability(*TR);
+    return 0;
+  }
   const VariantDescriptor *V = findVariant(TR->getSearchSpace(), Name);
   if (!V) {
     std::fprintf(stderr, "tgrc: unknown variant '%s'\n", Name.c_str());
@@ -343,6 +448,7 @@ int cmdTune(const DriverOptions &O, const std::string &Name) {
                 Arch.Name.c_str(), O.N, Tuned.BlockSize, Tuned.Coarsen,
                 Seconds * 1e6);
   }
+  printObservability(*TR);
   return 0;
 }
 
@@ -360,6 +466,7 @@ int cmdBest(const DriverOptions &O) {
                 Best.Desc.getName().c_str(), Best.Desc.BlockSize,
                 Best.Desc.Coarsen, Best.Seconds * 1e6);
   }
+  printObservability(*TR);
   return 0;
 }
 
@@ -412,6 +519,7 @@ int cmdRaceCheck(const DriverOptions &O, const std::string &Name) {
         return RC;
   std::printf("%zu variant(s) x %zu architecture(s): %u race(s)\n",
               Targets.size(), O.Archs.size(), Races);
+  printObservability(*TR);
   return Races ? 1 : 0;
 }
 
@@ -486,6 +594,7 @@ int cmdFaultCheck(const DriverOptions &O, const std::string &Name) {
               "%u clean, %u survived, %u detected, %u trapped\n",
               Targets.size(), O.Archs.size(), Kinds.size(), Outcomes[0],
               Outcomes[1], Outcomes[2], Outcomes[3]);
+  printObservability(*TR);
   return 0;
 }
 
@@ -530,6 +639,11 @@ int main(int Argc, char **Argv) {
       Cmd = "list"; // includes legacy --list-variants / dump flags
     }
   }
+
+  // Default architectures: tune/best sweep all three generations (the
+  // paper's portability claim is per-arch), everything else runs Pascal.
+  if (O.Archs.empty())
+    parseArchSet(Cmd == "tune" || Cmd == "best" ? "all" : "pascal", O.Archs);
 
   if (Cmd == "check")
     return O.Positional.size() == 1 ? cmdCheck(O, O.Positional.front())
