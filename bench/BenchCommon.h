@@ -136,6 +136,16 @@ inline void appendFigureRecords(const sim::ArchDesc &Arch,
   }
 }
 
+/// Reduction-axis provenance recorded in every BENCH_*.json `meta` block:
+/// which (op, dtype) point of the multiplied search space the artifact's
+/// numbers were measured on. Defaults are the canonical float sum, so
+/// existing single-point benches need no changes; sweeps over the op axis
+/// stamp each artifact via reduce::OpDef spellings ("argmax", "i64", ...).
+struct BenchMeta {
+  std::string Op = "add";
+  std::string Dtype = "f32";
+};
+
 /// Compile-time observability attached to a bench's JSON artifact: total
 /// pipeline wall-clock, the per-pass breakdown, and the pass statistics
 /// counters at the time of writing.
@@ -170,32 +180,35 @@ inline void writeBenchRecords(std::FILE *F,
   }
 }
 
-/// Writes `BENCH_<BenchName>.json` in the working directory. Without
-/// \p Compile the artifact is an array of `{"variant", "arch", "n",
-/// "seconds", "status"}` objects, one per record (the historical format).
-/// With \p Compile it is an object: the same array under "records" plus
-/// "compile_ms", a "passes" array (name/runs/seconds per lowering pass),
-/// and a "stats" counter map. Keeps the figure binaries' stdout tables
-/// human-oriented while giving CI and plotting scripts a stable
-/// machine-readable artifact. Records with a non-"ok" status carry
-/// whatever Seconds were measured before the failure (usually 0 or
-/// infinity) — the output stays valid JSON even when part of the sweep
-/// was quarantined.
+/// Writes `BENCH_<BenchName>.json` in the working directory: an object
+/// holding a `meta` block (the reduction-axis provenance — op and dtype
+/// spellings from the OpDef table), the measured `records` array of
+/// `{"variant", "arch", "n", "seconds", "status"}` objects, and — when
+/// \p Compile is given — "compile_ms", a "passes" array (name/runs/seconds
+/// per lowering pass), and a "stats" counter map. Keeps the figure
+/// binaries' stdout tables human-oriented while giving CI and plotting
+/// scripts a stable machine-readable artifact. Records with a non-"ok"
+/// status carry whatever Seconds were measured before the failure
+/// (usually 0 or infinity) — the output stays valid JSON even when part
+/// of the sweep was quarantined.
 inline void writeBenchJson(const std::string &BenchName,
                            const std::vector<BenchRecord> &Records,
-                           const CompileInfo *Compile = nullptr) {
+                           const CompileInfo *Compile = nullptr,
+                           const BenchMeta &Meta = BenchMeta()) {
   std::string Path = "BENCH_" + BenchName + ".json";
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F) {
     std::fprintf(stderr, "warning: could not write %s\n", Path.c_str());
     return;
   }
+  std::fprintf(F, "{\n  \"meta\": {\"op\": \"%s\", \"dtype\": \"%s\"},\n",
+               Meta.Op.c_str(), Meta.Dtype.c_str());
   if (!Compile) {
-    std::fprintf(F, "[\n");
-    writeBenchRecords(F, Records, "  ");
-    std::fprintf(F, "]\n");
+    std::fprintf(F, "  \"records\": [\n");
+    writeBenchRecords(F, Records, "    ");
+    std::fprintf(F, "  ]\n}\n");
   } else {
-    std::fprintf(F, "{\n  \"compile_ms\": %.6g,\n",
+    std::fprintf(F, "  \"compile_ms\": %.6g,\n",
                  Compile->CompileSeconds * 1e3);
     std::fprintf(F, "  \"passes\": [\n");
     for (size_t I = 0; I != Compile->Passes.size(); ++I) {

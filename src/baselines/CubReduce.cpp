@@ -9,6 +9,7 @@
 #include "gpusim/PerfModel.h"
 #include "ir/Verifier.h"
 #include "support/ErrorHandling.h"
+#include "synth/CoopLowering.h"
 
 #include <algorithm>
 #include <functional>
@@ -22,16 +23,18 @@ ReductionFramework::~ReductionFramework() = default;
 
 namespace {
 
-/// Appends the canonical warp shuffle tree `for (o=16;o>0;o/=2) val +=
-/// shfl_down(val,o)` to \p Body.
+/// Appends the canonical warp shuffle tree `for (o=16;o>0;o/=2) val =
+/// combine(val, shfl_down(val,o))` to \p Body.
 void appendShuffleTree(Module &M, Kernel &K, const Local *Val,
-                       std::vector<Stmt *> &Body, const char *IterName) {
+                       std::vector<Stmt *> &Body, const char *IterName,
+                       ReduceOp Op, ScalarType Elem) {
   Local *Off = K.addLocal(IterName, ScalarType::I32);
   std::vector<Stmt *> LoopBody = {M.create<AssignStmt>(
-      Val, M.binary(BinOp::Add, M.ref(Val),
-                    M.create<ShuffleExpr>(ShuffleMode::Down, M.ref(Val),
-                                          M.ref(Off), 32),
-                    ScalarType::F32))};
+      Val, synth::reduceExpr(M, Op, M.ref(Val),
+                             M.create<ShuffleExpr>(ShuffleMode::Down,
+                                                   M.ref(Val), M.ref(Off),
+                                                   32),
+                             Elem))};
   Body.push_back(M.create<ForStmt>(
       Off, M.constI(16), M.cmp(BinOp::GT, M.ref(Off), M.constI(0)),
       M.arith(BinOp::Div, M.ref(Off), M.constI(2)), std::move(LoopBody)));
@@ -40,9 +43,9 @@ void appendShuffleTree(Module &M, Kernel &K, const Local *Val,
 /// Appends the block-level combine: lane 0 of each warp publishes to
 /// `warpsum`, warp 0 re-reduces with shuffles, thread 0 runs \p Sink.
 void appendBlockCombine(Module &M, Kernel &K, const Local *Val,
-                        std::function<void(std::vector<Stmt *> &)> Sink) {
-  SharedArray *WarpSum =
-      K.addSharedArray("warpsum", ScalarType::F32, M.constI(32));
+                        std::function<void(std::vector<Stmt *> &)> Sink,
+                        ReduceOp Op, ScalarType Elem) {
+  SharedArray *WarpSum = K.addSharedArray("warpsum", Elem, M.constI(32));
   Expr *Tid = M.special(SpecialReg::ThreadIdxX);
   Expr *Lane = M.binary(BinOp::Rem, Tid, M.special(SpecialReg::WarpSize),
                         ScalarType::U32);
@@ -65,8 +68,8 @@ void appendBlockCombine(Module &M, Kernel &K, const Local *Val,
                M.cmp(BinOp::LT, M.special(SpecialReg::ThreadIdxX), NumWarps),
                M.create<LoadSharedExpr>(
                    WarpSum, M.special(SpecialReg::ThreadIdxX)),
-               M.constF(0.0), ScalarType::F32)));
-  appendShuffleTree(M, K, Val, Warp0, "offset2");
+               synth::identityConst(M, Elem, Op), Elem)));
+  appendShuffleTree(M, K, Val, Warp0, "offset2", Op, Elem);
   std::vector<Stmt *> Thread0;
   Sink(Thread0);
   Warp0.push_back(M.create<IfStmt>(
@@ -81,18 +84,23 @@ void appendBlockCombine(Module &M, Kernel &K, const Local *Val,
 
 } // namespace
 
-CubReduce::CubReduce() : M(std::make_unique<Module>()) {
-  // Pass 1: even-share tiles with float4 loads.
+CubReduce::CubReduce(ReduceOp Op, ir::ScalarType Elem)
+    : M(std::make_unique<Module>()), Op(Op), Elem(Elem) {
+  // The float4 fast path is the canonical sum's; other spectrum points
+  // take scalar loads.
+  Vec = (Op == ReduceOp::Add && Elem == ScalarType::F32) ? VecWidth : 1;
+  // Pass 1: even-share tiles with vectorized loads.
   {
     Kernel *K = M->addKernel("cub_reduce_partial");
-    Param *Partials = K->addPointerParam("partials", ScalarType::F32);
-    Param *In = K->addPointerParam("in", ScalarType::F32);
+    Param *Partials = K->addPointerParam("partials", Elem);
+    Param *In = K->addPointerParam("in", Elem);
     Param *N = K->addScalarParam("n", ScalarType::I32);
     Param *NumVecs = K->addScalarParam("num_vecs", ScalarType::I32);
     Param *Vpt = K->addScalarParam("vecs_per_thread", ScalarType::I32);
 
-    Local *Val = K->addLocal("val", ScalarType::F32);
-    K->getBody().push_back(M->create<DeclLocalStmt>(Val, M->constF(0.0)));
+    Local *Val = K->addLocal("val", Elem);
+    K->getBody().push_back(
+        M->create<DeclLocalStmt>(Val, synth::identityConst(*M, Elem, Op)));
 
     // for (k = 0; k < vecs_per_thread; ++k)
     //   v = blockIdx*blockDim*vpt + k*blockDim + tid
@@ -109,61 +117,75 @@ CubReduce::CubReduce() : M(std::make_unique<Module>()) {
                  M->arith(BinOp::Mul, M->ref(KIdx),
                           M->special(SpecialReg::BlockDimX))),
         M->special(SpecialReg::ThreadIdxX));
+    Expr *Load = M->create<LoadGlobalExpr>(In, VecIdx, Vec);
+    // Arg-reductions attach the element's position at the read (the
+    // scalar path guarantees vec index == element index).
+    if (isArgReduce(Op))
+      Load = M->makePair(Load, VecIdx);
     Expr *Guarded = M->create<SelectExpr>(
-        M->cmp(BinOp::LT, VecIdx, M->ref(NumVecs)),
-        M->create<LoadGlobalExpr>(In, VecIdx, VecWidth), M->constF(0.0),
-        ScalarType::F32);
+        M->cmp(BinOp::LT, VecIdx, M->ref(NumVecs)), Load,
+        synth::identityConst(*M, Elem, Op), Elem);
     std::vector<Stmt *> LoopBody = {M->create<AssignStmt>(
-        Val, M->binary(BinOp::Add, M->ref(Val), Guarded, ScalarType::F32))};
+        Val, synth::reduceExpr(*M, Op, M->ref(Val), Guarded, Elem))};
     K->getBody().push_back(M->create<ForStmt>(
         KIdx, M->constI(0), M->cmp(BinOp::LT, M->ref(KIdx), M->ref(Vpt)),
         M->arith(BinOp::Add, M->ref(KIdx), M->constI(1)),
         std::move(LoopBody)));
 
-    // Scalar tail (n % 4 elements), picked up by block 0.
-    Expr *TailBase = M->arith(BinOp::Mul, M->ref(NumVecs), M->constI(4));
+    // Scalar tail (n % vec elements), picked up by block 0.
+    Expr *TailBase = M->arith(BinOp::Mul, M->ref(NumVecs),
+                              M->constI(static_cast<long long>(Vec)));
     Expr *TailIdx = M->arith(BinOp::Add, TailBase,
                              M->special(SpecialReg::ThreadIdxX));
+    Expr *TailLoad = M->create<LoadGlobalExpr>(In, TailIdx);
+    if (isArgReduce(Op))
+      TailLoad = M->makePair(TailLoad, TailIdx);
     std::vector<Stmt *> Tail = {M->create<AssignStmt>(
-        Val, M->binary(BinOp::Add, M->ref(Val),
-                       M->create<SelectExpr>(
-                           M->cmp(BinOp::LT, TailIdx, M->ref(N)),
-                           M->create<LoadGlobalExpr>(In, TailIdx),
-                           M->constF(0.0), ScalarType::F32),
-                       ScalarType::F32))};
+        Val, synth::reduceExpr(
+                 *M, Op, M->ref(Val),
+                 M->create<SelectExpr>(
+                     M->cmp(BinOp::LT, TailIdx, M->ref(N)), TailLoad,
+                     synth::identityConst(*M, Elem, Op), Elem),
+                 Elem))};
     K->getBody().push_back(M->create<IfStmt>(
         M->cmp(BinOp::EQ, M->special(SpecialReg::BlockIdxX), M->constU(0)),
         std::move(Tail), std::vector<Stmt *>{}));
 
-    appendShuffleTree(*M, *K, Val, K->getBody(), "offset");
-    appendBlockCombine(*M, *K, Val, [&](std::vector<Stmt *> &Out) {
-      Out.push_back(M->create<StoreGlobalStmt>(
-          Partials, M->special(SpecialReg::BlockIdxX), M->ref(Val)));
-    });
+    appendShuffleTree(*M, *K, Val, K->getBody(), "offset", Op, Elem);
+    appendBlockCombine(
+        *M, *K, Val,
+        [&](std::vector<Stmt *> &Out) {
+          Out.push_back(M->create<StoreGlobalStmt>(
+              Partials, M->special(SpecialReg::BlockIdxX), M->ref(Val)));
+        },
+        Op, Elem);
     Partial = K;
   }
 
   // Pass 2: one block reduces the per-block partials.
   {
     Kernel *K = M->addKernel("cub_reduce_final");
-    Param *Out = K->addPointerParam("out", ScalarType::F32);
-    Param *Partials = K->addPointerParam("partials", ScalarType::F32);
+    Param *Out = K->addPointerParam("out", Elem);
+    Param *Partials = K->addPointerParam("partials", Elem);
     Param *Count = K->addScalarParam("count", ScalarType::I32);
 
-    Local *Val = K->addLocal("val", ScalarType::F32);
+    // Per-block partials already carry index payloads for arg ops (the
+    // simulator's cells propagate them through loads), so pass 2 never
+    // re-attaches MakePair.
+    Local *Val = K->addLocal("val", Elem);
     K->getBody().push_back(M->create<DeclLocalStmt>(
         Val, M->create<SelectExpr>(
                  M->cmp(BinOp::LT, M->special(SpecialReg::ThreadIdxX),
                         M->ref(Count)),
                  M->create<LoadGlobalExpr>(
                      Partials, M->special(SpecialReg::ThreadIdxX)),
-                 M->constF(0.0), ScalarType::F32)));
+                 synth::identityConst(*M, Elem, Op), Elem)));
 
     Local *J = K->addLocal("j", ScalarType::I32);
     std::vector<Stmt *> Stride = {M->create<AssignStmt>(
-        Val, M->binary(BinOp::Add, M->ref(Val),
-                       M->create<LoadGlobalExpr>(Partials, M->ref(J)),
-                       ScalarType::F32))};
+        Val, synth::reduceExpr(*M, Op, M->ref(Val),
+                               M->create<LoadGlobalExpr>(Partials, M->ref(J)),
+                               Elem))};
     K->getBody().push_back(M->create<ForStmt>(
         J,
         M->arith(BinOp::Add, M->special(SpecialReg::ThreadIdxX),
@@ -172,11 +194,14 @@ CubReduce::CubReduce() : M(std::make_unique<Module>()) {
         M->arith(BinOp::Add, M->ref(J), M->special(SpecialReg::BlockDimX)),
         std::move(Stride)));
 
-    appendShuffleTree(*M, *K, Val, K->getBody(), "offset");
-    appendBlockCombine(*M, *K, Val, [&](std::vector<Stmt *> &OutStmts) {
-      OutStmts.push_back(
-          M->create<StoreGlobalStmt>(Out, M->constI(0), M->ref(Val)));
-    });
+    appendShuffleTree(*M, *K, Val, K->getBody(), "offset", Op, Elem);
+    appendBlockCombine(
+        *M, *K, Val,
+        [&](std::vector<Stmt *> &OutStmts) {
+          OutStmts.push_back(
+              M->create<StoreGlobalStmt>(Out, M->constI(0), M->ref(Val)));
+        },
+        Op, Elem);
     Final = K;
   }
 
@@ -219,14 +244,14 @@ FrameworkResult CubReduce::run(engine::ExecutionEngine &E, BufferId In,
   FrameworkResult Result;
   Device &Dev = E.getDevice();
   const ArchDesc &Arch = E.getArch();
-  long long NumVecs = static_cast<long long>(N / VecWidth);
-  unsigned TileElems = BlockSize * VecWidth * VecsPerThread;
+  long long NumVecs = static_cast<long long>(N / Vec);
+  unsigned TileElems = BlockSize * Vec * VecsPerThread;
   unsigned Grid = static_cast<unsigned>(
       std::max<size_t>(1, (N + TileElems - 1) / TileElems));
 
   size_t Mark = E.deviceMark();
-  BufferId Partials = Dev.alloc(ScalarType::F32, Grid);
-  BufferId Out = Dev.alloc(ScalarType::F32, 1);
+  BufferId Partials = Dev.alloc(Elem, Grid);
+  BufferId Out = Dev.alloc(Elem, 1);
 
   LaunchResult R1 = E.launch(
       PartialCompiled, {Grid, BlockSize, 0},
@@ -255,7 +280,11 @@ FrameworkResult CubReduce::run(engine::ExecutionEngine &E, BufferId In,
   KernelTiming T2 = modelKernelTime(Arch, R2);
   Result.Seconds = T1.TotalSeconds + T2.TotalSeconds +
                    getHostOverheadUs(Arch, N) * 1e-6;
-  Result.Value = Dev.readFloat(Out, 0);
+  Result.Value = isFloatType(Elem)
+                     ? Dev.readFloat(Out, 0)
+                     : static_cast<double>(Dev.readInt(Out, 0));
+  Result.IntValue = Dev.readInt(Out, 0);
+  Result.Index = Dev.readIndex(Out, 0);
   Result.Ok = true;
   E.deviceRelease(Mark);
   return Result;

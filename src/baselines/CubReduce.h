@@ -31,7 +31,13 @@ namespace tangram::baselines {
 
 class CubReduce : public ReductionFramework {
 public:
-  CubReduce();
+  /// Builds the two-pass program for one (op, element type) point of the
+  /// spectrum. The 128-bit vectorized fast path only applies to the
+  /// canonical float sum; every other point takes scalar loads (index
+  /// payloads and 64-bit elements do not vectorize), mirroring CUB's
+  /// transform-reduce fallback.
+  explicit CubReduce(ReduceOp Op = ReduceOp::Add,
+                     ir::ScalarType Elem = ir::ScalarType::F32);
   ~CubReduce() override;
 
   std::string getName() const override { return "CUB"; }
@@ -52,6 +58,9 @@ public:
 
 private:
   std::unique_ptr<ir::Module> M;
+  ReduceOp Op;
+  ir::ScalarType Elem;
+  unsigned Vec = VecWidth; ///< Pass-1 vector width actually in use.
   const ir::Kernel *Partial = nullptr;
   const ir::Kernel *Final = nullptr;
   ir::CompiledKernel PartialCompiled;

@@ -31,6 +31,12 @@ struct FrameworkResult {
   bool Ok = false;
   std::string Error;
   double Value = 0;   ///< Reduction result (functional modes).
+  /// Integer-domain result for integer element types (Value carries the
+  /// same number as a double for uniform reporting).
+  long long IntValue = 0;
+  /// Winning element position for arg-reductions; ReduceIndexSentinel
+  /// otherwise.
+  long long Index = 0;
   double Seconds = 0; ///< Modeled end-to-end time.
 };
 

@@ -9,6 +9,7 @@
 #include "gpusim/PerfModel.h"
 #include "ir/Verifier.h"
 #include "support/ErrorHandling.h"
+#include "synth/CoopLowering.h"
 
 #include <algorithm>
 
@@ -17,18 +18,21 @@ using namespace tangram::baselines;
 using namespace tangram::ir;
 using namespace tangram::sim;
 
-KokkosReduce::KokkosReduce() : M(std::make_unique<Module>()) {
+KokkosReduce::KokkosReduce(ReduceOp Op, ir::ScalarType Elem)
+    : M(std::make_unique<Module>()), Op(Op), Elem(Elem) {
+  Vec = (Op == ReduceOp::Add && Elem == ScalarType::F32) ? 2 : 1;
   // Main kernel: grid-stride team reduction with 64-bit staged loads,
   // shared-memory tree combine, per-league partial to the scratch space.
   {
     Kernel *K = M->addKernel("kokkos_parallel_reduce");
-    Param *Partials = K->addPointerParam("partials", ScalarType::F32);
-    Param *In = K->addPointerParam("in", ScalarType::F32);
+    Param *Partials = K->addPointerParam("partials", Elem);
+    Param *In = K->addPointerParam("in", Elem);
     Param *NumVecs = K->addScalarParam("num_vecs", ScalarType::I32);
     Param *N = K->addScalarParam("n", ScalarType::I32);
 
-    Local *Val = K->addLocal("val", ScalarType::F32);
-    K->getBody().push_back(M->create<DeclLocalStmt>(Val, M->constF(0.0)));
+    Local *Val = K->addLocal("val", Elem);
+    K->getBody().push_back(
+        M->create<DeclLocalStmt>(Val, synth::identityConst(*M, Elem, Op)));
 
     // Grid-stride loop over float2 vector units.
     Local *I = K->addLocal("i", ScalarType::I32);
@@ -39,34 +43,39 @@ KokkosReduce::KokkosReduce() : M(std::make_unique<Module>()) {
         M->special(SpecialReg::ThreadIdxX));
     Expr *Stride = M->arith(BinOp::Mul, M->special(SpecialReg::GridDimX),
                             M->special(SpecialReg::BlockDimX));
+    Expr *StagedLoad = M->create<LoadGlobalExpr>(In, M->ref(I), Vec);
+    // Arg-reductions attach the element's position at the read (the
+    // scalar path guarantees vec index == element index).
+    if (isArgReduce(Op))
+      StagedLoad = M->makePair(StagedLoad, M->ref(I));
     std::vector<Stmt *> LoopBody = {M->create<AssignStmt>(
-        Val,
-        M->binary(BinOp::Add, M->ref(Val),
-                  M->create<LoadGlobalExpr>(In, M->ref(I), /*VectorWidth=*/2),
-                  ScalarType::F32))};
+        Val, synth::reduceExpr(*M, Op, M->ref(Val), StagedLoad, Elem))};
     K->getBody().push_back(M->create<ForStmt>(
         I, Start, M->cmp(BinOp::LT, M->ref(I), M->ref(NumVecs)),
         M->arith(BinOp::Add, M->ref(I), Stride), std::move(LoopBody)));
 
     // Scalar tail handled by block 0.
-    Expr *TailBase = M->arith(BinOp::Mul, M->ref(NumVecs), M->constI(2));
+    Expr *TailBase = M->arith(BinOp::Mul, M->ref(NumVecs),
+                              M->constI(static_cast<long long>(Vec)));
     Expr *TailIdx = M->arith(BinOp::Add, TailBase,
                              M->special(SpecialReg::ThreadIdxX));
+    Expr *TailLoad = M->create<LoadGlobalExpr>(In, TailIdx);
+    if (isArgReduce(Op))
+      TailLoad = M->makePair(TailLoad, TailIdx);
     std::vector<Stmt *> Tail = {M->create<AssignStmt>(
-        Val, M->binary(BinOp::Add, M->ref(Val),
-                       M->create<SelectExpr>(
-                           M->cmp(BinOp::LT, TailIdx, M->ref(N)),
-                           M->create<LoadGlobalExpr>(In, TailIdx),
-                           M->constF(0.0), ScalarType::F32),
-                       ScalarType::F32))};
+        Val, synth::reduceExpr(
+                 *M, Op, M->ref(Val),
+                 M->create<SelectExpr>(
+                     M->cmp(BinOp::LT, TailIdx, M->ref(N)), TailLoad,
+                     synth::identityConst(*M, Elem, Op), Elem),
+                 Elem))};
     K->getBody().push_back(M->create<IfStmt>(
         M->cmp(BinOp::EQ, M->special(SpecialReg::BlockIdxX), M->constU(0)),
         std::move(Tail), std::vector<Stmt *>{}));
 
     // Shared-memory tree over the team (Kokkos' team_reduce).
-    SharedArray *Scratch =
-        K->addSharedArray("scratch", ScalarType::F32,
-                          M->special(SpecialReg::BlockDimX));
+    SharedArray *Scratch = K->addSharedArray(
+        "scratch", Elem, M->special(SpecialReg::BlockDimX));
     K->getBody().push_back(M->create<StoreSharedStmt>(
         Scratch, M->special(SpecialReg::ThreadIdxX), M->ref(Val)));
     K->getBody().push_back(M->create<BarrierStmt>());
@@ -75,15 +84,15 @@ KokkosReduce::KokkosReduce() : M(std::make_unique<Module>()) {
     Expr *Tid = M->special(SpecialReg::ThreadIdxX);
     std::vector<Stmt *> Guarded = {M->create<StoreSharedStmt>(
         Scratch, M->special(SpecialReg::ThreadIdxX),
-        M->binary(BinOp::Add,
-                  M->create<LoadSharedExpr>(
-                      Scratch, M->special(SpecialReg::ThreadIdxX)),
-                  M->create<LoadSharedExpr>(
-                      Scratch,
-                      M->arith(BinOp::Add,
-                               M->special(SpecialReg::ThreadIdxX),
-                               M->ref(S))),
-                  ScalarType::F32))};
+        synth::reduceExpr(
+            *M, Op,
+            M->create<LoadSharedExpr>(Scratch,
+                                      M->special(SpecialReg::ThreadIdxX)),
+            M->create<LoadSharedExpr>(
+                Scratch, M->arith(BinOp::Add,
+                                  M->special(SpecialReg::ThreadIdxX),
+                                  M->ref(S))),
+            Elem))};
     std::vector<Stmt *> TreeBody = {
         M->create<IfStmt>(M->cmp(BinOp::LT, Tid, M->ref(S)),
                           std::move(Guarded), std::vector<Stmt *>{}),
@@ -108,17 +117,19 @@ KokkosReduce::KokkosReduce() : M(std::make_unique<Module>()) {
   // Final combine kernel (the Kokkos "join" pass).
   {
     Kernel *K = M->addKernel("kokkos_final_join");
-    Param *Out = K->addPointerParam("out", ScalarType::F32);
-    Param *Partials = K->addPointerParam("partials", ScalarType::F32);
+    Param *Out = K->addPointerParam("out", Elem);
+    Param *Partials = K->addPointerParam("partials", Elem);
     Param *Count = K->addScalarParam("count", ScalarType::I32);
 
-    Local *Val = K->addLocal("val", ScalarType::F32);
-    K->getBody().push_back(M->create<DeclLocalStmt>(Val, M->constF(0.0)));
+    // Partials already carry index payloads for arg ops; no re-pairing.
+    Local *Val = K->addLocal("val", Elem);
+    K->getBody().push_back(
+        M->create<DeclLocalStmt>(Val, synth::identityConst(*M, Elem, Op)));
     Local *J = K->addLocal("j", ScalarType::I32);
     std::vector<Stmt *> Acc = {M->create<AssignStmt>(
-        Val, M->binary(BinOp::Add, M->ref(Val),
-                       M->create<LoadGlobalExpr>(Partials, M->ref(J)),
-                       ScalarType::F32))};
+        Val, synth::reduceExpr(*M, Op, M->ref(Val),
+                               M->create<LoadGlobalExpr>(Partials, M->ref(J)),
+                               Elem))};
     std::vector<Stmt *> Then = {
         M->create<ForStmt>(J, M->constI(0),
                            M->cmp(BinOp::LT, M->ref(J), M->ref(Count)),
@@ -159,7 +170,7 @@ FrameworkResult KokkosReduce::run(engine::ExecutionEngine &E, BufferId In,
   FrameworkResult Result;
   Device &Dev = E.getDevice();
   const ArchDesc &Arch = E.getArch();
-  long long NumVecs = static_cast<long long>(N / 2);
+  long long NumVecs = static_cast<long long>(N / Vec);
 
   // League sized to saturate the device (Kokkos' default heuristics).
   unsigned Grid = std::min<unsigned>(
@@ -168,8 +179,8 @@ FrameworkResult KokkosReduce::run(engine::ExecutionEngine &E, BufferId In,
           1, (NumVecs + BlockSize - 1) / BlockSize)));
 
   size_t Mark = E.deviceMark();
-  BufferId Partials = Dev.alloc(ScalarType::F32, Grid);
-  BufferId Out = Dev.alloc(ScalarType::F32, 1);
+  BufferId Partials = Dev.alloc(Elem, Grid);
+  BufferId Out = Dev.alloc(Elem, 1);
 
   LaunchResult R1 = E.launch(
       MainCompiled, {Grid, BlockSize, 0},
@@ -201,7 +212,11 @@ FrameworkResult KokkosReduce::run(engine::ExecutionEngine &E, BufferId In,
   KernelTiming T2 = modelKernelTime(Arch, R2);
   Result.Seconds = T1.TotalSeconds + T2.TotalSeconds +
                    getDispatchOverheadUs(Arch) * 1e-6;
-  Result.Value = Dev.readFloat(Out, 0);
+  Result.Value = isFloatType(Elem)
+                     ? Dev.readFloat(Out, 0)
+                     : static_cast<double>(Dev.readInt(Out, 0));
+  Result.IntValue = Dev.readInt(Out, 0);
+  Result.Index = Dev.readIndex(Out, 0);
   Result.Ok = true;
   E.deviceRelease(Mark);
   return Result;

@@ -28,7 +28,11 @@ namespace tangram::baselines {
 
 class KokkosReduce : public ReductionFramework {
 public:
-  KokkosReduce();
+  /// Builds the staged program for one (op, element type) point. The
+  /// 64-bit staged loads (float2) only apply to the canonical float sum;
+  /// other points take scalar loads so index payloads stay attached.
+  explicit KokkosReduce(ReduceOp Op = ReduceOp::Add,
+                        ir::ScalarType Elem = ir::ScalarType::F32);
   ~KokkosReduce() override;
 
   std::string getName() const override { return "Kokkos"; }
@@ -43,6 +47,9 @@ public:
 
 private:
   std::unique_ptr<ir::Module> M;
+  ReduceOp Op;
+  ir::ScalarType Elem;
+  unsigned Vec = 2; ///< Main-kernel staged vector width actually in use.
   const ir::Kernel *Main = nullptr;
   const ir::Kernel *Final = nullptr;
   ir::CompiledKernel MainCompiled;

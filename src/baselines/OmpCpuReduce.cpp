@@ -6,18 +6,22 @@
 
 #include "baselines/OmpCpuReduce.h"
 
+#include "reduce/OpDef.h"
+
 #include <numeric>
 #include <thread>
 
 using namespace tangram;
 using namespace tangram::baselines;
 
-double Power8Model::seconds(size_t N) const {
-  double Bytes = static_cast<double>(N) * 4.0;
+double Power8Model::seconds(size_t N, unsigned BytesPerElem) const {
+  double Bytes = static_cast<double>(N) * BytesPerElem;
   return ForkJoinUs * 1e-6 + Bytes / (EffectiveBandwidthGBs * 1e9);
 }
 
-OmpCpuReduce::OmpCpuReduce(unsigned NumWorkers) : NumWorkers(NumWorkers) {}
+OmpCpuReduce::OmpCpuReduce(unsigned NumWorkers, ReduceOp Op,
+                           ir::ScalarType Elem)
+    : NumWorkers(NumWorkers), Op(Op), Elem(Elem) {}
 
 double OmpCpuReduce::parallelReduce(const std::vector<float> &Data,
                                     unsigned NumWorkers) {
@@ -44,6 +48,45 @@ double OmpCpuReduce::parallelReduce(const std::vector<float> &Data,
   return std::accumulate(Partials.begin(), Partials.end(), 0.0);
 }
 
+OmpCpuReduce::OpResult
+OmpCpuReduce::parallelReduceOp(const std::vector<double> &FVals,
+                               const std::vector<long long> &IVals,
+                               ReduceOp Op, ir::ScalarType Elem,
+                               unsigned NumWorkers) {
+  size_t N = FVals.size();
+  auto Fold = [&](size_t Begin, size_t End) {
+    reduce::HostAccumulator Acc(Op, Elem);
+    for (size_t I = Begin; I < End; ++I)
+      Acc.accumulate(FVals[I], IVals[I], static_cast<long long>(I));
+    return OpResult{Acc.valueF(), Acc.valueI(), Acc.index()};
+  };
+
+  if (N < 4096 || NumWorkers <= 1)
+    return Fold(0, N);
+
+  std::vector<OpResult> Partials(NumWorkers);
+  std::vector<std::thread> Workers;
+  size_t Chunk = (N + NumWorkers - 1) / NumWorkers;
+  for (unsigned W = 0; W != NumWorkers; ++W) {
+    Workers.emplace_back([&, W] {
+      size_t Begin = W * Chunk;
+      size_t End = std::min(N, Begin + Chunk);
+      Partials[W] = Fold(Begin, End);
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+
+  // Join-time combine: worker partials re-enter as elements. Arg partials
+  // carry their winning index as the element position, so the pair fold's
+  // (value, smaller-index) tie-break stays exact; finalize is idempotent
+  // for every op (Any's 0/1 normalization is a fixpoint of its combine).
+  reduce::HostAccumulator Total(Op, Elem);
+  for (const OpResult &P : Partials)
+    Total.accumulate(P.F, P.I, P.Idx);
+  return {Total.valueF(), Total.valueI(), Total.index()};
+}
+
 FrameworkResult OmpCpuReduce::run(engine::ExecutionEngine &E,
                                   sim::BufferId In, size_t N,
                                   sim::ExecMode Mode) {
@@ -51,12 +94,18 @@ FrameworkResult OmpCpuReduce::run(engine::ExecutionEngine &E,
   // In sampled (pricing-only) mode skip the real work for huge inputs.
   if (Mode == sim::ExecMode::Functional) {
     sim::Device &Dev = E.getDevice();
-    std::vector<float> Host(N);
-    for (size_t I = 0; I != N; ++I)
-      Host[I] = static_cast<float>(Dev.readFloat(In, I));
-    Result.Value = parallelReduce(Host, NumWorkers);
+    std::vector<double> FVals(N);
+    std::vector<long long> IVals(N);
+    for (size_t I = 0; I != N; ++I) {
+      FVals[I] = Dev.readFloat(In, I);
+      IVals[I] = Dev.readInt(In, I);
+    }
+    OpResult R = parallelReduceOp(FVals, IVals, Op, Elem, NumWorkers);
+    Result.Value = ir::isFloatType(Elem) ? R.F : static_cast<double>(R.I);
+    Result.IntValue = R.I;
+    Result.Index = R.Idx;
   }
-  Result.Seconds = Model.seconds(N);
+  Result.Seconds = Model.seconds(N, ir::is64BitType(Elem) ? 8 : 4);
   Result.Ok = true;
   return Result;
 }

@@ -10,7 +10,9 @@
 /// reduction itself runs for real on std::thread workers (fork/join with
 /// per-thread partials — exactly what an OpenMP reduction clause compiles
 /// to); the reported time comes from the POWER8 host model so the figures
-/// are machine-independent.
+/// are machine-independent. The worker fold and the join-time combine go
+/// through reduce::HostAccumulator, so every op of the spectrum —
+/// including the (value, index) arg-reductions — is covered.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,7 @@
 #define TANGRAM_BASELINES_OMPCPUREDUCE_H
 
 #include "baselines/Framework.h"
+#include "support/ReduceOp.h"
 
 namespace tangram::baselines {
 
@@ -32,32 +35,53 @@ struct Power8Model {
   /// NUMA-interleaved).
   double EffectiveBandwidthGBs = 20.0;
 
-  /// Modeled seconds to reduce \p N 32-bit elements.
-  double seconds(size_t N) const;
+  /// Modeled seconds to reduce \p N elements of \p BytesPerElem bytes.
+  double seconds(size_t N, unsigned BytesPerElem = 4) const;
 };
 
 class OmpCpuReduce : public ReductionFramework {
 public:
-  explicit OmpCpuReduce(unsigned NumWorkers = 4);
+  explicit OmpCpuReduce(unsigned NumWorkers = 4, ReduceOp Op = ReduceOp::Add,
+                        ir::ScalarType Elem = ir::ScalarType::F32);
 
   std::string getName() const override { return "OpenMP"; }
 
-  /// `Seconds` comes from the POWER8 model; in functional mode `Value`
+  /// `Seconds` comes from the POWER8 model; in functional mode the result
   /// comes from a real threaded reduction over the buffer contents. The
   /// engine's architecture is irrelevant to the CPU baseline.
   FrameworkResult run(engine::ExecutionEngine &E, sim::BufferId In, size_t N,
                       sim::ExecMode Mode) override;
 
-  /// The functional parallel reduction (public: used directly by tests
+  /// The historical float-sum entry point (public: used directly by tests
   /// and examples).
   static double parallelReduce(const std::vector<float> &Data,
                                unsigned NumWorkers);
+
+  /// One worker partial / the joined result: both numeric lanes plus the
+  /// index payload.
+  struct OpResult {
+    double F = 0;
+    long long I = 0;
+    long long Idx = 0;
+  };
+
+  /// Op/dtype-aware fork/join reduction over pre-read device lanes. Each
+  /// worker folds its chunk through a reduce::HostAccumulator; the join
+  /// combines worker partials the same way (arg partials re-enter as
+  /// (value, winning-index) elements, which the pair fold's order
+  /// independence makes exact).
+  static OpResult parallelReduceOp(const std::vector<double> &FVals,
+                                   const std::vector<long long> &IVals,
+                                   ReduceOp Op, ir::ScalarType Elem,
+                                   unsigned NumWorkers);
 
   const Power8Model &getModel() const { return Model; }
 
 private:
   Power8Model Model;
   unsigned NumWorkers;
+  ReduceOp Op;
+  ir::ScalarType Elem;
 };
 
 } // namespace tangram::baselines

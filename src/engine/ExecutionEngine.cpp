@@ -6,6 +6,7 @@
 
 #include "engine/ExecutionEngine.h"
 
+#include "reduce/OpDef.h"
 #include "support/StableHash.h"
 #include "support/StringUtils.h"
 
@@ -87,7 +88,11 @@ ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
                                          (Flags.UnrollLoops ? 2 : 0));
   if (auto Cached = Cache->lookup(Key))
     return std::shared_ptr<const synth::SynthesizedVariant>(std::move(Cached));
-  auto Fresh = Synth->synthesize(Desc, Flags);
+  // Synthesize for this engine's generation so the atomic-expand pass plans
+  // CAS loops (and refuses illegal op x type x arch combinations) against
+  // the architecture the kernel will actually run on. Key.Gen keys the
+  // cache apart per generation, so per-arch plans never collide.
+  auto Fresh = Synth->synthesize(Desc, Flags, Arch.Gen);
   if (!Fresh)
     return Fresh.status();
   VariantCache::VariantPtr Shared = std::move(*Fresh);
@@ -123,11 +128,11 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
   // per-block partials array for second-kernel variants (Listing 1).
   bool TwoKernel = V.Desc.usesSecondKernel();
   BufferId ReturnBuf = Dev.alloc(V.Elem, TwoKernel ? Config.GridDim : 1);
-  ReduceIdentityValue Id = reduceIdentity(
-      V.Op, V.Elem == ir::ScalarType::F32 ? ElemKind::Float : ElemKind::Int);
+  reduce::IdentityCell Id = reduce::getIdentity(V.Op, V.Elem);
   Cell Identity;
   Identity.F = Id.F;
   Identity.I = Id.I;
+  Identity.Idx = Id.Idx;
   *Dev.get(ReturnBuf).writable(0) = Identity;
 
   long long ObjectSize = static_cast<long long>(V.elementsPerBlock());
@@ -158,6 +163,7 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
     Out.Seconds += Stage->Seconds;
     Out.FloatValue = Stage->FloatValue;
     Out.IntValue = Stage->IntValue;
+    Out.IndexValue = Stage->IndexValue;
     // Callers see one fault count per end-to-end run.
     Out.Launch.FaultsInjected += Stage->Launch.FaultsInjected;
     if (Mode == ExecMode::RaceCheck) {
@@ -173,6 +179,7 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
 
   Out.FloatValue = Dev.readFloat(ReturnBuf, 0);
   Out.IntValue = Dev.readInt(ReturnBuf, 0);
+  Out.IndexValue = Dev.readIndex(ReturnBuf, 0);
   return Out;
 }
 
@@ -275,18 +282,17 @@ Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
   size_t Mark = Dev.mark();
   BufferId In = Dev.alloc((*V)->Elem, N);
   ReduceOp Op = Synth->getOp();
-  bool IsFloat = (*V)->Elem == ir::ScalarType::F32;
-  ReduceIdentityValue Id =
-      reduceIdentity(Op, IsFloat ? ElemKind::Float : ElemKind::Int);
-  double RefF = Id.F;
-  long long RefI = Id.I;
+  bool IsFloat = ir::isFloatType((*V)->Elem);
+  reduce::HostAccumulator Ref(Op, (*V)->Elem);
   for (size_t I = 0; I != N; ++I) {
     Cell *C = Dev.get(In).writable(I);
     C->I = static_cast<long long>(I % 17);
     C->F = static_cast<double>(I % 17);
-    RefF = applyReduceOp<double>(Op, RefF, C->F);
-    RefI = applyReduceOp<long long>(Op, RefI, C->I);
+    Ref.accumulate(C->F, C->I, static_cast<long long>(I));
   }
+  double RefF = Ref.valueF();
+  long long RefI = Ref.valueI();
+  long long RefIdx = Ref.index();
 
   auto Run = runReduction(**V, In, N, ExecMode::Functional);
   Dev.release(Mark);
@@ -295,8 +301,16 @@ Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
     return Run.status();
   }
 
+  // Arg-reductions select (never sum), so both lanes compare exactly; the
+  // winning index must match too — a variant that finds the right maximum
+  // at the wrong position is wrong. Summing float ops keep the historical
+  // tolerance (the I%17 input makes even that comparison exact in
+  // practice).
   bool Wrong;
-  if (IsFloat) {
+  if (isArgReduce(Op)) {
+    bool ValueWrong = IsFloat ? Run->FloatValue != RefF : Run->IntValue != RefI;
+    Wrong = ValueWrong || Run->IndexValue != RefIdx;
+  } else if (IsFloat) {
     double Tol = std::abs(RefF) * 1e-4 + 1e-6;
     // NaN-safe: a NaN result fails the <= and is flagged wrong.
     Wrong = !(std::abs(Run->FloatValue - RefF) <= Tol);
@@ -305,12 +319,17 @@ Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
   }
   if (Wrong) {
     Status S(StatusCode::WrongResult,
-             IsFloat ? strformat("wrong reduction: got %.9g, expected %.9g "
-                                 "over %zu elements",
-                                 Run->FloatValue, RefF, N)
-                     : strformat("wrong reduction: got %lld, expected %lld "
-                                 "over %zu elements",
-                                 Run->IntValue, RefI, N));
+             isArgReduce(Op)
+                 ? strformat("wrong reduction: got (%.9g/%lld, idx %lld), "
+                             "expected (%.9g/%lld, idx %lld) over %zu elements",
+                             Run->FloatValue, Run->IntValue, Run->IndexValue,
+                             RefF, RefI, RefIdx, N)
+             : IsFloat ? strformat("wrong reduction: got %.9g, expected %.9g "
+                                   "over %zu elements",
+                                   Run->FloatValue, RefF, N)
+                       : strformat("wrong reduction: got %lld, expected %lld "
+                                   "over %zu elements",
+                                   Run->IntValue, RefI, N));
     quarantineVariant(Desc, S);
     return S;
   }
@@ -327,6 +346,8 @@ ExecutionEngine::tune(const synth::VariantDescriptor &Desc, size_t N,
   TuneReport Report;
   Report.Best = Desc;
   Report.CandidatesTried = 1;
+  Report.Op = Synth->getOp();
+  Report.Elem = Synth->getElem();
 
   // Time every admissible configuration, keeping all survivors so a winner
   // that later fails validation can fall back to the next-fastest one.
@@ -387,6 +408,8 @@ Expected<TuneReport> ExecutionEngine::findBest(
     return Status(StatusCode::InvalidArgument,
                   "no compiler attached to the execution engine");
   TuneReport Report;
+  Report.Op = Synth->getOp();
+  Report.Elem = Synth->getElem();
   for (const synth::VariantDescriptor &Desc : Candidates) {
     auto Sub = tune(Desc, N, Opts);
     if (!Sub)
@@ -455,6 +478,7 @@ ExecutionEngine::faultCheck(const synth::VariantDescriptor &Desc, size_t N,
   Report.Kind = Plan.Kind;
   Report.RefFloat = Ref->FloatValue;
   Report.RefInt = Ref->IntValue;
+  Report.RefIndex = Ref->IndexValue;
   if (!Run) {
     Report.Outcome = FaultOutcome::Trapped;
     Report.Trap = Run.status();
@@ -463,9 +487,14 @@ ExecutionEngine::faultCheck(const synth::VariantDescriptor &Desc, size_t N,
   Report.FaultsInjected = Run->Launch.FaultsInjected;
   Report.GotFloat = Run->FloatValue;
   Report.GotInt = Run->IntValue;
-  bool Match = (*V)->Elem == ir::ScalarType::F32
+  Report.GotIndex = Run->IndexValue;
+  bool Match = ir::isFloatType((*V)->Elem)
                    ? Run->FloatValue == Ref->FloatValue
                    : Run->IntValue == Ref->IntValue;
+  // A fault that flips only the *index* of an arg-reduction must still be
+  // detected: the payload is part of the answer.
+  if (isArgReduce((*V)->Op))
+    Match = Match && Run->IndexValue == Ref->IndexValue;
   if (!Match)
     Report.Outcome = FaultOutcome::Detected;
   else

@@ -46,9 +46,12 @@ namespace tangram::engine {
 /// the Status arm of Expected<RunResult>).
 struct RunResult {
   /// The reduction result (meaningful in Functional mode only). Float
-  /// results are in `FloatValue`, integer results in `IntValue`.
+  /// results are in `FloatValue`, integer results in `IntValue`. For
+  /// arg-reductions (ArgMin/ArgMax) `IndexValue` carries the winning
+  /// element's position (ReduceIndexSentinel when no element was folded).
   double FloatValue = 0;
   long long IntValue = 0;
+  long long IndexValue = 0;
   /// Modeled end-to-end seconds.
   double Seconds = 0;
   sim::KernelTiming Timing;
@@ -90,6 +93,10 @@ struct TuneReport {
   synth::VariantDescriptor Best;
   double BestSeconds = std::numeric_limits<double>::infinity();
   std::string Fig6Label;
+  /// The reduction axis the sweep ran for (provenance: `tgrc tune` output
+  /// and BENCH_*.json metadata).
+  ReduceOp Op = ReduceOp::Add;
+  ir::ScalarType Elem = ir::ScalarType::F32;
   /// Structural candidates examined (descriptors before tunable expansion).
   unsigned CandidatesTried = 0;
   /// Tunable configurations actually timed.
@@ -132,12 +139,15 @@ struct FaultReport {
   sim::FaultKind Kind = sim::FaultKind::None;
   FaultOutcome Outcome = FaultOutcome::Clean;
   uint64_t FaultsInjected = 0;
-  /// Clean-run reference reduction values.
+  /// Clean-run reference reduction values (index lane meaningful for
+  /// arg-reductions only).
   double RefFloat = 0;
   long long RefInt = 0;
+  long long RefIndex = 0;
   /// Faulted-run values (meaningless when Outcome == Trapped).
   double GotFloat = 0;
   long long GotInt = 0;
+  long long GotIndex = 0;
   /// The structural failure when Outcome == Trapped.
   support::Status Trap;
 };

@@ -28,6 +28,21 @@ namespace tangram::sim {
 
 enum class ArchGeneration : unsigned char { Kepler, Maxwell, Pascal };
 
+/// Lower-case generation name ("kepler"/"maxwell"/"pascal") for
+/// diagnostics and provenance lines. Header-only so layers that must not
+/// link the simulator (reduce, synth) can still name the target.
+inline const char *getArchGenerationName(ArchGeneration G) {
+  switch (G) {
+  case ArchGeneration::Kepler:
+    return "kepler";
+  case ArchGeneration::Maxwell:
+    return "maxwell";
+  case ArchGeneration::Pascal:
+    return "pascal";
+  }
+  return "unknown";
+}
+
 /// How the hardware implements atomic instructions on shared memory.
 enum class SharedAtomicImpl : unsigned char {
   SoftwareLock, ///< Kepler: lock-update-unlock loop; expensive under

@@ -29,12 +29,16 @@
 
 namespace tangram::sim {
 
-/// One 32-bit device memory cell / register value. The integer field holds
-/// I32/U32 data (stored widened to 64 bits, wrapped on operation); the
-/// floating field holds F32 data.
+/// One device memory cell / register value. The integer field holds
+/// I32/U32/I64 data (narrow types stored widened to 64 bits, wrapped on
+/// operation); the floating field holds F32/F64 data (F32 rounded on every
+/// write). Idx is the index payload lane for (value, index) pair
+/// reductions; Mov/Shfl/Ld/St copy whole cells, so payloads flow through
+/// every data path for free and only the pair-aware opcodes touch it.
 struct Cell {
   long long I = 0;
   double F = 0.0;
+  long long Idx = 0;
 };
 
 using BufferId = unsigned;
@@ -145,6 +149,10 @@ public:
   }
   long long readInt(BufferId Id, size_t Index) const {
     return get(Id).read(Index).I;
+  }
+  /// Index payload lane (pair reductions).
+  long long readIndex(BufferId Id, size_t Index) const {
+    return get(Id).read(Index).Idx;
   }
 
   /// Releases every buffer (between benchmark iterations).

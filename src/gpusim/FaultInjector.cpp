@@ -88,7 +88,19 @@ Cell FaultInjector::corrupt(Cell V, ir::ScalarType Ty) const {
     Out.F = F;
     // Mirror into the integer view the way setF does, guarding the cast
     // against non-finite corrupted values.
-    Out.I = std::isfinite(F) ? static_cast<long long>(F) : 0;
+    Out.I = std::isfinite(F) && std::abs(F) < 9.0e18f
+                ? static_cast<long long>(F)
+                : 0;
+  } else if (Ty == ir::ScalarType::F64) {
+    double F = V.F;
+    uint64_t Bits;
+    std::memcpy(&Bits, &F, sizeof(Bits));
+    Bits ^= 1ull << (Plan.Seed % 63);
+    std::memcpy(&F, &Bits, sizeof(F));
+    Out.F = F;
+    Out.I = std::isfinite(F) && std::abs(F) < 9.0e18
+                ? static_cast<long long>(F)
+                : 0;
   } else {
     Out.I = V.I ^ (1ll << Bit);
     Out.F = static_cast<double>(Out.I);

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 
@@ -115,7 +116,22 @@ constexpr unsigned WarpLanes = 32;
 long long wrapInt(ScalarType Ty, long long V) {
   if (Ty == ScalarType::U32)
     return static_cast<long long>(static_cast<uint32_t>(V));
+  if (Ty == ScalarType::I64)
+    return V;
   return static_cast<long long>(static_cast<int32_t>(V));
+}
+
+/// Integer mirror of a float value, saturated so extreme identities
+/// (-3.0e38 guards, 1.0e308 double identities) never overflow the cast.
+long long mirrorIntOf(double V) {
+  constexpr double Limit = 9.2233720368547758e18; // 2^63 as a double
+  if (V != V)
+    return 0;
+  if (V >= Limit)
+    return std::numeric_limits<long long>::max();
+  if (V <= -Limit)
+    return std::numeric_limits<long long>::min();
+  return static_cast<long long>(V);
 }
 
 /// Writes an integer result, mirroring into the float view (guards
@@ -124,17 +140,34 @@ void setI(Cell &C, long long V) {
   C.I = V;
   C.F = static_cast<double>(V);
 }
-void setF(Cell &C, double V) {
-  // Round to float32 so accumulation error matches 32-bit GPU math.
-  float F32 = static_cast<float>(V);
-  C.F = F32;
-  C.I = static_cast<long long>(F32);
+void setF(Cell &C, double V, ScalarType Ty = ScalarType::F32) {
+  if (Ty != ScalarType::F64) {
+    // Round to float32 so accumulation error matches 32-bit GPU math.
+    float F32 = static_cast<float>(V);
+    C.F = F32;
+    C.I = mirrorIntOf(F32);
+  } else {
+    C.F = V;
+    C.I = mirrorIntOf(V);
+  }
 }
 
-/// Applies a reduce op to a memory cell.
+/// Applies a reduce op to a memory cell. Pair ops fold (value, index) with
+/// the smaller-index tie-break; the element type picks the authoritative
+/// value lane.
 void atomicApply(ReduceOp Op, ScalarType Ty, Cell &Target, const Cell &V) {
-  if (Ty == ScalarType::F32)
-    setF(Target, applyReduceOp<double>(Op, Target.F, V.F));
+  if (isArgReduce(Op)) {
+    if (isFloatType(Ty)) {
+      applyReduceOpPair(Op, Target.F, Target.Idx, V.F, V.Idx);
+      Target.I = mirrorIntOf(Target.F);
+    } else {
+      applyReduceOpPair(Op, Target.I, Target.Idx, V.I, V.Idx);
+      Target.F = static_cast<double>(Target.I);
+    }
+    return;
+  }
+  if (isFloatType(Ty))
+    setF(Target, applyReduceOp<double>(Op, Target.F, V.F), Ty);
   else
     setI(Target, wrapInt(Ty, applyReduceOp<long long>(Op, Target.I, V.I)));
 }
@@ -247,7 +280,7 @@ private:
       else
         Extent = 1;
       SharedMem[I].assign(Extent, Cell());
-      Stats.SharedBytes += Extent * 4;
+      Stats.SharedBytes += Extent * (is64BitType(A->Elem) ? 8 : 4);
     }
   }
 
@@ -286,7 +319,7 @@ private:
   }
 
   void aluOp(Warp &W, const Instr &In) {
-    bool IsFloat = In.Ty == ScalarType::F32;
+    bool IsFloat = isFloatType(In.Ty);
     for (unsigned L = 0; L != WarpLanes; ++L) {
       if (!(W.Active >> L & 1u))
         continue;
@@ -345,7 +378,7 @@ private:
         default:
           tgr_unreachable("bad float ALU op");
         }
-        setF(D, R);
+        setF(D, R, In.Ty);
       } else {
         long long R = 0;
         switch (In.Op) {
@@ -461,7 +494,7 @@ private:
       case Opcode::MovImmF:
         for (unsigned L = 0; L != WarpLanes; ++L)
           if (W.Active >> L & 1u)
-            setF(reg(W, In.Dst, L), In.ImmF);
+            setF(reg(W, In.Dst, L), In.ImmF, In.Ty);
         chargeWarpInstr(Arch.AluCost, W.Active);
         ++W.PC;
         break;
@@ -479,13 +512,12 @@ private:
             continue;
           Cell &D = reg(W, In.Dst, L);
           const Cell &S = reg(W, In.Src1, L);
-          if (In.Ty == ScalarType::F32)
-            setF(D, From == ScalarType::F32 ? S.F
-                                            : static_cast<double>(S.I));
+          if (isFloatType(In.Ty))
+            setF(D, isFloatType(From) ? S.F : static_cast<double>(S.I),
+                 In.Ty);
           else
-            setI(D, wrapInt(In.Ty, From == ScalarType::F32
-                                       ? static_cast<long long>(S.F)
-                                       : S.I));
+            setI(D, wrapInt(In.Ty,
+                            isFloatType(From) ? mirrorIntOf(S.F) : S.I));
         }
         chargeWarpInstr(Arch.AluCost, W.Active);
         ++W.PC;
@@ -515,7 +547,7 @@ private:
           if (W.Active >> L & 1u) {
             const Cell &S = reg(W, In.Src1, L);
             setI(reg(W, In.Dst, L),
-                 In.Ty == ScalarType::F32 ? (S.F == 0) : (S.I == 0));
+                 isFloatType(In.Ty) ? (S.F == 0) : (S.I == 0));
           }
         chargeWarpInstr(Arch.AluCost, W.Active);
         ++W.PC;
@@ -525,8 +557,8 @@ private:
           if (W.Active >> L & 1u) {
             Cell &D = reg(W, In.Dst, L);
             const Cell &S = reg(W, In.Src1, L);
-            if (In.Ty == ScalarType::F32)
-              setF(D, -S.F);
+            if (isFloatType(In.Ty))
+              setF(D, -S.F, In.Ty);
             else
               setI(D, wrapInt(In.Ty, -S.I));
           }
@@ -565,6 +597,7 @@ private:
       case Opcode::LdGlobal: {
         Buffer *B = bufferOf(In.MemId);
         unsigned Width = std::max<unsigned>(1, In.Aux2);
+        uint64_t ElemSize = is64BitType(In.Ty) ? 8 : 4;
         uint64_t Segments = 0, PrevSeg = ~0ull;
         bool First = true;
         if (Race)
@@ -594,11 +627,11 @@ private:
             } else {
               // Vectorized load: the IR defines it as yielding the sum of
               // the W consecutive elements (see LoadGlobalExpr).
-              if (In.Ty == ScalarType::F32) {
+              if (isFloatType(In.Ty)) {
                 double Sum = 0;
                 for (unsigned J = 0; J != Width; ++J)
                   Sum += B->read(static_cast<size_t>(Base + J)).F;
-                setF(D, Sum);
+                setF(D, Sum, In.Ty);
               } else {
                 long long Sum = 0;
                 for (unsigned J = 0; J != Width; ++J)
@@ -607,14 +640,14 @@ private:
               }
             }
           }
-          uint64_t Seg = static_cast<uint64_t>(Base) * 4 / 128;
+          uint64_t Seg = static_cast<uint64_t>(Base) * ElemSize / 128;
           if (First || Seg != PrevSeg)
             ++Segments;
           First = false;
           PrevSeg = Seg;
         }
         unsigned Lanes = popcount(W.Active);
-        uint64_t Bytes = static_cast<uint64_t>(Lanes) * 4 * Width;
+        uint64_t Bytes = static_cast<uint64_t>(Lanes) * ElemSize * Width;
         if (Width > 1)
           Stats.GlobalLoadBytesVector += Bytes;
         else
@@ -631,6 +664,7 @@ private:
       }
       case Opcode::StGlobal: {
         Buffer *B = bufferOf(In.MemId);
+        uint64_t ElemSize = is64BitType(In.Ty) ? 8 : 4;
         uint64_t Segments = 0, PrevSeg = ~0ull;
         bool First = true;
         if (Race)
@@ -662,14 +696,14 @@ private:
           } else {
             error("store to a read-only (virtual) buffer");
           }
-          uint64_t Seg = static_cast<uint64_t>(Idx) * 4 / 128;
+          uint64_t Seg = static_cast<uint64_t>(Idx) * ElemSize / 128;
           if (First || Seg != PrevSeg)
             ++Segments;
           First = false;
           PrevSeg = Seg;
         }
         Stats.GlobalStoreBytes +=
-            static_cast<uint64_t>(popcount(W.Active)) * 4;
+            static_cast<uint64_t>(popcount(W.Active)) * ElemSize;
         Stats.GlobalTransactions += Segments;
         chargeWarpInstr(Arch.GlobalLdStCost, W.Active);
         ++W.PC;
@@ -730,6 +764,7 @@ private:
       case Opcode::AtomShared: {
         auto &Mem = SharedMem[In.MemId];
         auto Op = static_cast<ReduceOp>(In.Aux);
+        auto Impl = atomicImplFromAux2(In.Aux2);
         // Count the worst per-address multiplicity for the contention
         // model, then apply updates in lane order.
         std::unordered_map<long long, unsigned> Mult;
@@ -774,6 +809,13 @@ private:
           if (Arch.SharedAtomics == SharedAtomicImpl::SoftwareLock)
             Stats.DivergentBranches += 1; // The lock loop branches.
         }
+        if (Impl == AtomicImpl::CasLoop) {
+          // The compare-and-swap loop re-reads and retries; model one extra
+          // round trip, plus retry divergence under contention.
+          Cost *= 2.0;
+          if (MaxMult > 1)
+            Stats.DivergentBranches += 1;
+        }
         chargeWarpInstr(Cost, W.Active);
         ++W.PC;
         break;
@@ -781,7 +823,8 @@ private:
       case Opcode::AtomGlobal: {
         Buffer *B = bufferOf(In.MemId);
         auto Op = static_cast<ReduceOp>(In.Aux);
-        auto Scope = static_cast<AtomicScope>(In.Aux2);
+        auto Scope = atomicScopeFromAux2(In.Aux2);
+        auto Impl = atomicImplFromAux2(In.Aux2);
         std::unordered_map<long long, unsigned> Mult;
         unsigned MaxMult = 0, Lanes = 0;
         if (Race)
@@ -831,7 +874,52 @@ private:
                            : 0.0);
         if (Scope == AtomicScope::Block)
           Cost *= Arch.BlockScopeAtomicFactor;
+        if (Impl == AtomicImpl::CasLoop) {
+          // CAS loop: an extra load + retry round trip per update, with
+          // retry divergence when lanes contend on one address.
+          Cost *= 2.0;
+          if (MaxMult > 1)
+            Stats.DivergentBranches += 1;
+        }
         chargeWarpInstr(Cost, W.Active);
+        ++W.PC;
+        break;
+      }
+      case Opcode::MkPair:
+        for (unsigned L = 0; L != WarpLanes; ++L)
+          if (W.Active >> L & 1u) {
+            Cell &D = reg(W, In.Dst, L);
+            Cell V = reg(W, In.Src1, L);
+            V.Idx = reg(W, In.Src2, L).I;
+            D = V;
+          }
+        chargeWarpInstr(Arch.AluCost, W.Active);
+        ++W.PC;
+        break;
+      case Opcode::Red: {
+        auto Op = static_cast<ReduceOp>(In.Aux);
+        for (unsigned L = 0; L != WarpLanes; ++L) {
+          if (!(W.Active >> L & 1u))
+            continue;
+          Cell &D = reg(W, In.Dst, L);
+          Cell R = reg(W, In.Src1, L);
+          const Cell &B = reg(W, In.Src2, L);
+          if (isArgReduce(Op)) {
+            if (isFloatType(In.Ty)) {
+              applyReduceOpPair(Op, R.F, R.Idx, B.F, B.Idx);
+              R.I = mirrorIntOf(R.F);
+            } else {
+              applyReduceOpPair(Op, R.I, R.Idx, B.I, B.Idx);
+              R.F = static_cast<double>(R.I);
+            }
+            D = R;
+          } else if (isFloatType(In.Ty)) {
+            setF(D, applyReduceOp<double>(Op, R.F, B.F), In.Ty);
+          } else {
+            setI(D, wrapInt(In.Ty, applyReduceOp<long long>(Op, R.I, B.I)));
+          }
+        }
+        chargeWarpInstr(Arch.AluCost, W.Active);
         ++W.PC;
         break;
       }

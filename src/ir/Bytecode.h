@@ -58,8 +58,13 @@ enum class Opcode : unsigned char {
   StGlobal, ///< param[Src1] <- Src2
   LdShared, ///< Dst <- shared[Src1]
   StShared, ///< shared[Src1] <- Src2
-  AtomGlobal, ///< atomic op (Aux=ReduceOp, Aux2=AtomicScope) param[Src1], Src2
-  AtomShared, ///< atomic op (Aux=ReduceOp) shared[Src1], Src2
+  AtomGlobal, ///< atomic op (Aux=ReduceOp, Aux2=AtomicScope|impl) param[Src1], Src2
+  AtomShared, ///< atomic op (Aux=ReduceOp, Aux2=impl bits) shared[Src1], Src2
+
+  // Reduction-operator primitives (pair-aware; only emitted for ops a
+  // plain ALU opcode cannot express).
+  MkPair, ///< Dst <- Src1 with index payload from Src2's int lane
+  Red,    ///< Dst <- combine(Src1, Src2) per ReduceOp in Aux (pair-aware)
 
   // Warp-level primitives.
   Shfl, ///< Dst <- shuffle(Src1, offset=Src2); Aux = mode; Aux2 = width
@@ -76,6 +81,21 @@ enum class Opcode : unsigned char {
 };
 
 const char *getOpcodeName(Opcode Op);
+
+/// Aux2 packing for atomic instructions: the low nibble holds the
+/// AtomicScope (global atomics; shared atomics leave it 0) and the high
+/// nibble the AtomicImpl. Native is 0, so kernels the atomic-expand pass
+/// never touched encode exactly as before.
+inline unsigned char packAtomicAux2(AtomicScope Scope, AtomicImpl Impl) {
+  return static_cast<unsigned char>(static_cast<unsigned>(Scope) |
+                                    (static_cast<unsigned>(Impl) << 4));
+}
+inline AtomicScope atomicScopeFromAux2(unsigned char Aux2) {
+  return static_cast<AtomicScope>(Aux2 & 0xF);
+}
+inline AtomicImpl atomicImplFromAux2(unsigned char Aux2) {
+  return static_cast<AtomicImpl>(Aux2 >> 4);
+}
 
 /// One bytecode instruction. A fixed struct keeps the interpreter loop
 /// simple and cache-friendly.

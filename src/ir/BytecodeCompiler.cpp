@@ -74,6 +74,10 @@ const char *tangram::ir::getOpcodeName(Opcode Op) {
     return "atom.global";
   case Opcode::AtomShared:
     return "atom.shared";
+  case Opcode::MkPair:
+    return "mk.pair";
+  case Opcode::Red:
+    return "red";
   case Opcode::Shfl:
     return "shfl";
   case Opcode::Bar:
@@ -218,7 +222,7 @@ private:
     case Expr::Kind::FloatConst: {
       uint16_t R = allocTemp();
       Instr &In = emit(Opcode::MovImmF);
-      In.Ty = ScalarType::F32;
+      In.Ty = E->getType();
       In.Dst = R;
       In.ImmF = cast<FloatConstExpr>(E)->getValue();
       return R;
@@ -341,6 +345,31 @@ private:
       In.Aux = static_cast<unsigned char>(C->getSub()->getType());
       return D;
     }
+    case Expr::Kind::MakePair: {
+      const auto *P = cast<MakePairExpr>(E);
+      uint16_t V = lowerExpr(P->getValue());
+      uint16_t Idx = lowerExpr(P->getIndex());
+      uint16_t D = allocTemp();
+      Instr &In = emit(Opcode::MkPair);
+      In.Ty = E->getType();
+      In.Dst = D;
+      In.Src1 = V;
+      In.Src2 = Idx;
+      return D;
+    }
+    case Expr::Kind::Combine: {
+      const auto *C = cast<CombineExpr>(E);
+      uint16_t L = lowerExpr(C->getLHS());
+      uint16_t R = lowerExpr(C->getRHS());
+      uint16_t D = allocTemp();
+      Instr &In = emit(Opcode::Red);
+      In.Ty = E->getType();
+      In.Dst = D;
+      In.Src1 = L;
+      In.Src2 = R;
+      In.Aux = static_cast<unsigned char>(C->getOp());
+      return D;
+    }
     }
     tgr_unreachable("unknown expression kind");
   }
@@ -404,7 +433,7 @@ private:
       In.Src2 = V;
       In.MemId = static_cast<uint16_t>(A->getParam()->Index);
       In.Aux = static_cast<unsigned char>(A->getOp());
-      In.Aux2 = static_cast<unsigned char>(A->getScope());
+      In.Aux2 = packAtomicAux2(A->getScope(), A->getImpl());
       return;
     }
     case Stmt::Kind::AtomicShared: {
@@ -417,6 +446,7 @@ private:
       In.Src2 = V;
       In.MemId = static_cast<uint16_t>(A->getArray()->Id);
       In.Aux = static_cast<unsigned char>(A->getOp());
+      In.Aux2 = packAtomicAux2(AtomicScope::Device, A->getImpl());
       return;
     }
     case Stmt::Kind::If: {

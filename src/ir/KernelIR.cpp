@@ -19,17 +19,33 @@ const char *tangram::ir::getScalarTypeName(ScalarType Ty) {
     return "unsigned int";
   case ScalarType::F32:
     return "float";
+  case ScalarType::I64:
+    return "long long";
+  case ScalarType::F64:
+    return "double";
   }
   tgr_unreachable("unknown scalar type");
 }
 
 bool tangram::ir::isIntegerType(ScalarType Ty) {
-  return Ty != ScalarType::F32;
+  return Ty != ScalarType::F32 && Ty != ScalarType::F64;
+}
+
+bool tangram::ir::isFloatType(ScalarType Ty) {
+  return Ty == ScalarType::F32 || Ty == ScalarType::F64;
+}
+
+bool tangram::ir::is64BitType(ScalarType Ty) {
+  return Ty == ScalarType::I64 || Ty == ScalarType::F64;
 }
 
 ScalarType tangram::ir::promoteTypes(ScalarType A, ScalarType B) {
+  if (A == ScalarType::F64 || B == ScalarType::F64)
+    return ScalarType::F64;
   if (A == ScalarType::F32 || B == ScalarType::F32)
     return ScalarType::F32;
+  if (A == ScalarType::I64 || B == ScalarType::I64)
+    return ScalarType::I64;
   if (A == ScalarType::U32 || B == ScalarType::U32)
     return ScalarType::U32;
   return ScalarType::I32;

@@ -32,11 +32,14 @@
 namespace tangram::ir {
 
 /// Element/value types in kernels. U32 arithmetic wraps; I32 is the default
-/// accumulator type; F32 matches the paper's 32-bit float workloads.
-enum class ScalarType : unsigned char { I32, U32, F32 };
+/// accumulator type; F32 matches the paper's 32-bit float workloads. I64 and
+/// F64 widen the element axis for 64-bit reductions (the op/dtype spectrum).
+enum class ScalarType : unsigned char { I32, U32, F32, I64, F64 };
 
-const char *getScalarTypeName(ScalarType Ty); ///< "int", "unsigned", "float"
+const char *getScalarTypeName(ScalarType Ty); ///< "int", ..., "double"
 bool isIntegerType(ScalarType Ty);
+bool isFloatType(ScalarType Ty); ///< F32 or F64
+bool is64BitType(ScalarType Ty); ///< I64 or F64
 
 //===----------------------------------------------------------------------===//
 // Kernel-scope entities
@@ -123,6 +126,8 @@ public:
     LoadShared,
     Shuffle,
     Cast,
+    MakePair,
+    Combine,
   };
 
   Kind getKind() const { return K; }
@@ -150,8 +155,8 @@ private:
 
 class FloatConstExpr : public Expr {
 public:
-  explicit FloatConstExpr(double Value)
-      : Expr(Kind::FloatConst, ScalarType::F32), Value(Value) {}
+  explicit FloatConstExpr(double Value, ScalarType Ty = ScalarType::F32)
+      : Expr(Kind::FloatConst, Ty), Value(Value) {}
   double getValue() const { return Value; }
   static bool classof(const Expr *E) {
     return E->getKind() == Kind::FloatConst;
@@ -306,12 +311,54 @@ private:
   Expr *Sub;
 };
 
+/// Attaches an index payload to a value, forming a (value, index) pair for
+/// ArgMin/ArgMax reductions. The pair's static type is the value type; the
+/// index rides in the payload lane of the simulator cell (and in the `idx`
+/// field of the emitted CUDA pair struct).
+class MakePairExpr : public Expr {
+public:
+  MakePairExpr(Expr *Value, Expr *Index)
+      : Expr(Kind::MakePair, Value->getType()), Value(Value), Index(Index) {}
+  Expr *getValue() const { return Value; }
+  Expr *getIndex() const { return Index; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::MakePair; }
+
+private:
+  Expr *Value;
+  Expr *Index;
+};
+
+/// Operator-aware reduction combine of two accumulator values. Used for
+/// operators a plain BinaryOpExpr cannot express: pair reductions
+/// (ArgMin/ArgMax tie-break on the index lane) and Any (normalize to 0/1).
+class CombineExpr : public Expr {
+public:
+  CombineExpr(ReduceOp Op, Expr *LHS, Expr *RHS, ScalarType Ty)
+      : Expr(Kind::Combine, Ty), Op(Op), LHS(LHS), RHS(RHS) {}
+  ReduceOp getOp() const { return Op; }
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Combine; }
+
+private:
+  ReduceOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
 //===----------------------------------------------------------------------===//
 // Statements
 //===----------------------------------------------------------------------===//
 
 /// Atomic visibility scope (Pascal introduced block scope; Section II-A2).
 enum class AtomicScope : unsigned char { Device, Block, System };
+
+/// How an atomic instruction is realized on the target architecture. The
+/// atomic-expand lowering pass marks each atomic per the reduce::OpDef
+/// legality table; Native is the default so arch-agnostic lowerings are
+/// unchanged. CasLoop models a compare-and-swap retry loop (float min/max,
+/// pre-Pascal double add, pair atomics).
+enum class AtomicImpl : unsigned char { Native, CasLoop };
 
 class Stmt {
 public:
@@ -417,6 +464,8 @@ public:
         Value(Value) {}
   ReduceOp getOp() const { return Op; }
   AtomicScope getScope() const { return Scope; }
+  AtomicImpl getImpl() const { return Impl; }
+  void setImpl(AtomicImpl I) { Impl = I; }
   const Param *getParam() const { return P; }
   Expr *getIndex() const { return Index; }
   Expr *getValue() const { return Value; }
@@ -427,6 +476,7 @@ public:
 private:
   ReduceOp Op;
   AtomicScope Scope;
+  AtomicImpl Impl = AtomicImpl::Native;
   const Param *P;
   Expr *Index;
   Expr *Value;
@@ -440,6 +490,8 @@ public:
       : Stmt(Kind::AtomicShared), Op(Op), Array(Array), Index(Index),
         Value(Value) {}
   ReduceOp getOp() const { return Op; }
+  AtomicImpl getImpl() const { return Impl; }
+  void setImpl(AtomicImpl I) { Impl = I; }
   const SharedArray *getArray() const { return Array; }
   Expr *getIndex() const { return Index; }
   Expr *getValue() const { return Value; }
@@ -449,6 +501,7 @@ public:
 
 private:
   ReduceOp Op;
+  AtomicImpl Impl = AtomicImpl::Native;
   const SharedArray *Array;
   Expr *Index;
   Expr *Value;
@@ -572,7 +625,15 @@ public:
     return create<IntConstExpr>(V, Ty);
   }
   Expr *constU(long long V) { return constI(V, ScalarType::U32); }
-  Expr *constF(double V) { return create<FloatConstExpr>(V); }
+  Expr *constF(double V, ScalarType Ty = ScalarType::F32) {
+    return create<FloatConstExpr>(V, Ty);
+  }
+  Expr *makePair(Expr *Value, Expr *Index) {
+    return create<MakePairExpr>(Value, Index);
+  }
+  Expr *combine(ReduceOp Op, Expr *L, Expr *R, ScalarType Ty) {
+    return create<CombineExpr>(Op, L, R, Ty);
+  }
   Expr *ref(const Local *L) { return create<LocalRefExpr>(L); }
   Expr *ref(const Param *P) { return create<ParamRefExpr>(P); }
   Expr *special(SpecialReg R) { return create<SpecialExpr>(R); }
@@ -591,7 +652,7 @@ private:
   std::vector<std::unique_ptr<void, void (*)(void *)>> Nodes;
 };
 
-/// Promotion rule shared with the verifier: F32 > U32 > I32.
+/// Promotion rule shared with the verifier: F64 > F32 > I64 > U32 > I32.
 ScalarType promoteTypes(ScalarType A, ScalarType B);
 
 } // namespace tangram::ir

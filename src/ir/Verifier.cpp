@@ -78,9 +78,8 @@ private:
       const auto *B = cast<BinaryOpExpr>(E);
       bool TD = checkExpr(B->getLHS());
       TD |= checkExpr(B->getRHS());
-      if (B->getOp() == BinOp::Rem &&
-          (B->getLHS()->getType() == ScalarType::F32 ||
-           B->getRHS()->getType() == ScalarType::F32))
+      if (B->getOp() == BinOp::Rem && (isFloatType(B->getLHS()->getType()) ||
+                                       isFloatType(B->getRHS()->getType())))
         error("'%' applied to floating-point operands");
       return TD;
     }
@@ -124,6 +123,20 @@ private:
     }
     case Expr::Kind::Cast:
       return checkExpr(cast<CastExpr>(E)->getSub());
+    case Expr::Kind::MakePair: {
+      const auto *P = cast<MakePairExpr>(E);
+      if (isFloatType(P->getIndex()->getType()))
+        error("pair index payload must be an integer expression");
+      bool TD = checkExpr(P->getValue());
+      TD |= checkExpr(P->getIndex());
+      return TD;
+    }
+    case Expr::Kind::Combine: {
+      const auto *C = cast<CombineExpr>(E);
+      bool TD = checkExpr(C->getLHS());
+      TD |= checkExpr(C->getRHS());
+      return TD;
+    }
     }
     return false;
   }

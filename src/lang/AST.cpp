@@ -21,6 +21,10 @@ std::string Type::getString() const {
     return "unsigned";
   case Kind::Float:
     return "float";
+  case Kind::Long:
+    return "long";
+  case Kind::Double:
+    return "double";
   case Kind::Array: {
     std::string S = Const ? "const Array<1," : "Array<1,";
     S += Element->getString();

@@ -585,6 +585,15 @@ private:
 struct TranslationUnit {
   std::vector<CodeletDecl *> Codelets;
 
+  /// The unit-level reduction-axis declaration: `__reduce(<op>, <type>);`
+  /// before the first codelet. Absent (HasReduceDecl == false) the unit
+  /// carries the historical default, a float Add reduction.
+  bool HasReduceDecl = false;
+  ReduceOp DeclaredOp = ReduceOp::Add;
+  /// The declared element type (one of the scalar types); null when no
+  /// directive is present.
+  const Type *DeclaredElem = nullptr;
+
   /// All codelets implementing the spectrum \p Name.
   std::vector<CodeletDecl *> getSpectrum(const std::string &Name) const {
     std::vector<CodeletDecl *> Result;

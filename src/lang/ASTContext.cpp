@@ -25,6 +25,8 @@ ASTContext::ASTContext()
       IntTy(newType(Type::Kind::Int, nullptr, false)),
       UnsignedTy(newType(Type::Kind::Unsigned, nullptr, false)),
       FloatTy(newType(Type::Kind::Float, nullptr, false)),
+      LongTy(newType(Type::Kind::Long, nullptr, false)),
+      DoubleTy(newType(Type::Kind::Double, nullptr, false)),
       VectorTy(newType(Type::Kind::Vector, nullptr, false)),
       SequenceTy(newType(Type::Kind::Sequence, nullptr, false)),
       MapTy(newType(Type::Kind::Map, nullptr, false)) {}

@@ -45,6 +45,8 @@ public:
   const Type *getIntType() const { return IntTy.get(); }
   const Type *getUnsignedType() const { return UnsignedTy.get(); }
   const Type *getFloatType() const { return FloatTy.get(); }
+  const Type *getLongType() const { return LongTy.get(); }
+  const Type *getDoubleType() const { return DoubleTy.get(); }
   const Type *getVectorType() const { return VectorTy.get(); }
   const Type *getSequenceType() const { return SequenceTy.get(); }
   const Type *getMapType() const { return MapTy.get(); }
@@ -61,8 +63,8 @@ public:
 private:
   std::vector<std::unique_ptr<void, void (*)(void *)>> Allocations;
 
-  std::unique_ptr<Type> VoidTy, IntTy, UnsignedTy, FloatTy, VectorTy,
-      SequenceTy, MapTy;
+  std::unique_ptr<Type> VoidTy, IntTy, UnsignedTy, FloatTy, LongTy, DoubleTy,
+      VectorTy, SequenceTy, MapTy;
   std::vector<std::unique_ptr<Type>> ArrayTypes;
 };
 

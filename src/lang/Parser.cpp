@@ -76,6 +76,8 @@ bool Parser::startsType(unsigned LookAhead) const {
   case TokenKind::KwInt:
   case TokenKind::KwUnsigned:
   case TokenKind::KwFloat:
+  case TokenKind::KwLong:
+  case TokenKind::KwDouble:
   case TokenKind::KwConst:
   case TokenKind::KwArray:
   case TokenKind::KwVector:
@@ -95,6 +97,9 @@ bool Parser::startsDeclStmt() const {
   case TokenKind::KwAtomicSubQual:
   case TokenKind::KwAtomicMaxQual:
   case TokenKind::KwAtomicMinQual:
+  case TokenKind::KwAtomicArgMinQual:
+  case TokenKind::KwAtomicArgMaxQual:
+  case TokenKind::KwAtomicAnyQual:
     return true;
   default:
     return startsType();
@@ -108,6 +113,10 @@ bool Parser::startsDeclStmt() const {
 TranslationUnit Parser::parseTranslationUnit() {
   TranslationUnit TU;
   while (tok().isNot(TokenKind::Eof)) {
+    if (tok().is(TokenKind::KwReduce)) {
+      parseReduceDecl(TU);
+      continue;
+    }
     if (tok().isNot(TokenKind::KwCodelet)) {
       Diags.error(tok().getLoc(), "expected '__codelet' at top level");
       skipUntil(TokenKind::KwCodelet, /*ConsumeIt=*/false);
@@ -118,6 +127,46 @@ TranslationUnit Parser::parseTranslationUnit() {
       TU.Codelets.push_back(C);
   }
   return TU;
+}
+
+void Parser::parseReduceDecl(TranslationUnit &TU) {
+  SourceLoc Loc = consume().getLoc(); // '__reduce'
+  if (TU.HasReduceDecl)
+    Diags.error(Loc, "duplicate '__reduce' declaration");
+  if (!TU.Codelets.empty())
+    Diags.error(Loc, "'__reduce' must precede every codelet");
+  if (!expect(TokenKind::LParen, "after '__reduce'")) {
+    skipUntil(TokenKind::Semi, /*ConsumeIt=*/true);
+    return;
+  }
+  ReduceOp Op = ReduceOp::Add;
+  if (tok().is(TokenKind::Identifier)) {
+    Token OpTok = consume();
+    if (!parseReduceOp(OpTok.getText(), Op))
+      Diags.error(OpTok.getLoc(), "unknown reduction operator '" +
+                                      std::string(OpTok.getText()) + "'");
+  } else {
+    Diags.error(tok().getLoc(),
+                "expected a reduction operator name in '__reduce(...)'");
+    skipUntil(TokenKind::Semi, /*ConsumeIt=*/true);
+    return;
+  }
+  if (!expect(TokenKind::Comma, "in '__reduce(op, type)'")) {
+    skipUntil(TokenKind::Semi, /*ConsumeIt=*/true);
+    return;
+  }
+  const Type *Elem = parseType();
+  if (!Elem) {
+    skipUntil(TokenKind::Semi, /*ConsumeIt=*/true);
+    return;
+  }
+  if (!Elem->isScalar())
+    Diags.error(Loc, "'__reduce' element type must be scalar");
+  expect(TokenKind::RParen, "to close '__reduce(...)'");
+  expect(TokenKind::Semi, "after the '__reduce' declaration");
+  TU.HasReduceDecl = true;
+  TU.DeclaredOp = Op;
+  TU.DeclaredElem = Elem;
 }
 
 CodeletDecl *Parser::parseCodelet() {
@@ -198,6 +247,14 @@ const Type *Parser::parseType() {
   case TokenKind::KwFloat:
     consume();
     return Ctx.getFloatType();
+  case TokenKind::KwLong:
+    consume();
+    // Accept `long int` as a synonym.
+    consumeIf(TokenKind::KwInt);
+    return Ctx.getLongType();
+  case TokenKind::KwDouble:
+    consume();
+    return Ctx.getDoubleType();
   case TokenKind::KwVector:
     consume();
     return Ctx.getVectorType();
@@ -281,6 +338,21 @@ VarDecl *Parser::parseVarDecl(bool &Ok) {
     case TokenKind::KwAtomicMinQual:
       Quals.HasAtomic = true;
       Quals.Atomic = ReduceOp::Min;
+      consume();
+      continue;
+    case TokenKind::KwAtomicArgMinQual:
+      Quals.HasAtomic = true;
+      Quals.Atomic = ReduceOp::ArgMin;
+      consume();
+      continue;
+    case TokenKind::KwAtomicArgMaxQual:
+      Quals.HasAtomic = true;
+      Quals.Atomic = ReduceOp::ArgMax;
+      consume();
+      continue;
+    case TokenKind::KwAtomicAnyQual:
+      Quals.HasAtomic = true;
+      Quals.Atomic = ReduceOp::Any;
       consume();
       continue;
     default:

@@ -50,6 +50,7 @@ private:
   bool startsDeclStmt() const;
 
   // Declarations.
+  void parseReduceDecl(TranslationUnit &TU);
   CodeletDecl *parseCodelet();
   const Type *parseType();
   ParamDecl *parseParam();

@@ -28,6 +28,8 @@ public:
     Int,
     Unsigned,
     Float,
+    Long,     ///< 64-bit signed integer.
+    Double,   ///< 64-bit floating point.
     Array,    ///< Array<1, Element> (optionally const-qualified)
     Vector,   ///< The multi-thread cooperation primitive (Fig. 2).
     Sequence, ///< Access-pattern descriptor used by Partition.
@@ -40,15 +42,21 @@ public:
   bool isInt() const { return K == Kind::Int; }
   bool isUnsigned() const { return K == Kind::Unsigned; }
   bool isFloat() const { return K == Kind::Float; }
+  bool isLong() const { return K == Kind::Long; }
+  bool isDouble() const { return K == Kind::Double; }
   bool isArray() const { return K == Kind::Array; }
   bool isVector() const { return K == Kind::Vector; }
   bool isSequence() const { return K == Kind::Sequence; }
   bool isMap() const { return K == Kind::Map; }
 
-  /// True for int/unsigned/float — types a reduction accumulator may have.
-  bool isScalar() const { return isInt() || isUnsigned() || isFloat(); }
-  /// True for int/unsigned.
-  bool isIntegral() const { return isInt() || isUnsigned(); }
+  /// True for the scalar element types a reduction accumulator may have.
+  bool isScalar() const {
+    return isInt() || isUnsigned() || isFloat() || isLong() || isDouble();
+  }
+  /// True for int/unsigned/long.
+  bool isIntegral() const { return isInt() || isUnsigned() || isLong(); }
+  /// True for float/double.
+  bool isFloating() const { return isFloat() || isDouble(); }
 
   /// For arrays: the element type. Null otherwise.
   const Type *getElementType() const { return Element; }

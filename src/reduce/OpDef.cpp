@@ -1,0 +1,328 @@
+//===- OpDef.cpp - Reduction operator descriptor table ---------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reduce/OpDef.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+using namespace tangram;
+using namespace tangram::reduce;
+
+const char *tangram::reduce::getAtomicSupportName(AtomicSupport S) {
+  switch (S) {
+  case AtomicSupport::Native:
+    return "native";
+  case AtomicSupport::CasLoop:
+    return "cas-loop";
+  case AtomicSupport::Illegal:
+    return "illegal";
+  }
+  tgr_unreachable("unknown AtomicSupport");
+}
+
+//===----------------------------------------------------------------------===//
+// The descriptor table
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <ReduceOp Op> double combineF(double A, double B) {
+  return applyReduceOp(Op, A, B);
+}
+template <ReduceOp Op> long long combineI(long long A, long long B) {
+  return applyReduceOp(Op, A, B);
+}
+double finalizeIdF(double V) { return V; }
+long long finalizeIdI(long long V) { return V; }
+double finalizeAnyF(double V) { return V != 0 ? 1 : 0; }
+long long finalizeAnyI(long long V) { return V != 0 ? 1 : 0; }
+
+constexpr unsigned kNumOps = NumReduceOps;
+
+const OpDef Table[kNumOps] = {
+    {ReduceOp::Add, "Add", "add", /*Commutative=*/true, /*Associative=*/true,
+     /*NeedsIndex=*/false, combineF<ReduceOp::Add>, combineI<ReduceOp::Add>,
+     finalizeIdF, finalizeIdI},
+    // Sub accumulates Acc - V; reordering elements only permutes the
+    // subtracted sum, so it is commutative/associative as an accumulation.
+    {ReduceOp::Sub, "Sub", "sub", true, true, false, combineF<ReduceOp::Sub>,
+     combineI<ReduceOp::Sub>, finalizeIdF, finalizeIdI},
+    {ReduceOp::Max, "Max", "max", true, true, false, combineF<ReduceOp::Max>,
+     combineI<ReduceOp::Max>, finalizeIdF, finalizeIdI},
+    {ReduceOp::Min, "Min", "min", true, true, false, combineF<ReduceOp::Min>,
+     combineI<ReduceOp::Min>, finalizeIdF, finalizeIdI},
+    {ReduceOp::ArgMin, "ArgMin", "argmin", true, true, /*NeedsIndex=*/true,
+     combineF<ReduceOp::ArgMin>, combineI<ReduceOp::ArgMin>, finalizeIdF,
+     finalizeIdI},
+    {ReduceOp::ArgMax, "ArgMax", "argmax", true, true, /*NeedsIndex=*/true,
+     combineF<ReduceOp::ArgMax>, combineI<ReduceOp::ArgMax>, finalizeIdF,
+     finalizeIdI},
+    {ReduceOp::Any, "Any", "any", true, true, false, combineF<ReduceOp::Any>,
+     combineI<ReduceOp::Any>, finalizeAnyF, finalizeAnyI},
+};
+
+} // namespace
+
+const OpDef &tangram::reduce::getOpDef(ReduceOp Op) {
+  unsigned Index = static_cast<unsigned>(Op);
+  if (Index >= kNumOps)
+    tgr_unreachable("unknown ReduceOp");
+  const OpDef &D = Table[Index];
+  if (D.Op != Op)
+    tgr_unreachable("OpDef table out of order");
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Identities
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-type extrema in both numeric domains. \p Kernel selects the
+/// printable near-extremes generated kernels use for float types.
+void typeExtrema(ir::ScalarType Elem, bool Kernel, double &LowF,
+                 double &HighF, long long &LowI, long long &HighI) {
+  switch (Elem) {
+  case ir::ScalarType::I32:
+    LowI = std::numeric_limits<int32_t>::min();
+    HighI = std::numeric_limits<int32_t>::max();
+    LowF = static_cast<double>(LowI);
+    HighF = static_cast<double>(HighI);
+    return;
+  case ir::ScalarType::U32:
+    LowI = 0;
+    HighI = std::numeric_limits<uint32_t>::max();
+    LowF = 0;
+    HighF = static_cast<double>(HighI);
+    return;
+  case ir::ScalarType::F32:
+    LowF = Kernel ? -3.0e38
+                  : static_cast<double>(std::numeric_limits<float>::lowest());
+    HighF = Kernel ? 3.0e38
+                   : static_cast<double>(std::numeric_limits<float>::max());
+    LowI = std::numeric_limits<int32_t>::min();
+    HighI = std::numeric_limits<int32_t>::max();
+    return;
+  case ir::ScalarType::I64:
+    LowI = std::numeric_limits<long long>::min();
+    HighI = std::numeric_limits<long long>::max();
+    LowF = static_cast<double>(LowI);
+    HighF = static_cast<double>(HighI);
+    return;
+  case ir::ScalarType::F64:
+    LowF = Kernel ? -1.0e308 : std::numeric_limits<double>::lowest();
+    HighF = Kernel ? 1.0e308 : std::numeric_limits<double>::max();
+    LowI = std::numeric_limits<long long>::min();
+    HighI = std::numeric_limits<long long>::max();
+    return;
+  }
+  tgr_unreachable("unknown scalar type");
+}
+
+IdentityCell identityImpl(ReduceOp Op, ir::ScalarType Elem, bool Kernel) {
+  double LowF, HighF;
+  long long LowI, HighI;
+  typeExtrema(Elem, Kernel, LowF, HighF, LowI, HighI);
+  IdentityCell Cell;
+  switch (Op) {
+  case ReduceOp::Add:
+  case ReduceOp::Sub:
+  case ReduceOp::Any:
+    break; // zero in both lanes
+  case ReduceOp::Max:
+    Cell.F = LowF;
+    Cell.I = LowI;
+    break;
+  case ReduceOp::Min:
+    Cell.F = HighF;
+    Cell.I = HighI;
+    break;
+  case ReduceOp::ArgMax:
+    Cell.F = LowF;
+    Cell.I = LowI;
+    Cell.Idx = ReduceIndexSentinel;
+    break;
+  case ReduceOp::ArgMin:
+    Cell.F = HighF;
+    Cell.I = HighI;
+    Cell.Idx = ReduceIndexSentinel;
+    break;
+  }
+  return Cell;
+}
+
+} // namespace
+
+IdentityCell tangram::reduce::getIdentity(ReduceOp Op, ir::ScalarType Elem) {
+  return identityImpl(Op, Elem, /*Kernel=*/false);
+}
+
+IdentityCell tangram::reduce::getKernelIdentity(ReduceOp Op,
+                                                ir::ScalarType Elem) {
+  return identityImpl(Op, Elem, /*Kernel=*/true);
+}
+
+ir::ScalarType tangram::reduce::getAccumulatorType(ReduceOp Op,
+                                                   ir::ScalarType Elem) {
+  (void)Op; // Every current op accumulates in the element's own domain.
+  return Elem;
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic legality lattice
+//===----------------------------------------------------------------------===//
+
+AtomicSupport tangram::reduce::atomicLegality(ReduceOp Op, ir::ScalarType Elem,
+                                              sim::ArchGeneration Gen) {
+  using ir::ScalarType;
+  bool SixtyFour = ir::is64BitType(Elem);
+  bool Float = ir::isFloatType(Elem);
+  switch (Op) {
+  case ReduceOp::Add:
+    if (Elem == ScalarType::F64)
+      return Gen == sim::ArchGeneration::Pascal ? AtomicSupport::Native
+                                                : AtomicSupport::CasLoop;
+    return AtomicSupport::Native; // int32/uint32/int64/float32 atomicAdd
+  case ReduceOp::Sub:
+    // atomicSub exists only for 32-bit integers.
+    return (Float || SixtyFour) ? AtomicSupport::CasLoop
+                                : AtomicSupport::Native;
+  case ReduceOp::Max:
+  case ReduceOp::Min:
+    if (Float)
+      return AtomicSupport::CasLoop; // no float atomicMin/Max anywhere
+    if (SixtyFour)                   // extended 64-bit atomics unit
+      return Gen == sim::ArchGeneration::Kepler ? AtomicSupport::CasLoop
+                                                : AtomicSupport::Native;
+    return AtomicSupport::Native;
+  case ReduceOp::ArgMin:
+  case ReduceOp::ArgMax:
+    // 32-bit elements pack (value, index) into one 64-bit CAS word. 64-bit
+    // elements would need a paired-word update, modeled as scoped-lock
+    // emulation that relies on Maxwell+ forward-progress guarantees.
+    if (SixtyFour)
+      return Gen == sim::ArchGeneration::Kepler ? AtomicSupport::Illegal
+                                                : AtomicSupport::CasLoop;
+    return AtomicSupport::CasLoop;
+  case ReduceOp::Any:
+    if (Float)
+      return AtomicSupport::CasLoop; // normalize-to-1 via CAS
+    if (SixtyFour)
+      return Gen == sim::ArchGeneration::Kepler ? AtomicSupport::CasLoop
+                                                : AtomicSupport::Native;
+    return AtomicSupport::Native; // realized as atomicOr
+  }
+  tgr_unreachable("unknown ReduceOp");
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar-type spellings
+//===----------------------------------------------------------------------===//
+
+const char *tangram::reduce::getScalarTypeSpelling(ir::ScalarType Ty) {
+  switch (Ty) {
+  case ir::ScalarType::I32:
+    return "i32";
+  case ir::ScalarType::U32:
+    return "u32";
+  case ir::ScalarType::F32:
+    return "f32";
+  case ir::ScalarType::I64:
+    return "i64";
+  case ir::ScalarType::F64:
+    return "f64";
+  }
+  tgr_unreachable("unknown scalar type");
+}
+
+bool tangram::reduce::parseScalarType(std::string_view Spelling,
+                                      ir::ScalarType &Out) {
+  if (Spelling == "i32" || Spelling == "int")
+    Out = ir::ScalarType::I32;
+  else if (Spelling == "u32" || Spelling == "uint" || Spelling == "unsigned")
+    Out = ir::ScalarType::U32;
+  else if (Spelling == "f32" || Spelling == "float")
+    Out = ir::ScalarType::F32;
+  else if (Spelling == "i64" || Spelling == "long")
+    Out = ir::ScalarType::I64;
+  else if (Spelling == "f64" || Spelling == "double")
+    Out = ir::ScalarType::F64;
+  else
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// IR-level legality verification (--verify-each)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct LegalityChecker {
+  ir::ScalarType Elem;
+  sim::ArchGeneration Gen;
+  bool Expanded;
+  std::vector<std::string> &Errors;
+
+  void check(ReduceOp Op, ir::AtomicImpl Impl, const char *Where) {
+    AtomicSupport Support = atomicLegality(Op, Elem, Gen);
+    if (Support == AtomicSupport::Illegal) {
+      Errors.push_back(std::string("illegal atomic: ") + getReduceOpName(Op) +
+                       " over " + ir::getScalarTypeName(Elem) + " on " +
+                       archName() + " (" + Where + ")");
+      return;
+    }
+    if (Expanded && Support == AtomicSupport::CasLoop &&
+        Impl == ir::AtomicImpl::Native)
+      Errors.push_back(std::string("native atomic emitted where only a CAS "
+                                   "loop is legal: ") +
+                       getReduceOpName(Op) + " over " +
+                       ir::getScalarTypeName(Elem) + " on " + archName() +
+                       " (" + Where + ")");
+  }
+
+  const char *archName() const { return sim::getArchGenerationName(Gen); }
+
+  void walk(const std::vector<ir::Stmt *> &Body) {
+    for (const ir::Stmt *S : Body)
+      walk(S);
+  }
+
+  void walk(const ir::Stmt *S) {
+    if (const auto *A = dyn_cast<ir::AtomicGlobalStmt>(S)) {
+      check(A->getOp(), A->getImpl(), "global");
+      return;
+    }
+    if (const auto *A = dyn_cast<ir::AtomicSharedStmt>(S)) {
+      check(A->getOp(), A->getImpl(), "shared");
+      return;
+    }
+    if (const auto *If = dyn_cast<ir::IfStmt>(S)) {
+      walk(If->getThen());
+      walk(If->getElse());
+      return;
+    }
+    if (const auto *For = dyn_cast<ir::ForStmt>(S))
+      walk(For->getBody());
+  }
+};
+
+} // namespace
+
+void tangram::reduce::verifyAtomicLegality(const ir::Kernel &K,
+                                           ir::ScalarType Elem,
+                                           sim::ArchGeneration Gen,
+                                           bool Expanded,
+                                           std::vector<std::string> &Errors) {
+  LegalityChecker Checker{Elem, Gen, Expanded, Errors};
+  Checker.walk(K.getBody());
+}

@@ -140,6 +140,13 @@ void Sema::checkVarDecl(VarDecl *Var) {
     Diags.error(Var->getLoc(),
                 "'_atomic" + std::string(getReduceOpName(Q.Atomic)) +
                     "' requires the '__shared' qualifier (Section III-B)");
+  if (Q.HasAtomic && CurrentTU->HasReduceDecl &&
+      Q.Atomic != CurrentTU->DeclaredOp)
+    Diags.error(Var->getLoc(),
+                "'_atomic" + std::string(getReduceOpName(Q.Atomic)) +
+                    "' conflicts with the unit's '__reduce(" +
+                    getReduceOpSpelling(CurrentTU->DeclaredOp) +
+                    ", ...)' declaration");
   if (Q.HasAtomic && Var->isArrayForm())
     Diags.error(Var->getLoc(),
                 "atomic shared accumulators must be scalar variables");
@@ -211,8 +218,12 @@ void Sema::checkVarDecl(VarDecl *Var) {
 //===----------------------------------------------------------------------===//
 
 const Type *Sema::promote(const Type *A, const Type *B) const {
+  if (A->isDouble() || B->isDouble())
+    return Ctx.getDoubleType();
   if (A->isFloat() || B->isFloat())
     return Ctx.getFloatType();
+  if (A->isLong() || B->isLong())
+    return Ctx.getLongType();
   if (A->isUnsigned() || B->isUnsigned())
     return Ctx.getUnsignedType();
   return Ctx.getIntType();
@@ -339,7 +350,7 @@ const Type *Sema::checkBinary(BinaryExpr *B) {
       return Ctx.getIntType();
     }
     if (B->getOp() == BinaryOpKind::Rem &&
-        (LHSTy->isFloat() || RHSTy->isFloat()))
+        (LHSTy->isFloating() || RHSTy->isFloating()))
       Diags.error(B->getLoc(), "'%' requires integral operands");
     return promote(LHSTy, RHSTy);
   }
@@ -398,6 +409,11 @@ const Type *Sema::checkMemberCall(MemberCallExpr *M) {
   } else if (BaseTy->isMap()) {
     // The Section III-A Map atomic APIs.
     auto resolveAtomic = [&](ReduceOp Op) {
+      if (CurrentTU->HasReduceDecl && Op != CurrentTU->DeclaredOp)
+        Diags.error(M->getLoc(),
+                    "'" + Name + "' conflicts with the unit's '__reduce(" +
+                        getReduceOpSpelling(CurrentTU->DeclaredOp) +
+                        ", ...)' declaration");
       M->setMemberKind(MemberKind::MapAtomic);
       M->setAtomicOp(Op);
       return Ctx.getVoidType();
@@ -410,6 +426,12 @@ const Type *Sema::checkMemberCall(MemberCallExpr *M) {
       return resolveAtomic(ReduceOp::Max);
     if (Name == "atomicMin")
       return resolveAtomic(ReduceOp::Min);
+    if (Name == "atomicArgMin")
+      return resolveAtomic(ReduceOp::ArgMin);
+    if (Name == "atomicArgMax")
+      return resolveAtomic(ReduceOp::ArgMax);
+    if (Name == "atomicAny")
+      return resolveAtomic(ReduceOp::Any);
   }
 
   Diags.error(M->getLoc(), "no member '" + Name + "' on type '" +

@@ -7,25 +7,43 @@
 /// \file
 /// The reduction operator set shared by the language (atomic qualifiers and
 /// Map atomic APIs), the kernel IR (atomic instructions), and the simulator.
-/// These are the four operators the paper's APIs expose: atomicAdd,
-/// atomicSub, atomicMax, atomicMin (Section III-A).
+/// The paper's APIs expose atomicAdd/Sub/Max/Min (Section III-A); the
+/// operator axis is extended with index-payload reductions (ArgMin/ArgMax)
+/// and Any, modeled on the reduction_init/combine table in PyTorch Inductor.
+///
+/// This header holds only the enum and the primitive combine helpers the
+/// simulator needs; the full descriptor table (identities, accumulator
+/// types, per-arch atomic legality) lives in reduce/OpDef.h so that layer-0
+/// code does not depend on the IR.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TANGRAM_SUPPORT_REDUCEOP_H
 #define TANGRAM_SUPPORT_REDUCEOP_H
 
-#include <cstdint>
-#include <limits>
+#include "support/ErrorHandling.h"
+
+#include <climits>
+#include <string_view>
 
 namespace tangram {
 
-/// A commutative-accumulation operator usable in atomic instructions.
-enum class ReduceOp : unsigned char { Add, Sub, Max, Min };
+/// An accumulation operator usable in reductions and atomic instructions.
+/// ArgMin/ArgMax carry an index payload alongside the value; Any reduces to
+/// 1 iff any element is non-zero.
+enum class ReduceOp : unsigned char { Add, Sub, Max, Min, ArgMin, ArgMax, Any };
 
-/// Element domain of a reduction: the paper's spectrum is generated for both
-/// 32-bit integers and floats (Section III-B).
-enum class ElemKind : unsigned char { Int, Float };
+/// Number of enumerators in ReduceOp, for table sizing and exhaustive sweeps.
+inline constexpr unsigned NumReduceOps = 7;
+
+/// True for operators whose accumulator carries a (value, index) pair.
+inline bool isArgReduce(ReduceOp Op) {
+  return Op == ReduceOp::ArgMin || Op == ReduceOp::ArgMax;
+}
+
+/// Index-lane identity for ArgMin/ArgMax accumulators. Real elements always
+/// win against the sentinel because ties resolve to the smaller index.
+inline constexpr long long ReduceIndexSentinel = LLONG_MAX;
 
 /// Spelling used in API names and generated code ("Add", "Sub", ...).
 inline const char *getReduceOpName(ReduceOp Op) {
@@ -38,12 +56,55 @@ inline const char *getReduceOpName(ReduceOp Op) {
     return "Max";
   case ReduceOp::Min:
     return "Min";
+  case ReduceOp::ArgMin:
+    return "ArgMin";
+  case ReduceOp::ArgMax:
+    return "ArgMax";
+  case ReduceOp::Any:
+    return "Any";
   }
-  return "?";
+  tgr_unreachable("unknown ReduceOp");
 }
 
-/// Applies \p Op to accumulator \p Acc and value \p V. `Sub` accumulates a
-/// running difference (Acc - V), matching CUDA's atomicSub semantics.
+/// Lower-case spelling used by the CLI, variant provenance, and BENCH JSON
+/// metadata ("add", "argmax", ...).
+inline const char *getReduceOpSpelling(ReduceOp Op) {
+  switch (Op) {
+  case ReduceOp::Add:
+    return "add";
+  case ReduceOp::Sub:
+    return "sub";
+  case ReduceOp::Max:
+    return "max";
+  case ReduceOp::Min:
+    return "min";
+  case ReduceOp::ArgMin:
+    return "argmin";
+  case ReduceOp::ArgMax:
+    return "argmax";
+  case ReduceOp::Any:
+    return "any";
+  }
+  tgr_unreachable("unknown ReduceOp");
+}
+
+/// Parses a CLI/source spelling ("add", "argmax", ...) into \p Out.
+inline bool parseReduceOp(std::string_view Spelling, ReduceOp &Out) {
+  for (unsigned I = 0; I != NumReduceOps; ++I) {
+    ReduceOp Op = static_cast<ReduceOp>(I);
+    if (Spelling == getReduceOpSpelling(Op)) {
+      Out = Op;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Applies \p Op to accumulator \p Acc and value \p V over the value lane.
+/// `Sub` accumulates a running difference (Acc - V), matching CUDA's
+/// atomicSub semantics. For ArgMin/ArgMax this combines values only — use
+/// applyReduceOpPair when the index payload matters. `Any` treats non-zero
+/// as true and yields 0 or 1.
 template <typename T> T applyReduceOp(ReduceOp Op, T Acc, T V) {
   switch (Op) {
   case ReduceOp::Add:
@@ -51,64 +112,46 @@ template <typename T> T applyReduceOp(ReduceOp Op, T Acc, T V) {
   case ReduceOp::Sub:
     return Acc - V;
   case ReduceOp::Max:
+  case ReduceOp::ArgMax:
     return Acc > V ? Acc : V;
   case ReduceOp::Min:
+  case ReduceOp::ArgMin:
     return Acc < V ? Acc : V;
+  case ReduceOp::Any:
+    return (Acc != T(0) || V != T(0)) ? T(1) : T(0);
   }
-  return Acc;
+  tgr_unreachable("unknown ReduceOp");
 }
 
-/// The identity element of \p Op for accumulator initialization. For Max/Min
-/// the caller supplies the type's extrema via \p Lowest / \p Highest.
+/// Pair-aware combine: folds (V, Idx) into the (AccV, AccIdx) accumulator.
+/// Ties on the value lane resolve to the smaller index, which also makes any
+/// real element beat the ReduceIndexSentinel identity. Non-arg operators
+/// fall back to the scalar combine and leave the index lane untouched.
 template <typename T>
-T getReduceIdentity(ReduceOp Op, T Lowest, T Highest) {
+void applyReduceOpPair(ReduceOp Op, T &AccV, long long &AccIdx, T V,
+                       long long Idx) {
+  bool Better;
   switch (Op) {
+  case ReduceOp::ArgMax:
+    Better = V > AccV || (V == AccV && Idx < AccIdx);
+    break;
+  case ReduceOp::ArgMin:
+    Better = V < AccV || (V == AccV && Idx < AccIdx);
+    break;
   case ReduceOp::Add:
   case ReduceOp::Sub:
-    return T(0);
   case ReduceOp::Max:
-    return Lowest;
   case ReduceOp::Min:
-    return Highest;
+  case ReduceOp::Any:
+    AccV = applyReduceOp(Op, AccV, V);
+    return;
+  default:
+    tgr_unreachable("unknown ReduceOp");
   }
-  return T(0);
-}
-
-/// Identity value for a reduction accumulator cell, carried in both numeric
-/// domains so callers can initialize an untyped device cell.
-struct ReduceIdentityValue {
-  double F = 0;
-  long long I = 0;
-};
-
-/// The identity element of \p Op over \p Elem, using the element type's true
-/// extrema (float32 lowest/max for Float, int32 min/max for Int) rather than
-/// hand-rolled near-extreme constants.
-///
-/// `Sub` shares Add's zero identity: the generated kernels accumulate the
-/// negated running sum (atomicSub applies Acc - V per element), so the
-/// accumulator starts at 0 exactly like Add — this is add-negation, not a
-/// true two-sided identity for subtraction.
-inline ReduceIdentityValue reduceIdentity(ReduceOp Op, ElemKind Elem) {
-  ReduceIdentityValue V;
-  switch (Op) {
-  case ReduceOp::Add:
-  case ReduceOp::Sub:
-    break;
-  case ReduceOp::Max:
-    V.I = std::numeric_limits<int32_t>::min();
-    V.F = Elem == ElemKind::Float
-              ? static_cast<double>(std::numeric_limits<float>::lowest())
-              : static_cast<double>(std::numeric_limits<int32_t>::min());
-    break;
-  case ReduceOp::Min:
-    V.I = std::numeric_limits<int32_t>::max();
-    V.F = Elem == ElemKind::Float
-              ? static_cast<double>(std::numeric_limits<float>::max())
-              : static_cast<double>(std::numeric_limits<int32_t>::max());
-    break;
+  if (Better) {
+    AccV = V;
+    AccIdx = Idx;
   }
-  return V;
 }
 
 } // namespace tangram

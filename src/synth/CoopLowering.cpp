@@ -7,6 +7,7 @@
 #include "synth/CoopLowering.h"
 
 #include "lang/ASTVisitor.h"
+#include "reduce/OpDef.h"
 #include "support/ErrorHandling.h"
 
 using namespace tangram;
@@ -38,36 +39,18 @@ using tangram::lang::VarDecl;
 
 Expr *tangram::synth::identityConst(Module &M, ScalarType Elem,
                                     ReduceOp Op) {
-  if (Elem == ScalarType::F32) {
-    double V = 0.0;
-    switch (Op) {
-    case ReduceOp::Add:
-    case ReduceOp::Sub:
-      V = 0.0;
-      break;
-    case ReduceOp::Max:
-      V = -3.0e38; // ~ -FLT_MAX
-      break;
-    case ReduceOp::Min:
-      V = 3.0e38;
-      break;
-    }
-    return M.constF(V);
-  }
-  long long V = 0;
-  switch (Op) {
-  case ReduceOp::Add:
-  case ReduceOp::Sub:
-    V = 0;
-    break;
-  case ReduceOp::Max:
-    V = -2147483647LL - 1;
-    break;
-  case ReduceOp::Min:
-    V = 2147483647LL;
-    break;
-  }
-  return M.create<IntConstExpr>(V, Elem);
+  // Single source of truth: the OpDef table's kernel-mode identity (the
+  // printable near-extremes the canonical lowering has always emitted).
+  reduce::IdentityCell Id = reduce::getKernelIdentity(Op, Elem);
+  Expr *Value = isFloatType(Elem)
+                    ? M.constF(Id.F, Elem)
+                    : M.create<IntConstExpr>(Id.I, Elem);
+  if (!isArgReduce(Op))
+    return Value;
+  // Arg-reductions carry an index payload; the identity's sentinel loses
+  // every tie against a real element (smaller index wins).
+  return M.makePair(Value,
+                    M.create<IntConstExpr>(Id.Idx, ScalarType::I64));
 }
 
 Expr *tangram::synth::reduceExpr(Module &M, ReduceOp Op, Expr *Acc, Expr *V,
@@ -80,6 +63,12 @@ Expr *tangram::synth::reduceExpr(Module &M, ReduceOp Op, Expr *Acc, Expr *V,
     return M.binary(BinOp::Max, Acc, V, Elem);
   case ReduceOp::Min:
     return M.binary(BinOp::Min, Acc, V, Elem);
+  case ReduceOp::ArgMin:
+  case ReduceOp::ArgMax:
+  case ReduceOp::Any:
+    // No plain ALU opcode expresses these; the pair-aware Combine node
+    // lowers to the Red bytecode op.
+    return M.combine(Op, Acc, V, Elem);
   }
   tgr_unreachable("unknown reduce op");
 }
@@ -138,9 +127,13 @@ Expr *CoopLowering::lowerInputRead(Expr *Index) {
     return M.ref(View.PartialReg);
   Expr *Gidx = View.GlobalIndex(Index);
   Expr *Guard = M.cmp(BinOp::LT, Gidx, M.ref(View.SourceSize));
-  return M.create<SelectExpr>(Guard,
-                              M.create<LoadGlobalExpr>(View.Input, Gidx),
-                              identityConst(M, Elem, Op), Elem);
+  Expr *Load = M.create<LoadGlobalExpr>(View.Input, Gidx);
+  // Arg-reductions attach each element's global index as it is read; a
+  // second-stage kernel's input already carries payloads (InputIsPairs),
+  // which a re-attach would clobber with partial-buffer positions.
+  if (isArgReduce(Op) && !View.InputIsPairs)
+    Load = M.makePair(Load, Gidx);
+  return M.create<SelectExpr>(Guard, Load, identityConst(M, Elem, Op), Elem);
 }
 
 Expr *CoopLowering::lowerExpr(const lang::Expr *E) {
@@ -152,15 +145,15 @@ Expr *CoopLowering::lowerExpr(const lang::Expr *E) {
     // identity (the canonical source spells the guard arms `: 0`).
     if (V == 0 && InReductionRHS)
       return identityConst(M, Elem, Op);
-    if (Elem == ScalarType::F32 && E->getType() && E->getType()->isFloat())
-      return M.constF(static_cast<double>(V));
+    if (isFloatType(Elem) && E->getType() && E->getType()->isFloat())
+      return M.constF(static_cast<double>(V), Elem);
     return M.constI(V);
   }
   case lang::Stmt::Kind::FloatLiteral: {
     double V = cast<FloatLiteralExpr>(E)->getValue();
     if (V == 0.0 && InReductionRHS)
       return identityConst(M, Elem, Op);
-    return M.constF(V);
+    return M.constF(V, isFloatType(Elem) ? Elem : ScalarType::F32);
   }
   case lang::Stmt::Kind::DeclRef: {
     const auto *Ref = cast<DeclRefExpr>(E);

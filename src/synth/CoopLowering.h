@@ -57,6 +57,10 @@ struct InputView {
   const ir::Local *PartialReg = nullptr;
   /// `in.Size()` (ObjectSize for tiles, blockDim for partials).
   std::function<ir::Expr *()> Size;
+  /// GlobalTile, arg-reductions only: the input elements already carry
+  /// index payloads (second-stage kernels reading per-block partials), so
+  /// reads must not re-attach the global index.
+  bool InputIsPairs = false;
 };
 
 /// Decisions the `shuffle-lower` planning pass precomputed for one

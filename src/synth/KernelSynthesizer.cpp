@@ -17,6 +17,7 @@
 #include "codegen/CudaEmitter.h"
 #include "ir/Verifier.h"
 #include "pm/PassManager.h"
+#include "reduce/OpDef.h"
 #include "synth/LoweringPasses.h"
 
 #include <cstdlib>
@@ -63,7 +64,16 @@ KernelSynthesizer::KernelSynthesizer(
 
 support::Expected<std::unique_ptr<SynthesizedVariant>>
 KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
-                              const OptimizationFlags &Opts) const {
+                              const OptimizationFlags &Opts,
+                              std::optional<sim::ArchGeneration> Target) const {
+  return synthesizeImpl(Desc, Opts, Target, /*InputIsPairs=*/false);
+}
+
+support::Expected<std::unique_ptr<SynthesizedVariant>>
+KernelSynthesizer::synthesizeImpl(const VariantDescriptor &Desc,
+                                  const OptimizationFlags &Opts,
+                                  std::optional<sim::ArchGeneration> Target,
+                                  bool InputIsPairs) const {
   auto Result = std::make_unique<SynthesizedVariant>();
   Result->Desc = Desc;
   Result->Op = Op;
@@ -77,6 +87,8 @@ KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
   Ctx.Flags = Opts;
   Ctx.Op = Op;
   Ctx.Elem = Elem;
+  Ctx.Target = Target;
+  Ctx.InputIsPairs = InputIsPairs;
   Ctx.Result = Result.get();
 
   pm::PassManager<LoweringContext> PM;
@@ -85,8 +97,16 @@ KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
   PM.setForceVerifyEach(verifyEachForced());
   PM.setVerifier([](const LoweringContext &C) {
     std::vector<std::string> Errors;
-    if (C.K)
+    if (C.K) {
       ir::verifyKernel(*C.K, Errors);
+      // Op x type x arch atomic legality, from the same OpDef lattice the
+      // atomic-expand pass plans from: Illegal combinations are always
+      // errors; Native-where-CAS only after expansion ran (earlier stages
+      // legitimately carry the default Impl).
+      if (C.Target)
+        reduce::verifyAtomicLegality(*C.K, C.Elem, *C.Target,
+                                     C.AtomicsExpanded, Errors);
+    }
     return Errors;
   });
   PM.setPrinter([](const LoweringContext &C) {
@@ -111,7 +131,11 @@ KernelSynthesizer::synthesize(const VariantDescriptor &Desc,
     Stage.BlockDistributes = false;
     Stage.Coop = CoopKind::Tree;
     Stage.BlockSize = 256;
-    auto StageResult = synthesize(Stage, Opts);
+    // Arg-reductions carry (value, index) pairs in the partials buffer, so
+    // the second stage must combine them as pairs rather than re-attach
+    // positional indices of the partial buffer itself.
+    auto StageResult =
+        synthesizeImpl(Stage, Opts, Target, /*InputIsPairs=*/isArgReduce(Op));
     if (!StageResult)
       return StageResult.status();
     Result->SecondStage = std::move(*StageResult);

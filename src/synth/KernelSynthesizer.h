@@ -28,6 +28,7 @@
 #ifndef TANGRAM_SYNTH_KERNELSYNTHESIZER_H
 #define TANGRAM_SYNTH_KERNELSYNTHESIZER_H
 
+#include "gpusim/Arch.h"
 #include "ir/Bytecode.h"
 #include "ir/KernelIR.h"
 #include "lang/AST.h"
@@ -37,6 +38,7 @@
 #include "transforms/Pipeline.h"
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -95,11 +97,16 @@ public:
   /// kernels: the main kernel stores per-block partials (Listing 1) and a
   /// cooperative second stage reduces them. Failures carry
   /// StatusCode::UnknownVariant (a canonical codelet the descriptor needs
-  /// is absent) or StatusCode::SynthesisError (lowering / verification),
-  /// tagged with the failing pass when per-pass verification is on.
+  /// is absent) or StatusCode::SynthesisError (lowering / verification —
+  /// including op x type x arch combinations the atomic-expand pass
+  /// refuses), tagged with the failing pass when per-pass verification is
+  /// on. \p Target selects the architecture the atomic-expand pass plans
+  /// CAS loops for; without one the pass is skipped (kernels then encode
+  /// native atomics only, the arch-agnostic emitCuda path).
   support::Expected<std::unique_ptr<SynthesizedVariant>>
   synthesize(const VariantDescriptor &Desc,
-             const OptimizationFlags &Opts = {}) const;
+             const OptimizationFlags &Opts = {},
+             std::optional<sim::ArchGeneration> Target = {}) const;
 
   /// Shares per-pass timing / dump / verification sinks with the caller.
   /// The synthesizer does not own \p PI; pass nullptr to detach.
@@ -112,6 +119,11 @@ public:
   ir::ScalarType getElem() const { return Elem; }
 
 private:
+  support::Expected<std::unique_ptr<SynthesizedVariant>>
+  synthesizeImpl(const VariantDescriptor &Desc, const OptimizationFlags &Opts,
+                 std::optional<sim::ArchGeneration> Target,
+                 bool InputIsPairs) const;
+
   const lang::TranslationUnit &TU;
   const std::map<const lang::CodeletDecl *,
                  transforms::CodeletTransformInfo> &Infos;

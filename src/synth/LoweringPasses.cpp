@@ -8,7 +8,9 @@
 
 #include "ir/Transforms.h"
 #include "ir/Verifier.h"
+#include "reduce/OpDef.h"
 #include "support/Statistics.h"
+#include "support/StringUtils.h"
 #include "synth/ReductionSpectrum.h"
 
 #include <cassert>
@@ -139,9 +141,14 @@ Status tileExpand(LoweringContext &Ctx) {
                             M.special(SpecialReg::BlockDimX)),
                     M.special(SpecialReg::ThreadIdxX));
   Expr *Gidx = Ctx.GlobalIndexOf(TileElem);
+  Expr *Load = M.create<LoadGlobalExpr>(Ctx.Input, Gidx);
+  // Arg-reductions attach the element's global index at the read; inputs
+  // that already carry payloads (second-stage partials) must not be
+  // re-stamped with partial-buffer positions.
+  if (isArgReduce(Ctx.Op) && !Ctx.InputIsPairs)
+    Load = M.makePair(Load, Gidx);
   Expr *Guarded = M.create<SelectExpr>(
-      M.cmp(BinOp::LT, Gidx, M.ref(Ctx.SourceSize)),
-      M.create<LoadGlobalExpr>(Ctx.Input, Gidx),
+      M.cmp(BinOp::LT, Gidx, M.ref(Ctx.SourceSize)), Load,
       identityConst(M, Ctx.Elem, Ctx.Op), Ctx.Elem);
   std::vector<Stmt *> LoopBody = {M.create<AssignStmt>(
       Val, reduceExpr(M, Ctx.Op, M.ref(Val), Guarded, Ctx.Elem))};
@@ -232,6 +239,7 @@ Status coopLower(LoweringContext &Ctx) {
     View.SourceSize = Ctx.SourceSize;
     View.GlobalIndex = Ctx.GlobalIndexOf;
     View.Size = [&M, &Ctx]() -> Expr * { return M.ref(Ctx.ObjectSize); };
+    View.InputIsPairs = Ctx.InputIsPairs;
   }
 
   CoopLowering Lower(M, *K, *Ctx.Coop, *Ctx.Info, Ctx.Plan, View, Ctx.Op,
@@ -252,6 +260,67 @@ Status unrollLoopsPass(LoweringContext &Ctx) {
   TransformStats S = ir::unrollConstantLoops(*Ctx.Result->M, *Ctx.K);
   Statistics::get().add("ir.loops-unrolled", S.LoopsUnrolled);
   Statistics::get().add("ir.iterations-expanded", S.IterationsExpanded);
+  return Status::success();
+}
+
+/// Walks a kernel body marking every atomic statement's Impl per the
+/// OpDef legality lattice for \p Gen. Returns the first Illegal site's
+/// message, or empty when the kernel is expandable.
+std::string expandAtomicsIn(const std::vector<Stmt *> &Body,
+                            ir::ScalarType Elem, sim::ArchGeneration Gen,
+                            unsigned &CasLoops) {
+  for (Stmt *S : Body) {
+    if (auto *A = dyn_cast<AtomicGlobalStmt>(S)) {
+      reduce::AtomicSupport Sup = reduce::atomicLegality(A->getOp(), Elem, Gen);
+      if (Sup == reduce::AtomicSupport::Illegal)
+        return strformat("no legal global atomic for %s over %s on %s",
+                         getReduceOpName(A->getOp()),
+                         ir::getScalarTypeName(Elem),
+                         sim::getArchGenerationName(Gen));
+      if (Sup == reduce::AtomicSupport::CasLoop) {
+        A->setImpl(AtomicImpl::CasLoop);
+        ++CasLoops;
+      }
+    } else if (auto *A = dyn_cast<AtomicSharedStmt>(S)) {
+      reduce::AtomicSupport Sup = reduce::atomicLegality(A->getOp(), Elem, Gen);
+      if (Sup == reduce::AtomicSupport::Illegal)
+        return strformat("no legal shared atomic for %s over %s on %s",
+                         getReduceOpName(A->getOp()),
+                         ir::getScalarTypeName(Elem),
+                         sim::getArchGenerationName(Gen));
+      if (Sup == reduce::AtomicSupport::CasLoop) {
+        A->setImpl(AtomicImpl::CasLoop);
+        ++CasLoops;
+      }
+    } else if (auto *I = dyn_cast<ir::IfStmt>(S)) {
+      std::string E = expandAtomicsIn(I->getThen(), Elem, Gen, CasLoops);
+      if (E.empty())
+        E = expandAtomicsIn(I->getElse(), Elem, Gen, CasLoops);
+      if (!E.empty())
+        return E;
+    } else if (auto *F = dyn_cast<ir::ForStmt>(S)) {
+      std::string E = expandAtomicsIn(F->getBody(), Elem, Gen, CasLoops);
+      if (!E.empty())
+        return E;
+    }
+  }
+  return std::string();
+}
+
+/// atomic-expand: rewrite atomics whose op x type has no native hardware
+/// instruction on the target into CAS-loop form, and refuse combinations
+/// the legality lattice marks Illegal (the structured-synthesis-error
+/// path the op-matrix tests assert). No-op without a known target.
+Status atomicExpand(LoweringContext &Ctx) {
+  if (!Ctx.Target)
+    return Status::success();
+  unsigned CasLoops = 0;
+  std::string E =
+      expandAtomicsIn(Ctx.K->getBody(), Ctx.Elem, *Ctx.Target, CasLoops);
+  if (!E.empty())
+    return Status(StatusCode::SynthesisError, "atomic-expand: " + E);
+  Ctx.AtomicsExpanded = true;
+  Statistics::get().add("atomic-expand.cas-loops", CasLoops);
   return Status::success();
 }
 
@@ -290,6 +359,7 @@ void tangram::synth::buildLoweringPipeline(
     PM.addPass("aggregate-atomics", aggregateAtomicsPass);
   if (Flags.UnrollLoops)
     PM.addPass("unroll-loops", unrollLoopsPass);
+  PM.addPass("atomic-expand", atomicExpand);
   PM.addPass("verify", verifyPass);
   PM.addPass("bytecode-prep", bytecodePrep);
 }

@@ -30,10 +30,12 @@
 #ifndef TANGRAM_SYNTH_LOWERINGPASSES_H
 #define TANGRAM_SYNTH_LOWERINGPASSES_H
 
+#include "gpusim/Arch.h"
 #include "pm/PassManager.h"
 #include "synth/CoopLowering.h"
 #include "synth/KernelSynthesizer.h"
 
+#include <optional>
 #include <vector>
 
 namespace tangram::synth {
@@ -50,6 +52,17 @@ struct LoweringContext {
   OptimizationFlags Flags;
   ReduceOp Op = ReduceOp::Add;
   ir::ScalarType Elem = ir::ScalarType::F32;
+  /// Target architecture generation; set when the caller knows where the
+  /// kernel will run. The atomic-expand pass consults the OpDef legality
+  /// lattice for it; without a target the pass is a no-op (emitted kernels
+  /// then assume native atomics, the historical behavior).
+  std::optional<sim::ArchGeneration> Target;
+  /// Arg-reductions only: the kernel's input elements already carry index
+  /// payloads (second-stage kernels reducing per-block partials).
+  bool InputIsPairs = false;
+  /// Set by atomic-expand once every atomic's Impl reflects the legality
+  /// lattice; verify-each only rejects native-where-CAS after this point.
+  bool AtomicsExpanded = false;
   /// Output container; owns the Module the passes build into.
   SynthesizedVariant *Result = nullptr;
 

@@ -11,16 +11,35 @@
 using namespace tangram;
 using namespace tangram::synth;
 
-const char *tangram::synth::getElemKindName(ElemKind K) {
-  return K == ElemKind::Int ? "int" : "float";
+const char *tangram::synth::getElemSourceName(ir::ScalarType Ty) {
+  switch (Ty) {
+  case ir::ScalarType::I32:
+    return "int";
+  case ir::ScalarType::U32:
+    return "unsigned";
+  case ir::ScalarType::F32:
+    return "float";
+  case ir::ScalarType::I64:
+    return "long";
+  case ir::ScalarType::F64:
+    return "double";
+  }
+  return "float";
 }
 
-std::string tangram::synth::getReductionSource(ElemKind Elem, ReduceOp Op) {
-  const char *T = getElemKindName(Elem);
-  const char *Zero = Elem == ElemKind::Int ? "0" : "0.0";
+std::string tangram::synth::getReductionSource(ir::ScalarType Elem,
+                                               ReduceOp Op) {
+  const char *T = getElemSourceName(Elem);
+  const char *Zero = ir::isFloatType(Elem) ? "0.0" : "0";
   const char *OpName = getReduceOpName(Op);
 
   std::ostringstream OS;
+
+  // Non-default spectra declare their (op, element) axis up front; the
+  // default float-Add unit stays byte-identical to the historical source
+  // so variant hashes and golden tests are unaffected.
+  if (Op != ReduceOp::Add || Elem != ir::ScalarType::F32)
+    OS << "__reduce(" << getReduceOpSpelling(Op) << ", " << T << ");\n\n";
 
   // Fig. 1(a): atomic autonomous codelet — sequential reduction.
   OS << "__codelet __tag(serial)\n"

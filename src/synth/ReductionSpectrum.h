@@ -17,22 +17,25 @@
 #ifndef TANGRAM_SYNTH_REDUCTIONSPECTRUM_H
 #define TANGRAM_SYNTH_REDUCTIONSPECTRUM_H
 
+#include "ir/KernelIR.h"
 #include "support/ReduceOp.h"
 
 #include <string>
 
 namespace tangram::synth {
 
-/// Element types the canonical source is generated for. The enum itself
-/// lives in support/ReduceOp.h so layer-0 helpers (reduceIdentity) and the
-/// execution engine's cache keys can name it without depending on synth.
-using ElemKind = tangram::ElemKind;
-
-const char *getElemKindName(ElemKind K); ///< "int" / "float"
+/// Tangram-source spelling of an element type ("int", "unsigned", "float",
+/// "long", "double") — the keyword the canonical source declares accums
+/// and arrays with.
+const char *getElemSourceName(ir::ScalarType Ty);
 
 /// Renders the full reduction translation unit. \p Op selects the Map
-/// atomic API spelled in the compound codelets (atomicAdd/Sub/Max/Min).
-std::string getReductionSource(ElemKind Elem = ElemKind::Float,
+/// atomic API spelled in the compound codelets (atomicAdd/Sub/Max/Min/
+/// ArgMin/ArgMax/Any). Non-default (op, element) combinations additionally
+/// declare themselves with a leading `__reduce(<op>, <type>);` directive;
+/// the float-Add unit is emitted exactly as before so golden sources and
+/// bytecode hashes are unchanged.
+std::string getReductionSource(ir::ScalarType Elem = ir::ScalarType::F32,
                                ReduceOp Op = ReduceOp::Add);
 
 /// Codelet tags used by the synthesizer to pick implementations.

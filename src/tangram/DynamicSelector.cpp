@@ -7,6 +7,7 @@
 #include "tangram/DynamicSelector.h"
 
 #include "baselines/OmpCpuReduce.h"
+#include "reduce/OpDef.h"
 
 #include <cmath>
 #include <limits>
@@ -130,19 +131,14 @@ DynamicSelector::hostFallback(engine::ExecutionEngine &E, sim::BufferId In,
   // Honor the facade's operator and element domain exactly — the baseline's
   // parallel path only knows float Add, and correctness beats speed here.
   const TangramReduction::Options &Opts = TR.getOptions();
-  ReduceIdentityValue Id = reduceIdentity(Opts.Op, Opts.Elem);
+  reduce::HostAccumulator Acc(Opts.Op, Opts.Elem);
+  for (size_t I = 0; I != N; ++I)
+    Acc.accumulate(Dev.readFloat(In, I), Dev.readInt(In, I),
+                   static_cast<long long>(I));
   engine::RunResult Out;
-  if (Opts.Elem == ElemKind::Float) {
-    double Acc = Id.F;
-    for (size_t I = 0; I != N; ++I)
-      Acc = applyReduceOp<double>(Opts.Op, Acc, Dev.readFloat(In, I));
-    Out.FloatValue = Acc;
-  } else {
-    long long Acc = Id.I;
-    for (size_t I = 0; I != N; ++I)
-      Acc = applyReduceOp<long long>(Opts.Op, Acc, Dev.readInt(In, I));
-    Out.IntValue = Acc;
-  }
+  Out.FloatValue = Acc.valueF();
+  Out.IntValue = Acc.valueI();
+  Out.IndexValue = Acc.index();
   // Priced like the OmpCpuReduce baseline (POWER8 host model).
   Out.Seconds = baselines::Power8Model{}.seconds(N);
   return Out;

@@ -21,6 +21,27 @@ using support::Expected;
 using support::Status;
 using support::StatusCode;
 
+/// Maps a declared language element type onto the IR scalar type.
+static ir::ScalarType scalarTypeFor(const lang::Type *Ty,
+                                    ir::ScalarType Default) {
+  if (!Ty)
+    return Default;
+  switch (Ty->getKind()) {
+  case lang::Type::Kind::Int:
+    return ir::ScalarType::I32;
+  case lang::Type::Kind::Unsigned:
+    return ir::ScalarType::U32;
+  case lang::Type::Kind::Float:
+    return ir::ScalarType::F32;
+  case lang::Type::Kind::Long:
+    return ir::ScalarType::I64;
+  case lang::Type::Kind::Double:
+    return ir::ScalarType::F64;
+  default:
+    return Default;
+  }
+}
+
 Expected<std::unique_ptr<TangramReduction>>
 TangramReduction::create(const Options &Opts) {
   auto TR = std::unique_ptr<TangramReduction>(new TangramReduction());
@@ -39,12 +60,18 @@ TangramReduction::create(const Options &Opts) {
   sema::Sema S(*TR->Ctx, *TR->Diags);
   if (!S.analyze(TR->TU))
     return Status(StatusCode::SemaError, TR->Diags->renderAll());
+  // A source-level `__reduce(op, type);` declaration is authoritative: an
+  // overriding source carries its own reduction axis, and the canonical
+  // source's declaration matches the options it was generated from.
+  if (TR->TU.HasReduceDecl) {
+    TR->Opts.Op = TR->TU.DeclaredOp;
+    TR->Opts.Elem = scalarTypeFor(TR->TU.DeclaredElem, Opts.Elem);
+  }
   TR->PI = std::make_unique<pm::PassInstrumentation>(Opts.PM);
   TR->Infos = transforms::runTransformPipeline(TR->TU, TR->PI.get());
-  TR->Synth = std::make_unique<KernelSynthesizer>(
-      TR->TU, TR->Infos, Opts.Op,
-      Opts.Elem == ElemKind::Float ? ir::ScalarType::F32
-                                   : ir::ScalarType::I32);
+  TR->Synth =
+      std::make_unique<KernelSynthesizer>(TR->TU, TR->Infos, TR->Opts.Op,
+                                          TR->Opts.Elem);
   TR->Synth->setInstrumentation(TR->PI.get());
   TR->Space = enumerateVariants();
   TR->Cache = Opts.Engine.Cache

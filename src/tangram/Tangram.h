@@ -49,7 +49,7 @@ namespace tangram {
 class TangramReduction {
 public:
   struct Options {
-    synth::ElemKind Elem = synth::ElemKind::Float;
+    ir::ScalarType Elem = ir::ScalarType::F32;
     ReduceOp Op = ReduceOp::Add;
     /// Tunable candidates explored by `tune` (the paper's tuning script).
     std::vector<unsigned> BlockSizes = {64, 128, 256, 512};

@@ -7,6 +7,7 @@
 #include "transforms/GlobalAtomicMapPass.h"
 
 #include "lang/ASTVisitor.h"
+#include "reduce/OpDef.h"
 
 using namespace tangram;
 using namespace tangram::lang;
@@ -73,6 +74,8 @@ tangram::transforms::analyzeGlobalAtomicMap(CodeletDecl *C) {
   Info.AtomicAPI = F.AtomicAPI;
   Info.MapVar = F.MapVar;
   Info.Op = F.AtomicOp;
+  const reduce::OpDef &D = reduce::getOpDef(Info.Op);
+  Info.ReorderSafe = D.Commutative && D.Associative;
   // The spectrum call is only relevant when it consumes the same Map the
   // atomic API was invoked on.
   if (F.SpectrumCall && F.SpectrumConsumesMap == F.MapVar) {
@@ -87,8 +90,9 @@ bool tangram::transforms::applyGlobalAtomicVariant(
   if (EnableAtomic) {
     // The atomic API accumulates the partial results; the spectrum call
     // that would have done the same work is disabled (only when it applies
-    // the same computation — Section III-A).
-    if (!Info.SpectrumCall || !Info.SameComputation)
+    // the same computation — Section III-A — and the op tolerates the
+    // nondeterministic update order atomics impose).
+    if (!Info.SpectrumCall || !Info.SameComputation || !Info.ReorderSafe)
       return false;
     Info.SpectrumCall->setDisabled(true);
     return true;

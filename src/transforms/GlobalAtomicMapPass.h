@@ -46,6 +46,11 @@ struct GlobalAtomicInfo {
   /// Whether the spectrum call applies the same computation as the atomic
   /// API (the pass only disables it in that case).
   bool SameComputation = false;
+  /// Whether the op tolerates arbitrary inter-block accumulation order
+  /// (reduce::OpDef Commutative && Associative). Atomics serialize updates
+  /// in nondeterministic order, so the atomic variant is only generated
+  /// when this holds.
+  bool ReorderSafe = true;
 };
 
 /// Scans \p C for a Map atomic API. Returns nullopt when the codelet has

@@ -49,7 +49,7 @@ void tangram::transforms::buildAstPipeline(
     return Status::success();
   });
   PM.addPass("warp-shuffle-detect", [](CodeletAnalysis &U) {
-    U.Info.Shuffles = detectWarpShuffle(U.C);
+    U.Info.Shuffles = detectWarpShuffle(U.C, U.Op);
     Statistics::get().add("warp-shuffle.opportunities",
                           U.Info.Shuffles.size());
     for (const ShuffleOpportunity &S : U.Info.Shuffles)
@@ -69,6 +69,8 @@ tangram::transforms::runTransformPipeline(const TranslationUnit &TU,
   for (CodeletDecl *C : TU.Codelets) {
     CodeletAnalysis Unit;
     Unit.C = C;
+    if (TU.HasReduceDecl)
+      Unit.Op = TU.DeclaredOp;
     // Every AST analysis is total; the manager's Status plumbing exists
     // for the lowering pipelines that share it.
     (void)PM.run(Unit);

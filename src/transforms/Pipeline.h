@@ -40,7 +40,8 @@ struct CodeletTransformInfo {
   /// count; shared-atomic codelets are distinct codelets by construction.
   unsigned variantAxisCount() const {
     unsigned Axes = 0;
-    if (GlobalAtomic && GlobalAtomic->SameComputation)
+    if (GlobalAtomic && GlobalAtomic->SameComputation &&
+        GlobalAtomic->ReorderSafe)
       ++Axes;
     if (!Shuffles.empty())
       ++Axes;
@@ -52,6 +53,9 @@ struct CodeletTransformInfo {
 /// analysis results accumulated for it so far.
 struct CodeletAnalysis {
   lang::CodeletDecl *C = nullptr;
+  /// The unit's spectrum operator (from the `__reduce` declaration when
+  /// present); the OpDef-gated passes consult its algebraic flags.
+  ReduceOp Op = ReduceOp::Add;
   CodeletTransformInfo Info;
 };
 

@@ -7,6 +7,7 @@
 #include "transforms/SharedAtomicAnalysis.h"
 
 #include "lang/ASTVisitor.h"
+#include "reduce/OpDef.h"
 
 using namespace tangram;
 using namespace tangram::lang;
@@ -36,7 +37,8 @@ public:
     // Both plain assignment (`partial = val`, redefined by the qualifier
     // as an atomic accumulation — Fig. 3) and compound assignment
     // (`partial += val`) lower to the qualifier's atomic op.
-    Info.Writes.push_back({B, Var, Var->getAtomicOp()});
+    ReduceOp Op = Var->getAtomicOp();
+    Info.Writes.push_back({B, Var, Op, reduce::getOpDef(Op).NeedsIndex});
     return true;
   }
 

@@ -31,6 +31,10 @@ struct SharedAtomicWrite {
   const lang::VarDecl *Var = nullptr;
   /// Operator taken from the variable's qualifier.
   ReduceOp Op = ReduceOp::Add;
+  /// From reduce::OpDef: the accumulator carries a (value, index) pair
+  /// (ArgMin/ArgMax), so the write lowers to a pair-CAS update rather
+  /// than a single-word atomic.
+  bool NeedsIndex = false;
 };
 
 /// Result of the analysis over one codelet.

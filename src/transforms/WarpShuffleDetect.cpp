@@ -7,6 +7,7 @@
 #include "transforms/WarpShuffleDetect.h"
 
 #include "lang/ASTVisitor.h"
+#include "reduce/OpDef.h"
 
 #include <optional>
 #include <unordered_map>
@@ -327,8 +328,14 @@ bool canElideArray(const CodeletDecl *C, const VarDecl *Array,
 } // namespace
 
 std::vector<ShuffleOpportunity>
-tangram::transforms::detectWarpShuffle(const CodeletDecl *C) {
+tangram::transforms::detectWarpShuffle(const CodeletDecl *C, ReduceOp Op) {
   std::vector<ShuffleOpportunity> Result;
+  // The butterfly rewrite pairs lanes in halving order, reassociating and
+  // commuting the fold relative to the source loop; the OpDef flags decide
+  // whether that is observationally equivalent.
+  const reduce::OpDef &D = reduce::getOpDef(Op);
+  if (!D.Commutative || !D.Associative)
+    return Result;
   for (const ForStmt *Loop : collectLoops(C))
     if (std::optional<ShuffleOpportunity> Opp = matchLoop(Loop))
       Result.push_back(*Opp);

@@ -60,9 +60,13 @@ struct ShuffleOpportunity {
   const lang::BinaryExpr *Reduction = nullptr;
 };
 
-/// Runs the Fig. 4 matcher over every forloop of \p C.
+/// Runs the Fig. 4 matcher over every forloop of \p C. The shuffle
+/// rewrite reassociates and commutes the fold (lanes pair up in halving
+/// order rather than source order), so opportunities are only reported
+/// when \p Op is marked Commutative and Associative in the reduce::OpDef
+/// table; for other ops the loop must keep its shared-memory form.
 std::vector<ShuffleOpportunity>
-detectWarpShuffle(const lang::CodeletDecl *C);
+detectWarpShuffle(const lang::CodeletDecl *C, ReduceOp Op = ReduceOp::Add);
 
 } // namespace tangram::transforms
 

@@ -100,7 +100,7 @@ TEST(CudaEmitter, HostWrapperShape) {
 TEST(CudaEmitter, MaxReductionSpellsAtomicMax) {
   TangramReduction::Options Opts;
   Opts.Op = ReduceOp::Max;
-  Opts.Elem = ElemKind::Int;
+  Opts.Elem = ir::ScalarType::I32;
   auto TR = TangramReduction::create(Opts);
   ASSERT_TRUE(TR.ok()) << TR.status().toString();
   const VariantDescriptor *V =

@@ -196,7 +196,8 @@ TEST(Parser, MissingSemicolonDiagnosed) {
 }
 
 TEST(Parser, CanonicalReductionSourceParses) {
-  for (auto Elem : {synth::ElemKind::Int, synth::ElemKind::Float}) {
+  for (auto Elem : {ir::ScalarType::I32, ir::ScalarType::F32,
+                    ir::ScalarType::I64, ir::ScalarType::F64}) {
     auto R = parse(synth::getReductionSource(Elem));
     ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
     EXPECT_EQ(R.TU.Codelets.size(), 6u);

@@ -1,0 +1,286 @@
+//===- OpDefTest.cpp - Reduction-operator table tests -----------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The reduce::OpDef contract: the atomic legality lattice matches the
+// documented per-generation rules, identities are true identities under
+// the table's own combine, spellings round-trip through the parsers, and
+// the HostAccumulator folds every op — including the index-payload ones —
+// order-independently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reduce/OpDef.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace tangram;
+using namespace tangram::reduce;
+
+using ir::ScalarType;
+using sim::ArchGeneration;
+
+namespace {
+
+constexpr ArchGeneration AllGens[] = {ArchGeneration::Kepler,
+                                      ArchGeneration::Maxwell,
+                                      ArchGeneration::Pascal};
+
+//===----------------------------------------------------------------------===//
+// Legality lattice
+//===----------------------------------------------------------------------===//
+
+TEST(AtomicLegality, I32ArithmeticIsNativeEverywhere) {
+  for (ArchGeneration Gen : AllGens)
+    for (ReduceOp Op :
+         {ReduceOp::Add, ReduceOp::Sub, ReduceOp::Min, ReduceOp::Max})
+      EXPECT_EQ(atomicLegality(Op, ScalarType::I32, Gen),
+                AtomicSupport::Native)
+          << getReduceOpName(Op);
+}
+
+TEST(AtomicLegality, F32AddNativeButF32MinMaxNeedsCasEverywhere) {
+  for (ArchGeneration Gen : AllGens) {
+    EXPECT_EQ(atomicLegality(ReduceOp::Add, ScalarType::F32, Gen),
+              AtomicSupport::Native);
+    EXPECT_EQ(atomicLegality(ReduceOp::Min, ScalarType::F32, Gen),
+              AtomicSupport::CasLoop);
+    EXPECT_EQ(atomicLegality(ReduceOp::Max, ScalarType::F32, Gen),
+              AtomicSupport::CasLoop);
+    EXPECT_EQ(atomicLegality(ReduceOp::Sub, ScalarType::F32, Gen),
+              AtomicSupport::CasLoop);
+  }
+}
+
+TEST(AtomicLegality, F64AddNativeOnlyOnPascal) {
+  EXPECT_EQ(atomicLegality(ReduceOp::Add, ScalarType::F64,
+                           ArchGeneration::Kepler),
+            AtomicSupport::CasLoop);
+  EXPECT_EQ(atomicLegality(ReduceOp::Add, ScalarType::F64,
+                           ArchGeneration::Maxwell),
+            AtomicSupport::CasLoop);
+  EXPECT_EQ(atomicLegality(ReduceOp::Add, ScalarType::F64,
+                           ArchGeneration::Pascal),
+            AtomicSupport::Native);
+}
+
+TEST(AtomicLegality, I64MinMaxNeedsExtendedAtomicsUnit) {
+  for (ReduceOp Op : {ReduceOp::Min, ReduceOp::Max}) {
+    EXPECT_EQ(atomicLegality(Op, ScalarType::I64, ArchGeneration::Kepler),
+              AtomicSupport::CasLoop);
+    EXPECT_EQ(atomicLegality(Op, ScalarType::I64, ArchGeneration::Maxwell),
+              AtomicSupport::Native);
+    EXPECT_EQ(atomicLegality(Op, ScalarType::I64, ArchGeneration::Pascal),
+              AtomicSupport::Native);
+  }
+}
+
+TEST(AtomicLegality, ArgOpsAlwaysExpandAnd64BitIsIllegalOnKepler) {
+  for (ReduceOp Op : {ReduceOp::ArgMin, ReduceOp::ArgMax}) {
+    // 32-bit elements pack into a 64-bit CAS word on every generation.
+    for (ArchGeneration Gen : AllGens)
+      for (ScalarType Elem : {ScalarType::I32, ScalarType::F32})
+        EXPECT_EQ(atomicLegality(Op, Elem, Gen), AtomicSupport::CasLoop)
+            << getReduceOpName(Op);
+    // 64-bit elements need the scoped-lock emulation: forward progress
+    // only holds from Maxwell on.
+    for (ScalarType Elem : {ScalarType::I64, ScalarType::F64}) {
+      EXPECT_EQ(atomicLegality(Op, Elem, ArchGeneration::Kepler),
+                AtomicSupport::Illegal);
+      EXPECT_EQ(atomicLegality(Op, Elem, ArchGeneration::Maxwell),
+                AtomicSupport::CasLoop);
+      EXPECT_EQ(atomicLegality(Op, Elem, ArchGeneration::Pascal),
+                AtomicSupport::CasLoop);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Descriptor rows and identities
+//===----------------------------------------------------------------------===//
+
+TEST(OpDefTable, RowsAreSelfConsistent) {
+  for (ReduceOp Op : {ReduceOp::Add, ReduceOp::Sub, ReduceOp::Max,
+                      ReduceOp::Min, ReduceOp::ArgMax, ReduceOp::ArgMin,
+                      ReduceOp::Any}) {
+    const OpDef &D = getOpDef(Op);
+    EXPECT_EQ(D.Op, Op);
+    EXPECT_STREQ(D.Name, getReduceOpName(Op));
+    EXPECT_STREQ(D.Spelling, getReduceOpSpelling(Op));
+    EXPECT_EQ(D.NeedsIndex, isArgReduce(Op));
+    // Every current row is order-insensitive (Sub by the running-
+    // difference argument documented on the field).
+    EXPECT_TRUE(D.Commutative && D.Associative) << D.Name;
+    ASSERT_NE(D.CombineF, nullptr);
+    ASSERT_NE(D.CombineI, nullptr);
+    ASSERT_NE(D.FinalizeF, nullptr);
+    ASSERT_NE(D.FinalizeI, nullptr);
+  }
+}
+
+TEST(OpDefTable, IdentitiesAreNeutralUnderCombine) {
+  for (ReduceOp Op : {ReduceOp::Add, ReduceOp::Max, ReduceOp::Min,
+                      ReduceOp::Any}) {
+    const OpDef &D = getOpDef(Op);
+    for (ScalarType Elem : {ScalarType::F32, ScalarType::I32,
+                            ScalarType::I64, ScalarType::F64}) {
+      IdentityCell Id = getIdentity(Op, Elem);
+      for (double V : {-7.5, 0.0, 42.0})
+        EXPECT_EQ(D.FinalizeF(D.CombineF(Id.F, V)), D.FinalizeF(V))
+            << D.Name;
+      for (long long V : {-7ll, 0ll, 42ll})
+        EXPECT_EQ(D.FinalizeI(D.CombineI(Id.I, V)), D.FinalizeI(V))
+            << D.Name;
+    }
+  }
+}
+
+TEST(OpDefTable, IdentityUsesElementTypeExtrema) {
+  EXPECT_EQ(getIdentity(ReduceOp::Min, ScalarType::I64).I,
+            std::numeric_limits<long long>::max());
+  EXPECT_EQ(getIdentity(ReduceOp::Max, ScalarType::I64).I,
+            std::numeric_limits<long long>::min());
+  EXPECT_EQ(getIdentity(ReduceOp::Max, ScalarType::I32).I,
+            std::numeric_limits<int>::min());
+  EXPECT_EQ(getIdentity(ReduceOp::ArgMax, ScalarType::F32).Idx,
+            ReduceIndexSentinel);
+  EXPECT_EQ(getIdentity(ReduceOp::Add, ScalarType::F64).F, 0.0);
+}
+
+TEST(OpDefTable, KernelIdentityStaysInsideTrueIdentity) {
+  // The printable near-extremes must stay on the identity side of zero
+  // and never beat the true extrema.
+  for (ScalarType Elem : {ScalarType::F32, ScalarType::F64}) {
+    EXPECT_GE(getKernelIdentity(ReduceOp::Max, Elem).F,
+              getIdentity(ReduceOp::Max, Elem).F);
+    EXPECT_LE(getKernelIdentity(ReduceOp::Min, Elem).F,
+              getIdentity(ReduceOp::Min, Elem).F);
+    EXPECT_LT(getKernelIdentity(ReduceOp::Max, Elem).F, 0);
+    EXPECT_GT(getKernelIdentity(ReduceOp::Min, Elem).F, 0);
+  }
+  // Integer kernels can spell the exact extrema.
+  EXPECT_EQ(getKernelIdentity(ReduceOp::Min, ScalarType::I64).I,
+            getIdentity(ReduceOp::Min, ScalarType::I64).I);
+}
+
+//===----------------------------------------------------------------------===//
+// Spellings
+//===----------------------------------------------------------------------===//
+
+TEST(Spellings, ScalarTypeRoundTrip) {
+  for (ScalarType Ty : {ScalarType::I32, ScalarType::U32, ScalarType::F32,
+                        ScalarType::I64, ScalarType::F64}) {
+    ScalarType Parsed = ScalarType::I32;
+    ASSERT_TRUE(parseScalarType(getScalarTypeSpelling(Ty), Parsed));
+    EXPECT_EQ(Parsed, Ty);
+  }
+}
+
+TEST(Spellings, LanguageAliasesAccepted) {
+  ScalarType Ty = ScalarType::U32;
+  ASSERT_TRUE(parseScalarType("float", Ty));
+  EXPECT_EQ(Ty, ScalarType::F32);
+  ASSERT_TRUE(parseScalarType("int", Ty));
+  EXPECT_EQ(Ty, ScalarType::I32);
+  ASSERT_TRUE(parseScalarType("long", Ty));
+  EXPECT_EQ(Ty, ScalarType::I64);
+  ASSERT_TRUE(parseScalarType("double", Ty));
+  EXPECT_EQ(Ty, ScalarType::F64);
+  EXPECT_FALSE(parseScalarType("quad", Ty));
+}
+
+//===----------------------------------------------------------------------===//
+// HostAccumulator
+//===----------------------------------------------------------------------===//
+
+TEST(HostAccumulator, ArgMaxTracksIndexAndBreaksTiesLow) {
+  HostAccumulator Acc(ReduceOp::ArgMax, ScalarType::F32);
+  double Vals[] = {1.0, 8.0, 3.0, 8.0, -2.0};
+  for (long long I = 0; I != 5; ++I)
+    Acc.accumulate(Vals[I], 0, I);
+  EXPECT_EQ(Acc.valueF(), 8.0);
+  EXPECT_EQ(Acc.index(), 1); // First of the tied maxima.
+}
+
+TEST(HostAccumulator, ArgMinUsesIntegerLaneForIntegerElements) {
+  HostAccumulator Acc(ReduceOp::ArgMin, ScalarType::I64);
+  long long Vals[] = {5, -9, 2, -9};
+  for (long long I = 0; I != 4; ++I)
+    Acc.accumulate(0, Vals[I], I);
+  EXPECT_EQ(Acc.valueI(), -9);
+  EXPECT_EQ(Acc.index(), 1);
+}
+
+TEST(HostAccumulator, PartialsRecombineExactly) {
+  // Worker partials re-entering as (value, winning-index) elements must
+  // reproduce the serial fold — the join step of the CPU baseline.
+  long long Vals[] = {4, 17, 9, 17, 1, 0, 16, 3};
+  HostAccumulator Serial(ReduceOp::ArgMax, ScalarType::I32);
+  for (long long I = 0; I != 8; ++I)
+    Serial.accumulate(0, Vals[I], I);
+
+  HostAccumulator Lo(ReduceOp::ArgMax, ScalarType::I32);
+  HostAccumulator Hi(ReduceOp::ArgMax, ScalarType::I32);
+  for (long long I = 0; I != 4; ++I)
+    Lo.accumulate(0, Vals[I], I);
+  for (long long I = 4; I != 8; ++I)
+    Hi.accumulate(0, Vals[I], I);
+  HostAccumulator Join(ReduceOp::ArgMax, ScalarType::I32);
+  Join.accumulate(0, Hi.valueI(), Hi.index()); // Order-independent.
+  Join.accumulate(0, Lo.valueI(), Lo.index());
+  EXPECT_EQ(Join.valueI(), Serial.valueI());
+  EXPECT_EQ(Join.index(), Serial.index());
+}
+
+TEST(HostAccumulator, AnyNormalizesAtFinalizeAndIsIdempotent) {
+  HostAccumulator Acc(ReduceOp::Any, ScalarType::I32);
+  Acc.accumulate(0, 0, 0);
+  EXPECT_EQ(Acc.valueI(), 0);
+  Acc.accumulate(7, 7, 1);
+  EXPECT_EQ(Acc.valueI(), 1);
+  // Finalized partials re-enter without changing the answer.
+  HostAccumulator Join(ReduceOp::Any, ScalarType::I32);
+  Join.accumulate(static_cast<double>(Acc.valueI()), Acc.valueI(), 0);
+  EXPECT_EQ(Join.valueI(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// IR-level legality verification (--verify-each)
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyAtomicLegality, FlagsIllegalAndUnderExpandedAtomics) {
+  // A kernel doing `atomicArgMax` on i64 cells: Illegal on Kepler no
+  // matter what, and still an error on Pascal once atomic-expand claims
+  // to have run while the statement is left marked Native.
+  ir::Module M;
+  ir::Kernel *K = M.addKernel("probe");
+  ir::Param *Out = K->addPointerParam("out", ScalarType::I64);
+  ir::Local *V = K->addLocal("v", ScalarType::I64);
+  K->getBody().push_back(M.create<ir::DeclLocalStmt>(V, M.constI(1)));
+  K->getBody().push_back(M.create<ir::AtomicGlobalStmt>(
+      ReduceOp::ArgMax, ir::AtomicScope::Device, Out, M.constI(0),
+      M.ref(V)));
+
+  std::vector<std::string> Errors;
+  verifyAtomicLegality(*K, ScalarType::I64, ArchGeneration::Kepler,
+                       /*Expanded=*/false, Errors);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].find("illegal"), std::string::npos) << Errors[0];
+
+  Errors.clear();
+  verifyAtomicLegality(*K, ScalarType::I64, ArchGeneration::Pascal,
+                       /*Expanded=*/true, Errors);
+  ASSERT_EQ(Errors.size(), 1u);
+
+  // Before expansion the default Native marking is tolerated on Pascal.
+  Errors.clear();
+  verifyAtomicLegality(*K, ScalarType::I64, ArchGeneration::Pascal,
+                       /*Expanded=*/false, Errors);
+  EXPECT_TRUE(Errors.empty());
+}
+
+} // namespace

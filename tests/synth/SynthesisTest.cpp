@@ -120,7 +120,7 @@ struct Compiled {
   std::map<const lang::CodeletDecl *, transforms::CodeletTransformInfo>
       Infos;
 
-  Compiled(ElemKind Elem, ReduceOp Op) {
+  Compiled(ir::ScalarType Elem, ReduceOp Op) {
     SM = std::make_unique<SourceManager>("reduction.tgr",
                                          getReductionSource(Elem, Op));
     Diags = std::make_unique<DiagnosticEngine>(*SM);
@@ -134,11 +134,11 @@ struct Compiled {
 };
 
 Compiled &floatAdd() {
-  static Compiled C(ElemKind::Float, ReduceOp::Add);
+  static Compiled C(ir::ScalarType::F32, ReduceOp::Add);
   return C;
 }
 Compiled &intAdd() {
-  static Compiled C(ElemKind::Int, ReduceOp::Add);
+  static Compiled C(ir::ScalarType::I32, ReduceOp::Add);
   return C;
 }
 
@@ -417,7 +417,7 @@ TEST(ReductionRunner, IntReductionIsExact) {
 
 TEST(ReductionRunner, MaxAndMinReductions) {
   for (ReduceOp Op : {ReduceOp::Max, ReduceOp::Min}) {
-    Compiled C(ElemKind::Int, Op);
+    Compiled C(ir::ScalarType::I32, Op);
     KernelSynthesizer Synth(C.TU, C.Infos, Op, ir::ScalarType::I32);
     SearchSpace Space = enumerateVariants();
 

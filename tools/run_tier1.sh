@@ -4,9 +4,17 @@
 #
 # After the plain tier-1 suite passes, the suite runs once more with
 # TGR_VERIFY_EACH=1 (the tier1-verify-each preset): every lowering
-# pipeline re-verifies the kernel IR after every pass, so a pass that
-# emits structurally broken IR fails with the pass's name even if a
-# later pass would have masked the damage. Skip with --no-verify-each.
+# pipeline re-verifies the kernel IR after every pass — including the
+# reduce::OpDef atomic-legality check, so an op/arch-illegal or
+# under-expanded atomic fails with the pass's name even if a later pass
+# would have masked the damage. Skip with --no-verify-each.
+#
+# Finally the `op-matrix` labeled suites (the tier1-opmatrix preset) run
+# under the same per-pass verification: the reduction-op x dtype sweeps
+# across {Add, Min, Max, ArgMax} x {F32, I32, I64}. They are part of the
+# plain suite too; the dedicated pass pins the label wiring so the sweep
+# can be invoked alone (`ctest --preset tier1-opmatrix`). Skip with
+# --no-op-matrix.
 #
 #   tools/run_tier1.sh                     # RelWithDebInfo tier-1 gate
 #   tools/run_tier1.sh --preset asan-ubsan # same suite under ASan+UBSan
@@ -15,6 +23,7 @@ set -eu
 
 PRESET="tier1"
 VERIFY_EACH=1
+OP_MATRIX=1
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset)
@@ -24,6 +33,8 @@ while [ $# -gt 0 ]; do
       PRESET="${1#--preset=}"; shift ;;
     --no-verify-each)
       VERIFY_EACH=0; shift ;;
+    --no-op-matrix)
+      OP_MATRIX=0; shift ;;
     -h|--help)
       sed -n '2,14p' "$0"; exit 0 ;;
     -*)
@@ -43,6 +54,10 @@ if command -v cmake >/dev/null 2>&1 && cmake --list-presets >/dev/null 2>&1; the
     echo "== tier-1 again with per-pass IR verification (TGR_VERIFY_EACH=1) =="
     ctest --preset tier1-verify-each
   fi
+  if [ "$OP_MATRIX" = 1 ] && [ "$PRESET" = tier1 ]; then
+    echo "== op-matrix sweep under per-pass verification (label: op-matrix) =="
+    ctest --preset tier1-opmatrix
+  fi
 else
   # CMake < 3.21: no preset support; fall back to the plain tier-1 build.
   cmake -B build -S .
@@ -51,5 +66,9 @@ else
   if [ "$VERIFY_EACH" = 1 ]; then
     echo "== tier-1 again with per-pass IR verification (TGR_VERIFY_EACH=1) =="
     TGR_VERIFY_EACH=1 ctest --test-dir build --output-on-failure -j 4
+  fi
+  if [ "$OP_MATRIX" = 1 ]; then
+    echo "== op-matrix sweep under per-pass verification (label: op-matrix) =="
+    TGR_VERIFY_EACH=1 ctest --test-dir build -L op-matrix --output-on-failure -j 4
   fi
 fi

@@ -19,8 +19,9 @@
 //                                front-end check a user codelet source
 //
 // Shared options:
-//   --op=add|sub|max|min   reduction operator (canonical source only)
-//   --type=float|int       element type (canonical source only)
+//   --op=add|sub|max|min|argmax|argmin|any
+//                          reduction operator (canonical source only)
+//   --type=f32|i32|i64|f64 element type (legacy float|int accepted)
 //   --arch=kepler|maxwell|pascal|all   target architecture(s)
 //   --n=SIZE               problem size (elements)
 //   --fault=KIND|all       fault kind(s) injected by faultcheck
@@ -41,6 +42,7 @@
 #include "codegen/CudaEmitter.h"
 #include "lang/ASTPrinter.h"
 #include "lang/Parser.h"
+#include "reduce/OpDef.h"
 #include "sema/Sema.h"
 #include "support/Statistics.h"
 #include "synth/ReductionSpectrum.h"
@@ -73,7 +75,8 @@ int usage() {
       "                  [--seed=S] [--period=P]\n"
       "  tgrc tune FILE.tgr [--arch=...] [--n=SIZE]\n"
       "  tgrc check FILE [--dump-ast] [--dump-passes]\n"
-      "shared options: --op=add|sub|max|min --type=float|int\n"
+      "shared options: --op=add|sub|max|min|argmax|argmin|any\n"
+      "                --type=f32|i32|i64|f64 (legacy: float|int)\n"
       "                --time-passes --stats --print-after-all "
       "--verify-each\n");
   return 2;
@@ -173,24 +176,18 @@ bool parseOptions(int Argc, char **Argv, DriverOptions &O) {
         return false;
       O.FaultPeriod = V;
     } else if (!std::strncmp(Arg, "--op=", 5)) {
-      std::string Op = Arg + 5;
-      if (Op == "add")
-        O.Create.Op = ReduceOp::Add;
-      else if (Op == "sub")
-        O.Create.Op = ReduceOp::Sub;
-      else if (Op == "max")
-        O.Create.Op = ReduceOp::Max;
-      else if (Op == "min")
-        O.Create.Op = ReduceOp::Min;
-      else
+      // The whole reduce::OpDef spectrum, not just the arithmetic four.
+      if (!parseReduceOp(Arg + 5, O.Create.Op))
         return false;
     } else if (!std::strncmp(Arg, "--type=", 7)) {
       std::string Ty = Arg + 7;
+      // Legacy spellings stay accepted alongside the OpDef table's
+      // f32/i32/i64/f64 names.
       if (Ty == "float")
-        O.Create.Elem = ElemKind::Float;
+        Ty = "f32";
       else if (Ty == "int")
-        O.Create.Elem = ElemKind::Int;
-      else
+        Ty = "i32";
+      if (!reduce::parseScalarType(Ty, O.Create.Elem))
         return false;
     } else if (Arg[0] == '-')
       return false;
@@ -324,8 +321,14 @@ int cmdList(const DriverOptions &O) {
     return 0;
   }
   const SearchSpace &Space = TR->getSearchSpace();
-  std::printf("%zu versions enumerated, %zu after pruning:\n",
-              Space.All.size(), Space.Pruned.size());
+  // Axis provenance includes the reduction axis itself: every variant of
+  // this spectrum lowers the same (op, dtype) point.
+  const char *OpSpelling = getReduceOpSpelling(O.Create.Op);
+  const char *DtypeSpelling = reduce::getScalarTypeSpelling(O.Create.Elem);
+  std::printf("%zu versions enumerated, %zu after pruning (op=%s "
+              "dtype=%s):\n",
+              Space.All.size(), Space.Pruned.size(), OpSpelling,
+              DtypeSpelling);
   for (const VariantDescriptor &V : Space.Pruned) {
     std::string L = V.getFigure6Label();
     // Axis provenance: which Section III rewrites produced this variant,
@@ -360,13 +363,13 @@ int cmdList(const DriverOptions &O) {
           Axes = It->second.variantAxisCount();
       }
     }
-    std::printf("  %-4s %-20s %-14s global-atomic=%c shuffle=%c "
-                "shared-atomic=%-2s axes=%u\n",
+    std::printf("  %-4s %-20s %-14s op=%s dtype=%s global-atomic=%c "
+                "shuffle=%c shared-atomic=%-2s axes=%u\n",
                 L.empty() ? "" : ("(" + L + ")").c_str(),
                 V.getName().c_str(),
-                getVariantCategoryName(V.getCategory()),
-                GlobalAtomic ? '+' : '-', Shuffle ? '+' : '-', SharedCodelet,
-                Axes);
+                getVariantCategoryName(V.getCategory()), OpSpelling,
+                DtypeSpelling, GlobalAtomic ? '+' : '-', Shuffle ? '+' : '-',
+                SharedCodelet, Axes);
   }
   printObservability(*TR);
   return 0;
@@ -424,11 +427,17 @@ int cmdTune(const DriverOptions &Opts, const std::string &Name) {
   auto TR = compileSpectrum(O);
   if (!TR)
     return 1;
+  // Tuned-point provenance: a tuned configuration is only comparable
+  // within its (op, dtype) spectrum, so both spellings ride along.
+  const char *OpSpelling = getReduceOpSpelling(TR->getOptions().Op);
+  const char *DtypeSpelling =
+      reduce::getScalarTypeSpelling(TR->getOptions().Elem);
   if (IsFile) {
     for (const sim::ArchDesc &Arch : O.Archs) {
       TangramReduction::BestResult Best = TR->findBest(Arch, O.N);
-      std::printf("%-10s n=%zu  %-4s %-20s block=%u coarsen=%u  %.3f us\n",
-                  Arch.Name.c_str(), O.N,
+      std::printf("%-10s n=%zu op=%s dtype=%s  %-4s %-20s block=%u "
+                  "coarsen=%u  %.3f us\n",
+                  Arch.Name.c_str(), O.N, OpSpelling, DtypeSpelling,
                   Best.Fig6Label.empty() ? "-" : Best.Fig6Label.c_str(),
                   Best.Desc.getName().c_str(), Best.Desc.BlockSize,
                   Best.Desc.Coarsen, Best.Seconds * 1e6);
@@ -444,9 +453,9 @@ int cmdTune(const DriverOptions &Opts, const std::string &Name) {
   for (const sim::ArchDesc &Arch : O.Archs) {
     VariantDescriptor Tuned = TR->tune(*V, Arch, O.N);
     double Seconds = TR->timeVariant(Tuned, Arch, O.N);
-    std::printf("%-10s n=%zu  block=%u coarsen=%u  %.3f us\n",
-                Arch.Name.c_str(), O.N, Tuned.BlockSize, Tuned.Coarsen,
-                Seconds * 1e6);
+    std::printf("%-10s n=%zu op=%s dtype=%s  block=%u coarsen=%u  %.3f us\n",
+                Arch.Name.c_str(), O.N, OpSpelling, DtypeSpelling,
+                Tuned.BlockSize, Tuned.Coarsen, Seconds * 1e6);
   }
   printObservability(*TR);
   return 0;
@@ -460,8 +469,11 @@ int cmdBest(const DriverOptions &O) {
     return 1;
   for (const sim::ArchDesc &Arch : O.Archs) {
     TangramReduction::BestResult Best = TR->findBest(Arch, O.N);
-    std::printf("%-10s n=%zu  %-4s %-20s block=%u coarsen=%u  %.3f us\n",
+    std::printf("%-10s n=%zu op=%s dtype=%s  %-4s %-20s block=%u "
+                "coarsen=%u  %.3f us\n",
                 Arch.Name.c_str(), O.N,
+                getReduceOpSpelling(TR->getOptions().Op),
+                reduce::getScalarTypeSpelling(TR->getOptions().Elem),
                 Best.Fig6Label.empty() ? "-" : Best.Fig6Label.c_str(),
                 Best.Desc.getName().c_str(), Best.Desc.BlockSize,
                 Best.Desc.Coarsen, Best.Seconds * 1e6);
