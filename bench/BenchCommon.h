@@ -16,6 +16,7 @@
 #ifndef TANGRAM_BENCH_BENCHCOMMON_H
 #define TANGRAM_BENCH_BENCHCOMMON_H
 
+#include "native/VecTraits.h"
 #include "pm/PassInstrumentation.h"
 #include "support/Statistics.h"
 #include "tangram/FigureHarness.h"
@@ -24,6 +25,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -141,9 +143,25 @@ inline void appendFigureRecords(const sim::ArchDesc &Arch,
 /// numbers were measured on. Defaults are the canonical float sum, so
 /// existing single-point benches need no changes; sweeps over the op axis
 /// stamp each artifact via reduce::OpDef spellings ("argmax", "i64", ...).
+///
+/// The meta block also records where the numbers come from physically:
+/// which execution backend produced them ("simulator" modeled cycles vs
+/// "native" host wall-clock) and the host machine the bench ran on (SIMD
+/// ISA the native engine vectorizes for, hardware thread count). Two
+/// artifacts with different `backend` or `host_simd` fields are not
+/// comparable point-for-point — plotting scripts must separate them.
 struct BenchMeta {
   std::string Op = "add";
   std::string Dtype = "f32";
+  /// "simulator" (modeled cycles, the default for every figure bench) or
+  /// "native" (host wall-clock from the src/native engine).
+  std::string Backend = "simulator";
+  /// Widest SIMD ISA the native backend's vector loops target on this
+  /// host ("avx512", "avx2", ..., "scalar"). Recorded even for simulator
+  /// runs so artifacts identify the machine that produced them.
+  std::string HostSimdIsa = native::getHostSimdIsa();
+  /// std::thread::hardware_concurrency() at capture time (0 = unknown).
+  unsigned HostThreads = std::thread::hardware_concurrency();
 };
 
 /// Compile-time observability attached to a bench's JSON artifact: total
@@ -201,8 +219,12 @@ inline void writeBenchJson(const std::string &BenchName,
     std::fprintf(stderr, "warning: could not write %s\n", Path.c_str());
     return;
   }
-  std::fprintf(F, "{\n  \"meta\": {\"op\": \"%s\", \"dtype\": \"%s\"},\n",
-               Meta.Op.c_str(), Meta.Dtype.c_str());
+  std::fprintf(F,
+               "{\n  \"meta\": {\"op\": \"%s\", \"dtype\": \"%s\", "
+               "\"backend\": \"%s\", \"host_simd\": \"%s\", "
+               "\"host_threads\": %u},\n",
+               Meta.Op.c_str(), Meta.Dtype.c_str(), Meta.Backend.c_str(),
+               Meta.HostSimdIsa.c_str(), Meta.HostThreads);
   if (!Compile) {
     std::fprintf(F, "  \"records\": [\n");
     writeBenchRecords(F, Records, "    ");

@@ -6,11 +6,13 @@
 
 #include "engine/ExecutionEngine.h"
 
+#include "native/NativeKernel.h"
 #include "reduce/OpDef.h"
 #include "support/StableHash.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -61,7 +63,7 @@ ExecutionEngine::ExecutionEngine(const ArchDesc &Arch, EngineOptions Opts)
                            Opts.ThreadCount)),
       Cache(Opts.Cache ? std::move(Opts.Cache)
                        : std::make_shared<VariantCache>(Opts.CacheCapacity)),
-      Machine(Dev, this->Arch, Pool.get()) {
+      Machine(Dev, this->Arch, Pool.get()), NativeM(Dev, Pool.get()) {
   Machine.setRaceCheckOptions(Opts.RaceCheck);
   Machine.setFaultPlan(Opts.Fault);
 }
@@ -72,9 +74,34 @@ void ExecutionEngine::attachCompiler(const synth::KernelSynthesizer &S,
   SourceHash = stableHashString(SourceText);
 }
 
+namespace {
+
+double engineNow() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Lowers \p V (and its second stage, recursively) to native form in
+/// place. Any stage failing plane inference fails the whole chain — mixed
+/// simulator/native execution of one variant would defeat the point.
+Status lowerVariantChain(synth::SynthesizedVariant &V) {
+  auto NK = native::lowerToNative(V.Compiled);
+  if (!NK)
+    return NK.status();
+  V.Native =
+      std::make_shared<const native::NativeKernel>(std::move(*NK));
+  if (V.SecondStage)
+    return lowerVariantChain(*V.SecondStage);
+  return Status::success();
+}
+
+} // namespace
+
 Expected<std::shared_ptr<const synth::SynthesizedVariant>>
 ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
-                            const synth::OptimizationFlags &Flags) {
+                            const synth::OptimizationFlags &Flags,
+                            Backend B) {
   if (!Synth)
     return Status(StatusCode::InvalidArgument,
                   "no compiler attached to the execution engine");
@@ -86,6 +113,7 @@ ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
   Key.Elem = Synth->getElem();
   Key.Flags = static_cast<unsigned char>((Flags.AggregateAtomics ? 1 : 0) |
                                          (Flags.UnrollLoops ? 2 : 0));
+  Key.BackendKind = B;
   if (auto Cached = Cache->lookup(Key))
     return std::shared_ptr<const synth::SynthesizedVariant>(std::move(Cached));
   // Synthesize for this engine's generation so the atomic-expand pass plans
@@ -95,6 +123,20 @@ ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
   auto Fresh = Synth->synthesize(Desc, Flags, Arch.Gen);
   if (!Fresh)
     return Fresh.status();
+  if (B == Backend::NativeCpu) {
+    // Native resolution adds the register-plane lowering on top of the
+    // compiled bytecode, timed as its own pipeline stage so compile-time
+    // observability covers it like any pass.
+    double T0 = engineNow();
+    Status S = lowerVariantChain(**Fresh);
+    double Seconds = engineNow() - T0;
+    (*Fresh)->CompileSeconds += Seconds;
+    (*Fresh)->CompileStages.push_back({"native-lower", 1, Seconds});
+    if (pm::PassInstrumentation *PI = Synth->getInstrumentation())
+      PI->recordPassTime("native-lower", Seconds);
+    if (!S.ok())
+      return S;
+  }
   VariantCache::VariantPtr Shared = std::move(*Fresh);
   Cache->insert(Key, Shared);
   return std::shared_ptr<const synth::SynthesizedVariant>(std::move(Shared));
@@ -109,8 +151,20 @@ LaunchResult ExecutionEngine::launch(const ir::CompiledKernel &Kernel,
 
 Expected<RunResult>
 ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
-                              BufferId In, size_t N, ExecMode Mode) {
+                              BufferId In, size_t N, ExecMode Mode,
+                              Backend B) {
   RunResult Out;
+
+  if (B == Backend::NativeCpu) {
+    if (!V.Native)
+      return Status(StatusCode::InvalidArgument,
+                    "variant was not resolved for the native backend "
+                    "(getVariant with Backend::NativeCpu)");
+    if (Mode == ExecMode::RaceCheck)
+      return Status(StatusCode::InvalidArgument,
+                    "race checking is a simulator instrument; the native "
+                    "backend cannot run ExecMode::RaceCheck");
+  }
 
   LaunchConfig Config = makeLaunchConfig(V, N);
   if (BudgetEscalation > 1)
@@ -137,19 +191,41 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
 
   long long ObjectSize = static_cast<long long>(V.elementsPerBlock());
 
-  Out.Launch = Machine.launch(
-      V.Compiled, Config,
-      {ArgValue::buffer(ReturnBuf), ArgValue::buffer(In),
-       ArgValue::scalar(static_cast<long long>(N)),
-       ArgValue::scalar(ObjectSize)},
-      Mode);
-  if (!Out.Launch.ok())
-    return Status(Out.Launch.DeadlineExceeded ? StatusCode::DeadlineExceeded
-                                              : StatusCode::LaunchError,
-                  Out.Launch.Errors.front());
+  std::vector<ArgValue> Args = {ArgValue::buffer(ReturnBuf),
+                                ArgValue::buffer(In),
+                                ArgValue::scalar(static_cast<long long>(N)),
+                                ArgValue::scalar(ObjectSize)};
 
-  Out.Timing = modelKernelTime(Arch, Out.Launch);
-  Out.Seconds = Out.Timing.TotalSeconds;
+  if (B == Backend::NativeCpu) {
+    native::NativeLaunchResult NR = NativeM.launch(*V.Native, Config, Args);
+    // Surface the native run through the same LaunchResult shape callers
+    // already consume; cycle statistics stay zero (no model ran).
+    Out.Launch.GridDim = NR.GridDim;
+    Out.Launch.BlockDim = NR.BlockDim;
+    Out.Launch.BlocksSimulated = NR.GridDim;
+    Out.Launch.Errors = NR.Errors;
+    Out.Launch.DeadlineExceeded = NR.DeadlineExceeded;
+    Out.Launch.Stats.WarpInstructions = NR.WarpInstructions;
+    Out.Launch.Stats.LaneInstructions = NR.LaneInstructions;
+    if (!Out.Launch.ok())
+      return Status(NR.DeadlineExceeded ? StatusCode::DeadlineExceeded
+                                        : StatusCode::LaunchError,
+                    Out.Launch.Errors.front());
+    // Host wall-clock, not modeled time: what this backend is for. Mirror
+    // (re)conversion is excluded — it amortizes across a serving loop and
+    // is reported separately by the machine.
+    Out.Seconds = NR.ExecSeconds;
+  } else {
+    Out.Launch = Machine.launch(V.Compiled, Config, Args, Mode);
+    if (!Out.Launch.ok())
+      return Status(Out.Launch.DeadlineExceeded
+                        ? StatusCode::DeadlineExceeded
+                        : StatusCode::LaunchError,
+                    Out.Launch.Errors.front());
+
+    Out.Timing = modelKernelTime(Arch, Out.Launch);
+    Out.Seconds = Out.Timing.TotalSeconds;
+  }
 
   if (TwoKernel) {
     // Reduce the per-block partials with the cooperative second stage
@@ -157,7 +233,8 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
     if (!V.SecondStage)
       return Status(StatusCode::InternalError,
                     "two-kernel variant without a second stage");
-    auto Stage = runReduction(*V.SecondStage, ReturnBuf, Config.GridDim, Mode);
+    auto Stage =
+        runReduction(*V.SecondStage, ReturnBuf, Config.GridDim, Mode, B);
     if (!Stage)
       return Stage.status();
     Out.Seconds += Stage->Seconds;
@@ -185,11 +262,11 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
 
 Expected<RunResult> ExecutionEngine::reduce(const synth::VariantDescriptor &Desc,
                                             BufferId In, size_t N,
-                                            ExecMode Mode) {
-  auto V = getVariant(Desc);
+                                            ExecMode Mode, Backend B) {
+  auto V = getVariant(Desc, {}, B);
   if (!V)
     return V.status();
-  return runReduction(**V, In, N, Mode);
+  return runReduction(**V, In, N, Mode, B);
 }
 
 Expected<RaceReport>
@@ -230,25 +307,40 @@ double ExecutionEngine::timeVariant(const synth::VariantDescriptor &Desc,
 
 Expected<double>
 ExecutionEngine::timeVariantChecked(const synth::VariantDescriptor &Desc,
-                                    size_t N, unsigned RetryBudgetFactor) {
+                                    size_t N, unsigned RetryBudgetFactor,
+                                    Backend B) {
   if (const QuarantineRecord *Q = findQuarantine(Desc))
     return Q->Why;
-  auto V = getVariant(Desc);
-  if (!V)
+  auto V = getVariant(Desc, {}, B);
+  if (!V) {
+    // A variant outside the native backend's typed subset is priced out of
+    // a native sweep like any other trap, with the lowering error on file.
+    if (B == Backend::NativeCpu &&
+        V.status().Code == StatusCode::SynthesisError)
+      quarantineVariant(Desc, V.status());
     return V.status();
+  }
   size_t Mark = Dev.mark();
   VirtualPattern Pattern;
   BufferId In = Dev.allocVirtual((*V)->Elem, N, Pattern);
-  auto Out = runReduction(**V, In, N, ExecMode::Sampled);
+  // The simulator times its cycle model over sampled blocks; the native
+  // backend runs the real grid and reports wall-clock.
+  ExecMode Mode =
+      B == Backend::NativeCpu ? ExecMode::Functional : ExecMode::Sampled;
+  auto Out = runReduction(**V, In, N, Mode, B);
   if (!Out && Out.status().Code == StatusCode::DeadlineExceeded &&
       RetryBudgetFactor > 1) {
     // One retry at an escalated budget: a genuinely slow configuration
     // finishes and survives; a livelocked one trips the watchdog again
     // and is quarantined below.
     BudgetEscalation = RetryBudgetFactor;
-    Out = runReduction(**V, In, N, ExecMode::Sampled);
+    Out = runReduction(**V, In, N, Mode, B);
     BudgetEscalation = 1;
   }
+  if (Out && B == Backend::NativeCpu)
+    // Steady-state wall-clock: the first run converted buffer mirrors and
+    // warmed caches; the second run is what a tuning/serving loop pays.
+    Out = runReduction(**V, In, N, Mode, B);
   Dev.release(Mark);
   if (!Out) {
     quarantineVariant(Desc, Out.status());
@@ -258,7 +350,7 @@ ExecutionEngine::timeVariantChecked(const synth::VariantDescriptor &Desc,
 }
 
 Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
-                                        size_t N) {
+                                        size_t N, Backend B) {
   if (N == 0 || !Synth)
     return Status::success();
   // Sub is not associative: a tree schedule and a serial schedule disagree
@@ -266,11 +358,15 @@ Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
   // against.
   if (Synth->getOp() == ReduceOp::Sub)
     return Status::success();
-  if (Validated.count(Desc.stableHash()))
+  // Validation memos are per backend: a variant that passed on the
+  // simulator has not yet proven its native lowering.
+  uint64_t Memo =
+      Desc.stableHash() ^ (B == Backend::NativeCpu ? 0x9e3779b97f4a7c15ull : 0);
+  if (Validated.count(Memo))
     return Status::success();
   if (const QuarantineRecord *Q = findQuarantine(Desc))
     return Q->Why;
-  auto V = getVariant(Desc);
+  auto V = getVariant(Desc, {}, B);
   if (!V) {
     quarantineVariant(Desc, V.status());
     return V.status();
@@ -294,12 +390,51 @@ Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
   long long RefI = Ref.valueI();
   long long RefIdx = Ref.index();
 
-  auto Run = runReduction(**V, In, N, ExecMode::Functional);
-  Dev.release(Mark);
+  auto Run = runReduction(**V, In, N, ExecMode::Functional, B);
   if (!Run) {
+    Dev.release(Mark);
     quarantineVariant(Desc, Run.status());
     return Run.status();
   }
+
+  if (B == Backend::NativeCpu) {
+    // Cross-check against the simulator oracle on the same input: the two
+    // backends must agree bit-for-bit for integer and arg-reductions (the
+    // native lowering shares the interpreter's exact semantics helpers)
+    // and to a tight ULP-scale tolerance for summing float ops.
+    auto Oracle = runReduction(**V, In, N, ExecMode::Functional,
+                               Backend::Simulator);
+    if (!Oracle) {
+      Dev.release(Mark);
+      quarantineVariant(Desc, Oracle.status());
+      return Oracle.status();
+    }
+    bool Diverged;
+    if (isArgReduce(Op)) {
+      bool ValueDiverged = IsFloat
+                               ? Run->FloatValue != Oracle->FloatValue
+                               : Run->IntValue != Oracle->IntValue;
+      Diverged = ValueDiverged || Run->IndexValue != Oracle->IndexValue;
+    } else if (IsFloat) {
+      double Tol = std::abs(Oracle->FloatValue) * 1e-6 + 1e-9;
+      Diverged = !(std::abs(Run->FloatValue - Oracle->FloatValue) <= Tol);
+    } else {
+      Diverged = Run->IntValue != Oracle->IntValue;
+    }
+    if (Diverged) {
+      Dev.release(Mark);
+      Status S(StatusCode::WrongResult,
+               strformat("native/simulator divergence: native "
+                         "(%.17g/%lld, idx %lld) vs simulator "
+                         "(%.17g/%lld, idx %lld) over %zu elements",
+                         Run->FloatValue, Run->IntValue, Run->IndexValue,
+                         Oracle->FloatValue, Oracle->IntValue,
+                         Oracle->IndexValue, N));
+      quarantineVariant(Desc, S);
+      return S;
+    }
+  }
+  Dev.release(Mark);
 
   // Arg-reductions select (never sum), so both lanes compare exactly; the
   // winning index must match too — a variant that finds the right maximum
@@ -333,7 +468,7 @@ Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
     quarantineVariant(Desc, S);
     return S;
   }
-  Validated.insert(Desc.stableHash());
+  Validated.insert(Memo);
   return Status::success();
 }
 
@@ -369,7 +504,8 @@ ExecutionEngine::tune(const synth::VariantDescriptor &Desc, size_t N,
       Candidate.BlockSize = Block;
       Candidate.Coarsen = C;
       ++Report.ConfigsTimed;
-      auto T = timeVariantChecked(Candidate, N, Opts.RetryBudgetFactor);
+      auto T = timeVariantChecked(Candidate, N, Opts.RetryBudgetFactor,
+                                  Opts.TimingBackend);
       if (!T) {
         Report.Quarantined.push_back({Candidate, T.status()});
         continue;
@@ -387,7 +523,8 @@ ExecutionEngine::tune(const synth::VariantDescriptor &Desc, size_t N,
 
   for (const auto &[Seconds, Candidate] : Timed) {
     if (Opts.ValidateN) {
-      Status S = validateVariant(Candidate, Opts.ValidateN);
+      Status S = validateVariant(Candidate, Opts.ValidateN,
+                                 Opts.TimingBackend);
       if (!S.ok()) {
         Report.Quarantined.push_back({Candidate, S});
         continue; // Fall back to the next-fastest configuration.

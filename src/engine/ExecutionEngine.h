@@ -25,10 +25,12 @@
 #ifndef TANGRAM_ENGINE_EXECUTIONENGINE_H
 #define TANGRAM_ENGINE_EXECUTIONENGINE_H
 
+#include "engine/Backend.h"
 #include "engine/VariantCache.h"
 #include "gpusim/PerfModel.h"
 #include "gpusim/RaceDetector.h"
 #include "gpusim/SimtMachine.h"
+#include "native/NativeMachine.h"
 #include "support/Expected.h"
 #include "support/ThreadPool.h"
 #include "synth/KernelSynthesizer.h"
@@ -122,6 +124,12 @@ struct TuneOptions {
   /// tell a genuinely slow configuration from a livelocked one (<= 1
   /// disables the retry).
   unsigned RetryBudgetFactor = 8;
+  /// Backend whose clock ranks configurations: the simulator's cycle model
+  /// (the paper's Fig. 6/7 methodology) or the native CPU engine's host
+  /// wall-clock (what a CPU serving deployment pays). Winners are
+  /// validated on the same backend either way, and native validation
+  /// additionally cross-checks against the simulator oracle.
+  Backend TimingBackend = Backend::Simulator;
 };
 
 /// How an injected fault played out for one variant (see faultCheck()).
@@ -185,6 +193,7 @@ public:
   bool hasCompiler() const { return Synth != nullptr; }
 
   sim::Device &getDevice() { return Dev; }
+  native::NativeMachine &getNativeMachine() { return NativeM; }
   const sim::ArchDesc &getArch() const { return Arch; }
   support::ThreadPool &getThreadPool() { return *Pool; }
   unsigned getThreadCount() const { return Pool->getThreadCount(); }
@@ -198,10 +207,15 @@ public:
 
   /// Resolves \p Desc to a compiled variant, synthesizing on cache miss
   /// (failures are not cached). Requires attachCompiler(); without one the
-  /// Status carries StatusCode::InvalidArgument.
+  /// Status carries StatusCode::InvalidArgument. For Backend::NativeCpu
+  /// the variant (and its second stage) is additionally lowered to native
+  /// form — cached under a backend-distinct key — and a failed lowering
+  /// (plane conflict: bytecode outside the typed subset) is returned as
+  /// StatusCode::SynthesisError so callers can fall back to the simulator.
   support::Expected<std::shared_ptr<const synth::SynthesizedVariant>>
   getVariant(const synth::VariantDescriptor &Desc,
-             const synth::OptimizationFlags &Flags = {});
+             const synth::OptimizationFlags &Flags = {},
+             Backend B = Backend::Simulator);
 
   /// Launches \p Kernel on this engine's device/arch (through the shared
   /// thread pool when profitable).
@@ -214,14 +228,20 @@ public:
   /// the accumulator, launches, models time, and recursively drives the
   /// second stage for two-kernel variants. Scratch buffers are released
   /// before returning. Launch failures carry StatusCode::LaunchError.
+  /// On Backend::NativeCpu the variant must have been resolved natively
+  /// (getVariant with NativeCpu); Seconds is then host wall-clock, Timing
+  /// is not modeled, and RaceCheck mode is refused (InvalidArgument) —
+  /// race detection is a simulator instrument.
   support::Expected<RunResult>
   runReduction(const synth::SynthesizedVariant &V, sim::BufferId In,
-               size_t N, sim::ExecMode Mode = sim::ExecMode::Functional);
+               size_t N, sim::ExecMode Mode = sim::ExecMode::Functional,
+               Backend B = Backend::Simulator);
 
   /// Cache-resolved convenience: getVariant(Desc) then runReduction.
   support::Expected<RunResult>
   reduce(const synth::VariantDescriptor &Desc, sim::BufferId In, size_t N,
-         sim::ExecMode Mode = sim::ExecMode::Functional);
+         sim::ExecMode Mode = sim::ExecMode::Functional,
+         Backend B = Backend::Simulator);
 
   /// Runs \p Desc in ExecMode::RaceCheck over a freshly materialized input
   /// of \p N elements and aggregates race diagnostics across every launch
@@ -242,9 +262,14 @@ public:
   /// the per-variant watchdog budget, retries DeadlineExceeded once at
   /// budget x \p RetryBudgetFactor, and quarantines configurations that
   /// still trap/timeout. The Status names why a run was priced out.
+  /// Backend::Simulator times the cycle model (Sampled mode);
+  /// Backend::NativeCpu times real host execution — the second run is
+  /// measured so typed-mirror conversion amortizes out, mimicking a warm
+  /// serving loop.
   support::Expected<double>
   timeVariantChecked(const synth::VariantDescriptor &Desc, size_t N,
-                     unsigned RetryBudgetFactor = 8);
+                     unsigned RetryBudgetFactor = 8,
+                     Backend B = Backend::Simulator);
 
   /// Functional validation: runs \p Desc over \p N materialized elements
   /// and compares against a host-computed reference. A mismatch (or any
@@ -252,8 +277,13 @@ public:
   /// (StatusCode::WrongResult for mismatches). Passing configurations are
   /// remembered and not re-validated. Non-associative ops (Sub) are
   /// skipped: different schedules legitimately disagree.
+  /// With Backend::NativeCpu, validation is a three-way cross-check: the
+  /// native run must match the host reference (tolerance rules as below)
+  /// AND the simulator oracle's run of the same variant — bit-for-bit for
+  /// integer and arg-reductions, ULP-tolerance for summing float ops.
   support::Status validateVariant(const synth::VariantDescriptor &Desc,
-                                  size_t N = 2048);
+                                  size_t N = 2048,
+                                  Backend B = Backend::Simulator);
 
   /// Hardened tunable sweep for one structural candidate: times every
   /// (BlockSize, Coarsen) configuration through timeVariantChecked, then
@@ -307,6 +337,7 @@ private:
   std::shared_ptr<VariantCache> Cache;
   sim::Device Dev;
   sim::SimtMachine Machine;
+  native::NativeMachine NativeM;
   const synth::KernelSynthesizer *Synth = nullptr;
   uint64_t SourceHash = 0;
   /// Quarantined configurations, keyed by VariantDescriptor::stableHash().

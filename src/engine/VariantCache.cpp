@@ -21,6 +21,7 @@ uint64_t VariantKey::hash() const {
   H.byte(static_cast<unsigned char>(Op));
   H.byte(static_cast<unsigned char>(Elem));
   H.byte(Flags);
+  H.byte(static_cast<unsigned char>(BackendKind));
   return H.get();
 }
 

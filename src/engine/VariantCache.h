@@ -18,6 +18,7 @@
 #ifndef TANGRAM_ENGINE_VARIANTCACHE_H
 #define TANGRAM_ENGINE_VARIANTCACHE_H
 
+#include "engine/Backend.h"
 #include "gpusim/Arch.h"
 #include "support/ReduceOp.h"
 #include "synth/KernelSynthesizer.h"
@@ -39,6 +40,10 @@ struct VariantKey {
   ReduceOp Op = ReduceOp::Add;
   ir::ScalarType Elem = ir::ScalarType::F32;
   unsigned char Flags = 0; ///< Packed OptimizationFlags bits.
+  /// Backend the variant was resolved for. Native entries carry the extra
+  /// lowering artifact (SynthesizedVariant::Native), so they are keyed
+  /// apart from plain simulator entries.
+  Backend BackendKind = Backend::Simulator;
 
   bool operator==(const VariantKey &O) const = default;
 

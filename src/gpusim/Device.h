@@ -94,10 +94,19 @@ public:
 
   const VirtualPattern &getPattern() const { return Pattern; }
 
+  /// Mutation stamp: the device-clock tick of the last write to this
+  /// buffer (allocation counts as a write). Monotonic across buffer
+  /// reuse, so a stamp uniquely identifies one content version — the
+  /// native backend keys its typed mirror caches on it.
+  uint64_t getStamp() const { return Stamp; }
+
 private:
+  friend class Device;
+
   ir::ScalarType Elem;
   size_t Count;
   bool Virtual = false;
+  uint64_t Stamp = 0;
   VirtualPattern Pattern;
   std::vector<Cell> Cells;
 };
@@ -107,6 +116,7 @@ class Device {
 public:
   BufferId alloc(ir::ScalarType Elem, size_t Count) {
     Buffers.emplace_back(Elem, Count);
+    Buffers.back().Stamp = ++MutationClock;
     return static_cast<BufferId>(Buffers.size() - 1);
   }
 
@@ -114,6 +124,7 @@ public:
   BufferId allocVirtual(ir::ScalarType Elem, size_t Count,
                         const VirtualPattern &Pattern) {
     Buffers.emplace_back(Elem, Count, Pattern);
+    Buffers.back().Stamp = ++MutationClock;
     return static_cast<BufferId>(Buffers.size() - 1);
   }
 
@@ -133,6 +144,7 @@ public:
     for (size_t I = 0; I != Data.size(); ++I)
       if (Cell *C = B.writable(I))
         C->F = Data[I];
+    noteWrite(Id);
   }
 
   /// Uploads 32-bit integers.
@@ -142,7 +154,13 @@ public:
     for (size_t I = 0; I != Data.size(); ++I)
       if (Cell *C = B.writable(I))
         C->I = Data[I];
+    noteWrite(Id);
   }
+
+  /// Advances the device clock and stamps \p Id with the new tick. Called
+  /// by the upload helpers and by backends after they mutate a buffer's
+  /// cells, so mirror caches keyed on Buffer::getStamp() see the change.
+  void noteWrite(BufferId Id) { get(Id).Stamp = ++MutationClock; }
 
   double readFloat(BufferId Id, size_t Index) const {
     return get(Id).read(Index).F;
@@ -172,6 +190,9 @@ public:
 
 private:
   std::vector<Buffer> Buffers;
+  /// Monotonic write clock; never reset, so stamps stay unique across
+  /// reset()/release() buffer-id reuse.
+  uint64_t MutationClock = 0;
 };
 
 } // namespace tangram::sim

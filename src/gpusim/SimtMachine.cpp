@@ -113,26 +113,11 @@ namespace {
 
 constexpr unsigned WarpLanes = 32;
 
-long long wrapInt(ScalarType Ty, long long V) {
-  if (Ty == ScalarType::U32)
-    return static_cast<long long>(static_cast<uint32_t>(V));
-  if (Ty == ScalarType::I64)
-    return V;
-  return static_cast<long long>(static_cast<int32_t>(V));
-}
-
-/// Integer mirror of a float value, saturated so extreme identities
-/// (-3.0e38 guards, 1.0e308 double identities) never overflow the cast.
-long long mirrorIntOf(double V) {
-  constexpr double Limit = 9.2233720368547758e18; // 2^63 as a double
-  if (V != V)
-    return 0;
-  if (V >= Limit)
-    return std::numeric_limits<long long>::max();
-  if (V <= -Limit)
-    return std::numeric_limits<long long>::min();
-  return static_cast<long long>(V);
-}
+// Integer wrap / saturated float->int conversion live in ir/Bytecode.h
+// (wrapToType / saturatingIntOf) so the native CPU backend shares the
+// exact semantics; the local names keep this file's call sites readable.
+long long wrapInt(ScalarType Ty, long long V) { return wrapToType(Ty, V); }
+long long mirrorIntOf(double V) { return saturatingIntOf(V); }
 
 /// Writes an integer result, mirroring into the float view (guards
 /// against int constants flowing into float arithmetic).
@@ -1078,11 +1063,10 @@ private:
   std::vector<std::vector<Cell>> SharedMem;
 };
 
-/// True when \p Kernel loads a buffer it also writes (store or atomic):
-/// the only shape where deferred-write block parallelism could change what
-/// later blocks observe, so such launches stay sequential.
-bool kernelLoadsWrittenBuffer(const CompiledKernel &Kernel,
-                              const std::vector<ArgValue> &Args) {
+} // namespace
+
+bool tangram::sim::kernelLoadsWrittenBuffer(const CompiledKernel &Kernel,
+                                            const std::vector<ArgValue> &Args) {
   std::vector<BufferId> Loads, Writes;
   for (const Instr &In : Kernel.Code) {
     if (In.Op != Opcode::LdGlobal && In.Op != Opcode::StGlobal &&
@@ -1098,8 +1082,6 @@ bool kernelLoadsWrittenBuffer(const CompiledKernel &Kernel,
       return true;
   return false;
 }
-
-} // namespace
 
 LaunchResult SimtMachine::launch(const CompiledKernel &Kernel,
                                  const LaunchConfig &Config,
@@ -1250,6 +1232,16 @@ LaunchResult SimtMachine::launch(const CompiledKernel &Kernel,
     double Factor =
         static_cast<double>(Config.GridDim) / Result.BlocksSimulated;
     Result.Stats.scale(Factor);
+  }
+
+  // Stamp every buffer the kernel stores or atomically updates so mirror
+  // caches keyed on Buffer::getStamp() (native backend) observe the write.
+  for (const Instr &In : Kernel.Code) {
+    if (In.Op != Opcode::StGlobal && In.Op != Opcode::AtomGlobal)
+      continue;
+    const ArgValue &V = Args[In.MemId];
+    if (V.IsBuffer && !Dev.get(V.Id).isVirtual())
+      Dev.noteWrite(V.Id);
   }
 
   Result.RegistersPerThread = Kernel.Source->getRegisterEstimate();

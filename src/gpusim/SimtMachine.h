@@ -193,6 +193,14 @@ long long evalUniformExpr(const ir::Expr *E, const ir::CompiledKernel &Kernel,
                           const std::vector<ArgValue> &Args,
                           const LaunchConfig &Config);
 
+/// True when \p Kernel loads a buffer it also writes (store or atomic):
+/// the only shape where deferred-write block parallelism could change what
+/// later blocks observe. Such launches run their blocks sequentially with
+/// writes applied in place — on the interpreter and on the native CPU
+/// backend alike, so both stay bit-identical to the sequential loop.
+bool kernelLoadsWrittenBuffer(const ir::CompiledKernel &Kernel,
+                              const std::vector<ArgValue> &Args);
+
 } // namespace tangram::sim
 
 #endif // TANGRAM_GPUSIM_SIMTMACHINE_H

@@ -19,10 +19,38 @@
 #include "ir/KernelIR.h"
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 namespace tangram::ir {
+
+/// Bytecode integer semantics: narrow integer types are stored widened to
+/// 64 bits and re-wrapped after every operation. Shared by every backend
+/// (the SIMT interpreter and the native CPU engine) so results stay
+/// bit-identical across them.
+inline long long wrapToType(ScalarType Ty, long long V) {
+  if (Ty == ScalarType::U32)
+    return static_cast<long long>(static_cast<uint32_t>(V));
+  if (Ty == ScalarType::I64)
+    return V;
+  return static_cast<long long>(static_cast<int32_t>(V));
+}
+
+/// Bytecode float->integer conversion: saturated so extreme identities
+/// (-3.0e38 guards, 1.0e308 double identities) never overflow the cast,
+/// and NaN converts to 0. Shared by every backend for the same reason as
+/// wrapToType.
+inline long long saturatingIntOf(double V) {
+  constexpr double Limit = 9.2233720368547758e18; // 2^63 as a double
+  if (V != V)
+    return 0;
+  if (V >= Limit)
+    return std::numeric_limits<long long>::max();
+  if (V <= -Limit)
+    return std::numeric_limits<long long>::min();
+  return static_cast<long long>(V);
+}
 
 enum class Opcode : unsigned char {
   // Data movement.

@@ -1,0 +1,101 @@
+//===- VecTraits.h - Portable SIMD lane abstraction -------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native CPU backend's lane model: one 32-lane GPU warp maps onto a
+/// small group of host vector registers (warp-per-SIMD-group execution, as
+/// in COX and the GPU-to-CPU transpilation literature). Rather than
+/// hand-rolled intrinsics per ISA, lanes live in contiguous 32-element
+/// register planes and every lane loop is a fixed-trip, branch-free loop
+/// the host compiler auto-vectorizes — the portable-SIMD-wrapper approach
+/// with a built-in scalar fallback: on a machine with no vector unit the
+/// same loops simply run scalar, bit-identically.
+///
+/// This header centralizes the lane count, the vectorization hint applied
+/// to every full-mask lane loop, and compile-time host-ISA detection (for
+/// BENCH_*.json meta blocks and diagnostics, so interpreter and native
+/// numbers are never conflated across machines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_NATIVE_VECTRAITS_H
+#define TANGRAM_NATIVE_VECTRAITS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tangram::native {
+
+/// GPU warp width; fixed by the simulated ISA (and the paper's machines).
+inline constexpr unsigned WarpLanes = 32;
+
+/// Full-warp active mask.
+inline constexpr uint32_t FullMask = 0xffffffffu;
+
+// Vectorization hint for the fixed-trip 32-lane loops. `ivdep`-style: the
+// planes never alias (distinct registers) and the trip count is constant,
+// so the compiler can use the widest profitable vectors.
+#if defined(__clang__)
+#define TGR_VEC_LOOP                                                         \
+  _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define TGR_VEC_LOOP _Pragma("GCC ivdep")
+#else
+#define TGR_VEC_LOOP
+#endif
+
+/// Bytes per host vector register, from compile-time ISA detection. The
+/// scalar fallback reports 8 (one double): the lane loops still run, just
+/// one lane at a time.
+inline constexpr unsigned HostVectorBytes =
+#if defined(__AVX512F__)
+    64;
+#elif defined(__AVX2__) || defined(__AVX__)
+    32;
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(__ARM_NEON)
+    16;
+#else
+    8;
+#endif
+
+/// Host SIMD ISA the native backend was compiled for, as a stable string
+/// for BENCH meta blocks ("avx512", "avx2", ..., "scalar"). Defined in
+/// the backend library (not inline): the backend is built with host-ISA
+/// codegen (see src/native/CMakeLists.txt), so evaluating the ISA macros
+/// in another translation unit would report the portable baseline
+/// instead of what the engine actually runs.
+const char *getHostSimdIsa();
+
+/// Per-element-type vector shape: how many lanes fit one host vector and
+/// how many vector ops cover a warp. Documentation/meta only — the lane
+/// loops below do not depend on it (the compiler picks the real width).
+template <typename T> struct VecTraits {
+  static constexpr unsigned Width =
+      HostVectorBytes >= sizeof(T) ? HostVectorBytes / sizeof(T) : 1;
+  static constexpr unsigned GroupsPerWarp =
+      (WarpLanes + Width - 1) / Width;
+};
+
+/// Applies \p Fn(Lane) to every lane selected by \p Mask. The full-mask
+/// case — the hot path: interior warps of a reduction rarely diverge — is
+/// a fixed-trip loop under TGR_VEC_LOOP so it compiles to a handful of
+/// vector ops; partial masks fall back to a predicated scalar loop, which
+/// is exactly how real GPUs pay for divergence too.
+template <typename Fn> inline void forEachLane(uint32_t Mask, Fn &&F) {
+  if (Mask == FullMask) {
+    TGR_VEC_LOOP
+    for (unsigned L = 0; L != WarpLanes; ++L)
+      F(L);
+  } else {
+    for (unsigned L = 0; L != WarpLanes; ++L)
+      if (Mask >> L & 1u)
+        F(L);
+  }
+}
+
+} // namespace tangram::native
+
+#endif // TANGRAM_NATIVE_VECTRAITS_H

@@ -42,6 +42,10 @@
 #include <string>
 #include <vector>
 
+namespace tangram::native {
+struct NativeKernel;
+} // namespace tangram::native
+
 namespace tangram::synth {
 
 /// Post-synthesis kernel-IR optimizations (the paper's future-work
@@ -65,6 +69,13 @@ struct SynthesizedVariant {
   /// versions): the cooperative kernel launched to reduce the per-block
   /// partial sums. Null for the single-kernel (atomic-grid) versions.
   std::unique_ptr<SynthesizedVariant> SecondStage;
+
+  /// Native-CPU lowering of Compiled (typed register planes; see
+  /// native/NativeKernel.h). Populated — for this variant and its second
+  /// stage — when the variant was resolved through
+  /// ExecutionEngine::getVariant for Backend::NativeCpu; null otherwise.
+  /// The artifact borrows Compiled, so it travels with the variant.
+  std::shared_ptr<const native::NativeKernel> Native;
 
   /// Wall-clock cost of lowering + compiling this variant (including its
   /// second stage), and the per-pass breakdown, as recorded by the pass

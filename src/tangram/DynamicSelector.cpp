@@ -110,11 +110,38 @@ DynamicSelector::reduce(engine::ExecutionEngine &E, sim::BufferId In,
     }
   }
 
-  // Every GPU candidate is dead or quarantined: answer from the host.
+  // Every GPU candidate is dead or quarantined on the simulator path: the
+  // synthesized kernels may still be fine — try them on the native CPU
+  // backend before giving up on them entirely.
+  auto Native = nativeFallback(E, In, N, Mode);
+  if (Native) {
+    ++NativeFallbackRuns;
+    return Native;
+  }
+
+  // Last resort: a plain host loop always produces the caller's answer.
   auto Host = hostFallback(E, In, N);
   if (Host)
     ++FallbackRuns;
   return Host;
+}
+
+Expected<engine::RunResult>
+DynamicSelector::nativeFallback(engine::ExecutionEngine &E, sim::BufferId In,
+                                size_t N, sim::ExecMode Mode) {
+  // Race checking is a simulator instrument; nothing to serve natively.
+  if (Mode == sim::ExecMode::RaceCheck)
+    return Status(StatusCode::InvalidArgument,
+                  "native fallback cannot run RaceCheck mode");
+  Status LastWhy(StatusCode::InternalError, "empty portfolio");
+  for (const VariantDescriptor &Desc : Portfolio) {
+    auto Out = E.reduce(Desc, In, N, sim::ExecMode::Functional,
+                        engine::Backend::NativeCpu);
+    if (Out)
+      return Out;
+    LastWhy = Out.status();
+  }
+  return LastWhy;
 }
 
 Expected<engine::RunResult>

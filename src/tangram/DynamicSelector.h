@@ -31,8 +31,12 @@ namespace tangram {
 /// the first failure — a candidate that traps (launch error, watchdog
 /// deadline) or is quarantined by its engine is marked dead for that
 /// (arch, bucket) and the next-best candidate runs instead; when every
-/// GPU candidate is dead, a host CPU reduction (the OmpCpuReduce baseline
-/// path) still produces the caller's answer.
+/// GPU candidate is dead, the portfolio is retried on the native CPU
+/// backend (src/native) — the engine's fault plan and simulator-side
+/// failure modes do not reach it, and it still runs the *synthesized*
+/// kernel at host speed; only when even native execution cannot answer
+/// does a plain host CPU reduction (the OmpCpuReduce baseline path)
+/// produce the caller's result.
 class DynamicSelector {
 public:
   /// \p Portfolio defaults to the paper's eight best versions (Fig. 6
@@ -53,6 +57,9 @@ public:
 
   /// Times the host CPU baseline answered instead of a GPU candidate.
   unsigned getFallbackRuns() const { return FallbackRuns; }
+  /// Times the native CPU backend answered after every simulator-side
+  /// candidate was dead (one step above the host-loop last resort).
+  unsigned getNativeFallbackRuns() const { return NativeFallbackRuns; }
   /// Candidates marked dead (across all buckets) after trapping or being
   /// quarantined.
   unsigned getDeadCandidates() const;
@@ -86,6 +93,13 @@ private:
   support::Expected<engine::RunResult>
   hostFallback(engine::ExecutionEngine &E, sim::BufferId In, size_t N);
 
+  /// Retries the portfolio on the native CPU backend (quarantine is a
+  /// simulator-path verdict and is deliberately bypassed). Null result =
+  /// nothing ran natively either.
+  support::Expected<engine::RunResult>
+  nativeFallback(engine::ExecutionEngine &E, sim::BufferId In, size_t N,
+                 sim::ExecMode Mode);
+
   struct Key {
     sim::ArchGeneration Gen;
     unsigned Bucket;
@@ -98,6 +112,7 @@ private:
   std::vector<synth::VariantDescriptor> Portfolio;
   std::map<Key, BucketState> Buckets;
   unsigned FallbackRuns = 0;
+  unsigned NativeFallbackRuns = 0;
 };
 
 } // namespace tangram

@@ -136,7 +136,10 @@ std::string TangramReduction::renderRace(const sim::RaceDiagnostic &D) const {
 double TangramReduction::timeVariant(const VariantDescriptor &Desc,
                                      const sim::ArchDesc &Arch,
                                      size_t N) const {
-  return engineFor(Arch).timeVariant(Desc, N);
+  // Honor the facade's timing backend so tune/timeVariant report on the
+  // same clock (modeled cycles vs native host wall).
+  auto T = engineFor(Arch).timeVariantChecked(Desc, N, 8, Opts.TimingBackend);
+  return T ? *T : std::numeric_limits<double>::infinity();
 }
 
 engine::TuneOptions TangramReduction::makeTuneOptions() const {
@@ -144,6 +147,7 @@ engine::TuneOptions TangramReduction::makeTuneOptions() const {
   TO.BlockSizes = Opts.BlockSizes;
   TO.CoarsenFactors = Opts.CoarsenFactors;
   TO.MaxElemsPerBlock = Opts.MaxElemsPerBlock;
+  TO.TimingBackend = Opts.TimingBackend;
   return TO;
 }
 

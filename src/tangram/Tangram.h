@@ -56,6 +56,10 @@ public:
     std::vector<unsigned> CoarsenFactors = {1, 4, 16, 64};
     /// Per-block element cap during tuning (bounds simulation cost).
     unsigned MaxElemsPerBlock = 16384;
+    /// Backend whose clock tune/findBest rank configurations with: the
+    /// simulator's cycle model (default, the paper's methodology) or the
+    /// native CPU engine's host wall-clock (`tgrc tune --backend=native`).
+    engine::Backend TimingBackend = engine::Backend::Simulator;
     /// Execution-layer knobs (thread pool, variant cache, RaceCheck
     /// detector limits), passed to every lazily-created per-arch engine.
     engine::EngineOptions Engine;

@@ -16,9 +16,14 @@
 # can be invoked alone (`ctest --preset tier1-opmatrix`). Skip with
 # --no-op-matrix.
 #
-#   tools/run_tier1.sh                     # RelWithDebInfo tier-1 gate
-#   tools/run_tier1.sh --preset asan-ubsan # same suite under ASan+UBSan
-#   tools/run_tier1.sh asan-ubsan          # legacy positional spelling
+#   tools/run_tier1.sh                       # RelWithDebInfo tier-1 gate
+#   tools/run_tier1.sh --preset asan-ubsan   # same suite under ASan+UBSan
+#   tools/run_tier1.sh --preset tier1-native # native-backend suite only
+#   tools/run_tier1.sh asan-ubsan            # legacy positional spelling
+#
+# `tier1-native` reuses the tier1 build and runs only the `native`
+# labeled suite — the native-CPU-backend differential tests that check
+# the vectorized host engine against the simulator oracle.
 set -eu
 
 PRESET="tier1"
@@ -47,8 +52,14 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 if command -v cmake >/dev/null 2>&1 && cmake --list-presets >/dev/null 2>&1; then
-  cmake --preset "$PRESET"
-  cmake --build --preset "$PRESET" -j "$(nproc 2>/dev/null || echo 2)"
+  # Label-filter test presets (tier1-native, tier1-opmatrix) share the
+  # tier1 build tree; everything else builds under its own preset name.
+  case "$PRESET" in
+    tier1-*) BUILD_PRESET="tier1" ;;
+    *) BUILD_PRESET="$PRESET" ;;
+  esac
+  cmake --preset "$BUILD_PRESET"
+  cmake --build --preset "$BUILD_PRESET" -j "$(nproc 2>/dev/null || echo 2)"
   ctest --preset "$PRESET"
   if [ "$VERIFY_EACH" = 1 ] && [ "$PRESET" = tier1 ]; then
     echo "== tier-1 again with per-pass IR verification (TGR_VERIFY_EACH=1) =="

@@ -24,6 +24,9 @@
 //   --type=f32|i32|i64|f64 element type (legacy float|int accepted)
 //   --arch=kepler|maxwell|pascal|all   target architecture(s)
 //   --n=SIZE               problem size (elements)
+//   --backend=sim|native   clock used by tune/best: the simulator's cycle
+//                          model (default) or the native CPU engine's
+//                          host wall-clock
 //   --fault=KIND|all       fault kind(s) injected by faultcheck
 //   --seed=S --period=P    fault-injection determinism knobs
 //   --dump-ast             normalized source after parse+sema
@@ -67,7 +70,8 @@ int usage() {
       "  tgrc list\n"
       "  tgrc emit NAME [--bytecode]\n"
       "  tgrc tune NAME [--arch=kepler|maxwell|pascal|all] [--n=SIZE]\n"
-      "  tgrc best [--arch=...] [--n=SIZE]\n"
+      "                 [--backend=sim|native]\n"
+      "  tgrc best [--arch=...] [--n=SIZE] [--backend=sim|native]\n"
       "  tgrc racecheck [NAME|all] [--arch=...] [--n=SIZE]\n"
       "  tgrc faultcheck [NAME|all] [--arch=...] [--n=SIZE]\n"
       "                  [--fault=bitflip-shared|bitflip-global|drop-atomic|\n"
@@ -175,6 +179,14 @@ bool parseOptions(int Argc, char **Argv, DriverOptions &O) {
       if (!End || *End || V == 0)
         return false;
       O.FaultPeriod = V;
+    } else if (!std::strncmp(Arg, "--backend=", 10)) {
+      std::string B = Arg + 10;
+      if (B == "sim" || B == "simulator")
+        O.Create.TimingBackend = engine::Backend::Simulator;
+      else if (B == "native")
+        O.Create.TimingBackend = engine::Backend::NativeCpu;
+      else
+        return false;
     } else if (!std::strncmp(Arg, "--op=", 5)) {
       // The whole reduce::OpDef spectrum, not just the arithmetic four.
       if (!parseReduceOp(Arg + 5, O.Create.Op))
@@ -432,12 +444,17 @@ int cmdTune(const DriverOptions &Opts, const std::string &Name) {
   const char *OpSpelling = getReduceOpSpelling(TR->getOptions().Op);
   const char *DtypeSpelling =
       reduce::getScalarTypeSpelling(TR->getOptions().Elem);
+  // Native wall-clock and simulator-modeled microseconds must never be
+  // conflated in logs, so the backend tags every tuned line.
+  const char *BackendTag =
+      engine::getBackendName(TR->getOptions().TimingBackend);
   if (IsFile) {
     for (const sim::ArchDesc &Arch : O.Archs) {
       TangramReduction::BestResult Best = TR->findBest(Arch, O.N);
-      std::printf("%-10s n=%zu op=%s dtype=%s  %-4s %-20s block=%u "
-                  "coarsen=%u  %.3f us\n",
+      std::printf("%-10s n=%zu op=%s dtype=%s backend=%s  %-4s %-20s "
+                  "block=%u coarsen=%u  %.3f us\n",
                   Arch.Name.c_str(), O.N, OpSpelling, DtypeSpelling,
+                  BackendTag,
                   Best.Fig6Label.empty() ? "-" : Best.Fig6Label.c_str(),
                   Best.Desc.getName().c_str(), Best.Desc.BlockSize,
                   Best.Desc.Coarsen, Best.Seconds * 1e6);
@@ -453,9 +470,10 @@ int cmdTune(const DriverOptions &Opts, const std::string &Name) {
   for (const sim::ArchDesc &Arch : O.Archs) {
     VariantDescriptor Tuned = TR->tune(*V, Arch, O.N);
     double Seconds = TR->timeVariant(Tuned, Arch, O.N);
-    std::printf("%-10s n=%zu op=%s dtype=%s  block=%u coarsen=%u  %.3f us\n",
+    std::printf("%-10s n=%zu op=%s dtype=%s backend=%s  block=%u "
+                "coarsen=%u  %.3f us\n",
                 Arch.Name.c_str(), O.N, OpSpelling, DtypeSpelling,
-                Tuned.BlockSize, Tuned.Coarsen, Seconds * 1e6);
+                BackendTag, Tuned.BlockSize, Tuned.Coarsen, Seconds * 1e6);
   }
   printObservability(*TR);
   return 0;
