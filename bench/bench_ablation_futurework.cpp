@@ -66,7 +66,10 @@ int main() {
       sim::VirtualPattern Pattern;
       sim::BufferId In =
           E.getDevice().allocVirtual(ir::ScalarType::F32, Size, Pattern);
-      auto Out = E.runReduction(**S, In, Size, sim::ExecMode::Sampled);
+      auto Out = E.run(engine::ReduceRequest{.In = In,
+                                             .N = Size,
+                                             .Mode = sim::ExecMode::Sampled},
+                       **S);
       E.deviceRelease(Mark);
       std::printf(" %14.2f", Out ? Out->Seconds * 1e6 : -1.0);
       Records.push_back({Archs[A].Name, C.Name, Size,

@@ -46,7 +46,8 @@ int main() {
     VirtualPattern Pattern;
     BufferId In =
         E.getDevice().allocVirtual(ir::ScalarType::F32, N, Pattern);
-    auto Out = E.reduce(V, In, N, ExecMode::Sampled);
+    auto Out = E.run(engine::ReduceRequest{
+        .Desc = V, .In = In, .N = N, .Mode = ExecMode::Sampled});
     E.deviceRelease(Mark);
     if (!Out) {
       std::fprintf(stderr, "%s\n", Out.status().toString().c_str());

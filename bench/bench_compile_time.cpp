@@ -115,7 +115,10 @@ void BM_SimulateReduction64K(benchmark::State &State) {
   sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, 65536);
   for (auto _ : State) {
     benchmark::DoNotOptimize(
-        E.runReduction(**S, In, 65536, sim::ExecMode::Sampled));
+        E.run(engine::ReduceRequest{.In = In,
+                                    .N = 65536,
+                                    .Mode = sim::ExecMode::Sampled},
+              **S));
   }
 }
 BENCHMARK(BM_SimulateReduction64K);

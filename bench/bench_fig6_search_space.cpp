@@ -61,7 +61,8 @@ double sweepAll(TangramReduction &TR, const SearchSpace &Space, size_t N,
       for (size_t I = 0; I != N; ++I)
         Host[I] = 0.25f * ((I % 9) + 1);
       E.getDevice().writeFloats(In, Host);
-      auto Out = E.reduce(*V, In, N, sim::ExecMode::Functional);
+      auto Out =
+          E.run(engine::ReduceRequest{.Desc = *V, .In = In, .N = N});
       E.deviceRelease(Mark);
       SweepPoint P;
       if (Out) {

@@ -36,11 +36,12 @@ double now() {
 
 /// One timed Functional reduction on \p B; fills \p WallSeconds with the
 /// host wall-clock around the engine call.
-support::Expected<engine::RunResult>
+support::Expected<engine::ReduceResult>
 timedReduce(engine::ExecutionEngine &E, const VariantDescriptor &V,
             BufferId In, size_t N, engine::Backend B, double &WallSeconds) {
   double T0 = now();
-  auto Out = E.reduce(V, In, N, ExecMode::Functional, B);
+  auto Out = E.run(engine::ReduceRequest{
+      .Desc = V, .In = In, .N = N, .BackendKind = B});
   WallSeconds = now() - T0;
   return Out;
 }

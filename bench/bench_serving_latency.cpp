@@ -1,0 +1,149 @@
+//===- bench_serving_latency.cpp - Open-loop serving latency ----------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Open-loop load generator for the serving layer: jobs arrive on a fixed
+// schedule (the generator never waits for completions before submitting
+// the next job, so queueing delay is visible instead of self-throttled
+// away) and each job's admission-to-completion latency is recorded. The
+// sweep runs a few arrival rates and reports p50/p95/p99 per rate.
+//
+// Writes BENCH_serving_latency.json; records are one percentile per row
+// with Variant "<rate>jps-p50" etc. and Seconds holding the latency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "serve/ReductionService.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace tangram;
+
+namespace {
+
+struct Config {
+  size_t Jobs = 512;       ///< Jobs per arrival-rate point.
+  size_t N = 64;           ///< Elements per job.
+  engine::Backend Backend = engine::Backend::Simulator;
+  std::vector<double> Rates = {500, 1000, 2000}; ///< Arrivals per second.
+};
+
+serve::JobSpec makeJob(size_t J, size_t N) {
+  serve::JobSpec Job;
+  for (size_t I = 0; I != N; ++I)
+    Job.FloatData.push_back(
+        static_cast<double>((I * 7 + J * 13) % 101) * 0.25);
+  return Job;
+}
+
+struct Percentiles {
+  double P50 = 0, P95 = 0, P99 = 0;
+  size_t Completed = 0, Refused = 0;
+};
+
+Percentiles runRate(const Config &C, double Rate) {
+  serve::ServiceOptions SO;
+  SO.BackendKind = C.Backend;
+  SO.QueueDepth = C.Jobs + 16; // Open-loop: measure queueing, not rejection.
+  serve::ReductionService Svc(SO);
+
+  const double Interarrival = 1.0 / Rate;
+  std::vector<std::future<support::Expected<serve::JobResult>>> Futures;
+  Futures.reserve(C.Jobs);
+  const double T0 = engine::steadySeconds();
+  for (size_t J = 0; J != C.Jobs; ++J) {
+    // Pace to the absolute schedule rather than sleeping the interval, so
+    // submission jitter does not accumulate into the offered rate.
+    const double Due = T0 + static_cast<double>(J) * Interarrival;
+    double Now = engine::steadySeconds();
+    if (Now < Due)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(Due - Now));
+    Futures.push_back(Svc.submit(makeJob(J, C.N)));
+  }
+
+  Percentiles P;
+  std::vector<double> Latencies;
+  Latencies.reserve(C.Jobs);
+  for (auto &Fut : Futures) {
+    auto R = Fut.get();
+    if (R.ok()) {
+      Latencies.push_back(R->LatencySeconds);
+      ++P.Completed;
+    } else {
+      ++P.Refused;
+    }
+  }
+  Svc.stop();
+
+  if (!Latencies.empty()) {
+    std::sort(Latencies.begin(), Latencies.end());
+    auto Pct = [&](double Q) {
+      size_t I = static_cast<size_t>(Q * static_cast<double>(Latencies.size() - 1));
+      return Latencies[I];
+    };
+    P.P50 = Pct(0.50);
+    P.P95 = Pct(0.95);
+    P.P99 = Pct(0.99);
+  }
+  return P;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Config C;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (!std::strncmp(Arg, "--jobs=", 7))
+      C.Jobs = static_cast<size_t>(std::atoll(Arg + 7));
+    else if (!std::strncmp(Arg, "--n=", 4))
+      C.N = static_cast<size_t>(std::atoll(Arg + 4));
+    else if (!std::strncmp(Arg, "--rate=", 7))
+      C.Rates = {std::atof(Arg + 7)};
+    else if (!std::strcmp(Arg, "--backend=native"))
+      C.Backend = engine::Backend::NativeCpu;
+    else if (!std::strcmp(Arg, "--backend=sim"))
+      C.Backend = engine::Backend::Simulator;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_serving_latency [--jobs=J] [--n=SIZE] "
+                   "[--rate=JOBS_PER_SEC] [--backend=sim|native]\n");
+      return 1;
+    }
+  }
+
+  std::printf("open-loop serving latency: %zu jobs x %zu floats per rate "
+              "point, backend=%s\n\n",
+              C.Jobs, C.N, engine::getBackendName(C.Backend));
+  std::printf("%12s %10s %10s %12s %12s %12s\n", "rate (1/s)", "done",
+              "refused", "p50 (ms)", "p95 (ms)", "p99 (ms)");
+
+  std::vector<bench::BenchRecord> Records;
+  for (double Rate : C.Rates) {
+    Percentiles P = runRate(C, Rate);
+    std::printf("%12.0f %10zu %10zu %12.3f %12.3f %12.3f\n", Rate,
+                P.Completed, P.Refused, P.P50 * 1e3, P.P95 * 1e3,
+                P.P99 * 1e3);
+    const std::string Prefix = std::to_string(static_cast<long long>(Rate));
+    Records.push_back({"Pascal P100", Prefix + "jps-p50", C.N, P.P50});
+    Records.push_back({"Pascal P100", Prefix + "jps-p95", C.N, P.P95});
+    Records.push_back({"Pascal P100", Prefix + "jps-p99", C.N, P.P99});
+  }
+
+  bench::BenchMeta Meta;
+  Meta.Backend = C.Backend == engine::Backend::NativeCpu ? "native"
+                                                         : "simulator";
+  bench::writeBenchJson("serving_latency", Records, nullptr, Meta);
+  return 0;
+}

@@ -46,7 +46,8 @@ int main() {
       size_t Mark = E.deviceMark();
       sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
       E.getDevice().writeFloats(In, Data);
-      auto Out = Selector.reduce(E, In, N);
+      auto Out =
+          Selector.reduce(E, engine::ReduceRequest{.In = In, .N = N});
       E.deviceRelease(Mark);
       if (!Out) {
         std::fprintf(stderr, "%s\n", Out.status().toString().c_str());

@@ -52,7 +52,7 @@ int main() {
   engine::ExecutionEngine &E = TR.engineFor(sim::getPascalP100());
   sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
   E.getDevice().writeFloats(In, Data);
-  auto Out = E.reduce(Desc, In, N);
+  auto Out = E.run(engine::ReduceRequest{.Desc = Desc, .In = In, .N = N});
   if (!Out) {
     std::fprintf(stderr, "run failed: %s\n",
                  Out.status().toString().c_str());

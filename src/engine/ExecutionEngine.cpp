@@ -42,20 +42,6 @@ LaunchConfig tangram::engine::makeLaunchConfig(
   return Config;
 }
 
-const char *tangram::engine::getFaultOutcomeName(FaultOutcome O) {
-  switch (O) {
-  case FaultOutcome::Clean:
-    return "clean";
-  case FaultOutcome::Survived:
-    return "survived";
-  case FaultOutcome::Detected:
-    return "detected";
-  case FaultOutcome::Trapped:
-    return "trapped";
-  }
-  return "unknown";
-}
-
 ExecutionEngine::ExecutionEngine(const ArchDesc &Arch, EngineOptions Opts)
     : Arch(Arch),
       Pool(Opts.Pool ? std::move(Opts.Pool)
@@ -75,12 +61,6 @@ void ExecutionEngine::attachCompiler(const synth::KernelSynthesizer &S,
 }
 
 namespace {
-
-double engineNow() {
-  using Clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(Clock::now().time_since_epoch())
-      .count();
-}
 
 /// Lowers \p V (and its second stage, recursively) to native form in
 /// place. Any stage failing plane inference fails the whole chain — mixed
@@ -114,32 +94,36 @@ ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
   Key.Flags = static_cast<unsigned char>((Flags.AggregateAtomics ? 1 : 0) |
                                          (Flags.UnrollLoops ? 2 : 0));
   Key.BackendKind = B;
-  if (auto Cached = Cache->lookup(Key))
-    return std::shared_ptr<const synth::SynthesizedVariant>(std::move(Cached));
-  // Synthesize for this engine's generation so the atomic-expand pass plans
-  // CAS loops (and refuses illegal op x type x arch combinations) against
-  // the architecture the kernel will actually run on. Key.Gen keys the
-  // cache apart per generation, so per-arch plans never collide.
-  auto Fresh = Synth->synthesize(Desc, Flags, Arch.Gen);
-  if (!Fresh)
-    return Fresh.status();
-  if (B == Backend::NativeCpu) {
-    // Native resolution adds the register-plane lowering on top of the
-    // compiled bytecode, timed as its own pipeline stage so compile-time
-    // observability covers it like any pass.
-    double T0 = engineNow();
-    Status S = lowerVariantChain(**Fresh);
-    double Seconds = engineNow() - T0;
-    (*Fresh)->CompileSeconds += Seconds;
-    (*Fresh)->CompileStages.push_back({"native-lower", 1, Seconds});
-    if (pm::PassInstrumentation *PI = Synth->getInstrumentation())
-      PI->recordPassTime("native-lower", Seconds);
-    if (!S.ok())
-      return S;
-  }
-  VariantCache::VariantPtr Shared = std::move(*Fresh);
-  Cache->insert(Key, Shared);
-  return std::shared_ptr<const synth::SynthesizedVariant>(std::move(Shared));
+  // Single-flight resolve: however many service workers race on this key,
+  // exactly one synthesizes; the rest wait and share the artifact. The
+  // compile callback runs without the cache lock, so distinct keys still
+  // compile concurrently (synthesizer instrumentation is mutex-protected).
+  return Cache->getOrCompile(
+      Key, [&]() -> Expected<VariantCache::VariantPtr> {
+        // Synthesize for this engine's generation so the atomic-expand pass
+        // plans CAS loops (and refuses illegal op x type x arch
+        // combinations) against the architecture the kernel will actually
+        // run on. Key.Gen keys the cache apart per generation, so per-arch
+        // plans never collide.
+        auto Fresh = Synth->synthesize(Desc, Flags, Arch.Gen);
+        if (!Fresh)
+          return Fresh.status();
+        if (B == Backend::NativeCpu) {
+          // Native resolution adds the register-plane lowering on top of
+          // the compiled bytecode, timed as its own pipeline stage so
+          // compile-time observability covers it like any pass.
+          double T0 = steadySeconds();
+          Status S = lowerVariantChain(**Fresh);
+          double Seconds = steadySeconds() - T0;
+          (*Fresh)->CompileSeconds += Seconds;
+          (*Fresh)->CompileStages.push_back({"native-lower", 1, Seconds});
+          if (pm::PassInstrumentation *PI = Synth->getInstrumentation())
+            PI->recordPassTime("native-lower", Seconds);
+          if (!S.ok())
+            return S;
+        }
+        return VariantCache::VariantPtr(std::move(*Fresh));
+      });
 }
 
 LaunchResult ExecutionEngine::launch(const ir::CompiledKernel &Kernel,
@@ -150,9 +134,9 @@ LaunchResult ExecutionEngine::launch(const ir::CompiledKernel &Kernel,
 }
 
 Expected<RunResult>
-ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
-                              BufferId In, size_t N, ExecMode Mode,
-                              Backend B) {
+ExecutionEngine::runReductionImpl(const synth::SynthesizedVariant &V,
+                                  BufferId In, size_t N, ExecMode Mode,
+                                  Backend B) {
   RunResult Out;
 
   if (B == Backend::NativeCpu) {
@@ -234,7 +218,7 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
       return Status(StatusCode::InternalError,
                     "two-kernel variant without a second stage");
     auto Stage =
-        runReduction(*V.SecondStage, ReturnBuf, Config.GridDim, Mode, B);
+        runReductionImpl(*V.SecondStage, ReturnBuf, Config.GridDim, Mode, B);
     if (!Stage)
       return Stage.status();
     Out.Seconds += Stage->Seconds;
@@ -260,18 +244,119 @@ ExecutionEngine::runReduction(const synth::SynthesizedVariant &V,
   return Out;
 }
 
+Status ExecutionEngine::admit(const ReduceRequest &Req) const {
+  // Routing facts: a multi-tenant front-end stamps what it *believes* this
+  // request reduces; refuse quietly-wrong routing instead of computing a
+  // wrong answer under the right types.
+  if (Synth) {
+    if (Req.Op && *Req.Op != Synth->getOp())
+      return Status(StatusCode::InvalidArgument,
+                    strformat("request routed to the wrong engine: asks for "
+                              "op '%s', engine reduces '%s'",
+                              reduce::getOpDef(*Req.Op).Name,
+                              reduce::getOpDef(Synth->getOp()).Name));
+    if (Req.Elem && *Req.Elem != Synth->getElem())
+      return Status(StatusCode::InvalidArgument,
+                    strformat("request routed to the wrong engine: asks for "
+                              "type '%s', engine reduces '%s'",
+                              reduce::getScalarTypeSpelling(*Req.Elem),
+                              reduce::getScalarTypeSpelling(Synth->getElem())));
+  }
+  if (Req.Gen && *Req.Gen != Arch.Gen)
+    return Status(StatusCode::InvalidArgument,
+                  "request routed to the wrong engine shard: architecture "
+                  "generation mismatch");
+  if (Req.DeadlineSeconds > 0 && steadySeconds() > Req.DeadlineSeconds)
+    return Status(StatusCode::DeadlineExceeded,
+                  "admission deadline expired before launch");
+  return Status::success();
+}
+
+Expected<ReduceResult> ExecutionEngine::run(const ReduceRequest &Req) {
+  if (Status S = admit(Req); !S.ok())
+    return S;
+  auto V = getVariant(Req.Desc, Req.Flags, Req.BackendKind);
+  if (!V)
+    return V.status();
+  auto Out = runReductionImpl(**V, Req.In, Req.N, Req.Mode, Req.BackendKind);
+  if (!Out)
+    return Out.status();
+  ReduceResult R;
+  static_cast<RunResult &>(R) = std::move(*Out);
+  R.Used = Req.BackendKind;
+  return R;
+}
+
+Expected<ReduceResult> ExecutionEngine::run(const ReduceRequest &Req,
+                                            const synth::SynthesizedVariant &V) {
+  if (Status S = admit(Req); !S.ok())
+    return S;
+  auto Out = runReductionImpl(V, Req.In, Req.N, Req.Mode, Req.BackendKind);
+  if (!Out)
+    return Out.status();
+  ReduceResult R;
+  static_cast<RunResult &>(R) = std::move(*Out);
+  R.Used = Req.BackendKind;
+  return R;
+}
+
+Expected<DiagnoseReport> ExecutionEngine::diagnose(const DiagnoseRequest &Req) {
+  DiagnoseReport Report;
+  Report.Kind = Req.Kind;
+  switch (Req.Kind) {
+  case DiagnoseKind::Race: {
+    auto R = raceCheckImpl(Req.Desc, Req.N, Req.Flags);
+    if (!R)
+      return R.status();
+    Report.Race = std::move(*R);
+    return Report;
+  }
+  case DiagnoseKind::Fault: {
+    auto F = faultCheckImpl(Req.Desc, Req.N, Req.Plan, Req.Flags);
+    if (!F)
+      return F.status();
+    Report.Fault = std::move(*F);
+    return Report;
+  }
+  case DiagnoseKind::Validate:
+    // Findings are data: a wrong result (or any trap along the way) lands
+    // in the Validation arm, not in the Expected's Status.
+    Report.Validation = validateImpl(Req.Desc, Req.N, Req.BackendKind);
+    return Report;
+  }
+  return Status(StatusCode::InvalidArgument, "unknown diagnose kind");
+}
+
+Expected<RunResult>
+ExecutionEngine::runReduction(const synth::SynthesizedVariant &V, BufferId In,
+                              size_t N, ExecMode Mode, Backend B) {
+  return runReductionImpl(V, In, N, Mode, B);
+}
+
 Expected<RunResult> ExecutionEngine::reduce(const synth::VariantDescriptor &Desc,
                                             BufferId In, size_t N,
                                             ExecMode Mode, Backend B) {
-  auto V = getVariant(Desc, {}, B);
-  if (!V)
-    return V.status();
-  return runReduction(**V, In, N, Mode, B);
+  ReduceRequest Req;
+  Req.Desc = Desc;
+  Req.In = In;
+  Req.N = N;
+  Req.Mode = Mode;
+  Req.BackendKind = B;
+  auto Out = run(Req);
+  if (!Out)
+    return Out.status();
+  return RunResult(std::move(*Out));
 }
 
 Expected<RaceReport>
 ExecutionEngine::raceCheck(const synth::VariantDescriptor &Desc, size_t N,
                            const synth::OptimizationFlags &Flags) {
+  return raceCheckImpl(Desc, N, Flags);
+}
+
+Expected<RaceReport>
+ExecutionEngine::raceCheckImpl(const synth::VariantDescriptor &Desc, size_t N,
+                               const synth::OptimizationFlags &Flags) {
   auto V = getVariant(Desc, Flags);
   if (!V)
     return V.status();
@@ -286,7 +371,8 @@ ExecutionEngine::raceCheck(const synth::VariantDescriptor &Desc, size_t N,
     C->F = static_cast<double>(I % 17);
   }
 
-  auto Run = runReduction(**V, In, N, ExecMode::RaceCheck);
+  auto Run = runReductionImpl(**V, In, N, ExecMode::RaceCheck,
+                              Backend::Simulator);
   Dev.release(Mark);
   if (!Run)
     return Run.status();
@@ -327,20 +413,20 @@ ExecutionEngine::timeVariantChecked(const synth::VariantDescriptor &Desc,
   // backend runs the real grid and reports wall-clock.
   ExecMode Mode =
       B == Backend::NativeCpu ? ExecMode::Functional : ExecMode::Sampled;
-  auto Out = runReduction(**V, In, N, Mode, B);
+  auto Out = runReductionImpl(**V, In, N, Mode, B);
   if (!Out && Out.status().Code == StatusCode::DeadlineExceeded &&
       RetryBudgetFactor > 1) {
     // One retry at an escalated budget: a genuinely slow configuration
     // finishes and survives; a livelocked one trips the watchdog again
     // and is quarantined below.
     BudgetEscalation = RetryBudgetFactor;
-    Out = runReduction(**V, In, N, Mode, B);
+    Out = runReductionImpl(**V, In, N, Mode, B);
     BudgetEscalation = 1;
   }
   if (Out && B == Backend::NativeCpu)
     // Steady-state wall-clock: the first run converted buffer mirrors and
     // warmed caches; the second run is what a tuning/serving loop pays.
-    Out = runReduction(**V, In, N, Mode, B);
+    Out = runReductionImpl(**V, In, N, Mode, B);
   Dev.release(Mark);
   if (!Out) {
     quarantineVariant(Desc, Out.status());
@@ -351,6 +437,11 @@ ExecutionEngine::timeVariantChecked(const synth::VariantDescriptor &Desc,
 
 Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
                                         size_t N, Backend B) {
+  return validateImpl(Desc, N, B);
+}
+
+Status ExecutionEngine::validateImpl(const synth::VariantDescriptor &Desc,
+                                     size_t N, Backend B) {
   if (N == 0 || !Synth)
     return Status::success();
   // Sub is not associative: a tree schedule and a serial schedule disagree
@@ -390,7 +481,7 @@ Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
   long long RefI = Ref.valueI();
   long long RefIdx = Ref.index();
 
-  auto Run = runReduction(**V, In, N, ExecMode::Functional, B);
+  auto Run = runReductionImpl(**V, In, N, ExecMode::Functional, B);
   if (!Run) {
     Dev.release(Mark);
     quarantineVariant(Desc, Run.status());
@@ -402,8 +493,8 @@ Status ExecutionEngine::validateVariant(const synth::VariantDescriptor &Desc,
     // backends must agree bit-for-bit for integer and arg-reductions (the
     // native lowering shares the interpreter's exact semantics helpers)
     // and to a tight ULP-scale tolerance for summing float ops.
-    auto Oracle = runReduction(**V, In, N, ExecMode::Functional,
-                               Backend::Simulator);
+    auto Oracle = runReductionImpl(**V, In, N, ExecMode::Functional,
+                                   Backend::Simulator);
     if (!Oracle) {
       Dev.release(Mark);
       quarantineVariant(Desc, Oracle.status());
@@ -523,8 +614,8 @@ ExecutionEngine::tune(const synth::VariantDescriptor &Desc, size_t N,
 
   for (const auto &[Seconds, Candidate] : Timed) {
     if (Opts.ValidateN) {
-      Status S = validateVariant(Candidate, Opts.ValidateN,
-                                 Opts.TimingBackend);
+      Status S = validateImpl(Candidate, Opts.ValidateN,
+                              Opts.TimingBackend);
       if (!S.ok()) {
         Report.Quarantined.push_back({Candidate, S});
         continue; // Fall back to the next-fastest configuration.
@@ -580,6 +671,13 @@ Expected<FaultReport>
 ExecutionEngine::faultCheck(const synth::VariantDescriptor &Desc, size_t N,
                             const sim::FaultPlan &Plan,
                             const synth::OptimizationFlags &Flags) {
+  return faultCheckImpl(Desc, N, Plan, Flags);
+}
+
+Expected<FaultReport>
+ExecutionEngine::faultCheckImpl(const synth::VariantDescriptor &Desc, size_t N,
+                                const sim::FaultPlan &Plan,
+                                const synth::OptimizationFlags &Flags) {
   auto V = getVariant(Desc, Flags);
   if (!V)
     return V.status();
@@ -601,14 +699,16 @@ ExecutionEngine::faultCheck(const synth::VariantDescriptor &Desc, size_t N,
   // Clean reference first: simulation is deterministic, so the faulted run
   // can be compared bit-exactly — any divergence is the fault's doing.
   Machine.setFaultPlan(sim::FaultPlan());
-  auto Ref = runReduction(**V, In, N, ExecMode::Functional);
+  auto Ref = runReductionImpl(**V, In, N, ExecMode::Functional,
+                              Backend::Simulator);
   if (!Ref) {
     Dev.release(Mark);
     return Ref.status(); // Broken without any fault: a real error.
   }
 
   Machine.setFaultPlan(Plan);
-  auto Run = runReduction(**V, In, N, ExecMode::Functional);
+  auto Run = runReductionImpl(**V, In, N, ExecMode::Functional,
+                              Backend::Simulator);
   Dev.release(Mark);
 
   FaultReport Report;

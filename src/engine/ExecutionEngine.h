@@ -26,6 +26,7 @@
 #define TANGRAM_ENGINE_EXECUTIONENGINE_H
 
 #include "engine/Backend.h"
+#include "engine/Request.h"
 #include "engine/VariantCache.h"
 #include "gpusim/PerfModel.h"
 #include "gpusim/RaceDetector.h"
@@ -43,38 +44,6 @@
 #include <vector>
 
 namespace tangram::engine {
-
-/// Result of one successful end-to-end reduction run (failures travel as
-/// the Status arm of Expected<RunResult>).
-struct RunResult {
-  /// The reduction result (meaningful in Functional mode only). Float
-  /// results are in `FloatValue`, integer results in `IntValue`. For
-  /// arg-reductions (ArgMin/ArgMax) `IndexValue` carries the winning
-  /// element's position (ReduceIndexSentinel when no element was folded).
-  double FloatValue = 0;
-  long long IntValue = 0;
-  long long IndexValue = 0;
-  /// Modeled end-to-end seconds.
-  double Seconds = 0;
-  sim::KernelTiming Timing;
-  /// First-stage launch detail. In RaceCheck mode the second stage's race
-  /// diagnostics/conflict counts are folded in here too.
-  sim::LaunchResult Launch;
-};
-
-/// Aggregated result of a RaceCheck run over every launch a variant
-/// performs (main kernel plus the second-stage kernel when present).
-struct RaceReport {
-  std::vector<sim::RaceDiagnostic> Diagnostics;
-  /// Kernel launches the check covered.
-  unsigned LaunchCount = 0;
-  /// Total conflict observations before deduplication/caps.
-  uint64_t Conflicts = 0;
-  /// The detector's address table overflowed; coverage is partial.
-  bool Truncated = false;
-
-  bool clean() const { return Conflicts == 0 && Diagnostics.empty(); }
-};
 
 /// Launch geometry for \p V at problem size \p N, including a per-variant
 /// watchdog budget sized from the block tile (~100x above any legitimate
@@ -130,34 +99,6 @@ struct TuneOptions {
   /// validated on the same backend either way, and native validation
   /// additionally cross-checks against the simulator oracle.
   Backend TimingBackend = Backend::Simulator;
-};
-
-/// How an injected fault played out for one variant (see faultCheck()).
-enum class FaultOutcome : unsigned char {
-  Clean,    ///< No fault fired; result matches the reference bit-exactly.
-  Survived, ///< Faults fired, yet the result still matches the reference.
-  Detected, ///< The result diverged from the reference (fault caught).
-  Trapped,  ///< The faulted run failed structurally (error/deadline).
-};
-
-const char *getFaultOutcomeName(FaultOutcome O);
-
-/// Result of one fault-injection campaign against one variant.
-struct FaultReport {
-  sim::FaultKind Kind = sim::FaultKind::None;
-  FaultOutcome Outcome = FaultOutcome::Clean;
-  uint64_t FaultsInjected = 0;
-  /// Clean-run reference reduction values (index lane meaningful for
-  /// arg-reductions only).
-  double RefFloat = 0;
-  long long RefInt = 0;
-  long long RefIndex = 0;
-  /// Faulted-run values (meaningless when Outcome == Trapped).
-  double GotFloat = 0;
-  long long GotInt = 0;
-  long long GotIndex = 0;
-  /// The structural failure when Outcome == Trapped.
-  support::Status Trap;
 };
 
 /// Construction knobs for ExecutionEngine.
@@ -224,30 +165,46 @@ public:
                            const std::vector<sim::ArgValue> &Args,
                            sim::ExecMode Mode = sim::ExecMode::Functional);
 
-  /// Runs \p V over \p In (N elements): allocates and identity-initializes
-  /// the accumulator, launches, models time, and recursively drives the
+  /// Runs one reduction request end to end: validates the request's routing
+  /// facts (op/dtype/generation, when present) against this engine,
+  /// enforces its admission deadline, resolves the descriptor through the
+  /// variant cache, and executes — allocating and identity-initializing the
+  /// accumulator, launching, modeling time, and recursively driving the
   /// second stage for two-kernel variants. Scratch buffers are released
   /// before returning. Launch failures carry StatusCode::LaunchError.
-  /// On Backend::NativeCpu the variant must have been resolved natively
-  /// (getVariant with NativeCpu); Seconds is then host wall-clock, Timing
-  /// is not modeled, and RaceCheck mode is refused (InvalidArgument) —
-  /// race detection is a simulator instrument.
+  /// With Backend::NativeCpu, Seconds is host wall-clock, Timing is not
+  /// modeled, and RaceCheck mode is refused (InvalidArgument) — race
+  /// detection is a simulator instrument.
+  support::Expected<ReduceResult> run(const ReduceRequest &Req);
+
+  /// Same contract over an already-synthesized variant (bypasses the cache;
+  /// Req.Desc is ignored in favor of \p V). For callers that hold a
+  /// variant — synthesis tests, the serving layer's batch path.
+  support::Expected<ReduceResult> run(const ReduceRequest &Req,
+                                      const synth::SynthesizedVariant &V);
+
+  /// Runs one diagnostic campaign (race detection, fault injection, or
+  /// functional validation) described by \p Req. See DiagnoseRequest for
+  /// which fields each kind consumes; see the DiagnoseReport arms for what
+  /// each kind yields. A Status escapes only for structural failures
+  /// (synthesis, a broken clean run) — findings are data, not errors.
+  support::Expected<DiagnoseReport> diagnose(const DiagnoseRequest &Req);
+
+  /// Deprecated positional spellings, kept as shims over the request API.
+  [[deprecated("build a ReduceRequest and call run()")]]
   support::Expected<RunResult>
   runReduction(const synth::SynthesizedVariant &V, sim::BufferId In,
                size_t N, sim::ExecMode Mode = sim::ExecMode::Functional,
                Backend B = Backend::Simulator);
 
-  /// Cache-resolved convenience: getVariant(Desc) then runReduction.
+  [[deprecated("build a ReduceRequest and call run()")]]
   support::Expected<RunResult>
   reduce(const synth::VariantDescriptor &Desc, sim::BufferId In, size_t N,
          sim::ExecMode Mode = sim::ExecMode::Functional,
          Backend B = Backend::Simulator);
 
-  /// Runs \p Desc in ExecMode::RaceCheck over a freshly materialized input
-  /// of \p N elements and aggregates race diagnostics across every launch
-  /// (including the second-stage kernel). A race-free variant yields a
-  /// RaceReport with clean() == true; seeded races are reported, not
-  /// errors — only synthesis/launch failures produce a Status.
+  [[deprecated("build a DiagnoseRequest{DiagnoseKind::Race} and call "
+               "diagnose()")]]
   support::Expected<RaceReport>
   raceCheck(const synth::VariantDescriptor &Desc, size_t N,
             const synth::OptimizationFlags &Flags = {});
@@ -281,6 +238,8 @@ public:
   /// native run must match the host reference (tolerance rules as below)
   /// AND the simulator oracle's run of the same variant — bit-for-bit for
   /// integer and arg-reductions, ULP-tolerance for summing float ops.
+  [[deprecated("build a DiagnoseRequest{DiagnoseKind::Validate} and call "
+               "diagnose()")]]
   support::Status validateVariant(const synth::VariantDescriptor &Desc,
                                   size_t N = 2048,
                                   Backend B = Backend::Simulator);
@@ -307,6 +266,8 @@ public:
   /// deterministic, so any divergence is the fault's doing). Only a broken
   /// *clean* run produces a Status; faulted-run failures are reported as
   /// FaultOutcome::Trapped.
+  [[deprecated("build a DiagnoseRequest{DiagnoseKind::Fault} and call "
+               "diagnose()")]]
   support::Expected<FaultReport>
   faultCheck(const synth::VariantDescriptor &Desc, size_t N,
              const sim::FaultPlan &Plan,
@@ -331,6 +292,24 @@ public:
 private:
   const QuarantineRecord *
   findQuarantine(const synth::VariantDescriptor &Desc) const;
+
+  /// Shared bodies behind both the request API and the deprecated shims
+  /// (internal callers use these so the build stays deprecation-clean).
+  support::Expected<RunResult>
+  runReductionImpl(const synth::SynthesizedVariant &V, sim::BufferId In,
+                   size_t N, sim::ExecMode Mode, Backend B);
+  support::Expected<RaceReport>
+  raceCheckImpl(const synth::VariantDescriptor &Desc, size_t N,
+                const synth::OptimizationFlags &Flags);
+  support::Status validateImpl(const synth::VariantDescriptor &Desc,
+                               size_t N, Backend B);
+  support::Expected<FaultReport>
+  faultCheckImpl(const synth::VariantDescriptor &Desc, size_t N,
+                 const sim::FaultPlan &Plan,
+                 const synth::OptimizationFlags &Flags);
+  /// Request-level admission checks (routing facts, deadline). Ok when the
+  /// request may proceed on this engine.
+  support::Status admit(const ReduceRequest &Req) const;
 
   sim::ArchDesc Arch; ///< By value: the engine outlives any accessor.
   std::shared_ptr<support::ThreadPool> Pool;

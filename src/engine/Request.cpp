@@ -1,0 +1,43 @@
+//===- Request.cpp - Engine request/response value types -------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Request.h"
+
+#include <chrono>
+
+using namespace tangram::engine;
+
+const char *tangram::engine::getDiagnoseKindName(DiagnoseKind K) {
+  switch (K) {
+  case DiagnoseKind::Race:
+    return "race";
+  case DiagnoseKind::Fault:
+    return "fault";
+  case DiagnoseKind::Validate:
+    return "validate";
+  }
+  return "unknown";
+}
+
+const char *tangram::engine::getFaultOutcomeName(FaultOutcome O) {
+  switch (O) {
+  case FaultOutcome::Clean:
+    return "clean";
+  case FaultOutcome::Survived:
+    return "survived";
+  case FaultOutcome::Detected:
+    return "detected";
+  case FaultOutcome::Trapped:
+    return "trapped";
+  }
+  return "unknown";
+}
+
+double tangram::engine::steadySeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}

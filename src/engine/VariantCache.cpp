@@ -42,6 +42,10 @@ VariantCache::VariantPtr VariantCache::lookup(const VariantKey &K) {
 
 void VariantCache::insert(const VariantKey &K, VariantPtr V) {
   std::lock_guard<std::mutex> Lock(Mutex);
+  insertLocked(K, std::move(V));
+}
+
+void VariantCache::insertLocked(const VariantKey &K, VariantPtr V) {
   if (V) {
     ++VariantsCompiled;
     CompileSeconds += V->CompileSeconds;
@@ -61,6 +65,47 @@ void VariantCache::insert(const VariantKey &K, VariantPtr V) {
   }
 }
 
+support::Expected<VariantCache::VariantPtr> VariantCache::getOrCompile(
+    const VariantKey &K,
+    const std::function<support::Expected<VariantPtr>()> &Compile) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      ++Hits;
+      Lru.splice(Lru.begin(), Lru, It->second);
+      return It->second->second;
+    }
+    auto F = InFlight.find(K);
+    if (F == InFlight.end())
+      break;
+    // Another thread is compiling this exact key: wait for its flight and
+    // share the outcome rather than synthesizing a duplicate.
+    ++SingleFlightWaits;
+    std::shared_ptr<Flight> Shared = F->second;
+    FlightDone.wait(Lock, [&] { return Shared->Done; });
+    // Waiters share the leader's outcome either way; a failure is not
+    // cached, so a *later* call (not this one) may retry the compile.
+    if (Shared->Result->ok())
+      return *Shared->Result;
+    return Shared->Result->status();
+  }
+  ++Misses;
+  auto F = std::make_shared<Flight>();
+  InFlight.emplace(K, F);
+  Lock.unlock();
+  support::Expected<VariantPtr> Result = Compile();
+  Lock.lock();
+  F->Result = Result;
+  F->Done = true;
+  InFlight.erase(K);
+  if (Result.ok())
+    insertLocked(K, *Result);
+  Lock.unlock();
+  FlightDone.notify_all();
+  return Result;
+}
+
 CacheStats VariantCache::getStats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   CacheStats S;
@@ -70,6 +115,7 @@ CacheStats VariantCache::getStats() const {
   S.Entries = Map.size();
   S.VariantsCompiled = VariantsCompiled;
   S.CompileSeconds = CompileSeconds;
+  S.SingleFlightWaits = SingleFlightWaits;
   return S;
 }
 

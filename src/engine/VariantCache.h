@@ -20,13 +20,17 @@
 
 #include "engine/Backend.h"
 #include "gpusim/Arch.h"
+#include "support/Expected.h"
 #include "support/ReduceOp.h"
 #include "synth/KernelSynthesizer.h"
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 namespace tangram::engine {
@@ -63,6 +67,9 @@ struct CacheStats {
   /// Total pipeline wall-clock spent compiling them (sum of each inserted
   /// variant's SynthesizedVariant::CompileSeconds, second stages included).
   double CompileSeconds = 0;
+  /// Times a getOrCompile caller found another thread already compiling its
+  /// key and waited for that flight instead of duplicating the synthesis.
+  uint64_t SingleFlightWaits = 0;
 };
 
 /// Bounded LRU map of VariantKey -> synthesized variant. Entries are handed
@@ -82,6 +89,18 @@ public:
   /// used entry when over capacity.
   void insert(const VariantKey &K, VariantPtr V);
 
+  /// Single-flight resolve: returns the cached variant when present;
+  /// otherwise runs \p Compile exactly once per key no matter how many
+  /// threads race here — latecomers block on the leader's flight and share
+  /// its outcome instead of duplicating the synthesis. Successful results
+  /// are inserted under \p K; failures are not cached (a later call
+  /// retries), but every waiter of a failed flight receives the leader's
+  /// Status. \p Compile runs without the cache lock held, so independent
+  /// keys still compile concurrently.
+  support::Expected<VariantPtr>
+  getOrCompile(const VariantKey &K,
+               const std::function<support::Expected<VariantPtr>()> &Compile);
+
   CacheStats getStats() const;
   size_t getCapacity() const { return Capacity; }
   void clear();
@@ -95,15 +114,28 @@ private:
 
   using LruList = std::list<std::pair<VariantKey, VariantPtr>>;
 
+  /// One in-progress compilation. Waiters hold the shared_ptr, so a flight
+  /// outlives its map entry (the leader erases it before notifying).
+  struct Flight {
+    bool Done = false;
+    std::optional<support::Expected<VariantPtr>> Result;
+  };
+
+  /// insert() body for callers already holding Mutex.
+  void insertLocked(const VariantKey &K, VariantPtr V);
+
   size_t Capacity;
   mutable std::mutex Mutex;
+  std::condition_variable FlightDone;
   LruList Lru; ///< Front = most recently used.
   std::unordered_map<VariantKey, LruList::iterator, KeyHasher> Map;
+  std::unordered_map<VariantKey, std::shared_ptr<Flight>, KeyHasher> InFlight;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Evictions = 0;
   uint64_t VariantsCompiled = 0;
   double CompileSeconds = 0;
+  uint64_t SingleFlightWaits = 0;
 };
 
 } // namespace tangram::engine

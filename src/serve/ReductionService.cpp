@@ -1,0 +1,107 @@
+//===- ReductionService.cpp - Multi-tenant reduction serving ---------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ReductionService.h"
+
+#include "serve/Shard.h"
+
+#include <algorithm>
+
+using namespace tangram;
+using namespace tangram::serve;
+
+using support::Expected;
+using support::Status;
+using support::StatusCode;
+
+ReductionService::ReductionService(ServiceOptions Options)
+    : Opts(std::move(Options)) {
+  if (Opts.Archs.empty())
+    Opts.Archs.push_back(sim::getPascalP100());
+  for (const sim::ArchDesc &Arch : Opts.Archs) {
+    if (shardFor(Arch.Gen))
+      continue; // One shard per generation; duplicates share it.
+    Shards.push_back(std::make_unique<Shard>(Arch, Opts));
+  }
+  if (Opts.StartWorkers)
+    for (auto &S : Shards)
+      S->start();
+}
+
+ReductionService::~ReductionService() { stop(); }
+
+Shard *ReductionService::shardFor(sim::ArchGeneration Gen) {
+  for (auto &S : Shards)
+    if (S->getArch().Gen == Gen)
+      return S.get();
+  return nullptr;
+}
+
+Status ReductionService::submit(JobSpec Job, Completion Done) {
+  Shard *S = shardFor(Job.Gen);
+  if (!S)
+    return Status(StatusCode::InvalidArgument,
+                  "no shard serves this architecture generation");
+  PendingJob P;
+  P.AdmitSeconds = engine::steadySeconds();
+  P.Spec = std::move(Job);
+  P.Done = std::move(Done);
+  return S->enqueue(std::move(P));
+}
+
+std::future<Expected<JobResult>> ReductionService::submit(JobSpec Job) {
+  auto Prom = std::make_shared<std::promise<Expected<JobResult>>>();
+  std::future<Expected<JobResult>> Fut = Prom->get_future();
+  Status S = submit(std::move(Job), [Prom](Expected<JobResult> Out) {
+    Prom->set_value(std::move(Out));
+  });
+  if (!S.ok())
+    Prom->set_value(Expected<JobResult>(std::move(S)));
+  return Fut;
+}
+
+void ReductionService::drainNow() {
+  for (auto &S : Shards)
+    S->drainNow();
+}
+
+void ReductionService::stop() {
+  for (auto &S : Shards)
+    S->stop();
+}
+
+ServiceStats ReductionService::getStats() const {
+  ServiceStats Sum;
+  for (const auto &S : Shards) {
+    ServiceStats St = S->getStats();
+    Sum.Submitted += St.Submitted;
+    Sum.Rejected += St.Rejected;
+    Sum.Completed += St.Completed;
+    Sum.Failed += St.Failed;
+    Sum.Expired += St.Expired;
+    Sum.Batches += St.Batches;
+    Sum.CoalescedJobs += St.CoalescedJobs;
+    Sum.DirectJobs += St.DirectJobs;
+    Sum.DegradedJobs += St.DegradedJobs;
+    Sum.DegradedBatches += St.DegradedBatches;
+    Sum.MaxBatchJobs = std::max(Sum.MaxBatchJobs, St.MaxBatchJobs);
+  }
+  return Sum;
+}
+
+engine::ExecutionEngine *
+ReductionService::laneEngine(sim::ArchGeneration Gen, ReduceOp Op,
+                             ir::ScalarType Elem) {
+  Shard *S = shardFor(Gen);
+  return S ? S->laneEngine(Op, Elem) : nullptr;
+}
+
+const synth::VariantDescriptor *
+ReductionService::laneBatchDescriptor(sim::ArchGeneration Gen, ReduceOp Op,
+                                      ir::ScalarType Elem) {
+  Shard *S = shardFor(Gen);
+  return S ? S->laneBatchDescriptor(Op, Elem) : nullptr;
+}

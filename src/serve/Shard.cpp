@@ -1,0 +1,322 @@
+//===- Shard.cpp - Per-architecture serving shard ---------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Shard.h"
+
+#include "serve/Batch.h"
+
+#include "engine/ExecutionEngine.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace tangram;
+using namespace tangram::serve;
+
+using support::Expected;
+using support::Status;
+using support::StatusCode;
+
+Shard::Shard(const sim::ArchDesc &Arch, const ServiceOptions &Opts)
+    : Arch(Arch), Opts(Opts),
+      Cache(std::make_shared<engine::VariantCache>(Opts.EngineCacheCapacity)),
+      Pool(std::make_shared<support::ThreadPool>(Opts.EngineThreads)) {}
+
+Shard::~Shard() { stop(); }
+
+Status Shard::enqueue(PendingJob Job) {
+  std::unique_lock<std::mutex> L(Mu);
+  if (Stopping) {
+    ++Stats.Rejected;
+    return Status(StatusCode::Unavailable,
+                  "reduction service is shutting down");
+  }
+  if (Queue.size() >= Opts.QueueDepth) {
+    ++Stats.Rejected;
+    return Status(StatusCode::Overloaded,
+                  strformat("shard '%s' admission queue is full "
+                                     "(depth %zu); retry with backoff",
+                                     Arch.Name.c_str(), Opts.QueueDepth));
+  }
+  Queue.push_back(std::move(Job));
+  ++Stats.Submitted;
+  L.unlock();
+  WorkCv.notify_one();
+  return Status::success();
+}
+
+void Shard::start() {
+  if (Worker.joinable())
+    return;
+  Worker = std::thread([this] { workerLoop(); });
+}
+
+void Shard::workerLoop() {
+  std::unique_lock<std::mutex> L(Mu);
+  for (;;) {
+    WorkCv.wait(L, [&] { return Stopping || !Queue.empty(); });
+    if (Queue.empty() && Stopping)
+      return; // Stop drains first: the predicate re-admits us while jobs
+              // remain, so shutdown never drops queued work.
+    std::deque<PendingJob> Work;
+    Work.swap(Queue);
+    L.unlock();
+    process(Work);
+    L.lock();
+  }
+}
+
+void Shard::drainNow() {
+  if (Worker.joinable())
+    return;
+  std::deque<PendingJob> Work;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Work.swap(Queue);
+  }
+  if (!Work.empty())
+    process(Work);
+}
+
+void Shard::stop() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Stopping && !Worker.joinable() && Queue.empty())
+      return;
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  if (Worker.joinable()) {
+    Worker.join();
+  } else {
+    // Manual-pump mode: drain inline so queued jobs still complete.
+    std::deque<PendingJob> Work;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Work.swap(Queue);
+    }
+    if (!Work.empty())
+      process(Work);
+  }
+}
+
+ServiceStats Shard::getStats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats;
+}
+
+engine::ExecutionEngine *Shard::laneEngine(ReduceOp Op,
+                                           ir::ScalarType Elem) {
+  return laneFor(Op, Elem).E;
+}
+
+const synth::VariantDescriptor *
+Shard::laneBatchDescriptor(ReduceOp Op, ir::ScalarType Elem) {
+  Lane &L = laneFor(Op, Elem);
+  return L.BatchDescValid ? &L.BatchDesc : nullptr;
+}
+
+Shard::Lane &Shard::laneFor(ReduceOp Op, ir::ScalarType Elem) {
+  LaneKey Key{static_cast<unsigned>(Op), static_cast<unsigned>(Elem)};
+  auto It = Lanes.find(Key);
+  if (It != Lanes.end())
+    return It->second;
+
+  Lane L;
+  TangramReduction::Options TO;
+  TO.Op = Op;
+  TO.Elem = Elem;
+  TO.Engine.Cache = Cache; // Shared per shard: lanes never recompile a
+                           // variant another lane already resolved.
+  TO.Engine.Pool = Pool;
+  auto TR = TangramReduction::create(TO);
+  if (!TR) {
+    L.Create = TR.status();
+  } else {
+    L.TR = std::move(*TR);
+    L.E = &L.TR->engineFor(Arch);
+    L.Selector = std::make_unique<DynamicSelector>(*L.TR);
+    // The batch variant: a two-kernel, block-distributing tiled version —
+    // its first stage writes exactly one partial per block tile, which is
+    // what segmented batching packs jobs into. Prefer the shuffle tree
+    // (the paper's best cooperative flavor on shuffle-capable parts).
+    for (const synth::VariantDescriptor &D : L.TR->getSearchSpace().All) {
+      if (!D.usesSecondKernel() ||
+          D.GridDist != transforms::DistPattern::Tiled ||
+          !D.BlockDistributes ||
+          D.BlockDist != transforms::DistPattern::Tiled)
+        continue;
+      if (!L.BatchDescValid || D.Coop == synth::CoopKind::TreeShuffle) {
+        L.BatchDesc = D;
+        L.BatchDescValid = true;
+        if (D.Coop == synth::CoopKind::TreeShuffle)
+          break;
+      }
+    }
+    if (L.BatchDescValid) {
+      L.BatchDesc.BlockSize = Opts.BatchBlockSize;
+      L.BatchDesc.Coarsen = Opts.BatchCoarsen;
+      L.Tile = static_cast<size_t>(L.BatchDesc.BlockSize) *
+               (L.BatchDesc.BlockDistributes ? L.BatchDesc.Coarsen : 1);
+    }
+  }
+  return Lanes.emplace(Key, std::move(L)).first->second;
+}
+
+void Shard::process(std::deque<PendingJob> &Work) {
+  // Group by (op, dtype) lane, preserving arrival order inside a group so
+  // results stream back in a predictable order per tenant.
+  std::map<LaneKey, std::vector<PendingJob *>> Groups;
+  for (PendingJob &Job : Work)
+    Groups[{static_cast<unsigned>(Job.Spec.Op),
+            static_cast<unsigned>(Job.Spec.Elem)}]
+        .push_back(&Job);
+  for (auto &Entry : Groups) {
+    Lane &L = laneFor(static_cast<ReduceOp>(Entry.first.first),
+                      static_cast<ir::ScalarType>(Entry.first.second));
+    processGroup(L, Entry.second);
+  }
+}
+
+void Shard::processGroup(Lane &L, std::vector<PendingJob *> &Jobs) {
+  if (!L.Create.ok()) {
+    for (PendingJob *Job : Jobs)
+      complete(*Job, L.Create);
+    return;
+  }
+
+  const double Now = engine::steadySeconds();
+  std::vector<PendingJob *> Batchable, Direct;
+  for (PendingJob *Job : Jobs) {
+    if (Job->Spec.DeadlineSeconds > 0 && Now > Job->Spec.DeadlineSeconds) {
+      {
+        std::lock_guard<std::mutex> G(Mu);
+        ++Stats.Expired;
+      }
+      complete(*Job, Status(StatusCode::DeadlineExceeded,
+                            "job deadline passed while queued"));
+      continue;
+    }
+    // Sub stays direct: its second stage is sign-sensitive, so coalescing
+    // would not be bit-identical to the lone run.
+    const bool CanBatch = Opts.Coalesce && L.BatchDescValid &&
+                          Job->Spec.Op != ReduceOp::Sub &&
+                          Job->Spec.size() <= L.Tile;
+    (CanBatch ? Batchable : Direct).push_back(Job);
+  }
+
+  for (size_t Begin = 0; Begin < Batchable.size();
+       Begin += Opts.MaxBatchJobs) {
+    const size_t End =
+        std::min(Batchable.size(), Begin + Opts.MaxBatchJobs);
+    std::vector<PendingJob *> Chunk(Batchable.begin() + Begin,
+                                    Batchable.begin() + End);
+    std::vector<const JobSpec *> Specs;
+    Specs.reserve(Chunk.size());
+    for (PendingJob *Job : Chunk)
+      Specs.push_back(&Job->Spec);
+    auto Out = runBatch(*L.E, L.BatchDesc, Opts.BackendKind, Specs);
+    if (Out) {
+      {
+        std::lock_guard<std::mutex> G(Mu);
+        ++Stats.Batches;
+        Stats.CoalescedJobs += Chunk.size();
+        Stats.MaxBatchJobs = std::max<uint64_t>(Stats.MaxBatchJobs,
+                                                Chunk.size());
+      }
+      for (size_t I = 0; I != Chunk.size(); ++I)
+        complete(*Chunk[I], std::move((*Out)[I]));
+      continue;
+    }
+    // The batch could not run (quarantined, failed synthesis, trapped —
+    // trapping quarantines the descriptor). Degrade its jobs to the
+    // per-job failover path instead of failing them.
+    {
+      std::lock_guard<std::mutex> G(Mu);
+      ++Stats.DegradedBatches;
+    }
+    for (PendingJob *Job : Chunk)
+      Direct.push_back(Job);
+  }
+
+  for (PendingJob *Job : Direct) {
+    {
+      std::lock_guard<std::mutex> G(Mu);
+      ++Stats.DirectJobs;
+    }
+    complete(*Job, runDirect(L, Job->Spec));
+  }
+}
+
+Expected<JobResult> Shard::runDirect(Lane &L, const JobSpec &Spec) {
+  sim::Device &Dev = L.E->getDevice();
+  struct Scope {
+    sim::Device &D;
+    size_t M;
+    ~Scope() { D.release(M); }
+  } Scratch{Dev, Dev.mark()};
+
+  sim::BufferId In =
+      Dev.alloc(Spec.Elem, std::max<size_t>(1, Spec.size()));
+  writeJob(Dev, In, 0, Spec);
+
+  engine::ReduceRequest Req;
+  Req.In = In;
+  Req.N = Spec.size();
+  Req.BackendKind = Opts.BackendKind;
+  Req.Op = Spec.Op;
+  Req.Elem = Spec.Elem;
+  Req.Gen = Arch.Gen;
+
+  auto Finish = [&](engine::ReduceResult &&Out,
+                    bool Degraded) -> Expected<JobResult> {
+    JobResult R;
+    R.FloatValue = Out.FloatValue;
+    R.IntValue = Out.IntValue;
+    R.IndexValue = Out.IndexValue;
+    R.Seconds = Out.Seconds;
+    R.Used = Out.Used;
+    R.Coalesced = false;
+    R.Degraded = Degraded;
+    R.BatchJobs = 1;
+    if (Degraded) {
+      std::lock_guard<std::mutex> G(Mu);
+      ++Stats.DegradedJobs;
+    }
+    return R;
+  };
+
+  // Primary: the lane's own batch descriptor, alone — so coalesced and
+  // direct answers come from the same kernel and stay bit-identical.
+  if (L.BatchDescValid && !L.E->isQuarantined(L.BatchDesc)) {
+    Req.Desc = L.BatchDesc;
+    auto Out = L.E->run(Req);
+    if (Out)
+      return Finish(std::move(*Out), false);
+  }
+
+  // Failover: the DynamicSelector chain — portfolio candidates, then the
+  // native CPU backend, then the host loop. A quarantined shard degrades
+  // instead of failing its tenants' jobs.
+  auto Out = L.Selector->reduce(*L.E, Req);
+  if (!Out)
+    return Out.status();
+  return Finish(std::move(*Out), true);
+}
+
+void Shard::complete(PendingJob &Job, Expected<JobResult> Out) {
+  {
+    std::lock_guard<std::mutex> G(Mu);
+    if (Out)
+      ++Stats.Completed;
+    else
+      ++Stats.Failed;
+  }
+  if (Out)
+    Out->LatencySeconds = engine::steadySeconds() - Job.AdmitSeconds;
+  if (Job.Done)
+    Job.Done(std::move(Out));
+}

@@ -1,0 +1,109 @@
+//===- Shard.h - Per-architecture serving shard -----------------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One shard per architecture generation: a bounded admission queue, one
+/// worker thread draining it, and one engine lane per (op, dtype) the
+/// shard has seen. Lanes share the shard's variant cache (so a variant is
+/// compiled once per shard no matter how many lanes race through
+/// single-flight resolution) but each lane owns its facade, engine, and
+/// DynamicSelector — engine state is worker-thread-confined, which is what
+/// makes the shard safe without locking the execution path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SERVE_SHARD_H
+#define TANGRAM_SERVE_SHARD_H
+
+#include "serve/ReductionService.h"
+
+#include "tangram/DynamicSelector.h"
+#include "tangram/Tangram.h"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace tangram::serve {
+
+/// A queued job plus its completion plumbing.
+struct PendingJob {
+  JobSpec Spec;
+  ReductionService::Completion Done;
+  double AdmitSeconds = 0; ///< engine::steadySeconds() at admission.
+};
+
+class Shard {
+public:
+  Shard(const sim::ArchDesc &Arch, const ServiceOptions &Opts);
+  ~Shard();
+  Shard(const Shard &) = delete;
+  Shard &operator=(const Shard &) = delete;
+
+  /// Admits \p Job or refuses with Overloaded (queue full) / Unavailable
+  /// (stopping).
+  support::Status enqueue(PendingJob Job);
+
+  /// Spawns the worker thread (idempotent).
+  void start();
+
+  /// Drains the queue on the calling thread. No-op while a worker runs
+  /// (the worker already drains).
+  void drainNow();
+
+  /// Stops admission, drains everything still queued, joins the worker.
+  /// Idempotent.
+  void stop();
+
+  const sim::ArchDesc &getArch() const { return Arch; }
+  ServiceStats getStats() const;
+
+  /// Lane introspection (creates the lane on demand). Worker-thread state:
+  /// only call while the worker is not running.
+  engine::ExecutionEngine *laneEngine(ReduceOp Op, ir::ScalarType Elem);
+  const synth::VariantDescriptor *laneBatchDescriptor(ReduceOp Op,
+                                                      ir::ScalarType Elem);
+
+private:
+  /// One (op, dtype) execution lane.
+  struct Lane {
+    support::Status Create = support::Status::success();
+    std::unique_ptr<TangramReduction> TR;
+    engine::ExecutionEngine *E = nullptr;
+    std::unique_ptr<DynamicSelector> Selector;
+    synth::VariantDescriptor BatchDesc;
+    bool BatchDescValid = false;
+    size_t Tile = 0; ///< Elements one batch slot (block) holds.
+  };
+  using LaneKey = std::pair<unsigned, unsigned>;
+
+  Lane &laneFor(ReduceOp Op, ir::ScalarType Elem);
+  void workerLoop();
+  void process(std::deque<PendingJob> &Work);
+  void processGroup(Lane &L, std::vector<PendingJob *> &Jobs);
+  void complete(PendingJob &Job, support::Expected<JobResult> Out);
+  support::Expected<JobResult> runDirect(Lane &L, const JobSpec &Spec);
+
+  sim::ArchDesc Arch;
+  ServiceOptions Opts;
+  std::shared_ptr<engine::VariantCache> Cache;
+  std::shared_ptr<support::ThreadPool> Pool;
+  std::map<LaneKey, Lane> Lanes; ///< Worker-thread confined.
+
+  mutable std::mutex Mu; ///< Guards Queue, Stopping, Stats.
+  std::condition_variable WorkCv;
+  std::deque<PendingJob> Queue;
+  bool Stopping = false;
+  std::thread Worker;
+  ServiceStats Stats;
+};
+
+} // namespace tangram::serve
+
+#endif // TANGRAM_SERVE_SHARD_H

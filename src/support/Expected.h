@@ -39,6 +39,8 @@ enum class StatusCode : unsigned char {
   DeadlineExceeded, ///< The watchdog budget expired (livelock/runaway).
   WrongResult,     ///< A run produced a reduction that fails validation.
   InternalError,   ///< Invariant violation inside the library.
+  Overloaded,      ///< An admission queue is full; retry with backoff.
+  Unavailable,     ///< The serving endpoint is shutting down or stopped.
 };
 
 const char *getStatusCodeName(StatusCode Code);
@@ -90,6 +92,10 @@ inline const char *getStatusCodeName(StatusCode Code) {
     return "wrong-result";
   case StatusCode::InternalError:
     return "internal-error";
+  case StatusCode::Overloaded:
+    return "overloaded";
+  case StatusCode::Unavailable:
+    return "unavailable";
   }
   return "unknown";
 }

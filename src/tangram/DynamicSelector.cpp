@@ -72,7 +72,20 @@ int DynamicSelector::pickCandidate(BucketState &State,
 Expected<engine::RunResult>
 DynamicSelector::reduce(engine::ExecutionEngine &E, sim::BufferId In,
                         size_t N, sim::ExecMode Mode) {
-  Key K{E.getArch().Gen, bucketOf(N)};
+  engine::ReduceRequest Req;
+  Req.In = In;
+  Req.N = N;
+  Req.Mode = Mode;
+  auto Out = reduce(E, Req);
+  if (!Out)
+    return Out.status();
+  return engine::RunResult(std::move(*Out));
+}
+
+Expected<engine::ReduceResult>
+DynamicSelector::reduce(engine::ExecutionEngine &E,
+                        const engine::ReduceRequest &Req) {
+  Key K{E.getArch().Gen, bucketOf(Req.N)};
   BucketState &State = Buckets[K];
   if (State.Seconds.empty()) {
     State.Seconds.assign(Portfolio.size(),
@@ -85,7 +98,9 @@ DynamicSelector::reduce(engine::ExecutionEngine &E, sim::BufferId In,
     if (Pick < 0)
       break;
     unsigned Candidate = static_cast<unsigned>(Pick);
-    auto Out = E.reduce(Portfolio[Candidate], In, N, Mode);
+    engine::ReduceRequest Cand = Req;
+    Cand.Desc = Portfolio[Candidate];
+    auto Out = E.run(Cand);
     if (Out) {
       if (Out->Seconds < State.Seconds[Candidate])
         State.Seconds[Candidate] = Out->Seconds;
@@ -113,30 +128,33 @@ DynamicSelector::reduce(engine::ExecutionEngine &E, sim::BufferId In,
   // Every GPU candidate is dead or quarantined on the simulator path: the
   // synthesized kernels may still be fine — try them on the native CPU
   // backend before giving up on them entirely.
-  auto Native = nativeFallback(E, In, N, Mode);
+  auto Native = nativeFallback(E, Req);
   if (Native) {
     ++NativeFallbackRuns;
     return Native;
   }
 
   // Last resort: a plain host loop always produces the caller's answer.
-  auto Host = hostFallback(E, In, N);
+  auto Host = hostFallback(E, Req.In, Req.N);
   if (Host)
     ++FallbackRuns;
   return Host;
 }
 
-Expected<engine::RunResult>
-DynamicSelector::nativeFallback(engine::ExecutionEngine &E, sim::BufferId In,
-                                size_t N, sim::ExecMode Mode) {
+Expected<engine::ReduceResult>
+DynamicSelector::nativeFallback(engine::ExecutionEngine &E,
+                                const engine::ReduceRequest &Req) {
   // Race checking is a simulator instrument; nothing to serve natively.
-  if (Mode == sim::ExecMode::RaceCheck)
+  if (Req.Mode == sim::ExecMode::RaceCheck)
     return Status(StatusCode::InvalidArgument,
                   "native fallback cannot run RaceCheck mode");
   Status LastWhy(StatusCode::InternalError, "empty portfolio");
   for (const VariantDescriptor &Desc : Portfolio) {
-    auto Out = E.reduce(Desc, In, N, sim::ExecMode::Functional,
-                        engine::Backend::NativeCpu);
+    engine::ReduceRequest Cand = Req;
+    Cand.Desc = Desc;
+    Cand.Mode = sim::ExecMode::Functional;
+    Cand.BackendKind = engine::Backend::NativeCpu;
+    auto Out = E.run(Cand);
     if (Out)
       return Out;
     LastWhy = Out.status();
@@ -144,7 +162,7 @@ DynamicSelector::nativeFallback(engine::ExecutionEngine &E, sim::BufferId In,
   return LastWhy;
 }
 
-Expected<engine::RunResult>
+Expected<engine::ReduceResult>
 DynamicSelector::hostFallback(engine::ExecutionEngine &E, sim::BufferId In,
                               size_t N) {
   sim::Device &Dev = E.getDevice();
@@ -162,12 +180,14 @@ DynamicSelector::hostFallback(engine::ExecutionEngine &E, sim::BufferId In,
   for (size_t I = 0; I != N; ++I)
     Acc.accumulate(Dev.readFloat(In, I), Dev.readInt(In, I),
                    static_cast<long long>(I));
-  engine::RunResult Out;
+  engine::ReduceResult Out;
   Out.FloatValue = Acc.valueF();
   Out.IntValue = Acc.valueI();
   Out.IndexValue = Acc.index();
-  // Priced like the OmpCpuReduce baseline (POWER8 host model).
+  // Priced like the OmpCpuReduce baseline (POWER8 host model). The host
+  // loop runs on the CPU tier, so report it as the native backend.
   Out.Seconds = baselines::Power8Model{}.seconds(N);
+  Out.Used = engine::Backend::NativeCpu;
   return Out;
 }
 

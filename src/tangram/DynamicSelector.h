@@ -44,13 +44,20 @@ public:
   DynamicSelector(const TangramReduction &TR,
                   std::vector<synth::VariantDescriptor> Portfolio = {});
 
-  /// Reduces buffer \p In resident in \p E's device, micro-profiling while
-  /// candidates remain untried for (E's arch, bucket). Returns the
-  /// reduction result of whichever candidate ran — falling back through
-  /// the portfolio, then to the host baseline, when candidates fail.
-  /// Candidates resolve through the engine's variant cache, so each is
-  /// compiled at most once. A Status only escapes when even the host
-  /// fallback cannot run (e.g. an invalid buffer).
+  /// Serves one reduction request, micro-profiling while candidates remain
+  /// untried for (E's arch, bucket). The request's descriptor is *advisory*
+  /// here — the selector substitutes its own portfolio candidates — but
+  /// its buffer, size, mode, backend, deadline, and routing facts are all
+  /// honored. Returns the result of whichever candidate ran, falling back
+  /// through the portfolio, then the native CPU backend, then the host
+  /// baseline. Candidates resolve through the engine's variant cache, so
+  /// each is compiled at most once. A Status only escapes when even the
+  /// host fallback cannot run (e.g. an invalid buffer).
+  support::Expected<engine::ReduceResult>
+  reduce(engine::ExecutionEngine &E, const engine::ReduceRequest &Req);
+
+  /// Deprecated positional spelling of the request-shaped reduce().
+  [[deprecated("build a ReduceRequest and call reduce(E, Req)")]]
   support::Expected<engine::RunResult>
   reduce(engine::ExecutionEngine &E, sim::BufferId In, size_t N,
          sim::ExecMode Mode = sim::ExecMode::Functional);
@@ -90,15 +97,14 @@ private:
 
   /// Correct-if-slow host CPU reduction over the device buffer, priced by
   /// the OmpCpuReduce POWER8 model.
-  support::Expected<engine::RunResult>
+  support::Expected<engine::ReduceResult>
   hostFallback(engine::ExecutionEngine &E, sim::BufferId In, size_t N);
 
   /// Retries the portfolio on the native CPU backend (quarantine is a
   /// simulator-path verdict and is deliberately bypassed). Null result =
   /// nothing ran natively either.
-  support::Expected<engine::RunResult>
-  nativeFallback(engine::ExecutionEngine &E, sim::BufferId In, size_t N,
-                 sim::ExecMode Mode);
+  support::Expected<engine::ReduceResult>
+  nativeFallback(engine::ExecutionEngine &E, const engine::ReduceRequest &Req);
 
   struct Key {
     sim::ArchGeneration Gen;

@@ -115,10 +115,29 @@ TangramReduction::emitCudaFor(const VariantDescriptor &Desc) const {
   return codegen::emitCuda(*(*S)->K, Options);
 }
 
+Expected<engine::ReduceResult>
+TangramReduction::reduce(const sim::ArchDesc &Arch,
+                         const engine::ReduceRequest &Req) const {
+  return engineFor(Arch).run(Req);
+}
+
+Expected<engine::DiagnoseReport>
+TangramReduction::diagnose(const sim::ArchDesc &Arch,
+                           const engine::DiagnoseRequest &Req) const {
+  return engineFor(Arch).diagnose(Req);
+}
+
 Expected<engine::RaceReport>
 TangramReduction::raceCheck(const VariantDescriptor &Desc,
                             const sim::ArchDesc &Arch, size_t N) const {
-  return engineFor(Arch).raceCheck(Desc, N);
+  engine::DiagnoseRequest Req;
+  Req.Kind = engine::DiagnoseKind::Race;
+  Req.Desc = Desc;
+  Req.N = N;
+  auto Report = engineFor(Arch).diagnose(Req);
+  if (!Report)
+    return Report.status();
+  return std::move(Report->Race);
 }
 
 std::string TangramReduction::renderRace(const sim::RaceDiagnostic &D) const {
@@ -185,5 +204,13 @@ Expected<engine::FaultReport>
 TangramReduction::faultCheck(const VariantDescriptor &Desc,
                              const sim::ArchDesc &Arch, size_t N,
                              const sim::FaultPlan &Plan) const {
-  return engineFor(Arch).faultCheck(Desc, N, Plan);
+  engine::DiagnoseRequest Req;
+  Req.Kind = engine::DiagnoseKind::Fault;
+  Req.Desc = Desc;
+  Req.N = N;
+  Req.Plan = Plan;
+  auto Report = engineFor(Arch).diagnose(Req);
+  if (!Report)
+    return Report.status();
+  return std::move(Report->Fault);
 }

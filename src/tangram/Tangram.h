@@ -117,10 +117,23 @@ public:
   support::Expected<std::string>
   emitCudaFor(const synth::VariantDescriptor &Desc) const;
 
-  /// Runs \p Desc under the dynamic race detector on \p Arch over an
-  /// \p N-element input (every launch, full grid). A clean variant yields
-  /// RaceReport::clean(); diagnostics map racing instructions back to
-  /// codelet source positions — render them with renderRace().
+  /// Runs one reduction request on \p Arch's lazily-created engine. The
+  /// request names everything — input buffer, size, descriptor, backend,
+  /// deadline, optional op/dtype routing facts — so this is the entry the
+  /// serving layer (and any queue-shaped caller) drives.
+  /// See engine::ExecutionEngine::run.
+  support::Expected<engine::ReduceResult>
+  reduce(const sim::ArchDesc &Arch, const engine::ReduceRequest &Req) const;
+
+  /// Runs one diagnostic campaign (race / fault / validate) on \p Arch's
+  /// engine. See engine::ExecutionEngine::diagnose.
+  support::Expected<engine::DiagnoseReport>
+  diagnose(const sim::ArchDesc &Arch,
+           const engine::DiagnoseRequest &Req) const;
+
+  /// Deprecated positional spelling of diagnose(DiagnoseKind::Race).
+  [[deprecated("build a DiagnoseRequest{DiagnoseKind::Race} and call "
+               "diagnose()")]]
   support::Expected<engine::RaceReport>
   raceCheck(const synth::VariantDescriptor &Desc, const sim::ArchDesc &Arch,
             size_t N) const;
@@ -156,9 +169,9 @@ public:
   support::Expected<engine::TuneReport>
   findBestReport(const sim::ArchDesc &Arch, size_t N) const;
 
-  /// Runs \p Desc on \p Arch under the injected \p Plan over an
-  /// \p N-element input and classifies the outcome against a clean
-  /// reference run (mirrors raceCheck). See ExecutionEngine::faultCheck.
+  /// Deprecated positional spelling of diagnose(DiagnoseKind::Fault).
+  [[deprecated("build a DiagnoseRequest{DiagnoseKind::Fault} and call "
+               "diagnose()")]]
   support::Expected<engine::FaultReport>
   faultCheck(const synth::VariantDescriptor &Desc, const sim::ArchDesc &Arch,
              size_t N, const sim::FaultPlan &Plan) const;

@@ -160,13 +160,15 @@ TEST(ExecutionEngine, DeterminismAcrossThreadCounts) {
       size_t MarkSeq = ESeq.deviceMark();
       sim::BufferId InSeq = ESeq.getDevice().alloc(ir::ScalarType::F32, N);
       ESeq.getDevice().writeFloats(InSeq, Data);
-      auto OutSeq = ESeq.reduce(D, InSeq, N);
+      auto OutSeq =
+          ESeq.run(engine::ReduceRequest{.Desc = D, .In = InSeq, .N = N});
       ESeq.deviceRelease(MarkSeq);
 
       size_t MarkPar = EPar.deviceMark();
       sim::BufferId InPar = EPar.getDevice().alloc(ir::ScalarType::F32, N);
       EPar.getDevice().writeFloats(InPar, Data);
-      auto OutPar = EPar.reduce(D, InPar, N);
+      auto OutPar =
+          EPar.run(engine::ReduceRequest{.Desc = D, .In = InPar, .N = N});
       EPar.deviceRelease(MarkPar);
 
       ASSERT_TRUE(OutSeq.ok())

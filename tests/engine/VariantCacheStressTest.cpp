@@ -1,0 +1,156 @@
+//===- VariantCacheStressTest.cpp - Single-flight compile stress ------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Many threads racing getOrCompile on one key must produce exactly one
+// compilation: a leader runs the compile, latecomers block on its flight
+// and share the artifact. Distinct keys still compile concurrently, and a
+// failed flight is not cached (the next caller retries).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/VariantCache.h"
+
+#include "tangram/Tangram.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace tangram;
+using namespace tangram::engine;
+
+using support::StatusCode;
+
+namespace {
+
+VariantCache::VariantPtr fakeVariant() {
+  return std::make_shared<synth::SynthesizedVariant>();
+}
+
+TEST(SingleFlight, EightThreadsOneKeyOneCompile) {
+  VariantCache Cache(16);
+  VariantKey K;
+  K.DescHash = 42;
+
+  std::atomic<unsigned> Compiles{0};
+  std::atomic<bool> Go{false};
+  std::atomic<unsigned> Successes{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 8; ++T)
+    Threads.emplace_back([&] {
+      while (!Go.load())
+        std::this_thread::yield();
+      auto Out = Cache.getOrCompile(K, [&] {
+        ++Compiles;
+        // Hold the flight open long enough that the other threads pile
+        // onto it rather than finding the finished cache entry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return support::Expected<VariantCache::VariantPtr>(fakeVariant());
+      });
+      if (Out.ok() && *Out)
+        ++Successes;
+    });
+  Go = true;
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Compiles.load(), 1u);
+  EXPECT_EQ(Successes.load(), 8u);
+  CacheStats St = Cache.getStats();
+  EXPECT_EQ(St.VariantsCompiled, 1u);
+  EXPECT_GT(St.SingleFlightWaits, 0u);
+  EXPECT_EQ(St.Entries, 1u);
+}
+
+TEST(SingleFlight, DistinctKeysCompileConcurrently) {
+  VariantCache Cache(16);
+  // Two slow compiles on different keys: were flights serialized behind
+  // the cache lock, the pair would take >= 2x one compile's wall-clock.
+  std::atomic<unsigned> InCompile{0};
+  std::atomic<unsigned> PeakConcurrency{0};
+  auto SlowCompile = [&] {
+    unsigned Now = ++InCompile;
+    unsigned Peak = PeakConcurrency.load();
+    while (Peak < Now && !PeakConcurrency.compare_exchange_weak(Peak, Now))
+      ;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    --InCompile;
+    return support::Expected<VariantCache::VariantPtr>(fakeVariant());
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 2; ++T)
+    Threads.emplace_back([&, T] {
+      VariantKey K;
+      K.DescHash = T;
+      EXPECT_TRUE(Cache.getOrCompile(K, SlowCompile).ok());
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(PeakConcurrency.load(), 2u);
+}
+
+TEST(SingleFlight, FailuresPropagateToWaitersAndAreNotCached) {
+  VariantCache Cache(16);
+  VariantKey K;
+  K.DescHash = 7;
+
+  std::atomic<unsigned> Compiles{0};
+  std::atomic<unsigned> FailuresSeen{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 4; ++T)
+    Threads.emplace_back([&] {
+      auto Out = Cache.getOrCompile(K, [&] {
+        ++Compiles;
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return support::Expected<VariantCache::VariantPtr>(
+            support::Status(StatusCode::SynthesisError, "injected"));
+      });
+      if (!Out.ok() && Out.code() == StatusCode::SynthesisError)
+        ++FailuresSeen;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Racing threads may fold into one flight or start a few in sequence
+  // (failures are not cached) — but every caller saw the leader's Status
+  // and nothing was inserted.
+  EXPECT_GE(Compiles.load(), 1u);
+  EXPECT_EQ(FailuresSeen.load(), 4u);
+  EXPECT_EQ(Cache.getStats().Entries, 0u);
+
+  // The key stays compilable: a later success lands in the cache.
+  auto Out = Cache.getOrCompile(K, [&] {
+    return support::Expected<VariantCache::VariantPtr>(fakeVariant());
+  });
+  EXPECT_TRUE(Out.ok());
+  EXPECT_EQ(Cache.getStats().Entries, 1u);
+}
+
+// End-to-end: engines on different threads sharing one cache resolve the
+// same descriptor with exactly one synthesis between them.
+TEST(SingleFlight, SharedCacheEnginesCompileEachVariantOnce) {
+  TangramReduction::Options Opts;
+  Opts.Engine.Cache = std::make_shared<VariantCache>(64);
+  auto TR = TangramReduction::create(Opts);
+  ASSERT_TRUE(TR.ok()) << TR.status().toString();
+  const synth::VariantDescriptor Desc =
+      (*TR)->getSearchSpace().Pruned.front();
+
+  engine::ExecutionEngine &E = (*TR)->engineFor(sim::getPascalP100());
+  const uint64_t Before = Opts.Engine.Cache->getStats().VariantsCompiled;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 8; ++T)
+    Threads.emplace_back(
+        [&] { EXPECT_TRUE(E.getVariant(Desc).ok()); });
+  for (std::thread &T : Threads)
+    T.join();
+  // One synthesis covers all eight resolvers (the variant may carry a
+  // second-stage kernel, which compiles within the same flight).
+  EXPECT_EQ(Opts.Engine.Cache->getStats().VariantsCompiled, Before + 1);
+}
+
+} // namespace

@@ -38,6 +38,22 @@ TangramReduction &facade() {
   return *TR;
 }
 
+/// Runs one fault campaign through the request-shaped diagnose() entry
+/// point and unwraps the fault arm.
+support::Expected<engine::FaultReport>
+faultDiagnose(const VariantDescriptor &V, const sim::ArchDesc &Arch,
+              size_t N, const sim::FaultPlan &Plan) {
+  engine::DiagnoseRequest DR;
+  DR.Kind = engine::DiagnoseKind::Fault;
+  DR.Desc = V;
+  DR.N = N;
+  DR.Plan = Plan;
+  auto Report = facade().diagnose(Arch, DR);
+  if (!Report)
+    return Report.status();
+  return Report->Fault;
+}
+
 /// Representative variants: one from each corner of the search space the
 /// paper depicts (serial-combine, cooperative shared-memory, and the
 /// shuffle + shared-atomic hybrid).
@@ -70,7 +86,7 @@ TEST(FaultMatrix, EveryCellTerminatesWithAStructuredOutcome) {
         Plan.Kind = Kinds[K];
         Plan.Seed = 3;
         Plan.Period = 4;
-        auto Report = facade().faultCheck(*V, Archs[A], N, Plan);
+        auto Report = faultDiagnose(*V, Archs[A], N, Plan);
         ASSERT_TRUE(Report.ok())
             << V->getName() << " on " << Archs[A].Name << ": "
             << Report.status().toString();
@@ -117,7 +133,7 @@ TEST(FaultMatrix, StuckWarpTrapsViaTheWatchdogOnEveryArch) {
     sim::FaultPlan Plan;
     Plan.Kind = sim::FaultKind::StuckWarp;
     Plan.Period = 1;
-    auto Report = facade().faultCheck(*V, Archs[A], 4096, Plan);
+    auto Report = faultDiagnose(*V, Archs[A], 4096, Plan);
     ASSERT_TRUE(Report.ok()) << Report.status().toString();
     EXPECT_EQ(Report->Outcome, engine::FaultOutcome::Trapped)
         << Archs[A].Name;
@@ -142,7 +158,8 @@ TEST(FaultMatrix, CleanRunsAreBitIdenticalWithInjectorPresent) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    auto Out = E.reduce(*V, In, N, sim::ExecMode::Functional);
+    auto Out =
+        E.run(engine::ReduceRequest{.Desc = *V, .In = In, .N = N});
     E.deviceRelease(Mark);
     EXPECT_TRUE(Out.ok()) << Out.status().toString();
     return Out.ok() ? std::make_pair(Out->FloatValue,
@@ -255,7 +272,8 @@ TEST(Selector, StillAnswersNativelyWhenEveryCandidateIsQuarantined) {
   size_t Mark = E.deviceMark();
   sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
   E.getDevice().writeFloats(In, Data);
-  auto Out = Selector.reduce(E, In, N);
+  auto Out =
+        Selector.reduce(E, engine::ReduceRequest{.In = In, .N = N});
   E.deviceRelease(Mark);
 
   ASSERT_TRUE(Out.ok()) << Out.status().toString();
@@ -294,7 +312,8 @@ TEST(Selector, KeepsAnsweringUnderInjectedStuckWarps) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    auto Out = Selector.reduce(E, In, N);
+    auto Out =
+        Selector.reduce(E, engine::ReduceRequest{.In = In, .N = N});
     E.deviceRelease(Mark);
     ASSERT_TRUE(Out.ok()) << "call " << Call << ": "
                           << Out.status().toString();
@@ -313,7 +332,7 @@ TEST(Facade, FaultCheckMirrorsRaceCheckErrorHandling) {
   ASSERT_NE(V, nullptr);
   sim::FaultPlan Plan;
   Plan.Kind = sim::FaultKind::BitFlipGlobal;
-  auto Report = facade().faultCheck(*V, sim::getMaxwellGTX980(), 2048, Plan);
+  auto Report = faultDiagnose(*V, sim::getMaxwellGTX980(), 2048, Plan);
   ASSERT_TRUE(Report.ok()) << Report.status().toString();
   EXPECT_EQ(Report->Kind, sim::FaultKind::BitFlipGlobal);
 }

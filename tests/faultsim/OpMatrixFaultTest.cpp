@@ -56,6 +56,22 @@ const MatrixPoint Matrix[] = {
     {ReduceOp::ArgMax, ir::ScalarType::I64},
 };
 
+/// One fault campaign via the request-shaped diagnose() entry point.
+support::Expected<engine::FaultReport>
+faultDiagnose(TangramReduction &TR, const VariantDescriptor &V,
+              const sim::ArchDesc &Arch, size_t N,
+              const sim::FaultPlan &Plan) {
+  engine::DiagnoseRequest DR;
+  DR.Kind = engine::DiagnoseKind::Fault;
+  DR.Desc = V;
+  DR.N = N;
+  DR.Plan = Plan;
+  auto Report = TR.diagnose(Arch, DR);
+  if (!Report)
+    return Report.status();
+  return Report->Fault;
+}
+
 TangramReduction &facadeFor(const MatrixPoint &P) {
   static std::map<std::pair<ReduceOp, ir::ScalarType>,
                   std::unique_ptr<TangramReduction>>
@@ -98,7 +114,7 @@ TEST_P(OpMatrixFault, BitflipsClassifyStructurallyOnEveryArch) {
       Plan.Kind = Kind;
       Plan.Seed = 7;
       Plan.Period = 4;
-      auto Report = TR.faultCheck(*V, Arch, N, Plan);
+      auto Report = faultDiagnose(TR, *V, Arch, N, Plan);
       std::string Cell = pointName(P) + " / " + Arch.Name + " / " +
                          sim::getFaultKindName(Kind);
       if (Illegal) {
@@ -160,7 +176,7 @@ TEST(ArgMaxFaultOracle, SeededFaultSweepValidatesIndexPayloads) {
     Plan.Kind = sim::FaultKind::DropAtomic;
     Plan.Seed = Seed;
     Plan.Period = 2;
-    auto Report = TR.faultCheck(*V, Arch, N, Plan);
+    auto Report = faultDiagnose(TR, *V, Arch, N, Plan);
     ASSERT_TRUE(Report.ok()) << Report.status().toString();
     // The clean reference must carry a meaningful index payload.
     EXPECT_NE(Report->RefIndex, ReduceIndexSentinel);

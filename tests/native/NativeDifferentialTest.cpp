@@ -78,10 +78,10 @@ TEST(NativeDifferential, EveryVariantMatchesTheOracleOnEveryArch) {
     BufferId In = E.getDevice().allocVirtual(ir::ScalarType::F32, N, Pattern);
     for (const VariantDescriptor &V : TR.getSearchSpace().All) {
       std::string Cell = Archs[A].Name + " / " + V.getName();
-      auto Sim = E.reduce(V, In, N, ExecMode::Functional,
-                          engine::Backend::Simulator);
-      auto Nat = E.reduce(V, In, N, ExecMode::Functional,
-                          engine::Backend::NativeCpu);
+      engine::ReduceRequest Req{.Desc = V, .In = In, .N = N};
+      auto Sim = E.run(Req);
+      Req.BackendKind = engine::Backend::NativeCpu;
+      auto Nat = E.run(Req);
       if (!Sim.ok()) {
         // Synthesis failures are backend-independent (e.g. an atomic the
         // arch model refuses): the native path must refuse identically,
@@ -183,10 +183,10 @@ TEST_P(NativeOpMatrix, NativeAgreesWithTheOracle) {
     const VariantDescriptor *V = findByFigure6Label(TR.getSearchSpace(), Label);
     ASSERT_NE(V, nullptr);
     std::string Cell = pointName(P) + " / " + Label;
-    auto Sim =
-        E.reduce(*V, In, N, ExecMode::Functional, engine::Backend::Simulator);
-    auto Nat =
-        E.reduce(*V, In, N, ExecMode::Functional, engine::Backend::NativeCpu);
+    engine::ReduceRequest Req{.Desc = *V, .In = In, .N = N};
+    auto Sim = E.run(Req);
+    Req.BackendKind = engine::Backend::NativeCpu;
+    auto Nat = E.run(Req);
     if (!Sim.ok()) {
       EXPECT_TRUE(Illegal) << Cell << ": " << Sim.status().toString();
       EXPECT_FALSE(Nat.ok()) << Cell;
@@ -241,8 +241,11 @@ TEST(NativeDifferential, ResultsAreBitIdenticalAcrossThreadCounts) {
     V.Coarsen = 4;
     BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    auto Out =
-        E.reduce(V, In, N, ExecMode::Functional, engine::Backend::NativeCpu);
+    auto Out = E.run(engine::ReduceRequest{
+        .Desc = V,
+        .In = In,
+        .N = N,
+        .BackendKind = engine::Backend::NativeCpu});
     ASSERT_TRUE(Out.ok()) << Out.status().toString();
     Got[T] = Out->FloatValue;
   }
@@ -282,7 +285,13 @@ TEST(NativeDifferential, ValidateVariantCrossChecksNatively) {
   TangramReduction &TR = facade();
   engine::ExecutionEngine &E = TR.engineFor(getKeplerK40c());
   const VariantDescriptor &D = *findByFigure6Label(TR.getSearchSpace(), "b");
-  support::Status S = E.validateVariant(D, 2048, engine::Backend::NativeCpu);
+  engine::DiagnoseRequest DR;
+  DR.Desc = D;
+  DR.N = 2048;
+  DR.BackendKind = engine::Backend::NativeCpu;
+  auto Report = E.diagnose(DR);
+  ASSERT_TRUE(Report.ok()) << Report.status().toString();
+  support::Status S = Report->Validation;
   EXPECT_TRUE(S.ok()) << S.toString();
   EXPECT_FALSE(E.isQuarantined(D));
 }
@@ -294,8 +303,12 @@ TEST(NativeDifferential, RaceCheckIsRefusedNatively) {
   size_t Mark = E.deviceMark();
   VirtualPattern Pattern;
   BufferId In = E.getDevice().allocVirtual(ir::ScalarType::F32, 4096, Pattern);
-  auto Out =
-      E.reduce(D, In, 4096, ExecMode::RaceCheck, engine::Backend::NativeCpu);
+  auto Out = E.run(engine::ReduceRequest{
+      .Desc = D,
+      .In = In,
+      .N = 4096,
+      .Mode = ExecMode::RaceCheck,
+      .BackendKind = engine::Backend::NativeCpu});
   ASSERT_FALSE(Out.ok());
   EXPECT_EQ(Out.status().Code, StatusCode::InvalidArgument);
   E.deviceRelease(Mark);
@@ -328,7 +341,7 @@ TEST(NativeDifferential, SelectorFallsBackToNativeWhenSimulatorPathIsDead) {
   E.getDevice().writeFloats(In, Data);
 
   DynamicSelector Sel(**TR, Portfolio);
-  auto Out = Sel.reduce(E, In, N);
+  auto Out = Sel.reduce(E, engine::ReduceRequest{.In = In, .N = N});
   ASSERT_TRUE(Out.ok()) << Out.status().toString();
   // The native tier answered — not the host-loop last resort: quarantine
   // is a simulator-path verdict and does not damn the native backend.

@@ -52,7 +52,8 @@ std::string dumpWithThreads(unsigned Threads) {
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     std::vector<float> Host(N, 1.0f);
     E.getDevice().writeFloats(In, Host);
-    auto Out = E.reduce(Space.Pruned[I], In, N, sim::ExecMode::Functional);
+    auto Out = E.run(
+        engine::ReduceRequest{.Desc = Space.Pruned[I], .In = In, .N = N});
     EXPECT_TRUE(static_cast<bool>(Out))
         << Space.Pruned[I].getName() << ": " << Out.status().toString();
     E.deviceRelease(Mark);

@@ -114,7 +114,11 @@ TEST_P(OpMatrix, RepresentativeVariantsAreRaceFreeAndHostExact) {
       std::string Cell =
           pointName(P) + " / " + Arch.Name + " / " + V->getName();
 
-      auto Report = TR.raceCheck(*V, Arch, N);
+      engine::DiagnoseRequest DR;
+      DR.Kind = engine::DiagnoseKind::Race;
+      DR.Desc = *V;
+      DR.N = N;
+      auto Report = TR.diagnose(Arch, DR);
       if (Illegal) {
         // argmax over 64-bit elements on Kepler: the OpDef lattice says
         // no atomic realization exists — synthesis must refuse.
@@ -125,7 +129,7 @@ TEST_P(OpMatrix, RepresentativeVariantsAreRaceFreeAndHostExact) {
       }
       ASSERT_TRUE(Report.ok()) << Cell << ": "
                                << Report.status().toString();
-      EXPECT_TRUE(Report->clean()) << Cell;
+      EXPECT_TRUE(Report->Race.clean()) << Cell;
 
       // Functional run against the table-driven host reference: values
       // AND indices must match exactly.
@@ -134,7 +138,8 @@ TEST_P(OpMatrix, RepresentativeVariantsAreRaceFreeAndHostExact) {
       sim::BufferId In = E.getDevice().alloc(P.Elem, N);
       reduce::HostAccumulator Ref(P.Op, P.Elem);
       fillInput(E.getDevice(), In, N, Ref);
-      auto Out = E.reduce(*V, In, N, sim::ExecMode::Functional);
+      auto Out =
+          E.run(engine::ReduceRequest{.Desc = *V, .In = In, .N = N});
       E.deviceRelease(Mark);
       ASSERT_TRUE(Out.ok()) << Cell << ": " << Out.status().toString();
       if (ir::isFloatType(P.Elem))

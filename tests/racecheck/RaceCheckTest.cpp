@@ -35,6 +35,20 @@ TangramReduction &facade() {
   return *TR;
 }
 
+/// One race campaign via the request-shaped diagnose() entry point.
+support::Expected<engine::RaceReport>
+raceDiagnose(const TangramReduction &TR, const VariantDescriptor &V,
+             const sim::ArchDesc &Arch, size_t N) {
+  engine::DiagnoseRequest DR;
+  DR.Kind = engine::DiagnoseKind::Race;
+  DR.Desc = V;
+  DR.N = N;
+  auto Report = TR.diagnose(Arch, DR);
+  if (!Report)
+    return Report.status();
+  return Report->Race;
+}
+
 std::string renderAll(const TangramReduction &TR,
                       const engine::RaceReport &Report) {
   std::string Out;
@@ -55,7 +69,7 @@ TEST_P(CleanSweep, EveryEnumeratedVariantIsRaceFree) {
   const sim::ArchDesc &Arch = Archs[GetParam()];
   TangramReduction &TR = facade();
   for (const VariantDescriptor &V : TR.getSearchSpace().All) {
-    auto Report = TR.raceCheck(V, Arch, 1 << 12);
+    auto Report = raceDiagnose(TR, V, Arch, 1 << 12);
     ASSERT_TRUE(Report.ok())
         << V.getName() << ": " << Report.status().toString();
     EXPECT_TRUE(Report->clean())
@@ -87,7 +101,8 @@ TEST(RaceCheck, SecondKernelVariantCoversBothLaunches) {
       break;
     }
   ASSERT_NE(TwoKernel, nullptr);
-  auto Report = TR.raceCheck(*TwoKernel, sim::getMaxwellGTX980(), 1 << 12);
+  auto Report =
+      raceDiagnose(TR, *TwoKernel, sim::getMaxwellGTX980(), 1 << 12);
   ASSERT_TRUE(Report.ok()) << Report.status().toString();
   EXPECT_EQ(Report->LaunchCount, 2u);
   EXPECT_TRUE(Report->clean()) << renderAll(TR, *Report);
@@ -101,9 +116,14 @@ TEST(RaceCheck, EngineReportsMultiBlockGridsClean) {
       *findByFigure6Label(TR.getSearchSpace(), "n");
   V.BlockSize = 64; // 1<<12 elements / 64 = 64 blocks.
   engine::ExecutionEngine &E = TR.engineFor(sim::getPascalP100());
-  auto Report = E.raceCheck(V, 1 << 12);
-  ASSERT_TRUE(Report.ok()) << Report.status().toString();
-  EXPECT_TRUE(Report->clean()) << renderAll(TR, *Report);
+  engine::DiagnoseRequest DR;
+  DR.Kind = engine::DiagnoseKind::Race;
+  DR.Desc = V;
+  DR.N = 1 << 12;
+  auto Full = E.diagnose(DR);
+  ASSERT_TRUE(Full.ok()) << Full.status().toString();
+  const engine::RaceReport &Report = Full->Race;
+  EXPECT_TRUE(Report.clean()) << renderAll(TR, Report);
 }
 
 //===----------------------------------------------------------------------===//
@@ -134,7 +154,11 @@ engine::RaceReport seedAndCheck(const VariantDescriptor &Desc,
     C->I = static_cast<long long>(I % 17);
     C->F = static_cast<double>(I % 17);
   }
-  auto Run = E.runReduction(V, In, N, sim::ExecMode::RaceCheck);
+  engine::ReduceRequest Req;
+  Req.In = In;
+  Req.N = N;
+  Req.Mode = sim::ExecMode::RaceCheck;
+  auto Run = E.run(Req, V);
   E.deviceRelease(Mark);
   EXPECT_TRUE(Run.ok()) << Run.status().toString();
 

@@ -90,7 +90,7 @@ TEST_P(OptimizedVariants, AllPrunedVariantsStayCorrect) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    auto Out = E.runReduction(**S, In, N);
+    auto Out = E.run(engine::ReduceRequest{.In = In, .N = N}, **S);
     E.deviceRelease(Mark);
     ASSERT_TRUE(Out.ok()) << V.getName() << ": "
                           << Out.status().toString();
@@ -158,7 +158,11 @@ TEST(OptimizedVariants, AggregationHelpsVariantNOnKepler) {
     sim::BufferId In =
         E.getDevice().allocVirtual(ir::ScalarType::F32, Size, Pattern);
     double Seconds =
-        E.runReduction(S, In, Size, sim::ExecMode::Sampled)->Seconds;
+        E.run(engine::ReduceRequest{.In = In,
+                                    .N = Size,
+                                    .Mode = sim::ExecMode::Sampled},
+              S)
+            ->Seconds;
     E.deviceRelease(Mark);
     return Seconds;
   };

@@ -199,7 +199,7 @@ TEST(ReductionRunner, OriginalTenVersionsComputeCorrectSums) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    auto Out = E.runReduction(**S, In, N);
+    auto Out = E.run(engine::ReduceRequest{.In = In, .N = N}, **S);
     E.deviceRelease(Mark);
     ASSERT_TRUE(Out.ok()) << V.getName() << ": "
                           << Out.status().toString();
@@ -235,10 +235,16 @@ TEST(ReductionRunner, PruningJustifiedSecondKernelIsSlower) {
         EA.getDevice().allocVirtual(ir::ScalarType::F32, N, Pattern);
     sim::BufferId InT =
         ET.getDevice().allocVirtual(ir::ScalarType::F32, N, Pattern);
-    double TA =
-        EA.runReduction(**SA, InA, N, sim::ExecMode::Sampled)->Seconds;
-    double TT =
-        ET.runReduction(**ST, InT, N, sim::ExecMode::Sampled)->Seconds;
+    double TA = EA.run(engine::ReduceRequest{.In = InA,
+                                             .N = N,
+                                             .Mode = sim::ExecMode::Sampled},
+                       **SA)
+                    ->Seconds;
+    double TT = ET.run(engine::ReduceRequest{.In = InT,
+                                             .N = N,
+                                             .Mode = sim::ExecMode::Sampled},
+                       **ST)
+                    ->Seconds;
     EA.deviceRelease(MarkA);
     ET.deviceRelease(MarkT);
     // The second launch dominates at small/medium sizes and amortizes
@@ -311,7 +317,7 @@ TEST(ReductionRunner, AllPrunedVariantsComputeCorrectSums) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    auto Out = E.runReduction(**S, In, N);
+    auto Out = E.run(engine::ReduceRequest{.In = In, .N = N}, **S);
     E.deviceRelease(Mark);
     ASSERT_TRUE(Out.ok()) << V.getName() << ": "
                           << Out.status().toString();
@@ -358,7 +364,7 @@ TEST_P(BestVariantSweep, CorrectOnAllArchitectures) {
     engine::ExecutionEngine E(Archs[A]);
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, P.N);
     E.getDevice().writeFloats(In, Data);
-    auto Out = E.runReduction(**S, In, P.N);
+    auto Out = E.run(engine::ReduceRequest{.In = In, .N = P.N}, **S);
     ASSERT_TRUE(Out.ok()) << Archs[A].Name << ": "
                           << Out.status().toString();
     EXPECT_NEAR(Out->FloatValue, Expected,
@@ -408,7 +414,7 @@ TEST(ReductionRunner, IntReductionIsExact) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
     E.getDevice().writeInts(In, Data);
-    auto Out = E.runReduction(**S, In, N);
+    auto Out = E.run(engine::ReduceRequest{.In = In, .N = N}, **S);
     E.deviceRelease(Mark);
     ASSERT_TRUE(Out.ok()) << Out.status().toString();
     EXPECT_EQ(Out->IntValue, Expected) << Label;
@@ -440,7 +446,7 @@ TEST(ReductionRunner, MaxAndMinReductions) {
       size_t Mark = E.deviceMark();
       sim::BufferId In = E.getDevice().alloc(ir::ScalarType::I32, N);
       E.getDevice().writeInts(In, Data);
-      auto Out = E.runReduction(**S, In, N);
+      auto Out = E.run(engine::ReduceRequest{.In = In, .N = N}, **S);
       E.deviceRelease(Mark);
       ASSERT_TRUE(Out.ok()) << Out.status().toString();
       EXPECT_EQ(Out->IntValue, Expected)
@@ -468,7 +474,7 @@ TEST(ReductionRunner, SingleElementAndTinyInputs) {
       size_t Mark = E.deviceMark();
       sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
       E.getDevice().writeFloats(In, Data);
-      auto Out = E.runReduction(**S, In, N);
+      auto Out = E.run(engine::ReduceRequest{.In = In, .N = N}, **S);
       E.deviceRelease(Mark);
       ASSERT_TRUE(Out.ok()) << Out.status().toString();
       EXPECT_NEAR(Out->FloatValue, Expected, 1e-3)

@@ -36,7 +36,8 @@ TEST(DynamicSelector, DefaultPortfolioIsTheBestEight) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    auto Out = Selector.reduce(E, In, N);
+    auto Out =
+        Selector.reduce(E, engine::ReduceRequest{.In = In, .N = N});
     E.deviceRelease(Mark);
     ASSERT_TRUE(Out.ok()) << Out.status().toString();
     EXPECT_NEAR(Out->FloatValue, N * 0.5, 1e-2);
@@ -61,7 +62,8 @@ TEST(DynamicSelector, EveryCallReturnsCorrectResult) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
     E.getDevice().writeFloats(In, Data);
-    auto Out = Selector.reduce(E, In, N);
+    auto Out =
+        Selector.reduce(E, engine::ReduceRequest{.In = In, .N = N});
     E.deviceRelease(Mark);
     ASSERT_TRUE(Out.ok()) << "call " << Call << ": "
                           << Out.status().toString();
@@ -81,7 +83,8 @@ TEST(DynamicSelector, ConvergesToArchAppropriateWinner) {
       size_t Mark = E.deviceMark();
       sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, N);
       E.getDevice().writeFloats(In, Data);
-      EXPECT_TRUE(Sel.reduce(E, In, N).ok());
+      EXPECT_TRUE(
+          Sel.reduce(E, engine::ReduceRequest{.In = In, .N = N}).ok());
       E.deviceRelease(Mark);
     }
   };
@@ -109,7 +112,8 @@ TEST(DynamicSelector, BucketsAreIndependent) {
   size_t Mark = E.deviceMark();
   sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, 64);
   E.getDevice().writeFloats(In, Data);
-  EXPECT_TRUE(Selector.reduce(E, In, 64).ok());
+  EXPECT_TRUE(
+      Selector.reduce(E, engine::ReduceRequest{.In = In, .N = 64}).ok());
   E.deviceRelease(Mark);
   // A different bucket has seen nothing yet.
   EXPECT_FALSE(Selector.isConverged(Arch, 1 << 20));
@@ -129,7 +133,8 @@ TEST(DynamicSelector, CustomPortfolio) {
     size_t Mark = E.deviceMark();
     sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, 512);
     E.getDevice().writeFloats(In, Data);
-    EXPECT_TRUE(Selector.reduce(E, In, 512).ok());
+    EXPECT_TRUE(
+        Selector.reduce(E, engine::ReduceRequest{.In = In, .N = 512}).ok());
     E.deviceRelease(Mark);
   }
   EXPECT_TRUE(Selector.isConverged(Arch, 512));

@@ -64,7 +64,7 @@ TEST(ErrorPath, OversizedBlockIsLaunchError) {
   engine::ExecutionEngine &E = (*TR)->engineFor(sim::getPascalP100());
   size_t Mark = E.deviceMark();
   sim::BufferId In = E.getDevice().alloc(ir::ScalarType::F32, 4096);
-  auto Out = E.reduce(V, In, 4096);
+  auto Out = E.run(engine::ReduceRequest{.Desc = V, .In = In, .N = 4096});
   E.deviceRelease(Mark);
   ASSERT_FALSE(Out.ok());
   EXPECT_EQ(Out.code(), StatusCode::LaunchError);
@@ -78,7 +78,11 @@ TEST(ErrorPath, RaceCheckPropagatesLaunchError) {
   ASSERT_TRUE(TR.ok()) << TR.status().toString();
   VariantDescriptor V = (*TR)->getSearchSpace().Pruned.front();
   V.BlockSize = 2048;
-  auto Report = (*TR)->raceCheck(V, sim::getKeplerK40c(), 4096);
+  engine::DiagnoseRequest DR;
+  DR.Kind = engine::DiagnoseKind::Race;
+  DR.Desc = V;
+  DR.N = 4096;
+  auto Report = (*TR)->diagnose(sim::getKeplerK40c(), DR);
   ASSERT_FALSE(Report.ok());
   EXPECT_EQ(Report.code(), StatusCode::LaunchError);
 }

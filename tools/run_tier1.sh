@@ -16,10 +16,17 @@
 # can be invoked alone (`ctest --preset tier1-opmatrix`). Skip with
 # --no-op-matrix.
 #
-#   tools/run_tier1.sh                       # RelWithDebInfo tier-1 gate
-#   tools/run_tier1.sh --preset asan-ubsan   # same suite under ASan+UBSan
-#   tools/run_tier1.sh --preset tier1-native # native-backend suite only
-#   tools/run_tier1.sh asan-ubsan            # legacy positional spelling
+# The `serve` labeled suite (the tier1-serving preset) then runs alone:
+# the serving-layer tests — batch bit-identity across the op x dtype
+# matrix, admission backpressure, shard failover, and drain-on-stop.
+# Also part of the plain suite; the dedicated pass pins the label wiring
+# (`ctest --preset tier1-serving`). Skip with --no-serving.
+#
+#   tools/run_tier1.sh                        # RelWithDebInfo tier-1 gate
+#   tools/run_tier1.sh --preset asan-ubsan    # same suite under ASan+UBSan
+#   tools/run_tier1.sh --preset tier1-native  # native-backend suite only
+#   tools/run_tier1.sh --preset tier1-serving # serving suite only
+#   tools/run_tier1.sh asan-ubsan             # legacy positional spelling
 #
 # `tier1-native` reuses the tier1 build and runs only the `native`
 # labeled suite — the native-CPU-backend differential tests that check
@@ -29,6 +36,7 @@ set -eu
 PRESET="tier1"
 VERIFY_EACH=1
 OP_MATRIX=1
+SERVING=1
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset)
@@ -40,6 +48,8 @@ while [ $# -gt 0 ]; do
       VERIFY_EACH=0; shift ;;
     --no-op-matrix)
       OP_MATRIX=0; shift ;;
+    --no-serving)
+      SERVING=0; shift ;;
     -h|--help)
       sed -n '2,14p' "$0"; exit 0 ;;
     -*)
@@ -69,6 +79,10 @@ if command -v cmake >/dev/null 2>&1 && cmake --list-presets >/dev/null 2>&1; the
     echo "== op-matrix sweep under per-pass verification (label: op-matrix) =="
     ctest --preset tier1-opmatrix
   fi
+  if [ "$SERVING" = 1 ] && [ "$PRESET" = tier1 ]; then
+    echo "== serving-layer suite (label: serve) =="
+    ctest --preset tier1-serving
+  fi
 else
   # CMake < 3.21: no preset support; fall back to the plain tier-1 build.
   cmake -B build -S .
@@ -81,5 +95,9 @@ else
   if [ "$OP_MATRIX" = 1 ]; then
     echo "== op-matrix sweep under per-pass verification (label: op-matrix) =="
     TGR_VERIFY_EACH=1 ctest --test-dir build -L op-matrix --output-on-failure -j 4
+  fi
+  if [ "$SERVING" = 1 ]; then
+    echo "== serving-layer suite (label: serve) =="
+    ctest --test-dir build -L serve --output-on-failure -j 4
   fi
 fi

@@ -17,6 +17,13 @@
 //   faultcheck [NAME|all]        fault-injection matrix over the variant(s)
 //   check FILE [--dump-ast] [--dump-passes]
 //                                front-end check a user codelet source
+//   check NAME|all               functional validation of the variant(s)
+//   serve [--jobs=J --batch=K --no-coalesce --backend=sim|native]
+//                                batched serving demo over ReductionService
+//
+// racecheck, faultcheck, and variant-shaped check are all spellings of one
+// engine entry point: engine::diagnose(DiagnoseRequest) with the matching
+// DiagnoseKind (Race / Fault / Validate).
 //
 // Shared options:
 //   --op=add|sub|max|min|argmax|argmin|any
@@ -47,14 +54,17 @@
 #include "lang/Parser.h"
 #include "reduce/OpDef.h"
 #include "sema/Sema.h"
+#include "serve/ReductionService.h"
 #include "support/Statistics.h"
 #include "synth/ReductionSpectrum.h"
 #include "tangram/Tangram.h"
 #include "transforms/Pipeline.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <vector>
 
@@ -79,6 +89,9 @@ int usage() {
       "                  [--seed=S] [--period=P]\n"
       "  tgrc tune FILE.tgr [--arch=...] [--n=SIZE]\n"
       "  tgrc check FILE [--dump-ast] [--dump-passes]\n"
+      "  tgrc check NAME|all [--arch=...] [--n=SIZE] [--backend=sim|native]\n"
+      "  tgrc serve [--jobs=J] [--batch=K] [--no-coalesce] [--n=SIZE]\n"
+      "             [--arch=...] [--backend=sim|native]\n"
       "shared options: --op=add|sub|max|min|argmax|argmin|any\n"
       "                --type=f32|i32|i64|f64 (legacy: float|int)\n"
       "                --time-passes --stats --print-after-all "
@@ -99,6 +112,10 @@ struct DriverOptions {
   bool Bytecode = false;
   bool DumpAst = false;
   bool DumpPasses = false;
+  /// Serve knobs: synthetic jobs submitted, coalescing cap, master switch.
+  size_t ServeJobs = 512;
+  size_t ServeBatch = 256;
+  bool ServeCoalesce = true;
   std::vector<std::string> Positional;
 
   // Legacy flag spellings, mapped onto subcommands in main().
@@ -160,6 +177,20 @@ bool parseOptions(int Argc, char **Argv, DriverOptions &O) {
       if (!End || *End || V == 0)
         return false;
       O.N = static_cast<size_t>(V);
+    } else if (!std::strncmp(Arg, "--jobs=", 7)) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(Arg + 7, &End, 10);
+      if (!End || *End || V == 0)
+        return false;
+      O.ServeJobs = static_cast<size_t>(V);
+    } else if (!std::strncmp(Arg, "--batch=", 8)) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(Arg + 8, &End, 10);
+      if (!End || *End || V == 0)
+        return false;
+      O.ServeBatch = static_cast<size_t>(V);
+    } else if (!std::strcmp(Arg, "--no-coalesce")) {
+      O.ServeCoalesce = false;
     } else if (!std::strncmp(Arg, "--fault=", 8)) {
       sim::FaultKind K;
       std::string Name = Arg + 8;
@@ -504,25 +535,30 @@ int cmdBest(const DriverOptions &O) {
 
 int raceCheckOne(const TangramReduction &TR, const VariantDescriptor &V,
                  const sim::ArchDesc &Arch, size_t N, unsigned &Races) {
-  auto Report = TR.raceCheck(V, Arch, N);
+  engine::DiagnoseRequest Req;
+  Req.Kind = engine::DiagnoseKind::Race;
+  Req.Desc = V;
+  Req.N = N;
+  auto Report = TR.diagnose(Arch, Req);
   if (!Report) {
     std::fprintf(stderr, "tgrc: %s: %s\n", V.getName().c_str(),
                  Report.status().toString().c_str());
     return 1;
   }
+  const engine::RaceReport &Race = Report->Race;
   std::printf("%-10s %-20s launches=%u  %s\n", Arch.Name.c_str(),
-              V.getName().c_str(), Report->LaunchCount,
-              Report->clean()
+              V.getName().c_str(), Race.LaunchCount,
+              Race.clean()
                   ? "clean"
-                  : (std::to_string(Report->Conflicts) + " conflict(s), " +
-                     std::to_string(Report->Diagnostics.size()) +
+                  : (std::to_string(Race.Conflicts) + " conflict(s), " +
+                     std::to_string(Race.Diagnostics.size()) +
                      " distinct race(s)")
                         .c_str());
-  for (const sim::RaceDiagnostic &D : Report->Diagnostics)
+  for (const sim::RaceDiagnostic &D : Race.Diagnostics)
     std::printf("    %s\n", TR.renderRace(D).c_str());
-  if (Report->Truncated)
+  if (Race.Truncated)
     std::printf("    (address table overflowed; coverage is partial)\n");
-  Races += static_cast<unsigned>(Report->Diagnostics.size());
+  Races += static_cast<unsigned>(Race.Diagnostics.size());
   return 0;
 }
 
@@ -562,21 +598,27 @@ int cmdRaceCheck(const DriverOptions &O, const std::string &Name) {
 int faultCheckOne(const TangramReduction &TR, const VariantDescriptor &V,
                   const sim::ArchDesc &Arch, size_t N,
                   const sim::FaultPlan &Plan, unsigned Outcomes[4]) {
-  auto Report = TR.faultCheck(V, Arch, N, Plan);
+  engine::DiagnoseRequest Req;
+  Req.Kind = engine::DiagnoseKind::Fault;
+  Req.Desc = V;
+  Req.N = N;
+  Req.Plan = Plan;
+  auto Report = TR.diagnose(Arch, Req);
   if (!Report) {
     std::fprintf(stderr, "tgrc: %s: %s\n", V.getName().c_str(),
                  Report.status().toString().c_str());
     return 1;
   }
-  ++Outcomes[static_cast<unsigned>(Report->Outcome)];
+  const engine::FaultReport &Fault = Report->Fault;
+  ++Outcomes[static_cast<unsigned>(Fault.Outcome)];
   std::printf("%-10s %-20s %-14s injected=%-4llu %s", Arch.Name.c_str(),
-              V.getName().c_str(), sim::getFaultKindName(Report->Kind),
-              static_cast<unsigned long long>(Report->FaultsInjected),
-              engine::getFaultOutcomeName(Report->Outcome));
-  if (Report->Outcome == engine::FaultOutcome::Detected)
-    std::printf("  (got %g expected %g)", Report->GotFloat, Report->RefFloat);
-  else if (Report->Outcome == engine::FaultOutcome::Trapped)
-    std::printf("  (%s)", Report->Trap.toString().c_str());
+              V.getName().c_str(), sim::getFaultKindName(Fault.Kind),
+              static_cast<unsigned long long>(Fault.FaultsInjected),
+              engine::getFaultOutcomeName(Fault.Outcome));
+  if (Fault.Outcome == engine::FaultOutcome::Detected)
+    std::printf("  (got %g expected %g)", Fault.GotFloat, Fault.RefFloat);
+  else if (Fault.Outcome == engine::FaultOutcome::Trapped)
+    std::printf("  (%s)", Fault.Trap.toString().c_str());
   std::printf("\n");
   return 0;
 }
@@ -628,6 +670,138 @@ int cmdFaultCheck(const DriverOptions &O, const std::string &Name) {
   return 0;
 }
 
+// --- check NAME (functional validation) ----------------------------------
+
+int cmdCheckVariant(const DriverOptions &O, const std::string &Name) {
+  auto TR = compileSpectrum(O);
+  if (!TR)
+    return 1;
+  std::vector<const VariantDescriptor *> Targets;
+  if (Name == "all") {
+    for (const VariantDescriptor &V : TR->getSearchSpace().Pruned)
+      Targets.push_back(&V);
+  } else {
+    const VariantDescriptor *V = findVariant(TR->getSearchSpace(), Name);
+    if (!V) {
+      std::fprintf(stderr, "tgrc: unknown variant '%s'\n", Name.c_str());
+      return 1;
+    }
+    Targets.push_back(V);
+  }
+  unsigned Failures = 0;
+  for (const sim::ArchDesc &Arch : O.Archs)
+    for (const VariantDescriptor *V : Targets) {
+      engine::DiagnoseRequest Req;
+      Req.Kind = engine::DiagnoseKind::Validate;
+      Req.Desc = *V;
+      Req.N = O.N;
+      Req.BackendKind = O.Create.TimingBackend;
+      auto Report = TR->diagnose(Arch, Req);
+      if (!Report) {
+        std::fprintf(stderr, "tgrc: %s: %s\n", V->getName().c_str(),
+                     Report.status().toString().c_str());
+        return 1;
+      }
+      bool Pass = Report->passed();
+      Failures += Pass ? 0 : 1;
+      std::printf("%-10s %-20s n=%zu backend=%s  %s\n", Arch.Name.c_str(),
+                  V->getName().c_str(), O.N,
+                  engine::getBackendName(Req.BackendKind),
+                  Pass ? "pass" : Report->Validation.toString().c_str());
+    }
+  std::printf("%zu variant(s) x %zu architecture(s): %u validation "
+              "failure(s)\n",
+              Targets.size(), O.Archs.size(), Failures);
+  printObservability(*TR);
+  return Failures ? 1 : 0;
+}
+
+// --- serve ---------------------------------------------------------------
+
+/// Synthetic serving demo: submits --jobs small reductions through the
+/// batching service and reports throughput, latency percentiles, and the
+/// coalescing counters.
+int cmdServe(const DriverOptions &O) {
+  serve::ServiceOptions SO;
+  SO.BackendKind = O.Create.TimingBackend;
+  SO.Coalesce = O.ServeCoalesce;
+  SO.MaxBatchJobs = O.ServeBatch;
+  SO.QueueDepth = std::max<size_t>(O.ServeJobs, 1024);
+  SO.Archs = O.Archs;
+  serve::ReductionService Svc(SO);
+
+  const bool Float = ir::isFloatType(O.Create.Elem);
+  uint64_t Seed = 0x9e3779b97f4a7c15ull;
+  auto Next = [&Seed] {
+    Seed = Seed * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<long long>((Seed >> 33) % 2001) - 1000;
+  };
+
+  std::vector<std::future<support::Expected<serve::JobResult>>> Futures;
+  Futures.reserve(O.ServeJobs);
+  const double T0 = engine::steadySeconds();
+  for (size_t J = 0; J != O.ServeJobs; ++J) {
+    serve::JobSpec Job;
+    Job.Op = O.Create.Op;
+    Job.Elem = O.Create.Elem;
+    Job.Gen = O.Archs.front().Gen;
+    for (size_t I = 0; I != O.N; ++I) {
+      long long V = Next();
+      if (Float)
+        Job.FloatData.push_back(static_cast<double>(V) / 8.0);
+      else
+        Job.IntData.push_back(V);
+    }
+    Futures.push_back(Svc.submit(std::move(Job)));
+  }
+
+  unsigned Failed = 0, Degraded = 0;
+  std::vector<double> Latencies;
+  Latencies.reserve(Futures.size());
+  for (auto &Fut : Futures) {
+    auto Out = Fut.get();
+    if (!Out) {
+      ++Failed;
+      std::fprintf(stderr, "tgrc: job failed: %s\n",
+                   Out.status().toString().c_str());
+      continue;
+    }
+    Latencies.push_back(Out->LatencySeconds);
+    Degraded += Out->Degraded ? 1 : 0;
+  }
+  const double Wall = engine::steadySeconds() - T0;
+  Svc.stop();
+
+  auto Pct = [&](double P) {
+    if (Latencies.empty())
+      return 0.0;
+    size_t I = static_cast<size_t>(P * static_cast<double>(Latencies.size() - 1));
+    return Latencies[I];
+  };
+  std::sort(Latencies.begin(), Latencies.end());
+
+  serve::ServiceStats St = Svc.getStats();
+  std::printf("serve: arch=%s backend=%s op=%s dtype=%s jobs=%zu n=%zu "
+              "batch<=%zu coalesce=%s\n",
+              O.Archs.front().Name.c_str(),
+              engine::getBackendName(SO.BackendKind),
+              getReduceOpSpelling(O.Create.Op),
+              reduce::getScalarTypeSpelling(O.Create.Elem), O.ServeJobs, O.N,
+              SO.MaxBatchJobs, SO.Coalesce ? "on" : "off");
+  std::printf("  completed=%llu failed=%u batches=%llu coalesced=%llu "
+              "direct=%llu degraded=%u\n",
+              static_cast<unsigned long long>(St.Completed), Failed,
+              static_cast<unsigned long long>(St.Batches),
+              static_cast<unsigned long long>(St.CoalescedJobs),
+              static_cast<unsigned long long>(St.DirectJobs), Degraded);
+  std::printf("  wall=%.3fs throughput=%.0f jobs/s latency p50=%.3fms "
+              "p95=%.3fms p99=%.3fms\n",
+              Wall,
+              Wall > 0 ? static_cast<double>(Latencies.size()) / Wall : 0.0,
+              Pct(0.50) * 1e3, Pct(0.95) * 1e3, Pct(0.99) * 1e3);
+  return Failed ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -645,7 +819,7 @@ int main(int Argc, char **Argv) {
     const std::string &First = O.Positional.front();
     if (First == "list" || First == "emit" || First == "tune" ||
         First == "best" || First == "racecheck" || First == "faultcheck" ||
-        First == "check") {
+        First == "check" || First == "serve") {
       Cmd = First;
       O.Positional.erase(O.Positional.begin());
     }
@@ -675,9 +849,20 @@ int main(int Argc, char **Argv) {
   if (O.Archs.empty())
     parseArchSet(Cmd == "tune" || Cmd == "best" ? "all" : "pascal", O.Archs);
 
-  if (Cmd == "check")
-    return O.Positional.size() == 1 ? cmdCheck(O, O.Positional.front())
-                                    : usage();
+  if (Cmd == "check") {
+    if (O.Positional.size() != 1)
+      return usage();
+    const std::string &Target = O.Positional.front();
+    // A .tgr path (or any existing file) goes through the front-end check;
+    // anything else names a synthesized variant to validate functionally.
+    const bool IsFile = Target.size() > 4 &&
+                        Target.compare(Target.size() - 4, 4, ".tgr") == 0;
+    if (IsFile || std::ifstream(Target).good())
+      return cmdCheck(O, Target);
+    if (!SawN)
+      O.N = 1 << 11; // one functional run per arch x variant; keep it quick
+    return cmdCheckVariant(O, Target);
+  }
   if (!O.Positional.empty() && Cmd != "emit" && Cmd != "tune" &&
       Cmd != "racecheck" && Cmd != "faultcheck")
     return usage();
@@ -707,6 +892,11 @@ int main(int Argc, char **Argv) {
       O.N = 1 << 12; // two functional runs per matrix cell; keep it quick
     return cmdFaultCheck(O,
                          O.Positional.empty() ? "" : O.Positional.front());
+  }
+  if (Cmd == "serve") {
+    if (!SawN)
+      O.N = 256; // many small jobs is the serving sweet spot
+    return cmdServe(O);
   }
   return usage();
 }
