@@ -162,6 +162,11 @@ struct BenchMeta {
   std::string HostSimdIsa = native::getHostSimdIsa();
   /// std::thread::hardware_concurrency() at capture time (0 = unknown).
   unsigned HostThreads = std::thread::hardware_concurrency();
+  /// Extra bench-specific meta entries, emitted verbatim as
+  /// `"key": value` pairs inside the meta object. Values must already be
+  /// valid JSON scalars ("12", "0.5", "\"text\"") — the chaos bench uses
+  /// this for its degraded/retry/fast-fail counters.
+  std::vector<std::pair<std::string, std::string>> Extra;
 };
 
 /// Compile-time observability attached to a bench's JSON artifact: total
@@ -222,9 +227,12 @@ inline void writeBenchJson(const std::string &BenchName,
   std::fprintf(F,
                "{\n  \"meta\": {\"op\": \"%s\", \"dtype\": \"%s\", "
                "\"backend\": \"%s\", \"host_simd\": \"%s\", "
-               "\"host_threads\": %u},\n",
+               "\"host_threads\": %u",
                Meta.Op.c_str(), Meta.Dtype.c_str(), Meta.Backend.c_str(),
                Meta.HostSimdIsa.c_str(), Meta.HostThreads);
+  for (const auto &KV : Meta.Extra)
+    std::fprintf(F, ", \"%s\": %s", KV.first.c_str(), KV.second.c_str());
+  std::fprintf(F, "},\n");
   if (!Compile) {
     std::fprintf(F, "  \"records\": [\n");
     writeBenchRecords(F, Records, "    ");

@@ -1,0 +1,183 @@
+//===- bench_serving_chaos.cpp - Latency under injected chaos --------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what resilience costs: the same closed-loop job stream runs
+// once chaos-free and once under every ChaosKind, always through the
+// retry/backoff client, and the artifact reports p50/p95/p99 latency per
+// campaign next to the clean baseline plus the degraded/retry/fast-fail
+// economics. Every completed answer is checked against the host-computed
+// exact sum, so the artifact also doubles as a correctness audit: the
+// `mismatches` meta counter must be 0 in any healthy run.
+//
+// Writes BENCH_serving_chaos.json; records are one percentile per row
+// with Variant "<campaign>-p50" etc., and the meta block carries the
+// per-run counters (degraded jobs, client retries, breaker fast-fails,
+// chaos events fired, result mismatches).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "serve/ResilientClient.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace tangram;
+
+namespace {
+
+struct Config {
+  size_t Jobs = 96; ///< Jobs per campaign.
+  size_t N = 64;    ///< Elements per job.
+  engine::Backend Backend = engine::Backend::Simulator;
+};
+
+/// Exact quarter-step payload (sums stay far below 2^24): any fold order
+/// on any backend produces identical bits, so the expected value is just
+/// the host-side sum.
+serve::JobSpec makeJob(size_t J, size_t N) {
+  serve::JobSpec Job;
+  for (size_t I = 0; I != N; ++I)
+    Job.FloatData.push_back(
+        static_cast<double>(static_cast<long long>((I * 7 + J * 13) % 101) -
+                            50) *
+        0.25);
+  return Job;
+}
+
+double expectedSum(size_t J, size_t N) {
+  double Sum = 0;
+  for (double V : makeJob(J, N).FloatData)
+    Sum += V;
+  return Sum;
+}
+
+struct CampaignResult {
+  std::string Name;
+  double P50 = 0, P95 = 0, P99 = 0;
+  size_t Completed = 0, Failed = 0, Degraded = 0, Mismatches = 0;
+  serve::ServiceStats Stats;
+  serve::ClientStats Client;
+};
+
+CampaignResult runCampaign(const Config &C, const std::string &Name,
+                           serve::ChaosKind Kind) {
+  serve::ServiceOptions SO;
+  SO.BackendKind = C.Backend;
+  SO.Chaos.Kind = Kind;
+  SO.Chaos.Seed = 7;
+  SO.Chaos.Period = 4;
+  SO.Chaos.DelaySeconds = 0.002;
+  serve::ReductionService Svc(SO);
+  serve::ResilientClientOptions CO;
+  CO.MaxAttempts = 6;
+  CO.BaseBackoffSeconds = 2e-4;
+  CO.MaxBackoffSeconds = 5e-3;
+  serve::ResilientClient Client(Svc, CO);
+
+  CampaignResult R;
+  R.Name = Name;
+  std::vector<double> Latencies;
+  Latencies.reserve(C.Jobs);
+  for (size_t J = 0; J != C.Jobs; ++J) {
+    auto Out = Client.run(makeJob(J, C.N));
+    if (!Out.ok()) {
+      ++R.Failed;
+      continue;
+    }
+    ++R.Completed;
+    Latencies.push_back(Out->LatencySeconds);
+    R.Degraded += Out->Degraded ? 1 : 0;
+    // Bit-exact correctness audit against the host-computed sum.
+    if (Out->FloatValue != expectedSum(J, C.N))
+      ++R.Mismatches;
+  }
+  R.Stats = Svc.getStats();
+  R.Client = Client.getStats();
+  Svc.stop();
+
+  std::sort(Latencies.begin(), Latencies.end());
+  R.P50 = serve::percentileSorted(Latencies, 0.50);
+  R.P95 = serve::percentileSorted(Latencies, 0.95);
+  R.P99 = serve::percentileSorted(Latencies, 0.99);
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Config C;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (!std::strncmp(Arg, "--jobs=", 7))
+      C.Jobs = static_cast<size_t>(std::atoll(Arg + 7));
+    else if (!std::strncmp(Arg, "--n=", 4))
+      C.N = static_cast<size_t>(std::atoll(Arg + 4));
+    else if (!std::strcmp(Arg, "--backend=native"))
+      C.Backend = engine::Backend::NativeCpu;
+    else if (!std::strcmp(Arg, "--backend=sim"))
+      C.Backend = engine::Backend::Simulator;
+    else {
+      std::fprintf(stderr, "usage: bench_serving_chaos [--jobs=J] "
+                           "[--n=SIZE] [--backend=sim|native]\n");
+      return 1;
+    }
+  }
+
+  std::printf("serving latency under chaos: %zu jobs x %zu floats per "
+              "campaign, backend=%s\n\n",
+              C.Jobs, C.N, engine::getBackendName(C.Backend));
+  std::printf("%-17s %6s %6s %6s %6s | %10s %10s %10s\n", "campaign",
+              "done", "fail", "degr", "retry", "p50 (ms)", "p95 (ms)",
+              "p99 (ms)");
+
+  std::vector<CampaignResult> Results;
+  Results.push_back(runCampaign(C, "clean", serve::ChaosKind::None));
+  unsigned KindCount = 0;
+  const serve::ChaosKind *Kinds = serve::getAllChaosKinds(KindCount);
+  for (unsigned K = 0; K != KindCount; ++K)
+    Results.push_back(
+        runCampaign(C, serve::getChaosKindName(Kinds[K]), Kinds[K]));
+
+  std::vector<bench::BenchRecord> Records;
+  bench::BenchMeta Meta;
+  Meta.Backend = C.Backend == engine::Backend::NativeCpu ? "native"
+                                                         : "simulator";
+  size_t TotalMismatches = 0;
+  for (const CampaignResult &R : Results) {
+    std::printf("%-17s %6zu %6zu %6zu %6llu | %10.3f %10.3f %10.3f\n",
+                R.Name.c_str(), R.Completed, R.Failed, R.Degraded,
+                static_cast<unsigned long long>(R.Client.Retries),
+                R.P50 * 1e3, R.P95 * 1e3, R.P99 * 1e3);
+    const std::string Ok = R.Mismatches ? "wrong-result" : "ok";
+    Records.push_back({"Pascal P100", R.Name + "-p50", C.N, R.P50, Ok});
+    Records.push_back({"Pascal P100", R.Name + "-p95", C.N, R.P95, Ok});
+    Records.push_back({"Pascal P100", R.Name + "-p99", C.N, R.P99, Ok});
+    Meta.Extra.push_back({R.Name + "_degraded", std::to_string(R.Degraded)});
+    Meta.Extra.push_back(
+        {R.Name + "_retries", std::to_string(R.Client.Retries)});
+    Meta.Extra.push_back(
+        {R.Name + "_fast_fails",
+         std::to_string(R.Stats.BreakerFastFails)});
+    Meta.Extra.push_back(
+        {R.Name + "_chaos_fired", std::to_string(R.Stats.ChaosInjected)});
+    Meta.Extra.push_back({R.Name + "_rejected_overloaded",
+                          std::to_string(R.Stats.RejectedOverloaded)});
+    Meta.Extra.push_back({R.Name + "_rejected_unavailable",
+                          std::to_string(R.Stats.RejectedUnavailable)});
+    TotalMismatches += R.Mismatches;
+  }
+  Meta.Extra.push_back({"mismatches", std::to_string(TotalMismatches)});
+
+  std::printf("\nresult mismatches across all campaigns: %zu (must be 0)\n",
+              TotalMismatches);
+  bench::writeBenchJson("serving_chaos", Records, nullptr, Meta);
+  return TotalMismatches ? 1 : 0;
+}

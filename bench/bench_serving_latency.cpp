@@ -86,16 +86,12 @@ Percentiles runRate(const Config &C, double Rate) {
   }
   Svc.stop();
 
-  if (!Latencies.empty()) {
-    std::sort(Latencies.begin(), Latencies.end());
-    auto Pct = [&](double Q) {
-      size_t I = static_cast<size_t>(Q * static_cast<double>(Latencies.size() - 1));
-      return Latencies[I];
-    };
-    P.P50 = Pct(0.50);
-    P.P95 = Pct(0.95);
-    P.P99 = Pct(0.99);
-  }
+  // percentileSorted returns zeros on an all-refused run, so a saturated
+  // rate point still yields a valid (if degenerate) row.
+  std::sort(Latencies.begin(), Latencies.end());
+  P.P50 = serve::percentileSorted(Latencies, 0.50);
+  P.P95 = serve::percentileSorted(Latencies, 0.95);
+  P.P99 = serve::percentileSorted(Latencies, 0.99);
   return P;
 }
 

@@ -765,6 +765,11 @@ void ExecutionEngine::quarantineVariant(const synth::VariantDescriptor &Desc,
                      QuarantineRecord{Desc, std::move(Why)});
 }
 
+bool ExecutionEngine::unquarantineVariant(
+    const synth::VariantDescriptor &Desc) {
+  return Quarantine.erase(Desc.stableHash()) != 0;
+}
+
 std::vector<QuarantineRecord> ExecutionEngine::getQuarantineRecords() const {
   std::vector<QuarantineRecord> Records;
   Records.reserve(Quarantine.size());

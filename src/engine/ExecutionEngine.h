@@ -284,6 +284,11 @@ public:
   bool isQuarantined(const synth::VariantDescriptor &Desc) const;
   void quarantineVariant(const synth::VariantDescriptor &Desc,
                          support::Status Why);
+  /// Drops the quarantine record for \p Desc alone (false when it held
+  /// none). The serving layer's half-open circuit-breaker probe uses this
+  /// to give a quarantined primary variant one supervised second chance
+  /// without forgetting every other record the way clearQuarantine does.
+  bool unquarantineVariant(const synth::VariantDescriptor &Desc);
   std::vector<QuarantineRecord> getQuarantineRecords() const;
   /// Drops all quarantine records and validation memos (e.g. after
   /// changing the fault plan).

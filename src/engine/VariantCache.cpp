@@ -93,17 +93,34 @@ support::Expected<VariantCache::VariantPtr> VariantCache::getOrCompile(
   ++Misses;
   auto F = std::make_shared<Flight>();
   InFlight.emplace(K, F);
+  // The chaos hook is read under the lock but runs outside it, like the
+  // compile itself (it may consult its own state).
+  CompileChaosHook Hook = ChaosHook;
   Lock.unlock();
-  support::Expected<VariantPtr> Result = Compile();
+  support::Expected<VariantPtr> Result = [&]() -> support::Expected<VariantPtr> {
+    if (Hook) {
+      support::Status S = Hook();
+      if (!S.ok())
+        return S;
+    }
+    return Compile();
+  }();
   Lock.lock();
   F->Result = Result;
   F->Done = true;
   InFlight.erase(K);
   if (Result.ok())
     insertLocked(K, *Result);
+  else
+    ++FailedCompiles;
   Lock.unlock();
   FlightDone.notify_all();
   return Result;
+}
+
+void VariantCache::setCompileChaosHook(CompileChaosHook Hook) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ChaosHook = std::move(Hook);
 }
 
 CacheStats VariantCache::getStats() const {
@@ -116,6 +133,7 @@ CacheStats VariantCache::getStats() const {
   S.VariantsCompiled = VariantsCompiled;
   S.CompileSeconds = CompileSeconds;
   S.SingleFlightWaits = SingleFlightWaits;
+  S.FailedCompiles = FailedCompiles;
   return S;
 }
 

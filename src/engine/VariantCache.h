@@ -70,6 +70,10 @@ struct CacheStats {
   /// Times a getOrCompile caller found another thread already compiling its
   /// key and waited for that flight instead of duplicating the synthesis.
   uint64_t SingleFlightWaits = 0;
+  /// getOrCompile flights that ended in a Status (compile or chaos-hook
+  /// failure). Failures are never cached, so a key may fail several times
+  /// before a later flight succeeds — a serving-health signal.
+  uint64_t FailedCompiles = 0;
 };
 
 /// Bounded LRU map of VariantKey -> synthesized variant. Entries are handed
@@ -100,6 +104,16 @@ public:
   support::Expected<VariantPtr>
   getOrCompile(const VariantKey &K,
                const std::function<support::Expected<VariantPtr>()> &Compile);
+
+  /// Chaos/test hook consulted by getOrCompile before each cold compile:
+  /// a non-Ok return fails the flight with that Status instead of running
+  /// \p Compile (the failure is not cached, so later flights retry). Cache
+  /// hits and single-flight waiters never consult the hook — only the
+  /// flight leader pays. Install before the cache is shared across threads
+  /// (the serving layer does this at shard construction); a null hook
+  /// restores normal compilation.
+  using CompileChaosHook = std::function<support::Status()>;
+  void setCompileChaosHook(CompileChaosHook Hook);
 
   CacheStats getStats() const;
   size_t getCapacity() const { return Capacity; }
@@ -136,6 +150,8 @@ private:
   uint64_t VariantsCompiled = 0;
   double CompileSeconds = 0;
   uint64_t SingleFlightWaits = 0;
+  uint64_t FailedCompiles = 0;
+  CompileChaosHook ChaosHook;
 };
 
 } // namespace tangram::engine

@@ -1,0 +1,87 @@
+//===- Chaos.cpp - Service-level chaos injection ---------------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Chaos.h"
+
+using namespace tangram;
+using namespace tangram::serve;
+
+const char *tangram::serve::getChaosKindName(ChaosKind K) {
+  switch (K) {
+  case ChaosKind::None:
+    return "none";
+  case ChaosKind::CompileFail:
+    return "compile-fail";
+  case ChaosKind::SlowWorker:
+    return "slow-worker";
+  case ChaosKind::SpuriousReject:
+    return "spurious-reject";
+  case ChaosKind::QuarantineStorm:
+    return "quarantine-storm";
+  case ChaosKind::QueueDelay:
+    return "queue-delay";
+  }
+  return "unknown";
+}
+
+bool tangram::serve::parseChaosKind(const std::string &Name, ChaosKind &Out) {
+  unsigned Count = 0;
+  const ChaosKind *Kinds = getAllChaosKinds(Count);
+  for (unsigned I = 0; I != Count; ++I)
+    if (Name == getChaosKindName(Kinds[I])) {
+      Out = Kinds[I];
+      return true;
+    }
+  if (Name == "none") {
+    Out = ChaosKind::None;
+    return true;
+  }
+  return false;
+}
+
+const ChaosKind *tangram::serve::getAllChaosKinds(unsigned &Count) {
+  static const ChaosKind Kinds[] = {
+      ChaosKind::CompileFail,     ChaosKind::SlowWorker,
+      ChaosKind::SpuriousReject,  ChaosKind::QuarantineStorm,
+      ChaosKind::QueueDelay,
+  };
+  Count = sizeof(Kinds) / sizeof(Kinds[0]);
+  return Kinds;
+}
+
+bool ChaosInjector::fires(ChaosKind K) {
+  if (Plan.Kind != K)
+    return false;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Plan.MaxFires && Fires >= Plan.MaxFires) {
+    ++Events; // Still an eligible event; the storm is just over.
+    return false;
+  }
+  uint64_t Ordinal = Events++;
+  uint64_t Period = Plan.Period ? Plan.Period : 1;
+  // The same splitmix64-style mix FaultInjector::fires uses: platform
+  // independent, so a plan picks the same chaos sites everywhere.
+  uint64_t X = Ordinal + 0x9e3779b97f4a7c15ull * (Plan.Seed + 1);
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  if (X % Period != 0)
+    return false;
+  ++Fires;
+  return true;
+}
+
+uint64_t ChaosInjector::getFireCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Fires;
+}
+
+uint64_t ChaosInjector::getEventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events;
+}

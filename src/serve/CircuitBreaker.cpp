@@ -1,0 +1,125 @@
+//===- CircuitBreaker.cpp - Per-lane failure circuit breaker ---------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/CircuitBreaker.h"
+
+#include <algorithm>
+
+using namespace tangram;
+using namespace tangram::serve;
+
+const char *tangram::serve::getBreakerStateName(BreakerState S) {
+  switch (S) {
+  case BreakerState::Closed:
+    return "closed";
+  case BreakerState::Open:
+    return "open";
+  case BreakerState::HalfOpen:
+    return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions Opts)
+    : Opts(Opts) {
+  this->Opts.WindowSize = std::max(1u, this->Opts.WindowSize);
+  this->Opts.MinSamples = std::max(1u, this->Opts.MinSamples);
+  this->Opts.ProbeSuccesses = std::max(1u, this->Opts.ProbeSuccesses);
+}
+
+BreakerDecision CircuitBreaker::decide(double Now) {
+  if (!Opts.Enabled)
+    return BreakerDecision::Allow;
+  std::lock_guard<std::mutex> Lock(Mu);
+  switch (State) {
+  case BreakerState::Closed:
+    return BreakerDecision::Allow;
+  case BreakerState::Open:
+    if (Now - OpenedAt < Opts.OpenSeconds) {
+      ++Counters.FastFails;
+      return BreakerDecision::FastFail;
+    }
+    // Cooldown over: this request becomes the first half-open probe.
+    State = BreakerState::HalfOpen;
+    ProbeStreak = 0;
+    ProbeInFlight = true;
+    ++Counters.Probes;
+    return BreakerDecision::Probe;
+  case BreakerState::HalfOpen:
+    // One supervised probe at a time; concurrent requests degrade while
+    // the outstanding probe's outcome is pending.
+    if (ProbeInFlight) {
+      ++Counters.FastFails;
+      return BreakerDecision::FastFail;
+    }
+    ProbeInFlight = true;
+    ++Counters.Probes;
+    return BreakerDecision::Probe;
+  }
+  return BreakerDecision::Allow;
+}
+
+void CircuitBreaker::record(bool Success, double Now) {
+  if (!Opts.Enabled)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (State == BreakerState::HalfOpen) {
+    ProbeInFlight = false;
+    if (!Success) {
+      tripLocked(Now);
+      return;
+    }
+    if (++ProbeStreak >= Opts.ProbeSuccesses) {
+      State = BreakerState::Closed;
+      Window.clear();
+      Failures = 0;
+      ++Counters.Recoveries;
+    }
+    return;
+  }
+  if (State == BreakerState::Open)
+    return; // A straggling outcome from before the trip; ignore.
+
+  Window.push_back(Success);
+  if (!Success)
+    ++Failures;
+  if (Window.size() > Opts.WindowSize) {
+    if (!Window.front())
+      --Failures;
+    Window.erase(Window.begin());
+  }
+  if (Failures > 0 && Window.size() >= Opts.MinSamples &&
+      static_cast<double>(Failures) >=
+          Opts.FailureRatio * static_cast<double>(Window.size()))
+    tripLocked(Now);
+}
+
+void CircuitBreaker::tripLocked(double Now) {
+  State = BreakerState::Open;
+  OpenedAt = Now;
+  ProbeStreak = 0;
+  ProbeInFlight = false;
+  Window.clear();
+  Failures = 0;
+  ++Counters.Trips;
+}
+
+BreakerState CircuitBreaker::getState() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return State;
+}
+
+BreakerCounters CircuitBreaker::getCounters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters;
+}
+
+double CircuitBreaker::getFailureRatio() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Window.empty())
+    return 0;
+  return static_cast<double>(Failures) / static_cast<double>(Window.size());
+}

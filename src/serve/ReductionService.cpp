@@ -73,23 +73,42 @@ void ReductionService::stop() {
     S->stop();
 }
 
+/// Adds every shard counter of \p St into \p Sum (MaxBatchJobs takes the
+/// max — it is a high-water mark, not a count).
+static void accumulateStats(ServiceStats &Sum, const ServiceStats &St) {
+  Sum.Submitted += St.Submitted;
+  Sum.RejectedOverloaded += St.RejectedOverloaded;
+  Sum.RejectedUnavailable += St.RejectedUnavailable;
+  Sum.Completed += St.Completed;
+  Sum.Failed += St.Failed;
+  Sum.Expired += St.Expired;
+  Sum.Batches += St.Batches;
+  Sum.CoalescedJobs += St.CoalescedJobs;
+  Sum.DirectJobs += St.DirectJobs;
+  Sum.DegradedJobs += St.DegradedJobs;
+  Sum.DegradedBatches += St.DegradedBatches;
+  Sum.MaxBatchJobs = std::max(Sum.MaxBatchJobs, St.MaxBatchJobs);
+  Sum.BreakerTrips += St.BreakerTrips;
+  Sum.BreakerFastFails += St.BreakerFastFails;
+  Sum.BreakerRecoveries += St.BreakerRecoveries;
+  Sum.ChaosInjected += St.ChaosInjected;
+}
+
 ServiceStats ReductionService::getStats() const {
   ServiceStats Sum;
-  for (const auto &S : Shards) {
-    ServiceStats St = S->getStats();
-    Sum.Submitted += St.Submitted;
-    Sum.Rejected += St.Rejected;
-    Sum.Completed += St.Completed;
-    Sum.Failed += St.Failed;
-    Sum.Expired += St.Expired;
-    Sum.Batches += St.Batches;
-    Sum.CoalescedJobs += St.CoalescedJobs;
-    Sum.DirectJobs += St.DirectJobs;
-    Sum.DegradedJobs += St.DegradedJobs;
-    Sum.DegradedBatches += St.DegradedBatches;
-    Sum.MaxBatchJobs = std::max(Sum.MaxBatchJobs, St.MaxBatchJobs);
-  }
+  for (const auto &S : Shards)
+    accumulateStats(Sum, S->getStats());
   return Sum;
+}
+
+HealthReport ReductionService::getHealth() const {
+  HealthReport R;
+  R.Shards.reserve(Shards.size());
+  for (const auto &S : Shards) {
+    R.Shards.push_back(S->getHealth());
+    accumulateStats(R.Totals, R.Shards.back().Stats);
+  }
+  return R;
 }
 
 engine::ExecutionEngine *

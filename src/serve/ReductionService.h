@@ -34,6 +34,8 @@
 #include "engine/Backend.h"
 #include "gpusim/Arch.h"
 #include "reduce/OpDef.h"
+#include "serve/Chaos.h"
+#include "serve/Health.h"
 #include "support/Expected.h"
 #include "synth/Variant.h"
 
@@ -87,20 +89,8 @@ struct JobResult {
   unsigned BatchJobs = 1;   ///< Jobs sharing the launch (1 = alone).
 };
 
-/// Aggregated serving counters (summed over shards by getStats()).
-struct ServiceStats {
-  uint64_t Submitted = 0;   ///< Jobs accepted into a queue.
-  uint64_t Rejected = 0;    ///< Admission refusals (Overloaded/Unavailable).
-  uint64_t Completed = 0;   ///< Jobs finished with a result.
-  uint64_t Failed = 0;      ///< Jobs finished with a Status.
-  uint64_t Expired = 0;     ///< Jobs whose deadline passed in the queue.
-  uint64_t Batches = 0;     ///< Segmented batch launches.
-  uint64_t CoalescedJobs = 0; ///< Jobs served by those launches.
-  uint64_t DirectJobs = 0;    ///< Jobs served one launch each.
-  uint64_t DegradedJobs = 0;  ///< Jobs answered by the failover chain.
-  uint64_t DegradedBatches = 0; ///< Batches demoted to per-job failover.
-  uint64_t MaxBatchJobs = 0;  ///< Largest batch seen.
-};
+// ServiceStats, LaneHealth/ShardHealth/HealthReport, and the shared
+// latency-percentile helper live in serve/Health.h.
 
 /// Construction knobs.
 struct ServiceOptions {
@@ -126,6 +116,13 @@ struct ServiceOptions {
   unsigned EngineThreads = 1;
   /// Capacity of the per-shard variant cache shared by its lanes.
   size_t EngineCacheCapacity = 256;
+  /// Chaos campaign injected at the service seams (inactive by default).
+  /// Each shard owns one deterministic injector built from this plan.
+  ChaosPlan Chaos;
+  /// Per-lane circuit breaker guarding the primary batch path (enabled by
+  /// default; a tripped breaker fast-fails jobs to the degraded
+  /// DynamicSelector chain and recovers through half-open probes).
+  CircuitBreakerOptions Breaker;
 };
 
 class Shard;
@@ -159,6 +156,13 @@ public:
   void stop();
 
   ServiceStats getStats() const;
+
+  /// Point-in-time health snapshot: per-shard queue depths, per-lane
+  /// breaker states, degraded/expiry ratios, and the aggregated totals.
+  /// Safe to call while workers run (lane health is snapshotted by the
+  /// worker itself; breakers are internally synchronized).
+  HealthReport getHealth() const;
+
   const ServiceOptions &getOptions() const { return Opts; }
 
   /// Test/introspection hooks: the engine (and the batch descriptor)

@@ -1,0 +1,140 @@
+//===- ResilientClient.cpp - Retry/backoff serving client ------------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ResilientClient.h"
+
+#include "engine/ExecutionEngine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+using namespace tangram;
+using namespace tangram::serve;
+
+using support::Expected;
+using support::Status;
+using support::StatusCode;
+
+ResilientClient::ResilientClient(ReductionService &Svc,
+                                 ResilientClientOptions Options)
+    : Svc(Svc), Opts(Options), RngState(Options.JitterSeed) {}
+
+ClientStats ResilientClient::getStats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats;
+}
+
+/// splitmix64 step — the same generator the chaos/fault plans use, so a
+/// seeded client replays the identical jitter stream every run.
+static uint64_t splitmixNext(uint64_t &State) {
+  uint64_t X = (State += 0x9e3779b97f4a7c15ull);
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  return X;
+}
+
+double ResilientClient::nextBackoff(double Prev) {
+  std::lock_guard<std::mutex> L(Mu);
+  // Decorrelated jitter: uniform in [base, prev * 3], capped. Grows like
+  // exponential backoff in expectation but desynchronizes retrying
+  // clients, so a rejected burst does not re-arrive as a burst.
+  const double Lo = Opts.BaseBackoffSeconds;
+  const double Hi = std::max(Lo, Prev * 3);
+  const double U = static_cast<double>(splitmixNext(RngState) >> 11) *
+                   (1.0 / 9007199254740992.0); // 2^-53: U in [0, 1).
+  return std::min(Opts.MaxBackoffSeconds, Lo + U * (Hi - Lo));
+}
+
+Expected<JobResult> ResilientClient::attempt(const JobSpec &Job) {
+  auto Primary = Svc.submit(Job);
+  if (Opts.HedgeAfterSeconds <= 0)
+    return Primary.get();
+  if (Primary.wait_for(std::chrono::duration<double>(
+          Opts.HedgeAfterSeconds)) == std::future_status::ready)
+    return Primary.get();
+
+  // The original is slow (stalled worker, deep queue) — race a duplicate
+  // against it. Reductions are read-only per job, so the loser's answer
+  // is simply dropped.
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Stats.Hedges;
+  }
+  auto Hedge = Svc.submit(Job);
+  const auto Slice = std::chrono::microseconds(200);
+  std::optional<Expected<JobResult>> FromPrimary, FromHedge;
+  for (;;) {
+    if (!FromPrimary &&
+        Primary.wait_for(Slice) == std::future_status::ready) {
+      FromPrimary = Primary.get();
+      if (*FromPrimary)
+        return std::move(*FromPrimary);
+    }
+    if (!FromHedge && Hedge.wait_for(Slice) == std::future_status::ready) {
+      FromHedge = Hedge.get();
+      if (*FromHedge) {
+        std::lock_guard<std::mutex> L(Mu);
+        ++Stats.HedgeWins;
+        return std::move(*FromHedge);
+      }
+    }
+    // Both resolved and both failed: the original's status is the honest
+    // one (the hedge may have been refused admission on purpose).
+    if (FromPrimary && FromHedge)
+      return std::move(*FromPrimary);
+  }
+}
+
+Expected<JobResult> ResilientClient::run(JobSpec Job) {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Stats.Submitted;
+  }
+  double Backoff = Opts.BaseBackoffSeconds;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    auto Out = attempt(Job);
+    if (Out) {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Stats.Succeeded;
+      return Out;
+    }
+    // Only Overloaded is worth retrying: it is the service's explicit
+    // "try again later". Unavailable means shutdown, DeadlineExceeded
+    // means the budget is spent, engine errors are deterministic.
+    const bool Retryable = Out.status().Code == StatusCode::Overloaded;
+    if (!Retryable || Attempt >= Opts.MaxAttempts) {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Stats.Failed;
+      if (Retryable)
+        ++Stats.RetriesExhausted;
+      return Out;
+    }
+    Backoff = nextBackoff(Backoff);
+    // Deadline propagation: a retry that would sleep past the job's own
+    // deadline cannot possibly be admitted in time — stop now and report
+    // the deadline, not the transient overload.
+    if (Job.DeadlineSeconds > 0 &&
+        engine::steadySeconds() + Backoff >= Job.DeadlineSeconds) {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Stats.Failed;
+      ++Stats.DeadlineStops;
+      return Expected<JobResult>(
+          Status(StatusCode::DeadlineExceeded,
+                 "retry backoff would cross the job deadline; giving up"));
+    }
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Stats.Retries;
+      Stats.BackoffSecondsTotal += Backoff;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(Backoff));
+  }
+}

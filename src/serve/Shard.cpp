@@ -12,6 +12,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace tangram;
 using namespace tangram::serve;
@@ -23,19 +24,40 @@ using support::StatusCode;
 Shard::Shard(const sim::ArchDesc &Arch, const ServiceOptions &Opts)
     : Arch(Arch), Opts(Opts),
       Cache(std::make_shared<engine::VariantCache>(Opts.EngineCacheCapacity)),
-      Pool(std::make_shared<support::ThreadPool>(Opts.EngineThreads)) {}
+      Pool(std::make_shared<support::ThreadPool>(Opts.EngineThreads)) {
+  if (Opts.Chaos.active()) {
+    Injector = std::make_unique<ChaosInjector>(Opts.Chaos);
+    if (Opts.Chaos.Kind == ChaosKind::CompileFail)
+      // Service-level seam: a cold compile in this shard's cache fails as
+      // a flaky build host would. Failures are never cached, so the storm
+      // passing (Period / MaxFires) lets later flights succeed.
+      Cache->setCompileChaosHook([this] {
+        return Injector->fires(ChaosKind::CompileFail)
+                   ? Status(StatusCode::SynthesisError,
+                            "chaos: injected compile failure")
+                   : Status::success();
+      });
+  }
+}
 
 Shard::~Shard() { stop(); }
 
 Status Shard::enqueue(PendingJob Job) {
   std::unique_lock<std::mutex> L(Mu);
   if (Stopping) {
-    ++Stats.Rejected;
+    ++Stats.RejectedUnavailable;
     return Status(StatusCode::Unavailable,
                   "reduction service is shutting down");
   }
+  if (Injector && Injector->fires(ChaosKind::SpuriousReject)) {
+    // A flapping load-shedder: refuse despite queue room. Reported as
+    // Overloaded — exactly what a retrying client should see and absorb.
+    ++Stats.RejectedOverloaded;
+    return Status(StatusCode::Overloaded,
+                  "chaos: spurious admission rejection; retry with backoff");
+  }
   if (Queue.size() >= Opts.QueueDepth) {
-    ++Stats.Rejected;
+    ++Stats.RejectedOverloaded;
     return Status(StatusCode::Overloaded,
                   strformat("shard '%s' admission queue is full "
                                      "(depth %zu); retry with backoff",
@@ -104,8 +126,49 @@ void Shard::stop() {
 }
 
 ServiceStats Shard::getStats() const {
+  ServiceStats S;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    S = Stats;
+    // Breaker counters live in the lanes (worker-thread state); the worker
+    // publishes them into HealthSnap after every group, so aggregating the
+    // snapshots here never touches a lane from the wrong thread.
+    for (const auto &Entry : HealthSnap) {
+      S.BreakerTrips += Entry.second.Breaker.Trips;
+      S.BreakerFastFails += Entry.second.Breaker.FastFails;
+      S.BreakerRecoveries += Entry.second.Breaker.Recoveries;
+    }
+  }
+  if (Injector)
+    S.ChaosInjected = Injector->getFireCount();
+  return S;
+}
+
+ShardHealth Shard::getHealth() const {
+  ShardHealth H;
+  H.ArchName = Arch.Name;
+  H.Stats = getStats();
   std::lock_guard<std::mutex> L(Mu);
-  return Stats;
+  H.QueueDepth = Queue.size();
+  H.Lanes.reserve(HealthSnap.size());
+  for (const auto &Entry : HealthSnap)
+    H.Lanes.push_back(Entry.second);
+  return H;
+}
+
+void Shard::snapshotLane(const LaneKey &Key, Lane &L) {
+  LaneHealth H;
+  H.Op = static_cast<ReduceOp>(Key.first);
+  H.Elem = static_cast<ir::ScalarType>(Key.second);
+  if (L.Breaker) {
+    H.State = L.Breaker->getState();
+    H.Breaker = L.Breaker->getCounters();
+    H.FailureRatio = L.Breaker->getFailureRatio();
+  }
+  H.BatchQuarantined =
+      L.BatchDescValid && L.E && L.E->isQuarantined(L.BatchDesc);
+  std::lock_guard<std::mutex> G(Mu);
+  HealthSnap[Key] = H;
 }
 
 engine::ExecutionEngine *Shard::laneEngine(ReduceOp Op,
@@ -162,11 +225,18 @@ Shard::Lane &Shard::laneFor(ReduceOp Op, ir::ScalarType Elem) {
       L.Tile = static_cast<size_t>(L.BatchDesc.BlockSize) *
                (L.BatchDesc.BlockDistributes ? L.BatchDesc.Coarsen : 1);
     }
+    L.Breaker = std::make_unique<CircuitBreaker>(Opts.Breaker);
   }
   return Lanes.emplace(Key, std::move(L)).first->second;
 }
 
 void Shard::process(std::deque<PendingJob> &Work) {
+  // Chaos: a stalled worker — the whole drain pass runs late, eating into
+  // every queued job's deadline budget.
+  if (Injector && Injector->fires(ChaosKind::SlowWorker))
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(Opts.Chaos.DelaySeconds));
+
   // Group by (op, dtype) lane, preserving arrival order inside a group so
   // results stream back in a predictable order per tenant.
   std::map<LaneKey, std::vector<PendingJob *>> Groups;
@@ -178,18 +248,14 @@ void Shard::process(std::deque<PendingJob> &Work) {
     Lane &L = laneFor(static_cast<ReduceOp>(Entry.first.first),
                       static_cast<ir::ScalarType>(Entry.first.second));
     processGroup(L, Entry.second);
+    snapshotLane(Entry.first, L);
   }
 }
 
-void Shard::processGroup(Lane &L, std::vector<PendingJob *> &Jobs) {
-  if (!L.Create.ok()) {
-    for (PendingJob *Job : Jobs)
-      complete(*Job, L.Create);
-    return;
-  }
-
+void Shard::dropExpired(std::vector<PendingJob *> &Jobs) {
   const double Now = engine::steadySeconds();
-  std::vector<PendingJob *> Batchable, Direct;
+  std::vector<PendingJob *> Alive;
+  Alive.reserve(Jobs.size());
   for (PendingJob *Job : Jobs) {
     if (Job->Spec.DeadlineSeconds > 0 && Now > Job->Spec.DeadlineSeconds) {
       {
@@ -200,6 +266,41 @@ void Shard::processGroup(Lane &L, std::vector<PendingJob *> &Jobs) {
                             "job deadline passed while queued"));
       continue;
     }
+    Alive.push_back(Job);
+  }
+  Jobs.swap(Alive);
+}
+
+BreakerDecision Shard::decidePrimary(Lane &L) {
+  if (!L.Breaker)
+    return BreakerDecision::Allow;
+  BreakerDecision D = L.Breaker->decide(engine::steadySeconds());
+  // The half-open probe is the supervised second chance: quarantine is
+  // sticky, so without lifting it the probe would re-fail forever and the
+  // lane could never recover from a transient storm.
+  if (D == BreakerDecision::Probe && L.BatchDescValid)
+    L.E->unquarantineVariant(L.BatchDesc);
+  return D;
+}
+
+void Shard::processGroup(Lane &L, std::vector<PendingJob *> &Jobs) {
+  if (!L.Create.ok()) {
+    for (PendingJob *Job : Jobs)
+      complete(*Job, L.Create);
+    return;
+  }
+
+  // Chaos: the lane's primary variant is yanked out from under it, as a
+  // misfiring fault campaign (or a genuinely trapping kernel) would.
+  if (Injector && L.BatchDescValid &&
+      Injector->fires(ChaosKind::QuarantineStorm))
+    L.E->quarantineVariant(
+        L.BatchDesc,
+        Status(StatusCode::WrongResult, "chaos: injected quarantine storm"));
+
+  dropExpired(Jobs);
+  std::vector<PendingJob *> Batchable, Direct;
+  for (PendingJob *Job : Jobs) {
     // Sub stays direct: its second stage is sign-sensitive, so coalescing
     // would not be bit-identical to the lone run.
     const bool CanBatch = Opts.Coalesce && L.BatchDescValid &&
@@ -214,11 +315,39 @@ void Shard::processGroup(Lane &L, std::vector<PendingJob *> &Jobs) {
         std::min(Batchable.size(), Begin + Opts.MaxBatchJobs);
     std::vector<PendingJob *> Chunk(Batchable.begin() + Begin,
                                     Batchable.begin() + End);
+
+    // Chaos: the launch sits in some deeper queue while deadlines tick.
+    if (Injector && Injector->fires(ChaosKind::QueueDelay))
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(Opts.Chaos.DelaySeconds));
+
+    // Deadline re-check at the launch boundary: a deadline that expired
+    // between dequeue and here must get DeadlineExceeded, not ride the
+    // launch (and skew the batch it rides).
+    dropExpired(Chunk);
+    if (Chunk.empty())
+      continue;
+
+    const BreakerDecision D = decidePrimary(L);
+    if (D == BreakerDecision::FastFail) {
+      // Tripped breaker: don't even try the primary — demote the chunk to
+      // the per-job failover path immediately.
+      {
+        std::lock_guard<std::mutex> G(Mu);
+        ++Stats.DegradedBatches;
+      }
+      for (PendingJob *Job : Chunk)
+        Direct.push_back(Job);
+      continue;
+    }
+
     std::vector<const JobSpec *> Specs;
     Specs.reserve(Chunk.size());
     for (PendingJob *Job : Chunk)
       Specs.push_back(&Job->Spec);
     auto Out = runBatch(*L.E, L.BatchDesc, Opts.BackendKind, Specs);
+    if (L.Breaker)
+      L.Breaker->record(static_cast<bool>(Out), engine::steadySeconds());
     if (Out) {
       {
         std::lock_guard<std::mutex> G(Mu);
@@ -242,12 +371,23 @@ void Shard::processGroup(Lane &L, std::vector<PendingJob *> &Jobs) {
       Direct.push_back(Job);
   }
 
-  for (PendingJob *Job : Direct) {
+  for (size_t Begin = 0; Begin < Direct.size();) {
+    // Same launch-boundary re-check for the direct path (QueueDelay fires
+    // once per launch here too, matching the per-launch batch seam).
+    if (Injector && Injector->fires(ChaosKind::QueueDelay))
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(Opts.Chaos.DelaySeconds));
+    std::vector<PendingJob *> One(Direct.begin() + Begin,
+                                  Direct.begin() + Begin + 1);
+    ++Begin;
+    dropExpired(One);
+    if (One.empty())
+      continue;
     {
       std::lock_guard<std::mutex> G(Mu);
       ++Stats.DirectJobs;
     }
-    complete(*Job, runDirect(L, Job->Spec));
+    complete(*One.front(), runDirect(L, One.front()->Spec));
   }
 }
 
@@ -290,12 +430,25 @@ Expected<JobResult> Shard::runDirect(Lane &L, const JobSpec &Spec) {
   };
 
   // Primary: the lane's own batch descriptor, alone — so coalesced and
-  // direct answers come from the same kernel and stay bit-identical.
-  if (L.BatchDescValid && !L.E->isQuarantined(L.BatchDesc)) {
-    Req.Desc = L.BatchDesc;
-    auto Out = L.E->run(Req);
-    if (Out)
-      return Finish(std::move(*Out), false);
+  // direct answers come from the same kernel and stay bit-identical. The
+  // lane breaker gates the attempt: while tripped, skip straight to the
+  // failover chain instead of burning a launch on a known-bad variant.
+  if (L.BatchDescValid &&
+      decidePrimary(L) != BreakerDecision::FastFail) {
+    if (L.E->isQuarantined(L.BatchDesc)) {
+      // A quarantined primary is a failed attempt from the breaker's
+      // view: the rolling window must fill even when the engine refuses
+      // the launch outright.
+      if (L.Breaker)
+        L.Breaker->record(false, engine::steadySeconds());
+    } else {
+      Req.Desc = L.BatchDesc;
+      auto Out = L.E->run(Req);
+      if (L.Breaker)
+        L.Breaker->record(static_cast<bool>(Out), engine::steadySeconds());
+      if (Out)
+        return Finish(std::move(*Out), false);
+    }
   }
 
   // Failover: the DynamicSelector chain — portfolio candidates, then the

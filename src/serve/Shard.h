@@ -18,6 +18,7 @@
 #ifndef TANGRAM_SERVE_SHARD_H
 #define TANGRAM_SERVE_SHARD_H
 
+#include "serve/CircuitBreaker.h"
 #include "serve/ReductionService.h"
 
 #include "tangram/DynamicSelector.h"
@@ -63,6 +64,9 @@ public:
 
   const sim::ArchDesc &getArch() const { return Arch; }
   ServiceStats getStats() const;
+  ShardHealth getHealth() const;
+  /// The shard's chaos injector (null when the plan is inactive).
+  const ChaosInjector *getChaosInjector() const { return Injector.get(); }
 
   /// Lane introspection (creates the lane on demand). Worker-thread state:
   /// only call while the worker is not running.
@@ -80,6 +84,9 @@ private:
     synth::VariantDescriptor BatchDesc;
     bool BatchDescValid = false;
     size_t Tile = 0; ///< Elements one batch slot (block) holds.
+    /// Guards the lane's primary (batch-variant) path. unique_ptr keeps
+    /// Lane movable (the breaker owns a mutex).
+    std::unique_ptr<CircuitBreaker> Breaker;
   };
   using LaneKey = std::pair<unsigned, unsigned>;
 
@@ -89,19 +96,33 @@ private:
   void processGroup(Lane &L, std::vector<PendingJob *> &Jobs);
   void complete(PendingJob &Job, support::Expected<JobResult> Out);
   support::Expected<JobResult> runDirect(Lane &L, const JobSpec &Spec);
+  /// Completes (DeadlineExceeded) and removes every job in \p Jobs whose
+  /// deadline has passed — called at dequeue AND again immediately before
+  /// each launch, so a deadline that expires between the two never rides
+  /// the launch.
+  void dropExpired(std::vector<PendingJob *> &Jobs);
+  /// Consults the lane's breaker for one primary attempt; a Probe decision
+  /// un-quarantines the batch variant (the supervised second chance).
+  BreakerDecision decidePrimary(Lane &L);
+  /// Publishes the lane's health snapshot (worker thread only — it is the
+  /// only thread allowed to touch the lane's engine).
+  void snapshotLane(const LaneKey &Key, Lane &L);
 
   sim::ArchDesc Arch;
   ServiceOptions Opts;
   std::shared_ptr<engine::VariantCache> Cache;
   std::shared_ptr<support::ThreadPool> Pool;
+  std::unique_ptr<ChaosInjector> Injector; ///< Null without a chaos plan.
   std::map<LaneKey, Lane> Lanes; ///< Worker-thread confined.
 
-  mutable std::mutex Mu; ///< Guards Queue, Stopping, Stats.
+  mutable std::mutex Mu; ///< Guards Queue, Stopping, Stats, HealthSnap.
   std::condition_variable WorkCv;
   std::deque<PendingJob> Queue;
   bool Stopping = false;
   std::thread Worker;
   ServiceStats Stats;
+  /// Worker-published per-lane health, readable from any thread under Mu.
+  std::map<LaneKey, LaneHealth> HealthSnap;
 };
 
 } // namespace tangram::serve

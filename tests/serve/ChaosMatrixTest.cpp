@@ -1,0 +1,258 @@
+//===- ChaosMatrixTest.cpp - Serving-layer chaos acceptance ----------------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The chaos acceptance matrix: every ChaosKind x coalesced/direct x
+// {Add, ArgMax} x {F32, I64}, asserting ZERO WRONG ANSWERS — every job
+// either completes bit-identical to the chaos-free run (including the
+// winning index lanes of arg-reductions) or fails with a clean, typed
+// Status. Chaos may slow jobs down, degrade them through the failover
+// chain, or refuse them; it must never corrupt them.
+//
+// The payloads make that assertable: every value is an exactly
+// representable quarter-step with sums far below 2^24, so any fold order
+// on any backend (batch variant, direct primary, selector portfolio,
+// native CPU, host loop) produces the same bits, and each job has a
+// unique extremum so arg-reductions have a unique winner.
+//
+// Plus two choreographed scenarios:
+//  - the circuit-breaker lifecycle: a bounded quarantine storm trips the
+//    lane breaker, jobs fast-fail to the degraded path while it is open,
+//    and the half-open probe un-quarantines the primary and recovers;
+//  - the deadline/batch race: a job whose deadline expires between
+//    dequeue and batch launch (an injected queue delay) must complete
+//    with DeadlineExceeded, not ride the launch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ReductionService.h"
+
+#include "engine/ExecutionEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+using namespace tangram;
+using namespace tangram::serve;
+
+using support::StatusCode;
+
+namespace {
+
+/// Deterministic exact payload for job \p J (see file header): small
+/// quarter-step values with a distinct extremum at a distinct index.
+JobSpec makeJob(ReduceOp Op, ir::ScalarType Elem, size_t J, size_t N) {
+  JobSpec Job;
+  Job.Op = Op;
+  Job.Elem = Elem;
+  for (size_t I = 0; I != N; ++I) {
+    long long V = static_cast<long long>((I * 7 + J * 13) % 101) - 50;
+    if (I == (J * 3) % N)
+      V = 60 + static_cast<long long>(J); // Unique extremum, unique index.
+    if (ir::isFloatType(Elem))
+      Job.FloatData.push_back(static_cast<double>(V) * 0.25);
+    else
+      Job.IntData.push_back(V);
+  }
+  return Job;
+}
+
+struct MatrixPoint {
+  ReduceOp Op;
+  ir::ScalarType Elem;
+};
+
+std::string pointName(const MatrixPoint &P) {
+  return std::string(getReduceOpSpelling(P.Op)) + "_" +
+         reduce::getScalarTypeSpelling(P.Elem);
+}
+
+class ChaosMatrix : public ::testing::TestWithParam<MatrixPoint> {};
+
+// For one (op, dtype) point: run the chaos-free reference once per
+// coalescing mode, then replay the identical job stream under every
+// chaos kind and compare.
+TEST_P(ChaosMatrix, NoWrongAnswersUnderAnyCampaign) {
+  const MatrixPoint P = GetParam();
+  const size_t Sizes[] = {193, 64, 1, 100, 256, 31};
+  unsigned KindCount = 0;
+  const ChaosKind *Kinds = getAllChaosKinds(KindCount);
+
+  for (bool Coalesce : {true, false}) {
+    SCOPED_TRACE(Coalesce ? "coalesced" : "direct");
+    ServiceOptions Base;
+    Base.StartWorkers = false; // Pumped: chaos ordinals are deterministic.
+    Base.Coalesce = Coalesce;
+
+    // The chaos-free reference results, shared by every campaign below.
+    ReductionService CleanSvc(Base);
+    std::vector<std::future<support::Expected<JobResult>>> CleanF;
+    for (size_t J = 0; J != std::size(Sizes); ++J)
+      CleanF.push_back(CleanSvc.submit(makeJob(P.Op, P.Elem, J, Sizes[J])));
+    CleanSvc.drainNow();
+    std::vector<JobResult> Ref;
+    for (auto &F : CleanF) {
+      auto Out = F.get();
+      ASSERT_TRUE(Out.ok()) << Out.status().toString();
+      Ref.push_back(*Out);
+    }
+
+    for (unsigned K = 0; K != KindCount; ++K) {
+      SCOPED_TRACE(getChaosKindName(Kinds[K]));
+      ServiceOptions SO = Base;
+      SO.Chaos.Kind = Kinds[K];
+      SO.Chaos.Seed = 7;
+      SO.Chaos.Period = 1; // Every eligible event fires...
+      SO.Chaos.MaxFires = 3; // ...until the storm burns out: both the
+                             // failure path and the recovery path run.
+      SO.Chaos.DelaySeconds = 0.001;
+      ReductionService Svc(SO);
+      std::vector<std::future<support::Expected<JobResult>>> Futures;
+      for (size_t J = 0; J != std::size(Sizes); ++J)
+        Futures.push_back(Svc.submit(makeJob(P.Op, P.Elem, J, Sizes[J])));
+      Svc.drainNow();
+
+      unsigned Completed = 0, Refused = 0;
+      for (size_t J = 0; J != Futures.size(); ++J) {
+        auto Out = Futures[J].get();
+        if (!Out.ok()) {
+          // A refusal/failure must be a clean typed Status, never a
+          // half-answer.
+          ++Refused;
+          EXPECT_NE(Out.code(), StatusCode::Ok);
+          EXPECT_FALSE(Out.status().Message.empty());
+          continue;
+        }
+        ++Completed;
+        // Bitwise equality with the chaos-free run: degraded answers may
+        // come from a different kernel, but exact payloads make every
+        // fold order produce identical bits.
+        EXPECT_EQ(Out->FloatValue, Ref[J].FloatValue) << "job " << J;
+        EXPECT_EQ(Out->IntValue, Ref[J].IntValue) << "job " << J;
+        if (isArgReduce(P.Op)) {
+          EXPECT_EQ(Out->IndexValue, Ref[J].IndexValue) << "job " << J;
+        }
+      }
+      EXPECT_EQ(Completed + Refused, std::size(Sizes)); // No silent drops.
+      ServiceStats St = Svc.getStats();
+      EXPECT_GT(St.ChaosInjected, 0u); // The campaign really ran.
+      EXPECT_EQ(St.Completed, Completed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpDtypeMatrix, ChaosMatrix,
+    ::testing::Values(MatrixPoint{ReduceOp::Add, ir::ScalarType::F32},
+                      MatrixPoint{ReduceOp::Add, ir::ScalarType::I64},
+                      MatrixPoint{ReduceOp::ArgMax, ir::ScalarType::F32},
+                      MatrixPoint{ReduceOp::ArgMax, ir::ScalarType::I64}),
+    [](const ::testing::TestParamInfo<MatrixPoint> &I) {
+      return pointName(I.param);
+    });
+
+// The full breaker lifecycle, choreographed drain by drain: a bounded
+// quarantine storm trips the lane breaker (attempt 1), an open breaker
+// fast-fails to the degraded path (attempt 2), and after the cooldown the
+// half-open probe un-quarantines the primary and recovers (attempt 3).
+TEST(BreakerLifecycle, TripsFastFailsAndRecovers) {
+  ServiceOptions SO;
+  SO.StartWorkers = false;
+  SO.Chaos.Kind = ChaosKind::QuarantineStorm;
+  SO.Chaos.Period = 1;
+  SO.Chaos.MaxFires = 2; // Storm covers attempts 1-2, then subsides.
+  SO.Breaker.WindowSize = 4;
+  SO.Breaker.MinSamples = 2;
+  SO.Breaker.FailureRatio = 0.5;
+  SO.Breaker.OpenSeconds = 1.0;
+  SO.Breaker.ProbeSuccesses = 1;
+  ReductionService Svc(SO);
+  auto Submit = [&](size_t J) {
+    return Svc.submit(makeJob(ReduceOp::Add, ir::ScalarType::F32, J, 64));
+  };
+
+  // Attempt 1: the storm quarantines the primary; the batch fails, the
+  // direct retry sees the quarantine too, and the two failures trip the
+  // breaker. The job still completes — degraded through the selector.
+  auto F1 = Submit(0);
+  Svc.drainNow();
+  auto R1 = F1.get();
+  ASSERT_TRUE(R1.ok()) << R1.status().toString();
+  EXPECT_TRUE(R1->Degraded);
+  EXPECT_EQ(Svc.getStats().BreakerTrips, 1u);
+  HealthReport H1 = Svc.getHealth();
+  ASSERT_EQ(H1.Shards.front().Lanes.size(), 1u);
+  EXPECT_EQ(H1.Shards.front().Lanes.front().State, BreakerState::Open);
+
+  // Attempt 2 (inside the cooldown): the open breaker fast-fails the
+  // primary without touching it; the job degrades immediately.
+  auto F2 = Submit(1);
+  Svc.drainNow();
+  auto R2 = F2.get();
+  ASSERT_TRUE(R2.ok()) << R2.status().toString();
+  EXPECT_TRUE(R2->Degraded);
+  EXPECT_GE(Svc.getStats().BreakerFastFails, 1u);
+
+  // Attempt 3 (after the cooldown, storm exhausted): the half-open probe
+  // un-quarantines the primary, the batch succeeds, and the breaker
+  // closes again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  auto F3 = Submit(2);
+  Svc.drainNow();
+  auto R3 = F3.get();
+  ASSERT_TRUE(R3.ok()) << R3.status().toString();
+  EXPECT_FALSE(R3->Degraded);
+  EXPECT_TRUE(R3->Coalesced); // Served by the recovered primary.
+  ServiceStats St = Svc.getStats();
+  EXPECT_EQ(St.BreakerRecoveries, 1u);
+  EXPECT_EQ(St.ChaosInjected, 2u);
+  HealthReport H3 = Svc.getHealth();
+  EXPECT_EQ(H3.Shards.front().Lanes.front().State, BreakerState::Closed);
+  EXPECT_FALSE(H3.Shards.front().Lanes.front().BatchQuarantined);
+}
+
+// The deadline/batch race: alive at dequeue, dead by launch. The injected
+// queue delay opens exactly that window; the pre-launch re-check must
+// expire the job instead of letting it ride the launch.
+TEST(DeadlineRace, ExpiryBetweenDequeueAndLaunchNeverRidesTheBatch) {
+  ServiceOptions SO;
+  SO.StartWorkers = false;
+  SO.Chaos.Kind = ChaosKind::QueueDelay;
+  SO.Chaos.Period = 1;
+  SO.Chaos.DelaySeconds = 0.3;
+  ReductionService Svc(SO);
+
+  // Warm the lane first (no deadline — it just eats the first stall), so
+  // the deadline job's budget is spent in the injected delay, not in lane
+  // setup.
+  auto Warm = Svc.submit(makeJob(ReduceOp::Add, ir::ScalarType::F32, 0, 64));
+  Svc.drainNow();
+  ASSERT_TRUE(Warm.get().ok());
+  ServiceStats Before = Svc.getStats();
+  ASSERT_EQ(Before.Expired, 0u);
+
+  JobSpec Job = makeJob(ReduceOp::Add, ir::ScalarType::F32, 1, 64);
+  Job.DeadlineSeconds = engine::steadySeconds() + 0.15; // Outlives the
+                                                        // dequeue check,
+                                                        // not the stall.
+  auto Fut = Svc.submit(std::move(Job));
+  Svc.drainNow();
+  auto Out = Fut.get();
+  ASSERT_FALSE(Out.ok());
+  EXPECT_EQ(Out.code(), StatusCode::DeadlineExceeded);
+
+  ServiceStats St = Svc.getStats();
+  EXPECT_EQ(St.Expired, 1u);
+  // The expired job must not have launched: batch/launch counters are
+  // unchanged from the warm-up.
+  EXPECT_EQ(St.Batches, Before.Batches);
+  EXPECT_EQ(St.CoalescedJobs, Before.CoalescedJobs);
+  EXPECT_EQ(St.DirectJobs, Before.DirectJobs);
+  EXPECT_EQ(St.Completed, Before.Completed);
+}
+
+} // namespace

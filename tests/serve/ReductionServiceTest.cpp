@@ -205,7 +205,9 @@ TEST(Backpressure, FullQueueRefusesWithOverloaded) {
   Svc.drainNow(); // The two admitted jobs still complete.
   EXPECT_EQ(Completions.load(), 2u);
   ServiceStats St = Svc.getStats();
-  EXPECT_EQ(St.Rejected, 1u);
+  EXPECT_EQ(St.rejected(), 1u);
+  EXPECT_EQ(St.RejectedOverloaded, 1u);
+  EXPECT_EQ(St.RejectedUnavailable, 0u);
   EXPECT_EQ(St.Completed, 2u);
 }
 

@@ -22,6 +22,14 @@
 # Also part of the plain suite; the dedicated pass pins the label wiring
 # (`ctest --preset tier1-serving`). Skip with --no-serving.
 #
+# The `resilience` labeled suite (the tier1-resilience preset) runs last:
+# the chaos acceptance matrix (every ChaosKind x coalesced/direct x
+# op/dtype, zero wrong answers), the circuit-breaker lifecycle, the
+# retry/backoff client, and the deadline/batch race. Also part of the
+# plain suite (and of the serve pass — it carries both labels); the
+# dedicated pass pins the label wiring (`ctest --preset
+# tier1-resilience`). Skip with --no-chaos.
+#
 #   tools/run_tier1.sh                        # RelWithDebInfo tier-1 gate
 #   tools/run_tier1.sh --preset asan-ubsan    # same suite under ASan+UBSan
 #   tools/run_tier1.sh --preset tier1-native  # native-backend suite only
@@ -37,6 +45,7 @@ PRESET="tier1"
 VERIFY_EACH=1
 OP_MATRIX=1
 SERVING=1
+CHAOS=1
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset)
@@ -50,6 +59,8 @@ while [ $# -gt 0 ]; do
       OP_MATRIX=0; shift ;;
     --no-serving)
       SERVING=0; shift ;;
+    --no-chaos)
+      CHAOS=0; shift ;;
     -h|--help)
       sed -n '2,14p' "$0"; exit 0 ;;
     -*)
@@ -83,6 +94,10 @@ if command -v cmake >/dev/null 2>&1 && cmake --list-presets >/dev/null 2>&1; the
     echo "== serving-layer suite (label: serve) =="
     ctest --preset tier1-serving
   fi
+  if [ "$CHAOS" = 1 ] && [ "$PRESET" = tier1 ]; then
+    echo "== resilience/chaos suite (label: resilience) =="
+    ctest --preset tier1-resilience
+  fi
 else
   # CMake < 3.21: no preset support; fall back to the plain tier-1 build.
   cmake -B build -S .
@@ -99,5 +114,9 @@ else
   if [ "$SERVING" = 1 ]; then
     echo "== serving-layer suite (label: serve) =="
     ctest --test-dir build -L serve --output-on-failure -j 4
+  fi
+  if [ "$CHAOS" = 1 ]; then
+    echo "== resilience/chaos suite (label: resilience) =="
+    ctest --test-dir build -L resilience --output-on-failure -j 4
   fi
 fi

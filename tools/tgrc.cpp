@@ -19,7 +19,12 @@
 //                                front-end check a user codelet source
 //   check NAME|all               functional validation of the variant(s)
 //   serve [--jobs=J --batch=K --no-coalesce --backend=sim|native]
+//         [--chaos=KIND --seed=S --period=P] [--health]
 //                                batched serving demo over ReductionService
+//                                (jobs flow through the retry/backoff
+//                                client; --chaos injects a deterministic
+//                                failure campaign, --health prints the
+//                                breaker/degradation report)
 //
 // racecheck, faultcheck, and variant-shaped check are all spellings of one
 // engine entry point: engine::diagnose(DiagnoseRequest) with the matching
@@ -55,17 +60,21 @@
 #include "reduce/OpDef.h"
 #include "sema/Sema.h"
 #include "serve/ReductionService.h"
+#include "serve/ResilientClient.h"
 #include "support/Statistics.h"
 #include "synth/ReductionSpectrum.h"
 #include "tangram/Tangram.h"
 #include "transforms/Pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 using namespace tangram;
@@ -91,7 +100,9 @@ int usage() {
       "  tgrc check FILE [--dump-ast] [--dump-passes]\n"
       "  tgrc check NAME|all [--arch=...] [--n=SIZE] [--backend=sim|native]\n"
       "  tgrc serve [--jobs=J] [--batch=K] [--no-coalesce] [--n=SIZE]\n"
-      "             [--arch=...] [--backend=sim|native]\n"
+      "             [--arch=...] [--backend=sim|native] [--health]\n"
+      "             [--chaos=compile-fail|slow-worker|spurious-reject|\n"
+      "              quarantine-storm|queue-delay] [--seed=S] [--period=P]\n"
       "shared options: --op=add|sub|max|min|argmax|argmin|any\n"
       "                --type=f32|i32|i64|f64 (legacy: float|int)\n"
       "                --time-passes --stats --print-after-all "
@@ -116,6 +127,11 @@ struct DriverOptions {
   size_t ServeJobs = 512;
   size_t ServeBatch = 256;
   bool ServeCoalesce = true;
+  /// Serve resilience knobs: the chaos campaign to inject ("" = none;
+  /// --seed/--period are shared with the fault flags) and the --health
+  /// report toggle.
+  std::string ServeChaos;
+  bool ServeHealth = false;
   std::vector<std::string> Positional;
 
   // Legacy flag spellings, mapped onto subcommands in main().
@@ -191,6 +207,14 @@ bool parseOptions(int Argc, char **Argv, DriverOptions &O) {
       O.ServeBatch = static_cast<size_t>(V);
     } else if (!std::strcmp(Arg, "--no-coalesce")) {
       O.ServeCoalesce = false;
+    } else if (!std::strncmp(Arg, "--chaos=", 8)) {
+      serve::ChaosKind K;
+      if (!serve::parseChaosKind(Arg + 8, K) ||
+          K == serve::ChaosKind::None)
+        return false;
+      O.ServeChaos = Arg + 8;
+    } else if (!std::strcmp(Arg, "--health")) {
+      O.ServeHealth = true;
     } else if (!std::strncmp(Arg, "--fault=", 8)) {
       sim::FaultKind K;
       std::string Name = Arg + 8;
@@ -719,8 +743,10 @@ int cmdCheckVariant(const DriverOptions &O, const std::string &Name) {
 // --- serve ---------------------------------------------------------------
 
 /// Synthetic serving demo: submits --jobs small reductions through the
-/// batching service and reports throughput, latency percentiles, and the
-/// coalescing counters.
+/// batching service (via the retry/backoff client, so an injected chaos
+/// campaign is absorbed rather than fatal) and reports throughput, latency
+/// percentiles, the coalescing counters, and — with --health — the
+/// per-shard breaker/degradation report.
 int cmdServe(const DriverOptions &O) {
   serve::ServiceOptions SO;
   SO.BackendKind = O.Create.TimingBackend;
@@ -728,77 +754,101 @@ int cmdServe(const DriverOptions &O) {
   SO.MaxBatchJobs = O.ServeBatch;
   SO.QueueDepth = std::max<size_t>(O.ServeJobs, 1024);
   SO.Archs = O.Archs;
+  if (!O.ServeChaos.empty()) {
+    serve::parseChaosKind(O.ServeChaos, SO.Chaos.Kind);
+    SO.Chaos.Seed = O.FaultSeed;
+    SO.Chaos.Period = O.FaultPeriod;
+  }
   serve::ReductionService Svc(SO);
+  serve::ResilientClient Client(Svc);
 
   const bool Float = ir::isFloatType(O.Create.Elem);
-  uint64_t Seed = 0x9e3779b97f4a7c15ull;
-  auto Next = [&Seed] {
-    Seed = Seed * 6364136223846793005ull + 1442695040888963407ull;
-    return static_cast<long long>((Seed >> 33) % 2001) - 1000;
-  };
-
-  std::vector<std::future<support::Expected<serve::JobResult>>> Futures;
-  Futures.reserve(O.ServeJobs);
-  const double T0 = engine::steadySeconds();
-  for (size_t J = 0; J != O.ServeJobs; ++J) {
+  // Per-job payload seed: submission is multi-threaded, so the data for
+  // job J must not depend on submission order.
+  auto MakeJob = [&](size_t J) {
     serve::JobSpec Job;
     Job.Op = O.Create.Op;
     Job.Elem = O.Create.Elem;
     Job.Gen = O.Archs.front().Gen;
+    uint64_t Seed = 0x9e3779b97f4a7c15ull ^ (J * 0x2545f4914f6cdd1dull);
     for (size_t I = 0; I != O.N; ++I) {
-      long long V = Next();
+      Seed = Seed * 6364136223846793005ull + 1442695040888963407ull;
+      long long V = static_cast<long long>((Seed >> 33) % 2001) - 1000;
       if (Float)
         Job.FloatData.push_back(static_cast<double>(V) / 8.0);
       else
         Job.IntData.push_back(V);
     }
-    Futures.push_back(Svc.submit(std::move(Job)));
-  }
+    return Job;
+  };
 
+  std::mutex OutMu;
   unsigned Failed = 0, Degraded = 0;
   std::vector<double> Latencies;
-  Latencies.reserve(Futures.size());
-  for (auto &Fut : Futures) {
-    auto Out = Fut.get();
-    if (!Out) {
-      ++Failed;
-      std::fprintf(stderr, "tgrc: job failed: %s\n",
-                   Out.status().toString().c_str());
-      continue;
+  Latencies.reserve(O.ServeJobs);
+  std::atomic<size_t> NextJob{0};
+  auto Submitter = [&] {
+    for (size_t J = NextJob++; J < O.ServeJobs; J = NextJob++) {
+      auto Out = Client.run(MakeJob(J));
+      std::lock_guard<std::mutex> G(OutMu);
+      if (!Out) {
+        ++Failed;
+        std::fprintf(stderr, "tgrc: job failed: %s\n",
+                     Out.status().toString().c_str());
+        continue;
+      }
+      Latencies.push_back(Out->LatencySeconds);
+      Degraded += Out->Degraded ? 1 : 0;
     }
-    Latencies.push_back(Out->LatencySeconds);
-    Degraded += Out->Degraded ? 1 : 0;
-  }
+  };
+
+  const double T0 = engine::steadySeconds();
+  std::vector<std::thread> Submitters;
+  const size_t NumSubmitters = std::min<size_t>(4, std::max<size_t>(
+                                                       1, O.ServeJobs));
+  for (size_t I = 0; I != NumSubmitters; ++I)
+    Submitters.emplace_back(Submitter);
+  for (std::thread &T : Submitters)
+    T.join();
   const double Wall = engine::steadySeconds() - T0;
+  serve::HealthReport Health = Svc.getHealth();
   Svc.stop();
 
-  auto Pct = [&](double P) {
-    if (Latencies.empty())
-      return 0.0;
-    size_t I = static_cast<size_t>(P * static_cast<double>(Latencies.size() - 1));
-    return Latencies[I];
-  };
   std::sort(Latencies.begin(), Latencies.end());
-
   serve::ServiceStats St = Svc.getStats();
+  serve::ClientStats CS = Client.getStats();
   std::printf("serve: arch=%s backend=%s op=%s dtype=%s jobs=%zu n=%zu "
-              "batch<=%zu coalesce=%s\n",
+              "batch<=%zu coalesce=%s chaos=%s\n",
               O.Archs.front().Name.c_str(),
               engine::getBackendName(SO.BackendKind),
               getReduceOpSpelling(O.Create.Op),
               reduce::getScalarTypeSpelling(O.Create.Elem), O.ServeJobs, O.N,
-              SO.MaxBatchJobs, SO.Coalesce ? "on" : "off");
+              SO.MaxBatchJobs, SO.Coalesce ? "on" : "off",
+              SO.Chaos.active() ? serve::getChaosKindName(SO.Chaos.Kind)
+                                : "off");
   std::printf("  completed=%llu failed=%u batches=%llu coalesced=%llu "
               "direct=%llu degraded=%u\n",
               static_cast<unsigned long long>(St.Completed), Failed,
               static_cast<unsigned long long>(St.Batches),
               static_cast<unsigned long long>(St.CoalescedJobs),
               static_cast<unsigned long long>(St.DirectJobs), Degraded);
+  std::printf("  rejected=%llu (overloaded=%llu unavailable=%llu) "
+              "retries=%llu backoff=%.1fms chaos-fired=%llu\n",
+              static_cast<unsigned long long>(St.rejected()),
+              static_cast<unsigned long long>(St.RejectedOverloaded),
+              static_cast<unsigned long long>(St.RejectedUnavailable),
+              static_cast<unsigned long long>(CS.Retries),
+              CS.BackoffSecondsTotal * 1e3,
+              static_cast<unsigned long long>(St.ChaosInjected));
   std::printf("  wall=%.3fs throughput=%.0f jobs/s latency p50=%.3fms "
               "p95=%.3fms p99=%.3fms\n",
               Wall,
               Wall > 0 ? static_cast<double>(Latencies.size()) / Wall : 0.0,
-              Pct(0.50) * 1e3, Pct(0.95) * 1e3, Pct(0.99) * 1e3);
+              serve::percentileSorted(Latencies, 0.50) * 1e3,
+              serve::percentileSorted(Latencies, 0.95) * 1e3,
+              serve::percentileSorted(Latencies, 0.99) * 1e3);
+  if (O.ServeHealth)
+    std::printf("%s", Health.renderText().c_str());
   return Failed ? 1 : 0;
 }
 
