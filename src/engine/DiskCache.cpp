@@ -1,0 +1,131 @@
+//===- DiskCache.cpp - Content-addressed on-disk variant artifacts ---------===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/DiskCache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <system_error>
+#include <thread>
+
+using namespace tangram;
+using namespace tangram::engine;
+
+using support::Expected;
+using support::Status;
+
+namespace fs = std::filesystem;
+
+synth::ArtifactKey tangram::engine::toArtifactKey(const VariantKey &K) {
+  synth::ArtifactKey A;
+  A.SourceHash = K.SourceHash;
+  A.DescHash = K.DescHash;
+  A.Gen = static_cast<unsigned char>(K.Gen);
+  A.Op = static_cast<unsigned char>(K.Op);
+  A.Elem = static_cast<unsigned char>(K.Elem);
+  A.Flags = K.Flags;
+  A.BackendKind = static_cast<unsigned char>(K.BackendKind);
+  return A;
+}
+
+DiskCache::DiskCache(std::string Directory)
+    : Directory(std::move(Directory)) {
+  std::error_code EC;
+  fs::create_directories(this->Directory, EC);
+  Usable = !EC && fs::is_directory(this->Directory, EC) && !EC;
+}
+
+std::string DiskCache::fileNameFor(const VariantKey &K) {
+  // Content-addressed name: 16 hex digits of the key digest. The key is
+  // echoed (and verified) inside the artifact header, so a hash collision
+  // surfaces as a key-mismatch integrity failure, never a wrong variant.
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(K.hash()));
+  return std::string(Buf) + ".tgrv";
+}
+
+std::string DiskCache::pathFor(const VariantKey &K) const {
+  return (fs::path(Directory) / fileNameFor(K)).string();
+}
+
+Expected<DiskCache::VariantPtr> DiskCache::load(const VariantKey &K,
+                                                LoadOutcome &Outcome) {
+  Outcome = LoadOutcome::Miss;
+  if (!Usable)
+    return VariantPtr();
+  const std::string Path = pathFor(K);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return VariantPtr();
+  std::vector<unsigned char> Bytes((std::istreambuf_iterator<char>(In)),
+                                   std::istreambuf_iterator<char>());
+  if (!In.good() && !In.eof()) {
+    // Read error mid-file: indistinguishable from truncation — corrupt.
+    Bytes.clear();
+  }
+
+  synth::ArtifactFailure Failure = synth::ArtifactFailure::Corrupt;
+  auto V = synth::deserializeVariant(Bytes.data(), Bytes.size(),
+                                     toArtifactKey(K), Failure);
+  if (V) {
+    Outcome = LoadOutcome::Hit;
+    return VariantPtr(std::move(*V));
+  }
+  if (Failure == synth::ArtifactFailure::KeyMismatch)
+    // The file is intact but is not the variant this key addresses: the
+    // content-addressing contract broke. Leave the evidence on disk and
+    // refuse — silently recompiling over it would mask the bug.
+    return Status(V.status().Code,
+                  V.status().Message + " [" + Path + "]");
+  // Corrupt (truncated / bit-rotted / stale format): drop the file so the
+  // cost is paid once, and report a plain miss.
+  Outcome = LoadOutcome::Corrupt;
+  std::error_code EC;
+  fs::remove(Path, EC);
+  return VariantPtr();
+}
+
+bool DiskCache::store(const VariantKey &K, const synth::SynthesizedVariant &V) {
+  if (!Usable)
+    return false;
+  auto Bytes = synth::serializeVariant(V, toArtifactKey(K));
+  if (!Bytes)
+    return false;
+  // Atomic publish: write the whole artifact to a private temp file, then
+  // rename onto the content-addressed name. rename(2) within a directory
+  // is atomic, so concurrent readers (and crashed writers) only ever see
+  // a complete artifact or none. Concurrent writers race benignly — both
+  // rename byte-identical content.
+  const std::string Final = pathFor(K);
+  const std::string Temp =
+      Final + ".tmp" + std::to_string(static_cast<unsigned long long>(
+                           std::hash<std::thread::id>{}(
+                               std::this_thread::get_id())));
+  {
+    std::ofstream Out(Temp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(reinterpret_cast<const char *>(Bytes->data()),
+              static_cast<std::streamsize>(Bytes->size()));
+    Out.flush();
+    if (!Out.good()) {
+      Out.close();
+      std::error_code EC;
+      fs::remove(Temp, EC);
+      return false;
+    }
+  }
+  if (std::rename(Temp.c_str(), Final.c_str()) != 0) {
+    std::error_code EC;
+    fs::remove(Temp, EC);
+    return false;
+  }
+  return true;
+}

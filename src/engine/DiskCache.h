@@ -1,0 +1,83 @@
+//===- DiskCache.h - Content-addressed on-disk variant artifacts -*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent tier under engine::VariantCache: one file per VariantKey,
+/// named by the key's content hash, holding a serialized SynthesizedVariant
+/// (synth/VariantSerializer.h format). The store path is crash-safe —
+/// artifacts are written to a temp file and renamed into place, so a sibling
+/// process never observes a half-written entry. The load path is paranoid:
+/// a missing, truncated, corrupt, or version-skewed file is a miss (corrupt
+/// files are unlinked so they are paid for once), while a structurally valid
+/// artifact carrying a *different* key than the one that addressed it is a
+/// hard integrity failure surfaced as a Status.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_ENGINE_DISKCACHE_H
+#define TANGRAM_ENGINE_DISKCACHE_H
+
+#include "engine/VariantCache.h"
+#include "support/Expected.h"
+#include "synth/VariantSerializer.h"
+
+#include <memory>
+#include <string>
+
+namespace tangram::engine {
+
+/// Directory of serialized variant artifacts, addressed by VariantKey.
+/// Stateless beyond the directory path; safe to share across caches and
+/// threads (every operation is one atomic filesystem transaction).
+class DiskCache {
+public:
+  using VariantPtr = std::shared_ptr<const synth::SynthesizedVariant>;
+
+  /// What a load found, so the in-memory tier can account precisely.
+  enum class LoadOutcome {
+    Hit,     ///< Artifact read, validated, reconstructed.
+    Miss,    ///< No artifact for this key.
+    Corrupt, ///< Artifact present but unreadable; dropped, treated as miss.
+  };
+
+  /// Opens (creating if needed) \p Directory. Creation failure is recorded,
+  /// not thrown: a cache over an uncreatable directory misses every load
+  /// and fails every store, which the stats make visible.
+  explicit DiskCache(std::string Directory);
+
+  const std::string &getDirectory() const { return Directory; }
+  /// False when the directory could not be created/used at construction.
+  bool isUsable() const { return Usable; }
+
+  /// The artifact file name (content hash + extension) for \p K.
+  static std::string fileNameFor(const VariantKey &K);
+  /// Absolute path of the artifact for \p K inside this cache.
+  std::string pathFor(const VariantKey &K) const;
+
+  /// Loads the artifact for \p K. \p Outcome classifies Miss/Corrupt/Hit;
+  /// the returned pointer is non-null exactly for Hit. A non-Ok Status is
+  /// reserved for the key-mismatch integrity failure — never for routine
+  /// miss/corruption.
+  support::Expected<VariantPtr> load(const VariantKey &K,
+                                     LoadOutcome &Outcome);
+
+  /// Serializes \p V and atomically publishes it under \p K. Returns false
+  /// when the variant is unserializable or any filesystem step fails (the
+  /// entry simply stays memory-only; callers count the failure).
+  bool store(const VariantKey &K, const synth::SynthesizedVariant &V);
+
+private:
+  std::string Directory;
+  bool Usable = false;
+};
+
+/// VariantKey <-> serializer key echo (the raw-byte spelling synth uses so
+/// it does not depend on this layer).
+synth::ArtifactKey toArtifactKey(const VariantKey &K);
+
+} // namespace tangram::engine
+
+#endif // TANGRAM_ENGINE_DISKCACHE_H

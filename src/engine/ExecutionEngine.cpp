@@ -6,6 +6,7 @@
 
 #include "engine/ExecutionEngine.h"
 
+#include "engine/DiskCache.h"
 #include "native/NativeKernel.h"
 #include "reduce/OpDef.h"
 #include "support/StableHash.h"
@@ -52,6 +53,20 @@ ExecutionEngine::ExecutionEngine(const ArchDesc &Arch, EngineOptions Opts)
       Machine(Dev, this->Arch, Pool.get()), NativeM(Dev, Pool.get()) {
   Machine.setRaceCheckOptions(Opts.RaceCheck);
   Machine.setFaultPlan(Opts.Fault);
+  // Persistent tier: attach a disk cache unless the (possibly shared)
+  // cache already carries one — per-arch engines sharing a cache all name
+  // the same directory, and the first one wins.
+  if (!Opts.CachePath.empty() && !Cache->getDiskCache())
+    Cache->attachDiskCache(std::make_shared<DiskCache>(Opts.CachePath));
+  // Warm start: pack entries go straight into the cache (and through to
+  // the disk tier), so the first request on an imported key never pays a
+  // compile flight. Problems degrade to a cold start, recorded for the
+  // caller to surface.
+  for (const std::string &Path : Opts.ImportPacks) {
+    auto Imported = importTunedPackFile(Path);
+    if (!Imported)
+      StartupWarnings.push_back(Imported.status());
+  }
 }
 
 void ExecutionEngine::attachCompiler(const synth::KernelSynthesizer &S,
@@ -78,10 +93,10 @@ Status lowerVariantChain(synth::SynthesizedVariant &V) {
 
 } // namespace
 
-Expected<std::shared_ptr<const synth::SynthesizedVariant>>
-ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
-                            const synth::OptimizationFlags &Flags,
-                            Backend B) {
+Expected<VariantKey>
+ExecutionEngine::keyFor(const synth::VariantDescriptor &Desc,
+                        const synth::OptimizationFlags &Flags,
+                        Backend B) const {
   if (!Synth)
     return Status(StatusCode::InvalidArgument,
                   "no compiler attached to the execution engine");
@@ -94,12 +109,22 @@ ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
   Key.Flags = static_cast<unsigned char>((Flags.AggregateAtomics ? 1 : 0) |
                                          (Flags.UnrollLoops ? 2 : 0));
   Key.BackendKind = B;
+  return Key;
+}
+
+Expected<std::shared_ptr<const synth::SynthesizedVariant>>
+ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
+                            const synth::OptimizationFlags &Flags,
+                            Backend B) {
+  auto Key = keyFor(Desc, Flags, B);
+  if (!Key)
+    return Key.status();
   // Single-flight resolve: however many service workers race on this key,
   // exactly one synthesizes; the rest wait and share the artifact. The
   // compile callback runs without the cache lock, so distinct keys still
   // compile concurrently (synthesizer instrumentation is mutex-protected).
   return Cache->getOrCompile(
-      Key, [&]() -> Expected<VariantCache::VariantPtr> {
+      *Key, [&]() -> Expected<VariantCache::VariantPtr> {
         // Synthesize for this engine's generation so the atomic-expand pass
         // plans CAS loops (and refuses illegal op x type x arch
         // combinations) against the architecture the kernel will actually
@@ -124,6 +149,48 @@ ExecutionEngine::getVariant(const synth::VariantDescriptor &Desc,
         }
         return VariantCache::VariantPtr(std::move(*Fresh));
       });
+}
+
+Expected<unsigned> ExecutionEngine::importTunedPack(const TunedPack &Pack) {
+  auto Imported = importPackEntries(*Cache, Pack);
+  if (!Imported)
+    return Imported.status();
+  // The engine-level half of an import: pre-apply the pack's quarantine
+  // verdicts for this architecture, so known-bad configurations are never
+  // rediscovered under live traffic.
+  for (const PackQuarantine &Q : Pack.Quarantined)
+    if (Q.Gen == Arch.Gen && !isQuarantined(Q.Desc))
+      quarantineVariant(Q.Desc, Q.Why);
+  return Imported;
+}
+
+Expected<unsigned>
+ExecutionEngine::importTunedPackFile(const std::string &Path) {
+  auto Pack = readTunedPack(Path);
+  if (!Pack)
+    return Pack.status();
+  return importTunedPack(*Pack);
+}
+
+Expected<TunedPackEntry>
+ExecutionEngine::exportTunedVariant(const synth::VariantDescriptor &Desc,
+                                    Backend B, double TunedSeconds) {
+  auto Key = keyFor(Desc, {}, B);
+  if (!Key)
+    return Key.status();
+  auto V = getVariant(Desc, {}, B);
+  if (!V)
+    return V.status();
+  auto Bytes = synth::serializeVariant(**V, toArtifactKey(*Key));
+  if (!Bytes)
+    return Bytes.status();
+  TunedPackEntry E;
+  E.Key = *Key;
+  E.Desc = Desc;
+  E.Fig6Label = Desc.getFigure6Label();
+  E.TunedSeconds = TunedSeconds;
+  E.Artifact = std::move(*Bytes);
+  return E;
 }
 
 LaunchResult ExecutionEngine::launch(const ir::CompiledKernel &Kernel,

@@ -27,6 +27,7 @@
 
 #include "engine/Backend.h"
 #include "engine/Request.h"
+#include "engine/TunedPack.h"
 #include "engine/VariantCache.h"
 #include "gpusim/PerfModel.h"
 #include "gpusim/RaceDetector.h"
@@ -117,6 +118,16 @@ struct EngineOptions {
   /// Fault plan applied to every launch (inactive by default). See
   /// ExecutionEngine::setFaultPlan.
   sim::FaultPlan Fault;
+  /// Non-empty: attach a persistent DiskCache over this directory to the
+  /// variant cache (created if needed), making the cache two-tier. When
+  /// the cache is shared and already has a disk tier, it is left alone.
+  std::string CachePath;
+  /// Tuned-variant packs (engine/TunedPack.h) imported at construction:
+  /// every entry warm-starts the cache; quarantine records matching this
+  /// engine's generation are pre-applied. Import problems are collected in
+  /// getStartupWarnings(), never thrown — an unreadable pack degrades to a
+  /// cold start.
+  std::vector<std::string> ImportPacks;
 };
 
 /// Per-architecture execution facade: owns the device, drives the SIMT
@@ -157,6 +168,40 @@ public:
   getVariant(const synth::VariantDescriptor &Desc,
              const synth::OptimizationFlags &Flags = {},
              Backend B = Backend::Simulator);
+
+  /// The full cache identity getVariant would resolve \p Desc under —
+  /// exposed so exporters/tests can address artifacts the way the cache
+  /// does. Requires attachCompiler() (the key embeds the source hash and
+  /// the synthesizer's op/elem axis).
+  support::Expected<VariantKey>
+  keyFor(const synth::VariantDescriptor &Desc,
+         const synth::OptimizationFlags &Flags = {},
+         Backend B = Backend::Simulator) const;
+
+  /// Imports \p Pack: every entry's artifact is validated against its key
+  /// and inserted into the (possibly shared) variant cache — and written
+  /// through to the disk tier when one is attached — without counting as a
+  /// compile; quarantine records for this engine's generation are applied.
+  /// Returns the number of variants imported. A corrupt artifact or a
+  /// key/artifact mismatch fails the import (a pack is explicit input, not
+  /// best-effort cache state).
+  support::Expected<unsigned> importTunedPack(const TunedPack &Pack);
+  /// readTunedPack + importTunedPack.
+  support::Expected<unsigned> importTunedPackFile(const std::string &Path);
+
+  /// Builds one pack entry for \p Desc as tuned on this engine: resolves
+  /// the variant through the cache (compiling if cold) and serializes it.
+  /// \p TunedSeconds is recorded as provenance (a TuneReport's
+  /// BestSeconds).
+  support::Expected<TunedPackEntry>
+  exportTunedVariant(const synth::VariantDescriptor &Desc, Backend B,
+                     double TunedSeconds);
+
+  /// Non-fatal problems from construction-time pack imports (unreadable
+  /// file, rejected artifact). Empty on a clean start.
+  const std::vector<support::Status> &getStartupWarnings() const {
+    return StartupWarnings;
+  }
 
   /// Launches \p Kernel on this engine's device/arch (through the shared
   /// thread pool when profitable).
@@ -326,6 +371,8 @@ private:
   uint64_t SourceHash = 0;
   /// Quarantined configurations, keyed by VariantDescriptor::stableHash().
   std::unordered_map<uint64_t, QuarantineRecord> Quarantine;
+  /// Construction-time pack-import problems (see getStartupWarnings).
+  std::vector<support::Status> StartupWarnings;
   /// Configurations that already passed validateVariant.
   std::unordered_set<uint64_t> Validated;
   /// Watchdog multiplier applied by runReduction (1 except during the

@@ -1,4 +1,4 @@
-//===- VariantCache.cpp - Content-addressed compiled-variant cache ---------===//
+//===- VariantCache.cpp - Two-tier compiled-variant cache ------------------===//
 //
 // Part of the tangram-reduction project. See README.md for license details.
 //
@@ -6,6 +6,7 @@
 
 #include "engine/VariantCache.h"
 
+#include "engine/DiskCache.h"
 #include "support/StableHash.h"
 
 #include <algorithm>
@@ -28,6 +29,18 @@ uint64_t VariantKey::hash() const {
 VariantCache::VariantCache(size_t Capacity)
     : Capacity(std::max<size_t>(1, Capacity)) {}
 
+VariantCache::VariantCache(size_t Capacity, const std::string &DiskDirectory)
+    : VariantCache(Capacity) {
+  Disk = std::make_shared<DiskCache>(DiskDirectory);
+}
+
+VariantCache::~VariantCache() = default;
+
+void VariantCache::attachDiskCache(std::shared_ptr<DiskCache> NewDisk) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Disk = std::move(NewDisk);
+}
+
 VariantCache::VariantPtr VariantCache::lookup(const VariantKey &K) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Map.find(K);
@@ -46,10 +59,6 @@ void VariantCache::insert(const VariantKey &K, VariantPtr V) {
 }
 
 void VariantCache::insertLocked(const VariantKey &K, VariantPtr V) {
-  if (V) {
-    ++VariantsCompiled;
-    CompileSeconds += V->CompileSeconds;
-  }
   auto It = Map.find(K);
   if (It != Map.end()) {
     It->second->second = std::move(V);
@@ -93,26 +102,71 @@ support::Expected<VariantCache::VariantPtr> VariantCache::getOrCompile(
   ++Misses;
   auto F = std::make_shared<Flight>();
   InFlight.emplace(K, F);
-  // The chaos hook is read under the lock but runs outside it, like the
-  // compile itself (it may consult its own state).
+  // Read hook and disk pointer under the lock; both are *used* outside it,
+  // like the compile itself, so independent keys keep resolving in
+  // parallel while this flight does I/O or synthesis.
   CompileChaosHook Hook = ChaosHook;
+  std::shared_ptr<DiskCache> DiskTier = Disk;
   Lock.unlock();
-  support::Expected<VariantPtr> Result = [&]() -> support::Expected<VariantPtr> {
+
+  bool Compiled = false;
+  bool DiskHit = false;
+  bool DiskMissed = false;
+  bool DroppedCorrupt = false;
+  bool WriteFailed = false;
+  support::Expected<VariantPtr> Result =
+      [&]() -> support::Expected<VariantPtr> {
+    if (DiskTier) {
+      DiskCache::LoadOutcome Outcome = DiskCache::LoadOutcome::Miss;
+      auto FromDisk = DiskTier->load(K, Outcome);
+      if (!FromDisk)
+        // Key-mismatch integrity failure: fail the flight loudly. A
+        // recompile here would paper over broken content addressing.
+        return FromDisk.status();
+      if (Outcome == DiskCache::LoadOutcome::Hit) {
+        DiskHit = true;
+        return *FromDisk;
+      }
+      DiskMissed = true;
+      DroppedCorrupt = Outcome == DiskCache::LoadOutcome::Corrupt;
+    }
+    // Cold path: the chaos hook models compile failure, so it guards the
+    // actual compile only — warm starts from disk never consult it.
     if (Hook) {
       support::Status S = Hook();
       if (!S.ok())
         return S;
     }
-    return Compile();
+    auto Fresh = Compile();
+    if (Fresh) {
+      Compiled = true;
+      if (DiskTier && *Fresh)
+        WriteFailed = !DiskTier->store(K, **Fresh);
+    }
+    return Fresh;
   }();
+
   Lock.lock();
+  if (DiskHit)
+    ++DiskHits;
+  if (DiskMissed)
+    ++DiskMisses;
+  if (DroppedCorrupt)
+    ++CorruptEntriesDropped;
+  if (WriteFailed)
+    ++DiskWriteFailures;
   F->Result = Result;
   F->Done = true;
   InFlight.erase(K);
-  if (Result.ok())
+  if (Result.ok()) {
+    if (Compiled && *Result) {
+      ++VariantsCompiled;
+      CompileSeconds += (*Result)->CompileSeconds;
+    }
     insertLocked(K, *Result);
-  else
+  } else {
     ++FailedCompiles;
+  }
   Lock.unlock();
   FlightDone.notify_all();
   return Result;
@@ -134,6 +188,10 @@ CacheStats VariantCache::getStats() const {
   S.CompileSeconds = CompileSeconds;
   S.SingleFlightWaits = SingleFlightWaits;
   S.FailedCompiles = FailedCompiles;
+  S.DiskHits = DiskHits;
+  S.DiskMisses = DiskMisses;
+  S.DiskWriteFailures = DiskWriteFailures;
+  S.CorruptEntriesDropped = CorruptEntriesDropped;
   return S;
 }
 

@@ -6,6 +6,8 @@
 
 #include "gpusim/FaultInjector.h"
 
+#include "support/SplitMix64.h"
+
 #include <cmath>
 #include <cstring>
 
@@ -62,15 +64,7 @@ bool FaultInjector::fires(FaultKind K) {
     return false;
   uint64_t Ordinal = Events++;
   uint64_t Period = Plan.Period ? Plan.Period : 1;
-  // splitmix64-style mix of (Seed, ordinal): platform-independent, so the
-  // same plan picks the same fault sites everywhere.
-  uint64_t X = Ordinal + 0x9e3779b97f4a7c15ull * (Plan.Seed + 1);
-  X ^= X >> 30;
-  X *= 0xbf58476d1ce4e5b9ull;
-  X ^= X >> 27;
-  X *= 0x94d049bb133111ebull;
-  X ^= X >> 31;
-  if (X % Period != 0)
+  if (support::splitmix64Schedule(Plan.Seed, Ordinal) % Period != 0)
     return false;
   ++Fires;
   return true;

@@ -6,6 +6,8 @@
 
 #include "serve/Chaos.h"
 
+#include "support/SplitMix64.h"
+
 using namespace tangram;
 using namespace tangram::serve;
 
@@ -62,15 +64,9 @@ bool ChaosInjector::fires(ChaosKind K) {
   }
   uint64_t Ordinal = Events++;
   uint64_t Period = Plan.Period ? Plan.Period : 1;
-  // The same splitmix64-style mix FaultInjector::fires uses: platform
-  // independent, so a plan picks the same chaos sites everywhere.
-  uint64_t X = Ordinal + 0x9e3779b97f4a7c15ull * (Plan.Seed + 1);
-  X ^= X >> 30;
-  X *= 0xbf58476d1ce4e5b9ull;
-  X ^= X >> 27;
-  X *= 0x94d049bb133111ebull;
-  X ^= X >> 31;
-  if (X % Period != 0)
+  // The same schedule FaultInjector::fires uses: platform-independent, so
+  // a plan picks the same chaos sites everywhere.
+  if (support::splitmix64Schedule(Plan.Seed, Ordinal) % Period != 0)
     return false;
   ++Fires;
   return true;

@@ -45,6 +45,18 @@ std::string HealthReport::renderText() const {
         static_cast<unsigned long long>(S.Stats.BreakerFastFails),
         static_cast<unsigned long long>(S.Stats.BreakerRecoveries),
         static_cast<unsigned long long>(S.Stats.ChaosInjected));
+    Out += strformat(
+        "  cache: hits=%llu misses=%llu compiled=%llu disk-hits=%llu "
+        "disk-misses=%llu write-failures=%llu corrupt-dropped=%llu\n",
+        static_cast<unsigned long long>(S.Cache.Hits),
+        static_cast<unsigned long long>(S.Cache.Misses),
+        static_cast<unsigned long long>(S.Cache.VariantsCompiled),
+        static_cast<unsigned long long>(S.Cache.DiskHits),
+        static_cast<unsigned long long>(S.Cache.DiskMisses),
+        static_cast<unsigned long long>(S.Cache.DiskWriteFailures),
+        static_cast<unsigned long long>(S.Cache.CorruptEntriesDropped));
+    for (const std::string &W : S.Warnings)
+      Out += strformat("  warning: %s\n", W.c_str());
     for (const LaneHealth &L : S.Lanes)
       Out += strformat(
           "  lane %-6s %-4s breaker=%-9s window-failure=%.2f trips=%llu "

@@ -16,6 +16,7 @@
 #ifndef TANGRAM_SERVE_HEALTH_H
 #define TANGRAM_SERVE_HEALTH_H
 
+#include "engine/VariantCache.h"
 #include "reduce/OpDef.h"
 #include "serve/CircuitBreaker.h"
 
@@ -71,6 +72,14 @@ struct ShardHealth {
   std::string ArchName;
   size_t QueueDepth = 0; ///< Jobs waiting in the admission queue now.
   ServiceStats Stats;    ///< This shard's counters.
+  /// The shard's variant cache, both tiers: memory hits/misses/compiles
+  /// plus the persistent tier's DiskHits / DiskMisses / DiskWriteFailures
+  /// / CorruptEntriesDropped. A warm-started shard shows disk hits (or
+  /// pack-import inserts) where a cold one shows compiles.
+  engine::CacheStats Cache;
+  /// Startup problems (unreadable tuned pack, unusable cache directory).
+  /// The shard degraded to a cold start instead of failing construction.
+  std::vector<std::string> Warnings;
   std::vector<LaneHealth> Lanes;
 
   /// Fraction of completed jobs answered by the failover chain.

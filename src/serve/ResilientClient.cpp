@@ -7,6 +7,7 @@
 #include "serve/ResilientClient.h"
 
 #include "engine/ExecutionEngine.h"
+#include "support/SplitMix64.h"
 
 #include <algorithm>
 #include <chrono>
@@ -29,18 +30,6 @@ ClientStats ResilientClient::getStats() const {
   return Stats;
 }
 
-/// splitmix64 step — the same generator the chaos/fault plans use, so a
-/// seeded client replays the identical jitter stream every run.
-static uint64_t splitmixNext(uint64_t &State) {
-  uint64_t X = (State += 0x9e3779b97f4a7c15ull);
-  X ^= X >> 30;
-  X *= 0xbf58476d1ce4e5b9ull;
-  X ^= X >> 27;
-  X *= 0x94d049bb133111ebull;
-  X ^= X >> 31;
-  return X;
-}
-
 double ResilientClient::nextBackoff(double Prev) {
   std::lock_guard<std::mutex> L(Mu);
   // Decorrelated jitter: uniform in [base, prev * 3], capped. Grows like
@@ -48,8 +37,11 @@ double ResilientClient::nextBackoff(double Prev) {
   // clients, so a rejected burst does not re-arrive as a burst.
   const double Lo = Opts.BaseBackoffSeconds;
   const double Hi = std::max(Lo, Prev * 3);
-  const double U = static_cast<double>(splitmixNext(RngState) >> 11) *
-                   (1.0 / 9007199254740992.0); // 2^-53: U in [0, 1).
+  // The shared splitmix64 generator keeps a seeded client replaying the
+  // identical jitter stream every run, like the chaos/fault plans.
+  const double U =
+      static_cast<double>(support::splitmix64Next(RngState) >> 11) *
+      (1.0 / 9007199254740992.0); // 2^-53: U in [0, 1).
   return std::min(Opts.MaxBackoffSeconds, Lo + U * (Hi - Lo));
 }
 

@@ -23,8 +23,32 @@ using support::StatusCode;
 
 Shard::Shard(const sim::ArchDesc &Arch, const ServiceOptions &Opts)
     : Arch(Arch), Opts(Opts),
-      Cache(std::make_shared<engine::VariantCache>(Opts.EngineCacheCapacity)),
+      Cache(Opts.CachePath.empty()
+                ? std::make_shared<engine::VariantCache>(
+                      Opts.EngineCacheCapacity)
+                : std::make_shared<engine::VariantCache>(
+                      Opts.EngineCacheCapacity, Opts.CachePath)),
       Pool(std::make_shared<support::ThreadPool>(Opts.EngineThreads)) {
+  // Warm start: pack entries land in the shared cache before any lane
+  // exists, so the shard opens with hot lanes — the first request per
+  // imported key is served without a single-flight compile. Quarantine
+  // records need an engine; stash the ones for this generation and apply
+  // them as lanes come up. An unusable pack degrades to a cold start.
+  for (const std::string &Path : Opts.ImportPacks) {
+    auto Pack = engine::readTunedPack(Path);
+    if (!Pack) {
+      StartupWarnings.push_back(Pack.status().toString());
+      continue;
+    }
+    auto Imported = engine::importPackEntries(*Cache, *Pack);
+    if (!Imported) {
+      StartupWarnings.push_back(Imported.status().toString());
+      continue;
+    }
+    for (const engine::PackQuarantine &Q : Pack->Quarantined)
+      if (Q.Gen == Arch.Gen)
+        PendingQuarantines.push_back(Q);
+  }
   if (Opts.Chaos.active()) {
     Injector = std::make_unique<ChaosInjector>(Opts.Chaos);
     if (Opts.Chaos.Kind == ChaosKind::CompileFail)
@@ -148,6 +172,8 @@ ShardHealth Shard::getHealth() const {
   ShardHealth H;
   H.ArchName = Arch.Name;
   H.Stats = getStats();
+  H.Cache = Cache->getStats(); // Internally synchronized.
+  H.Warnings = StartupWarnings;
   std::lock_guard<std::mutex> L(Mu);
   H.QueueDepth = Queue.size();
   H.Lanes.reserve(HealthSnap.size());
@@ -201,6 +227,12 @@ Shard::Lane &Shard::laneFor(ReduceOp Op, ir::ScalarType Elem) {
   } else {
     L.TR = std::move(*TR);
     L.E = &L.TR->engineFor(Arch);
+    // Imported packs shipped quarantine verdicts for this generation:
+    // pre-poison the lane's engine so it degrades known-bad configurations
+    // immediately instead of rediscovering the trap under traffic.
+    for (const engine::PackQuarantine &Q : PendingQuarantines)
+      if (!L.E->isQuarantined(Q.Desc))
+        L.E->quarantineVariant(Q.Desc, Q.Why);
     L.Selector = std::make_unique<DynamicSelector>(*L.TR);
     // The batch variant: a two-kernel, block-distributing tiled version —
     // its first stage writes exactly one partial per block tile, which is

@@ -21,6 +21,7 @@
 #include "serve/CircuitBreaker.h"
 #include "serve/ReductionService.h"
 
+#include "engine/TunedPack.h"
 #include "tangram/DynamicSelector.h"
 #include "tangram/Tangram.h"
 
@@ -65,6 +66,12 @@ public:
   const sim::ArchDesc &getArch() const { return Arch; }
   ServiceStats getStats() const;
   ShardHealth getHealth() const;
+  /// Warm-start problems recorded at construction (unreadable pack, bad
+  /// entry): the shard came up cold instead of failing. Also carried in
+  /// ShardHealth::Warnings.
+  const std::vector<std::string> &getStartupWarnings() const {
+    return StartupWarnings;
+  }
   /// The shard's chaos injector (null when the plan is inactive).
   const ChaosInjector *getChaosInjector() const { return Injector.get(); }
 
@@ -114,6 +121,13 @@ private:
   std::shared_ptr<support::ThreadPool> Pool;
   std::unique_ptr<ChaosInjector> Injector; ///< Null without a chaos plan.
   std::map<LaneKey, Lane> Lanes; ///< Worker-thread confined.
+  /// Quarantine records from imported packs for this shard's generation,
+  /// applied to each lane's engine as the lane comes up (laneFor) — packs
+  /// are imported at construction, before any lane or engine exists.
+  std::vector<engine::PackQuarantine> PendingQuarantines;
+  /// Construction-time warm-start problems (see getStartupWarnings()).
+  /// Written once in the constructor, read-only afterwards.
+  std::vector<std::string> StartupWarnings;
 
   mutable std::mutex Mu; ///< Guards Queue, Stopping, Stats, HealthSnap.
   std::condition_variable WorkCv;

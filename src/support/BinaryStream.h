@@ -1,0 +1,146 @@
+//===- BinaryStream.h - Endian-stable byte stream I/O -----------*- C++ -*-===//
+//
+// Part of the tangram-reduction project. See README.md for license details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level writer/reader for the project's persistent formats (variant
+/// artifacts, tuned-variant packs). Integers are explicit little-endian,
+/// doubles travel by IEEE-754 bit pattern, strings are length-prefixed —
+/// so files written on any host read back on any other. The reader is
+/// bounds-checked and *latches* failure: after the first overrun every
+/// further read returns zero and failed() stays true, so record parsers
+/// can read a whole struct and check once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TANGRAM_SUPPORT_BINARYSTREAM_H
+#define TANGRAM_SUPPORT_BINARYSTREAM_H
+
+#include "support/SplitMix64.h"
+#include "support/StableHash.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tangram::support {
+
+/// Appends explicitly little-endian primitives to a byte vector.
+class ByteWriter {
+public:
+  std::vector<unsigned char> Bytes;
+
+  void u8(unsigned char V) { Bytes.push_back(V); }
+  void u16(uint16_t V) {
+    u8(static_cast<unsigned char>(V));
+    u8(static_cast<unsigned char>(V >> 8));
+  }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      u8(static_cast<unsigned char>(V >> (I * 8)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      u8(static_cast<unsigned char>(V >> (I * 8)));
+  }
+  void i64(long long V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V) {
+    uint64_t Bits = 0;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Bytes.insert(Bytes.end(), S.begin(), S.end());
+  }
+  void raw(const unsigned char *Data, size_t Size) {
+    Bytes.insert(Bytes.end(), Data, Data + Size);
+  }
+};
+
+/// Bounds-checked little-endian reader over a byte range it does not own.
+class ByteReader {
+public:
+  ByteReader(const unsigned char *Data, size_t Size)
+      : Data(Data), Size(Size) {}
+
+  bool failed() const { return Fail; }
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Size - Pos; }
+  bool atEnd() const { return Pos == Size; }
+
+  unsigned char u8() {
+    if (Pos + 1 > Size) {
+      Fail = true;
+      return 0;
+    }
+    return Data[Pos++];
+  }
+  uint16_t u16() {
+    uint16_t V = u8();
+    return static_cast<uint16_t>(V | (static_cast<uint16_t>(u8()) << 8));
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(u8()) << (I * 8);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(u8()) << (I * 8);
+    return V;
+  }
+  long long i64() { return static_cast<long long>(u64()); }
+  double f64() {
+    uint64_t Bits = u64();
+    double V = 0;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (Pos + N > Size) {
+      Fail = true;
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(Data + Pos), N);
+    Pos += N;
+    return S;
+  }
+  /// Returns a pointer to \p N in-place bytes and advances, or null.
+  const unsigned char *raw(size_t N) {
+    if (Pos + N > Size) {
+      Fail = true;
+      return nullptr;
+    }
+    const unsigned char *P = Data + Pos;
+    Pos += N;
+    return P;
+  }
+
+private:
+  const unsigned char *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Fail = false;
+};
+
+/// splitmix64-finalized FNV digest of a byte range: the checksum all of
+/// the persistent formats stamp into their headers/trailers. The single
+/// avalanche round makes one flipped input bit flip about half the
+/// checksum bits, which plain FNV does not guarantee for trailing bytes.
+inline uint64_t binaryChecksum(const unsigned char *Data, size_t Size) {
+  StableHash H;
+  for (size_t I = 0; I != Size; ++I)
+    H.byte(Data[I]);
+  return splitmix64(H.get());
+}
+
+} // namespace tangram::support
+
+#endif // TANGRAM_SUPPORT_BINARYSTREAM_H

@@ -22,13 +22,19 @@
 # Also part of the plain suite; the dedicated pass pins the label wiring
 # (`ctest --preset tier1-serving`). Skip with --no-serving.
 #
-# The `resilience` labeled suite (the tier1-resilience preset) runs last:
+# The `resilience` labeled suite (the tier1-resilience preset) runs next:
 # the chaos acceptance matrix (every ChaosKind x coalesced/direct x
 # op/dtype, zero wrong answers), the circuit-breaker lifecycle, the
 # retry/backoff client, and the deadline/batch race. Also part of the
 # plain suite (and of the serve pass — it carries both labels); the
 # dedicated pass pins the label wiring (`ctest --preset
 # tier1-resilience`). Skip with --no-chaos.
+#
+# The `persistent-cache-pack` labeled suite (the tier1-cache preset)
+# runs last: the two-tier VariantCache disk reuse matrix, artifact
+# corruption/integrity handling, and tuned-pack export/import round
+# trips. Also part of the plain suite; the dedicated pass pins the label
+# wiring (`ctest --preset tier1-cache`). Skip with --no-cache.
 #
 #   tools/run_tier1.sh                        # RelWithDebInfo tier-1 gate
 #   tools/run_tier1.sh --preset asan-ubsan    # same suite under ASan+UBSan
@@ -46,6 +52,7 @@ VERIFY_EACH=1
 OP_MATRIX=1
 SERVING=1
 CHAOS=1
+CACHE=1
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset)
@@ -61,6 +68,8 @@ while [ $# -gt 0 ]; do
       SERVING=0; shift ;;
     --no-chaos)
       CHAOS=0; shift ;;
+    --no-cache)
+      CACHE=0; shift ;;
     -h|--help)
       sed -n '2,14p' "$0"; exit 0 ;;
     -*)
@@ -98,6 +107,10 @@ if command -v cmake >/dev/null 2>&1 && cmake --list-presets >/dev/null 2>&1; the
     echo "== resilience/chaos suite (label: resilience) =="
     ctest --preset tier1-resilience
   fi
+  if [ "$CACHE" = 1 ] && [ "$PRESET" = tier1 ]; then
+    echo "== persistent-cache/pack suite (label: persistent-cache) =="
+    ctest --preset tier1-cache
+  fi
 else
   # CMake < 3.21: no preset support; fall back to the plain tier-1 build.
   cmake -B build -S .
@@ -118,5 +131,9 @@ else
   if [ "$CHAOS" = 1 ]; then
     echo "== resilience/chaos suite (label: resilience) =="
     ctest --test-dir build -L resilience --output-on-failure -j 4
+  fi
+  if [ "$CACHE" = 1 ]; then
+    echo "== persistent-cache/pack suite (label: persistent-cache) =="
+    ctest --test-dir build -L persistent-cache --output-on-failure -j 4
   fi
 fi

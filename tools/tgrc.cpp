@@ -12,6 +12,9 @@
 //   list                         enumerated search space (default)
 //   emit NAME [--bytecode]       CUDA C (or SIMT bytecode) for one variant
 //   tune NAME [--arch=A --n=N]   pick tunables by sampled simulation
+//        [--export=PACK]         bundle the winners (+ quarantine records)
+//        [--import=PACK]         warm-start from a previous export
+//        [--cache-dir=DIR]       persistent two-tier variant cache
 //   best [--arch=A --n=N]        fastest tuned variant per architecture
 //   racecheck [NAME|all]         dynamic race detector over the variant(s)
 //   faultcheck [NAME|all]        fault-injection matrix over the variant(s)
@@ -20,11 +23,14 @@
 //   check NAME|all               functional validation of the variant(s)
 //   serve [--jobs=J --batch=K --no-coalesce --backend=sim|native]
 //         [--chaos=KIND --seed=S --period=P] [--health]
+//         [--cache-dir=DIR --import=PACK]
 //                                batched serving demo over ReductionService
 //                                (jobs flow through the retry/backoff
 //                                client; --chaos injects a deterministic
 //                                failure campaign, --health prints the
-//                                breaker/degradation report)
+//                                breaker/degradation report plus the
+//                                two-tier cache counters; --cache-dir /
+//                                --import open the shards with hot lanes)
 //
 // racecheck, faultcheck, and variant-shaped check are all spellings of one
 // engine entry point: engine::diagnose(DiagnoseRequest) with the matching
@@ -55,6 +61,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CudaEmitter.h"
+#include "engine/ExecutionEngine.h"
+#include "engine/TunedPack.h"
 #include "lang/ASTPrinter.h"
 #include "lang/Parser.h"
 #include "reduce/OpDef.h"
@@ -89,7 +97,8 @@ int usage() {
       "  tgrc list\n"
       "  tgrc emit NAME [--bytecode]\n"
       "  tgrc tune NAME [--arch=kepler|maxwell|pascal|all] [--n=SIZE]\n"
-      "                 [--backend=sim|native]\n"
+      "                 [--backend=sim|native] [--cache-dir=DIR]\n"
+      "                 [--export=PACK] [--import=PACK]\n"
       "  tgrc best [--arch=...] [--n=SIZE] [--backend=sim|native]\n"
       "  tgrc racecheck [NAME|all] [--arch=...] [--n=SIZE]\n"
       "  tgrc faultcheck [NAME|all] [--arch=...] [--n=SIZE]\n"
@@ -101,6 +110,7 @@ int usage() {
       "  tgrc check NAME|all [--arch=...] [--n=SIZE] [--backend=sim|native]\n"
       "  tgrc serve [--jobs=J] [--batch=K] [--no-coalesce] [--n=SIZE]\n"
       "             [--arch=...] [--backend=sim|native] [--health]\n"
+      "             [--cache-dir=DIR] [--import=PACK]\n"
       "             [--chaos=compile-fail|slow-worker|spurious-reject|\n"
       "              quarantine-storm|queue-delay] [--seed=S] [--period=P]\n"
       "shared options: --op=add|sub|max|min|argmax|argmin|any\n"
@@ -132,6 +142,13 @@ struct DriverOptions {
   /// report toggle.
   std::string ServeChaos;
   bool ServeHealth = false;
+  /// Persistent-cache knobs, shared by tune and serve: --cache-dir=DIR
+  /// attaches the two-tier variant cache's disk tier, --import=PACK
+  /// warm-starts from tuned-variant packs (repeatable), and tune's
+  /// --export=PACK bundles the sweep's winners into one.
+  std::string CacheDir;
+  std::string PackExport;
+  std::vector<std::string> PackImports;
   std::vector<std::string> Positional;
 
   // Legacy flag spellings, mapped onto subcommands in main().
@@ -215,6 +232,18 @@ bool parseOptions(int Argc, char **Argv, DriverOptions &O) {
       O.ServeChaos = Arg + 8;
     } else if (!std::strcmp(Arg, "--health")) {
       O.ServeHealth = true;
+    } else if (!std::strncmp(Arg, "--cache-dir=", 12)) {
+      if (!Arg[12])
+        return false;
+      O.CacheDir = Arg + 12;
+    } else if (!std::strncmp(Arg, "--export=", 9)) {
+      if (!Arg[9])
+        return false;
+      O.PackExport = Arg + 9;
+    } else if (!std::strncmp(Arg, "--import=", 9)) {
+      if (!Arg[9])
+        return false;
+      O.PackImports.push_back(Arg + 9);
     } else if (!std::strncmp(Arg, "--fault=", 8)) {
       sim::FaultKind K;
       std::string Name = Arg + 8;
@@ -475,8 +504,60 @@ int cmdEmit(const DriverOptions &O, const std::string &Name) {
 
 // --- tune ----------------------------------------------------------------
 
+/// Writes the accumulated pack when `--export=PACK` was given; returns the
+/// exit code for cmdTune's tail (the write is atomic: temp + rename).
+int writePackIfRequested(const DriverOptions &O,
+                         const engine::TunedPack &Pack) {
+  if (O.PackExport.empty())
+    return 0;
+  support::Status S = engine::writeTunedPack(O.PackExport, Pack);
+  if (!S.ok()) {
+    std::fprintf(stderr, "tgrc: %s\n", S.toString().c_str());
+    return 1;
+  }
+  std::printf("exported %zu tuned variant(s), %zu quarantine record(s) "
+              "-> %s\n",
+              Pack.Entries.size(), Pack.Quarantined.size(),
+              O.PackExport.c_str());
+  return 0;
+}
+
+/// Appends one tuned winner (and the engine's accumulated quarantine
+/// records) to \p Pack. Returns false (with a diagnostic) when the variant
+/// cannot be resolved or serialized.
+bool exportTunedEntry(const TangramReduction &TR, const sim::ArchDesc &Arch,
+                      const VariantDescriptor &Tuned, double Seconds,
+                      engine::TunedPack &Pack) {
+  engine::ExecutionEngine &E = TR.engineFor(Arch);
+  auto Entry = E.exportTunedVariant(Tuned, TR.getOptions().TimingBackend,
+                                    Seconds);
+  if (!Entry) {
+    std::fprintf(stderr, "tgrc: cannot export tuned variant for %s: %s\n",
+                 Arch.Name.c_str(), Entry.status().toString().c_str());
+    return false;
+  }
+  Pack.Entries.push_back(std::move(*Entry));
+  // Ship the bad news with the good: importers of this generation
+  // pre-quarantine what the sweep saw trap or misbehave.
+  for (const engine::QuarantineRecord &Q : E.getQuarantineRecords())
+    Pack.Quarantined.push_back({Arch.Gen, Q.Desc, Q.Why});
+  return true;
+}
+
+/// Prints any warm-start warnings the per-arch engines collected from
+/// `--import=PACK` (an unreadable pack degrades to a cold start).
+void printStartupWarnings(const TangramReduction &TR,
+                          const sim::ArchDesc &Arch) {
+  for (const support::Status &W : TR.engineFor(Arch).getStartupWarnings())
+    std::fprintf(stderr, "tgrc: warning: %s\n", W.toString().c_str());
+}
+
 int cmdTune(const DriverOptions &Opts, const std::string &Name) {
   DriverOptions O = Opts;
+  // Persistent tier + warm start: every lazily-created per-arch engine
+  // shares one cache; the first attaches the disk tier and imports packs.
+  O.Create.Engine.CachePath = O.CacheDir;
+  O.Create.Engine.ImportPacks = O.PackImports;
   // `tune FILE.tgr` compiles that source instead of the canonical
   // spectrum and tunes its whole variant portfolio per architecture.
   bool IsFile =
@@ -503,8 +584,10 @@ int cmdTune(const DriverOptions &Opts, const std::string &Name) {
   // conflated in logs, so the backend tags every tuned line.
   const char *BackendTag =
       engine::getBackendName(TR->getOptions().TimingBackend);
+  engine::TunedPack Pack;
   if (IsFile) {
     for (const sim::ArchDesc &Arch : O.Archs) {
+      printStartupWarnings(*TR, Arch);
       TangramReduction::BestResult Best = TR->findBest(Arch, O.N);
       std::printf("%-10s n=%zu op=%s dtype=%s backend=%s  %-4s %-20s "
                   "block=%u coarsen=%u  %.3f us\n",
@@ -513,9 +596,16 @@ int cmdTune(const DriverOptions &Opts, const std::string &Name) {
                   Best.Fig6Label.empty() ? "-" : Best.Fig6Label.c_str(),
                   Best.Desc.getName().c_str(), Best.Desc.BlockSize,
                   Best.Desc.Coarsen, Best.Seconds * 1e6);
+      // An architecture whose whole portfolio was quarantined has no
+      // winner to bundle; its quarantine records still aren't lost (the
+      // surviving architectures' exports carry only their own).
+      if (!O.PackExport.empty() &&
+          Best.Seconds < std::numeric_limits<double>::infinity() &&
+          !exportTunedEntry(*TR, Arch, Best.Desc, Best.Seconds, Pack))
+        return 1;
     }
     printObservability(*TR);
-    return 0;
+    return writePackIfRequested(O, Pack);
   }
   const VariantDescriptor *V = findVariant(TR->getSearchSpace(), Name);
   if (!V) {
@@ -523,15 +613,19 @@ int cmdTune(const DriverOptions &Opts, const std::string &Name) {
     return 1;
   }
   for (const sim::ArchDesc &Arch : O.Archs) {
+    printStartupWarnings(*TR, Arch);
     VariantDescriptor Tuned = TR->tune(*V, Arch, O.N);
     double Seconds = TR->timeVariant(Tuned, Arch, O.N);
     std::printf("%-10s n=%zu op=%s dtype=%s backend=%s  block=%u "
                 "coarsen=%u  %.3f us\n",
                 Arch.Name.c_str(), O.N, OpSpelling, DtypeSpelling,
                 BackendTag, Tuned.BlockSize, Tuned.Coarsen, Seconds * 1e6);
+    if (!O.PackExport.empty() &&
+        !exportTunedEntry(*TR, Arch, Tuned, Seconds, Pack))
+      return 1;
   }
   printObservability(*TR);
-  return 0;
+  return writePackIfRequested(O, Pack);
 }
 
 // --- best ----------------------------------------------------------------
@@ -754,6 +848,11 @@ int cmdServe(const DriverOptions &O) {
   SO.MaxBatchJobs = O.ServeBatch;
   SO.QueueDepth = std::max<size_t>(O.ServeJobs, 1024);
   SO.Archs = O.Archs;
+  // Warm start: with a populated --cache-dir (or an --import pack) the
+  // shards open with hot lanes — first jobs deserialize artifacts instead
+  // of paying single-flight compiles. --health shows the disk-tier split.
+  SO.CachePath = O.CacheDir;
+  SO.ImportPacks = O.PackImports;
   if (!O.ServeChaos.empty()) {
     serve::parseChaosKind(O.ServeChaos, SO.Chaos.Kind);
     SO.Chaos.Seed = O.FaultSeed;
